@@ -1,0 +1,47 @@
+//! The headline comparison as a microbenchmark: one phonetic selection
+//! query under each access path (scan / q-gram / phonetic index /
+//! BK-tree) over a 10K-entry slice of the synthetic dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lexequal::{MatchConfig, NameStore, QgramMode, SearchMethod};
+use lexequal_bench::synthetic;
+use std::hint::black_box;
+
+fn bench_access_paths(c: &mut Criterion) {
+    let data = synthetic(10_000);
+    let mut store = NameStore::new(MatchConfig::default());
+    for e in &data.entries {
+        store.insert(&e.text, e.language).expect("insert");
+    }
+    store.build_qgram(3, QgramMode::Strict);
+    store.build_phonetic_index();
+    store.build_bktree();
+
+    let queries: Vec<_> = data
+        .entries
+        .iter()
+        .step_by(data.len() / 8)
+        .map(|e| e.phonemes.clone())
+        .collect();
+
+    let mut g = c.benchmark_group("access_paths");
+    g.sample_size(10);
+    for (name, method) in [
+        ("scan", SearchMethod::Scan),
+        ("qgram", SearchMethod::Qgram),
+        ("phonetic_index", SearchMethod::PhoneticIndex),
+        ("bktree", SearchMethod::BkTree),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(store.search_phonemes(q, 0.25, method));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_access_paths);
+criterion_main!(benches);

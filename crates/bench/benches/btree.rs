@@ -1,0 +1,69 @@
+//! The mdb B-tree against `std::collections::BTreeMap` — a sanity
+//! benchmark for the index substrate (inserts, point lookups, ranges).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lexequal_mdb::{BTreeIndex, Value};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+const N: i64 = 50_000;
+
+fn scrambled(i: i64) -> i64 {
+    (i * 7919) % N
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(10);
+
+    g.bench_function("mdb_insert_50k", |b| {
+        b.iter(|| {
+            let mut t = BTreeIndex::new();
+            for i in 0..N {
+                t.insert(Value::Int(scrambled(i)), i as usize);
+            }
+            black_box(t.len())
+        })
+    });
+    g.bench_function("std_insert_50k", |b| {
+        b.iter(|| {
+            let mut t: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+            for i in 0..N {
+                t.entry(scrambled(i)).or_default().push(i as usize);
+            }
+            black_box(t.len())
+        })
+    });
+
+    let mut mdb = BTreeIndex::new();
+    let mut std_t: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+    for i in 0..N {
+        mdb.insert(Value::Int(scrambled(i)), i as usize);
+        std_t.entry(scrambled(i)).or_default().push(i as usize);
+    }
+
+    g.bench_function("mdb_lookup", |b| {
+        b.iter(|| {
+            for k in (0..N).step_by(997) {
+                black_box(mdb.lookup(&Value::Int(k)));
+            }
+        })
+    });
+    g.bench_function("std_lookup", |b| {
+        b.iter(|| {
+            for k in (0..N).step_by(997) {
+                black_box(std_t.get(&k));
+            }
+        })
+    });
+    g.bench_function("mdb_range_1k", |b| {
+        b.iter(|| black_box(mdb.range(&Value::Int(1000), &Value::Int(2000)).len()))
+    });
+    g.bench_function("std_range_1k", |b| {
+        b.iter(|| black_box(std_t.range(1000..=2000).count()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

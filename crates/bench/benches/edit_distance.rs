@@ -1,0 +1,77 @@
+//! Ablation: edit-distance DP variants and cost models (DESIGN.md §5).
+//!
+//! Compares the full-matrix DP, the rolling two-row DP, and the banded
+//! thresholded decision procedure, under both the unit-cost (Levenshtein)
+//! and the clustered phoneme cost model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lexequal::{ClusteredPhonemeCost, MatchConfig};
+use lexequal_bench::corpus;
+use lexequal_matcher::{edit_distance, edit_distance_matrix, within_distance, UnitCost};
+use lexequal_phoneme::PhonemeString;
+use std::hint::black_box;
+
+fn pairs(n: usize) -> Vec<(PhonemeString, PhonemeString)> {
+    let c = corpus();
+    let strings: Vec<&PhonemeString> = c.entries.iter().map(|e| &e.phonemes).collect();
+    (0..n)
+        .map(|i| {
+            let a = strings[(i * 7) % strings.len()].clone();
+            let b = strings[(i * 13 + 1) % strings.len()].clone();
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_edit_distance(c: &mut Criterion) {
+    let cfg = MatchConfig::default();
+    let clustered = ClusteredPhonemeCost::new(cfg.clusters.clone(), cfg.intra_cluster_cost);
+    let data = pairs(256);
+
+    let mut g = c.benchmark_group("edit_distance");
+    g.sample_size(20);
+
+    g.bench_function("full_matrix_unit", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| {
+                for (x, y) in &d {
+                    black_box(edit_distance_matrix(x.as_slice(), y.as_slice(), UnitCost));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("rolling_unit", |b| {
+        b.iter(|| {
+            for (x, y) in &data {
+                black_box(edit_distance(x.as_slice(), y.as_slice(), UnitCost));
+            }
+        })
+    });
+    g.bench_function("rolling_clustered", |b| {
+        b.iter(|| {
+            for (x, y) in &data {
+                black_box(edit_distance(x.as_slice(), y.as_slice(), &clustered));
+            }
+        })
+    });
+    g.bench_function("banded_decision_k1.5_clustered", |b| {
+        b.iter(|| {
+            for (x, y) in &data {
+                black_box(within_distance(x.as_slice(), y.as_slice(), 1.5, &clustered));
+            }
+        })
+    });
+    g.bench_function("banded_decision_k0.5_clustered", |b| {
+        b.iter(|| {
+            for (x, y) in &data {
+                black_box(within_distance(x.as_slice(), y.as_slice(), 0.5, &clustered));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_edit_distance);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation: q-gram size (q ∈ {2, 3, 4}) — build cost and filter
+//! selectivity (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lexequal::qgram_plan::{QgramFilter, QgramMode};
+use lexequal_bench::{corpus, operator};
+use lexequal_phoneme::PhonemeString;
+use std::hint::black_box;
+
+fn bench_qgram(c: &mut Criterion) {
+    let corpus = corpus();
+    let phonemes: Vec<PhonemeString> =
+        corpus.entries.iter().map(|e| e.phonemes.clone()).collect();
+    let op = operator();
+    let queries: Vec<&PhonemeString> = phonemes.iter().step_by(97).collect();
+
+    let mut g = c.benchmark_group("qgram");
+    g.sample_size(15);
+
+    for q in [2usize, 3, 4] {
+        g.bench_function(format!("build_q{q}"), |b| {
+            b.iter(|| black_box(QgramFilter::build(&phonemes, q, QgramMode::Strict)))
+        });
+        let filter = QgramFilter::build(&phonemes, q, QgramMode::Strict);
+        g.bench_function(format!("search_q{q}_e0.25"), |b| {
+            b.iter(|| {
+                for query in &queries {
+                    black_box(filter.search(&phonemes, query, 0.25, &op));
+                }
+            })
+        });
+    }
+
+    // Strict vs paper-faithful filtering bounds.
+    let strict = QgramFilter::build(&phonemes, 3, QgramMode::Strict);
+    let faithful = QgramFilter::build(&phonemes, 3, QgramMode::PaperFaithful);
+    g.bench_function("mode_strict_q3", |b| {
+        b.iter(|| {
+            for query in &queries {
+                black_box(strict.search(&phonemes, query, 0.25, &op));
+            }
+        })
+    });
+    g.bench_function("mode_paper_q3", |b| {
+        b.iter(|| {
+            for query in &queries {
+                black_box(faithful.search(&phonemes, query, 0.25, &op));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_qgram);
+criterion_main!(benches);

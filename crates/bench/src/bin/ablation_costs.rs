@@ -1,0 +1,82 @@
+//! Cost-model ablation (DESIGN.md §5): the paper calls the cost matrix
+//! "an installable resource intended to tune the quality of match for a
+//! specific domain" (§3.2). This experiment compares three installable
+//! models on the evaluation corpus:
+//!
+//! * **Levenshtein** — unit substitutions (intra-cluster cost 1.0);
+//! * **Clustered** — the paper's Soundex generalization at the knee cost
+//!   0.25;
+//! * **Feature-graded** — substitution cost proportional to articulatory
+//!   feature distance (place/manner/voicing/aspiration, height/backness/
+//!   rounding/length).
+
+use lexequal::{ClusteredPhonemeCost, FeaturePhonemeCost, MatchConfig};
+use lexequal_bench::{corpus, paper_note, print_table};
+use lexequal_lexicon::{sweep_with_model, QualityPoint};
+
+fn main() {
+    let c = corpus();
+    let cfg = MatchConfig::default();
+    let thresholds: Vec<f64> = (0..=10).map(|i| i as f64 * 0.05).collect();
+
+    let levenshtein = ClusteredPhonemeCost::new(cfg.clusters.clone(), 1.0);
+    let clustered = ClusteredPhonemeCost::new(cfg.clusters.clone(), 0.25);
+    let feature = FeaturePhonemeCost::new();
+
+    let runs: Vec<(&str, Vec<QualityPoint>)> = vec![
+        ("levenshtein", sweep_with_model(&c, &levenshtein, &thresholds)),
+        ("clustered-0.25", sweep_with_model(&c, &clustered, &thresholds)),
+        ("feature-graded", sweep_with_model(&c, &feature, &thresholds)),
+    ];
+
+    for (name, points) in &runs {
+        let rows: Vec<Vec<String>> = points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.2}", p.threshold),
+                    format!("{:.3}", p.recall()),
+                    format!("{:.3}", p.precision()),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("Cost-model ablation — {name}"),
+            &["threshold", "recall", "precision"],
+            &rows,
+        );
+    }
+
+    // Best PR point per model.
+    let mut best_rows = Vec::new();
+    for (name, points) in &runs {
+        let best = points
+            .iter()
+            .min_by(|a, b| {
+                a.distance_to_ideal()
+                    .partial_cmp(&b.distance_to_ideal())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        best_rows.push(vec![
+            (*name).to_owned(),
+            format!("{:.2}", best.threshold),
+            format!("{:.3}", best.recall()),
+            format!("{:.3}", best.precision()),
+            format!("{:.3}", best.distance_to_ideal()),
+        ]);
+    }
+    print_table(
+        "Cost-model ablation — best PR point per model",
+        &["model", "threshold", "recall", "precision", "dist to (1,1)"],
+        &best_rows,
+    );
+    paper_note(
+        "the paper only evaluates the clustered family; this ablation supports that \
+         choice: unit costs cannot separate like-phoneme noise from real differences \
+         at all, and the automatically graded feature model lands between Levenshtein \
+         and the hand-tuned clusters — generic feature distance overcharges the \
+         specific confusions (retroflex/alveolar, open vowels) that cross-script \
+         rendering actually produces. Domain-tuned clustering earns its keep.",
+    );
+}

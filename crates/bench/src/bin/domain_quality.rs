@@ -1,0 +1,68 @@
+//! Per-domain quality analysis.
+//!
+//! The corpus deliberately spans three name domains (§4.1): Indian names
+//! (telephone-directory style), American names (physician-directory
+//! style) and generic OED nouns. The paper notes that match quality
+//! "depends … more importantly, on the data sets themselves" (§4.3);
+//! this report shows how the knee behaves per domain.
+
+use lexequal::MatchConfig;
+use lexequal_bench::{paper_note, print_table};
+use lexequal_lexicon::{sweep, Corpus, NameDomain};
+
+fn main() {
+    let full = Corpus::build(&MatchConfig::default());
+    let thresholds = [0.1, 0.2, 0.25, 0.3, 0.4];
+    let costs = [0.25];
+
+    let mut rows = Vec::new();
+    for (label, domain) in [
+        ("Indian", NameDomain::Indian),
+        ("American", NameDomain::American),
+        ("Generic", NameDomain::Generic),
+    ] {
+        let sub = Corpus {
+            entries: full
+                .entries
+                .iter()
+                .filter(|e| e.domain == domain)
+                .cloned()
+                .collect(),
+            groups: 0, // recomputed from tags inside the sweep
+        };
+        let points = sweep(&sub, &costs, &thresholds);
+        let best = points
+            .iter()
+            .min_by(|a, b| {
+                a.distance_to_ideal()
+                    .partial_cmp(&b.distance_to_ideal())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        for p in &points {
+            rows.push(vec![
+                label.to_owned(),
+                format!("{}", sub.entries.len()),
+                format!("{:.2}", p.threshold),
+                format!("{:.3}", p.recall()),
+                format!("{:.3}", p.precision()),
+                if (p.threshold - best.threshold).abs() < 1e-9 {
+                    "<- best".into()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+    }
+    print_table(
+        "Per-domain quality at intra-cluster cost 0.25",
+        &["domain", "entries", "threshold", "recall", "precision", ""],
+        &rows,
+    );
+    paper_note(
+        "the three domains trade differently: Indian names round-trip through the \
+         Indic scripts with the least noise (their phonology fits all three scripts); \
+         American names lose the most in Tamil's voicing collapse; generic nouns sit \
+         between. Domain-specific tuning (§4.3) is the paper's own recommendation.",
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 10: distribution of the multiscript lexicon by string length,
+//! lexicographic vs phonemic, with the corpus averages.
+//!
+//! Paper values: ~800 names × 3 scripts, average lexicographic length
+//! 7.35, average phonemic length 7.16.
+
+use lexequal_bench::{corpus, paper_note, print_table};
+
+fn main() {
+    let c = corpus();
+    let dist = c.length_distribution();
+    let rows: Vec<Vec<String>> = dist
+        .iter()
+        .filter(|(_, lex, phon)| *lex > 0 || *phon > 0)
+        .map(|(len, lex, phon)| {
+            vec![
+                len.to_string(),
+                lex.to_string(),
+                phon.to_string(),
+                bar(*lex),
+                bar(*phon),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 10 — Distribution of Multiscript Lexicon",
+        &["len", "#lex", "#phon", "lex", "phon"],
+        &rows,
+    );
+    println!(
+        "\nentries: {}   groups: {}   avg lexicographic length: {:.2}   avg phonemic length: {:.2}",
+        c.len(),
+        c.groups,
+        c.avg_lex_len(),
+        c.avg_phon_len()
+    );
+    paper_note(
+        "paper reports ~800 tagged names per script (2400 entries), avg lex len 7.35, \
+         avg phonemic len 7.16; both distributions unimodal with the phonemic one \
+         shifted slightly left (phoneme strings a bit shorter than spellings).",
+    );
+}
+
+fn bar(n: usize) -> String {
+    "#".repeat(n / 12)
+}

@@ -1,0 +1,47 @@
+//! Figure 13: distribution of the generated (synthetic) performance
+//! dataset by string length.
+//!
+//! Paper values: ~200,000 names built by in-language pairwise
+//! concatenation, average lexicographic length 14.71, average phonemic
+//! length 14.31.
+
+use lexequal_bench::{paper_note, print_table, synthetic, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let d = synthetic(opts.dataset_size);
+    let dist = d.length_distribution();
+    let rows: Vec<Vec<String>> = dist
+        .iter()
+        .filter(|(_, lex, phon)| *lex > 0 || *phon > 0)
+        .map(|(len, lex, phon)| {
+            vec![
+                len.to_string(),
+                lex.to_string(),
+                phon.to_string(),
+                bar(*lex, d.len()),
+                bar(*phon, d.len()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 13 — Distribution of Generated Data Set",
+        &["len", "#lex", "#phon", "lex", "phon"],
+        &rows,
+    );
+    println!(
+        "\nentries: {}   avg lexicographic length: {:.2}   avg phonemic length: {:.2}",
+        d.len(),
+        d.avg_lex_len(),
+        d.avg_phon_len()
+    );
+    paper_note(
+        "paper generates ~200,000 names with avg lex length 14.71 and avg phonemic \
+         length 14.31; the distribution is the self-convolution of Figure 10's, \
+         so roughly twice the mean and visibly wider.",
+    );
+}
+
+fn bar(n: usize, total: usize) -> String {
+    "#".repeat(n * 400 / total.max(1))
+}

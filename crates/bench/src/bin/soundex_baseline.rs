@@ -1,0 +1,138 @@
+//! Baseline comparison: classical Soundex vs LexEQUAL.
+//!
+//! The paper's state-of-the-art survey (§2.2) notes that "most database
+//! systems allow matching text strings using \[the\] pseudo-phonetic
+//! Soundex algorithm …, primarily for Latin-based scripts". This
+//! experiment quantifies both halves of that sentence on our corpus:
+//!
+//! 1. **Within Latin script**, Soundex-code equality is a serviceable
+//!    matcher — measured against LexEQUAL at the knee on the same
+//!    English-English pair universe.
+//! 2. **Across scripts**, Soundex is structurally blind: it has no code
+//!    for Devanagari or Tamil strings at all, so every cross-script true
+//!    match is lost — the gap LexEQUAL exists to fill.
+
+use lexequal::{Language, LexEqual, MatchConfig};
+use lexequal_bench::{corpus, paper_note, print_table};
+use lexequal_matcher::soundex;
+
+fn main() {
+    let c = corpus();
+    let op = LexEqual::new(MatchConfig::default());
+    let knee = 0.25;
+
+    // ---- Part 1: English-English pairs -----------------------------------
+    let english: Vec<_> = c
+        .entries
+        .iter()
+        .filter(|e| e.language == Language::English)
+        .collect();
+    let (mut sdx_m1, mut sdx_m2) = (0u64, 0u64);
+    let (mut lex_m1, mut lex_m2) = (0u64, 0u64);
+    let mut ideal = 0u64;
+    for (i, a) in english.iter().enumerate() {
+        for b in &english[i + 1..] {
+            let same_tag = a.tag == b.tag;
+            if same_tag {
+                ideal += 1;
+            }
+            let sdx = match (soundex(&a.text), soundex(&b.text)) {
+                (Some(x), Some(y)) => x == y,
+                _ => false,
+            };
+            if sdx {
+                sdx_m2 += 1;
+                if same_tag {
+                    sdx_m1 += 1;
+                }
+            }
+            if op.matches_phonemes(&a.phonemes, &b.phonemes, knee) {
+                lex_m2 += 1;
+                if same_tag {
+                    lex_m1 += 1;
+                }
+            }
+        }
+    }
+    // English homophone groups are small; most tags are singletons within
+    // one language, so quote precision primarily.
+    let pr = |m1: u64, m2: u64| {
+        if m2 == 0 {
+            1.0
+        } else {
+            m1 as f64 / m2 as f64
+        }
+    };
+    let rc = |m1: u64| {
+        if ideal == 0 {
+            1.0
+        } else {
+            m1 as f64 / ideal as f64
+        }
+    };
+    print_table(
+        &format!(
+            "Soundex vs LexEQUAL on English-English pairs ({} names, {} same-tag pairs)",
+            english.len(),
+            ideal
+        ),
+        &["matcher", "recall", "precision", "reported pairs"],
+        &[
+            vec![
+                "Soundex code equality".into(),
+                format!("{:.3}", rc(sdx_m1)),
+                format!("{:.3}", pr(sdx_m1, sdx_m2)),
+                sdx_m2.to_string(),
+            ],
+            vec![
+                format!("LexEQUAL (cost 0.25, e {knee})"),
+                format!("{:.3}", rc(lex_m1)),
+                format!("{:.3}", pr(lex_m1, lex_m2)),
+                lex_m2.to_string(),
+            ],
+        ],
+    );
+
+    // ---- Part 2: cross-script pairs ---------------------------------------
+    let mut cross_ideal = 0u64;
+    let mut sdx_cross = 0u64;
+    let mut lex_cross = 0u64;
+    for (i, a) in c.entries.iter().enumerate() {
+        for b in &c.entries[i + 1..] {
+            if a.tag != b.tag || a.language == b.language {
+                continue;
+            }
+            cross_ideal += 1;
+            if let (Some(x), Some(y)) = (soundex(&a.text), soundex(&b.text)) {
+                if x == y {
+                    sdx_cross += 1;
+                }
+            }
+            if op.matches_phonemes(&a.phonemes, &b.phonemes, knee) {
+                lex_cross += 1;
+            }
+        }
+    }
+    print_table(
+        &format!("Cross-script true matches recovered ({cross_ideal} same-tag cross-script pairs)"),
+        &["matcher", "recovered", "recall"],
+        &[
+            vec![
+                "Soundex".into(),
+                sdx_cross.to_string(),
+                format!("{:.3}", sdx_cross as f64 / cross_ideal.max(1) as f64),
+            ],
+            vec![
+                "LexEQUAL".into(),
+                lex_cross.to_string(),
+                format!("{:.3}", lex_cross as f64 / cross_ideal.max(1) as f64),
+            ],
+        ],
+    );
+    paper_note(
+        "Soundex has no code at all for non-Latin scripts (it returns NULL), so its \
+         cross-script recall is exactly 0 — the comparison of multilingual strings \
+         across scripts is 'only binary' in current systems (§2.2). LexEQUAL recovers \
+         the large majority of the same pairs, which is the paper's raison d'être.",
+    );
+}

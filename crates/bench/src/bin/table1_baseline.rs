@@ -1,0 +1,187 @@
+//! Table 1: relative performance of exact matching (the native `=`
+//! operator) vs approximate matching (the LexEQUAL UDF), for a selection
+//! scan and an equi-join, on the synthetic ~200K dataset.
+//!
+//! Paper values (Oracle 9i, PL/SQL UDF): scan 0.59 s exact vs 1418 s
+//! approximate; join 0.20 s exact vs 4004 s approximate (UDF join on a
+//! 0.2% subset — the full UDF join "took about 3 days"). The shape to
+//! reproduce: the UDF is **orders of magnitude** slower than the native
+//! operator, and the optimizer can do nothing about a UDF predicate
+//! (nested-loop join).
+
+use lexequal::udf::{load_names_table, register_udfs};
+use lexequal::Language;
+use lexequal_bench::*;
+use lexequal_mdb::Database;
+use std::sync::Arc;
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let op = Arc::new(levenshtein_operator());
+    println!(
+        "building synthetic dataset (~{} entries) …",
+        opts.dataset_size
+    );
+    let data = synthetic(opts.dataset_size);
+
+    let names: Vec<(String, Language)> = data
+        .entries
+        .iter()
+        .map(|e| (e.text.clone(), e.language))
+        .collect();
+
+    let mut db = Database::new();
+    register_udfs(&mut db, op.clone());
+    let (_, load_time) = timed(|| {
+        load_names_table(&mut db, "names", &names, &op).expect("load names");
+    });
+    println!("loaded {} rows in {}", data.len(), fmt_duration(load_time));
+
+    // The paper's join subset: 0.2% of the table, strided so all three
+    // languages are represented (the dataset is laid out in language
+    // blocks).
+    let subset_len = (data.len() / 500).max(50);
+    let subset: Vec<(String, Language)> = names
+        .iter()
+        .step_by((names.len() / subset_len).max(1))
+        .take(subset_len)
+        .cloned()
+        .collect();
+    load_names_table(&mut db, "subset", &subset, &op).expect("load subset");
+
+    // Query strings drawn from the data (existing names), spread out.
+    let stride = data.len() / opts.queries.max(1);
+    let queries: Vec<&lexequal_lexicon::SyntheticEntry> =
+        data.entries.iter().step_by(stride.max(1)).take(opts.queries).collect();
+
+    // --- Scan, exact -----------------------------------------------------
+    let (hits_exact, t_exact_scan) = timed(|| {
+        let mut hits = 0usize;
+        for q in &queries {
+            let rs = db
+                .execute(&format!(
+                    "SELECT id FROM names WHERE name = '{}'",
+                    q.text
+                ))
+                .expect("exact scan");
+            hits += rs.rows.len();
+        }
+        hits
+    });
+    let t_exact_scan = t_exact_scan / queries.len() as u32;
+
+    // --- Scan, LexEQUAL UDF ----------------------------------------------
+    let threshold = 0.25; // the paper's Figure 3 setting
+    let (hits_udf, t_udf_scan) = timed(|| {
+        let mut hits = 0usize;
+        for q in &queries {
+            let rs = db
+                .execute(&format!(
+                    "SELECT id FROM names WHERE PHONEQUAL(pname, '{}', {threshold})",
+                    q.phonemes
+                ))
+                .expect("udf scan");
+            hits += rs.rows.len();
+        }
+        hits
+    });
+    let t_udf_scan = t_udf_scan / queries.len() as u32;
+
+    // --- Join, exact (hash join on the full table) ------------------------
+    let (exact_join_rows, t_exact_join) = timed(|| {
+        let rs = db
+            .execute(
+                "SELECT COUNT(*) FROM subset s, names n WHERE s.name = n.name",
+            )
+            .expect("exact join");
+        rs.rows[0][0].clone()
+    });
+
+    // --- Join, LexEQUAL UDF (nested loop over the subset) -----------------
+    let (udf_join_rows, t_udf_join) = timed(|| {
+        let rs = db
+            .execute(&format!(
+                "SELECT COUNT(*) FROM subset b1, subset b2 \
+                 WHERE PHONEQUAL(b1.pname, b2.pname, {threshold}) AND b1.lang <> b2.lang"
+            ))
+            .expect("udf join");
+        rs.rows[0][0].clone()
+    });
+    assert!(db.explain(
+        &format!(
+            "SELECT COUNT(*) FROM subset b1, subset b2 \
+             WHERE PHONEQUAL(b1.pname, b2.pname, {threshold}) AND b1.lang <> b2.lang"
+        ))
+        .expect("explain")
+        .contains("NestedLoop"),
+        "UDF join must be a nested loop (no optimizer help), as in the paper"
+    );
+
+    print_table(
+        &format!(
+            "Table 1 — Relative Performance of Approximate Matching \
+             ({} rows, {}-row join subset, avg over {} queries)",
+            data.len(),
+            subset_len,
+            queries.len()
+        ),
+        &["Query", "Matching Methodology", "Time", "Result rows"],
+        &[
+            vec![
+                "Scan".into(),
+                "Exact (= operator)".into(),
+                fmt_duration(t_exact_scan),
+                format!("{hits_exact}"),
+            ],
+            vec![
+                "Scan".into(),
+                "Approximate (LexEQUAL UDF)".into(),
+                fmt_duration(t_udf_scan),
+                format!("{hits_udf}"),
+            ],
+            vec![
+                "Join".into(),
+                "Exact (= operator, hash join)".into(),
+                fmt_duration(t_exact_join),
+                exact_join_rows.to_string(),
+            ],
+            vec![
+                "Join".into(),
+                "Approximate (LexEQUAL UDF, nested loop)".into(),
+                fmt_duration(t_udf_join),
+                udf_join_rows.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "\nslowdown: UDF scan / exact scan = {:.0}x    UDF join / exact join = {:.1}x",
+        t_udf_scan.as_secs_f64() / t_exact_scan.as_secs_f64().max(1e-9),
+        t_udf_join.as_secs_f64() / t_exact_join.as_secs_f64().max(1e-9),
+    );
+
+    // Reference point: Oracle's native `=` is compiled code while its UDF
+    // is interpreted PL/SQL. The closest analog here is a compiled direct
+    // scan vs the engine-interpreted UDF scan.
+    let texts: Vec<&str> = data.entries.iter().map(|e| e.text.as_str()).collect();
+    let (native_hits, t_native) = timed(|| {
+        let mut hits = 0usize;
+        for q in &queries {
+            hits += texts.iter().filter(|t| **t == q.text).count();
+        }
+        hits
+    });
+    let t_native = t_native / queries.len() as u32;
+    println!(
+        "native compiled exact scan: {} ({} hits) -> UDF scan is {:.0}x slower than \
+         compiled native equality (the paper's Oracle-native-vs-PL/SQL gap)",
+        fmt_duration(t_native),
+        native_hits,
+        t_udf_scan.as_secs_f64() / t_native.as_secs_f64().max(1e-9),
+    );
+    paper_note(
+        "paper: scan 0.59 s exact vs 1418 s UDF (~2400x); join 0.20 s exact vs 4004 s \
+         UDF on the 0.2% subset. Absolute times differ enormously (in-process compiled \
+         Rust vs client-server interpreted PL/SQL); the reproduced shape is the \
+         orders-of-magnitude gap and the forced nested-loop UDF join.",
+    );
+}

@@ -1,0 +1,294 @@
+//! Table 2: LexEQUAL accelerated by q-gram filtering.
+//!
+//! Paper values (same dataset and queries as Table 1): scan 13.5 s
+//! (vs 1418 s naive — two orders of magnitude), join 856 s (vs 4004 s —
+//! about five-fold; "the improvement in join performance is not as
+//! dramatic as in the case of scans, due to the additional joins that are
+//! required on the large q-gram tables").
+//!
+//! This binary reproduces both measurements with the in-process q-gram
+//! posting structure (`--ablate` additionally reports per-filter
+//! selectivity), and demonstrates the Figure 14 SQL plan end-to-end on a
+//! subset.
+
+use lexequal::qgram_plan::{QgramFilter, QgramMode};
+use lexequal::udf::{load_names_table, load_qgram_aux_table, register_udfs};
+use lexequal::Language;
+use lexequal_bench::*;
+use lexequal_mdb::Database;
+use std::sync::Arc;
+
+const Q: usize = 3;
+const THRESHOLD: f64 = 0.25;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ablate = args.iter().any(|a| a == "--ablate");
+    let opts = RunOptions::from_args();
+    let op = Arc::new(levenshtein_operator());
+    println!("building synthetic dataset (~{} entries) …", opts.dataset_size);
+    let data = synthetic(opts.dataset_size);
+    let phonemes: Vec<_> = data.entries.iter().map(|e| e.phonemes.clone()).collect();
+
+    // Under the Levenshtein operator (unit costs) the Strict and
+    // PaperFaithful bounds coincide, and the filters are exact — no false
+    // dismissals, as the paper assumes. (The --ablate report shows how a
+    // fractional clustered cost breaks that equivalence.)
+    let (filter, build_time) = timed(|| QgramFilter::build(&phonemes, Q, QgramMode::Strict));
+    println!(
+        "q-gram structure: {} strings, {} grams (q={Q}), built in {}",
+        filter.len(),
+        filter.total_grams(),
+        fmt_duration(build_time)
+    );
+
+    let stride = (data.len() / opts.queries.max(1)).max(1);
+    let queries: Vec<_> = data.entries.iter().step_by(stride).take(opts.queries).collect();
+
+    // The database stores pname as an IPA *string* column; every UDF
+    // invocation parses its operands, exactly like the SQL PHONEQUAL UDF
+    // (and like the paper's PL/SQL function taking VARCHAR operands).
+    // Both access paths below pay this same per-verification cost, so the
+    // comparison isolates what the filters save.
+    let pname_col: Vec<String> = phonemes.iter().map(|p| p.to_string()).collect();
+    let verify = |stored: &str, query: &str| -> bool {
+        let a: lexequal_phoneme::PhonemeString = stored.parse().expect("stored IPA");
+        let b: lexequal_phoneme::PhonemeString = query.parse().expect("query IPA");
+        op.matches_phonemes(&a, &b, THRESHOLD)
+    };
+
+    // --- naive scan baseline (UDF on every row) ----------------------------
+    let (naive_hits, t_naive) = timed(|| {
+        let mut hits = 0usize;
+        for q in &queries {
+            let qs = q.phonemes.to_string();
+            for stored in &pname_col {
+                if verify(stored, &qs) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    });
+    let t_naive = t_naive / queries.len() as u32;
+
+    // --- q-gram filtered scan (filters, then UDF per candidate) ------------
+    let (qgram_stats, t_qgram) = timed(|| {
+        let mut hits = 0usize;
+        let mut verified = 0usize;
+        for q in &queries {
+            let qs = q.phonemes.to_string();
+            let k = THRESHOLD * q.phonemes.len() as f64;
+            for cand in filter.candidates(&q.phonemes, k, &op) {
+                verified += 1;
+                if verify(&pname_col[cand as usize], &qs) {
+                    hits += 1;
+                }
+            }
+        }
+        (hits, verified)
+    });
+    let t_qgram = t_qgram / queries.len() as u32;
+    let (qgram_hits, total_verified) = qgram_stats;
+    let scan_dismissed = naive_hits.saturating_sub(qgram_hits);
+
+    // --- joins over the 0.2% subset ----------------------------------------
+    let subset_len = (data.len() / 500).max(50);
+    // Strided so all three languages appear (the dataset is laid out
+    // in language blocks).
+    let subset: Vec<&lexequal_lexicon::SyntheticEntry> = data
+        .entries
+        .iter()
+        .step_by((data.len() / subset_len).max(1))
+        .take(subset_len)
+        .collect();
+    let subset_col: Vec<String> = subset.iter().map(|e| e.phonemes.to_string()).collect();
+    let (naive_join_pairs, t_naive_join) = timed(|| {
+        let mut pairs = 0usize;
+        for (i, a) in subset.iter().enumerate() {
+            for (j, b) in subset.iter().enumerate() {
+                if a.language != b.language && verify(&subset_col[j], &subset_col[i]) {
+                    pairs += 1;
+                }
+            }
+        }
+        pairs
+    });
+    let subset_phonemes: Vec<_> = subset.iter().map(|e| e.phonemes.clone()).collect();
+    let (qgram_join, t_qgram_join) = timed(|| {
+        let subset_filter = QgramFilter::build(&subset_phonemes, Q, QgramMode::Strict);
+        let mut pairs = 0usize;
+        for (i, a) in subset.iter().enumerate() {
+            let k = THRESHOLD * a.phonemes.len() as f64;
+            for id in subset_filter.candidates(&a.phonemes, k, &op) {
+                if subset[id as usize].language != a.language
+                    && verify(&subset_col[id as usize], &subset_col[i])
+                {
+                    pairs += 1;
+                }
+            }
+        }
+        pairs
+    });
+    let join_dismissed = naive_join_pairs.saturating_sub(qgram_join);
+
+    print_table(
+        &format!(
+            "Table 2 — Q-Gram Filter Performance ({} rows, {}-row join subset, avg over {} queries)",
+            data.len(),
+            subset_len,
+            queries.len()
+        ),
+        &["Query", "Matching Methodology", "Time", "UDF calls/query"],
+        &[
+            vec![
+                "Scan".into(),
+                "Naive LexEQUAL UDF".into(),
+                fmt_duration(t_naive),
+                format!("{}", phonemes.len()),
+            ],
+            vec![
+                "Scan".into(),
+                "LexEQUAL UDF + q-gram filters".into(),
+                fmt_duration(t_qgram),
+                format!("{}", total_verified / queries.len()),
+            ],
+            vec![
+                "Join".into(),
+                "Naive LexEQUAL UDF (nested loop)".into(),
+                fmt_duration(t_naive_join),
+                format!("{}", subset_len),
+            ],
+            vec![
+                "Join".into(),
+                "LexEQUAL UDF + q-gram filters".into(),
+                fmt_duration(t_qgram_join),
+                "-".into(),
+            ],
+        ],
+    );
+    println!(
+        "\nspeedup: scan {:.1}x   join {:.1}x   ({} scan hits, {} join pairs; \
+         false dismissals vs exact answer: scan {}, join {})",
+        t_naive.as_secs_f64() / t_qgram.as_secs_f64().max(1e-9),
+        t_naive_join.as_secs_f64() / t_qgram_join.as_secs_f64().max(1e-9),
+        naive_hits,
+        naive_join_pairs,
+        scan_dismissed,
+        join_dismissed,
+    );
+
+    if ablate {
+        ablate_filters(&op, &filter, &phonemes, &queries);
+    }
+
+    sql_figure14_demo(&op, &data);
+
+    paper_note(
+        "paper: scan 13.5 s (105x over the naive 1418 s), join 856 s (4.7x over 4004 s) \
+         — scans gain an order of magnitude+, joins less because of the auxiliary \
+         q-gram table joins. The reproduced shape: large scan speedup, smaller join \
+         speedup, identical result sets (filters admit no false dismissals).",
+    );
+}
+
+/// Filter-composition ablation: how many candidates survive length-only
+/// vs +count/position filtering (DESIGN.md §5).
+fn ablate_filters(
+    op: &lexequal::LexEqual,
+    filter: &QgramFilter,
+    phonemes: &[lexequal_phoneme::PhonemeString],
+    queries: &[&lexequal_lexicon::SyntheticEntry],
+) {
+    let strict = QgramFilter::build(phonemes, Q, QgramMode::Strict);
+    let mut rows = Vec::new();
+    for q in queries.iter().take(5) {
+        let k = THRESHOLD * q.phonemes.len() as f64;
+        let length_only = phonemes
+            .iter()
+            .filter(|p| (p.len() as f64 - q.phonemes.len() as f64).abs() <= k)
+            .count();
+        let faithful = filter.candidates(&q.phonemes, k, op).len();
+        let conservative = strict.candidates(&q.phonemes, k, op).len();
+        rows.push(vec![
+            q.text.chars().take(18).collect::<String>(),
+            format!("{}", phonemes.len()),
+            format!("{length_only}"),
+            format!("{faithful}"),
+            format!("{conservative}"),
+        ]);
+    }
+    print_table(
+        "Table 2 (ablation) — candidates surviving each filter stage",
+        &["query", "all rows", "length", "+count/pos (paper)", "+count/pos (strict)"],
+        &rows,
+    );
+}
+
+/// Run the paper's Figure 14 SQL (length/position filters + GROUP BY
+/// count filter + UDF verification) end-to-end on a small subset.
+fn sql_figure14_demo(op: &Arc<lexequal::LexEqual>, data: &lexequal_lexicon::SyntheticDataset) {
+    let n = 1_000.min(data.len());
+    let names: Vec<(String, Language)> = data.entries[..n]
+        .iter()
+        .map(|e| (e.text.clone(), e.language))
+        .collect();
+    let mut db = Database::new();
+    register_udfs(&mut db, op.clone());
+    load_names_table(&mut db, "names", &names, op).expect("load names");
+    load_qgram_aux_table(&mut db, "auxnames", "names", Q).expect("load aux");
+
+    let q = &data.entries[0];
+    let qp = q.phonemes.to_string();
+    let qlen = q.phonemes.len();
+    let k = THRESHOLD * qlen as f64;
+    // Strict-mode Levenshtein bound (intra-cluster cost 0.25).
+    let bound = k / op.cost_model().min_nonzero_cost().unwrap_or(1.0);
+    db.execute("CREATE TABLE query (id INT, str TEXT)")
+        .expect("create query");
+    db.execute(&format!("INSERT INTO query VALUES (0, '{qp}')"))
+        .expect("insert query");
+    db.execute("CREATE TABLE auxquery (id INT, qgram TEXT, pos INT)")
+        .expect("create auxquery");
+    load_aux_for_query(&mut db, &qp);
+
+    let sql = format!(
+        "SELECT N.id, N.pname \
+         FROM names N, auxnames AN, query Q, auxquery AQ \
+         WHERE N.id = AN.id AND Q.id = AQ.id AND AN.qgram = AQ.qgram \
+           AND ABS(LEN(N.pname) - LEN(Q.str)) <= {k} \
+           AND ABS(AN.pos - AQ.pos) <= {bound} \
+         GROUP BY N.id, N.pname \
+         HAVING COUNT(*) >= LEN(N.pname) - 1 - ({bound} - 1) * {Q} \
+            AND PHONEQUAL(N.pname, MIN(Q.str), {THRESHOLD})"
+    );
+    let (rs, t) = timed(|| db.execute(&sql).expect("figure 14 SQL"));
+    println!(
+        "\nFigure 14 SQL over a {n}-row subset: {} matches in {} \
+         (UDF invoked {} times instead of {n})",
+        rs.rows.len(),
+        fmt_duration(t),
+        db.stats().udf_calls("PHONEQUAL"),
+    );
+}
+
+fn load_aux_for_query(db: &mut Database, qp: &str) {
+    use lexequal_matcher::qgram::{positional_qgrams, QgramSymbol};
+    let p: lexequal_phoneme::PhonemeString = qp.parse().expect("query IPA");
+    for g in positional_qgrams(p.as_slice(), Q) {
+        let text: String = g
+            .gram
+            .iter()
+            .map(|s| match s {
+                QgramSymbol::Start => "◁".to_owned(),
+                QgramSymbol::End => "▷".to_owned(),
+                QgramSymbol::Sym(p) => p.symbol().to_owned(),
+            })
+            .collect();
+        db.execute(&format!(
+            "INSERT INTO auxquery VALUES (0, '{text}', {})",
+            g.pos
+        ))
+        .expect("insert aux gram");
+    }
+}

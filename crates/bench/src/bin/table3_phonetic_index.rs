@@ -1,0 +1,269 @@
+//! Table 3: LexEQUAL accelerated by the phonetic index.
+//!
+//! Paper values: scan 0.71 s (vs 13.5 s q-gram — another order of
+//! magnitude), join 15.2 s (vs 856 s). The price: "a small, but
+//! significant 4–5% false-dismissals, with respect to the classical
+//! edit-distance metric".
+//!
+//! This binary measures the in-process probe path, the SQL Figure 15 plan
+//! (B-tree `IndexScan` on the grouped phoneme string identifier + UDF
+//! verification), and the false-dismissal rate. `--ablate` contrasts the
+//! standard (fine) cluster table with the coarse Soundex-like one.
+
+use lexequal::phonidx::{grouped_id, PhoneticIndex};
+use lexequal::udf::{load_names_table, register_udfs};
+use lexequal::{ClusterTable, Language, LexEqual, MatchConfig};
+use lexequal_bench::*;
+use lexequal_mdb::Database;
+use std::sync::Arc;
+
+const THRESHOLD: f64 = 0.25;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let ablate = args.iter().any(|a| a == "--ablate");
+    let opts = RunOptions::from_args();
+    let op = Arc::new(levenshtein_operator());
+    println!("building synthetic dataset (~{} entries) …", opts.dataset_size);
+    let data = synthetic(opts.dataset_size);
+    let phonemes: Vec<_> = data.entries.iter().map(|e| e.phonemes.clone()).collect();
+
+    let clusters = op.cost_model().clusters();
+    let (index, build_time) = timed(|| PhoneticIndex::build(clusters, &phonemes));
+    println!(
+        "phonetic index: {} strings, {} distinct grouped identifiers, built in {}",
+        index.len(),
+        index.distinct_keys(),
+        fmt_duration(build_time)
+    );
+
+    let stride = (data.len() / opts.queries.max(1)).max(1);
+    let queries: Vec<_> = data.entries.iter().step_by(stride).take(opts.queries).collect();
+
+    // Both paths pay the per-verification UDF cost (operand parse + DP),
+    // exactly like the SQL PHONEQUAL UDF over the stored pname column.
+    let pname_col: Vec<String> = phonemes.iter().map(|p| p.to_string()).collect();
+    let verify = |stored: &str, query: &str| -> bool {
+        let a: lexequal_phoneme::PhonemeString = stored.parse().expect("stored IPA");
+        let b: lexequal_phoneme::PhonemeString = query.parse().expect("query IPA");
+        op.matches_phonemes(&a, &b, THRESHOLD)
+    };
+
+    // --- scan via index probe + verify ------------------------------------
+    let (probe_stats, t_index) = timed(|| {
+        let mut hits = 0usize;
+        let mut verified = 0usize;
+        for q in &queries {
+            let qs = q.phonemes.to_string();
+            for cand in index.candidates(clusters, &q.phonemes) {
+                verified += 1;
+                if verify(&pname_col[cand as usize], &qs) {
+                    hits += 1;
+                }
+            }
+        }
+        (hits, verified)
+    });
+    let t_index = t_index / queries.len() as u32;
+    let (index_hits, verified) = probe_stats;
+
+    // --- exhaustive scan, for time ratio and false-dismissal accounting ---
+    let (scan_hits, t_scan) = timed(|| {
+        let mut hits = 0usize;
+        for q in &queries {
+            let qs = q.phonemes.to_string();
+            for stored in &pname_col {
+                if verify(stored, &qs) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    });
+    let t_scan = t_scan / queries.len() as u32;
+    let dismissed = scan_hits.saturating_sub(index_hits);
+    let dismissal_rate = dismissed as f64 / scan_hits.max(1) as f64;
+
+    // --- join over the 0.2% subset ----------------------------------------
+    let subset_len = (data.len() / 500).max(50);
+    // Strided so all three languages appear (the dataset is laid out
+    // in language blocks).
+    let subset: Vec<&lexequal_lexicon::SyntheticEntry> = data
+        .entries
+        .iter()
+        .step_by((data.len() / subset_len).max(1))
+        .take(subset_len)
+        .collect();
+    let subset_phonemes: Vec<_> = subset.iter().map(|e| e.phonemes.clone()).collect();
+    let subset_col: Vec<String> = subset.iter().map(|e| e.phonemes.to_string()).collect();
+    let (join_pairs, t_join) = timed(|| {
+        let sub_index = PhoneticIndex::build(clusters, &subset_phonemes);
+        let mut pairs = 0usize;
+        for (i, a) in subset.iter().enumerate() {
+            for id in sub_index.candidates(clusters, &a.phonemes) {
+                if subset[id as usize].language != a.language
+                    && verify(&subset_col[id as usize], &subset_col[i])
+                {
+                    pairs += 1;
+                }
+            }
+        }
+        pairs
+    });
+
+    print_table(
+        &format!(
+            "Table 3 — Phonemic Index Performance ({} rows, {}-row join subset, avg over {} queries)",
+            data.len(),
+            subset_len,
+            queries.len()
+        ),
+        &["Query", "Matching Methodology", "Time", "Notes"],
+        &[
+            vec![
+                "Scan".into(),
+                "Naive LexEQUAL UDF".into(),
+                fmt_duration(t_scan),
+                format!("{} hits", scan_hits),
+            ],
+            vec![
+                "Scan".into(),
+                "LexEQUAL UDF + phonetic index".into(),
+                fmt_duration(t_index),
+                format!(
+                    "{} hits, {} verify calls/query",
+                    index_hits,
+                    verified / queries.len()
+                ),
+            ],
+            vec![
+                "Join".into(),
+                "LexEQUAL UDF + phonetic index".into(),
+                fmt_duration(t_join),
+                format!("{join_pairs} cross-language pairs"),
+            ],
+        ],
+    );
+    println!(
+        "\nspeedup over naive scan: {:.0}x    false dismissals (synthetic data): \
+         {dismissed}/{scan_hits} = {:.1}%",
+        t_scan.as_secs_f64() / t_index.as_secs_f64().max(1e-9),
+        100.0 * dismissal_rate,
+    );
+
+    // The paper's 4–5% dismissal figure concerns phonetic matches of real
+    // names. Concatenated synthetic strings double the edit budget and so
+    // admit many indel-bearing matches the index can never retrieve,
+    // inflating the rate; measure the real-lexicon rate too.
+    let real = corpus();
+    let real_phonemes: Vec<_> = real.entries.iter().map(|e| e.phonemes.clone()).collect();
+    let real_index = PhoneticIndex::build(clusters, &real_phonemes);
+    let (mut real_scan_hits, mut real_index_hits) = (0usize, 0usize);
+    for q in real.entries.iter().step_by(23) {
+        let (ids, _) = real_index.search(&real_phonemes, &q.phonemes, THRESHOLD, &op);
+        real_index_hits += ids.len();
+        real_scan_hits += real_phonemes
+            .iter()
+            .filter(|p| op.matches_phonemes(p, &q.phonemes, THRESHOLD))
+            .count();
+    }
+    let real_dismissed = real_scan_hits.saturating_sub(real_index_hits);
+    println!(
+        "false dismissals (real lexicon, {} probes): {real_dismissed}/{real_scan_hits} = {:.1}%",
+        real.entries.len().div_ceil(23),
+        100.0 * real_dismissed as f64 / real_scan_hits.max(1) as f64,
+    );
+
+    sql_figure15_demo(&op, &data);
+
+    if ablate {
+        ablate_cluster_granularity(&data, &queries);
+    }
+
+    paper_note(
+        "paper: scan 0.71 s and join 15.2 s — an order of magnitude beyond q-grams — \
+         at the cost of 4–5% false dismissals vs the classical edit-distance answer \
+         set; suitable where very fast response outweighs completeness (web search).",
+    );
+}
+
+/// The Figure 15 SQL plan: equality probe on the indexed grouped phoneme
+/// string identifier, then UDF verification.
+fn sql_figure15_demo(op: &Arc<LexEqual>, data: &lexequal_lexicon::SyntheticDataset) {
+    let n = 20_000.min(data.len());
+    let names: Vec<(String, Language)> = data.entries[..n]
+        .iter()
+        .map(|e| (e.text.clone(), e.language))
+        .collect();
+    let mut db = Database::new();
+    register_udfs(&mut db, op.clone());
+    load_names_table(&mut db, "names", &names, op).expect("load names");
+    db.execute("CREATE INDEX ix_gpid ON names (gpid)")
+        .expect("create index");
+
+    let q = &data.entries[0];
+    let key = grouped_id(op.cost_model().clusters(), &q.phonemes);
+    let sql = format!(
+        "SELECT N.id, N.name FROM names N \
+         WHERE N.gpid = {key} AND PHONEQUAL(N.pname, '{}', {THRESHOLD})",
+        q.phonemes
+    );
+    let plan = db.explain(&sql).expect("explain");
+    assert!(
+        plan.contains("IndexScan"),
+        "Figure 15 plan must use the B-tree: {plan}"
+    );
+    let (rs, t) = timed(|| db.execute(&sql).expect("figure 15 SQL"));
+    println!(
+        "\nFigure 15 SQL over a {n}-row table: plan [{plan}], {} matches in {} \
+         (UDF invoked {} times instead of {n})",
+        rs.rows.len(),
+        fmt_duration(t),
+        db.stats().udf_calls("PHONEQUAL"),
+    );
+}
+
+/// Cluster-granularity ablation: fine (standard) vs coarse (Soundex-like)
+/// tables trade index selectivity against false dismissals.
+fn ablate_cluster_granularity(
+    data: &lexequal_lexicon::SyntheticDataset,
+    queries: &[&lexequal_lexicon::SyntheticEntry],
+) {
+    let phonemes: Vec<_> = data.entries.iter().map(|e| e.phonemes.clone()).collect();
+    let mut rows = Vec::new();
+    for (name, table) in [
+        ("standard (fine)", ClusterTable::standard()),
+        ("coarse (Soundex-like)", ClusterTable::coarse()),
+    ] {
+        let op = LexEqual::new(MatchConfig::default().with_clusters(table.clone()));
+        let index = PhoneticIndex::build(op.cost_model().clusters(), &phonemes);
+        let mut index_hits = 0usize;
+        let mut scan_hits = 0usize;
+        let mut verified = 0usize;
+        for q in queries.iter().take(10) {
+            let (ids, v) = index.search(&phonemes, &q.phonemes, THRESHOLD, &op);
+            index_hits += ids.len();
+            verified += v;
+            for p in &phonemes {
+                if op.matches_phonemes(p, &q.phonemes, THRESHOLD) {
+                    scan_hits += 1;
+                }
+            }
+        }
+        rows.push(vec![
+            name.into(),
+            format!("{}", index.distinct_keys()),
+            format!("{}", verified),
+            format!("{index_hits}/{scan_hits}"),
+            format!(
+                "{:.1}%",
+                100.0 * (scan_hits.saturating_sub(index_hits)) as f64 / scan_hits.max(1) as f64
+            ),
+        ]);
+    }
+    print_table(
+        "Table 3 (ablation) — cluster granularity vs selectivity and dismissals",
+        &["clusters", "distinct keys", "verify calls", "hits/scan", "dismissed"],
+        &rows,
+    );
+}

@@ -1,0 +1,123 @@
+//! Extension experiment: spelling-error robustness.
+//!
+//! The paper motivates approximate matching partly with input errors —
+//! "names that have many variants in spelling (example, Cathy and Kathy
+//! or variants due to input errors, such as Catyh)" (§2.3). This
+//! experiment quantifies how the phonetic pipeline absorbs three classic
+//! typo classes applied to the English base names:
+//!
+//! * adjacent transposition (Cathy → Catyh);
+//! * single-letter deletion (Cathy → Cahy);
+//! * single-letter doubling (Cathy → Catthy);
+//!
+//! and contrasts phoneme-space matching with text-space Damerau matching
+//! (the restricted-transposition distance added in `lexequal-matcher`).
+
+use lexequal::{Language, LexEqual, MatchConfig};
+use lexequal_bench::{paper_note, print_table};
+use lexequal_lexicon::{AMERICAN_NAMES, GENERIC_NAMES, INDIAN_NAMES};
+use lexequal_matcher::{damerau_distance, UnitCost};
+
+/// Deterministic typo generators (position seeded by name length).
+fn transpose(name: &str) -> Option<String> {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 4 {
+        return None;
+    }
+    let i = chars.len() / 2;
+    if chars[i] == chars[i + 1] {
+        return None;
+    }
+    let mut v = chars.clone();
+    v.swap(i, i + 1);
+    Some(v.into_iter().collect())
+}
+
+fn delete(name: &str) -> Option<String> {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 4 {
+        return None;
+    }
+    let i = chars.len() / 2;
+    Some(chars[..i].iter().chain(&chars[i + 1..]).collect())
+}
+
+fn double(name: &str) -> Option<String> {
+    let chars: Vec<char> = name.chars().collect();
+    if chars.len() < 3 {
+        return None;
+    }
+    let i = chars.len() / 2;
+    let mut v = chars[..=i].to_vec();
+    v.push(chars[i]);
+    v.extend_from_slice(&chars[i + 1..]);
+    Some(v.into_iter().collect())
+}
+
+fn main() {
+    let op = LexEqual::new(MatchConfig::default());
+    let names: Vec<&str> = INDIAN_NAMES
+        .iter()
+        .chain(AMERICAN_NAMES)
+        .chain(GENERIC_NAMES)
+        .copied()
+        .collect();
+
+    let threshold = op.config().threshold;
+    let mut rows = Vec::new();
+    for (label, gen) in [
+        ("transposition (Catyh)", transpose as fn(&str) -> Option<String>),
+        ("deletion (Cahy)", delete),
+        ("doubling (Catthy)", double),
+    ] {
+        let mut total = 0usize;
+        let mut phonetic_ok = 0usize;
+        let mut damerau_ok = 0usize;
+        let mut lev_text_ok = 0usize;
+        for name in &names {
+            let Some(typo) = gen(name) else { continue };
+            total += 1;
+            // Phonetic pipeline: both spellings through English G2P.
+            let a = op.transform(name, Language::English).expect("g2p");
+            let b = op.transform(&typo, Language::English).expect("g2p");
+            if op.matches_phonemes(&a, &b, threshold) {
+                phonetic_ok += 1;
+            }
+            // Text-space matching with the same relative budget.
+            let av: Vec<char> = name.to_lowercase().chars().collect();
+            let bv: Vec<char> = typo.to_lowercase().chars().collect();
+            let budget = threshold * av.len().min(bv.len()) as f64;
+            if damerau_distance(&av, &bv, UnitCost, 1.0) < budget {
+                damerau_ok += 1;
+            }
+            if lexequal_matcher::edit_distance(&av, &bv, UnitCost) < budget {
+                lev_text_ok += 1;
+            }
+        }
+        let pct = |n: usize| format!("{:.1}%", 100.0 * n as f64 / total.max(1) as f64);
+        rows.push(vec![
+            label.to_owned(),
+            total.to_string(),
+            pct(phonetic_ok),
+            pct(damerau_ok),
+            pct(lev_text_ok),
+        ]);
+    }
+    print_table(
+        &format!("Typo robustness over {} base names (threshold {threshold})", names.len()),
+        &[
+            "typo class",
+            "cases",
+            "phonetic match",
+            "text Damerau",
+            "text Levenshtein",
+        ],
+        &rows,
+    );
+    paper_note(
+        "phonetic matching absorbs most single-typo variants because G2P often maps \
+         the misspelling to nearby phonemes; transpositions are where text-space \
+         Damerau matching has the edge (cost 1 vs two phoneme edits) — the classic \
+         argument for combining both signals in a production system.",
+    );
+}

@@ -1,0 +1,167 @@
+//! Shared experiment harness for the LexEQUAL reproduction.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index); this library provides the
+//! common plumbing: dataset construction, wall-clock timing, plain-text
+//! table rendering, and paper-reference annotations so every report shows
+//! *expected shape* next to *measured value*.
+
+use lexequal::{LexEqual, MatchConfig};
+use lexequal_lexicon::{Corpus, SyntheticDataset};
+use std::time::{Duration, Instant};
+
+/// Command-line-ish knobs shared by the experiment binaries. Parsed from
+/// `std::env::args` with `--size N`, `--quick` (small dataset), and
+/// `--queries N` flags.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Target size of the synthetic dataset (paper: ~200,000).
+    pub dataset_size: usize,
+    /// Number of query probes per measurement.
+    pub queries: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            dataset_size: 200_000,
+            queries: 20,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Parse from process arguments. `--quick` shrinks the dataset to
+    /// 20,000 entries for fast iteration.
+    pub fn from_args() -> Self {
+        let mut opts = RunOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts.dataset_size = 20_000,
+                "--size" => {
+                    i += 1;
+                    opts.dataset_size = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--size takes a number");
+                }
+                "--queries" => {
+                    i += 1;
+                    opts.queries = args
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .expect("--queries takes a number");
+                }
+                // Binary-specific flags (e.g. --ablate) are handled by the
+                // binaries themselves.
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Build the default operator (knee-region clustered costs — the quality
+/// experiments' configuration).
+pub fn operator() -> LexEqual {
+    LexEqual::new(MatchConfig::default())
+}
+
+/// Build the operator the performance experiments use: plain Levenshtein
+/// (intra-cluster cost 1.0). The paper's §5 measurements are made "with
+/// respect to the classical edit-distance metric" — with unit costs the
+/// q-gram filters are exact and the phonetic index's false dismissals
+/// are measured exactly as the paper measured them.
+pub fn levenshtein_operator() -> LexEqual {
+    LexEqual::new(MatchConfig::default().with_intra_cluster_cost(1.0))
+}
+
+/// Build the tagged evaluation corpus (Figures 10–12).
+pub fn corpus() -> Corpus {
+    Corpus::build(&MatchConfig::default())
+}
+
+/// Build the synthetic performance dataset (Figure 13, Tables 1–3).
+pub fn synthetic(size: usize) -> SyntheticDataset {
+    SyntheticDataset::generate(&corpus(), size)
+}
+
+/// Time a closure, returning (result, wall-clock duration).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Render a plain-text table with a header row.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Print a paper-reference annotation (expected shape vs our setting).
+pub fn paper_note(note: &str) {
+    println!("\n[paper] {note}");
+}
+
+/// Human-friendly duration formatting.
+pub fn fmt_duration(d: Duration) -> String {
+    if d.as_secs() >= 10 {
+        format!("{:.1} s", d.as_secs_f64())
+    } else if d.as_millis() >= 10 {
+        format!("{:.1} ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1} µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_measures_something() {
+        let (v, d) = timed(|| (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn fmt_duration_scales() {
+        assert!(fmt_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(50)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(20)).contains(" s"));
+    }
+
+    #[test]
+    fn default_options_match_paper_scale() {
+        let o = RunOptions::default();
+        assert_eq!(o.dataset_size, 200_000);
+    }
+}

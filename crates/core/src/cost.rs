@@ -1,0 +1,232 @@
+//! The clustered phoneme substitution cost (paper §3.3).
+//!
+//! "We support a *Clustered Edit Distance* parameterization, by extending
+//! the Soundex algorithm to the phonetic domain, under the assumption that
+//! clusters of like phonemes exist and a substitution of a like phoneme
+//! costs less than a substitution from across clusters."
+
+use lexequal_matcher::CostModel;
+use lexequal_phoneme::{ClusterTable, Phoneme};
+use std::sync::Arc;
+
+/// Cost model over phonemes: identical segments are free; substitutions
+/// within a cluster cost [`intra_cost`](Self::intra_cost); substitutions
+/// across clusters, insertions and deletions cost 1.
+#[derive(Debug, Clone)]
+pub struct ClusteredPhonemeCost {
+    clusters: Arc<ClusterTable>,
+    intra_cost: f64,
+}
+
+impl ClusteredPhonemeCost {
+    /// Build from a cluster table and an intra-cluster substitution cost
+    /// in `[0, 1]`.
+    pub fn new(clusters: Arc<ClusterTable>, intra_cost: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&intra_cost),
+            "intra-cluster cost must be in [0,1]"
+        );
+        ClusteredPhonemeCost {
+            clusters,
+            intra_cost,
+        }
+    }
+
+    /// The intra-cluster substitution cost.
+    pub fn intra_cost(&self) -> f64 {
+        self.intra_cost
+    }
+
+    /// The cluster table in force.
+    pub fn clusters(&self) -> &ClusterTable {
+        &self.clusters
+    }
+
+    /// The smallest non-zero edit-operation cost — used to map a clustered
+    /// threshold to a conservative Levenshtein bound for q-gram filtering.
+    /// `None` when the intra-cluster cost is zero (no finite bound).
+    pub fn min_nonzero_cost(&self) -> Option<f64> {
+        if self.intra_cost > 0.0 {
+            Some(self.intra_cost.min(1.0))
+        } else {
+            None
+        }
+    }
+}
+
+impl CostModel<Phoneme> for ClusteredPhonemeCost {
+    fn ins(&self, _t: &Phoneme) -> f64 {
+        1.0
+    }
+
+    fn del(&self, _t: &Phoneme) -> f64 {
+        1.0
+    }
+
+    fn sub(&self, a: &Phoneme, b: &Phoneme) -> f64 {
+        if a == b {
+            0.0
+        } else if self.clusters.same_cluster(*a, *b) {
+            self.intra_cost
+        } else {
+            1.0
+        }
+    }
+
+    fn min_indel(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lexequal_matcher::edit_distance;
+    use lexequal_phoneme::PhonemeString;
+
+    fn cost(c: f64) -> ClusteredPhonemeCost {
+        ClusteredPhonemeCost::new(Arc::new(ClusterTable::standard()), c)
+    }
+
+    fn ps(s: &str) -> PhonemeString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn identical_is_free() {
+        let m = cost(0.5);
+        let p = ps("n")[0];
+        assert_eq!(m.sub(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn intra_cluster_is_cheap_cross_cluster_full() {
+        let m = cost(0.25);
+        let p = ps("p")[0];
+        let b = ps("b")[0]; // same cluster (labial stops)
+        let k = ps("k")[0]; // different cluster
+        assert_eq!(m.sub(&p, &b), 0.25);
+        assert_eq!(m.sub(&p, &k), 1.0);
+        assert_eq!(m.sub(&b, &p), 0.25); // symmetric
+    }
+
+    #[test]
+    fn unit_cost_at_one_equals_levenshtein() {
+        let m1 = cost(1.0);
+        let a = ps("neru");
+        let b = ps("neɾu"); // r->ɾ same cluster
+        let d = edit_distance(a.as_slice(), b.as_slice(), &m1);
+        assert_eq!(d, 1.0, "cost 1.0 must behave like Levenshtein");
+    }
+
+    #[test]
+    fn soundex_like_at_zero() {
+        let m0 = cost(0.0);
+        let a = ps("neru");
+        let b = ps("neɾu");
+        let d = edit_distance(a.as_slice(), b.as_slice(), &m0);
+        assert_eq!(d, 0.0, "cost 0 makes like-phoneme substitutions free");
+    }
+
+    #[test]
+    fn clustered_distance_is_bounded_by_levenshtein() {
+        let a = ps("nɛru");
+        let b = ps("neːɾu");
+        let lev = edit_distance(a.as_slice(), b.as_slice(), &cost(1.0));
+        let clustered = edit_distance(a.as_slice(), b.as_slice(), &cost(0.25));
+        assert!(clustered <= lev);
+        assert!(clustered > 0.0);
+    }
+
+    #[test]
+    fn min_nonzero_cost() {
+        assert_eq!(cost(0.25).min_nonzero_cost(), Some(0.25));
+        assert_eq!(cost(1.0).min_nonzero_cost(), Some(1.0));
+        assert_eq!(cost(0.0).min_nonzero_cost(), None);
+    }
+}
+
+/// An alternative substitution model derived from articulatory features
+/// rather than discrete clusters: the cost of substituting two phonemes is
+/// proportional to how many features separate them (place, manner,
+/// voicing, aspiration for consonants; height, backness, rounding, length
+/// for vowels). The paper treats the cost matrix as "an installable
+/// resource intended to tune the quality of match for a specific domain"
+/// (§3.2) — this is the finest-grained such resource the inventory
+/// supports, used by the cost-model ablation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FeaturePhonemeCost {
+    /// Extra cost floor for any substitution (keeps sub > 0 for unequal
+    /// phonemes even when all recorded features agree).
+    pub floor: f64,
+}
+
+impl FeaturePhonemeCost {
+    /// Model with the default floor of 0.1.
+    pub fn new() -> Self {
+        FeaturePhonemeCost { floor: 0.1 }
+    }
+}
+
+impl CostModel<Phoneme> for FeaturePhonemeCost {
+    fn ins(&self, _t: &Phoneme) -> f64 {
+        1.0
+    }
+
+    fn del(&self, _t: &Phoneme) -> f64 {
+        1.0
+    }
+
+    fn sub(&self, a: &Phoneme, b: &Phoneme) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        // dissimilarity is in 0..=4; scale into (floor, 1.0].
+        let d = a.features().dissimilarity(&b.features()) as f64;
+        (self.floor + (1.0 - self.floor) * d / 4.0).min(1.0)
+    }
+
+    fn min_indel(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod feature_cost_tests {
+    use super::*;
+    use lexequal_phoneme::PhonemeString;
+
+    fn p(sym: &str) -> Phoneme {
+        sym.parse::<PhonemeString>().unwrap()[0]
+    }
+
+    #[test]
+    fn graded_by_feature_distance() {
+        let m = FeaturePhonemeCost::new();
+        // p vs b: voicing only (1 feature) — cheap.
+        let pb = m.sub(&p("p"), &p("b"));
+        // p vs k: place only — equally cheap.
+        let pk = m.sub(&p("p"), &p("k"));
+        // p vs z: voicing + place + manner — expensive.
+        let pz = m.sub(&p("p"), &p("z"));
+        assert!(pb < pz);
+        assert_eq!(pb, pk);
+        assert!(pb > 0.0);
+        // Vowel vs consonant is maximal.
+        assert_eq!(m.sub(&p("p"), &p("a")), 1.0);
+    }
+
+    #[test]
+    fn identical_is_free_and_symmetric() {
+        let m = FeaturePhonemeCost::new();
+        assert_eq!(m.sub(&p("s"), &p("s")), 0.0);
+        assert_eq!(m.sub(&p("s"), &p("z")), m.sub(&p("z"), &p("s")));
+    }
+
+    #[test]
+    fn floor_bounds_minimum_substitution() {
+        let m = FeaturePhonemeCost { floor: 0.3 };
+        // Any unequal pair costs at least the floor.
+        assert!(m.sub(&p("p"), &p("b")) >= 0.3);
+    }
+}

@@ -1,0 +1,75 @@
+//! # LexEQUAL: multiscript matching of proper names
+//!
+//! A from-scratch Rust reproduction of *LexEQUAL: Supporting Multiscript
+//! Matching in Database Systems* (A. Kumaran & Jayant R. Haritsa, EDBT
+//! 2004). LexEQUAL matches proper names **across scripts** — `Nehru`,
+//! `नेहरु`, `நேரு`, `Νερού` — by transforming each string into its phonemic
+//! (IPA) representation and comparing in phoneme space with a tunable
+//! approximate-matching predicate.
+//!
+//! ## The operator
+//!
+//! ```text
+//! LexEQUAL(S_l, S_r, e):
+//!   T_l ← transform(S_l, language(S_l));  T_r ← transform(S_r, language(S_r))
+//!   TRUE iff editdistance(T_l, T_r) ≤ e · min(|T_l|, |T_r|)
+//! ```
+//!
+//! Two knobs tune match quality (paper §3.3):
+//!
+//! * the **match threshold** `e` — user tolerance, as a fraction of the
+//!   smaller phoneme string;
+//! * the **intra-cluster substitution cost** — like phonemes are clustered
+//!   (a phonetic generalization of Soundex); substitutions within a
+//!   cluster cost less than substitutions across clusters.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use lexequal::{LexEqual, MatchConfig, Outcome};
+//! use lexequal_g2p::Language;
+//!
+//! let lex = LexEqual::new(MatchConfig::default());
+//! let out = lex.match_strings("Nehru", Language::English, "நேரு", Language::Tamil).unwrap();
+//! assert_eq!(out, Outcome::True);
+//! let out = lex.match_strings_with("Nehru", Language::English, "नेहरु", Language::Hindi, 0.45).unwrap();
+//! assert_eq!(out, Outcome::True);
+//! let out = lex.match_strings("Nehru", Language::English, "Gandhi", Language::English).unwrap();
+//! assert_eq!(out, Outcome::False);
+//! ```
+//!
+//! ## Acceleration
+//!
+//! A naive scan evaluates the (expensive) predicate on every row. The two
+//! accelerators from the paper's §5 are provided:
+//!
+//! * [`qgram_plan::QgramFilter`] — positional q-grams over
+//!   the phoneme strings with Length/Count/Position filtering (no false
+//!   dismissals in [`qgram_plan::QgramMode::Strict`] mode);
+//! * [`phonidx::PhoneticIndex`] — a B-tree-indexable
+//!   *grouped phoneme string identifier* per string (cluster-id sequence);
+//!   fastest, but admits 4–5% false dismissals, as measured in the paper.
+//!
+//! [`store::NameStore`] packages a name collection with all
+//! access paths behind one search API; [`udf`] wires the operator into the
+//! `lexequal-mdb` SQL engine exactly the way the paper deployed it on
+//! Oracle 9i (UDF + auxiliary tables + index), enabling the Figure 3 /
+//! Figure 5 query syntax end to end.
+
+pub mod config;
+pub mod cost;
+pub mod operator;
+pub mod phonidx;
+pub mod qgram_plan;
+pub mod store;
+pub mod udf;
+
+pub use config::MatchConfig;
+pub use cost::{ClusteredPhonemeCost, FeaturePhonemeCost};
+pub use operator::{LexEqual, Outcome};
+pub use phonidx::PhoneticIndex;
+pub use qgram_plan::{QgramFilter, QgramMode};
+pub use store::{NameStore, SearchMethod};
+
+pub use lexequal_g2p::{G2pError, G2pRegistry, Language};
+pub use lexequal_phoneme::{ClusterTable, Phoneme, PhonemeString};

@@ -1,0 +1,336 @@
+//! Q-gram filtering for phoneme strings (paper §5.2).
+//!
+//! "The database was first augmented with a table of positional q-grams of
+//! the original phonemic strings. Subsequently, the three filters … Length
+//! … Count and Position … were used to filter out a majority of the
+//! non-matches using standard database operators only."
+//!
+//! [`QgramFilter`] is the in-process analogue: a posting list from q-gram
+//! signature to (string id, position), probed with the three filters; the
+//! surviving candidate set is then verified with the exact (expensive)
+//! LexEQUAL predicate. The same structure is also exported to a SQL
+//! auxiliary table by [`crate::udf::load_qgram_aux_table`], which recreates
+//! the paper's Figure 14 query verbatim.
+//!
+//! ## Threshold semantics under the clustered cost model
+//!
+//! The Gravano filters are exact for unit-cost Levenshtein distance `k`.
+//! The clustered model makes substitutions *cheaper*, so a clustered
+//! budget `k` may admit pairs whose Levenshtein distance exceeds `k` —
+//! filtering at `k` would falsely dismiss them. [`QgramMode`] picks the
+//! policy:
+//!
+//! * [`QgramMode::Strict`] scales the filter bound to
+//!   `k / min_nonzero_cost` (and degrades to length-filter-only when the
+//!   intra-cluster cost is 0), guaranteeing **no false dismissals**;
+//! * [`QgramMode::PaperFaithful`] filters at `k` as the paper (implicitly)
+//!   did — slightly tighter candidate sets, small risk of false
+//!   dismissals when the intra-cluster cost is below 1.
+
+use crate::operator::LexEqual;
+use lexequal_matcher::qgram::{
+    count_filter_passes, length_filter_passes, positional_qgrams, PositionalQgram,
+};
+use lexequal_phoneme::{Phoneme, PhonemeString};
+use std::collections::HashMap;
+
+/// False-dismissal policy for filtering under the clustered cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QgramMode {
+    /// Scale the Levenshtein bound so no true match is ever filtered out.
+    Strict,
+    /// Filter at the clustered budget directly, as in the paper.
+    PaperFaithful,
+}
+
+/// A q-gram posting-list filter over a corpus of phoneme strings.
+pub struct QgramFilter {
+    q: usize,
+    mode: QgramMode,
+    /// Signature → (string id, gram position).
+    postings: HashMap<u64, Vec<(u32, u32)>>,
+    /// Per-string phoneme length (for the length filter).
+    lengths: Vec<u32>,
+    /// Per-string gram count (len + q − 1), kept for stats.
+    total_grams: usize,
+}
+
+fn signature(g: &PositionalQgram<Phoneme>) -> u64 {
+    g.signature(|p| p.id() as u64)
+}
+
+impl QgramFilter {
+    /// Build the filter over a corpus. `q` is the gram size (the paper
+    /// uses 3); ids are positions in `corpus`.
+    pub fn build(corpus: &[PhonemeString], q: usize, mode: QgramMode) -> Self {
+        assert!((1..=4).contains(&q), "q must be in 1..=4");
+        let mut postings: HashMap<u64, Vec<(u32, u32)>> = HashMap::new();
+        let mut lengths = Vec::with_capacity(corpus.len());
+        let mut total_grams = 0usize;
+        for (id, s) in corpus.iter().enumerate() {
+            lengths.push(s.len() as u32);
+            for g in positional_qgrams(s.as_slice(), q) {
+                total_grams += 1;
+                postings
+                    .entry(signature(&g))
+                    .or_default()
+                    .push((id as u32, g.pos));
+            }
+        }
+        QgramFilter {
+            q,
+            mode,
+            postings,
+            lengths,
+            total_grams,
+        }
+    }
+
+    /// Gram size.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Total grams stored (the auxiliary table's row count).
+    pub fn total_grams(&self) -> usize {
+        self.total_grams
+    }
+
+    /// Number of strings indexed.
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Whether the corpus was empty.
+    pub fn is_empty(&self) -> bool {
+        self.lengths.is_empty()
+    }
+
+    /// The effective Levenshtein bound used for filtering a clustered
+    /// budget `k`. `None` means "no finite bound — use length filter only"
+    /// (Strict mode with intra-cluster cost 0).
+    fn filter_bound(&self, k: f64, operator: &LexEqual) -> Option<f64> {
+        match self.mode {
+            QgramMode::PaperFaithful => Some(k),
+            QgramMode::Strict => operator
+                .cost_model()
+                .min_nonzero_cost()
+                .map(|c| k / c),
+        }
+    }
+
+    /// Candidate ids for `query` under clustered distance budget `k`
+    /// (absolute, not a fraction). Applies Length, Position and Count
+    /// filters; no verification.
+    pub fn candidates(&self, query: &PhonemeString, k: f64, operator: &LexEqual) -> Vec<u32> {
+        let bound = self.filter_bound(k, operator);
+        let qlen = query.len() as u32;
+
+        // Indel cost is always 1, so the length filter may use the
+        // clustered budget k directly in both modes.
+        let length_ok =
+            |cand: u32| length_filter_passes(self.lengths[cand as usize] as usize, qlen as usize, k);
+
+        let Some(bound) = bound else {
+            // Length filter only.
+            return (0..self.lengths.len() as u32).filter(|&i| length_ok(i)).collect();
+        };
+
+        // Gather position-compatible shared gram counts per candidate.
+        let query_grams = positional_qgrams(query.as_slice(), self.q);
+        // candidate -> list of (cand_pos, query_pos) matched grams; we
+        // count bag-wise per gram signature using the same greedy pairing
+        // as matcher::matching_qgrams, grouped by signature.
+        let mut per_candidate: HashMap<u32, Vec<(u64, u32, u32)>> = HashMap::new();
+        for g in &query_grams {
+            let sig = signature(g);
+            if let Some(posts) = self.postings.get(&sig) {
+                for &(cand, pos) in posts {
+                    if !length_ok(cand) {
+                        continue;
+                    }
+                    if (pos as i64 - g.pos as i64).abs() <= bound.floor() as i64 {
+                        per_candidate.entry(cand).or_default().push((sig, pos, g.pos));
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        // A string sharing zero grams still passes when the count-filter
+        // requirement is non-positive (large budgets / short strings) —
+        // skipping this would be a false dismissal.
+        for cand in 0..self.lengths.len() as u32 {
+            if per_candidate.contains_key(&cand) {
+                continue;
+            }
+            if !length_ok(cand) {
+                continue;
+            }
+            let clen = self.lengths[cand as usize] as usize;
+            if count_filter_passes(clen, qlen as usize, 0, bound, self.q) {
+                out.push(cand);
+            }
+        }
+        for (cand, mut matches) in per_candidate {
+            // Bag semantics: each (signature, cand_pos) and (signature,
+            // query_pos) occurrence may be used once. Greedy count per
+            // signature.
+            matches.sort_unstable();
+            let mut shared = 0usize;
+            let mut i = 0;
+            while i < matches.len() {
+                let sig = matches[i].0;
+                let mut used_cand: Vec<u32> = Vec::new();
+                let mut used_query: Vec<u32> = Vec::new();
+                while i < matches.len() && matches[i].0 == sig {
+                    let (_, cp, qp) = matches[i];
+                    if !used_cand.contains(&cp) && !used_query.contains(&qp) {
+                        used_cand.push(cp);
+                        used_query.push(qp);
+                        shared += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let clen = self.lengths[cand as usize] as usize;
+            if count_filter_passes(clen, qlen as usize, shared, bound, self.q) {
+                out.push(cand);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Full accelerated search: filter then verify with the exact
+    /// predicate. Returns ids of true matches (per the operator), plus the
+    /// number of candidates that were verified (the UDF call count).
+    pub fn search(
+        &self,
+        corpus: &[PhonemeString],
+        query: &PhonemeString,
+        e: f64,
+        operator: &LexEqual,
+    ) -> (Vec<u32>, usize) {
+        let mut verified = 0usize;
+        let mut hits = Vec::new();
+        // Budget depends on the candidate: e · min(|q|, |c|). Filter with
+        // the largest possible budget (e · |q|) to stay conservative,
+        // then verify each with its true budget.
+        let k_max = e * query.len() as f64;
+        for cand in self.candidates(query, k_max, operator) {
+            verified += 1;
+            if operator.matches_phonemes(&corpus[cand as usize], query, e) {
+                hits.push(cand);
+            }
+        }
+        (hits, verified)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatchConfig;
+    use lexequal_g2p::Language;
+    use proptest::prelude::*;
+
+    fn corpus(ops: &LexEqual, names: &[&str]) -> Vec<PhonemeString> {
+        names
+            .iter()
+            .map(|n| ops.transform(n, Language::English).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn filter_keeps_true_matches_and_drops_garbage() {
+        let ops = LexEqual::default();
+        let names = ["Nehru", "Neru", "Nero", "Gandhi", "Krishnan", "Washington"];
+        let c = corpus(&ops, &names);
+        let f = QgramFilter::build(&c, 3, QgramMode::Strict);
+        let query = ops.transform("Nehru", Language::English).unwrap();
+        let (hits, verified) = f.search(&c, &query, 0.3, &ops);
+        assert!(hits.contains(&0), "self match");
+        assert!(hits.contains(&1), "Neru matches Nehru");
+        assert!(!hits.contains(&3), "Gandhi is not a match");
+        // The filter must have spared us some UDF calls vs scanning all 6.
+        assert!(verified <= names.len());
+    }
+
+    #[test]
+    fn strict_mode_matches_exhaustive_scan() {
+        let ops = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.25));
+        let names = [
+            "Catherine", "Kathryn", "Cathy", "Kate", "Karthik", "Kumar",
+            "Nehru", "Nero", "Neruda", "Gandhi",
+        ];
+        let c = corpus(&ops, &names);
+        let f = QgramFilter::build(&c, 3, QgramMode::Strict);
+        for query_name in ["Catherine", "Nehru", "Kumar"] {
+            let q = ops.transform(query_name, Language::English).unwrap();
+            for e in [0.0, 0.2, 0.3, 0.5] {
+                let (mut hits, _) = f.search(&c, &q, e, &ops);
+                hits.sort_unstable();
+                let mut scan: Vec<u32> = (0..c.len() as u32)
+                    .filter(|&i| ops.matches_phonemes(&c[i as usize], &q, e))
+                    .collect();
+                scan.sort_unstable();
+                assert_eq!(hits, scan, "query {query_name} e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn strict_mode_with_zero_cost_degrades_to_length_filter() {
+        let ops = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.0));
+        let names = ["Nehru", "Gandhi", "Bo"];
+        let c = corpus(&ops, &names);
+        let f = QgramFilter::build(&c, 3, QgramMode::Strict);
+        let q = ops.transform("Nehru", Language::English).unwrap();
+        let cands = f.candidates(&q, 1.0, &ops);
+        // "Bo" (2 phonemes vs 4) fails the length filter at k=1; Gandhi
+        // (5-6 phonemes) survives — only the length filter applies.
+        assert!(!cands.contains(&2));
+        assert!(cands.contains(&0));
+    }
+
+    #[test]
+    fn count_filter_is_selective() {
+        let ops = LexEqual::default();
+        let mut names = vec!["Nehru"];
+        // Pad with many dissimilar names of similar length.
+        for n in ["Garcia", "Wright", "Zhukov", "Plasma", "Quartz", "Bishop"] {
+            names.push(n);
+        }
+        let c = corpus(&ops, &names);
+        let f = QgramFilter::build(&c, 3, QgramMode::Strict);
+        let q = ops.transform("Neru", Language::English).unwrap();
+        let cands = f.candidates(&q, 1.0, &ops);
+        assert!(
+            cands.len() < names.len(),
+            "filters must prune: got {cands:?}"
+        );
+        assert!(cands.contains(&0));
+    }
+
+    proptest! {
+        /// Strict-mode completeness over random phoneme strings.
+        #[test]
+        fn strict_never_dismisses_true_matches(
+            seeds in proptest::collection::vec("[nmkrlt][aeiou][nmkrlt]?[aeiou]?[nmkrlt]?", 2..12),
+            e in 0.0f64..0.6,
+        ) {
+            let ops = LexEqual::default();
+            let corpus: Vec<PhonemeString> =
+                seeds.iter().map(|s| s.parse().unwrap()).collect();
+            let f = QgramFilter::build(&corpus, 3, QgramMode::Strict);
+            let query = corpus[0].clone();
+            let (mut hits, _) = f.search(&corpus, &query, e, &ops);
+            hits.sort_unstable();
+            let mut scan: Vec<u32> = (0..corpus.len() as u32)
+                .filter(|&i| ops.matches_phonemes(&corpus[i as usize], &query, e))
+                .collect();
+            scan.sort_unstable();
+            prop_assert_eq!(hits, scan);
+        }
+    }
+}

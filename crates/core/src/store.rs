@@ -1,0 +1,333 @@
+//! [`NameStore`]: a multiscript name collection with every access path.
+//!
+//! This is the library-level packaging of the paper's system: store names
+//! in any supported script, then search phonetically via
+//!
+//! * [`SearchMethod::Scan`] — exact semantics, O(n) predicate evaluations
+//!   (the paper's Table 1 baseline);
+//! * [`SearchMethod::Qgram`] — q-gram filtered (Table 2);
+//! * [`SearchMethod::PhoneticIndex`] — grouped-identifier probe (Table 3,
+//!   admits false dismissals);
+//! * [`SearchMethod::BkTree`] — a metric-tree alternative implementing the
+//!   paper's future-work direction (§6).
+
+use crate::config::MatchConfig;
+use crate::operator::LexEqual;
+use crate::phonidx::PhoneticIndex;
+use crate::qgram_plan::{QgramFilter, QgramMode};
+use lexequal_g2p::{G2pError, Language};
+use lexequal_matcher::{edit_distance, BkTree, UnitCost};
+use lexequal_phoneme::PhonemeString;
+
+/// Integer Levenshtein distance between phoneme strings — the BK-tree
+/// metric (the clustered distance is not integer-valued; Levenshtein
+/// bounds it from above, see [`NameStore::search`]).
+fn levenshtein_phonemes(a: &PhonemeString, b: &PhonemeString) -> u32 {
+    edit_distance(a.as_slice(), b.as_slice(), UnitCost) as u32
+}
+
+/// One stored name.
+#[derive(Debug, Clone)]
+pub struct NameEntry {
+    /// The lexicographic string as stored.
+    pub text: String,
+    /// Its language tag.
+    pub language: Language,
+    /// Its phonemic representation.
+    pub phonemes: PhonemeString,
+}
+
+/// Which access path a search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMethod {
+    /// Evaluate the predicate on every row.
+    Scan,
+    /// Q-gram filters, then verify survivors.
+    Qgram,
+    /// Grouped-phoneme-identifier probe, then verify. May miss matches
+    /// whose edits cross clusters (paper: 4–5%).
+    PhoneticIndex,
+    /// BK-tree range query on Levenshtein radius, then verify.
+    BkTree,
+}
+
+/// Outcome of a search: matching ids plus the work done.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchResult {
+    /// Ids (insertion order positions) of matching names.
+    pub ids: Vec<u32>,
+    /// How many exact-predicate evaluations were needed.
+    pub verifications: usize,
+}
+
+/// The BK-tree specialisation the store keeps (Levenshtein metric).
+type PhonemeBkTree = BkTree<PhonemeString, u32, fn(&PhonemeString, &PhonemeString) -> u32>;
+
+/// A searchable multiscript name collection.
+pub struct NameStore {
+    operator: LexEqual,
+    entries: Vec<NameEntry>,
+    phonemes: Vec<PhonemeString>,
+    qgram: Option<QgramFilter>,
+    phonidx: Option<PhoneticIndex>,
+    bktree: Option<PhonemeBkTree>,
+}
+
+impl NameStore {
+    /// Create an empty store with the given configuration.
+    pub fn new(config: MatchConfig) -> Self {
+        NameStore {
+            operator: LexEqual::new(config),
+            entries: Vec::new(),
+            phonemes: Vec::new(),
+            qgram: None,
+            phonidx: None,
+            bktree: None,
+        }
+    }
+
+    /// The operator (for direct predicate access).
+    pub fn operator(&self) -> &LexEqual {
+        &self.operator
+    }
+
+    /// Number of stored names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entry by id.
+    pub fn get(&self, id: u32) -> Option<&NameEntry> {
+        self.entries.get(id as usize)
+    }
+
+    /// Insert a name; returns its id. Invalidates built access paths
+    /// (rebuild after bulk loading).
+    pub fn insert(&mut self, text: &str, language: Language) -> Result<u32, G2pError> {
+        let phonemes = self.operator.transform(text, language)?;
+        let id = self.entries.len() as u32;
+        self.entries.push(NameEntry {
+            text: text.to_owned(),
+            language,
+            phonemes: phonemes.clone(),
+        });
+        self.phonemes.push(phonemes);
+        self.qgram = None;
+        self.phonidx = None;
+        self.bktree = None;
+        Ok(id)
+    }
+
+    /// Build the q-gram access path.
+    pub fn build_qgram(&mut self, q: usize, mode: QgramMode) {
+        self.qgram = Some(QgramFilter::build(&self.phonemes, q, mode));
+    }
+
+    /// Build the phonetic-index access path.
+    pub fn build_phonetic_index(&mut self) {
+        self.phonidx = Some(PhoneticIndex::build(
+            self.operator.cost_model().clusters(),
+            &self.phonemes,
+        ));
+    }
+
+    /// Build the BK-tree access path (Levenshtein metric over phonemes).
+    pub fn build_bktree(&mut self) {
+        let mut t: PhonemeBkTree = BkTree::new(levenshtein_phonemes);
+        for (i, p) in self.phonemes.iter().enumerate() {
+            t.insert(p.clone(), i as u32);
+        }
+        self.bktree = Some(t);
+    }
+
+    /// Search for names phonetically equal to `query` (in `language`)
+    /// within threshold `e`, via the chosen access path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chosen access path has not been built.
+    pub fn search(
+        &self,
+        query: &str,
+        language: Language,
+        e: f64,
+        method: SearchMethod,
+    ) -> Result<SearchResult, G2pError> {
+        let q = self.operator.transform(query, language)?;
+        Ok(self.search_phonemes(&q, e, method))
+    }
+
+    /// Search with a pre-transformed query.
+    pub fn search_phonemes(&self, q: &PhonemeString, e: f64, method: SearchMethod) -> SearchResult {
+        match method {
+            SearchMethod::Scan => {
+                let mut ids = Vec::new();
+                for (i, p) in self.phonemes.iter().enumerate() {
+                    if self.operator.matches_phonemes(p, q, e) {
+                        ids.push(i as u32);
+                    }
+                }
+                SearchResult {
+                    ids,
+                    verifications: self.phonemes.len(),
+                }
+            }
+            SearchMethod::Qgram => {
+                let f = self.qgram.as_ref().expect("call build_qgram first");
+                let (ids, verifications) = f.search(&self.phonemes, q, e, &self.operator);
+                SearchResult { ids, verifications }
+            }
+            SearchMethod::PhoneticIndex => {
+                let idx = self
+                    .phonidx
+                    .as_ref()
+                    .expect("call build_phonetic_index first");
+                let (ids, verifications) = idx.search(&self.phonemes, q, e, &self.operator);
+                SearchResult { ids, verifications }
+            }
+            SearchMethod::BkTree => {
+                let t = self.bktree.as_ref().expect("call build_bktree first");
+                // Levenshtein radius that can contain every clustered
+                // match: k / min positive op cost (full scan when the
+                // intra-cluster cost is 0 — no finite radius exists).
+                let k = e * q.len() as f64;
+                match self.operator.cost_model().min_nonzero_cost() {
+                    Some(c) => {
+                        let radius = (k / c).floor() as u32;
+                        let mut verifications = 0usize;
+                        let mut ids = Vec::new();
+                        for (_, &id, _) in t.range(q, radius) {
+                            verifications += 1;
+                            if self
+                                .operator
+                                .matches_phonemes(&self.phonemes[id as usize], q, e)
+                            {
+                                ids.push(id);
+                            }
+                        }
+                        ids.sort_unstable();
+                        SearchResult { ids, verifications }
+                    }
+                    None => self.search_phonemes(q, e, SearchMethod::Scan),
+                }
+            }
+        }
+    }
+
+    /// The phoneme strings (benchmark access).
+    pub fn phoneme_strings(&self) -> &[PhonemeString] {
+        &self.phonemes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> NameStore {
+        let mut s = NameStore::new(MatchConfig::default());
+        for (n, l) in [
+            ("Nehru", Language::English),
+            ("नेहरु", Language::Hindi),
+            ("நேரு", Language::Tamil),
+            ("Nero", Language::English),
+            ("Gandhi", Language::English),
+            ("गांधी", Language::Hindi),
+            ("Krishnan", Language::English),
+        ] {
+            s.insert(n, l).unwrap();
+        }
+        s.build_qgram(3, QgramMode::Strict);
+        s.build_phonetic_index();
+        s.build_bktree();
+        s
+    }
+
+    #[test]
+    fn scan_finds_cross_script_matches() {
+        let s = store();
+        let r = s
+            .search("Nehru", Language::English, 0.45, SearchMethod::Scan)
+            .unwrap();
+        assert!(r.ids.contains(&0)); // itself
+        assert!(r.ids.contains(&1)); // नेहरु
+        assert!(r.ids.contains(&2)); // நேரு
+        assert!(!r.ids.contains(&4)); // not Gandhi
+        assert_eq!(r.verifications, s.len());
+    }
+
+    #[test]
+    fn qgram_matches_scan_in_strict_mode() {
+        let s = store();
+        for query in ["Nehru", "Gandhi", "Krishnan"] {
+            let scan = s
+                .search(query, Language::English, 0.3, SearchMethod::Scan)
+                .unwrap();
+            let qg = s
+                .search(query, Language::English, 0.3, SearchMethod::Qgram)
+                .unwrap();
+            assert_eq!(scan.ids, qg.ids, "query {query}");
+            assert!(qg.verifications <= scan.verifications);
+        }
+    }
+
+    #[test]
+    fn bktree_matches_scan() {
+        let s = store();
+        for query in ["Nehru", "Gandhi"] {
+            let scan = s
+                .search(query, Language::English, 0.3, SearchMethod::Scan)
+                .unwrap();
+            let bk = s
+                .search(query, Language::English, 0.3, SearchMethod::BkTree)
+                .unwrap();
+            assert_eq!(scan.ids, bk.ids, "query {query}");
+        }
+    }
+
+    #[test]
+    fn phonetic_index_is_sound_but_may_dismiss() {
+        let s = store();
+        let scan = s
+            .search("Nehru", Language::English, 0.3, SearchMethod::Scan)
+            .unwrap();
+        let pi = s
+            .search("Nehru", Language::English, 0.3, SearchMethod::PhoneticIndex)
+            .unwrap();
+        for id in &pi.ids {
+            assert!(scan.ids.contains(id), "false positive from index");
+        }
+        assert!(pi.verifications <= scan.verifications);
+    }
+
+    #[test]
+    fn gandhi_matches_its_hindi_form() {
+        let s = store();
+        let r = s
+            .search("Gandhi", Language::English, 0.4, SearchMethod::Scan)
+            .unwrap();
+        assert!(r.ids.contains(&5), "गांधी should match Gandhi: {:?}", r.ids);
+    }
+
+    #[test]
+    fn get_returns_entries() {
+        let s = store();
+        let e = s.get(1).unwrap();
+        assert_eq!(e.text, "नेहरु");
+        assert_eq!(e.language, Language::Hindi);
+        assert!(s.get(99).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "build_qgram")]
+    fn qgram_search_panics_without_build() {
+        let mut s = NameStore::new(MatchConfig::default());
+        s.insert("Nehru", Language::English).unwrap();
+        let _ = s.search("Nehru", Language::English, 0.3, SearchMethod::Qgram);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests on the LexEQUAL operator invariants.
+
+use lexequal::{LexEqual, MatchConfig};
+use lexequal_phoneme::{Inventory, Phoneme, PhonemeString};
+use proptest::prelude::*;
+
+fn arb_string() -> impl Strategy<Value = PhonemeString> {
+    proptest::collection::vec(
+        (0..Inventory::len()).prop_map(|i| Phoneme::from_id(i as u8).expect("in range")),
+        0..16,
+    )
+    .prop_map(PhonemeString::new)
+}
+
+proptest! {
+    /// The predicate is symmetric for any operands and threshold.
+    #[test]
+    fn predicate_symmetric(a in arb_string(), b in arb_string(), e in 0.0f64..1.0) {
+        let op = LexEqual::default();
+        prop_assert_eq!(op.matches_phonemes(&a, &b, e), op.matches_phonemes(&b, &a, e));
+    }
+
+    /// Monotone in the threshold: once matched, always matched at looser e.
+    #[test]
+    fn predicate_monotone(a in arb_string(), b in arb_string()) {
+        let op = LexEqual::default();
+        let mut matched = false;
+        for e in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0] {
+            let m = op.matches_phonemes(&a, &b, e);
+            prop_assert!(!matched || m, "match lost when e grew to {}", e);
+            matched = m;
+        }
+    }
+
+    /// Reflexive at every threshold.
+    #[test]
+    fn predicate_reflexive(a in arb_string(), e in 0.0f64..1.0) {
+        let op = LexEqual::default();
+        prop_assert!(op.matches_phonemes(&a, &a, e));
+    }
+
+    /// The predicate agrees with the strict-distance definition.
+    #[test]
+    fn predicate_agrees_with_distance(a in arb_string(), b in arb_string(), e in 0.0f64..1.0) {
+        let op = LexEqual::default();
+        let d = op.distance(&a, &b);
+        let k = op.budget(&a, &b, e);
+        let expected = a == b || d <= 1e-12 || d < k - 1e-9;
+        prop_assert_eq!(op.matches_phonemes(&a, &b, e), expected,
+            "d={} k={} a=/{}/ b=/{}/", d, k, a, b);
+    }
+
+    /// The clustered distance is a pseudo-metric: non-negative, symmetric,
+    /// triangle inequality.
+    #[test]
+    fn clustered_distance_is_pseudometric(
+        a in arb_string(), b in arb_string(), c in arb_string()
+    ) {
+        let op = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.25));
+        let ab = op.distance(&a, &b);
+        let bc = op.distance(&b, &c);
+        let ac = op.distance(&a, &c);
+        prop_assert!(ab >= 0.0);
+        prop_assert_eq!(ab, op.distance(&b, &a));
+        prop_assert!(ac <= ab + bc + 1e-9, "triangle violated: {} > {} + {}", ac, ab, bc);
+    }
+
+    /// Distance is bounded by the longer length (all ops cost <= 1).
+    #[test]
+    fn distance_bounded(a in arb_string(), b in arb_string()) {
+        let op = LexEqual::default();
+        let d = op.distance(&a, &b);
+        prop_assert!(d <= a.len().max(b.len()) as f64 + 1e-9);
+        prop_assert!(d >= (a.len() as f64 - b.len() as f64).abs() - 1e-9);
+    }
+}

@@ -1,0 +1,255 @@
+//! Arabic grapheme-to-phoneme conversion.
+//!
+//! The paper's opening example is matching the English string *Al-Qaeda*
+//! against "its equivalent strings in other scripts, say, Arabic, Greek or
+//! Chinese" (§1), and Figure 1's catalog carries an Arabic row. This
+//! converter covers Modern Standard Arabic orthography for proper names:
+//!
+//! * the consonant inventory mapped to its closest segments in the shared
+//!   IPA inventory (emphatics collapse onto their plain coronals — the
+//!   same inventory-mismatch fuzziness the Indic scripts exhibit);
+//! * long vowels written with ا/و/ي, short vowels from diacritics when
+//!   present (fatha/damma/kasra), and a schwa-like epenthetic vowel
+//!   between written consonant clusters when they are not (names in
+//!   databases are rarely vocalized — the paper's data-entry reality);
+//! * the definite article ال (al-), ta marbuta ة, hamza forms, and the
+//!   alif variants.
+
+use crate::error::G2pError;
+use crate::language::Language;
+use lexequal_phoneme::PhonemeString;
+
+/// IPA for one Arabic consonant letter (emphatics and pharyngeals fold to
+/// their nearest plain segments in the shared inventory).
+fn consonant(c: char) -> Option<&'static str> {
+    Some(match c {
+        'ب' => "b",
+        'ت' => "t",
+        'ث' => "θ",
+        'ج' => "dʒ",
+        'ح' => "h",  // ħ folded to h
+        'خ' => "x",
+        'د' => "d",
+        'ذ' => "ð",
+        'ر' => "r",
+        'ز' => "z",
+        'س' => "s",
+        'ش' => "ʃ",
+        'ص' => "s",  // emphatic ṣ
+        'ض' => "d",  // emphatic ḍ
+        'ط' => "t",  // emphatic ṭ
+        'ظ' => "ð",  // emphatic ẓ
+        'ع' => "ʔ",  // ʕ folded to glottal stop
+        'غ' => "ɣ",
+        'ف' => "f",
+        'ق' => "q",
+        'ك' => "k",
+        'ل' => "l",
+        'م' => "m",
+        'ن' => "n",
+        'ه' => "h",
+        'و' => "w", // consonantal waw; long-u handling is positional
+        'ي' => "j", // consonantal ya; long-i handling is positional
+        'ء' | 'أ' | 'إ' | 'ؤ' | 'ئ' => "ʔ",
+        _ => return None,
+    })
+}
+
+/// Is this letter a long-vowel carrier when it follows a consonant?
+fn long_vowel(c: char) -> Option<&'static str> {
+    Some(match c {
+        'ا' | 'آ' | 'ى' => "aː",
+        'و' => "uː",
+        'ي' => "iː",
+        _ => return None,
+    })
+}
+
+/// Short-vowel diacritics (harakat).
+fn haraka(c: char) -> Option<&'static str> {
+    Some(match c {
+        '\u{064E}' => "a",  // fatha
+        '\u{064F}' => "u",  // damma
+        '\u{0650}' => "ɪ",  // kasra
+        '\u{0652}' => "",   // sukun: explicitly no vowel
+        '\u{064B}' => "an", // fathatan
+        '\u{064C}' => "un", // dammatan
+        '\u{064D}' => "ɪn", // kasratan
+        _ => return None,
+    })
+}
+
+const SHADDA: char = '\u{0651}';
+
+/// The Arabic text-to-phoneme converter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ArabicG2p;
+
+impl ArabicG2p {
+    /// Convert Arabic-script text to IPA phonemes.
+    pub fn convert(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        let mut ipa = String::new();
+        for word in text.split(|c: char| c.is_whitespace() || c == '-' || c == '،' || c == '.') {
+            if word.is_empty() {
+                continue;
+            }
+            convert_word(word, &mut ipa)?;
+        }
+        Ok(ipa.parse()?)
+    }
+}
+
+fn convert_word(word: &str, ipa: &mut String) -> Result<(), G2pError> {
+    let chars: Vec<char> = word
+        .chars()
+        .filter(|&c| c != '\u{0640}') // tatweel (kashida) is typographic
+        .collect();
+    let mut i = 0usize;
+
+    // The definite article ال (al-): emit /al/ and continue; assimilation
+    // to sun letters is skipped — proper names keep the written form more
+    // often than not and the cluster distance absorbs the rest.
+    if chars.len() >= 3 && chars[0] == 'ا' && chars[1] == 'ل' {
+        ipa.push_str("al");
+        i = 2;
+    } else if chars.first() == Some(&'ا') {
+        // Bare initial alif: the /a/ onset (names rarely carry the hamza).
+        ipa.push('a');
+        i = 1;
+    }
+
+    // After a bare initial alif the last segment is the /a/ vowel; after
+    // the article "al" it is the /l/ consonant.
+    let mut last_was_vowel = i == 1;
+    let mut first_segment = true;
+    while i < chars.len() {
+        let c = chars[i];
+        if let Some(h) = haraka(c) {
+            ipa.push_str(h);
+            last_was_vowel = !h.is_empty();
+            i += 1;
+            continue;
+        }
+        if c == SHADDA {
+            // Gemination: length is not contrastive after folding; skip.
+            i += 1;
+            continue;
+        }
+        if c == 'ة' {
+            // Ta marbuta: in pausal (name) pronunciation the feminine
+            // ending reads as a bare /a/ — القاعدة is /alqaːʔida/, not
+            // /…dat/.
+            if !last_was_vowel {
+                ipa.push('a');
+                last_was_vowel = true;
+            }
+            i += 1;
+            continue;
+        }
+        // Long-vowel carriers after a consonant.
+        if !first_segment && !last_was_vowel {
+            if let Some(v) = long_vowel(c) {
+                ipa.push_str(v);
+                last_was_vowel = true;
+                i += 1;
+                continue;
+            }
+        }
+        if let Some(cons) = consonant(c) {
+            // Unvocalized spelling: insert an epenthetic /a/ between
+            // consecutive written consonants (qɑlb -> qalb-like reading).
+            if !first_segment && !last_was_vowel {
+                ipa.push('a');
+            }
+            ipa.push_str(cons);
+            last_was_vowel = false;
+            first_segment = false;
+            i += 1;
+            continue;
+        }
+        if c == 'ا' || c == 'آ' || c == 'ى' {
+            // Alif not following a consonant (e.g. after a haraka): long a.
+            ipa.push_str("aː");
+            last_was_vowel = true;
+            first_segment = false;
+            i += 1;
+            continue;
+        }
+        return Err(G2pError::UntranslatableChar {
+            ch: c,
+            language: Language::Arabic,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ipa(text: &str) -> String {
+        ArabicG2p.convert(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn al_qaeda_from_the_papers_introduction() {
+        // القاعدة: ا ل ق ا ع د ة -> al-qaː-ʔ-(a)-d-(a)-t
+        let p = ipa("القاعدة");
+        assert!(p.starts_with("alqaː"), "got {p}");
+    }
+
+    #[test]
+    fn definite_article() {
+        assert!(ipa("الكتاب").starts_with("alk"), "{}", ipa("الكتاب"));
+    }
+
+    #[test]
+    fn long_vowels_after_consonants() {
+        // نور (Nur): n-uː-r
+        assert_eq!(ipa("نور"), "nuːr");
+        // أمين (Amin): ʔ-a-m-iː-n
+        assert_eq!(ipa("أمين"), "ʔamiːn");
+        // سليم (Salim)
+        assert_eq!(ipa("سليم"), "saliːm");
+    }
+
+    #[test]
+    fn epenthetic_vowels_between_written_consonants() {
+        // محمد (Muhammad, unvocalized m-h-m-d) -> mahamad-like
+        let p = ipa("محمد");
+        assert_eq!(p, "mahamad");
+    }
+
+    #[test]
+    fn harakat_override_epenthesis() {
+        // مُحَمَّد with damma/fatha diacritics
+        let p = ipa("م\u{064F}ح\u{064E}م\u{0651}\u{064E}د");
+        assert_eq!(p, "muhamad");
+    }
+
+    #[test]
+    fn emphatics_fold_to_plain_coronals() {
+        assert_eq!(ipa("صلاح"), ipa("سلاح")); // ṣ and s merge
+    }
+
+    #[test]
+    fn hamza_forms_are_glottal_stops() {
+        assert!(ipa("أحمد").starts_with('ʔ'));
+    }
+
+    #[test]
+    fn behnasi_from_figure1() {
+        // بهنسي — the Figure 1 Arabic author (Behnasi).
+        let p = ipa("بهنسي");
+        assert!(p.starts_with("bah"), "got {p}");
+        assert!(p.ends_with("iː") || p.ends_with('i') || p.ends_with('j'), "got {p}");
+    }
+
+    #[test]
+    fn untranslatable_char_reported() {
+        assert!(matches!(
+            ArabicG2p.convert("ب#"),
+            Err(G2pError::UntranslatableChar { ch: '#', .. })
+        ));
+    }
+}

@@ -1,0 +1,239 @@
+//! Modern Greek grapheme-to-phoneme conversion.
+//!
+//! Modern Greek orthography is regular once the historical digraphs are
+//! known: several vowel digraphs collapsed to /i/ or /ɛ/ (iotacism), αυ/ευ
+//! surface as /av~af/, /ev~ef/ depending on the following voicing, and the
+//! nasal+stop digraphs μπ/ντ/γκ spell /b/, /d/, /g/. Covers the paper's
+//! Figure 1 catalog rows (e.g. Σαρρη, Νερού).
+
+use crate::error::G2pError;
+use crate::language::Language;
+use lexequal_phoneme::PhonemeString;
+
+/// Fold accents/diaeresis to base letters and lowercase (final sigma ς is
+/// folded to σ).
+fn fold(c: char) -> char {
+    match c.to_lowercase().next().unwrap_or(c) {
+        'ά' => 'α',
+        'έ' => 'ε',
+        'ή' => 'η',
+        'ί' | 'ϊ' | 'ΐ' => 'ι',
+        'ό' => 'ο',
+        'ύ' | 'ϋ' | 'ΰ' => 'υ',
+        'ώ' => 'ω',
+        'ς' => 'σ',
+        other => other,
+    }
+}
+
+fn is_front_vowel(c: char) -> bool {
+    matches!(c, 'ε' | 'ι' | 'η' | 'υ')
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'α' | 'ε' | 'η' | 'ι' | 'ο' | 'υ' | 'ω')
+}
+
+/// Is the folded letter voiceless for αυ/ευ resolution? (θ κ ξ π σ τ φ χ ψ)
+fn is_voiceless(c: char) -> bool {
+    matches!(c, 'θ' | 'κ' | 'ξ' | 'π' | 'σ' | 'τ' | 'φ' | 'χ' | 'ψ')
+}
+
+/// The Greek text-to-phoneme converter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreekG2p;
+
+impl GreekG2p {
+    /// Convert Greek-script text to IPA phonemes.
+    pub fn convert(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        let chars: Vec<char> = text
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '-')
+            .map(fold)
+            .collect();
+        let mut ipa = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            // Digraphs first.
+            match (c, next) {
+                ('ο', Some('υ')) => {
+                    ipa.push('u');
+                    i += 2;
+                    continue;
+                }
+                ('α', Some('ι')) => {
+                    ipa.push('ɛ');
+                    i += 2;
+                    continue;
+                }
+                ('ε', Some('ι')) | ('ο', Some('ι')) | ('υ', Some('ι')) => {
+                    ipa.push('i');
+                    i += 2;
+                    continue;
+                }
+                ('α', Some('υ')) | ('ε', Some('υ')) | ('η', Some('υ')) => {
+                    let head = match c {
+                        'α' => "a",
+                        'ε' => "ɛ",
+                        _ => "i",
+                    };
+                    ipa.push_str(head);
+                    // /f/ before voiceless or at word end, /v/ otherwise.
+                    if after.map_or(true, is_voiceless) {
+                        ipa.push('f');
+                    } else {
+                        ipa.push('v');
+                    }
+                    i += 2;
+                    continue;
+                }
+                ('μ', Some('π')) => {
+                    ipa.push('b');
+                    i += 2;
+                    continue;
+                }
+                ('ν', Some('τ')) => {
+                    ipa.push('d');
+                    i += 2;
+                    continue;
+                }
+                ('γ', Some('κ')) => {
+                    ipa.push('g');
+                    i += 2;
+                    continue;
+                }
+                ('γ', Some('γ')) => {
+                    ipa.push_str("ŋg");
+                    i += 2;
+                    continue;
+                }
+                ('τ', Some('σ')) => {
+                    ipa.push_str("ts");
+                    i += 2;
+                    continue;
+                }
+                ('τ', Some('ζ')) => {
+                    ipa.push_str("dz");
+                    i += 2;
+                    continue;
+                }
+                _ => {}
+            }
+            let single = match c {
+                'α' => "a",
+                'β' => "v",
+                'γ' => {
+                    if next.is_some_and(is_front_vowel) {
+                        "j"
+                    } else {
+                        "ɣ"
+                    }
+                }
+                'δ' => "ð",
+                'ε' => "ɛ",
+                'ζ' => "z",
+                'η' => "i",
+                'θ' => "θ",
+                'ι' => "i",
+                'κ' => "k",
+                'λ' => "l",
+                'μ' => "m",
+                'ν' => "n",
+                'ξ' => "ks",
+                'ο' => "o",
+                'π' => "p",
+                'ρ' => "r",
+                'σ' => "s",
+                'τ' => "t",
+                'υ' => "i",
+                'φ' => "f",
+                'χ' => "x",
+                'ψ' => "ps",
+                'ω' => "o",
+                other => {
+                    return Err(G2pError::UntranslatableChar {
+                        ch: other,
+                        language: Language::Greek,
+                    })
+                }
+            };
+            ipa.push_str(single);
+            i += 1;
+        }
+        let _ = is_vowel; // reserved for future γ/j refinement
+        Ok(ipa.parse()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ipa(text: &str) -> String {
+        GreekG2p.convert(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn paper_catalog_author() {
+        // Σαρρη (Fig. 1): σ α ρ ρ η
+        assert_eq!(ipa("Σαρρη"), "sarri");
+    }
+
+    #[test]
+    fn nero_transliteration() {
+        // Νερού — the Greek rendering of "Nehru" used in the paper's
+        // SQL:1999 example (Fig. 2).
+        assert_eq!(ipa("Νερού"), "nɛru");
+    }
+
+    #[test]
+    fn iotacism_collapses_vowels() {
+        assert_eq!(ipa("ει"), "i");
+        assert_eq!(ipa("οι"), "i");
+        assert_eq!(ipa("η"), "i");
+        assert_eq!(ipa("υ"), "i");
+    }
+
+    #[test]
+    fn ou_is_u() {
+        assert_eq!(ipa("ου"), "u");
+        assert_eq!(ipa("μούσα"), "musa");
+    }
+
+    #[test]
+    fn av_ev_alternation() {
+        // ευ before voiced/vowel -> ev; before voiceless -> ef
+        assert_eq!(ipa("ευα"), "ɛva");
+        assert_eq!(ipa("ευτυχια"), "ɛftixia");
+        assert_eq!(ipa("αυτο"), "afto");
+        assert_eq!(ipa("παυλος"), "pavlos");
+    }
+
+    #[test]
+    fn nasal_stop_digraphs() {
+        assert_eq!(ipa("μπανανα"), "banana");
+        assert_eq!(ipa("ντοματα"), "domata");
+        assert_eq!(ipa("γκολ"), "gol");
+        assert_eq!(ipa("αγγελος"), "aŋgɛlos");
+    }
+
+    #[test]
+    fn gamma_palatalizes_before_front_vowels() {
+        assert_eq!(ipa("γη"), "ji");
+        assert_eq!(ipa("γαλα"), "ɣala");
+    }
+
+    #[test]
+    fn double_letters_and_sigma_forms() {
+        assert_eq!(ipa("ς"), "s");
+        assert_eq!(ipa("Παιχνίδια"), "pɛxniðia");
+    }
+
+    #[test]
+    fn untranslatable() {
+        assert!(GreekG2p.convert("α7").is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! Hindi (Devanagari) grapheme-to-phoneme conversion.
+//!
+//! Devanagari is an abugida: each consonant letter carries an inherent
+//! schwa /ə/ that vowel signs (matras) replace and the virama kills.
+//! The script is close to phonemic, so conversion is a letter map plus:
+//!
+//! * **inherent-vowel logic** — consonant + matra / virama / inherent ə;
+//! * **final schwa deletion** — Hindi does not pronounce the inherent
+//!   vowel of a word-final consonant (राम is /raːm/, not /raːmə/);
+//! * **anusvara** — the nasal dot ं is homorganic with the following
+//!   consonant (ŋ before velars, m before labials, n otherwise);
+//! * **nukta forms** — the Perso-Arabic loan consonants क़ ख़ ग़ ज़ फ़ ड़ ढ़.
+//!
+//! The paper used the Dhvani TTS system for this step; this module is the
+//! from-scratch replacement (see DESIGN.md).
+
+use crate::error::G2pError;
+use lexequal_phoneme::PhonemeString;
+
+/// IPA for an independent (standalone) vowel letter.
+fn independent_vowel(c: char) -> Option<&'static str> {
+    Some(match c {
+        'अ' => "ə",
+        'आ' => "aː",
+        'इ' => "ɪ",
+        'ई' => "iː",
+        'उ' => "ʊ",
+        'ऊ' => "uː",
+        'ऋ' => "rɪ",
+        'ए' => "e",
+        'ऐ' => "ɛ",
+        'ओ' => "o",
+        'औ' => "ɔ",
+        'ऑ' => "ɒ",
+        'ऍ' => "æ",
+        _ => return None,
+    })
+}
+
+/// IPA for a vowel sign (matra).
+fn matra(c: char) -> Option<&'static str> {
+    Some(match c {
+        '\u{093E}' => "aː", // ा
+        '\u{093F}' => "ɪ",  // ि
+        '\u{0940}' => "iː", // ी
+        '\u{0941}' => "ʊ",  // ु
+        '\u{0942}' => "uː", // ू
+        '\u{0943}' => "rɪ", // ृ
+        '\u{0947}' => "e",  // े
+        '\u{0948}' => "ɛ",  // ै
+        '\u{094B}' => "o",  // ो
+        '\u{094C}' => "ɔ",  // ौ
+        '\u{0949}' => "ɒ",  // ॉ
+        '\u{0945}' => "æ",  // ॅ
+        _ => return None,
+    })
+}
+
+/// IPA for a consonant letter (including nukta forms), with its place
+/// class for anusvara resolution: 'v' velar, 'l' labial, 'o' other.
+fn consonant(c: char) -> Option<(&'static str, char)> {
+    Some(match c {
+        'क' => ("k", 'v'),
+        'ख' => ("kʰ", 'v'),
+        'ग' => ("g", 'v'),
+        'घ' => ("gʱ", 'v'),
+        'ङ' => ("ŋ", 'v'),
+        'च' => ("tʃ", 'o'),
+        'छ' => ("tʃʰ", 'o'),
+        'ज' => ("dʒ", 'o'),
+        'झ' => ("dʒʱ", 'o'),
+        'ञ' => ("ɲ", 'o'),
+        'ट' => ("ʈ", 'o'),
+        'ठ' => ("ʈʰ", 'o'),
+        'ड' => ("ɖ", 'o'),
+        'ढ' => ("ɖʱ", 'o'),
+        'ण' => ("ɳ", 'o'),
+        'त' => ("t", 'o'),
+        'थ' => ("tʰ", 'o'),
+        'द' => ("d", 'o'),
+        'ध' => ("dʱ", 'o'),
+        'न' => ("n", 'o'),
+        'प' => ("p", 'l'),
+        'फ' => ("pʰ", 'l'),
+        'ब' => ("b", 'l'),
+        'भ' => ("bʱ", 'l'),
+        'म' => ("m", 'l'),
+        'य' => ("j", 'o'),
+        'र' => ("r", 'o'),
+        'ल' => ("l", 'o'),
+        'व' => ("ʋ", 'l'),
+        'श' => ("ʃ", 'o'),
+        'ष' => ("ʂ", 'o'),
+        'स' => ("s", 'o'),
+        'ह' => ("ɦ", 'o'),
+        // Nukta (loan) consonants — precomposed forms U+0958..U+095E.
+        '\u{0958}' => ("q", 'v'),  // क़
+        '\u{0959}' => ("x", 'v'),  // ख़
+        '\u{095A}' => ("ɣ", 'v'),  // ग़
+        '\u{095B}' => ("z", 'o'),  // ज़
+        '\u{095E}' => ("f", 'l'),  // फ़
+        '\u{095C}' => ("ɽ", 'o'),  // ड़
+        '\u{095D}' => ("ɽ", 'o'),  // ढ़
+        _ => return None,
+    })
+}
+
+/// Apply a combining nukta (U+093C) to a base consonant, yielding the loan
+/// consonant it denotes.
+fn apply_nukta(base: char) -> Option<(&'static str, char)> {
+    let precomposed = match base {
+        'क' => '\u{0958}',
+        'ख' => '\u{0959}',
+        'ग' => '\u{095A}',
+        'ज' => '\u{095B}',
+        'फ' => '\u{095E}',
+        'ड' => '\u{095C}',
+        'ढ' => '\u{095D}',
+        _ => return None,
+    };
+    consonant(precomposed)
+}
+
+const VIRAMA: char = '\u{094D}'; // ्
+const ANUSVARA: char = '\u{0902}'; // ं
+const CHANDRABINDU: char = '\u{0901}'; // ँ
+const VISARGA: char = '\u{0903}'; // ः
+const NUKTA: char = '\u{093C}';
+
+/// The Hindi (Devanagari) text-to-phoneme converter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HindiG2p;
+
+/// A segment of a word's underlying form, before schwa deletion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Seg {
+    /// A fixed IPA fragment (one or more segments).
+    Fixed(&'static str),
+    /// An inherent schwa, candidate for the deletion rule.
+    InherentSchwa,
+}
+
+impl HindiG2p {
+    /// Convert Devanagari text to IPA phonemes.
+    ///
+    /// Characters outside the Devanagari block (and whitespace) act as word
+    /// boundaries; other unknown characters yield
+    /// [`G2pError::UntranslatableChar`].
+    pub fn convert(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        let mut ipa = String::new();
+        for word in
+            text.split(|c: char| c.is_whitespace() || c == '-' || c == '\u{200C}' || c == '\u{200D}')
+        {
+            if word.is_empty() {
+                continue;
+            }
+            let segs = underlying_form(word)?;
+            ipa.push_str(&delete_schwas(segs));
+        }
+        Ok(ipa.parse()?)
+    }
+}
+
+/// First pass: the underlying form with every non-final inherent schwa
+/// present (word-final schwas are never realized in Hindi, so they are
+/// dropped here already).
+fn underlying_form(word: &str) -> Result<Vec<Seg>, G2pError> {
+    let chars: Vec<char> = word.chars().collect();
+    let mut segs = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if let Some(v) = independent_vowel(c) {
+            segs.push(Seg::Fixed(v));
+            i += 1;
+            continue;
+        }
+        if let Some((mut cons_ipa, _)) = consonant(c) {
+            i += 1;
+            // Combining nukta modifies the consonant just parsed.
+            if i < chars.len() && chars[i] == NUKTA {
+                if let Some((n_ipa, _)) = apply_nukta(c) {
+                    cons_ipa = n_ipa;
+                }
+                i += 1;
+            }
+            segs.push(Seg::Fixed(cons_ipa));
+            match chars.get(i) {
+                Some(&m) if matra(m).is_some() => {
+                    segs.push(Seg::Fixed(matra(m).expect("checked above")));
+                    i += 1;
+                }
+                Some(&v) if v == VIRAMA => {
+                    i += 1; // vowel killed
+                }
+                Some(_) => segs.push(Seg::InherentSchwa),
+                None => {} // word-final schwa deleted outright
+            }
+            continue;
+        }
+        match c {
+            ANUSVARA | CHANDRABINDU => {
+                // Homorganic nasal: peek at the next consonant.
+                let nasal = match chars.get(i + 1).and_then(|&n| consonant(n)) {
+                    Some((_, 'v')) => "ŋ",
+                    Some((_, 'l')) => "m",
+                    _ => "n",
+                };
+                segs.push(Seg::Fixed(nasal));
+                i += 1;
+            }
+            VISARGA => {
+                segs.push(Seg::Fixed("h"));
+                i += 1;
+            }
+            other => {
+                return Err(G2pError::UntranslatableChar {
+                    ch: other,
+                    language: crate::language::Language::Hindi,
+                })
+            }
+        }
+    }
+    Ok(segs)
+}
+
+/// Second pass: the standard Hindi schwa-deletion rule, applied right to
+/// left — delete an inherent schwa in the context `V C _ C V` (vowel,
+/// consonant, schwa, consonant, vowel). Right-to-left application gets
+/// जवाहरलाल → /dʒəʋaːɦərlaːl/ and नेहरु → /neɦru/ both correct.
+fn delete_schwas(segs: Vec<Seg>) -> String {
+    // Flatten to phoneme-level symbols, remembering which are deletable.
+    let mut syms: Vec<(&'static str, bool)> = Vec::with_capacity(segs.len());
+    for seg in segs {
+        match seg {
+            Seg::InherentSchwa => syms.push(("ə", true)),
+            Seg::Fixed(f) => {
+                // Fragments like "rɪ" (for ऋ) hold two segments; split
+                // them so context checks see individual phonemes.
+                match f {
+                    "rɪ" => {
+                        syms.push(("r", false));
+                        syms.push(("ɪ", false));
+                    }
+                    other => syms.push((other, false)),
+                }
+            }
+        }
+    }
+    let is_vowel = |s: &str| {
+        matches!(
+            s,
+            "ə" | "aː" | "ɪ" | "iː" | "ʊ" | "uː" | "e" | "ɛ" | "o" | "ɔ" | "ɒ" | "æ"
+        )
+    };
+    // Right-to-left deletion pass.
+    let mut keep: Vec<bool> = vec![true; syms.len()];
+    for idx in (0..syms.len()).rev() {
+        let (sym, deletable) = syms[idx];
+        if !deletable || sym != "ə" {
+            continue;
+        }
+        // Find live neighbours.
+        let prev = (0..idx).rev().find(|&k| keep[k]);
+        let next = (idx + 1..syms.len()).find(|&k| keep[k]);
+        let (Some(p1), Some(n1)) = (prev, next) else {
+            continue;
+        };
+        let prev2 = (0..p1).rev().find(|&k| keep[k]);
+        let next2 = (n1 + 1..syms.len()).find(|&k| keep[k]);
+        let (Some(p2), Some(n2)) = (prev2, next2) else {
+            continue;
+        };
+        let vcv = is_vowel(syms[p2].0)
+            && !is_vowel(syms[p1].0)
+            && !is_vowel(syms[n1].0)
+            && is_vowel(syms[n2].0);
+        if vcv {
+            keep[idx] = false;
+        }
+    }
+    let mut out = String::new();
+    for (idx, (sym, _)) in syms.iter().enumerate() {
+        if keep[idx] {
+            out.push_str(sym);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ipa(text: &str) -> String {
+        HindiG2p.convert(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn nehru_from_the_paper() {
+        // नेहरु = न े ह र ु
+        assert_eq!(ipa("नेहरु"), "neɦrʊ");
+    }
+
+    #[test]
+    fn final_schwa_is_deleted() {
+        // राम = र ा म -> raːm, not raːmə
+        assert_eq!(ipa("राम"), "raːm");
+        // कमल = क म ल -> kəməl (medial schwas kept, final deleted)
+        assert_eq!(ipa("कमल"), "kəməl");
+    }
+
+    #[test]
+    fn virama_kills_inherent_vowel() {
+        // हिन्दी = ह ि न ् द ी
+        assert_eq!(ipa("हिन्दी"), "ɦɪndiː");
+    }
+
+    #[test]
+    fn matras_replace_schwa() {
+        assert_eq!(ipa("की"), "kiː");
+        assert_eq!(ipa("कू"), "kuː");
+        assert_eq!(ipa("के"), "ke");
+        assert_eq!(ipa("को"), "ko");
+    }
+
+    #[test]
+    fn aspirated_consonants() {
+        assert_eq!(ipa("खा"), "kʰaː");
+        assert_eq!(ipa("भारत"), "bʱaːrət");
+    }
+
+    #[test]
+    fn anusvara_is_homorganic() {
+        // गंगा: anusvara before velar ग -> ŋ
+        assert_eq!(ipa("गंगा"), "gəŋgaː");
+        // लंबा: before labial ब -> m
+        assert_eq!(ipa("लंबा"), "ləmbaː");
+        // हिंदी: before द -> n
+        assert_eq!(ipa("हिंदी"), "ɦɪndiː");
+    }
+
+    #[test]
+    fn nukta_consonants() {
+        assert_eq!(ipa("ज़रा"), "zəraː");
+        assert_eq!(ipa("फ़ोन"), "fon");
+        // combining nukta form (base + U+093C)
+        assert_eq!(ipa("ज\u{093C}रा"), "zəraː");
+    }
+
+    #[test]
+    fn independent_vowels() {
+        assert_eq!(ipa("आम"), "aːm");
+        assert_eq!(ipa("ईद"), "iːd");
+        assert_eq!(ipa("ओम"), "om");
+    }
+
+    #[test]
+    fn paper_figure9_hydrogen() {
+        // हैड्रोजन (hydrogen): ह ै ड ् र ो ज न
+        assert_eq!(ipa("हैड्रोजन"), "ɦɛɖrodʒən");
+    }
+
+    #[test]
+    fn multiword_input() {
+        assert_eq!(ipa("जवाहरलाल नेहरु"), format!("{}{}", ipa("जवाहरलाल"), ipa("नेहरु")));
+    }
+
+    #[test]
+    fn untranslatable_char_is_reported() {
+        let err = HindiG2p.convert("न#").unwrap_err();
+        assert!(matches!(err, G2pError::UntranslatableChar { ch: '#', .. }));
+    }
+
+    #[test]
+    fn latin_digits_are_rejected_not_skipped() {
+        assert!(HindiG2p.convert("राम2").is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Japanese kana grapheme-to-phoneme conversion.
+//!
+//! Figure 1's catalog carries a Japanese row, and katakana is how Japanese
+//! writes foreign proper names (ネルー = Nehru) — precisely the
+//! multiscript-matching scenario. Kana is a syllabary, so conversion is a
+//! direct table: base syllables, voicing marks (dakuten) are precomposed
+//! in Unicode, small-ya/yu/yo combinations (きゃ = kja), the long-vowel
+//! mark ー, sokuon っ (gemination — dropped after folding, length is not
+//! contrastive in the shared inventory), and the moraic nasal ん.
+//!
+//! Kanji has no phonemic reading without a dictionary; kanji input yields
+//! [`G2pError::UntranslatableChar`], mirroring the real resource gap the
+//! paper's `NORESOURCE` models.
+
+use crate::error::G2pError;
+use crate::language::Language;
+use lexequal_phoneme::PhonemeString;
+
+/// IPA for a single kana syllable (katakana normalized to hiragana).
+fn kana(c: char) -> Option<&'static str> {
+    Some(match c {
+        'あ' => "a",
+        'い' => "i",
+        'う' => "u",
+        'え' => "e",
+        'お' => "o",
+        'か' => "ka",
+        'き' => "ki",
+        'く' => "ku",
+        'け' => "ke",
+        'こ' => "ko",
+        'が' => "ga",
+        'ぎ' => "gi",
+        'ぐ' => "gu",
+        'げ' => "ge",
+        'ご' => "go",
+        'さ' => "sa",
+        'し' => "ʃi",
+        'す' => "su",
+        'せ' => "se",
+        'そ' => "so",
+        'ざ' => "za",
+        'じ' => "dʒi",
+        'ず' => "zu",
+        'ぜ' => "ze",
+        'ぞ' => "zo",
+        'た' => "ta",
+        'ち' => "tʃi",
+        'つ' => "tsu",
+        'て' => "te",
+        'と' => "to",
+        'だ' => "da",
+        'ぢ' => "dʒi",
+        'づ' => "zu",
+        'で' => "de",
+        'ど' => "do",
+        'な' => "na",
+        'に' => "ni",
+        'ぬ' => "nu",
+        'ね' => "ne",
+        'の' => "no",
+        'は' => "ha",
+        'ひ' => "hi",
+        'ふ' => "ɸu",
+        'へ' => "he",
+        'ほ' => "ho",
+        'ば' => "ba",
+        'び' => "bi",
+        'ぶ' => "bu",
+        'べ' => "be",
+        'ぼ' => "bo",
+        'ぱ' => "pa",
+        'ぴ' => "pi",
+        'ぷ' => "pu",
+        'ぺ' => "pe",
+        'ぽ' => "po",
+        'ま' => "ma",
+        'み' => "mi",
+        'む' => "mu",
+        'め' => "me",
+        'も' => "mo",
+        'や' => "ja",
+        'ゆ' => "ju",
+        'よ' => "jo",
+        'ら' => "ɾa",
+        'り' => "ɾi",
+        'る' => "ɾu",
+        'れ' => "ɾe",
+        'ろ' => "ɾo",
+        'わ' => "wa",
+        'を' => "o",
+        'ゔ' => "vu",
+        _ => return None,
+    })
+}
+
+/// The glide for a small ya/yu/yo, replacing the preceding syllable's
+/// final vowel: き + ゃ = kja.
+fn small_glide(c: char) -> Option<&'static str> {
+    Some(match c {
+        'ゃ' => "ja",
+        'ゅ' => "ju",
+        'ょ' => "jo",
+        _ => return None,
+    })
+}
+
+/// Small vowels (used in foreign-name katakana like ファ = fa).
+fn small_vowel(c: char) -> Option<&'static str> {
+    Some(match c {
+        'ぁ' => "a",
+        'ぃ' => "i",
+        'ぅ' => "u",
+        'ぇ' => "e",
+        'ぉ' => "o",
+        _ => return None,
+    })
+}
+
+/// Normalize katakana (and halfwidth forms are out of scope) to hiragana.
+fn to_hiragana(c: char) -> char {
+    let u = c as u32;
+    if (0x30A1..=0x30F6).contains(&u) {
+        // katakana -> hiragana block shift
+        char::from_u32(u - 0x60).unwrap_or(c)
+    } else {
+        c
+    }
+}
+
+const LONG_MARK: char = 'ー';
+const SOKUON: char = 'っ';
+const MORAIC_N: char = 'ん';
+
+/// The Japanese (kana) text-to-phoneme converter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JapaneseG2p;
+
+impl JapaneseG2p {
+    /// Convert kana text to IPA phonemes. Kanji and other non-kana
+    /// characters raise [`G2pError::UntranslatableChar`].
+    pub fn convert(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        let chars: Vec<char> = text
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '・')
+            .map(to_hiragana)
+            .collect();
+        let mut ipa = String::new();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == SOKUON {
+                i += 1; // gemination: length dropped after folding
+                continue;
+            }
+            if c == MORAIC_N {
+                ipa.push('n');
+                i += 1;
+                continue;
+            }
+            if c == LONG_MARK {
+                // Lengthen the previous vowel: in the segmental inventory
+                // a/i/u/e/o have long counterparts.
+                lengthen_last_vowel(&mut ipa);
+                i += 1;
+                continue;
+            }
+            let Some(syll) = kana(c) else {
+                if let Some(v) = small_vowel(c) {
+                    // ファ-style: replace preceding u with the small vowel.
+                    replace_final_vowel(&mut ipa, v);
+                    i += 1;
+                    continue;
+                }
+                return Err(G2pError::UntranslatableChar {
+                    ch: c,
+                    language: Language::Japanese,
+                });
+            };
+            // Small ya/yu/yo merges with an i-syllable: き + ゃ -> kja.
+            // Palatal onsets (ʃ, tʃ, dʒ) absorb the glide: しゅ -> ʃu.
+            if let Some(&next) = chars.get(i + 1) {
+                if let Some(glide) = small_glide(next) {
+                    let onset = syll.strip_suffix('i').unwrap_or(syll);
+                    ipa.push_str(onset);
+                    if onset.ends_with('ʃ') || onset.ends_with('ʒ') {
+                        ipa.push_str(&glide['j'.len_utf8()..]);
+                    } else {
+                        ipa.push_str(glide);
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+            ipa.push_str(syll);
+            i += 1;
+        }
+        Ok(ipa.parse()?)
+    }
+}
+
+/// Append the length mark to the final vowel, producing the long-vowel
+/// segment the inventory knows (aː, iː, uː, eː, oː).
+fn lengthen_last_vowel(ipa: &mut String) {
+    for v in ['a', 'i', 'u', 'e', 'o'] {
+        if ipa.ends_with(v) {
+            ipa.push('ː');
+            return;
+        }
+    }
+}
+
+/// Replace the final short vowel with `v` (small-vowel combinations).
+fn replace_final_vowel(ipa: &mut String, v: &str) {
+    for old in ['a', 'i', 'u', 'e', 'o'] {
+        if ipa.ends_with(old) {
+            ipa.truncate(ipa.len() - old.len_utf8());
+            ipa.push_str(v);
+            return;
+        }
+    }
+    ipa.push_str(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ipa(text: &str) -> String {
+        JapaneseG2p.convert(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn nehru_in_katakana() {
+        // ネルー — how Japanese writes Nehru.
+        assert_eq!(ipa("ネルー"), "neɾuː");
+    }
+
+    #[test]
+    fn basic_syllables() {
+        assert_eq!(ipa("さくら"), "sakuɾa");
+        assert_eq!(ipa("カタカナ"), "katakana");
+    }
+
+    #[test]
+    fn long_vowel_mark() {
+        assert_eq!(ipa("トーキョー"), "toːkjoː");
+    }
+
+    #[test]
+    fn small_ya_yu_yo() {
+        assert_eq!(ipa("きゃ"), "kja");
+        assert_eq!(ipa("シュ"), "ʃu"); // ʃi + small yu -> ʃju? onset ʃ + ju
+    }
+
+    #[test]
+    fn moraic_nasal_and_sokuon() {
+        assert_eq!(ipa("にっぽん"), "nipon"); // sokuon dropped, ん -> n
+        assert_eq!(ipa("ガンジー"), "gandʒiː");
+    }
+
+    #[test]
+    fn small_vowel_foreign_combos() {
+        // ファ = fu + small a -> ɸa
+        assert_eq!(ipa("ファン"), "ɸan");
+    }
+
+    #[test]
+    fn katakana_equals_hiragana() {
+        assert_eq!(ipa("ネルー"), ipa("ねるー"));
+    }
+
+    #[test]
+    fn kanji_is_untranslatable() {
+        assert!(matches!(
+            JapaneseG2p.convert("寺井"),
+            Err(G2pError::UntranslatableChar { .. })
+        ));
+    }
+
+    #[test]
+    fn gandhi_in_katakana() {
+        let p = ipa("ガンディー");
+        assert!(p.starts_with("gand"), "got {p}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Language and script tags, and Unicode-block-based script detection.
+//!
+//! The paper assumes each attribute value is "tagged with its language, or
+//! in an equivalent format" (§1, footnote 1), and notes that automatic
+//! language identification from Unicode blocks is imperfect because many
+//! languages share a script (§2.1). [`detect_language`] implements exactly
+//! that imperfect-but-useful heuristic: script is determined from Unicode
+//! blocks, and each script maps to its most likely language among the ones
+//! we support (Latin defaults to English).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Writing system, detected from Unicode code-point blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Script {
+    /// Basic Latin and Latin-1/Extended letters.
+    Latin,
+    /// Devanagari block (U+0900–U+097F).
+    Devanagari,
+    /// Tamil block (U+0B80–U+0BFF).
+    Tamil,
+    /// Greek and Coptic block (U+0370–U+03FF).
+    Greek,
+    /// Arabic block (U+0600–U+06FF) and presentation forms.
+    Arabic,
+    /// Japanese kana blocks (hiragana U+3040–U+309F, katakana U+30A0–U+30FF).
+    Kana,
+    /// Anything else (Han, Hangul, …) — recognized but unsupported.
+    Other,
+}
+
+/// The languages the LexEQUAL prototype ships converters for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Language {
+    /// English (Latin script, NRL-style rules).
+    English,
+    /// Hindi (Devanagari script).
+    Hindi,
+    /// Tamil (Tamil script).
+    Tamil,
+    /// Modern Greek (Greek script).
+    Greek,
+    /// French (Latin script).
+    French,
+    /// Spanish (Latin script).
+    Spanish,
+    /// Modern Standard Arabic (Arabic script).
+    Arabic,
+    /// Japanese, kana only (katakana is how foreign names are written).
+    Japanese,
+}
+
+impl Language {
+    /// All supported languages, in a stable order.
+    pub const ALL: [Language; 8] = [
+        Language::English,
+        Language::Hindi,
+        Language::Tamil,
+        Language::Greek,
+        Language::French,
+        Language::Spanish,
+        Language::Arabic,
+        Language::Japanese,
+    ];
+
+    /// The script this language is written in.
+    pub fn script(self) -> Script {
+        match self {
+            Language::English | Language::French | Language::Spanish => Script::Latin,
+            Language::Hindi => Script::Devanagari,
+            Language::Tamil => Script::Tamil,
+            Language::Greek => Script::Greek,
+            Language::Arabic => Script::Arabic,
+            Language::Japanese => Script::Kana,
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Language::English => "English",
+            Language::Hindi => "Hindi",
+            Language::Tamil => "Tamil",
+            Language::Greek => "Greek",
+            Language::French => "French",
+            Language::Spanish => "Spanish",
+            Language::Arabic => "Arabic",
+            Language::Japanese => "Japanese",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for Language {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "english" | "en" => Ok(Language::English),
+            "hindi" | "hi" => Ok(Language::Hindi),
+            "tamil" | "ta" => Ok(Language::Tamil),
+            "greek" | "el" => Ok(Language::Greek),
+            "french" | "fr" => Ok(Language::French),
+            "spanish" | "es" => Ok(Language::Spanish),
+            "arabic" | "ar" => Ok(Language::Arabic),
+            "japanese" | "ja" => Ok(Language::Japanese),
+            other => Err(format!("unknown language {other:?}")),
+        }
+    }
+}
+
+/// Script of a single character by Unicode block.
+pub fn script_of_char(c: char) -> Option<Script> {
+    let u = c as u32;
+    match u {
+        0x0041..=0x005A | 0x0061..=0x007A | 0x00C0..=0x024F => Some(Script::Latin),
+        0x0900..=0x097F => Some(Script::Devanagari),
+        0x0B80..=0x0BFF => Some(Script::Tamil),
+        0x0370..=0x03FF | 0x1F00..=0x1FFF => Some(Script::Greek),
+        0x0600..=0x06FF | 0xFB50..=0xFDFF | 0xFE70..=0xFEFF => Some(Script::Arabic),
+        0x3040..=0x30FF => Some(Script::Kana),
+        _ if c.is_alphabetic() => Some(Script::Other),
+        _ => None,
+    }
+}
+
+/// Dominant script of a string: the script of the majority of its letters,
+/// or `None` if it contains no letters.
+pub fn detect_script(text: &str) -> Option<Script> {
+    let mut counts = [0usize; 7];
+    for c in text.chars() {
+        if let Some(s) = script_of_char(c) {
+            let i = match s {
+                Script::Latin => 0,
+                Script::Devanagari => 1,
+                Script::Tamil => 2,
+                Script::Greek => 3,
+                Script::Arabic => 4,
+                Script::Kana => 5,
+                Script::Other => 6,
+            };
+            counts[i] += 1;
+        }
+    }
+    let (best, &n) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, n)| *n)
+        .expect("array is non-empty");
+    if n == 0 {
+        return None;
+    }
+    Some(match best {
+        0 => Script::Latin,
+        1 => Script::Devanagari,
+        2 => Script::Tamil,
+        3 => Script::Greek,
+        4 => Script::Arabic,
+        5 => Script::Kana,
+        _ => Script::Other,
+    })
+}
+
+/// Best-effort language identification from script (the paper's §2.1
+/// caveat applies: Latin-script text defaults to English even though it
+/// could be French or Spanish).
+pub fn detect_language(text: &str) -> Option<Language> {
+    match detect_script(text)? {
+        Script::Latin => Some(Language::English),
+        Script::Devanagari => Some(Language::Hindi),
+        Script::Tamil => Some(Language::Tamil),
+        Script::Greek => Some(Language::Greek),
+        Script::Arabic => Some(Language::Arabic),
+        Script::Kana => Some(Language::Japanese),
+        Script::Other => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_detected_from_blocks() {
+        assert_eq!(detect_script("Nehru"), Some(Script::Latin));
+        assert_eq!(detect_script("नेहरु"), Some(Script::Devanagari));
+        assert_eq!(detect_script("நேரு"), Some(Script::Tamil));
+        assert_eq!(detect_script("Σαρρη"), Some(Script::Greek));
+        assert_eq!(detect_script("北京"), Some(Script::Other));
+        assert_eq!(detect_script("123 !?"), None);
+    }
+
+    #[test]
+    fn accented_latin_is_latin() {
+        assert_eq!(detect_script("René"), Some(Script::Latin));
+        assert_eq!(detect_script("École"), Some(Script::Latin));
+    }
+
+    #[test]
+    fn language_defaults_per_script() {
+        assert_eq!(detect_language("Nehru"), Some(Language::English));
+        assert_eq!(detect_language("नेहरु"), Some(Language::Hindi));
+        assert_eq!(detect_language("நேரு"), Some(Language::Tamil));
+        assert_eq!(detect_language("Νερού"), Some(Language::Greek));
+        assert_eq!(detect_language("العمارة"), Some(Language::Arabic));
+        assert_eq!(detect_language("ネルー"), Some(Language::Japanese));
+        assert_eq!(detect_language("北京"), None);
+    }
+
+    #[test]
+    fn mixed_script_majority_wins() {
+        assert_eq!(detect_script("Nehru नेहरु जवाहरलाल"), Some(Script::Devanagari));
+    }
+
+    #[test]
+    fn language_parses_from_names_and_codes() {
+        assert_eq!("english".parse::<Language>(), Ok(Language::English));
+        assert_eq!("TA".parse::<Language>(), Ok(Language::Tamil));
+        assert_eq!("el".parse::<Language>(), Ok(Language::Greek));
+        assert!("klingon".parse::<Language>().is_err());
+    }
+
+    #[test]
+    fn language_script_mapping() {
+        assert_eq!(Language::English.script(), Script::Latin);
+        assert_eq!(Language::Hindi.script(), Script::Devanagari);
+        assert_eq!(Language::French.script(), Script::Latin);
+        for l in Language::ALL {
+            let _ = l.script(); // total
+        }
+    }
+}

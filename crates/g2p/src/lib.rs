@@ -1,0 +1,64 @@
+//! Text-to-phoneme (TTP) conversion for the LexEQUAL multiscript stack.
+//!
+//! The LexEQUAL operator (Kumaran & Haritsa, EDBT 2004) transforms each
+//! lexicographic string into its phonemic representation before matching;
+//! the paper integrates third-party TTP converters (OED pronunciations for
+//! English, the Dhvani system for Hindi, hand conversion for Tamil). This
+//! crate is the from-scratch equivalent: deterministic *rule-based*
+//! grapheme-to-phoneme converters that emit segmental IPA
+//! ([`PhonemeString`]) for:
+//!
+//! * **English** — a context-sensitive rewrite-rule engine in the style of
+//!   the classic NRL letter-to-sound rules (Elovitz et al., 1976), tuned
+//!   for proper names. See [`english`].
+//! * **Hindi** — Devanagari is close to phonemic; an akshara-based
+//!   converter with inherent-schwa and final-schwa-deletion handling.
+//!   See [`hindi`].
+//! * **Tamil** — the Tamil script underspecifies voicing; positional
+//!   voicing rules (word-initial voiceless, post-nasal and intervocalic
+//!   voiced/lenited) recreate the phoneme-set mismatch the paper leans on.
+//!   See [`tamil`].
+//! * **Greek**, **French**, **Spanish** — letter/digraph maps sufficient
+//!   for the paper's Figure 1 catalog and Figure 9 samples.
+//!
+//! [`translit`] goes the *other* way (IPA → Devanagari / Tamil script) and
+//! is how the evaluation corpus renders English names into Indic scripts,
+//! replacing the paper's hand conversion.
+//!
+//! The entry point is [`G2pRegistry`], which maps a [`Language`] tag to a
+//! converter and mirrors the paper's `S_L` — "languages with IPA
+//! transformations" — including the `NORESOURCE` outcome for languages
+//! without one.
+//!
+//! # Example
+//!
+//! ```
+//! use lexequal_g2p::{G2pRegistry, Language};
+//!
+//! let registry = G2pRegistry::standard();
+//! let en = registry.transform("Nehru", Language::English).unwrap();
+//! let hi = registry.transform("नेहरु", Language::Hindi).unwrap();
+//! // Both render to phonemically close strings.
+//! assert_eq!(en.to_string(), "nɛru");
+//! assert_eq!(hi.to_string(), "neɦrʊ");
+//! ```
+
+pub mod arabic;
+pub mod english;
+pub mod error;
+pub mod french;
+pub mod greek;
+pub mod hindi;
+pub mod japanese;
+pub mod language;
+pub mod registry;
+pub mod rules;
+pub mod spanish;
+pub mod tamil;
+pub mod translit;
+
+pub use error::G2pError;
+pub use language::{detect_language, Language, Script};
+pub use registry::{G2pRegistry, TextToPhoneme};
+
+pub use lexequal_phoneme::PhonemeString;

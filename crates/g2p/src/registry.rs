@@ -1,0 +1,198 @@
+//! The converter registry: the paper's `S_L`, "languages with IPA
+//! transformations, as global resource" (Figure 8).
+
+use crate::arabic::ArabicG2p;
+use crate::english::EnglishG2p;
+use crate::error::G2pError;
+use crate::french::FrenchG2p;
+use crate::greek::GreekG2p;
+use crate::hindi::HindiG2p;
+use crate::japanese::JapaneseG2p;
+use crate::language::Language;
+use crate::spanish::SpanishG2p;
+use crate::tamil::TamilG2p;
+use lexequal_phoneme::PhonemeString;
+
+/// A text-to-phoneme converter for one language.
+pub trait TextToPhoneme {
+    /// Convert `text` to its phonemic representation.
+    fn to_phonemes(&self, text: &str) -> Result<PhonemeString, G2pError>;
+}
+
+impl TextToPhoneme for EnglishG2p {
+    fn to_phonemes(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        self.convert(text)
+    }
+}
+impl TextToPhoneme for HindiG2p {
+    fn to_phonemes(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        self.convert(text)
+    }
+}
+impl TextToPhoneme for TamilG2p {
+    fn to_phonemes(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        self.convert(text)
+    }
+}
+impl TextToPhoneme for GreekG2p {
+    fn to_phonemes(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        self.convert(text)
+    }
+}
+impl TextToPhoneme for FrenchG2p {
+    fn to_phonemes(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        self.convert(text)
+    }
+}
+impl TextToPhoneme for SpanishG2p {
+    fn to_phonemes(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        self.convert(text)
+    }
+}
+impl TextToPhoneme for ArabicG2p {
+    fn to_phonemes(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        self.convert(text)
+    }
+}
+impl TextToPhoneme for JapaneseG2p {
+    fn to_phonemes(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        self.convert(text)
+    }
+}
+
+/// Registry of installed TTP converters. The LexEQUAL algorithm consults
+/// it before transforming (`if L ∈ S_L`); languages without a converter
+/// produce the `NORESOURCE` outcome ([`G2pError::NoResource`]).
+#[derive(Debug, Clone)]
+pub struct G2pRegistry {
+    enabled: Vec<Language>,
+}
+
+impl G2pRegistry {
+    /// A registry with every supported converter installed.
+    pub fn standard() -> Self {
+        G2pRegistry {
+            enabled: Language::ALL.to_vec(),
+        }
+    }
+
+    /// A registry limited to the given languages — models a deployment
+    /// that has licensed only some TTP resources.
+    pub fn with_languages(languages: &[Language]) -> Self {
+        G2pRegistry {
+            enabled: languages.to_vec(),
+        }
+    }
+
+    /// Whether a converter is installed for `language`.
+    pub fn supports(&self, language: Language) -> bool {
+        self.enabled.contains(&language)
+    }
+
+    /// The installed languages.
+    pub fn languages(&self) -> &[Language] {
+        &self.enabled
+    }
+
+    /// Transform `text` (in `language`) to phonemes — the paper's
+    /// `transform(S, L)`.
+    pub fn transform(&self, text: &str, language: Language) -> Result<PhonemeString, G2pError> {
+        if !self.supports(language) {
+            return Err(G2pError::NoResource(language));
+        }
+        match language {
+            Language::English => EnglishG2p.to_phonemes(text),
+            Language::Hindi => HindiG2p.to_phonemes(text),
+            Language::Tamil => TamilG2p.to_phonemes(text),
+            Language::Greek => GreekG2p.to_phonemes(text),
+            Language::French => FrenchG2p.to_phonemes(text),
+            Language::Spanish => SpanishG2p.to_phonemes(text),
+            Language::Arabic => ArabicG2p.to_phonemes(text),
+            Language::Japanese => JapaneseG2p.to_phonemes(text),
+        }
+    }
+
+    /// Transform with language auto-detection (paper §2.1 caveats apply).
+    pub fn transform_detect(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        let lang = crate::language::detect_language(text).ok_or_else(|| {
+            G2pError::UntranslatableChar {
+                ch: text.chars().next().unwrap_or('?'),
+                language: Language::English,
+            }
+        })?;
+        self.transform(text, lang)
+    }
+}
+
+impl Default for G2pRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_supports_all() {
+        let r = G2pRegistry::standard();
+        for l in Language::ALL {
+            assert!(r.supports(l));
+        }
+    }
+
+    #[test]
+    fn limited_registry_returns_noresource() {
+        let r = G2pRegistry::with_languages(&[Language::English, Language::Hindi]);
+        assert!(r.transform("நேரு", Language::Tamil).is_err());
+        assert!(matches!(
+            r.transform("நேரு", Language::Tamil),
+            Err(G2pError::NoResource(Language::Tamil))
+        ));
+        assert!(r.transform("Nehru", Language::English).is_ok());
+    }
+
+    #[test]
+    fn transform_routes_by_language() {
+        let r = G2pRegistry::standard();
+        assert_eq!(
+            r.transform("Nehru", Language::English).unwrap().to_string(),
+            "nɛru" // English H before a consonant is silent
+        );
+        assert_eq!(
+            r.transform("नेहरु", Language::Hindi).unwrap().to_string(),
+            "neɦrʊ"
+        );
+        assert_eq!(
+            r.transform("நேரு", Language::Tamil).unwrap().to_string(),
+            "neːɾu"
+        );
+    }
+
+    #[test]
+    fn detect_and_transform() {
+        let r = G2pRegistry::standard();
+        assert_eq!(
+            r.transform_detect("नेहरु").unwrap(),
+            r.transform("नेहरु", Language::Hindi).unwrap()
+        );
+        assert!(r.transform_detect("??!").is_err());
+    }
+
+    #[test]
+    fn cross_language_renderings_are_phonetically_close() {
+        // The core premise of LexEQUAL: same name, different scripts,
+        // nearby phoneme strings.
+        let r = G2pRegistry::standard();
+        let en = r.transform("Nehru", Language::English).unwrap();
+        let hi = r.transform("नेहरु", Language::Hindi).unwrap();
+        let ta = r.transform("நேரு", Language::Tamil).unwrap();
+        // All three have length 4-5 and share the n-e-r-u skeleton.
+        for p in [&en, &hi, &ta] {
+            let s = p.to_string();
+            assert!(s.starts_with('n'), "{s}");
+            assert!(s.ends_with('u') || s.ends_with('ʊ'), "{s}");
+        }
+    }
+}

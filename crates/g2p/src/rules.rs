@@ -1,0 +1,377 @@
+//! A context-sensitive letter-to-sound rewrite-rule engine.
+//!
+//! This is the machinery behind the English converter: rules in the style
+//! of the classic NRL letter-to-sound system (Elovitz, Johnson, McHugh,
+//! Shore & Zue, *Automatic Translation of English Text to Phonetics by
+//! Means of Letter-to-Sound Rules*, NRL Report 7948, 1976). Each rule has
+//! the shape
+//!
+//! ```text
+//! left [ TEXT ] right  →  ipa
+//! ```
+//!
+//! reading: the literal grapheme sequence `TEXT` is pronounced `ipa` when
+//! preceded by something matching `left` and followed by something matching
+//! `right`. Rules for each letter are tried in order; the first match wins
+//! and consumes `TEXT`.
+//!
+//! Context patterns are built from literal letters plus the NRL classes:
+//!
+//! | symbol | matches |
+//! |--------|---------|
+//! | `#`    | one or more vowels (A E I O U Y) |
+//! | `:`    | zero or more consonants |
+//! | `^`    | exactly one consonant |
+//! | `.`    | one voiced consonant (B D G J L M N R V W Z) |
+//! | `%`    | one of the suffixes ER, E, ES, ED, ING, ELY |
+//! | `&`    | a sibilant: S, C, G, Z, X, J, CH, SH |
+//! | `@`    | T, S, R, D, L, Z, N, J, TH, CH, SH |
+//! | `+`    | a front vowel: E, I, Y |
+//! | ` `    | a word boundary |
+//!
+//! Matching is implemented with full backtracking, so patterns like `:#`
+//! (zero or more consonants, then vowels) behave as written rather than as
+//! a greedy approximation.
+
+use lexequal_phoneme::{PhonemeError, PhonemeString};
+
+/// One letter-to-sound rule. See the module docs for semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Left-context pattern (may be empty).
+    pub left: &'static str,
+    /// The literal grapheme sequence this rule rewrites (uppercase).
+    pub text: &'static str,
+    /// Right-context pattern (may be empty).
+    pub right: &'static str,
+    /// IPA emission (possibly empty, for silent letters).
+    pub ipa: &'static str,
+}
+
+/// Shorthand constructor used by the rule tables.
+pub const fn rule(
+    left: &'static str,
+    text: &'static str,
+    right: &'static str,
+    ipa: &'static str,
+) -> Rule {
+    Rule {
+        left,
+        text,
+        right,
+        ipa,
+    }
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'A' | 'E' | 'I' | 'O' | 'U' | 'Y')
+}
+
+fn is_consonant(c: char) -> bool {
+    c.is_ascii_uppercase() && !is_vowel(c)
+}
+
+fn is_voiced_consonant(c: char) -> bool {
+    matches!(
+        c,
+        'B' | 'D' | 'G' | 'J' | 'L' | 'M' | 'N' | 'R' | 'V' | 'W' | 'Z'
+    )
+}
+
+fn is_front_vowel(c: char) -> bool {
+    matches!(c, 'E' | 'I' | 'Y')
+}
+
+/// Suffixes matched by `%`, longest first.
+const SUFFIXES: &[&str] = &["ELY", "ING", "ER", "ES", "ED", "E"];
+/// Sibilant spellings matched by `&`, longest first.
+const SIBILANTS: &[&str] = &["CH", "SH", "S", "C", "G", "Z", "X", "J"];
+/// Spellings matched by `@`, longest first.
+const AT_SET: &[&str] = &["TH", "CH", "SH", "T", "S", "R", "D", "L", "Z", "N", "J"];
+
+/// Match `pattern` against the *beginning* of `s` (right context),
+/// with backtracking. Returns true if the whole pattern is consumed.
+fn match_right(s: &[char], pattern: &[char]) -> bool {
+    let Some((&p, rest)) = pattern.split_first() else {
+        return true;
+    };
+    match p {
+        '#' => {
+            // one or more vowels
+            let mut n = 0;
+            while n < s.len() && is_vowel(s[n]) {
+                n += 1;
+            }
+            // try the longest run first, backtracking down to 1
+            (1..=n).rev().any(|k| match_right(&s[k..], rest))
+        }
+        ':' => {
+            let mut n = 0;
+            while n < s.len() && is_consonant(s[n]) {
+                n += 1;
+            }
+            (0..=n).rev().any(|k| match_right(&s[k..], rest))
+        }
+        '^' => s.first().is_some_and(|&c| is_consonant(c)) && match_right(&s[1..], rest),
+        '.' => s.first().is_some_and(|&c| is_voiced_consonant(c)) && match_right(&s[1..], rest),
+        '+' => s.first().is_some_and(|&c| is_front_vowel(c)) && match_right(&s[1..], rest),
+        '%' => SUFFIXES.iter().any(|suf| {
+            starts_with(s, suf) && match_right(&s[suf.len()..], rest)
+        }),
+        '&' => SIBILANTS.iter().any(|sib| {
+            starts_with(s, sib) && match_right(&s[sib.len()..], rest)
+        }),
+        '@' => AT_SET.iter().any(|a| {
+            starts_with(s, a) && match_right(&s[a.len()..], rest)
+        }),
+        ' ' => s.first().is_some_and(|&c| c == ' ') && match_right(&s[1..], rest),
+        lit => s.first().is_some_and(|&c| c == lit) && match_right(&s[1..], rest),
+    }
+}
+
+/// Match `pattern` against the *end* of `s` (left context), with
+/// backtracking. Patterns are written left-to-right; matching proceeds
+/// from the right edge of `s` leftwards.
+fn match_left(s: &[char], pattern: &[char]) -> bool {
+    let Some((&p, rest)) = pattern.split_last() else {
+        return true;
+    };
+    match p {
+        '#' => {
+            let mut n = 0;
+            while n < s.len() && is_vowel(s[s.len() - 1 - n]) {
+                n += 1;
+            }
+            (1..=n).rev().any(|k| match_left(&s[..s.len() - k], rest))
+        }
+        ':' => {
+            let mut n = 0;
+            while n < s.len() && is_consonant(s[s.len() - 1 - n]) {
+                n += 1;
+            }
+            (0..=n).rev().any(|k| match_left(&s[..s.len() - k], rest))
+        }
+        '^' => {
+            s.last().is_some_and(|&c| is_consonant(c)) && match_left(&s[..s.len() - 1], rest)
+        }
+        '.' => {
+            s.last().is_some_and(|&c| is_voiced_consonant(c))
+                && match_left(&s[..s.len() - 1], rest)
+        }
+        '+' => {
+            s.last().is_some_and(|&c| is_front_vowel(c)) && match_left(&s[..s.len() - 1], rest)
+        }
+        '%' => SUFFIXES.iter().any(|suf| {
+            ends_with(s, suf) && match_left(&s[..s.len() - suf.len()], rest)
+        }),
+        '&' => SIBILANTS.iter().any(|sib| {
+            ends_with(s, sib) && match_left(&s[..s.len() - sib.len()], rest)
+        }),
+        '@' => AT_SET.iter().any(|a| {
+            ends_with(s, a) && match_left(&s[..s.len() - a.len()], rest)
+        }),
+        ' ' => s.last().is_some_and(|&c| c == ' ') && match_left(&s[..s.len() - 1], rest),
+        lit => s.last().is_some_and(|&c| c == lit) && match_left(&s[..s.len() - 1], rest),
+    }
+}
+
+fn starts_with(s: &[char], lit: &str) -> bool {
+    let lits: Vec<char> = lit.chars().collect();
+    s.len() >= lits.len() && s[..lits.len()] == lits[..]
+}
+
+fn ends_with(s: &[char], lit: &str) -> bool {
+    let lits: Vec<char> = lit.chars().collect();
+    s.len() >= lits.len() && s[s.len() - lits.len()..] == lits[..]
+}
+
+/// A compiled rule set: rules bucketed by the first letter of their `text`.
+pub struct RuleEngine {
+    buckets: Vec<Vec<Rule>>, // indexed by letter - 'A'
+}
+
+impl RuleEngine {
+    /// Build an engine from a rule table. Rules keep their relative order
+    /// within each first-letter bucket (order is the tie-breaker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rule's `text` is empty or does not start with an ASCII
+    /// uppercase letter — rule tables are static and validated at startup.
+    pub fn new(rules: &[Rule]) -> Self {
+        let mut buckets: Vec<Vec<Rule>> = vec![Vec::new(); 26];
+        for r in rules {
+            let first = r
+                .text
+                .chars()
+                .next()
+                .expect("rule text must be non-empty");
+            assert!(
+                first.is_ascii_uppercase(),
+                "rule text must start with A-Z, got {:?}",
+                r.text
+            );
+            buckets[(first as u8 - b'A') as usize].push(*r);
+        }
+        RuleEngine { buckets }
+    }
+
+    /// Convert a word to an IPA string by applying the rules left to
+    /// right. Unmatched characters (digits, punctuation) are skipped.
+    /// The input should be a single word; it is uppercased and padded
+    /// with word-boundary spaces internally.
+    pub fn apply(&self, word: &str) -> String {
+        let mut chars: Vec<char> = vec![' '];
+        chars.extend(word.chars().filter_map(normalize_char));
+        chars.push(' ');
+
+        let mut out = String::new();
+        let mut pos = 1usize; // skip leading boundary
+        while pos < chars.len() - 1 {
+            let c = chars[pos];
+            if !c.is_ascii_uppercase() {
+                pos += 1;
+                continue;
+            }
+            let bucket = &self.buckets[(c as u8 - b'A') as usize];
+            let mut advanced = false;
+            for r in bucket {
+                let text: Vec<char> = r.text.chars().collect();
+                if pos + text.len() > chars.len() - 1 {
+                    continue;
+                }
+                if chars[pos..pos + text.len()] != text[..] {
+                    continue;
+                }
+                let left: Vec<char> = r.left.chars().collect();
+                let right: Vec<char> = r.right.chars().collect();
+                if !match_left(&chars[..pos], &left) {
+                    continue;
+                }
+                if !match_right(&chars[pos + text.len()..], &right) {
+                    continue;
+                }
+                out.push_str(r.ipa);
+                pos += text.len();
+                advanced = true;
+                break;
+            }
+            if !advanced {
+                pos += 1;
+            }
+        }
+        out
+    }
+
+    /// Convert a word and parse the emission into a [`PhonemeString`].
+    pub fn convert(&self, word: &str) -> Result<PhonemeString, PhonemeError> {
+        self.apply(word).parse()
+    }
+}
+
+/// Uppercase and fold accented Latin letters to their ASCII base so the
+/// rule alphabet stays A–Z (René → RENE, École → ECOLE, Señor → SENOR).
+pub fn normalize_char(c: char) -> Option<char> {
+    let c = match c {
+        'à' | 'á' | 'â' | 'ã' | 'ä' | 'å' | 'À' | 'Á' | 'Â' | 'Ã' | 'Ä' | 'Å' => 'A',
+        'è' | 'é' | 'ê' | 'ë' | 'È' | 'É' | 'Ê' | 'Ë' => 'E',
+        'ì' | 'í' | 'î' | 'ï' | 'Ì' | 'Í' | 'Î' | 'Ï' => 'I',
+        'ò' | 'ó' | 'ô' | 'õ' | 'ö' | 'ø' | 'Ò' | 'Ó' | 'Ô' | 'Õ' | 'Ö' | 'Ø' => 'O',
+        'ù' | 'ú' | 'û' | 'ü' | 'Ù' | 'Ú' | 'Û' | 'Ü' => 'U',
+        'ñ' | 'Ñ' => 'N',
+        'ç' | 'Ç' => 'C',
+        'ý' | 'ÿ' | 'Ý' => 'Y',
+        other => other,
+    };
+    let u = c.to_ascii_uppercase();
+    if u.is_ascii_uppercase() {
+        Some(u)
+    } else if c == ' ' || c == '-' || c == '\'' {
+        // treat separators as word boundaries
+        Some(' ')
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn right_context_classes() {
+        // '#': one or more vowels
+        assert!(match_right(&chars("AK"), &chars("#")));
+        assert!(match_right(&chars("AIK"), &chars("#^")));
+        assert!(!match_right(&chars("KA"), &chars("#")));
+        // ':' zero or more consonants then vowel — requires backtracking
+        assert!(match_right(&chars("STRA"), &chars(":#")));
+        assert!(match_right(&chars("A"), &chars(":#")));
+        // '^' exactly one consonant
+        assert!(match_right(&chars("T "), &chars("^ ")));
+        assert!(!match_right(&chars("A "), &chars("^ ")));
+        // '%' suffix
+        assert!(match_right(&chars("ED "), &chars("% ")));
+        assert!(match_right(&chars("ING "), &chars("% ")));
+        assert!(!match_right(&chars("OK "), &chars("% ")));
+        // '&' sibilant, two-char first
+        assert!(match_right(&chars("CH "), &chars("& ")));
+        assert!(match_right(&chars("S "), &chars("& ")));
+        // '+' front vowel
+        assert!(match_right(&chars("E"), &chars("+")));
+        assert!(!match_right(&chars("O"), &chars("+")));
+    }
+
+    #[test]
+    fn left_context_classes() {
+        assert!(match_left(&chars(" N"), &chars("^")));
+        assert!(match_left(&chars(" NA"), &chars("^#")));
+        assert!(match_left(&chars(" "), &chars(" ")));
+        assert!(match_left(&chars(" STR"), &chars(" :")));
+        // '#:' — vowels then optional consonants, ending at match point
+        assert!(match_left(&chars(" CAT"), &chars("#:")));
+        assert!(match_left(&chars(" CA"), &chars("#:")));
+        assert!(!match_left(&chars(" C"), &chars("#:")));
+    }
+
+    #[test]
+    fn backtracking_needed_cases() {
+        // Pattern "::" would loop greedily; with backtracking it's fine.
+        assert!(match_right(&chars("STR"), &chars("::")));
+        // "#:#" vowels-consonants-vowels
+        assert!(match_left(&chars(" ANTI"), &chars("#:#")));
+    }
+
+    #[test]
+    fn engine_applies_first_matching_rule() {
+        let rules = [
+            rule(" ", "AB", "", "xy"), // never fires: 'x' not IPA, just test apply()
+            rule("", "A", "", "a"),
+            rule("", "B", "", "b"),
+        ];
+        let e = RuleEngine::new(&rules);
+        assert_eq!(e.apply("ba"), "ba");
+        assert_eq!(e.apply("ab"), "xy"); // word-initial AB matches first rule
+        assert_eq!(e.apply("aab"), "aab"); // AB at pos 2 is not word-initial
+    }
+
+    #[test]
+    fn normalization_folds_accents_and_case() {
+        assert_eq!(normalize_char('é'), Some('E'));
+        assert_eq!(normalize_char('ñ'), Some('N'));
+        assert_eq!(normalize_char('z'), Some('Z'));
+        assert_eq!(normalize_char('-'), Some(' '));
+        assert_eq!(normalize_char('7'), None);
+    }
+
+    #[test]
+    fn unmatched_letters_are_skipped_not_looped() {
+        let e = RuleEngine::new(&[rule("", "A", "", "a")]);
+        // 'Z' has no rule: skipped, no infinite loop.
+        assert_eq!(e.apply("zaz"), "a");
+    }
+}

@@ -1,0 +1,172 @@
+//! Spanish grapheme-to-phoneme conversion (compact).
+//!
+//! Spanish orthography is highly regular. Covers the paper's Figure 9
+//! sample (Español → /ɛspanjøl/-like) and Latin-American consonant values
+//! (seseo: c/z before front vowels → /s/). Sufficient for proper names.
+
+use crate::error::G2pError;
+use crate::language::Language;
+use lexequal_phoneme::PhonemeString;
+
+fn fold(c: char) -> char {
+    match c.to_lowercase().next().unwrap_or(c) {
+        'á' => 'a',
+        'é' => 'e',
+        'í' => 'i',
+        'ó' => 'o',
+        'ú' | 'ü' => 'u',
+        other => other,
+    }
+}
+
+/// The Spanish text-to-phoneme converter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanishG2p;
+
+impl SpanishG2p {
+    /// Convert Spanish text to IPA phonemes.
+    pub fn convert(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        let mut ipa = String::new();
+        for word in text.split(|c: char| c.is_whitespace() || c == '-') {
+            if word.is_empty() {
+                continue;
+            }
+            convert_word(word, &mut ipa)?;
+        }
+        Ok(ipa.parse()?)
+    }
+}
+
+fn convert_word(word: &str, ipa: &mut String) -> Result<(), G2pError> {
+    let chars: Vec<char> = word.chars().map(fold).collect();
+    let n = chars.len();
+    let mut i = 0usize;
+    while i < n {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match (c, next) {
+            ('c', Some('h')) => {
+                ipa.push_str("tʃ");
+                i += 2;
+            }
+            ('l', Some('l')) => {
+                ipa.push('j');
+                i += 2;
+            }
+            ('r', Some('r')) => {
+                ipa.push('r');
+                i += 2;
+            }
+            ('q', Some('u')) => {
+                ipa.push('k');
+                i += 2;
+                // silent u before e/i: qu+e -> ke (u consumed above)
+            }
+            ('g', Some('u')) if matches!(chars.get(i + 2), Some('e') | Some('i')) => {
+                ipa.push('g');
+                i += 2; // silent u
+            }
+            ('c', Some('e' | 'i')) => {
+                ipa.push('s'); // seseo
+                i += 1;
+            }
+            ('g', Some('e' | 'i')) => {
+                ipa.push('x');
+                i += 1;
+            }
+            _ => {
+                let s = match c {
+                    'a' => "a",
+                    'b' | 'v' => "b",
+                    'c' | 'k' => "k",
+                    'd' => "d",
+                    'e' => "ɛ",
+                    'f' => "f",
+                    'g' => "g",
+                    'h' => "", // silent
+                    'i' => "i",
+                    'j' => "x",
+                    'l' => "l",
+                    'm' => "m",
+                    'n' => "n",
+                    'ñ' => "nj",
+                    'o' => "o",
+                    'p' => "p",
+                    'r' => {
+                        if i == 0 {
+                            "r" // word-initial trill
+                        } else {
+                            "ɾ"
+                        }
+                    }
+                    's' => "s",
+                    't' => "t",
+                    'u' => "u",
+                    'w' => "w",
+                    'x' => "ks",
+                    'y' => "j",
+                    'z' => "s", // seseo
+                    other => {
+                        return Err(G2pError::UntranslatableChar {
+                            ch: other,
+                            language: Language::Spanish,
+                        })
+                    }
+                };
+                ipa.push_str(s);
+                i += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ipa(text: &str) -> String {
+        SpanishG2p.convert(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn espanol_resembles_paper_figure9() {
+        // Paper Fig. 9: Español -> ɛspanjøl; ours is ɛspanjol (ñ -> nj).
+        assert_eq!(ipa("Español"), "ɛspanjol");
+    }
+
+    #[test]
+    fn jesus_is_hesus() {
+        // The paper's §2.1 example: Jesus vocalizes as /hesus/-like in
+        // Spanish (j -> x, a velar fricative near /h/).
+        assert_eq!(ipa("Jesús"), "xɛsus");
+    }
+
+    #[test]
+    fn digraphs() {
+        assert_eq!(ipa("llama"), "jama");
+        assert_eq!(ipa("perro"), "pɛro");
+        assert_eq!(ipa("chico"), "tʃiko");
+        assert_eq!(ipa("queso"), "kɛso");
+        assert_eq!(ipa("guitarra"), "gitara");
+    }
+
+    #[test]
+    fn seseo() {
+        assert!(ipa("cinco").starts_with('s'));
+        assert!(ipa("zapata").starts_with('s'));
+        assert!(ipa("casa").starts_with('k'));
+    }
+
+    #[test]
+    fn silent_h_and_bv_merger() {
+        assert_eq!(ipa("hola"), "ola");
+        assert_eq!(ipa("vaca"), ipa("baca"));
+    }
+
+    #[test]
+    fn r_trill_vs_tap() {
+        assert!(ipa("rosa").starts_with('r'));
+        assert_eq!(ipa("pero"), "pɛɾo");
+    }
+}

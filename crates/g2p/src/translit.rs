@@ -1,0 +1,394 @@
+//! Phoneme → Indic-script transliteration.
+//!
+//! The paper's evaluation corpus was built by *hand-converting* ~800
+//! English names into Hindi and Tamil scripts (§4.1). This module
+//! mechanizes that step: it renders a [`PhonemeString`] into Devanagari or
+//! Tamil orthography, respecting each script's conventions (inherent
+//! vowels, matras, virama/pulli, Tamil's collapsed voicing distinction).
+//!
+//! The composition *English name → IPA → Indic script → per-language G2P →
+//! IPA* purposely does **not** round-trip exactly: Tamil cannot write
+//! voicing, Devanagari has no /æ/-/ɛ/ contrast in common use, short /u/
+//! surfaces as /ʊ/, and so on. These are the very phoneme-set mismatches
+//! the LexEQUAL evaluation measures (recall at threshold 0 is far below 1
+//! because of them — see Figure 11).
+
+use lexequal_phoneme::{Phoneme, PhonemeString};
+
+/// How a script writes a vowel: standalone letter and combining sign.
+struct VowelForm {
+    independent: &'static str,
+    matra: &'static str, // empty string = the inherent vowel (no sign)
+}
+
+/// Script-specific transliteration tables.
+struct ScriptTable {
+    /// Map an IPA consonant to a letter (None if the phoneme is a vowel
+    /// or unmappable).
+    consonant: fn(&str) -> Option<&'static str>,
+    /// Map an IPA vowel to its written forms.
+    vowel: fn(&str) -> Option<VowelForm>,
+    /// The virama / pulli sign.
+    virama: char,
+    /// Whether a word-final consonant takes an explicit virama (Tamil:
+    /// yes — கமல்; Devanagari: no — final schwa is deleted in speech).
+    final_virama: bool,
+}
+
+fn devanagari_consonant(sym: &str) -> Option<&'static str> {
+    Some(match sym {
+        "p" => "प",
+        "b" => "ब",
+        "t" => "त",
+        "d" => "द",
+        "ʈ" => "ट",
+        "ɖ" => "ड",
+        "k" => "क",
+        "g" => "ग",
+        "q" => "क़",
+        "pʰ" => "फ",
+        "bʱ" => "भ",
+        "tʰ" => "थ",
+        "dʱ" => "ध",
+        "ʈʰ" => "ठ",
+        "ɖʱ" => "ढ",
+        "kʰ" => "ख",
+        "gʱ" => "घ",
+        "m" => "म",
+        "n" => "न",
+        "ɳ" => "ण",
+        "ɲ" => "ञ",
+        "ŋ" => "ङ",
+        "f" | "ɸ" => "फ़",
+        "v" | "β" | "ʋ" | "w" => "व",
+        "θ" => "थ",
+        "ð" => "द",
+        "s" => "स",
+        "z" => "ज़",
+        "ʃ" | "ç" => "श",
+        "ʒ" => "ज़",
+        "ʂ" => "ष",
+        "x" => "ख़",
+        "ɣ" => "ग़",
+        "h" | "ɦ" => "ह",
+        "ts" | "tʃ" => "च",
+        "dz" | "dʒ" => "ज",
+        "tʃʰ" => "छ",
+        "dʒʱ" => "झ",
+        "r" | "ɾ" | "ɻ" => "र",
+        "ɽ" => "ड़",
+        "l" | "ɭ" | "ʎ" => "ल",
+        "j" => "य",
+        _ => return None,
+    })
+}
+
+fn devanagari_vowel(sym: &str) -> Option<VowelForm> {
+    let (independent, matra) = match sym {
+        "ə" | "ʌ" | "ɜ" | "ɜː" => ("अ", ""),
+        // All open vowels render with the long-a series, as romanized
+        // Indian names do (Aakash -> आकाश).
+        "a" | "ɑ" | "aː" | "æ" => ("आ", "\u{093E}"),
+        "ɛ" | "ɛː" => ("ऐ", "\u{0948}"),
+        "i" | "ɪ" => ("इ", "\u{093F}"),
+        "iː" => ("ई", "\u{0940}"),
+        "u" | "ʊ" | "y" => ("उ", "\u{0941}"),
+        "uː" => ("ऊ", "\u{0942}"),
+        "e" | "eː" => ("ए", "\u{0947}"),
+        "o" | "oː" | "ø" => ("ओ", "\u{094B}"),
+        "ɔ" | "ɔː" => ("औ", "\u{094C}"),
+        "ɒ" => ("ऑ", "\u{0949}"),
+        _ => return None,
+    };
+    Some(VowelForm { independent, matra })
+}
+
+fn tamil_consonant(sym: &str) -> Option<&'static str> {
+    Some(match sym {
+        // Tamil writes one letter per plosive series — voicing collapses.
+        "p" | "b" | "pʰ" | "bʱ" | "ɸ" | "β" => "ப",
+        "f" => "ஃப", // aytham + pa
+        "t" | "d" | "tʰ" | "dʱ" | "θ" | "ð" => "த",
+        "ʈ" | "ɖ" | "ʈʰ" | "ɖʱ" | "ɽ" => "ட",
+        "k" | "g" | "kʰ" | "gʱ" | "q" | "x" | "ɣ" => "க",
+        "tʃ" | "tʃʰ" | "ts" | "ç" => "ச",
+        "dʒ" | "dʒʱ" | "dz" => "ஜ",
+        "s" | "z" => "ஸ",
+        "ʃ" | "ʒ" | "ʂ" => "ஷ",
+        "m" => "ம",
+        "n" => "ந",
+        "ɳ" => "ண",
+        "ɲ" => "ஞ",
+        "ŋ" => "ங",
+        "r" | "ɾ" => "ர",
+        "l" | "ʎ" => "ல",
+        "ɭ" => "ள",
+        "ɻ" => "ழ",
+        "j" => "ய",
+        "v" | "ʋ" | "w" => "வ",
+        "h" | "ɦ" => "ஹ",
+        _ => return None,
+    })
+}
+
+fn tamil_vowel(sym: &str) -> Option<VowelForm> {
+    let (independent, matra) = match sym {
+        "a" | "ə" | "ʌ" | "ɜ" | "ɜː" => ("அ", ""),
+        "aː" | "ɑ" | "ɒ" | "æ" => ("ஆ", "\u{0BBE}"),
+        "i" | "ɪ" => ("இ", "\u{0BBF}"),
+        "iː" => ("ஈ", "\u{0BC0}"),
+        "u" | "ʊ" | "y" => ("உ", "\u{0BC1}"),
+        "uː" => ("ஊ", "\u{0BC2}"),
+        "e" | "ɛ" | "ø" | "ɛː" => ("எ", "\u{0BC6}"),
+        "eː" => ("ஏ", "\u{0BC7}"),
+        "o" | "ɔ" => ("ஒ", "\u{0BCA}"),
+        "oː" | "ɔː" => ("ஓ", "\u{0BCB}"),
+        _ => return None,
+    };
+    Some(VowelForm { independent, matra })
+}
+
+static DEVANAGARI: ScriptTable = ScriptTable {
+    consonant: devanagari_consonant,
+    vowel: devanagari_vowel,
+    virama: '\u{094D}',
+    final_virama: false,
+};
+
+static TAMIL: ScriptTable = ScriptTable {
+    consonant: tamil_consonant,
+    vowel: tamil_vowel,
+    virama: '\u{0BCD}',
+    final_virama: true,
+};
+
+fn transliterate(phonemes: &PhonemeString, table: &ScriptTable) -> String {
+    let mut out = String::new();
+    let mut pending_consonant = false; // last emitted unit is a bare consonant
+    for &p in phonemes.iter() {
+        let sym = p.symbol();
+        if let Some(letter) = (table.consonant)(sym) {
+            if pending_consonant {
+                out.push(table.virama); // consonant cluster
+            }
+            out.push_str(letter);
+            pending_consonant = true;
+        } else if let Some(form) = (table.vowel)(sym) {
+            if pending_consonant {
+                out.push_str(form.matra); // empty for the inherent vowel
+            } else {
+                out.push_str(form.independent);
+            }
+            pending_consonant = false;
+        } else {
+            // Unmappable phoneme (e.g. glottal stop): skip, as a human
+            // transliterator would.
+        }
+    }
+    if pending_consonant && table.final_virama {
+        out.push(table.virama);
+    }
+    out
+}
+
+/// Render a phoneme string in Devanagari orthography.
+pub fn to_devanagari(phonemes: &PhonemeString) -> String {
+    transliterate(phonemes, &DEVANAGARI)
+}
+
+/// Render a phoneme string in Tamil orthography.
+pub fn to_tamil(phonemes: &PhonemeString) -> String {
+    transliterate(phonemes, &TAMIL)
+}
+
+/// Convenience: phoneme symbol of each segment — used by tests.
+#[allow(dead_code)]
+fn syms(s: &PhonemeString) -> Vec<&'static str> {
+    s.iter().map(|p: &Phoneme| p.symbol()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hindi::HindiG2p;
+    use crate::tamil::TamilG2p;
+
+    fn ps(ipa: &str) -> PhonemeString {
+        ipa.parse().unwrap()
+    }
+
+    #[test]
+    fn nehru_to_devanagari() {
+        // n-e-h-r-u -> ने + ह् + रु. The transliterator writes the hr
+        // cluster explicitly with a virama (native orthography नेहरु relies
+        // on schwa deletion instead); both read back as /neɦru/-like.
+        assert_eq!(to_devanagari(&ps("nehru")), "नेह\u{094D}रु");
+        let back = HindiG2p.convert("नेह\u{094D}रु").unwrap().to_string();
+        assert_eq!(back, HindiG2p.convert("नेहरु").unwrap().to_string());
+    }
+
+    #[test]
+    fn nehru_to_tamil() {
+        assert_eq!(to_tamil(&ps("neːru")), "நேரு");
+    }
+
+    #[test]
+    fn clusters_get_virama() {
+        // "indra" has the -ndr- cluster.
+        let d = to_devanagari(&ps("ɪndra"));
+        assert!(d.contains('\u{094D}'), "expected virama in {d}");
+    }
+
+    #[test]
+    fn tamil_final_consonant_takes_pulli() {
+        let t = to_tamil(&ps("kamal"));
+        assert!(t.ends_with('\u{0BCD}'), "expected pulli at end of {t}");
+        assert_eq!(t, "கமல்");
+    }
+
+    #[test]
+    fn devanagari_final_consonant_is_bare() {
+        assert_eq!(to_devanagari(&ps("raːm")), "राम");
+    }
+
+    #[test]
+    fn inherent_vowel_is_invisible() {
+        // kə -> क alone (schwa is inherent)
+        assert_eq!(to_devanagari(&ps("kə")), "क");
+        assert_eq!(to_tamil(&ps("ka")), "க");
+    }
+
+    #[test]
+    fn roundtrip_through_hindi_g2p_is_phonetically_close() {
+        // IPA -> Devanagari -> Hindi G2P -> IPA must be *close* but not
+        // necessarily identical (that's the paper's fuzziness).
+        let original = ps("dʒəʋaɦərlaːl");
+        let script = to_devanagari(&original);
+        let back = HindiG2p.convert(&script).unwrap();
+        // Lengths stay equal here; segments may differ in quality (a~ə).
+        assert_eq!(back.len(), original.len());
+    }
+
+    #[test]
+    fn roundtrip_through_tamil_loses_voicing() {
+        // "gopal" written in Tamil begins with க which reads back /k/.
+        let original = ps("goːpaːl");
+        let script = to_tamil(&original);
+        let back = TamilG2p.convert(&script).unwrap().to_string();
+        assert!(back.starts_with('k'), "Tamil voicing collapse: {back}");
+    }
+
+    #[test]
+    fn f_spelled_with_aytham_in_tamil() {
+        let t = to_tamil(&ps("fan"));
+        assert!(t.starts_with('ஃ'), "got {t}");
+        // and reads back as f
+        let back = TamilG2p.convert(&t).unwrap().to_string();
+        assert!(back.starts_with('f'), "got {back}");
+    }
+
+    #[test]
+    fn every_inventory_phoneme_maps_or_skips_cleanly() {
+        use lexequal_phoneme::Inventory;
+        for p in Inventory::iter() {
+            let s = PhonemeString::new(vec![p]);
+            // Must not panic:
+            let _ = to_devanagari(&s);
+            let _ = to_tamil(&s);
+        }
+    }
+
+    #[test]
+    fn unmappable_phonemes_are_skipped() {
+        // Glottal stop has no Devanagari spelling.
+        assert_eq!(to_devanagari(&ps("ʔə")), "अ");
+    }
+}
+
+/// Render a phoneme string as a plain-ASCII romanization — for showing
+/// matches from any script to a Latin-script user (the search-engine use
+/// case of paper §5.3). Lossy by design: aspiration becomes `h`,
+/// length doubles the vowel, retroflex/dental distinctions collapse.
+pub fn to_latin(phonemes: &PhonemeString) -> String {
+    let mut out = String::new();
+    for &p in phonemes.iter() {
+        let s = match p.symbol() {
+            "ʈ" => "t",
+            "ɖ" => "d",
+            "q" => "q",
+            "ʔ" => "'",
+            "pʰ" => "ph",
+            "bʱ" => "bh",
+            "tʰ" => "th",
+            "dʱ" => "dh",
+            "ʈʰ" => "th",
+            "ɖʱ" => "dh",
+            "kʰ" => "kh",
+            "gʱ" => "gh",
+            "ɳ" | "ɲ" => "n",
+            "ŋ" => "ng",
+            "ɸ" => "f",
+            "β" | "ʋ" => "v",
+            "θ" => "th",
+            "ð" => "dh",
+            "ʃ" | "ʂ" | "ç" => "sh",
+            "ʒ" => "zh",
+            "x" => "kh",
+            "ɣ" => "gh",
+            "ɦ" => "h",
+            "ts" => "ts",
+            "dz" => "dz",
+            "tʃ" => "ch",
+            "dʒ" => "j",
+            "tʃʰ" => "chh",
+            "dʒʱ" => "jh",
+            "ɾ" | "ɻ" | "ɽ" => "r",
+            "ɭ" | "ʎ" => "l",
+            "j" => "y",
+            "ɪ" => "i",
+            "iː" => "ee",
+            "y" => "u",
+            "ɛ" | "ɛː" => "e",
+            "ø" => "o",
+            "æ" => "a",
+            "ɑ" | "aː" => "aa",
+            "ɒ" | "ɔ" | "ɔː" => "o",
+            "oː" => "oo",
+            "ʊ" => "u",
+            "uː" => "oo",
+            "ʌ" | "ə" | "ɜ" | "ɜː" => "a",
+            "eː" => "e",
+            other => other, // plain ASCII segments pass through
+        };
+        out.push_str(s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod latin_tests {
+    use super::*;
+
+    #[test]
+    fn romanization_is_plain_ascii() {
+        use lexequal_phoneme::Inventory;
+        for p in Inventory::iter() {
+            let s = to_latin(&PhonemeString::new(vec![p]));
+            assert!(
+                s.chars().all(|c| c.is_ascii()),
+                "{:?} romanized to non-ASCII {s:?}",
+                p
+            );
+        }
+    }
+
+    #[test]
+    fn familiar_names_read_naturally() {
+        let neru: PhonemeString = "neɦrʊ".parse().unwrap();
+        assert_eq!(to_latin(&neru), "nehru");
+        let gandhi: PhonemeString = "gaːndʱiː".parse().unwrap();
+        assert_eq!(to_latin(&gandhi), "gaandhee");
+        let chennai: PhonemeString = "tʃɛnnai".parse().unwrap();
+        assert_eq!(to_latin(&chennai), "chennai");
+    }
+}

@@ -1,0 +1,106 @@
+//! Totality properties: the converters must never panic and must emit
+//! only inventory-valid IPA, for *any* input in their script — the
+//! database deployment (UDF called on arbitrary column values) depends
+//! on it.
+
+use lexequal_g2p::{G2pRegistry, Language};
+use proptest::prelude::*;
+
+fn registry() -> G2pRegistry {
+    G2pRegistry::standard()
+}
+
+proptest! {
+    /// English: any ASCII-ish text converts without panicking; outputs
+    /// parse back into the inventory (guaranteed by the Ok type) and are
+    /// deterministic.
+    #[test]
+    fn english_total_on_ascii(s in "[A-Za-z' -]{0,24}") {
+        let r = registry();
+        let a = r.transform(&s, Language::English);
+        let b = r.transform(&s, Language::English);
+        prop_assert_eq!(a.is_ok(), b.is_ok());
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// English with accented Latin: accents fold, never panic.
+    #[test]
+    fn english_total_on_accented(s in "[A-Za-zàâéèêëïîôùûüçñ]{0,16}") {
+        let _ = registry().transform(&s, Language::English);
+    }
+
+    /// Hindi: arbitrary Devanagari-block text either converts or reports
+    /// a specific untranslatable character — never panics.
+    #[test]
+    fn hindi_total_on_devanagari(cp in proptest::collection::vec(0x0900u32..0x097F, 0..16)) {
+        let s: String = cp.into_iter().filter_map(char::from_u32).collect();
+        let _ = registry().transform(&s, Language::Hindi);
+    }
+
+    /// Tamil block totality.
+    #[test]
+    fn tamil_total_on_tamil_block(cp in proptest::collection::vec(0x0B80u32..0x0BFF, 0..16)) {
+        let s: String = cp.into_iter().filter_map(char::from_u32).collect();
+        let _ = registry().transform(&s, Language::Tamil);
+    }
+
+    /// Greek block totality.
+    #[test]
+    fn greek_total(cp in proptest::collection::vec(0x0370u32..0x03FF, 0..16)) {
+        let s: String = cp.into_iter().filter_map(char::from_u32).collect();
+        let _ = registry().transform(&s, Language::Greek);
+    }
+
+    /// Arabic block totality.
+    #[test]
+    fn arabic_total(cp in proptest::collection::vec(0x0600u32..0x06FF, 0..16)) {
+        let s: String = cp.into_iter().filter_map(char::from_u32).collect();
+        let _ = registry().transform(&s, Language::Arabic);
+    }
+
+    /// Kana block totality.
+    #[test]
+    fn japanese_total(cp in proptest::collection::vec(0x3040u32..0x30FF, 0..16)) {
+        let s: String = cp.into_iter().filter_map(char::from_u32).collect();
+        let _ = registry().transform(&s, Language::Japanese);
+    }
+
+    /// Completely arbitrary Unicode: conversion may fail but not panic,
+    /// in every language.
+    #[test]
+    fn never_panics_on_arbitrary_unicode(s in "\\PC{0,12}") {
+        let r = registry();
+        for lang in Language::ALL {
+            let _ = r.transform(&s, lang);
+        }
+    }
+
+    /// Transliteration round trips: any English conversion result can be
+    /// rendered in both Indic scripts and read back by the respective
+    /// converters without error.
+    #[test]
+    fn translit_roundtrip_total(s in "[A-Za-z]{1,16}") {
+        let r = registry();
+        if let Ok(p) = r.transform(&s, Language::English) {
+            if p.is_empty() {
+                return Ok(());
+            }
+            let deva = lexequal_g2p::translit::to_devanagari(&p);
+            let tamil = lexequal_g2p::translit::to_tamil(&p);
+            if !deva.is_empty() {
+                prop_assert!(
+                    r.transform(&deva, Language::Hindi).is_ok(),
+                    "Hindi G2P rejected transliterator output {deva:?} for {s:?}"
+                );
+            }
+            if !tamil.is_empty() {
+                prop_assert!(
+                    r.transform(&tamil, Language::Tamil).is_ok(),
+                    "Tamil G2P rejected transliterator output {tamil:?} for {s:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Generic names: places, objects and chemicals (OED flavour).
+
+/// 160 generic nouns across the paper's three categories.
+#[rustfmt::skip]
+pub static GENERIC_NAMES: &[&str] = &[
+    // Places
+    "Alexandria", "Amsterdam", "Athens", "Atlanta", "Baghdad", "Bangalore",
+    "Barcelona", "Beijing", "Berlin", "Bombay", "Boston", "Brussels",
+    "Budapest", "Cairo", "Calcutta", "Chicago", "Copenhagen", "Damascus",
+    "Delhi", "Denver", "Dublin", "Edinburgh", "Florence", "Geneva",
+    "Hamburg", "Havana", "Helsinki", "Houston", "Istanbul", "Jakarta",
+    "Jerusalem", "Karachi", "Kyoto", "Lahore", "Lisbon", "London",
+    "Madras", "Madrid", "Manila", "Marseille", "Melbourne", "Montreal",
+    "Moscow", "Munich", "Nairobi", "Naples", "Osaka", "Oslo", "Paris",
+    "Prague", "Rangoon", "Rome", "Seattle", "Seoul", "Shanghai",
+    "Singapore", "Stockholm", "Sydney", "Tehran", "Tokyo", "Toronto",
+    "Venice", "Vienna", "Warsaw", "Zurich",
+    // Objects
+    "Anchor", "Basket", "Bicycle", "Blanket", "Bottle", "Bridge",
+    "Bucket", "Button", "Camera", "Candle", "Carpet", "Chariot",
+    "Compass", "Curtain", "Diamond", "Engine", "Fountain", "Furnace",
+    "Garden", "Guitar", "Hammer", "Harvest", "Ladder", "Lantern",
+    "Machine", "Mirror", "Needle", "Organ", "Palace", "Pencil",
+    "Piano", "Pillar", "Pitcher", "Pulley", "Ribbon", "Saddle",
+    "Scissors", "Shovel", "Spindle", "Stable", "Telescope", "Temple",
+    "Theatre", "Trumpet", "Turbine", "Umbrella", "Vessel", "Violin",
+    "Wagon", "Whistle",
+    // Chemicals
+    "Acetone", "Ammonia", "Argon", "Arsenic", "Barium", "Benzene",
+    "Bromine", "Cadmium", "Calcium", "Carbon", "Chlorine", "Chromium",
+    "Cobalt", "Copper", "Ethanol", "Fluorine", "Glucose", "Glycerin",
+    "Helium", "Hydrogen", "Iodine", "Iridium", "Lithium", "Magnesium",
+    "Manganese", "Mercury", "Methane", "Nickel", "Nitrogen", "Oxygen",
+    "Phosphorus", "Platinum", "Potassium", "Propane", "Radium", "Silicon",
+    "Sodium", "Sulphur", "Titanium", "Tungsten", "Uranium", "Vanadium",
+    "Xenon", "Zinc", "Zirconium", "Quinine",
+];

@@ -1,0 +1,85 @@
+//! Base name lists for the evaluation corpus.
+//!
+//! The paper's corpus (§4.1) drew from three sources "so as to cover
+//! common names in English and Indic domains":
+//!
+//! 1. names "randomly picked … from the *Bangalore Telephone Directory*,
+//!    covering most frequently used Indian names" → [`INDIAN_NAMES`];
+//! 2. names "from the *San Francisco Physicians Directory*, covering most
+//!    common American first and last names" → [`AMERICAN_NAMES`];
+//! 3. "generic names representing Places, Objects and Chemicals … picked
+//!    from the *Oxford English Dictionary*" → [`GENERIC_NAMES`].
+//!
+//! Neither directory is available, so these lists are equivalent samples
+//! of the same populations (see DESIGN.md §2). Together they provide the
+//! ~800 English-script base names the corpus generator renders into
+//! Devanagari and Tamil.
+
+mod american;
+mod generic;
+mod indian;
+
+pub use american::AMERICAN_NAMES;
+pub use generic::GENERIC_NAMES;
+pub use indian::INDIAN_NAMES;
+
+/// The three name domains of the corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NameDomain {
+    /// Bangalore-telephone-directory-style Indian names.
+    Indian,
+    /// San-Francisco-physicians-style American names.
+    American,
+    /// OED-style generic nouns (places, objects, chemicals).
+    Generic,
+}
+
+/// All base names with their domains, in a stable order.
+pub fn all_names() -> impl Iterator<Item = (&'static str, NameDomain)> {
+    INDIAN_NAMES
+        .iter()
+        .map(|n| (*n, NameDomain::Indian))
+        .chain(AMERICAN_NAMES.iter().map(|n| (*n, NameDomain::American)))
+        .chain(GENERIC_NAMES.iter().map(|n| (*n, NameDomain::Generic)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roughly_800_names_total() {
+        let n = all_names().count();
+        assert!(
+            (750..=900).contains(&n),
+            "paper used ~800 base names, got {n}"
+        );
+    }
+
+    #[test]
+    fn no_duplicates_within_or_across_lists() {
+        let mut seen = HashSet::new();
+        for (name, _) in all_names() {
+            assert!(seen.insert(name.to_lowercase()), "duplicate name {name}");
+        }
+    }
+
+    #[test]
+    fn names_are_ascii_alphabetic_words() {
+        for (name, _) in all_names() {
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphabetic()),
+                "bad name {name:?}"
+            );
+            assert!(name.len() >= 2, "too short: {name:?}");
+        }
+    }
+
+    #[test]
+    fn domains_have_expected_sizes() {
+        assert!((280..=360).contains(&INDIAN_NAMES.len()));
+        assert!((280..=360).contains(&AMERICAN_NAMES.len()));
+        assert!((140..=220).contains(&GENERIC_NAMES.len()));
+    }
+}

@@ -1,0 +1,161 @@
+//! The synthetic performance dataset (paper §5).
+//!
+//! "Since the real multiscript lexicon … was not large enough for
+//! performance experiments, we synthetically generated a large dataset …
+//! Specifically, we concatenated each string with all remaining strings
+//! *within a given language*. The generated set contained about 200,000
+//! names, with an average lexicographic length of 14.71 and average
+//! phonemic length of 14.31."
+//!
+//! With ~800 base names per language the full pairwise concatenation
+//! would exceed 600K entries *per language*; the paper's 200K total
+//! implies a subset of roughly 260 base names per language. The generator
+//! takes a target size and picks the base-name prefix per language that
+//! meets it.
+
+use crate::corpus::Corpus;
+use lexequal_g2p::Language;
+use lexequal_phoneme::PhonemeString;
+
+/// One generated entry: concatenated text, language, phonemes.
+#[derive(Debug, Clone)]
+pub struct SyntheticEntry {
+    /// Concatenated lexicographic string.
+    pub text: String,
+    /// Language (same as both sources).
+    pub language: Language,
+    /// Concatenated phoneme string.
+    pub phonemes: PhonemeString,
+}
+
+/// The generated dataset.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// All entries.
+    pub entries: Vec<SyntheticEntry>,
+}
+
+impl SyntheticDataset {
+    /// Generate ≈`target` entries from the corpus by in-language pairwise
+    /// concatenation, balanced across the three languages.
+    pub fn generate(corpus: &Corpus, target: usize) -> Self {
+        let per_language = target / 3;
+        // n(n-1) >= per_language  =>  n ≈ ceil((1+sqrt(1+4p))/2)
+        let n = ((1.0 + (1.0 + 4.0 * per_language as f64).sqrt()) / 2.0).ceil() as usize;
+        let mut entries = Vec::with_capacity(3 * n * n.saturating_sub(1));
+        for language in [Language::English, Language::Hindi, Language::Tamil] {
+            let base: Vec<&crate::corpus::LexiconEntry> = corpus
+                .entries
+                .iter()
+                .filter(|e| e.language == language)
+                .take(n)
+                .collect();
+            for (i, a) in base.iter().enumerate() {
+                for (j, b) in base.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    entries.push(SyntheticEntry {
+                        text: format!("{}{}", a.text, b.text),
+                        language,
+                        phonemes: a.phonemes.concat(&b.phonemes),
+                    });
+                }
+            }
+        }
+        SyntheticDataset { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Average lexicographic length in characters (paper: 14.71).
+    pub fn avg_lex_len(&self) -> f64 {
+        let total: usize = self.entries.iter().map(|e| e.text.chars().count()).sum();
+        total as f64 / self.len() as f64
+    }
+
+    /// Average phonemic length in segments (paper: 14.31).
+    pub fn avg_phon_len(&self) -> f64 {
+        let total: usize = self.entries.iter().map(|e| e.phonemes.len()).sum();
+        total as f64 / self.len() as f64
+    }
+
+    /// Length histogram `(length, lex_count, phon_count)` for Figure 13.
+    pub fn length_distribution(&self) -> Vec<(usize, usize, usize)> {
+        let max = self
+            .entries
+            .iter()
+            .map(|e| e.text.chars().count().max(e.phonemes.len()))
+            .max()
+            .unwrap_or(0);
+        let mut out = vec![(0usize, 0usize, 0usize); max + 1];
+        for (i, slot) in out.iter_mut().enumerate() {
+            slot.0 = i;
+        }
+        for e in &self.entries {
+            out[e.text.chars().count()].1 += 1;
+            out[e.phonemes.len()].2 += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lexequal::MatchConfig;
+    use std::sync::OnceLock;
+
+    fn corpus() -> &'static Corpus {
+        static C: OnceLock<Corpus> = OnceLock::new();
+        C.get_or_init(|| Corpus::build(&MatchConfig::default()))
+    }
+
+    #[test]
+    fn small_generation_has_exact_size() {
+        // per-language p = 1000/3 = 333 -> n = 19 -> 19*18 = 342 per lang.
+        let d = SyntheticDataset::generate(corpus(), 1000);
+        assert_eq!(d.len(), 3 * 19 * 18);
+    }
+
+    #[test]
+    fn entries_are_concatenations() {
+        let d = SyntheticDataset::generate(corpus(), 100);
+        for e in d.entries.iter().take(20) {
+            assert!(e.text.chars().count() >= 4);
+            assert!(e.phonemes.len() >= 4);
+        }
+    }
+
+    #[test]
+    fn paper_scale_generation_hits_200k_and_length_ballpark() {
+        let d = SyntheticDataset::generate(corpus(), 200_000);
+        assert!(
+            (190_000..=215_000).contains(&d.len()),
+            "got {} entries",
+            d.len()
+        );
+        // Paper: avg lex 14.71, phon 14.31. Same ballpark expected.
+        let lex = d.avg_lex_len();
+        let phon = d.avg_phon_len();
+        assert!((11.0..=19.0).contains(&lex), "avg lex {lex}");
+        assert!((11.0..=19.0).contains(&phon), "avg phon {phon}");
+    }
+
+    #[test]
+    fn balanced_across_languages() {
+        let d = SyntheticDataset::generate(corpus(), 3000);
+        for lang in [Language::English, Language::Hindi, Language::Tamil] {
+            let n = d.entries.iter().filter(|e| e.language == lang).count();
+            assert_eq!(n, d.len() / 3, "{lang}");
+        }
+    }
+}

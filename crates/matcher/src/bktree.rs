@@ -1,0 +1,237 @@
+//! A Burkhard–Keller tree: a metric index over discrete distances.
+//!
+//! The paper's future-work section proposes "extending the approximate
+//! indexing techniques [Baeza-Yates & Navarro; Chávez et al.] for creating
+//! a metric index for phonemes". A BK-tree is the classic such structure:
+//! it supports range queries `{x : d(x, query) ≤ k}` over any metric with
+//! small integer values, probing only children whose edge distance lies in
+//! `[d − k, d + k]` (justified by the triangle inequality).
+//!
+//! The tree stores arbitrary payloads alongside keys, so callers can index
+//! row-ids by phoneme string.
+
+/// A node: a key, its payloads (duplicate keys fold into one node), and
+/// children indexed by distance-to-this-key.
+struct Node<K, V> {
+    key: K,
+    values: Vec<V>,
+    // Sparse child map: (distance, child index) pairs, kept sorted.
+    children: Vec<(u32, usize)>,
+}
+
+/// A BK-tree over keys `K` with metric `dist`.
+///
+/// The metric must satisfy the usual axioms (identity, symmetry, triangle
+/// inequality) for range queries to be exact; edit distance qualifies.
+pub struct BkTree<K, V, D: Fn(&K, &K) -> u32> {
+    nodes: Vec<Node<K, V>>,
+    dist: D,
+    len: usize,
+}
+
+impl<K, V, D: Fn(&K, &K) -> u32> BkTree<K, V, D> {
+    /// Create an empty tree with the given metric.
+    pub fn new(dist: D) -> Self {
+        BkTree {
+            nodes: Vec::new(),
+            dist,
+            len: 0,
+        }
+    }
+
+    /// Number of (key, value) insertions performed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a key with a payload. Duplicate keys (distance 0) accumulate
+    /// payloads on the existing node.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.len += 1;
+        if self.nodes.is_empty() {
+            self.nodes.push(Node {
+                key,
+                values: vec![value],
+                children: Vec::new(),
+            });
+            return;
+        }
+        let mut cur = 0usize;
+        loop {
+            let d = (self.dist)(&self.nodes[cur].key, &key);
+            if d == 0 {
+                self.nodes[cur].values.push(value);
+                return;
+            }
+            match self.nodes[cur]
+                .children
+                .binary_search_by_key(&d, |&(dd, _)| dd)
+            {
+                Ok(pos) => {
+                    cur = self.nodes[cur].children[pos].1;
+                }
+                Err(pos) => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node {
+                        key,
+                        values: vec![value],
+                        children: Vec::new(),
+                    });
+                    self.nodes[cur].children.insert(pos, (d, idx));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// All `(key, value)` pairs whose key is within distance `k` of
+    /// `query`, along with the distance. Order is unspecified.
+    pub fn range(&self, query: &K, k: u32) -> Vec<(&K, &V, u32)> {
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            let node = &self.nodes[i];
+            let d = (self.dist)(&node.key, query);
+            if d <= k {
+                for v in &node.values {
+                    out.push((&node.key, v, d));
+                }
+            }
+            let lo = d.saturating_sub(k);
+            let hi = d.saturating_add(k);
+            for &(cd, child) in &node.children {
+                if cd >= lo && cd <= hi {
+                    stack.push(child);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of metric evaluations a `range` query would perform —
+    /// exposes pruning effectiveness for the benchmark suite.
+    pub fn probe_count(&self, query: &K, k: u32) -> usize {
+        if self.nodes.is_empty() {
+            return 0;
+        }
+        let mut probes = 0usize;
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            let node = &self.nodes[i];
+            probes += 1;
+            let d = (self.dist)(&node.key, query);
+            let lo = d.saturating_sub(k);
+            let hi = d.saturating_add(k);
+            for &(cd, child) in &node.children {
+                if cd >= lo && cd <= hi {
+                    stack.push(child);
+                }
+            }
+        }
+        probes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::levenshtein;
+    use proptest::prelude::*;
+
+    fn tree_of(words: &[&str]) -> BkTree<String, usize, impl Fn(&String, &String) -> u32> {
+        let mut t = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
+        for (i, w) in words.iter().enumerate() {
+            t.insert((*w).to_owned(), i);
+        }
+        t
+    }
+
+    #[test]
+    fn exact_lookup_distance_zero() {
+        let t = tree_of(&["nehru", "neru", "nero", "gandhi"]);
+        let hits = t.range(&"nehru".to_owned(), 0);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, "nehru");
+        assert_eq!(hits[0].2, 0);
+    }
+
+    #[test]
+    fn range_query_finds_all_within_k() {
+        let t = tree_of(&["nehru", "neru", "nero", "gandhi", "nefertiti"]);
+        let mut hits: Vec<&str> = t
+            .range(&"neru".to_owned(), 1)
+            .into_iter()
+            .map(|(k, _, _)| k.as_str())
+            .collect();
+        hits.sort_unstable();
+        assert_eq!(hits, vec!["nehru", "nero", "neru"]);
+    }
+
+    #[test]
+    fn duplicate_keys_accumulate_values() {
+        let mut t = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
+        t.insert("neru".to_owned(), 1);
+        t.insert("neru".to_owned(), 2);
+        assert_eq!(t.len(), 2);
+        let hits = t.range(&"neru".to_owned(), 0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t: BkTree<String, (), _> = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
+        assert!(t.is_empty());
+        assert!(t.range(&"x".to_owned(), 5).is_empty());
+        assert_eq!(t.probe_count(&"x".to_owned(), 5), 0);
+    }
+
+    #[test]
+    fn pruning_probes_fewer_than_linear() {
+        let words: Vec<String> = (0..200)
+            .map(|i| format!("name{i:03}entry"))
+            .collect();
+        let mut t = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
+        for (i, w) in words.iter().enumerate() {
+            t.insert(w.clone(), i);
+        }
+        let probes = t.probe_count(&"name000entry".to_owned(), 1);
+        assert!(
+            probes < words.len(),
+            "expected pruning, probed {probes}/{}",
+            words.len()
+        );
+    }
+
+    proptest! {
+        /// BK-tree range queries must agree exactly with a linear scan.
+        #[test]
+        fn range_agrees_with_linear_scan(
+            words in proptest::collection::vec("[a-c]{0,6}", 1..30),
+            query in "[a-c]{0,6}",
+            k in 0u32..4
+        ) {
+            let mut t = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
+            for (i, w) in words.iter().enumerate() {
+                t.insert(w.clone(), i);
+            }
+            let mut got: Vec<usize> = t.range(&query, k).into_iter().map(|(_, &v, _)| v).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = words
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| levenshtein(w, &query) as u32 <= k)
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

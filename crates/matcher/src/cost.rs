@@ -1,0 +1,90 @@
+//! Edit-operation cost models.
+//!
+//! The LexEQUAL algorithm (paper Figure 8) parameterizes its dynamic
+//! program with three cost functions — `InsCost`, `DelCost`, `SubCost` —
+//! "due to the flexibility that it offers in experimenting with different
+//! cost functions". [`CostModel`] is that parameterization as a trait.
+
+/// Costs for the three edit operations over symbols of type `T`.
+///
+/// Implementations must satisfy, for the thresholded algorithms in this
+/// crate to be correct:
+///
+/// * all costs are finite and non-negative;
+/// * `sub(a, a) == 0.0` for every `a` (matching a symbol to itself is free);
+/// * `sub` is symmetric: `sub(a, b) == sub(b, a)`.
+pub trait CostModel<T: ?Sized> {
+    /// Cost of inserting `t`.
+    fn ins(&self, t: &T) -> f64;
+    /// Cost of deleting `t`.
+    fn del(&self, t: &T) -> f64;
+    /// Cost of substituting `a` by `b`.
+    fn sub(&self, a: &T, b: &T) -> f64;
+
+    /// The smallest possible insert/delete cost; used by banded algorithms
+    /// to bound how far from the diagonal a path within threshold `k` can
+    /// stray. The default (1.0) is correct for unit-cost models; models
+    /// with cheaper indels must override.
+    fn min_indel(&self) -> f64 {
+        1.0
+    }
+}
+
+/// The standard Levenshtein model: every operation costs 1, matches cost 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitCost;
+
+impl<T: PartialEq + ?Sized> CostModel<T> for UnitCost {
+    fn ins(&self, _t: &T) -> f64 {
+        1.0
+    }
+    fn del(&self, _t: &T) -> f64 {
+        1.0
+    }
+    fn sub(&self, a: &T, b: &T) -> f64 {
+        if a == b {
+            0.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Blanket impl so `&M` can be passed where a model is expected.
+impl<T: ?Sized, M: CostModel<T>> CostModel<T> for &M {
+    fn ins(&self, t: &T) -> f64 {
+        (**self).ins(t)
+    }
+    fn del(&self, t: &T) -> f64 {
+        (**self).del(t)
+    }
+    fn sub(&self, a: &T, b: &T) -> f64 {
+        (**self).sub(a, b)
+    }
+    fn min_indel(&self) -> f64 {
+        (**self).min_indel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_cost_matches_levenshtein_semantics() {
+        let m = UnitCost;
+        assert_eq!(CostModel::<char>::ins(&m, &'a'), 1.0);
+        assert_eq!(CostModel::<char>::del(&m, &'b'), 1.0);
+        assert_eq!(m.sub(&'a', &'a'), 0.0);
+        assert_eq!(m.sub(&'a', &'b'), 1.0);
+        assert_eq!(CostModel::<char>::min_indel(&m), 1.0);
+    }
+
+    #[test]
+    fn reference_forwarding_preserves_costs() {
+        let m = UnitCost;
+        let r = &m;
+        assert_eq!(r.sub(&'x', &'y'), 1.0);
+        assert_eq!(CostModel::<char>::min_indel(&r), 1.0);
+    }
+}

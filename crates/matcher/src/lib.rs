@@ -1,0 +1,45 @@
+//! Approximate string matching primitives for the LexEQUAL stack.
+//!
+//! LexEQUAL (Kumaran & Haritsa, EDBT 2004) compares proper names in phoneme
+//! space with a *parameterized* edit distance: the dynamic-programming
+//! formulation of Figure 8 in the paper, with pluggable `InsCost`/`DelCost`/
+//! `SubCost` functions. This crate implements that machinery *generically*
+//! over any symbol type, so it is equally usable for phoneme strings
+//! (the LexEQUAL core), plain `char` strings (tests, monolingual q-gram
+//! experiments), and byte strings.
+//!
+//! Contents:
+//!
+//! * [`cost`] — the [`cost::CostModel`] trait and the unit-cost
+//!   (Levenshtein) model.
+//! * [`distance`] — full-matrix and rolling two-row DP edit distance.
+//! * [`banded`] — a thresholded variant (`within_distance`) with Ukkonen-
+//!   style band pruning and early exit, the hot path of the UDF.
+//! * [`qgram`] — positional q-grams (Gravano et al., VLDB 2001) and the
+//!   Length / Count / Position filters used to pre-filter candidates.
+//! * [`soundex`](mod@soundex) — the classical Soundex code (Knuth), the pseudo-phonetic
+//!   baseline the paper contrasts against.
+//! * [`bktree`] — a Burkhard-Keller metric tree over any integer-valued
+//!   distance, implementing the paper's "metric index for phonemes"
+//!   future-work direction.
+
+pub mod alignment;
+pub mod banded;
+pub mod bktree;
+pub mod cost;
+pub mod damerau;
+pub mod distance;
+pub mod qgram;
+pub mod soundex;
+
+pub use alignment::{align, Alignment, EditOp};
+pub use banded::within_distance;
+pub use bktree::BkTree;
+pub use cost::{CostModel, UnitCost};
+pub use damerau::damerau_distance;
+pub use distance::{edit_distance, edit_distance_matrix};
+pub use qgram::{
+    count_filter_passes, length_filter_passes, matching_qgrams, positional_qgrams,
+    Gram, PositionalQgram, QgramSymbol,
+};
+pub use soundex::soundex;

@@ -1,0 +1,47 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors raised by the mdb engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// SQL lexing/parsing failure, with a human-readable message.
+    Parse(String),
+    /// Referenced table does not exist.
+    NoSuchTable(String),
+    /// Referenced column cannot be resolved (or is ambiguous).
+    NoSuchColumn(String),
+    /// Referenced index does not exist.
+    NoSuchIndex(String),
+    /// A table/index with this name already exists.
+    AlreadyExists(String),
+    /// Type error during expression evaluation.
+    Type(String),
+    /// Called an unregistered UDF.
+    NoSuchFunction(String),
+    /// A UDF reported a failure.
+    Udf(String),
+    /// Row arity or value type does not match the table schema.
+    SchemaMismatch(String),
+    /// Feature outside the supported SQL subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "parse error: {m}"),
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::NoSuchIndex(i) => write!(f, "no such index: {i}"),
+            DbError::AlreadyExists(n) => write!(f, "already exists: {n}"),
+            DbError::Type(m) => write!(f, "type error: {m}"),
+            DbError::NoSuchFunction(n) => write!(f, "no such function: {n}"),
+            DbError::Udf(m) => write!(f, "UDF error: {m}"),
+            DbError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            DbError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

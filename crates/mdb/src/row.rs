@@ -1,0 +1,12 @@
+//! Rows and row identifiers.
+
+use crate::value::Value;
+
+/// Position of a row within its table's heap — stable for the life of the
+/// table (this engine never reclaims slots), so indexes can store it.
+pub type RowId = usize;
+
+/// A tuple of values. Arity and types are governed by the table's
+/// [`Schema`](crate::Schema); the executor also builds wider intermediate
+/// rows during joins.
+pub type Row = Vec<Value>;

@@ -1,0 +1,214 @@
+//! SQL tokenizer.
+
+use crate::error::DbError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (upper-cased; SQL identifiers are
+    /// case-insensitive in this engine).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// A punctuation/operator symbol: ( ) , . * = <> != < <= > >= + - / || { }
+    Sym(&'static str),
+}
+
+impl Token {
+    /// Is this the given keyword?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w == kw)
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>, DbError> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && chars.get(i + 1) == Some(&'-') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            out.push(Token::Word(word.to_uppercase()));
+            continue;
+        }
+        if c.is_ascii_digit() || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < chars.len() && chars[i] == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit() || !d.is_alphabetic())
+            {
+                is_float = true;
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_float || text.contains('.') {
+                let v = text
+                    .parse::<f64>()
+                    .map_err(|e| DbError::Parse(format!("bad float {text:?}: {e}")))?;
+                out.push(Token::Float(v));
+            } else {
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|e| DbError::Parse(format!("bad int {text:?}: {e}")))?;
+                out.push(Token::Int(v));
+            }
+            continue;
+        }
+        if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            loop {
+                match chars.get(i) {
+                    Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                        s.push('\'');
+                        i += 2;
+                    }
+                    Some('\'') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        i += 1;
+                    }
+                    None => return Err(DbError::Parse("unterminated string literal".into())),
+                }
+            }
+            out.push(Token::Str(s));
+            continue;
+        }
+        let two: Option<&'static str> = match (c, chars.get(i + 1)) {
+            ('<', Some('=')) => Some("<="),
+            ('>', Some('=')) => Some(">="),
+            ('<', Some('>')) => Some("<>"),
+            ('!', Some('=')) => Some("!="),
+            ('|', Some('|')) => Some("||"),
+            _ => None,
+        };
+        if let Some(sym) = two {
+            out.push(Token::Sym(sym));
+            i += 2;
+            continue;
+        }
+        let one: &'static str = match c {
+            '(' => "(",
+            ')' => ")",
+            '{' => "{",
+            '}' => "}",
+            ',' => ",",
+            '.' => ".",
+            '*' => "*",
+            '=' => "=",
+            '<' => "<",
+            '>' => ">",
+            '+' => "+",
+            '-' => "-",
+            '/' => "/",
+            other => {
+                return Err(DbError::Parse(format!("unexpected character {other:?}")));
+            }
+        };
+        out.push(Token::Sym(one));
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_uppercased() {
+        let toks = lex("select Author from Books").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Word("AUTHOR".into()),
+                Token::Word("FROM".into()),
+                Token::Word("BOOKS".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        let toks = lex("42 0.25 'Nehru' 'O''Brien'").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(42),
+                Token::Float(0.25),
+                Token::Str("Nehru".into()),
+                Token::Str("O'Brien".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_string_literals() {
+        let toks = lex("'नेहरु'").unwrap();
+        assert_eq!(toks, vec![Token::Str("नेहरु".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("a <= b <> c != d || e").unwrap();
+        assert!(toks.contains(&Token::Sym("<=")));
+        assert!(toks.contains(&Token::Sym("<>")));
+        assert!(toks.contains(&Token::Sym("!=")));
+        assert!(toks.contains(&Token::Sym("||")));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("select -- the projection\n x").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn qualified_column() {
+        let toks = lex("N.PName").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("N".into()),
+                Token::Sym("."),
+                Token::Word("PNAME".into()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Execution statistics.
+//!
+//! The paper's performance story (Tables 1–3) is about *how many times the
+//! expensive UDF runs* and *how much data the plan touches*. `Stats`
+//! captures exactly those counters so the benchmark harness can report the
+//! mechanics behind each timing.
+
+use std::cell::Cell;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Counters collected during one query execution (or accumulated across a
+/// run, at the caller's choice).
+#[derive(Debug, Default)]
+pub struct Stats {
+    rows_scanned: Cell<u64>,
+    rows_joined: Cell<u64>,
+    index_lookups: Cell<u64>,
+    udf_calls: RefCell<HashMap<String, u64>>,
+}
+
+impl Stats {
+    /// New zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` rows produced by a table scan.
+    pub fn record_scan(&self, n: u64) {
+        self.rows_scanned.set(self.rows_scanned.get() + n);
+    }
+
+    /// Record `n` candidate pairs examined by a join.
+    pub fn record_join(&self, n: u64) {
+        self.rows_joined.set(self.rows_joined.get() + n);
+    }
+
+    /// Record an index lookup.
+    pub fn record_index_lookup(&self) {
+        self.index_lookups.set(self.index_lookups.get() + 1);
+    }
+
+    /// Record a UDF invocation by name.
+    pub fn record_udf_call(&self, name: &str) {
+        *self.udf_calls.borrow_mut().entry(name.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Total rows produced by scans.
+    pub fn rows_scanned(&self) -> u64 {
+        self.rows_scanned.get()
+    }
+
+    /// Total join pairs examined.
+    pub fn rows_joined(&self) -> u64 {
+        self.rows_joined.get()
+    }
+
+    /// Total index lookups.
+    pub fn index_lookups(&self) -> u64 {
+        self.index_lookups.get()
+    }
+
+    /// Invocations of one UDF.
+    pub fn udf_calls(&self, name: &str) -> u64 {
+        self.udf_calls.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// Total UDF invocations across all names.
+    pub fn total_udf_calls(&self) -> u64 {
+        self.udf_calls.borrow().values().sum()
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.rows_scanned.set(0);
+        self.rows_joined.set(0);
+        self.index_lookups.set(0);
+        self.udf_calls.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = Stats::new();
+        s.record_scan(10);
+        s.record_scan(5);
+        s.record_join(3);
+        s.record_index_lookup();
+        s.record_udf_call("LEXEQUAL");
+        s.record_udf_call("LEXEQUAL");
+        s.record_udf_call("OTHER");
+        assert_eq!(s.rows_scanned(), 15);
+        assert_eq!(s.rows_joined(), 3);
+        assert_eq!(s.index_lookups(), 1);
+        assert_eq!(s.udf_calls("LEXEQUAL"), 2);
+        assert_eq!(s.total_udf_calls(), 3);
+        s.reset();
+        assert_eq!(s.rows_scanned(), 0);
+        assert_eq!(s.total_udf_calls(), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Heap tables.
+
+use crate::error::DbError;
+use crate::row::{Row, RowId};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A heap table: a schema plus a row store with tombstones. Row ids are
+/// heap positions and remain stable; DELETE marks a slot dead rather than
+/// compacting, so secondary indexes may hold stale ids — readers must
+/// treat a `None` from [`Table::row`] as "filtered out".
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    deleted: Vec<bool>,
+    live: usize,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: &str, schema: Schema) -> Self {
+        Table {
+            name: name.to_ascii_lowercase(),
+            schema,
+            rows: Vec::new(),
+            deleted: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Table name (lower-cased).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Live row count (tombstoned rows excluded).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table has no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a row after validating arity and coercing types.
+    /// Returns the new row id.
+    pub fn insert(&mut self, row: Row) -> Result<RowId, DbError> {
+        if row.len() != self.schema.arity() {
+            return Err(DbError::SchemaMismatch(format!(
+                "table {} expects {} columns, got {}",
+                self.name,
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        let mut coerced = Vec::with_capacity(row.len());
+        for (v, col) in row.into_iter().zip(self.schema.columns()) {
+            coerced.push(v.coerce(col.ty)?);
+        }
+        self.rows.push(coerced);
+        self.deleted.push(false);
+        self.live += 1;
+        Ok(self.rows.len() - 1)
+    }
+
+    /// Tombstone a row. Returns `false` if the id was out of range or the
+    /// row was already deleted.
+    pub fn delete(&mut self, rid: RowId) -> bool {
+        match self.deleted.get_mut(rid) {
+            Some(d) if !*d => {
+                *d = true;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Fetch a live row by id (`None` for tombstoned or out-of-range ids).
+    pub fn row(&self, rid: RowId) -> Option<&Row> {
+        if *self.deleted.get(rid)? {
+            return None;
+        }
+        self.rows.get(rid)
+    }
+
+    /// Iterate live rows with their ids.
+    pub fn scan(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.deleted[*i])
+    }
+
+    /// Column values of one column across live rows (index builds).
+    pub fn column_values(&self, col: usize) -> impl Iterator<Item = (RowId, &Value)> {
+        self.scan().map(move |(i, r)| (i, &r[col]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        Table::new(
+            "T",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::new("name", DataType::Text),
+                Column::new("price", DataType::Float),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut t = table();
+        assert!(t.insert(vec![Value::Int(1)]).is_err());
+        let rid = t
+            .insert(vec![Value::Int(1), Value::from("x"), Value::Int(2)])
+            .unwrap();
+        assert_eq!(rid, 0);
+        // Int coerced into Float column.
+        assert_eq!(t.row(0).unwrap()[2], Value::Float(2.0));
+    }
+
+    #[test]
+    fn insert_rejects_bad_types() {
+        let mut t = table();
+        let err = t.insert(vec![Value::from("x"), Value::from("y"), Value::Float(1.0)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn scan_yields_rows_in_insertion_order() {
+        let mut t = table();
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), Value::from("n"), Value::Float(0.0)])
+                .unwrap();
+        }
+        let ids: Vec<RowId> = t.scan().map(|(rid, _)| rid).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.name(), "t");
+    }
+}

@@ -1,0 +1,99 @@
+//! Scalar user-defined functions.
+//!
+//! The paper deploys LexEQUAL "as a User-Defined Function (UDF) that can be
+//! called in SQL statements" (§3.2). This registry is the engine-side
+//! counterpart: any `Fn(&[Value]) -> Result<Value, DbError>` can be
+//! installed under a name and invoked from SQL expressions.
+
+use crate::error::DbError;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The boxed function type behind a scalar UDF.
+type UdfFn = dyn Fn(&[Value]) -> Result<Value, DbError> + Send + Sync;
+
+/// A scalar UDF.
+#[derive(Clone)]
+pub struct Udf {
+    name: String,
+    f: Arc<UdfFn>,
+}
+
+impl Udf {
+    /// Wrap a closure as a UDF.
+    pub fn new(
+        name: &str,
+        f: impl Fn(&[Value]) -> Result<Value, DbError> + Send + Sync + 'static,
+    ) -> Self {
+        Udf {
+            name: name.to_uppercase(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// The (upper-cased) registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Invoke with evaluated arguments.
+    pub fn call(&self, args: &[Value]) -> Result<Value, DbError> {
+        (self.f)(args)
+    }
+}
+
+impl fmt::Debug for Udf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Udf({})", self.name)
+    }
+}
+
+/// Name → UDF map (names are case-insensitive).
+#[derive(Debug, Clone, Default)]
+pub struct UdfRegistry {
+    map: HashMap<String, Udf>,
+}
+
+impl UdfRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a UDF.
+    pub fn register(&mut self, udf: Udf) {
+        self.map.insert(udf.name.clone(), udf);
+    }
+
+    /// Look up by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<&Udf> {
+        self.map.get(&name.to_uppercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_call() {
+        let mut reg = UdfRegistry::new();
+        reg.register(Udf::new("double", |args| {
+            Ok(Value::Int(args[0].as_i64()? * 2))
+        }));
+        let udf = reg.get("DOUBLE").expect("registered");
+        assert_eq!(udf.call(&[Value::Int(21)]).unwrap(), Value::Int(42));
+        assert_eq!(udf.name(), "DOUBLE");
+        assert!(reg.get("nope").is_none());
+    }
+
+    #[test]
+    fn udf_errors_propagate() {
+        let mut reg = UdfRegistry::new();
+        reg.register(Udf::new("fail", |_| Err(DbError::Udf("boom".into()))));
+        let err = reg.get("fail").unwrap().call(&[]).unwrap_err();
+        assert_eq!(err, DbError::Udf("boom".into()));
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for phoneme parsing and lookup.
+
+use std::fmt;
+
+/// Errors raised while parsing IPA text or looking up phonemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhonemeError {
+    /// The input contained a character sequence that does not start any
+    /// phoneme symbol in the inventory. Carries the byte offset and the
+    /// offending remainder (truncated).
+    UnknownSymbol {
+        /// Byte offset into the original input where tokenization failed.
+        offset: usize,
+        /// A short prefix of the unrecognized remainder, for diagnostics.
+        fragment: String,
+    },
+    /// A phoneme id was out of range for the static inventory.
+    InvalidId(u8),
+    /// A cluster table customization referenced a phoneme not in the
+    /// inventory.
+    UnknownPhoneme(String),
+}
+
+impl fmt::Display for PhonemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhonemeError::UnknownSymbol { offset, fragment } => write!(
+                f,
+                "unknown IPA symbol at byte offset {offset}: {fragment:?}"
+            ),
+            PhonemeError::InvalidId(id) => write!(f, "invalid phoneme id {id}"),
+            PhonemeError::UnknownPhoneme(sym) => {
+                write!(f, "phoneme {sym:?} is not in the inventory")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhonemeError {}

@@ -1,0 +1,281 @@
+//! Articulatory feature descriptions for segmental phonemes.
+//!
+//! Features follow the conventions of the International Phonetic Alphabet
+//! chart. They serve two purposes in the LexEQUAL stack:
+//!
+//! 1. The standard [`ClusterTable`](crate::ClusterTable) groups phonemes by
+//!    shared manner/place features, generalizing the Soundex digit groups to
+//!    the multilingual phoneme space.
+//! 2. Feature distance is available as an alternative, finer-grained
+//!    substitution cost signal for experimentation.
+
+/// Whether a segment is a vowel or a consonant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// A vowel segment, described by height/backness/roundedness.
+    Vowel,
+    /// A consonant segment, described by voicing/place/manner.
+    Consonant,
+}
+
+/// Vocal fold vibration during a consonant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Voicing {
+    /// Vocal folds vibrate (e.g. /b/, /z/).
+    Voiced,
+    /// Vocal folds do not vibrate (e.g. /p/, /s/).
+    Voiceless,
+}
+
+/// Place of articulation for consonants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Place {
+    /// Both lips (/p/, /m/).
+    Bilabial,
+    /// Lower lip against upper teeth (/f/, /v/).
+    Labiodental,
+    /// Tongue against teeth (/θ/, /ð/).
+    Dental,
+    /// Tongue against alveolar ridge (/t/, /s/, /n/).
+    Alveolar,
+    /// Just behind the alveolar ridge (/ʃ/, /tʃ/).
+    Postalveolar,
+    /// Tongue curled back (/ʈ/, /ɳ/, /ɽ/) — contrastive in Indic languages.
+    Retroflex,
+    /// Tongue body against hard palate (/ç/, /ɲ/, /j/).
+    Palatal,
+    /// Tongue body against soft palate (/k/, /ŋ/, /x/).
+    Velar,
+    /// Tongue root against uvula (/q/).
+    Uvular,
+    /// At the glottis (/h/, /ʔ/).
+    Glottal,
+}
+
+/// Manner of articulation for consonants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Manner {
+    /// Complete closure then release (/p/, /t/, /k/).
+    Stop,
+    /// Turbulent airflow through a narrow channel (/f/, /s/, /x/).
+    Fricative,
+    /// Stop released into a fricative (/tʃ/, /dʒ/, /ts/).
+    Affricate,
+    /// Airflow through the nose (/m/, /n/, /ŋ/).
+    Nasal,
+    /// Single rapid closure (/ɾ/, /ɽ/).
+    Tap,
+    /// Repeated vibration (/r/).
+    Trill,
+    /// Lateral airflow around the tongue (/l/, /ɭ/).
+    Lateral,
+    /// Vowel-like constriction (/j/, /w/, /ʋ/).
+    Approximant,
+}
+
+/// Vowel height (vertical tongue position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Height {
+    /// High/close vowels (/i/, /u/).
+    Close,
+    /// Near-close (/ɪ/, /ʊ/).
+    NearClose,
+    /// Close-mid (/e/, /o/, /ø/).
+    CloseMid,
+    /// True mid (/ə/).
+    Mid,
+    /// Open-mid (/ɛ/, /ɔ/, /ʌ/).
+    OpenMid,
+    /// Near-open (/æ/).
+    NearOpen,
+    /// Open/low vowels (/a/, /ɑ/).
+    Open,
+}
+
+/// Vowel backness (horizontal tongue position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backness {
+    /// Front vowels (/i/, /e/, /æ/).
+    Front,
+    /// Central vowels (/ə/, /ɜ/, /a/).
+    Central,
+    /// Back vowels (/u/, /o/, /ɑ/).
+    Back,
+}
+
+/// Lip rounding for vowels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Roundedness {
+    /// Rounded lips (/u/, /o/, /y/, /ø/).
+    Rounded,
+    /// Spread/neutral lips (/i/, /e/, /a/).
+    Unrounded,
+}
+
+/// Phonemic length. Contrastive in Hindi and Tamil (a vs ā), carried as a
+/// feature on distinct inventory entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Length {
+    /// Short (default) quantity.
+    Short,
+    /// Long quantity, written with the IPA length mark ː.
+    Long,
+}
+
+/// The articulatory description of one consonant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConsonantFeatures {
+    /// Voiced or voiceless.
+    pub voicing: Voicing,
+    /// Place of articulation.
+    pub place: Place,
+    /// Manner of articulation.
+    pub manner: Manner,
+    /// Aspirated release (contrastive in Hindi: /pʰ/ vs /p/).
+    pub aspirated: bool,
+}
+
+/// The articulatory description of one vowel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VowelFeatures {
+    /// Vowel height.
+    pub height: Height,
+    /// Vowel backness.
+    pub backness: Backness,
+    /// Lip rounding.
+    pub roundedness: Roundedness,
+    /// Phonemic length.
+    pub length: Length,
+}
+
+/// Articulatory features of a segment: either vowel or consonant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Features {
+    /// Vowel description.
+    Vowel(VowelFeatures),
+    /// Consonant description.
+    Consonant(ConsonantFeatures),
+}
+
+impl Features {
+    /// The coarse segment kind of this feature bundle.
+    pub fn kind(&self) -> SegmentKind {
+        match self {
+            Features::Vowel(_) => SegmentKind::Vowel,
+            Features::Consonant(_) => SegmentKind::Consonant,
+        }
+    }
+
+    /// A small integer dissimilarity between two feature bundles, in
+    /// `0..=4`. Zero means identical; vowels and consonants are maximally
+    /// dissimilar. Used by the feature-based cost model ablation.
+    pub fn dissimilarity(&self, other: &Features) -> u32 {
+        match (self, other) {
+            (Features::Vowel(a), Features::Vowel(b)) => {
+                let mut d = 0;
+                if a.height != b.height {
+                    d += 1;
+                }
+                if a.backness != b.backness {
+                    d += 1;
+                }
+                if a.roundedness != b.roundedness {
+                    d += 1;
+                }
+                if a.length != b.length {
+                    d += 1;
+                }
+                d
+            }
+            (Features::Consonant(a), Features::Consonant(b)) => {
+                let mut d = 0;
+                if a.voicing != b.voicing {
+                    d += 1;
+                }
+                if a.place != b.place {
+                    d += 1;
+                }
+                if a.manner != b.manner {
+                    d += 1;
+                }
+                if a.aspirated != b.aspirated {
+                    d += 1;
+                }
+                d
+            }
+            _ => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vowel(h: Height, b: Backness, r: Roundedness, l: Length) -> Features {
+        Features::Vowel(VowelFeatures {
+            height: h,
+            backness: b,
+            roundedness: r,
+            length: l,
+        })
+    }
+
+    fn consonant(v: Voicing, p: Place, m: Manner, asp: bool) -> Features {
+        Features::Consonant(ConsonantFeatures {
+            voicing: v,
+            place: p,
+            manner: m,
+            aspirated: asp,
+        })
+    }
+
+    #[test]
+    fn identical_features_have_zero_dissimilarity() {
+        let a = vowel(
+            Height::Close,
+            Backness::Front,
+            Roundedness::Unrounded,
+            Length::Short,
+        );
+        assert_eq!(a.dissimilarity(&a), 0);
+        let c = consonant(Voicing::Voiced, Place::Bilabial, Manner::Stop, false);
+        assert_eq!(c.dissimilarity(&c), 0);
+    }
+
+    #[test]
+    fn vowel_consonant_pairs_are_maximally_dissimilar() {
+        let a = vowel(
+            Height::Open,
+            Backness::Central,
+            Roundedness::Unrounded,
+            Length::Short,
+        );
+        let c = consonant(Voicing::Voiceless, Place::Velar, Manner::Stop, false);
+        assert_eq!(a.dissimilarity(&c), 4);
+        assert_eq!(c.dissimilarity(&a), 4);
+    }
+
+    #[test]
+    fn dissimilarity_is_symmetric() {
+        let p = consonant(Voicing::Voiceless, Place::Bilabial, Manner::Stop, false);
+        let b = consonant(Voicing::Voiced, Place::Bilabial, Manner::Stop, false);
+        let bh = consonant(Voicing::Voiced, Place::Bilabial, Manner::Stop, true);
+        assert_eq!(p.dissimilarity(&b), b.dissimilarity(&p));
+        assert_eq!(p.dissimilarity(&b), 1);
+        assert_eq!(p.dissimilarity(&bh), 2);
+    }
+
+    #[test]
+    fn kind_reports_segment_class() {
+        let a = vowel(
+            Height::Mid,
+            Backness::Central,
+            Roundedness::Unrounded,
+            Length::Short,
+        );
+        assert_eq!(a.kind(), SegmentKind::Vowel);
+        let c = consonant(Voicing::Voiced, Place::Alveolar, Manner::Nasal, false);
+        assert_eq!(c.kind(), SegmentKind::Consonant);
+    }
+}

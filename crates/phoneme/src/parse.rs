@@ -1,0 +1,167 @@
+//! IPA text → phoneme tokenization.
+//!
+//! Parsing uses greedy longest-match against the inventory's canonical
+//! symbols, after rewriting alias spellings and stripping the
+//! suprasegmental marks the paper discards (§4.1): stress marks, syllable
+//! dots, tie bars, and whitespace.
+
+use crate::error::PhonemeError;
+use crate::inventory::{ALIASES, TABLE};
+use crate::phoneme::Phoneme;
+
+/// Characters carrying suprasegmental or typographic information that the
+/// paper strips before matching. Removed wholesale before tokenization.
+const IGNORED: &[char] = &[
+    'ˈ', 'ˌ', // primary/secondary stress
+    '‿', '͡', '͜', // tie bars / linking
+    '\u{0303}', // combining tilde (nasalization) — treated as plain vowel
+];
+
+/// Characters acting as hard token boundaries: the greedy matcher never
+/// spans one. `.` in particular disambiguates a stop+fricative sequence
+/// from the affricate ("t.s" = /t/+/s/, "ts" = the affricate) — Display
+/// emits it at exactly those junctions so rendering is injective.
+const BOUNDARY: &[char] = &['.', '·', ' ', '\t', '\u{00a0}', '-', '\''];
+
+/// Rewrite alias spellings to canonical ones and drop ignored marks.
+fn normalize(input: &str) -> String {
+    let mut s: String = input
+        .chars()
+        .filter(|c| !IGNORED.contains(c))
+        .collect();
+    for (alias, canonical) in ALIASES {
+        if s.contains(alias) {
+            s = s.replace(alias, canonical);
+        }
+    }
+    s
+}
+
+/// Tokenize an IPA string into phonemes by greedy longest match.
+///
+/// # Errors
+///
+/// Returns [`PhonemeError::UnknownSymbol`] if a position matches no
+/// inventory symbol, reporting the byte offset into the *normalized* input.
+pub fn parse_ipa(input: &str) -> Result<Vec<Phoneme>, PhonemeError> {
+    let text = normalize(input);
+    let mut out = Vec::with_capacity(text.chars().count());
+    let mut rest = text.as_str();
+    let mut offset = 0usize;
+    while !rest.is_empty() {
+        // Token boundaries are skipped; matching restarts after them.
+        let first = rest.chars().next().expect("non-empty");
+        if BOUNDARY.contains(&first) {
+            let n = first.len_utf8();
+            rest = &rest[n..];
+            offset += n;
+            continue;
+        }
+        let mut best: Option<(usize, usize)> = None; // (byte_len, table_index)
+        for (i, d) in TABLE.iter().enumerate() {
+            if rest.starts_with(d.symbol) {
+                let len = d.symbol.len();
+                if best.map_or(true, |(blen, _)| len > blen) {
+                    best = Some((len, i));
+                }
+            }
+        }
+        match best {
+            Some((len, i)) => {
+                out.push(Phoneme::from_index(i));
+                rest = &rest[len..];
+                offset += len;
+            }
+            None => {
+                let fragment: String = rest.chars().take(4).collect();
+                return Err(PhonemeError::UnknownSymbol { offset, fragment });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Would the canonical renderings of `a` then `b`, concatenated without a
+/// separator, re-tokenize as something other than `a` followed by `b`?
+/// (E.g. /t/ + /s/ concatenates to "ts", the affricate's symbol.)
+/// `PhonemeString`'s `Display` consults this to decide where to emit the
+/// `.` separator, keeping rendering injective.
+pub fn would_merge(a: Phoneme, b: Phoneme) -> bool {
+    let concat = format!("{}{}", a.symbol(), b.symbol());
+    // Longest inventory symbol that prefixes the concatenation.
+    let mut best_len = 0usize;
+    for d in TABLE {
+        if concat.starts_with(d.symbol) && d.symbol.len() > best_len {
+            best_len = d.symbol.len();
+        }
+    }
+    best_len != a.symbol().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn symbols(input: &str) -> Vec<&'static str> {
+        parse_ipa(input)
+            .unwrap()
+            .into_iter()
+            .map(|p| p.symbol())
+            .collect()
+    }
+
+    #[test]
+    fn greedy_longest_match_prefers_affricates() {
+        // "tʃ" must parse as one affricate, not stop + fricative.
+        assert_eq!(symbols("tʃa"), vec!["tʃ", "a"]);
+        // and the aspirated variant wins over the plain affricate.
+        assert_eq!(symbols("tʃʰa"), vec!["tʃʰ", "a"]);
+    }
+
+    #[test]
+    fn long_vowels_are_single_segments() {
+        assert_eq!(symbols("aːt"), vec!["aː", "t"]);
+        assert_eq!(symbols("aat"), vec!["a", "a", "t"]);
+    }
+
+    #[test]
+    fn stress_and_syllable_marks_are_stripped() {
+        assert_eq!(symbols("ˈne.ru"), symbols("neru"));
+        assert_eq!(symbols("ˌnɛˈru"), vec!["n", "ɛ", "r", "u"]);
+    }
+
+    #[test]
+    fn aliases_are_rewritten() {
+        // Script g (U+0261) and ligature tʃ.
+        assert_eq!(symbols("ɡoʤi"), vec!["g", "o", "dʒ", "i"]);
+        // Rhotacized schwa expands to two segments.
+        assert_eq!(symbols("fɑðɚ"), vec!["f", "ɑ", "ð", "ə", "r"]);
+    }
+
+    #[test]
+    fn unknown_symbol_reports_offset_and_fragment() {
+        let err = parse_ipa("ne#ru").unwrap_err();
+        match err {
+            PhonemeError::UnknownSymbol { offset, fragment } => {
+                assert_eq!(offset, 2);
+                assert!(fragment.starts_with('#'));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_parses_to_empty() {
+        assert!(parse_ipa("").unwrap().is_empty());
+        assert!(parse_ipa("ˈ ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn paper_sample_strings_parse() {
+        // Figure 9 of the paper (modulo symbols outside our inventory).
+        for s in ["junəvɜrsɪti", "neɪru", "ɪndɪjaː", "haɪdrədʒən", "ɛspanjøl"] {
+            let parsed = parse_ipa(s).unwrap();
+            assert!(!parsed.is_empty(), "failed on {s}");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests over the whole phoneme crate surface.
+
+use lexequal_phoneme::{ClusterTable, Inventory, Phoneme, PhonemeString};
+use proptest::prelude::*;
+
+fn arb_phoneme() -> impl Strategy<Value = Phoneme> {
+    (0..Inventory::len()).prop_map(|i| Phoneme::from_id(i as u8).expect("in range"))
+}
+
+fn arb_string() -> impl Strategy<Value = PhonemeString> {
+    proptest::collection::vec(arb_phoneme(), 0..24).prop_map(PhonemeString::new)
+}
+
+proptest! {
+    /// Display → parse is the identity on every representable string —
+    /// the contract the database storage layer (pname TEXT columns)
+    /// depends on.
+    #[test]
+    fn display_parse_round_trip(s in arb_string()) {
+        let text = s.to_string();
+        let back: PhonemeString = text.parse().expect("canonical output must parse");
+        prop_assert_eq!(back, s);
+    }
+
+    /// Parsing is longest-match deterministic: re-rendering the parse
+    /// gives the same text back.
+    #[test]
+    fn render_is_stable(s in arb_string()) {
+        let once = s.to_string();
+        let twice = once.parse::<PhonemeString>().expect("parses").to_string();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Concatenation respects length and parses cleanly.
+    #[test]
+    fn concat_behaves(a in arb_string(), b in arb_string()) {
+        let ab = a.concat(&b);
+        prop_assert_eq!(ab.len(), a.len() + b.len());
+        let back: PhonemeString = ab.to_string().parse().expect("parses");
+        prop_assert_eq!(back, ab);
+    }
+
+    /// Cluster tables are total and consistent between the two lookup
+    /// forms, and packed keys agree with cluster keys on short strings.
+    #[test]
+    fn cluster_key_and_packed_key_agree(a in arb_string(), b in arb_string()) {
+        let t = ClusterTable::standard();
+        if a.len() <= t.packed_prefix_len() && b.len() <= t.packed_prefix_len() {
+            let keys_equal = t.cluster_key(&a) == t.cluster_key(&b);
+            let packed_equal = t.packed_key(&a) == t.packed_key(&b);
+            prop_assert_eq!(keys_equal, packed_equal);
+        }
+    }
+
+    /// same_cluster is an equivalence relation (reflexive, symmetric;
+    /// transitivity follows from it being id-equality but check anyway).
+    #[test]
+    fn same_cluster_is_equivalence(a in arb_phoneme(), b in arb_phoneme(), c in arb_phoneme()) {
+        let t = ClusterTable::standard();
+        prop_assert!(t.same_cluster(a, a));
+        prop_assert_eq!(t.same_cluster(a, b), t.same_cluster(b, a));
+        if t.same_cluster(a, b) && t.same_cluster(b, c) {
+            prop_assert!(t.same_cluster(a, c));
+        }
+    }
+}

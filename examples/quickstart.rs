@@ -1,0 +1,83 @@
+//! Quickstart: the LexEQUAL operator in five minutes.
+//!
+//! ```sh
+//! cargo run --release -p lexequal-bench --example quickstart
+//! ```
+//!
+//! Demonstrates the core pipeline of the paper: text → phonemes (Figure 9)
+//! → thresholded phonetic matching (Figure 8), across four scripts.
+
+use lexequal::{Language, LexEqual, MatchConfig, Outcome};
+
+fn main() {
+    let lex = LexEqual::new(MatchConfig::default());
+
+    // --- Figure 9: phonemic representations of multiscript strings -------
+    println!("Phonemic representations (cf. paper Figure 9):");
+    for (text, lang) in [
+        ("University", Language::English),
+        ("நேரு", Language::Tamil),
+        ("École", Language::French),
+        ("இந்தியா", Language::Tamil),
+        ("हैड्रोजन", Language::Hindi),
+        ("Español", Language::Spanish),
+        ("Νερού", Language::Greek),
+    ] {
+        let p = lex.transform(text, lang).expect("transform");
+        println!("  {text:12} {lang:8} /{p}/");
+    }
+
+    // --- The multiscript match ------------------------------------------
+    println!("\nMultiscript matches for 'Nehru' (threshold 0.45):");
+    for (text, lang) in [
+        ("नेहरु", Language::Hindi),
+        ("நேரு", Language::Tamil),
+        ("Νερού", Language::Greek),
+        ("Nero", Language::English),
+        ("Gandhi", Language::English),
+        ("गांधी", Language::Hindi),
+    ] {
+        let outcome = lex
+            .match_strings_with("Nehru", Language::English, text, lang, 0.45)
+            .expect("match");
+        let mark = match outcome {
+            Outcome::True => "MATCH",
+            Outcome::False => "  -  ",
+            Outcome::NoResource(_) => "NORES",
+        };
+        println!("  [{mark}] Nehru ~ {text} ({lang})");
+    }
+
+    // --- The threshold knob ----------------------------------------------
+    println!("\nThe Nero/Nehru false positive appears as the threshold grows:");
+    for e in [0.0, 0.25, 0.5] {
+        let o = lex
+            .match_strings_with("Nehru", Language::English, "Nero", Language::English, e)
+            .expect("match");
+        println!("  threshold {e:4}: {o:?}");
+    }
+
+    // --- Distances under the clustered cost model -------------------------
+    let a = lex.transform("Catherine", Language::English).expect("ok");
+    let b = lex.transform("Kathryn", Language::English).expect("ok");
+    println!(
+        "\nclustered distance /{a}/ ~ /{b}/ = {:.2} (budget at e=0.35: {:.2})",
+        lex.distance(&a, &b),
+        lex.budget(&a, &b, 0.35)
+    );
+
+    // --- The paper's opening example: Al-Qaeda across scripts -------------
+    // The English diphthong /eɪ/ vs the Arabic /aːʔa/ hiatus puts this
+    // pair past the name-matching knee; it illustrates how the threshold
+    // trades reach against noise (a security-screening deployment would
+    // run a generous threshold and post-filter).
+    let en = lex.transform("Al-Qaeda", Language::English).expect("ok");
+    let ar = lex.transform("القاعدة", Language::Arabic).expect("ok");
+    let d = lex.distance(&en, &ar);
+    let min_e = d / en.len().min(ar.len()) as f64;
+    println!(
+        "\nthe paper's §1 example — Al-Qaeda /{en}/ vs القاعدة /{ar}/: distance {d:.2}; \
+         matches at thresholds above {min_e:.2} (e=0.55: {})",
+        lex.matches_phonemes(&en, &ar, 0.55)
+    );
+}

@@ -1,0 +1,122 @@
+//! Cross-crate consistency: every access path must tell the same story.
+//!
+//! These tests run the whole stack — corpus generation, G2P, cost model,
+//! accelerators — and assert the semantic relationships between access
+//! paths that the paper's architecture relies on:
+//!
+//! * scan and strict q-gram search return identical result sets;
+//! * the BK-tree search returns identical result sets;
+//! * the phonetic index returns a subset (its dismissals), never a
+//!   superset;
+//! * everything is symmetric and deterministic.
+
+use lexequal::{MatchConfig, NameStore, QgramMode, SearchMethod};
+use lexequal_lexicon::Corpus;
+use std::sync::OnceLock;
+
+const THRESHOLD: f64 = 0.3;
+
+fn store() -> &'static NameStore {
+    static STORE: OnceLock<NameStore> = OnceLock::new();
+    STORE.get_or_init(|| {
+        let corpus = Corpus::build(&MatchConfig::default());
+        let mut store = NameStore::new(MatchConfig::default());
+        // Every 5th group keeps the test fast while spanning all scripts.
+        for e in corpus.entries.iter().filter(|e| e.tag % 5 == 0) {
+            store.insert(&e.text, e.language).expect("insert");
+        }
+        store.build_qgram(3, QgramMode::Strict);
+        store.build_phonetic_index();
+        store.build_bktree();
+        store
+    })
+}
+
+fn queries() -> Vec<lexequal::PhonemeString> {
+    let s = store();
+    (0..s.len() as u32)
+        .step_by(37)
+        .map(|i| s.get(i).expect("valid id").phonemes.clone())
+        .collect()
+}
+
+#[test]
+fn qgram_strict_equals_scan() {
+    let s = store();
+    for q in queries() {
+        let scan = s.search_phonemes(&q, THRESHOLD, SearchMethod::Scan);
+        let qg = s.search_phonemes(&q, THRESHOLD, SearchMethod::Qgram);
+        assert_eq!(scan.ids, qg.ids, "query /{q}/");
+        assert!(
+            qg.verifications <= scan.verifications,
+            "q-grams may not verify more than a scan"
+        );
+    }
+}
+
+#[test]
+fn bktree_equals_scan() {
+    let s = store();
+    for q in queries() {
+        let scan = s.search_phonemes(&q, THRESHOLD, SearchMethod::Scan);
+        let bk = s.search_phonemes(&q, THRESHOLD, SearchMethod::BkTree);
+        assert_eq!(scan.ids, bk.ids, "query /{q}/");
+    }
+}
+
+#[test]
+fn phonetic_index_is_sound_subset() {
+    let s = store();
+    let mut total_scan = 0usize;
+    let mut total_index = 0usize;
+    for q in queries() {
+        let scan = s.search_phonemes(&q, THRESHOLD, SearchMethod::Scan);
+        let pi = s.search_phonemes(&q, THRESHOLD, SearchMethod::PhoneticIndex);
+        for id in &pi.ids {
+            assert!(
+                scan.ids.contains(id),
+                "index returned a false positive for /{q}/"
+            );
+        }
+        total_scan += scan.ids.len();
+        total_index += pi.ids.len();
+    }
+    assert!(total_index <= total_scan);
+    // Self-probes always hit: every query is a stored string.
+    assert!(total_index >= queries().len());
+}
+
+#[test]
+fn search_is_deterministic() {
+    let s = store();
+    let q = queries().into_iter().next().expect("non-empty");
+    let a = s.search_phonemes(&q, THRESHOLD, SearchMethod::Qgram);
+    let b = s.search_phonemes(&q, THRESHOLD, SearchMethod::Qgram);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn scan_matches_are_symmetric() {
+    let s = store();
+    let op = s.operator();
+    let qs = queries();
+    for (i, a) in qs.iter().enumerate() {
+        for b in &qs[i + 1..] {
+            assert_eq!(
+                op.matches_phonemes(a, b, THRESHOLD),
+                op.matches_phonemes(b, a, THRESHOLD),
+                "/{a}/ vs /{b}/"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_stored_name_matches_itself_at_threshold_zero() {
+    let s = store();
+    for id in (0..s.len() as u32).step_by(11) {
+        let e = s.get(id).expect("valid");
+        let r = s.search_phonemes(&e.phonemes, 0.0, SearchMethod::Scan);
+        assert!(r.ids.contains(&id), "{} does not match itself", e.text);
+    }
+}

@@ -10,9 +10,9 @@ use std::hint::black_box;
 fn bench_access_paths(c: &mut Criterion) {
     let data = synthetic(10_000);
     let mut store = NameStore::new(MatchConfig::default());
-    for e in &data.entries {
-        store.insert(&e.text, e.language).expect("insert");
-    }
+    store
+        .extend(data.entries.iter().map(|e| (e.text.clone(), e.language)))
+        .expect("bulk load");
     store.build_qgram(3, QgramMode::Strict);
     store.build_phonetic_index();
     store.build_bktree();

@@ -9,8 +9,7 @@ use std::hint::black_box;
 
 fn bench_qgram(c: &mut Criterion) {
     let corpus = corpus();
-    let phonemes: Vec<PhonemeString> =
-        corpus.entries.iter().map(|e| e.phonemes.clone()).collect();
+    let phonemes: Vec<PhonemeString> = corpus.entries.iter().map(|e| e.phonemes.clone()).collect();
     let op = operator();
     let queries: Vec<&PhonemeString> = phonemes.iter().step_by(97).collect();
 

@@ -24,9 +24,18 @@ fn main() {
     let feature = FeaturePhonemeCost::new();
 
     let runs: Vec<(&str, Vec<QualityPoint>)> = vec![
-        ("levenshtein", sweep_with_model(&c, &levenshtein, &thresholds)),
-        ("clustered-0.25", sweep_with_model(&c, &clustered, &thresholds)),
-        ("feature-graded", sweep_with_model(&c, &feature, &thresholds)),
+        (
+            "levenshtein",
+            sweep_with_model(&c, &levenshtein, &thresholds),
+        ),
+        (
+            "clustered-0.25",
+            sweep_with_model(&c, &clustered, &thresholds),
+        ),
+        (
+            "feature-graded",
+            sweep_with_model(&c, &feature, &thresholds),
+        ),
     ];
 
     for (name, points) in &runs {

@@ -22,12 +22,15 @@ use std::sync::Arc;
 fn demo_db() -> Database {
     let mut db = Database::new();
     register_udfs(&mut db, Arc::new(LexEqual::new(MatchConfig::default())));
-    db.execute(
-        "CREATE TABLE books (author TEXT, title TEXT, price FLOAT, language TEXT)",
-    )
-    .expect("create demo table");
+    db.execute("CREATE TABLE books (author TEXT, title TEXT, price FLOAT, language TEXT)")
+        .expect("create demo table");
     for (author, title, price, lang) in [
-        ("Descartes", "Les Méditations Metaphysiques", 49.00, "French"),
+        (
+            "Descartes",
+            "Les Méditations Metaphysiques",
+            49.00,
+            "French",
+        ),
         ("நேரு", "ஆசிய ஜோதி", 250.0, "Tamil"),
         ("Σαρρη", "Παιχνίδια στο Πιάνο", 15.50, "Greek"),
         ("Nero", "The Coronation of the Virgin", 99.00, "English"),

@@ -51,18 +51,19 @@ fn main() {
 
     // Query strings drawn from the data (existing names), spread out.
     let stride = data.len() / opts.queries.max(1);
-    let queries: Vec<&lexequal_lexicon::SyntheticEntry> =
-        data.entries.iter().step_by(stride.max(1)).take(opts.queries).collect();
+    let queries: Vec<&lexequal_lexicon::SyntheticEntry> = data
+        .entries
+        .iter()
+        .step_by(stride.max(1))
+        .take(opts.queries)
+        .collect();
 
     // --- Scan, exact -----------------------------------------------------
     let (hits_exact, t_exact_scan) = timed(|| {
         let mut hits = 0usize;
         for q in &queries {
             let rs = db
-                .execute(&format!(
-                    "SELECT id FROM names WHERE name = '{}'",
-                    q.text
-                ))
+                .execute(&format!("SELECT id FROM names WHERE name = '{}'", q.text))
                 .expect("exact scan");
             hits += rs.rows.len();
         }
@@ -90,9 +91,7 @@ fn main() {
     // --- Join, exact (hash join on the full table) ------------------------
     let (exact_join_rows, t_exact_join) = timed(|| {
         let rs = db
-            .execute(
-                "SELECT COUNT(*) FROM subset s, names n WHERE s.name = n.name",
-            )
+            .execute("SELECT COUNT(*) FROM subset s, names n WHERE s.name = n.name")
             .expect("exact join");
         rs.rows[0][0].clone()
     });
@@ -107,8 +106,8 @@ fn main() {
             .expect("udf join");
         rs.rows[0][0].clone()
     });
-    assert!(db.explain(
-        &format!(
+    assert!(
+        db.explain(&format!(
             "SELECT COUNT(*) FROM subset b1, subset b2 \
              WHERE PHONEQUAL(b1.pname, b2.pname, {threshold}) AND b1.lang <> b2.lang"
         ))

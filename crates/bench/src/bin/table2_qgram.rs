@@ -26,7 +26,10 @@ fn main() {
     let ablate = args.iter().any(|a| a == "--ablate");
     let opts = RunOptions::from_args();
     let op = Arc::new(levenshtein_operator());
-    println!("building synthetic dataset (~{} entries) …", opts.dataset_size);
+    println!(
+        "building synthetic dataset (~{} entries) …",
+        opts.dataset_size
+    );
     let data = synthetic(opts.dataset_size);
     let phonemes: Vec<_> = data.entries.iter().map(|e| e.phonemes.clone()).collect();
 
@@ -43,7 +46,12 @@ fn main() {
     );
 
     let stride = (data.len() / opts.queries.max(1)).max(1);
-    let queries: Vec<_> = data.entries.iter().step_by(stride).take(opts.queries).collect();
+    let queries: Vec<_> = data
+        .entries
+        .iter()
+        .step_by(stride)
+        .take(opts.queries)
+        .collect();
 
     // The database stores pname as an IPA *string* column; every UDF
     // invocation parses its operands, exactly like the SQL PHONEQUAL UDF
@@ -220,7 +228,13 @@ fn ablate_filters(
     }
     print_table(
         "Table 2 (ablation) — candidates surviving each filter stage",
-        &["query", "all rows", "length", "+count/pos (paper)", "+count/pos (strict)"],
+        &[
+            "query",
+            "all rows",
+            "length",
+            "+count/pos (paper)",
+            "+count/pos (strict)",
+        ],
         &rows,
     );
 }

@@ -24,7 +24,10 @@ fn main() {
     let ablate = args.iter().any(|a| a == "--ablate");
     let opts = RunOptions::from_args();
     let op = Arc::new(levenshtein_operator());
-    println!("building synthetic dataset (~{} entries) …", opts.dataset_size);
+    println!(
+        "building synthetic dataset (~{} entries) …",
+        opts.dataset_size
+    );
     let data = synthetic(opts.dataset_size);
     let phonemes: Vec<_> = data.entries.iter().map(|e| e.phonemes.clone()).collect();
 
@@ -38,7 +41,12 @@ fn main() {
     );
 
     let stride = (data.len() / opts.queries.max(1)).max(1);
-    let queries: Vec<_> = data.entries.iter().step_by(stride).take(opts.queries).collect();
+    let queries: Vec<_> = data
+        .entries
+        .iter()
+        .step_by(stride)
+        .take(opts.queries)
+        .collect();
 
     // Both paths pay the per-verification UDF cost (operand parse + DP),
     // exactly like the SQL PHONEQUAL UDF over the stored pname column.
@@ -263,7 +271,13 @@ fn ablate_cluster_granularity(
     }
     print_table(
         "Table 3 (ablation) — cluster granularity vs selectivity and dismissals",
-        &["clusters", "distinct keys", "verify calls", "hits/scan", "dismissed"],
+        &[
+            "clusters",
+            "distinct keys",
+            "verify calls",
+            "hits/scan",
+            "dismissed",
+        ],
         &rows,
     );
 }

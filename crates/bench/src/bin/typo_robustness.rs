@@ -66,7 +66,10 @@ fn main() {
     let threshold = op.config().threshold;
     let mut rows = Vec::new();
     for (label, gen) in [
-        ("transposition (Catyh)", transpose as fn(&str) -> Option<String>),
+        (
+            "transposition (Catyh)",
+            transpose as fn(&str) -> Option<String>,
+        ),
         ("deletion (Cahy)", delete),
         ("doubling (Catthy)", double),
     ] {
@@ -104,7 +107,10 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Typo robustness over {} base names (threshold {threshold})", names.len()),
+        &format!(
+            "Typo robustness over {} base names (threshold {threshold})",
+            names.len()
+        ),
         &[
             "typo class",
             "cases",

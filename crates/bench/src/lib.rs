@@ -119,7 +119,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&headers.iter().map(|h| (*h).to_owned()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

@@ -132,8 +132,8 @@ mod tests {
     fn clustered_distance_is_bounded_by_levenshtein() {
         let a = ps("nɛru");
         let b = ps("neːɾu");
-        let lev = edit_distance(a.as_slice(), b.as_slice(), &cost(1.0));
-        let clustered = edit_distance(a.as_slice(), b.as_slice(), &cost(0.25));
+        let lev = edit_distance(a.as_slice(), b.as_slice(), cost(1.0));
+        let clustered = edit_distance(a.as_slice(), b.as_slice(), cost(0.25));
         assert!(clustered <= lev);
         assert!(clustered > 0.0);
     }

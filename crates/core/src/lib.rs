@@ -73,3 +73,29 @@ pub use store::{NameStore, SearchMethod};
 
 pub use lexequal_g2p::{G2pError, G2pRegistry, Language};
 pub use lexequal_phoneme::{ClusterTable, Phoneme, PhonemeString};
+
+#[cfg(test)]
+mod send_sync_audit {
+    //! The serving layer (`lexequal-service`) shares the operator and its
+    //! configuration across worker threads and moves stores into them;
+    //! these assertions pin the thread-safety contract at compile time so
+    //! a future `Rc`/`RefCell` slipping into any layer fails loudly here
+    //! rather than at the service crate's call sites.
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn core_types_are_send_and_sync() {
+        assert_send_sync::<LexEqual>();
+        assert_send_sync::<MatchConfig>();
+        assert_send_sync::<G2pRegistry>();
+        assert_send_sync::<ClusterTable>();
+        assert_send_sync::<PhonemeString>();
+        assert_send_sync::<store::NameEntry>();
+        assert_send_sync::<store::SearchResult>();
+        assert_send_sync::<NameStore>();
+        assert_send_sync::<QgramFilter>();
+        assert_send_sync::<PhoneticIndex>();
+    }
+}

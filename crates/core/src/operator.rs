@@ -219,8 +219,8 @@ mod tests {
 
     #[test]
     fn noresource_for_unsupported_language() {
-        let cfg = MatchConfig::default()
-            .with_registry(G2pRegistry::with_languages(&[Language::English]));
+        let cfg =
+            MatchConfig::default().with_registry(G2pRegistry::with_languages(&[Language::English]));
         let l = LexEqual::new(cfg);
         assert_eq!(
             l.match_strings("Nehru", Language::English, "नेहरु", Language::Hindi)
@@ -238,10 +238,7 @@ mod tests {
         let mut matched = false;
         for e in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.75, 1.0] {
             let m = l.matches_phonemes(&a, &b, e);
-            assert!(
-                !matched || m,
-                "match lost when threshold grew to {e}"
-            );
+            assert!(!matched || m, "match lost when threshold grew to {e}");
             matched = m;
         }
         assert!(matched, "Catherine/Kathryn should match by threshold 1.0");
@@ -254,7 +251,10 @@ mod tests {
         let b = l.transform("नेहरु", Language::Hindi).unwrap();
         let d = l.distance(&a, &b);
         let k = l.budget(&a, &b, l.config().threshold);
-        assert_eq!(l.matches_phonemes(&a, &b, l.config().threshold), d <= k + 1e-12);
+        assert_eq!(
+            l.matches_phonemes(&a, &b, l.config().threshold),
+            d <= k + 1e-12
+        );
     }
 
     #[test]

@@ -44,7 +44,9 @@ impl PhoneticIndex {
     pub fn build(clusters: &ClusterTable, corpus: &[PhonemeString]) -> Self {
         let mut map: HashMap<i64, Vec<u32>> = HashMap::new();
         for (id, s) in corpus.iter().enumerate() {
-            map.entry(grouped_id(clusters, s)).or_default().push(id as u32);
+            map.entry(grouped_id(clusters, s))
+                .or_default()
+                .push(id as u32);
         }
         PhoneticIndex {
             map,
@@ -158,9 +160,8 @@ mod tests {
 
     #[test]
     fn hits_are_subset_of_scan_with_possible_dismissals() {
-        let (ops, corpus, idx) = setup(&[
-            "Catherine", "Kathryn", "Cathy", "Nehru", "Nero", "Neruda",
-        ]);
+        let (ops, corpus, idx) =
+            setup(&["Catherine", "Kathryn", "Cathy", "Nehru", "Nero", "Neruda"]);
         let q = ops.transform("Catherine", Language::English).unwrap();
         let (hits, _) = idx.search(&corpus, &q, 0.4, &ops);
         let scan: Vec<u32> = (0..corpus.len() as u32)
@@ -177,8 +178,8 @@ mod tests {
     fn coarse_clusters_reduce_distinct_keys() {
         let ops = LexEqual::default();
         let names = [
-            "Nehru", "Gandhi", "Bose", "Patel", "Kumar", "Sharma", "Iyer",
-            "Reddy", "Menon", "Verma",
+            "Nehru", "Gandhi", "Bose", "Patel", "Kumar", "Sharma", "Iyer", "Reddy", "Menon",
+            "Verma",
         ];
         let corpus: Vec<PhonemeString> = names
             .iter()

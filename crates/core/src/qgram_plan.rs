@@ -112,10 +112,7 @@ impl QgramFilter {
     fn filter_bound(&self, k: f64, operator: &LexEqual) -> Option<f64> {
         match self.mode {
             QgramMode::PaperFaithful => Some(k),
-            QgramMode::Strict => operator
-                .cost_model()
-                .min_nonzero_cost()
-                .map(|c| k / c),
+            QgramMode::Strict => operator.cost_model().min_nonzero_cost().map(|c| k / c),
         }
     }
 
@@ -128,12 +125,15 @@ impl QgramFilter {
 
         // Indel cost is always 1, so the length filter may use the
         // clustered budget k directly in both modes.
-        let length_ok =
-            |cand: u32| length_filter_passes(self.lengths[cand as usize] as usize, qlen as usize, k);
+        let length_ok = |cand: u32| {
+            length_filter_passes(self.lengths[cand as usize] as usize, qlen as usize, k)
+        };
 
         let Some(bound) = bound else {
             // Length filter only.
-            return (0..self.lengths.len() as u32).filter(|&i| length_ok(i)).collect();
+            return (0..self.lengths.len() as u32)
+                .filter(|&i| length_ok(i))
+                .collect();
         };
 
         // Gather position-compatible shared gram counts per candidate.
@@ -150,7 +150,10 @@ impl QgramFilter {
                         continue;
                     }
                     if (pos as i64 - g.pos as i64).abs() <= bound.floor() as i64 {
-                        per_candidate.entry(cand).or_default().push((sig, pos, g.pos));
+                        per_candidate
+                            .entry(cand)
+                            .or_default()
+                            .push((sig, pos, g.pos));
                     }
                 }
             }
@@ -232,7 +235,6 @@ mod tests {
     use super::*;
     use crate::config::MatchConfig;
     use lexequal_g2p::Language;
-    use proptest::prelude::*;
 
     fn corpus(ops: &LexEqual, names: &[&str]) -> Vec<PhonemeString> {
         names
@@ -260,8 +262,16 @@ mod tests {
     fn strict_mode_matches_exhaustive_scan() {
         let ops = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.25));
         let names = [
-            "Catherine", "Kathryn", "Cathy", "Kate", "Karthik", "Kumar",
-            "Nehru", "Nero", "Neruda", "Gandhi",
+            "Catherine",
+            "Kathryn",
+            "Cathy",
+            "Kate",
+            "Karthik",
+            "Kumar",
+            "Nehru",
+            "Nero",
+            "Neruda",
+            "Gandhi",
         ];
         let c = corpus(&ops, &names);
         let f = QgramFilter::build(&c, 3, QgramMode::Strict);
@@ -312,25 +322,31 @@ mod tests {
         assert!(cands.contains(&0));
     }
 
-    proptest! {
-        /// Strict-mode completeness over random phoneme strings.
-        #[test]
-        fn strict_never_dismisses_true_matches(
-            seeds in proptest::collection::vec("[nmkrlt][aeiou][nmkrlt]?[aeiou]?[nmkrlt]?", 2..12),
-            e in 0.0f64..0.6,
-        ) {
-            let ops = LexEqual::default();
-            let corpus: Vec<PhonemeString> =
-                seeds.iter().map(|s| s.parse().unwrap()).collect();
-            let f = QgramFilter::build(&corpus, 3, QgramMode::Strict);
-            let query = corpus[0].clone();
-            let (mut hits, _) = f.search(&corpus, &query, e, &ops);
-            hits.sort_unstable();
-            let mut scan: Vec<u32> = (0..corpus.len() as u32)
-                .filter(|&i| ops.matches_phonemes(&corpus[i as usize], &query, e))
-                .collect();
-            scan.sort_unstable();
-            prop_assert_eq!(hits, scan);
+    #[cfg(feature = "property-tests")]
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Strict-mode completeness over random phoneme strings.
+            #[test]
+            fn strict_never_dismisses_true_matches(
+                seeds in proptest::collection::vec("[nmkrlt][aeiou][nmkrlt]?[aeiou]?[nmkrlt]?", 2..12),
+                e in 0.0f64..0.6,
+            ) {
+                let ops = LexEqual::default();
+                let corpus: Vec<PhonemeString> =
+                    seeds.iter().map(|s| s.parse().unwrap()).collect();
+                let f = QgramFilter::build(&corpus, 3, QgramMode::Strict);
+                let query = corpus[0].clone();
+                let (mut hits, _) = f.search(&corpus, &query, e, &ops);
+                hits.sort_unstable();
+                let mut scan: Vec<u32> = (0..corpus.len() as u32)
+                    .filter(|&i| ops.matches_phonemes(&corpus[i as usize], &query, e))
+                    .collect();
+                scan.sort_unstable();
+                prop_assert_eq!(hits, scan);
+            }
         }
     }
 }

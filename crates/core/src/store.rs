@@ -18,6 +18,7 @@ use crate::qgram_plan::{QgramFilter, QgramMode};
 use lexequal_g2p::{G2pError, Language};
 use lexequal_matcher::{edit_distance, BkTree, UnitCost};
 use lexequal_phoneme::PhonemeString;
+use std::ops::Range;
 
 /// Integer Levenshtein distance between phoneme strings — the BK-tree
 /// metric (the clustered distance is not integer-valued; Levenshtein
@@ -107,20 +108,59 @@ impl NameStore {
     }
 
     /// Insert a name; returns its id. Invalidates built access paths
-    /// (rebuild after bulk loading).
+    /// (rebuild after bulk loading — or use [`extend`](Self::extend),
+    /// which invalidates only once for a whole batch).
     pub fn insert(&mut self, text: &str, language: Language) -> Result<u32, G2pError> {
-        let phonemes = self.operator.transform(text, language)?;
-        let id = self.entries.len() as u32;
-        self.entries.push(NameEntry {
-            text: text.to_owned(),
-            language,
-            phonemes: phonemes.clone(),
-        });
-        self.phonemes.push(phonemes);
-        self.qgram = None;
-        self.phonidx = None;
-        self.bktree = None;
-        Ok(id)
+        self.extend([(text.to_owned(), language)]).map(|r| r.start)
+    }
+
+    /// Bulk-load names; returns the contiguous id range assigned.
+    ///
+    /// All rows are transformed *first*, so a G2P failure on any row
+    /// leaves the store unchanged; the built access paths are then
+    /// invalidated once for the whole batch instead of once per row.
+    pub fn extend(
+        &mut self,
+        rows: impl IntoIterator<Item = (String, Language)>,
+    ) -> Result<Range<u32>, G2pError> {
+        let entries = rows
+            .into_iter()
+            .map(|(text, language)| {
+                Ok(NameEntry {
+                    phonemes: self.operator.transform(&text, language)?,
+                    text,
+                    language,
+                })
+            })
+            .collect::<Result<Vec<_>, G2pError>>()?;
+        Ok(self.extend_transformed(entries))
+    }
+
+    /// Bulk-load pre-transformed entries (the serving layer transforms on
+    /// its own threads); returns the contiguous id range assigned.
+    /// Invalidates built access paths once.
+    pub fn extend_transformed(&mut self, entries: Vec<NameEntry>) -> Range<u32> {
+        let start = self.entries.len() as u32;
+        self.phonemes
+            .extend(entries.iter().map(|e| e.phonemes.clone()));
+        self.entries.extend(entries);
+        if start != self.entries.len() as u32 {
+            self.qgram = None;
+            self.phonidx = None;
+            self.bktree = None;
+        }
+        start..self.entries.len() as u32
+    }
+
+    /// Whether the access path a [`search`](Self::search) via `method`
+    /// needs has been built (scans need none).
+    pub fn is_built(&self, method: SearchMethod) -> bool {
+        match method {
+            SearchMethod::Scan => true,
+            SearchMethod::Qgram => self.qgram.is_some(),
+            SearchMethod::PhoneticIndex => self.phonidx.is_some(),
+            SearchMethod::BkTree => self.bktree.is_some(),
+        }
     }
 
     /// Build the q-gram access path.
@@ -329,5 +369,56 @@ mod tests {
         let mut s = NameStore::new(MatchConfig::default());
         s.insert("Nehru", Language::English).unwrap();
         let _ = s.search("Nehru", Language::English, 0.3, SearchMethod::Qgram);
+    }
+
+    #[test]
+    fn extend_assigns_contiguous_ids_and_matches_inserts() {
+        let a = store();
+        let mut b = NameStore::new(MatchConfig::default());
+        let range = b
+            .extend(
+                (0..a.len() as u32)
+                    .map(|i| a.get(i).unwrap())
+                    .map(|e| (e.text.clone(), e.language)),
+            )
+            .unwrap();
+        assert_eq!(range, 0..7);
+        b.build_qgram(3, QgramMode::Strict);
+        for (method, built) in [(SearchMethod::Scan, true), (SearchMethod::Qgram, true)] {
+            assert_eq!(b.is_built(method), built);
+            let x = a.search("Nehru", Language::English, 0.45, method).unwrap();
+            let y = b.search("Nehru", Language::English, 0.45, method).unwrap();
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn extend_is_all_or_nothing() {
+        let mut s = NameStore::new(MatchConfig::default());
+        // Second row's script contradicts its language tag: the whole
+        // batch must be rejected.
+        let r = s.extend([
+            ("Nehru".to_owned(), Language::English),
+            ("नेहरु".to_owned(), Language::Tamil),
+        ]);
+        assert!(r.is_err());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn extend_invalidates_access_paths_once() {
+        let mut s = store();
+        assert!(s.is_built(SearchMethod::Qgram));
+        assert!(s.is_built(SearchMethod::PhoneticIndex));
+        assert!(s.is_built(SearchMethod::BkTree));
+        // An empty batch is a no-op that keeps the paths.
+        let r = s.extend(std::iter::empty()).unwrap();
+        assert_eq!(r, 7..7);
+        assert!(s.is_built(SearchMethod::Qgram));
+        // A real batch invalidates them.
+        s.extend([("Bose".to_owned(), Language::English)]).unwrap();
+        assert!(!s.is_built(SearchMethod::Qgram));
+        assert!(!s.is_built(SearchMethod::BkTree));
+        assert!(s.is_built(SearchMethod::Scan));
     }
 }

@@ -332,7 +332,10 @@ mod tests {
             ("Gandhi".to_owned(), Language::English),
         ];
         load_names_table(&mut db, "names", &names, &op).unwrap();
-        let q = op.transform("Nehru", Language::English).unwrap().to_string();
+        let q = op
+            .transform("Nehru", Language::English)
+            .unwrap()
+            .to_string();
         let rs = db
             .execute(&format!(
                 "SELECT name FROM names WHERE PHONEQUAL(pname, '{q}', 0.45)"
@@ -354,11 +357,13 @@ mod tests {
         load_names_table(&mut db, "names", &names, &op).unwrap();
         db.execute("CREATE INDEX ix_gpid ON names (gpid)").unwrap();
         // Figure 15-shaped query: index probe + UDF verify.
-        let qp = op.transform("Nehru", Language::English).unwrap().to_string();
+        let qp = op
+            .transform("Nehru", Language::English)
+            .unwrap()
+            .to_string();
         let key = crate::phonidx::grouped_id(op.cost_model().clusters(), &qp.parse().unwrap());
-        let sql = format!(
-            "SELECT name FROM names WHERE gpid = {key} AND PHONEQUAL(pname, '{qp}', 0.3)"
-        );
+        let sql =
+            format!("SELECT name FROM names WHERE gpid = {key} AND PHONEQUAL(pname, '{qp}', 0.3)");
         assert!(db.explain(&sql).unwrap().contains("IndexScan"));
         let rs = db.execute(&sql).unwrap();
         // "Neru" and "Nehru" render to the same English phonemes (silent
@@ -393,18 +398,12 @@ mod tests {
 
     #[test]
     fn resolve_language_respects_allowed_set() {
-        assert_eq!(
-            resolve_language("Nehru", None),
-            Some(Language::English)
-        );
+        assert_eq!(resolve_language("Nehru", None), Some(Language::English));
         assert_eq!(
             resolve_language("Nehru", Some(&[Language::French, Language::Hindi])),
             Some(Language::French) // Latin-script fallback
         );
-        assert_eq!(
-            resolve_language("नेहरु", Some(&[Language::English])),
-            None
-        );
+        assert_eq!(resolve_language("नेहरु", Some(&[Language::English])), None);
         assert_eq!(resolve_language("!!!", None), None);
     }
 }

@@ -27,7 +27,7 @@ fn consonant(c: char) -> Option<&'static str> {
         'ت' => "t",
         'ث' => "θ",
         'ج' => "dʒ",
-        'ح' => "h",  // ħ folded to h
+        'ح' => "h", // ħ folded to h
         'خ' => "x",
         'د' => "d",
         'ذ' => "ð",
@@ -35,11 +35,11 @@ fn consonant(c: char) -> Option<&'static str> {
         'ز' => "z",
         'س' => "s",
         'ش' => "ʃ",
-        'ص' => "s",  // emphatic ṣ
-        'ض' => "d",  // emphatic ḍ
-        'ط' => "t",  // emphatic ṭ
-        'ظ' => "ð",  // emphatic ẓ
-        'ع' => "ʔ",  // ʕ folded to glottal stop
+        'ص' => "s", // emphatic ṣ
+        'ض' => "d", // emphatic ḍ
+        'ط' => "t", // emphatic ṭ
+        'ظ' => "ð", // emphatic ẓ
+        'ع' => "ʔ", // ʕ folded to glottal stop
         'غ' => "ɣ",
         'ف' => "f",
         'ق' => "q",
@@ -242,7 +242,10 @@ mod tests {
         // بهنسي — the Figure 1 Arabic author (Behnasi).
         let p = ipa("بهنسي");
         assert!(p.starts_with("bah"), "got {p}");
-        assert!(p.ends_with("iː") || p.ends_with('i') || p.ends_with('j'), "got {p}");
+        assert!(
+            p.ends_with("iː") || p.ends_with('i') || p.ends_with('j'),
+            "got {p}"
+        );
     }
 
     #[test]

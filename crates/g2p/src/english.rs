@@ -491,8 +491,17 @@ mod tests {
     fn output_parses_into_inventory() {
         // A broad sweep: every emission must tokenize as IPA.
         for w in [
-            "Krishnamurthy", "Venkatesh", "Lakshmi", "Elizabeth", "Jacqueline",
-            "Xavier", "Quentin", "Yvonne", "Zachary", "Ootacamund", "Tchaikovsky",
+            "Krishnamurthy",
+            "Venkatesh",
+            "Lakshmi",
+            "Elizabeth",
+            "Jacqueline",
+            "Xavier",
+            "Quentin",
+            "Yvonne",
+            "Zachary",
+            "Ootacamund",
+            "Tchaikovsky",
         ] {
             let p = EnglishG2p.convert(w);
             assert!(p.is_ok(), "{w}: {p:?}");

@@ -94,13 +94,13 @@ fn consonant(c: char) -> Option<(&'static str, char)> {
         'स' => ("s", 'o'),
         'ह' => ("ɦ", 'o'),
         // Nukta (loan) consonants — precomposed forms U+0958..U+095E.
-        '\u{0958}' => ("q", 'v'),  // क़
-        '\u{0959}' => ("x", 'v'),  // ख़
-        '\u{095A}' => ("ɣ", 'v'),  // ग़
-        '\u{095B}' => ("z", 'o'),  // ज़
-        '\u{095E}' => ("f", 'l'),  // फ़
-        '\u{095C}' => ("ɽ", 'o'),  // ड़
-        '\u{095D}' => ("ɽ", 'o'),  // ढ़
+        '\u{0958}' => ("q", 'v'), // क़
+        '\u{0959}' => ("x", 'v'), // ख़
+        '\u{095A}' => ("ɣ", 'v'), // ग़
+        '\u{095B}' => ("z", 'o'), // ज़
+        '\u{095E}' => ("f", 'l'), // फ़
+        '\u{095C}' => ("ɽ", 'o'), // ड़
+        '\u{095D}' => ("ɽ", 'o'), // ढ़
         _ => return None,
     })
 }
@@ -148,8 +148,8 @@ impl HindiG2p {
     /// [`G2pError::UntranslatableChar`].
     pub fn convert(&self, text: &str) -> Result<PhonemeString, G2pError> {
         let mut ipa = String::new();
-        for word in
-            text.split(|c: char| c.is_whitespace() || c == '-' || c == '\u{200C}' || c == '\u{200D}')
+        for word in text
+            .split(|c: char| c.is_whitespace() || c == '-' || c == '\u{200C}' || c == '\u{200D}')
         {
             if word.is_empty() {
                 continue;
@@ -363,7 +363,10 @@ mod tests {
 
     #[test]
     fn multiword_input() {
-        assert_eq!(ipa("जवाहरलाल नेहरु"), format!("{}{}", ipa("जवाहरलाल"), ipa("नेहरु")));
+        assert_eq!(
+            ipa("जवाहरलाल नेहरु"),
+            format!("{}{}", ipa("जवाहरलाल"), ipa("नेहरु"))
+        );
     }
 
     #[test]

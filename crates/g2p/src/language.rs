@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn mixed_script_majority_wins() {
-        assert_eq!(detect_script("Nehru नेहरु जवाहरलाल"), Some(Script::Devanagari));
+        assert_eq!(
+            detect_script("Nehru नेहरु जवाहरलाल"),
+            Some(Script::Devanagari)
+        );
     }
 
     #[test]

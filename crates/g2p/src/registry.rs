@@ -114,12 +114,11 @@ impl G2pRegistry {
 
     /// Transform with language auto-detection (paper §2.1 caveats apply).
     pub fn transform_detect(&self, text: &str) -> Result<PhonemeString, G2pError> {
-        let lang = crate::language::detect_language(text).ok_or_else(|| {
-            G2pError::UntranslatableChar {
+        let lang =
+            crate::language::detect_language(text).ok_or_else(|| G2pError::UntranslatableChar {
                 ch: text.chars().next().unwrap_or('?'),
                 language: Language::English,
-            }
-        })?;
+            })?;
         self.transform(text, lang)
     }
 }

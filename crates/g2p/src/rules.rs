@@ -115,15 +115,15 @@ fn match_right(s: &[char], pattern: &[char]) -> bool {
         '^' => s.first().is_some_and(|&c| is_consonant(c)) && match_right(&s[1..], rest),
         '.' => s.first().is_some_and(|&c| is_voiced_consonant(c)) && match_right(&s[1..], rest),
         '+' => s.first().is_some_and(|&c| is_front_vowel(c)) && match_right(&s[1..], rest),
-        '%' => SUFFIXES.iter().any(|suf| {
-            starts_with(s, suf) && match_right(&s[suf.len()..], rest)
-        }),
-        '&' => SIBILANTS.iter().any(|sib| {
-            starts_with(s, sib) && match_right(&s[sib.len()..], rest)
-        }),
-        '@' => AT_SET.iter().any(|a| {
-            starts_with(s, a) && match_right(&s[a.len()..], rest)
-        }),
+        '%' => SUFFIXES
+            .iter()
+            .any(|suf| starts_with(s, suf) && match_right(&s[suf.len()..], rest)),
+        '&' => SIBILANTS
+            .iter()
+            .any(|sib| starts_with(s, sib) && match_right(&s[sib.len()..], rest)),
+        '@' => AT_SET
+            .iter()
+            .any(|a| starts_with(s, a) && match_right(&s[a.len()..], rest)),
         ' ' => s.first().is_some_and(|&c| c == ' ') && match_right(&s[1..], rest),
         lit => s.first().is_some_and(|&c| c == lit) && match_right(&s[1..], rest),
     }
@@ -151,25 +151,20 @@ fn match_left(s: &[char], pattern: &[char]) -> bool {
             }
             (0..=n).rev().any(|k| match_left(&s[..s.len() - k], rest))
         }
-        '^' => {
-            s.last().is_some_and(|&c| is_consonant(c)) && match_left(&s[..s.len() - 1], rest)
-        }
+        '^' => s.last().is_some_and(|&c| is_consonant(c)) && match_left(&s[..s.len() - 1], rest),
         '.' => {
-            s.last().is_some_and(|&c| is_voiced_consonant(c))
-                && match_left(&s[..s.len() - 1], rest)
+            s.last().is_some_and(|&c| is_voiced_consonant(c)) && match_left(&s[..s.len() - 1], rest)
         }
-        '+' => {
-            s.last().is_some_and(|&c| is_front_vowel(c)) && match_left(&s[..s.len() - 1], rest)
-        }
-        '%' => SUFFIXES.iter().any(|suf| {
-            ends_with(s, suf) && match_left(&s[..s.len() - suf.len()], rest)
-        }),
-        '&' => SIBILANTS.iter().any(|sib| {
-            ends_with(s, sib) && match_left(&s[..s.len() - sib.len()], rest)
-        }),
-        '@' => AT_SET.iter().any(|a| {
-            ends_with(s, a) && match_left(&s[..s.len() - a.len()], rest)
-        }),
+        '+' => s.last().is_some_and(|&c| is_front_vowel(c)) && match_left(&s[..s.len() - 1], rest),
+        '%' => SUFFIXES
+            .iter()
+            .any(|suf| ends_with(s, suf) && match_left(&s[..s.len() - suf.len()], rest)),
+        '&' => SIBILANTS
+            .iter()
+            .any(|sib| ends_with(s, sib) && match_left(&s[..s.len() - sib.len()], rest)),
+        '@' => AT_SET
+            .iter()
+            .any(|a| ends_with(s, a) && match_left(&s[..s.len() - a.len()], rest)),
         ' ' => s.last().is_some_and(|&c| c == ' ') && match_left(&s[..s.len() - 1], rest),
         lit => s.last().is_some_and(|&c| c == lit) && match_left(&s[..s.len() - 1], rest),
     }
@@ -201,11 +196,7 @@ impl RuleEngine {
     pub fn new(rules: &[Rule]) -> Self {
         let mut buckets: Vec<Vec<Rule>> = vec![Vec::new(); 26];
         for r in rules {
-            let first = r
-                .text
-                .chars()
-                .next()
-                .expect("rule text must be non-empty");
+            let first = r.text.chars().next().expect("rule text must be non-empty");
             assert!(
                 first.is_ascii_uppercase(),
                 "rule text must start with A-Z, got {:?}",

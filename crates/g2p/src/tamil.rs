@@ -72,8 +72,28 @@ const AYTHAM: char = 'ஃ';
 fn is_consonant(c: char) -> bool {
     matches!(
         c,
-        'க' | 'ங' | 'ச' | 'ஞ' | 'ட' | 'ண' | 'த' | 'ந' | 'ப' | 'ம' | 'ய' | 'ர'
-            | 'ல' | 'வ' | 'ழ' | 'ள' | 'ற' | 'ன' | 'ஜ' | 'ஶ' | 'ஷ' | 'ஸ' | 'ஹ'
+        'க' | 'ங'
+            | 'ச'
+            | 'ஞ'
+            | 'ட'
+            | 'ண'
+            | 'த'
+            | 'ந'
+            | 'ப'
+            | 'ம'
+            | 'ய'
+            | 'ர'
+            | 'ல'
+            | 'வ'
+            | 'ழ'
+            | 'ள'
+            | 'ற'
+            | 'ன'
+            | 'ஜ'
+            | 'ஶ'
+            | 'ஷ'
+            | 'ஸ'
+            | 'ஹ'
     )
 }
 
@@ -208,8 +228,7 @@ fn consonant_realization(units: &[Unit], idx: usize, letter: char) -> &'static s
     if !is_plosive(letter) {
         // Geminate றற spells the /tr/ cluster.
         if letter == 'ற' {
-            let follows_pulli_rra = idx > 0
-                && matches!(units[idx - 1], Unit::Cons('ற', None));
+            let follows_pulli_rra = idx > 0 && matches!(units[idx - 1], Unit::Cons('ற', None));
             if follows_pulli_rra {
                 return "r"; // second half of ற்ற; first half emitted t below
             }

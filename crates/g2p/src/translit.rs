@@ -374,11 +374,7 @@ mod latin_tests {
         use lexequal_phoneme::Inventory;
         for p in Inventory::iter() {
             let s = to_latin(&PhonemeString::new(vec![p]));
-            assert!(
-                s.chars().all(|c| c.is_ascii()),
-                "{:?} romanized to non-ASCII {s:?}",
-                p
-            );
+            assert!(s.is_ascii(), "{:?} romanized to non-ASCII {s:?}", p);
         }
     }
 

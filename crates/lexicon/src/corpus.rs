@@ -160,11 +160,7 @@ mod tests {
         // be slightly fewer than len/3.
         assert_eq!(c.len() % 3, 0);
         assert!(c.groups as usize <= c.len() / 3);
-        assert!(
-            c.groups >= 700,
-            "expected ~800 groups, got {}",
-            c.groups
-        );
+        assert!(c.groups >= 700, "expected ~800 groups, got {}", c.groups);
         // Each consecutive triple shares a tag and spans 3 languages.
         for chunk in c.entries.chunks(3) {
             assert_eq!(chunk[0].tag, chunk[1].tag);

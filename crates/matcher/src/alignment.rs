@@ -99,7 +99,6 @@ pub fn align<T: Copy + PartialEq, M: CostModel<T>>(
 mod tests {
     use super::*;
     use crate::cost::UnitCost;
-    use proptest::prelude::*;
 
     fn chars(s: &str) -> Vec<char> {
         s.chars().collect()
@@ -122,7 +121,11 @@ mod tests {
             .iter()
             .filter(|o| matches!(o, EditOp::Substitute { .. }))
             .count();
-        let ins = a.ops.iter().filter(|o| matches!(o, EditOp::Insert(_))).count();
+        let ins = a
+            .ops
+            .iter()
+            .filter(|o| matches!(o, EditOp::Insert(_)))
+            .count();
         assert_eq!(subs, 2); // k->s, e->i
         assert_eq!(ins, 1); // +g
     }
@@ -144,27 +147,33 @@ mod tests {
         assert_eq!(a.distance, 2.0);
     }
 
-    proptest! {
-        /// The alignment's operation costs must sum to the DP distance,
-        /// and replaying it must transform left into right.
-        #[test]
-        fn alignment_is_consistent(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
-            let av = chars(&a);
-            let bv = chars(&b);
-            let al = align(&av, &bv, UnitCost);
-            let total: f64 = al.ops.iter().map(|o| o.cost(&UnitCost)).sum();
-            prop_assert!((total - al.distance).abs() < 1e-9);
-            // Replay.
-            let mut rebuilt = Vec::new();
-            for op in &al.ops {
-                match op {
-                    EditOp::Match(c) => rebuilt.push(*c),
-                    EditOp::Substitute { right, .. } => rebuilt.push(*right),
-                    EditOp::Insert(c) => rebuilt.push(*c),
-                    EditOp::Delete(_) => {}
+    #[cfg(feature = "property-tests")]
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The alignment's operation costs must sum to the DP distance,
+            /// and replaying it must transform left into right.
+            #[test]
+            fn alignment_is_consistent(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+                let av = chars(&a);
+                let bv = chars(&b);
+                let al = align(&av, &bv, UnitCost);
+                let total: f64 = al.ops.iter().map(|o| o.cost(&UnitCost)).sum();
+                prop_assert!((total - al.distance).abs() < 1e-9);
+                // Replay.
+                let mut rebuilt = Vec::new();
+                for op in &al.ops {
+                    match op {
+                        EditOp::Match(c) => rebuilt.push(*c),
+                        EditOp::Substitute { right, .. } => rebuilt.push(*right),
+                        EditOp::Insert(c) => rebuilt.push(*c),
+                        EditOp::Delete(_) => {}
+                    }
                 }
+                prop_assert_eq!(rebuilt, bv);
             }
-            prop_assert_eq!(rebuilt, bv);
         }
     }
 }

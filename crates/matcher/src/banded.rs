@@ -91,8 +91,6 @@ pub fn within_distance<T, M: CostModel<T>>(left: &[T], right: &[T], k: f64, mode
 mod tests {
     use super::*;
     use crate::cost::UnitCost;
-    use crate::distance::edit_distance;
-    use proptest::prelude::*;
 
     fn chars(s: &str) -> Vec<char> {
         s.chars().collect()
@@ -157,32 +155,39 @@ mod tests {
         assert!(!within_distance(&a, &b, 0.49, QuarterSub));
     }
 
-    proptest! {
-        #[test]
-        fn agrees_with_exact_distance(
-            a in "[a-d]{0,12}", b in "[a-d]{0,12}", k in 0.0f64..6.0
-        ) {
-            let av = chars(&a);
-            let bv = chars(&b);
-            let exact = edit_distance(&av, &bv, UnitCost);
-            prop_assert_eq!(
-                within_distance(&av, &bv, k, UnitCost),
-                exact <= k + 1e-12,
-                "a={} b={} k={} exact={}", a, b, k, exact
-            );
-        }
+    #[cfg(feature = "property-tests")]
+    mod property {
+        use super::*;
+        use crate::distance::edit_distance;
+        use proptest::prelude::*;
 
-        #[test]
-        fn agrees_with_exact_distance_fractional(
-            a in "[a-c]{0,10}", b in "[a-c]{0,10}", k in 0.0f64..4.0
-        ) {
-            let av = chars(&a);
-            let bv = chars(&b);
-            let exact = edit_distance(&av, &bv, QuarterSub);
-            prop_assert_eq!(
-                within_distance(&av, &bv, k, QuarterSub),
-                exact <= k + 1e-12
-            );
+        proptest! {
+            #[test]
+            fn agrees_with_exact_distance(
+                a in "[a-d]{0,12}", b in "[a-d]{0,12}", k in 0.0f64..6.0
+            ) {
+                let av = chars(&a);
+                let bv = chars(&b);
+                let exact = edit_distance(&av, &bv, UnitCost);
+                prop_assert_eq!(
+                    within_distance(&av, &bv, k, UnitCost),
+                    exact <= k + 1e-12,
+                    "a={} b={} k={} exact={}", a, b, k, exact
+                );
+            }
+
+            #[test]
+            fn agrees_with_exact_distance_fractional(
+                a in "[a-c]{0,10}", b in "[a-c]{0,10}", k in 0.0f64..4.0
+            ) {
+                let av = chars(&a);
+                let bv = chars(&b);
+                let exact = edit_distance(&av, &bv, QuarterSub);
+                prop_assert_eq!(
+                    within_distance(&av, &bv, k, QuarterSub),
+                    exact <= k + 1e-12
+                );
+            }
         }
     }
 }

@@ -144,7 +144,6 @@ impl<K, V, D: Fn(&K, &K) -> u32> BkTree<K, V, D> {
 mod tests {
     use super::*;
     use crate::distance::levenshtein;
-    use proptest::prelude::*;
 
     fn tree_of(words: &[&str]) -> BkTree<String, usize, impl Fn(&String, &String) -> u32> {
         let mut t = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
@@ -187,7 +186,8 @@ mod tests {
 
     #[test]
     fn empty_tree_behaviour() {
-        let t: BkTree<String, (), _> = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
+        let t: BkTree<String, (), _> =
+            BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
         assert!(t.is_empty());
         assert!(t.range(&"x".to_owned(), 5).is_empty());
         assert_eq!(t.probe_count(&"x".to_owned(), 5), 0);
@@ -195,9 +195,7 @@ mod tests {
 
     #[test]
     fn pruning_probes_fewer_than_linear() {
-        let words: Vec<String> = (0..200)
-            .map(|i| format!("name{i:03}entry"))
-            .collect();
+        let words: Vec<String> = (0..200).map(|i| format!("name{i:03}entry")).collect();
         let mut t = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
         for (i, w) in words.iter().enumerate() {
             t.insert(w.clone(), i);
@@ -210,28 +208,34 @@ mod tests {
         );
     }
 
-    proptest! {
-        /// BK-tree range queries must agree exactly with a linear scan.
-        #[test]
-        fn range_agrees_with_linear_scan(
-            words in proptest::collection::vec("[a-c]{0,6}", 1..30),
-            query in "[a-c]{0,6}",
-            k in 0u32..4
-        ) {
-            let mut t = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
-            for (i, w) in words.iter().enumerate() {
-                t.insert(w.clone(), i);
+    #[cfg(feature = "property-tests")]
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// BK-tree range queries must agree exactly with a linear scan.
+            #[test]
+            fn range_agrees_with_linear_scan(
+                words in proptest::collection::vec("[a-c]{0,6}", 1..30),
+                query in "[a-c]{0,6}",
+                k in 0u32..4
+            ) {
+                let mut t = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
+                for (i, w) in words.iter().enumerate() {
+                    t.insert(w.clone(), i);
+                }
+                let mut got: Vec<usize> = t.range(&query, k).into_iter().map(|(_, &v, _)| v).collect();
+                got.sort_unstable();
+                let mut want: Vec<usize> = words
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, w)| levenshtein(w, &query) as u32 <= k)
+                    .map(|(i, _)| i)
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want);
             }
-            let mut got: Vec<usize> = t.range(&query, k).into_iter().map(|(_, &v, _)| v).collect();
-            got.sort_unstable();
-            let mut want: Vec<usize> = words
-                .iter()
-                .enumerate()
-                .filter(|(_, w)| levenshtein(w, &query) as u32 <= k)
-                .map(|(i, _)| i)
-                .collect();
-            want.sort_unstable();
-            prop_assert_eq!(got, want);
         }
     }
 }

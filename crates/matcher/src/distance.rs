@@ -88,7 +88,6 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
 mod tests {
     use super::*;
     use crate::cost::{CostModel, UnitCost};
-    use proptest::prelude::*;
 
     #[test]
     fn classic_levenshtein_cases() {
@@ -145,43 +144,49 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn distance_is_symmetric_under_unit_cost(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
-            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
-        }
+    #[cfg(feature = "property-tests")]
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn distance_zero_iff_equal(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
-            let d = levenshtein(&a, &b);
-            prop_assert_eq!(d == 0, a == b);
-        }
+        proptest! {
+            #[test]
+            fn distance_is_symmetric_under_unit_cost(a in "[a-d]{0,12}", b in "[a-d]{0,12}") {
+                prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            }
 
-        #[test]
-        fn triangle_inequality(
-            a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}"
-        ) {
-            let ab = levenshtein(&a, &b);
-            let bc = levenshtein(&b, &c);
-            let ac = levenshtein(&a, &c);
-            prop_assert!(ac <= ab + bc);
-        }
+            #[test]
+            fn distance_zero_iff_equal(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+                let d = levenshtein(&a, &b);
+                prop_assert_eq!(d == 0, a == b);
+            }
 
-        #[test]
-        fn bounded_by_longer_length(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
-            let d = levenshtein(&a, &b);
-            let la = a.chars().count();
-            let lb = b.chars().count();
-            prop_assert!(d <= la.max(lb));
-            prop_assert!(d >= la.abs_diff(lb));
-        }
+            #[test]
+            fn triangle_inequality(
+                a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}"
+            ) {
+                let ab = levenshtein(&a, &b);
+                let bc = levenshtein(&b, &c);
+                let ac = levenshtein(&a, &c);
+                prop_assert!(ac <= ab + bc);
+            }
 
-        #[test]
-        fn rolling_equals_matrix_prop(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
-            let av: Vec<char> = a.chars().collect();
-            let bv: Vec<char> = b.chars().collect();
-            let m = edit_distance_matrix(&av, &bv, UnitCost);
-            prop_assert_eq!(m[av.len()][bv.len()], edit_distance(&av, &bv, UnitCost));
+            #[test]
+            fn bounded_by_longer_length(a in "[a-e]{0,12}", b in "[a-e]{0,12}") {
+                let d = levenshtein(&a, &b);
+                let la = a.chars().count();
+                let lb = b.chars().count();
+                prop_assert!(d <= la.max(lb));
+                prop_assert!(d >= la.abs_diff(lb));
+            }
+
+            #[test]
+            fn rolling_equals_matrix_prop(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+                let av: Vec<char> = a.chars().collect();
+                let bv: Vec<char> = b.chars().collect();
+                let m = edit_distance_matrix(&av, &bv, UnitCost);
+                prop_assert_eq!(m[av.len()][bv.len()], edit_distance(&av, &bv, UnitCost));
+            }
         }
     }
 }

@@ -39,7 +39,7 @@ pub use cost::{CostModel, UnitCost};
 pub use damerau::damerau_distance;
 pub use distance::{edit_distance, edit_distance_matrix};
 pub use qgram::{
-    count_filter_passes, length_filter_passes, matching_qgrams, positional_qgrams,
-    Gram, PositionalQgram, QgramSymbol,
+    count_filter_passes, length_filter_passes, matching_qgrams, positional_qgrams, Gram,
+    PositionalQgram, QgramSymbol,
 };
 pub use soundex::soundex;

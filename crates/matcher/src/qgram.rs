@@ -182,9 +182,6 @@ pub fn qgram_candidate<T: Copy + Ord + Hash>(a: &[T], b: &[T], k: f64, q: usize)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::UnitCost;
-    use crate::distance::edit_distance;
-    use proptest::prelude::*;
 
     fn chars(s: &str) -> Vec<char> {
         s.chars().collect()
@@ -263,42 +260,50 @@ mod tests {
         assert!(sigs[0] != sigs[1] && sigs[1] != sigs[2] && sigs[0] != sigs[2]);
     }
 
-    proptest! {
-        /// Completeness: the filters must NEVER reject a true match
-        /// (no false dismissals) under unit-cost edit distance.
-        #[test]
-        fn filters_are_complete(
-            a in "[a-c]{0,10}", b in "[a-c]{0,10}",
-            k in 0.0f64..5.0, q in 1usize..4
-        ) {
-            let av = chars(&a);
-            let bv = chars(&b);
-            let d = edit_distance(&av, &bv, UnitCost);
-            if d <= k {
-                prop_assert!(
-                    qgram_candidate(&av, &bv, k, q),
-                    "false dismissal: {:?} {:?} d={} k={} q={}", a, b, d, k, q
-                );
+    #[cfg(feature = "property-tests")]
+    mod property {
+        use super::*;
+        use crate::cost::UnitCost;
+        use crate::distance::edit_distance;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Completeness: the filters must NEVER reject a true match
+            /// (no false dismissals) under unit-cost edit distance.
+            #[test]
+            fn filters_are_complete(
+                a in "[a-c]{0,10}", b in "[a-c]{0,10}",
+                k in 0.0f64..5.0, q in 1usize..4
+            ) {
+                let av = chars(&a);
+                let bv = chars(&b);
+                let d = edit_distance(&av, &bv, UnitCost);
+                if d <= k {
+                    prop_assert!(
+                        qgram_candidate(&av, &bv, k, q),
+                        "false dismissal: {:?} {:?} d={} k={} q={}", a, b, d, k, q
+                    );
+                }
             }
-        }
 
-        #[test]
-        fn matching_qgrams_is_symmetric(
-            a in "[a-c]{0,8}", b in "[a-c]{0,8}", k in 0.0f64..4.0
-        ) {
-            let ga = positional_qgrams(&chars(&a), 2);
-            let gb = positional_qgrams(&chars(&b), 2);
-            prop_assert_eq!(matching_qgrams(&ga, &gb, k), matching_qgrams(&gb, &ga, k));
-        }
+            #[test]
+            fn matching_qgrams_is_symmetric(
+                a in "[a-c]{0,8}", b in "[a-c]{0,8}", k in 0.0f64..4.0
+            ) {
+                let ga = positional_qgrams(&chars(&a), 2);
+                let gb = positional_qgrams(&chars(&b), 2);
+                prop_assert_eq!(matching_qgrams(&ga, &gb, k), matching_qgrams(&gb, &ga, k));
+            }
 
-        #[test]
-        fn shared_grams_bounded_by_gram_count(
-            a in "[a-c]{0,8}", b in "[a-c]{0,8}"
-        ) {
-            let ga = positional_qgrams(&chars(&a), 3);
-            let gb = positional_qgrams(&chars(&b), 3);
-            let shared = matching_qgrams(&ga, &gb, 10.0);
-            prop_assert!(shared <= ga.len().min(gb.len()));
+            #[test]
+            fn shared_grams_bounded_by_gram_count(
+                a in "[a-c]{0,8}", b in "[a-c]{0,8}"
+            ) {
+                let ga = positional_qgrams(&chars(&a), 3);
+                let gb = positional_qgrams(&chars(&b), 3);
+                let shared = matching_qgrams(&ga, &gb, 10.0);
+                prop_assert!(shared <= ga.len().min(gb.len()));
+            }
         }
     }
 }

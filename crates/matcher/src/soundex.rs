@@ -82,13 +82,16 @@ mod tests {
     #[test]
     fn like_sounding_names_share_codes() {
         assert_eq!(soundex("Nehru"), soundex("Neru"));
-        assert_eq!(soundex("Cathy"), soundex("Kathy").map(|k| {
-            // C and K map to the same digit but the *letter* differs —
-            // classical Soundex keeps the first letter, so these differ.
-            let mut c = k;
-            c.replace_range(0..1, "C");
-            c
-        }));
+        assert_eq!(
+            soundex("Cathy"),
+            soundex("Kathy").map(|k| {
+                // C and K map to the same digit but the *letter* differs —
+                // classical Soundex keeps the first letter, so these differ.
+                let mut c = k;
+                c.replace_range(0..1, "C");
+                c
+            })
+        );
         assert_eq!(soundex("Smith"), soundex("Smyth"));
     }
 

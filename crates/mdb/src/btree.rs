@@ -105,23 +105,21 @@ impl BTreeIndex {
     /// child split.
     fn insert_rec(&mut self, node: usize, key: Value, rid: RowId) -> Option<(Value, usize)> {
         match &mut self.nodes[node] {
-            Node::Leaf { keys, postings, .. } => {
-                match keys.binary_search(&key) {
-                    Ok(i) => {
-                        postings[i].push(rid);
+            Node::Leaf { keys, postings, .. } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    postings[i].push(rid);
+                    None
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    postings.insert(i, vec![rid]);
+                    if keys.len() > MAX_KEYS {
+                        Some(self.split_leaf(node))
+                    } else {
                         None
                     }
-                    Err(i) => {
-                        keys.insert(i, key);
-                        postings.insert(i, vec![rid]);
-                        if keys.len() > MAX_KEYS {
-                            Some(self.split_leaf(node))
-                        } else {
-                            None
-                        }
-                    }
                 }
-            }
+            },
             Node::Internal { keys, children } => {
                 let i = match keys.binary_search(&key) {
                     Ok(i) => i + 1,
@@ -363,7 +361,6 @@ impl BTreeIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn insert_and_lookup_small() {
@@ -466,69 +463,75 @@ mod tests {
         assert_eq!(t.range_bounds(None, None).len(), 100);
     }
 
-    proptest! {
-        #[test]
-        fn range_bounds_agrees_with_range(
-            entries in proptest::collection::vec((0i64..100, 0usize..50), 0..300),
-            a in 0i64..100, b in 0i64..100,
-        ) {
-            let mut t = BTreeIndex::new();
-            for (k, v) in &entries {
-                t.insert(Value::Int(*k), *v);
-            }
-            let (lo, hi) = (a.min(b), a.max(b));
-            let inclusive = t.range(&Value::Int(lo), &Value::Int(hi));
-            let bounded = t.range_bounds(
-                Some((&Value::Int(lo), true)),
-                Some((&Value::Int(hi), true)),
-            );
-            prop_assert_eq!(inclusive, bounded);
-        }
+    #[cfg(feature = "property-tests")]
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
 
-        #[test]
-        fn agrees_with_btreemap(
-            entries in proptest::collection::vec((0i64..500, 0usize..1000), 0..2000),
-            probes in proptest::collection::vec(0i64..500, 0..50),
-            ranges in proptest::collection::vec((0i64..500, 0i64..500), 0..20),
-        ) {
-            use std::collections::BTreeMap;
-            let mut t = BTreeIndex::new();
-            let mut m: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
-            for (k, v) in &entries {
-                t.insert(Value::Int(*k), *v);
-                m.entry(*k).or_default().push(*v);
-            }
-            for p in probes {
-                let mut got = t.lookup(&Value::Int(p));
-                got.sort_unstable();
-                let mut want = m.get(&p).cloned().unwrap_or_default();
-                want.sort_unstable();
-                prop_assert_eq!(got, want);
-            }
-            for (a, b) in ranges {
-                let (lo, hi) = (a.min(b), a.max(b));
-                let got: Vec<(i64, usize)> = t
-                    .range(&Value::Int(lo), &Value::Int(hi))
-                    .into_iter()
-                    .map(|(k, r)| (k.as_i64().unwrap(), r))
-                    .collect();
-                let mut want: Vec<(i64, usize)> = Vec::new();
-                for (k, vs) in m.range(lo..=hi) {
-                    for v in vs {
-                        want.push((*k, *v));
-                    }
+        proptest! {
+            #[test]
+            fn range_bounds_agrees_with_range(
+                entries in proptest::collection::vec((0i64..100, 0usize..50), 0..300),
+                a in 0i64..100, b in 0i64..100,
+            ) {
+                let mut t = BTreeIndex::new();
+                for (k, v) in &entries {
+                    t.insert(Value::Int(*k), *v);
                 }
-                // keys must come back in order
-                let keys: Vec<i64> = got.iter().map(|(k, _)| *k).collect();
-                let mut sorted = keys.clone();
-                sorted.sort_unstable();
-                prop_assert_eq!(&keys, &sorted);
-                // same multiset
-                let mut g = got.clone();
-                let mut w = want.clone();
-                g.sort_unstable();
-                w.sort_unstable();
-                prop_assert_eq!(g, w);
+                let (lo, hi) = (a.min(b), a.max(b));
+                let inclusive = t.range(&Value::Int(lo), &Value::Int(hi));
+                let bounded = t.range_bounds(
+                    Some((&Value::Int(lo), true)),
+                    Some((&Value::Int(hi), true)),
+                );
+                prop_assert_eq!(inclusive, bounded);
+            }
+
+            #[test]
+            fn agrees_with_btreemap(
+                entries in proptest::collection::vec((0i64..500, 0usize..1000), 0..2000),
+                probes in proptest::collection::vec(0i64..500, 0..50),
+                ranges in proptest::collection::vec((0i64..500, 0i64..500), 0..20),
+            ) {
+                use std::collections::BTreeMap;
+                let mut t = BTreeIndex::new();
+                let mut m: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+                for (k, v) in &entries {
+                    t.insert(Value::Int(*k), *v);
+                    m.entry(*k).or_default().push(*v);
+                }
+                for p in probes {
+                    let mut got = t.lookup(&Value::Int(p));
+                    got.sort_unstable();
+                    let mut want = m.get(&p).cloned().unwrap_or_default();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+                for (a, b) in ranges {
+                    let (lo, hi) = (a.min(b), a.max(b));
+                    let got: Vec<(i64, usize)> = t
+                        .range(&Value::Int(lo), &Value::Int(hi))
+                        .into_iter()
+                        .map(|(k, r)| (k.as_i64().unwrap(), r))
+                        .collect();
+                    let mut want: Vec<(i64, usize)> = Vec::new();
+                    for (k, vs) in m.range(lo..=hi) {
+                        for v in vs {
+                            want.push((*k, *v));
+                        }
+                    }
+                    // keys must come back in order
+                    let keys: Vec<i64> = got.iter().map(|(k, _)| *k).collect();
+                    let mut sorted = keys.clone();
+                    sorted.sort_unstable();
+                    prop_assert_eq!(&keys, &sorted);
+                    // same multiset
+                    let mut g = got.clone();
+                    let mut w = want.clone();
+                    g.sort_unstable();
+                    w.sort_unstable();
+                    prop_assert_eq!(g, w);
+                }
             }
         }
     }

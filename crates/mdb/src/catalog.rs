@@ -208,7 +208,10 @@ mod tests {
         }
         c.create_index("ix_id", "names", "id").unwrap();
         // Bulk-loaded entries:
-        assert_eq!(c.index("ix_id").unwrap().btree.lookup(&Value::Int(7)), vec![7]);
+        assert_eq!(
+            c.index("ix_id").unwrap().btree.lookup(&Value::Int(7)),
+            vec![7]
+        );
         // Maintained on subsequent insert:
         c.insert_row("names", vec![Value::Int(7), Value::from("y")])
             .unwrap();

@@ -153,12 +153,8 @@ impl Database {
                 })
             }
             Statement::CreateTable { name, columns } => {
-                let schema = Schema::new(
-                    columns
-                        .iter()
-                        .map(|(n, t)| Column::new(n, *t))
-                        .collect(),
-                )?;
+                let schema =
+                    Schema::new(columns.iter().map(|(n, t)| Column::new(n, *t)).collect())?;
                 self.catalog.create_table(&name, schema)?;
                 Ok(ResultSet {
                     columns: vec![],
@@ -245,10 +241,8 @@ mod tests {
 
     fn books_db() -> Database {
         let mut db = Database::new();
-        db.execute(
-            "CREATE TABLE books (author TEXT, title TEXT, price FLOAT, language TEXT)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE books (author TEXT, title TEXT, price FLOAT, language TEXT)")
+            .unwrap();
         for (a, t, p, l) in [
             ("Descartes", "Les Méditations", 49.0, "French"),
             ("நேரு", "ஆசிய ஜோதி", 250.0, "Tamil"),
@@ -388,9 +382,7 @@ mod tests {
         assert_eq!(hash.rows.len(), 5);
         // Same result through a nested-loop (non-equi disguise).
         let nl = db
-            .execute(
-                "SELECT l.a, r.b FROM l, r WHERE l.k <= r.k AND l.k >= r.k ORDER BY l.a, r.b",
-            )
+            .execute("SELECT l.a, r.b FROM l, r WHERE l.k <= r.k AND l.k >= r.k ORDER BY l.a, r.b")
             .unwrap();
         assert_eq!(hash.rows, nl.rows);
     }
@@ -483,13 +475,17 @@ mod extended_sql_tests {
     #[test]
     fn explain_statement() {
         let mut db = names_db();
-        let rs = db.execute("EXPLAIN SELECT name FROM t WHERE id = 3").unwrap();
+        let rs = db
+            .execute("EXPLAIN SELECT name FROM t WHERE id = 3")
+            .unwrap();
         assert_eq!(rs.columns, vec!["plan"]);
         let plan = rs.rows[0][0].to_string();
         assert!(plan.contains("Scan"), "{plan}");
         // With an index the plan changes.
         db.execute("CREATE INDEX ix_id ON t (id)").unwrap();
-        let rs = db.execute("EXPLAIN SELECT name FROM t WHERE id = 3").unwrap();
+        let rs = db
+            .execute("EXPLAIN SELECT name FROM t WHERE id = 3")
+            .unwrap();
         assert!(rs.rows[0][0].to_string().contains("IndexScan"));
     }
 
@@ -509,10 +505,8 @@ mod dml_tests {
         let mut db = Database::new();
         db.execute("CREATE TABLE t (id INT, name TEXT, price FLOAT)")
             .unwrap();
-        db.execute(
-            "INSERT INTO t VALUES (1,'a',10.0), (2,'b',20.0), (3,'c',30.0), (4,'b',40.0)",
-        )
-        .unwrap();
+        db.execute("INSERT INTO t VALUES (1,'a',10.0), (2,'b',20.0), (3,'c',30.0), (4,'b',40.0)")
+            .unwrap();
         db
     }
 
@@ -567,7 +561,10 @@ mod dml_tests {
         let rs = db
             .execute("SELECT price FROM t WHERE name = 'b' ORDER BY price")
             .unwrap();
-        assert_eq!(rs.rows, vec![vec![Value::Float(40.0)], vec![Value::Float(80.0)]]);
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::Float(40.0)], vec![Value::Float(80.0)]]
+        );
         // Row count is unchanged by updates.
         assert_eq!(
             db.execute("SELECT COUNT(*) FROM t").unwrap().rows[0][0],
@@ -595,7 +592,9 @@ mod dml_tests {
     #[test]
     fn select_distinct() {
         let mut db = db();
-        let rs = db.execute("SELECT DISTINCT name FROM t ORDER BY name").unwrap();
+        let rs = db
+            .execute("SELECT DISTINCT name FROM t ORDER BY name")
+            .unwrap();
         assert_eq!(
             rs.rows,
             vec![
@@ -642,9 +641,7 @@ mod range_scan_tests {
             let indexed = db.execute(sql).unwrap();
             // Same predicate against the unindexed name column-less rewrite:
             // force a scan by wrapping with a no-op arithmetic identity.
-            let scanned = db
-                .execute(&sql.replace("id", "(id + 0)"))
-                .unwrap();
+            let scanned = db.execute(&sql.replace("id", "(id + 0)")).unwrap();
             assert_eq!(indexed.rows, scanned.rows, "{sql}");
         }
     }

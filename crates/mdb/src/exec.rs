@@ -164,8 +164,7 @@ impl ExecContext<'_> {
                         for &bi in matches {
                             self.stats.record_join(1);
                             let build = &build_rows[bi];
-                            let mut row =
-                                Vec::with_capacity(build.len() + probe.len());
+                            let mut row = Vec::with_capacity(build.len() + probe.len());
                             if build_is_left {
                                 row.extend_from_slice(build);
                                 row.extend_from_slice(probe);

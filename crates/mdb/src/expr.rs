@@ -464,8 +464,8 @@ fn like_match(s: &str, pattern: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sql::parser::parse;
     use crate::sql::ast::{SelectItem, Statement};
+    use crate::sql::parser::parse;
 
     fn schema() -> BoundSchema {
         BoundSchema {
@@ -550,8 +550,7 @@ mod tests {
     #[test]
     fn aggregates_extracted_into_slots() {
         let Statement::Select(sel) =
-            parse("SELECT t.a FROM t GROUP BY t.a HAVING COUNT(*) > 2 AND MAX(t.b) < 10")
-                .unwrap()
+            parse("SELECT t.a FROM t GROUP BY t.a HAVING COUNT(*) > 2 AND MAX(t.b) < 10").unwrap()
         else {
             panic!("expected select")
         };
@@ -599,8 +598,7 @@ mod tests {
 
     #[test]
     fn select_items_bind() {
-        let Statement::Select(sel) = parse("SELECT t.a, t.b || 'x' AS bx FROM t").unwrap()
-        else {
+        let Statement::Select(sel) = parse("SELECT t.a, t.b || 'x' AS bx FROM t").unwrap() else {
             panic!("expected select")
         };
         let s = schema();

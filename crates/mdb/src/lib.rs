@@ -44,6 +44,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod json;
 pub mod plan;
 pub mod row;
 pub mod schema;
@@ -59,6 +60,7 @@ pub use catalog::Catalog;
 pub use db::{Database, ResultSet};
 pub use error::DbError;
 pub use expr::Expr;
+pub use json::{Json, JsonError};
 pub use row::{Row, RowId};
 pub use schema::{Column, Schema};
 pub use snapshot::Snapshot;

@@ -152,9 +152,7 @@ fn has_aggregate(e: &SqlExpr) -> bool {
             threshold,
             ..
         } => has_aggregate(left) || has_aggregate(right) || has_aggregate(threshold),
-        SqlExpr::InList { expr, list, .. } => {
-            has_aggregate(expr) || list.iter().any(has_aggregate)
-        }
+        SqlExpr::InList { expr, list, .. } => has_aggregate(expr) || list.iter().any(has_aggregate),
         SqlExpr::Between {
             expr, low, high, ..
         } => has_aggregate(expr) || has_aggregate(low) || has_aggregate(high),
@@ -239,17 +237,15 @@ pub fn plan_relational(catalog: &Catalog, select: &Select) -> Result<RelPlan, Db
                 let mut b = Binder::new(s);
                 b.bind(e).ok().filter(|_| b.aggregates.is_empty())
             };
-            if let (Some(lk), Some(rk)) = (
-                try_bind(left, plan.schema()),
-                try_bind(r, &right_schema),
-            ) {
+            if let (Some(lk), Some(rk)) =
+                (try_bind(left, plan.schema()), try_bind(r, &right_schema))
+            {
                 join_key = Some((i, lk, rk));
                 break;
             }
-            if let (Some(lk), Some(rk)) = (
-                try_bind(r, plan.schema()),
-                try_bind(left, &right_schema),
-            ) {
+            if let (Some(lk), Some(rk)) =
+                (try_bind(r, plan.schema()), try_bind(left, &right_schema))
+            {
                 join_key = Some((i, lk, rk));
                 break;
             }
@@ -396,7 +392,10 @@ fn try_index_range_scan(
         };
         schema.resolve(qualifier.as_deref(), name).ok()
     };
-    let mut found: Option<(usize, String, Option<(Expr, bool)>, Option<(Expr, bool)>)> = None;
+    // (predicate index, index name, lower bound, upper bound); each bound
+    // is (expression, inclusive).
+    type RangePick = (usize, String, Option<(Expr, bool)>, Option<(Expr, bool)>);
+    let mut found: Option<RangePick> = None;
     for (i, c) in pending.iter().enumerate() {
         // BETWEEN on an indexed column.
         if let SqlExpr::Between {
@@ -409,8 +408,7 @@ fn try_index_range_scan(
             if let Some(col) = resolve_col(expr) {
                 if let Some(entry) = catalog.index_on(table, col) {
                     if let (Some(lo), Some(hi)) = (bind_free(low), bind_free(high)) {
-                        found =
-                            Some((i, entry.name.clone(), Some((lo, true)), Some((hi, true))));
+                        found = Some((i, entry.name.clone(), Some((lo, true)), Some((hi, true))));
                         break;
                     }
                 }
@@ -579,8 +577,7 @@ mod tests {
     #[test]
     fn aggregates_in_where_rejected() {
         let c = catalog();
-        let Statement::Select(sel) =
-            parse("SELECT id FROM names WHERE COUNT(*) > 1").unwrap()
+        let Statement::Select(sel) = parse("SELECT id FROM names WHERE COUNT(*) > 1").unwrap()
         else {
             panic!("expected select")
         };
@@ -590,8 +587,7 @@ mod tests {
     #[test]
     fn unknown_column_is_reported() {
         let c = catalog();
-        let Statement::Select(sel) = parse("SELECT id FROM names WHERE zzz = 1").unwrap()
-        else {
+        let Statement::Select(sel) = parse("SELECT id FROM names WHERE zzz = 1").unwrap() else {
             panic!("expected select")
         };
         assert!(matches!(

@@ -6,91 +6,88 @@
 //! [`Snapshot`] serializes every table (schema + rows) plus index
 //! *definitions*; on load, tables are restored and each index is rebuilt
 //! by bulk-loading — the standard recovery strategy for secondary
-//! indexes. The format is self-describing JSON via serde (UDFs, being
-//! code, are re-registered by the application after load).
-
+//! indexes. The format is self-describing JSON written and read by the
+//! in-tree [`crate::json`] module (UDFs, being code, are re-registered by
+//! the application after load).
 
 use crate::db::Database;
 use crate::error::DbError;
+use crate::json::Json;
 use crate::schema::{Column, Schema};
 use crate::value::{DataType, Value};
-use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
-/// Serializable value mirror (Value itself keeps serde out of the hot
-/// path types).
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
-#[serde(tag = "t", content = "v")]
-enum SnapValue {
-    Null,
-    Bool(bool),
-    Int(i64),
-    Float(f64),
-    Str(String),
+fn decode_err(what: &str) -> DbError {
+    DbError::Parse(format!("snapshot decode: {what}"))
 }
 
-impl From<&Value> for SnapValue {
-    fn from(v: &Value) -> Self {
-        match v {
-            Value::Null => SnapValue::Null,
-            Value::Bool(b) => SnapValue::Bool(*b),
-            Value::Int(i) => SnapValue::Int(*i),
-            Value::Float(f) => SnapValue::Float(*f),
-            Value::Str(s) => SnapValue::Str(s.clone()),
-        }
+/// Encode one cell as a tagged object: `{"t":"Int","v":1}` (`v` omitted
+/// for NULL). The tag keeps the format self-describing so a future column
+/// type can be added without renumbering.
+fn value_to_json(v: &Value) -> Json {
+    let (tag, content) = match v {
+        Value::Null => ("Null", None),
+        Value::Bool(b) => ("Bool", Some(Json::Bool(*b))),
+        Value::Int(i) => ("Int", Some(Json::Int(*i))),
+        Value::Float(f) => ("Float", Some(Json::Float(*f))),
+        Value::Str(s) => ("Str", Some(Json::Str(s.clone()))),
+    };
+    let mut fields = vec![("t".to_owned(), Json::Str(tag.to_owned()))];
+    if let Some(c) = content {
+        fields.push(("v".to_owned(), c));
     }
+    Json::Obj(fields)
 }
 
-impl From<SnapValue> for Value {
-    fn from(v: SnapValue) -> Self {
-        match v {
-            SnapValue::Null => Value::Null,
-            SnapValue::Bool(b) => Value::Bool(b),
-            SnapValue::Int(i) => Value::Int(i),
-            SnapValue::Float(f) => Value::Float(f),
-            SnapValue::Str(s) => Value::Str(s),
-        }
+fn value_from_json(j: &Json) -> Result<Value, DbError> {
+    let tag = j
+        .get("t")
+        .and_then(Json::as_str)
+        .ok_or_else(|| decode_err("cell missing tag"))?;
+    let v = j.get("v");
+    match (tag, v) {
+        ("Null", _) => Some(Value::Null),
+        ("Bool", Some(c)) => c.as_bool().map(Value::Bool),
+        ("Int", Some(c)) => c.as_i64().map(Value::Int),
+        // A NaN written as null comes back as NaN.
+        ("Float", Some(Json::Null)) => Some(Value::Float(f64::NAN)),
+        ("Float", Some(c)) => c.as_f64().map(Value::Float),
+        ("Str", Some(c)) => c.as_str().map(|s| Value::Str(s.to_owned())),
+        _ => None,
     }
+    .ok_or_else(|| decode_err("cell content does not match its tag"))
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize, PartialEq)]
-enum SnapType {
-    Int,
-    Float,
-    Text,
-    Bool,
-}
-
-impl From<DataType> for SnapType {
-    fn from(t: DataType) -> Self {
+fn type_to_json(t: DataType) -> Json {
+    Json::Str(
         match t {
-            DataType::Int => SnapType::Int,
-            DataType::Float => SnapType::Float,
-            DataType::Text => SnapType::Text,
-            DataType::Bool => SnapType::Bool,
+            DataType::Int => "Int",
+            DataType::Float => "Float",
+            DataType::Text => "Text",
+            DataType::Bool => "Bool",
         }
+        .to_owned(),
+    )
+}
+
+fn type_from_json(j: &Json) -> Result<DataType, DbError> {
+    match j.as_str() {
+        Some("Int") => Ok(DataType::Int),
+        Some("Float") => Ok(DataType::Float),
+        Some("Text") => Ok(DataType::Text),
+        Some("Bool") => Ok(DataType::Bool),
+        _ => Err(decode_err("unknown column type")),
     }
 }
 
-impl From<SnapType> for DataType {
-    fn from(t: SnapType) -> Self {
-        match t {
-            SnapType::Int => DataType::Int,
-            SnapType::Float => DataType::Float,
-            SnapType::Text => DataType::Text,
-            SnapType::Bool => DataType::Bool,
-        }
-    }
-}
-
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct SnapTable {
     name: String,
-    columns: Vec<(String, SnapType)>,
-    rows: Vec<Vec<SnapValue>>,
+    columns: Vec<(String, DataType)>,
+    rows: Vec<Vec<Value>>,
 }
 
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct SnapIndex {
     name: String,
     table: String,
@@ -98,7 +95,7 @@ struct SnapIndex {
 }
 
 /// A serializable image of a database's data and index definitions.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct Snapshot {
     /// Format version for forward compatibility.
     pub version: u32,
@@ -124,12 +121,9 @@ impl Snapshot {
                     .schema()
                     .columns()
                     .iter()
-                    .map(|c| (c.name.clone(), c.ty.into()))
+                    .map(|c| (c.name.clone(), c.ty))
                     .collect(),
-                rows: t
-                    .scan()
-                    .map(|(_, row)| row.iter().map(SnapValue::from).collect())
-                    .collect(),
+                rows: t.scan().map(|(_, row)| row.to_vec()).collect(),
             });
         }
         let mut indexes: Vec<SnapIndex> = catalog
@@ -162,12 +156,12 @@ impl Snapshot {
             let schema = Schema::new(
                 t.columns
                     .iter()
-                    .map(|(n, ty)| Column::new(n, (*ty).into()))
+                    .map(|(n, ty)| Column::new(n, *ty))
                     .collect(),
             )?;
             db.catalog_mut().create_table(&t.name, schema)?;
             for row in &t.rows {
-                db.insert(&t.name, row.iter().cloned().map(Value::from).collect())?;
+                db.insert(&t.name, row.clone())?;
             }
         }
         for ix in &self.indexes {
@@ -177,16 +171,147 @@ impl Snapshot {
         Ok(db)
     }
 
+    /// The JSON document form of this snapshot.
+    fn to_json(&self) -> Json {
+        let tables = self
+            .tables
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("name".to_owned(), Json::Str(t.name.clone())),
+                    (
+                        "columns".to_owned(),
+                        Json::Arr(
+                            t.columns
+                                .iter()
+                                .map(|(n, ty)| {
+                                    Json::Arr(vec![Json::Str(n.clone()), type_to_json(*ty)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "rows".to_owned(),
+                        Json::Arr(
+                            t.rows
+                                .iter()
+                                .map(|row| Json::Arr(row.iter().map(value_to_json).collect()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let indexes = self
+            .indexes
+            .iter()
+            .map(|ix| {
+                Json::Obj(vec![
+                    ("name".to_owned(), Json::Str(ix.name.clone())),
+                    ("table".to_owned(), Json::Str(ix.table.clone())),
+                    ("column".to_owned(), Json::Str(ix.column.clone())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("version".to_owned(), Json::Int(self.version as i64)),
+            ("tables".to_owned(), Json::Arr(tables)),
+            ("indexes".to_owned(), Json::Arr(indexes)),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Snapshot, DbError> {
+        let version = doc
+            .get("version")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| decode_err("missing version"))? as u32;
+        let mut tables = Vec::new();
+        for t in doc
+            .get("tables")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| decode_err("missing tables"))?
+        {
+            let name = t
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| decode_err("table missing name"))?
+                .to_owned();
+            let mut columns = Vec::new();
+            for c in t
+                .get("columns")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| decode_err("table missing columns"))?
+            {
+                let pair = c.as_arr().ok_or_else(|| decode_err("malformed column"))?;
+                let (n, ty) = match pair {
+                    [n, ty] => (n, ty),
+                    _ => return Err(decode_err("malformed column")),
+                };
+                columns.push((
+                    n.as_str()
+                        .ok_or_else(|| decode_err("column name not a string"))?
+                        .to_owned(),
+                    type_from_json(ty)?,
+                ));
+            }
+            let mut rows = Vec::new();
+            for r in t
+                .get("rows")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| decode_err("table missing rows"))?
+            {
+                let cells = r.as_arr().ok_or_else(|| decode_err("malformed row"))?;
+                rows.push(
+                    cells
+                        .iter()
+                        .map(value_from_json)
+                        .collect::<Result<_, _>>()?,
+                );
+            }
+            tables.push(SnapTable {
+                name,
+                columns,
+                rows,
+            });
+        }
+        let mut indexes = Vec::new();
+        for ix in doc
+            .get("indexes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| decode_err("missing indexes"))?
+        {
+            let field = |k: &str| -> Result<String, DbError> {
+                ix.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| decode_err("malformed index definition"))
+            };
+            indexes.push(SnapIndex {
+                name: field("name")?,
+                table: field("table")?,
+                column: field("column")?,
+            });
+        }
+        Ok(Snapshot {
+            version,
+            tables,
+            indexes,
+        })
+    }
+
     /// Serialize to a writer as JSON.
-    pub fn write_to(&self, w: impl Write) -> Result<(), DbError> {
-        serde_json::to_writer(w, self)
+    pub fn write_to(&self, mut w: impl Write) -> Result<(), DbError> {
+        w.write_all(self.to_json().render().as_bytes())
             .map_err(|e| DbError::Unsupported(format!("snapshot encode: {e}")))
     }
 
     /// Deserialize from a reader.
-    pub fn read_from(r: impl Read) -> Result<Snapshot, DbError> {
-        serde_json::from_reader(r)
-            .map_err(|e| DbError::Parse(format!("snapshot decode: {e}")))
+    pub fn read_from(mut r: impl Read) -> Result<Snapshot, DbError> {
+        let mut text = String::new();
+        r.read_to_string(&mut text)
+            .map_err(|e| DbError::Parse(format!("snapshot decode: {e}")))?;
+        let doc = Json::parse(&text).map_err(|e| decode_err(&e.to_string()))?;
+        Snapshot::from_json(&doc)
     }
 }
 
@@ -215,11 +340,10 @@ mod tests {
         let mut db = Database::new();
         db.execute("CREATE TABLE names (id INT, name TEXT, score FLOAT, ok BOOL)")
             .expect("create");
-        db.execute(
-            "INSERT INTO names VALUES (1, 'नेहरु', 0.5, TRUE), (2, 'Nehru', NULL, FALSE)",
-        )
-        .expect("insert");
-        db.execute("CREATE INDEX ix_id ON names (id)").expect("index");
+        db.execute("INSERT INTO names VALUES (1, 'नेहरु', 0.5, TRUE), (2, 'Nehru', NULL, FALSE)")
+            .expect("insert");
+        db.execute("CREATE INDEX ix_id ON names (id)")
+            .expect("index");
         db
     }
 
@@ -275,5 +399,22 @@ mod tests {
         Snapshot::capture(&db).unwrap().write_to(&mut a).unwrap();
         Snapshot::capture(&db).unwrap().write_to(&mut b).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn corrupt_documents_are_rejected_not_panicked() {
+        for src in [
+            "",
+            "{}",
+            r#"{"version":1}"#,
+            r#"{"version":1,"tables":[{"name":"t"}],"indexes":[]}"#,
+            r#"{"version":1,"tables":[],"indexes":[{"name":"x"}]}"#,
+            r#"{"version":1,"tables":[{"name":"t","columns":[["a","Nope"]],"rows":[]}],"indexes":[]}"#,
+        ] {
+            assert!(
+                Snapshot::read_from(src.as_bytes()).is_err(),
+                "{src:?} should be rejected"
+            );
+        }
     }
 }

@@ -59,7 +59,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, DbError> {
             while i < chars.len() && chars[i].is_ascii_digit() {
                 i += 1;
             }
-            if i < chars.len() && chars[i] == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit() || !d.is_alphabetic())
+            if i < chars.len()
+                && chars[i] == '.'
+                && chars
+                    .get(i + 1)
+                    .is_some_and(|d| d.is_ascii_digit() || !d.is_alphabetic())
             {
                 is_float = true;
                 i += 1;

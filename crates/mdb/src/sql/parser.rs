@@ -80,7 +80,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, DbError> {
         match self.next() {
             Some(Token::Word(w)) => Ok(w),
-            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -138,7 +140,9 @@ impl Parser {
             if self.eat_kw("INDEX") {
                 return self.create_index();
             }
-            return Err(DbError::Parse("expected TABLE or INDEX after CREATE".into()));
+            return Err(DbError::Parse(
+                "expected TABLE or INDEX after CREATE".into(),
+            ));
         }
         Err(DbError::Parse(format!(
             "expected SELECT/INSERT/CREATE, found {:?}",
@@ -614,17 +618,14 @@ mod tests {
 
     #[test]
     fn aliases_and_joins() {
-        let s = parse("SELECT B1.Author FROM Books B1, Books B2 WHERE B1.Author = B2.Author")
-            .unwrap();
+        let s =
+            parse("SELECT B1.Author FROM Books B1, Books B2 WHERE B1.Author = B2.Author").unwrap();
         let Statement::Select(sel) = s else {
             panic!("expected select");
         };
         assert_eq!(
             sel.from,
-            vec![
-                ("BOOKS".into(), "B1".into()),
-                ("BOOKS".into(), "B2".into())
-            ]
+            vec![("BOOKS".into(), "B1".into()), ("BOOKS".into(), "B2".into())]
         );
     }
 
@@ -671,7 +672,12 @@ mod tests {
             panic!("expected select");
         };
         // The top of the WHERE tree is AND(LexEQUAL, <>).
-        let Some(SqlExpr::Binary { op: BinOp::And, left, .. }) = sel.where_clause else {
+        let Some(SqlExpr::Binary {
+            op: BinOp::And,
+            left,
+            ..
+        }) = sel.where_clause
+        else {
             panic!("expected AND");
         };
         assert!(matches!(*left, SqlExpr::LexEqual { .. }));
@@ -679,8 +685,7 @@ mod tests {
 
     #[test]
     fn lexequal_wildcard_languages() {
-        let s = parse("SELECT a FROM t WHERE a LEXEQUAL 'x' THRESHOLD 0.3 INLANGUAGES *")
-            .unwrap();
+        let s = parse("SELECT a FROM t WHERE a LEXEQUAL 'x' THRESHOLD 0.3 INLANGUAGES *").unwrap();
         let Statement::Select(sel) = s else {
             panic!("expected select")
         };

@@ -42,7 +42,11 @@ impl Stats {
 
     /// Record a UDF invocation by name.
     pub fn record_udf_call(&self, name: &str) {
-        *self.udf_calls.borrow_mut().entry(name.to_owned()).or_insert(0) += 1;
+        *self
+            .udf_calls
+            .borrow_mut()
+            .entry(name.to_owned())
+            .or_insert(0) += 1;
     }
 
     /// Total rows produced by scans.

@@ -239,7 +239,7 @@ mod tests {
 
     #[test]
     fn total_order_across_types() {
-        let mut vals = vec![
+        let mut vals = [
             Value::from("abc"),
             Value::Int(1),
             Value::Null,

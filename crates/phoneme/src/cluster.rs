@@ -71,10 +71,9 @@ impl ClusterTable {
                 (Manner::Fricative, Place::Dental) => 1, // θ ð pattern with t d
                 (Manner::Stop, Place::Velar | Place::Uvular | Place::Glottal) => 3,
                 (Manner::Fricative, Place::Velar) => 3, // x ɣ with k g
-                (
-                    Manner::Fricative | Manner::Approximant,
-                    Place::Bilabial | Place::Labiodental,
-                ) => 4,
+                (Manner::Fricative | Manner::Approximant, Place::Bilabial | Place::Labiodental) => {
+                    4
+                }
                 (Manner::Approximant, Place::Velar) => 4, // w patterns with v/ʋ
                 (Manner::Fricative, Place::Alveolar | Place::Postalveolar | Place::Retroflex) => 5,
                 (Manner::Fricative, Place::Palatal) => 5, // ç
@@ -134,15 +133,8 @@ impl ClusterTable {
 
     /// Build a table from a classifier function over features.
     fn from_classifier(name: &'static str, f: impl Fn(&Features) -> u8) -> Self {
-        let assignment: Vec<ClusterId> = TABLE
-            .iter()
-            .map(|d| ClusterId(f(&d.features)))
-            .collect();
-        let cluster_count = assignment
-            .iter()
-            .map(|c| c.0)
-            .max()
-            .map_or(0, |m| m + 1);
+        let assignment: Vec<ClusterId> = TABLE.iter().map(|d| ClusterId(f(&d.features))).collect();
+        let cluster_count = assignment.iter().map(|c| c.0).max().map_or(0, |m| m + 1);
         ClusterTable {
             assignment,
             cluster_count,

@@ -11,8 +11,8 @@
 //! table, so equality and hashing are O(1) on a single byte.
 
 use crate::features::{
-    Backness, ConsonantFeatures, Features, Height, Length, Manner, Place, Roundedness,
-    VowelFeatures, Voicing,
+    Backness, ConsonantFeatures, Features, Height, Length, Manner, Place, Roundedness, Voicing,
+    VowelFeatures,
 };
 use crate::phoneme::Phoneme;
 
@@ -89,109 +89,109 @@ use Voicing::*;
 /// public contract: `Phoneme(i)` refers to `TABLE[i]` forever.
 pub static TABLE: &[PhonemeDescriptor] = &[
     // ---- Stops ------------------------------------------------------
-    cons("p", Voiceless, Bilabial, Stop),            // 0
-    cons("b", Voiced, Bilabial, Stop),               // 1
-    cons("t", Voiceless, Alveolar, Stop),            // 2
-    cons("d", Voiced, Alveolar, Stop),               // 3
-    cons("ʈ", Voiceless, Retroflex, Stop),           // 4
-    cons("ɖ", Voiced, Retroflex, Stop),              // 5
-    cons("k", Voiceless, Velar, Stop),               // 6
-    cons("g", Voiced, Velar, Stop),                  // 7
-    cons("q", Voiceless, Uvular, Stop),              // 8
-    cons("ʔ", Voiceless, Glottal, Stop),             // 9
+    cons("p", Voiceless, Bilabial, Stop),  // 0
+    cons("b", Voiced, Bilabial, Stop),     // 1
+    cons("t", Voiceless, Alveolar, Stop),  // 2
+    cons("d", Voiced, Alveolar, Stop),     // 3
+    cons("ʈ", Voiceless, Retroflex, Stop), // 4
+    cons("ɖ", Voiced, Retroflex, Stop),    // 5
+    cons("k", Voiceless, Velar, Stop),     // 6
+    cons("g", Voiced, Velar, Stop),        // 7
+    cons("q", Voiceless, Uvular, Stop),    // 8
+    cons("ʔ", Voiceless, Glottal, Stop),   // 9
     // ---- Aspirated stops (Hindi/Indic) ------------------------------
-    cons_asp("pʰ", Voiceless, Bilabial, Stop),       // 10
-    cons_asp("bʱ", Voiced, Bilabial, Stop),          // 11
-    cons_asp("tʰ", Voiceless, Alveolar, Stop),       // 12
-    cons_asp("dʱ", Voiced, Alveolar, Stop),          // 13
-    cons_asp("ʈʰ", Voiceless, Retroflex, Stop),      // 14
-    cons_asp("ɖʱ", Voiced, Retroflex, Stop),         // 15
-    cons_asp("kʰ", Voiceless, Velar, Stop),          // 16
-    cons_asp("gʱ", Voiced, Velar, Stop),             // 17
+    cons_asp("pʰ", Voiceless, Bilabial, Stop),  // 10
+    cons_asp("bʱ", Voiced, Bilabial, Stop),     // 11
+    cons_asp("tʰ", Voiceless, Alveolar, Stop),  // 12
+    cons_asp("dʱ", Voiced, Alveolar, Stop),     // 13
+    cons_asp("ʈʰ", Voiceless, Retroflex, Stop), // 14
+    cons_asp("ɖʱ", Voiced, Retroflex, Stop),    // 15
+    cons_asp("kʰ", Voiceless, Velar, Stop),     // 16
+    cons_asp("gʱ", Voiced, Velar, Stop),        // 17
     // ---- Nasals ------------------------------------------------------
-    cons("m", Voiced, Bilabial, Nasal),              // 18
-    cons("n", Voiced, Alveolar, Nasal),              // 19
-    cons("ɳ", Voiced, Retroflex, Nasal),             // 20
-    cons("ɲ", Voiced, Palatal, Nasal),               // 21
-    cons("ŋ", Voiced, Velar, Nasal),                 // 22
+    cons("m", Voiced, Bilabial, Nasal),  // 18
+    cons("n", Voiced, Alveolar, Nasal),  // 19
+    cons("ɳ", Voiced, Retroflex, Nasal), // 20
+    cons("ɲ", Voiced, Palatal, Nasal),   // 21
+    cons("ŋ", Voiced, Velar, Nasal),     // 22
     // ---- Fricatives --------------------------------------------------
-    cons("ɸ", Voiceless, Bilabial, Fricative),       // 23
-    cons("β", Voiced, Bilabial, Fricative),          // 24
-    cons("f", Voiceless, Labiodental, Fricative),    // 25
-    cons("v", Voiced, Labiodental, Fricative),       // 26
-    cons("θ", Voiceless, Dental, Fricative),         // 27
-    cons("ð", Voiced, Dental, Fricative),            // 28
-    cons("s", Voiceless, Alveolar, Fricative),       // 29
-    cons("z", Voiced, Alveolar, Fricative),          // 30
-    cons("ʃ", Voiceless, Postalveolar, Fricative),   // 31
-    cons("ʒ", Voiced, Postalveolar, Fricative),      // 32
-    cons("ʂ", Voiceless, Retroflex, Fricative),      // 33
-    cons("ç", Voiceless, Palatal, Fricative),        // 34
-    cons("x", Voiceless, Velar, Fricative),          // 35
-    cons("ɣ", Voiced, Velar, Fricative),             // 36
-    cons("h", Voiceless, Glottal, Fricative),        // 37
-    cons("ɦ", Voiced, Glottal, Fricative),           // 38
+    cons("ɸ", Voiceless, Bilabial, Fricative),     // 23
+    cons("β", Voiced, Bilabial, Fricative),        // 24
+    cons("f", Voiceless, Labiodental, Fricative),  // 25
+    cons("v", Voiced, Labiodental, Fricative),     // 26
+    cons("θ", Voiceless, Dental, Fricative),       // 27
+    cons("ð", Voiced, Dental, Fricative),          // 28
+    cons("s", Voiceless, Alveolar, Fricative),     // 29
+    cons("z", Voiced, Alveolar, Fricative),        // 30
+    cons("ʃ", Voiceless, Postalveolar, Fricative), // 31
+    cons("ʒ", Voiced, Postalveolar, Fricative),    // 32
+    cons("ʂ", Voiceless, Retroflex, Fricative),    // 33
+    cons("ç", Voiceless, Palatal, Fricative),      // 34
+    cons("x", Voiceless, Velar, Fricative),        // 35
+    cons("ɣ", Voiced, Velar, Fricative),           // 36
+    cons("h", Voiceless, Glottal, Fricative),      // 37
+    cons("ɦ", Voiced, Glottal, Fricative),         // 38
     // ---- Affricates --------------------------------------------------
-    cons("ts", Voiceless, Alveolar, Affricate),      // 39
-    cons("dz", Voiced, Alveolar, Affricate),         // 40
-    cons("tʃ", Voiceless, Postalveolar, Affricate),  // 41
-    cons("dʒ", Voiced, Postalveolar, Affricate),     // 42
+    cons("ts", Voiceless, Alveolar, Affricate),     // 39
+    cons("dz", Voiced, Alveolar, Affricate),        // 40
+    cons("tʃ", Voiceless, Postalveolar, Affricate), // 41
+    cons("dʒ", Voiced, Postalveolar, Affricate),    // 42
     cons_asp("tʃʰ", Voiceless, Postalveolar, Affricate), // 43
-    cons_asp("dʒʱ", Voiced, Postalveolar, Affricate),    // 44
+    cons_asp("dʒʱ", Voiced, Postalveolar, Affricate), // 44
     // ---- Liquids -----------------------------------------------------
-    cons("r", Voiced, Alveolar, Trill),              // 45
-    cons("ɾ", Voiced, Alveolar, Tap),                // 46
-    cons("ɽ", Voiced, Retroflex, Tap),               // 47
-    cons("l", Voiced, Alveolar, Lateral),            // 48
-    cons("ɭ", Voiced, Retroflex, Lateral),           // 49
-    cons("ʎ", Voiced, Palatal, Lateral),             // 50
-    cons("ɻ", Voiced, Retroflex, Approximant),       // 51
+    cons("r", Voiced, Alveolar, Trill),        // 45
+    cons("ɾ", Voiced, Alveolar, Tap),          // 46
+    cons("ɽ", Voiced, Retroflex, Tap),         // 47
+    cons("l", Voiced, Alveolar, Lateral),      // 48
+    cons("ɭ", Voiced, Retroflex, Lateral),     // 49
+    cons("ʎ", Voiced, Palatal, Lateral),       // 50
+    cons("ɻ", Voiced, Retroflex, Approximant), // 51
     // ---- Approximants ------------------------------------------------
-    cons("j", Voiced, Palatal, Approximant),         // 52
-    cons("w", Voiced, Velar, Approximant),           // 53
-    cons("ʋ", Voiced, Labiodental, Approximant),     // 54
+    cons("j", Voiced, Palatal, Approximant),     // 52
+    cons("w", Voiced, Velar, Approximant),       // 53
+    cons("ʋ", Voiced, Labiodental, Approximant), // 54
     // ---- Short vowels --------------------------------------------------
-    vowel("i", Close, Front, Unrounded, Short),      // 55
-    vowel("ɪ", NearClose, Front, Unrounded, Short),  // 56
-    vowel("y", Close, Front, Rounded, Short),        // 57
-    vowel("e", CloseMid, Front, Unrounded, Short),   // 58
-    vowel("ɛ", OpenMid, Front, Unrounded, Short),    // 59
-    vowel("ø", CloseMid, Front, Rounded, Short),     // 60
-    vowel("æ", NearOpen, Front, Unrounded, Short),   // 61
-    vowel("a", Open, Central, Unrounded, Short),     // 62
-    vowel("ɑ", Open, Back, Unrounded, Short),        // 63
-    vowel("ɒ", Open, Back, Rounded, Short),          // 64
-    vowel("ɔ", OpenMid, Back, Rounded, Short),       // 65
-    vowel("o", CloseMid, Back, Rounded, Short),      // 66
-    vowel("ʊ", NearClose, Back, Rounded, Short),     // 67
-    vowel("u", Close, Back, Rounded, Short),         // 68
-    vowel("ʌ", OpenMid, Back, Unrounded, Short),     // 69
-    vowel("ə", Mid, Central, Unrounded, Short),      // 70
-    vowel("ɜ", OpenMid, Central, Unrounded, Short),  // 71
+    vowel("i", Close, Front, Unrounded, Short),     // 55
+    vowel("ɪ", NearClose, Front, Unrounded, Short), // 56
+    vowel("y", Close, Front, Rounded, Short),       // 57
+    vowel("e", CloseMid, Front, Unrounded, Short),  // 58
+    vowel("ɛ", OpenMid, Front, Unrounded, Short),   // 59
+    vowel("ø", CloseMid, Front, Rounded, Short),    // 60
+    vowel("æ", NearOpen, Front, Unrounded, Short),  // 61
+    vowel("a", Open, Central, Unrounded, Short),    // 62
+    vowel("ɑ", Open, Back, Unrounded, Short),       // 63
+    vowel("ɒ", Open, Back, Rounded, Short),         // 64
+    vowel("ɔ", OpenMid, Back, Rounded, Short),      // 65
+    vowel("o", CloseMid, Back, Rounded, Short),     // 66
+    vowel("ʊ", NearClose, Back, Rounded, Short),    // 67
+    vowel("u", Close, Back, Rounded, Short),        // 68
+    vowel("ʌ", OpenMid, Back, Unrounded, Short),    // 69
+    vowel("ə", Mid, Central, Unrounded, Short),     // 70
+    vowel("ɜ", OpenMid, Central, Unrounded, Short), // 71
     // ---- Long vowels ---------------------------------------------------
-    vowel("iː", Close, Front, Unrounded, Long),      // 72
-    vowel("eː", CloseMid, Front, Unrounded, Long),   // 73
-    vowel("aː", Open, Central, Unrounded, Long),     // 74
-    vowel("oː", CloseMid, Back, Rounded, Long),      // 75
-    vowel("uː", Close, Back, Rounded, Long),         // 76
-    vowel("ɛː", OpenMid, Front, Unrounded, Long),    // 77
-    vowel("ɔː", OpenMid, Back, Rounded, Long),       // 78
-    vowel("ɜː", OpenMid, Central, Unrounded, Long),  // 79
+    vowel("iː", Close, Front, Unrounded, Long),     // 72
+    vowel("eː", CloseMid, Front, Unrounded, Long),  // 73
+    vowel("aː", Open, Central, Unrounded, Long),    // 74
+    vowel("oː", CloseMid, Back, Rounded, Long),     // 75
+    vowel("uː", Close, Back, Rounded, Long),        // 76
+    vowel("ɛː", OpenMid, Front, Unrounded, Long),   // 77
+    vowel("ɔː", OpenMid, Back, Rounded, Long),      // 78
+    vowel("ɜː", OpenMid, Central, Unrounded, Long), // 79
 ];
 
 /// Alias spellings accepted on input and rewritten to canonical symbols
 /// before tokenization. Covers common Unicode and ASCII-ish variants.
 pub static ALIASES: &[(&str, &str)] = &[
-    ("ɡ", "g"),   // U+0261 LATIN SMALL LETTER SCRIPT G
-    ("ʧ", "tʃ"),  // deprecated ligature
-    ("ʤ", "dʒ"),  // deprecated ligature
+    ("ɡ", "g"),  // U+0261 LATIN SMALL LETTER SCRIPT G
+    ("ʧ", "tʃ"), // deprecated ligature
+    ("ʤ", "dʒ"), // deprecated ligature
     ("ʦ", "ts"),
     ("ʣ", "dz"),
-    ("ɚ", "ər"),  // rhotacized schwa -> schwa + r
+    ("ɚ", "ər"), // rhotacized schwa -> schwa + r
     ("ɝ", "ɜr"),
-    ("ɹ", "r"),   // English approximant r folded into the trill entry
-    ("ʁ", "ɣ"),   // uvular fricative folded into voiced velar fricative
-    ("c", "k"),   // plain-text fallback
+    ("ɹ", "r"), // English approximant r folded into the trill entry
+    ("ʁ", "ɣ"), // uvular fricative folded into voiced velar fricative
+    ("c", "k"), // plain-text fallback
 ];
 
 /// Handle to the static inventory; exists so call sites read
@@ -256,8 +256,7 @@ mod tests {
         // checked the simple way: each RHS is a concatenation of symbols.
         for (alias, canon) in ALIASES {
             assert!(
-                Inventory::by_symbol(canon).is_some()
-                    || canon.chars().count() > 1,
+                Inventory::by_symbol(canon).is_some() || canon.chars().count() > 1,
                 "alias {alias:?} expands to {canon:?} which must be canonical or multi-symbol"
             );
         }

@@ -48,9 +48,7 @@ pub mod string;
 
 pub use cluster::{ClusterId, ClusterTable};
 pub use error::PhonemeError;
-pub use features::{
-    Backness, Height, Length, Manner, Place, Roundedness, SegmentKind, Voicing,
-};
+pub use features::{Backness, Height, Length, Manner, Place, Roundedness, SegmentKind, Voicing};
 pub use inventory::{Inventory, PhonemeDescriptor};
 pub use phoneme::Phoneme;
 pub use string::PhonemeString;

@@ -13,7 +13,7 @@ use crate::phoneme::Phoneme;
 /// paper strips before matching. Removed wholesale before tokenization.
 const IGNORED: &[char] = &[
     'ˈ', 'ˌ', // primary/secondary stress
-    '‿', '͡', '͜', // tie bars / linking
+    '‿', '͡', '͜',         // tie bars / linking
     '\u{0303}', // combining tilde (nasalization) — treated as plain vowel
 ];
 
@@ -25,10 +25,7 @@ const BOUNDARY: &[char] = &['.', '·', ' ', '\t', '\u{00a0}', '-', '\''];
 
 /// Rewrite alias spellings to canonical ones and drop ignored marks.
 fn normalize(input: &str) -> String {
-    let mut s: String = input
-        .chars()
-        .filter(|c| !IGNORED.contains(c))
-        .collect();
+    let mut s: String = input.chars().filter(|c| !IGNORED.contains(c)).collect();
     for (alias, canonical) in ALIASES {
         if s.contains(alias) {
             s = s.replace(alias, canonical);

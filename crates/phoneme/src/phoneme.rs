@@ -32,8 +32,7 @@ impl Phoneme {
 
     /// Look up a phoneme by its canonical IPA symbol.
     pub fn from_symbol(symbol: &str) -> Result<Self, PhonemeError> {
-        Inventory::by_symbol(symbol)
-            .ok_or_else(|| PhonemeError::UnknownPhoneme(symbol.to_owned()))
+        Inventory::by_symbol(symbol).ok_or_else(|| PhonemeError::UnknownPhoneme(symbol.to_owned()))
     }
 
     /// The raw inventory id.

@@ -1,0 +1,129 @@
+//! `lexequald` — the LexEQUAL match daemon.
+//!
+//! ```text
+//! lexequald [--addr HOST:PORT] [--shards N] [--cache N] [--threshold E] [--preload N]
+//! ```
+//!
+//! Binds a TCP listener and serves the line protocol documented in
+//! `lexequal_service::proto` (ADD, BUILD, MATCH, BATCH, STATS, QUIT),
+//! one thread per connection. `--preload N` bulk-loads ≈N synthetic
+//! names (paper §5 dataset) and builds all access paths before
+//! accepting connections, so a benchmark client can start matching
+//! immediately.
+
+use lexequal::MatchConfig;
+use lexequal_service::{MatchService, ServiceConfig};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    shards: usize,
+    cache: usize,
+    threshold: Option<f64>,
+    preload: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7077".to_owned(),
+        shards: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        cache: 4096,
+        threshold: None,
+        preload: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards: expected a positive integer".to_owned())?;
+                if args.shards == 0 {
+                    return Err("--shards must be positive".to_owned());
+                }
+            }
+            "--cache" => {
+                args.cache = value("--cache")?
+                    .parse()
+                    .map_err(|_| "--cache: expected an integer".to_owned())?;
+            }
+            "--threshold" => {
+                let e: f64 = value("--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold: expected a number".to_owned())?;
+                if !(0.0..=1.0).contains(&e) {
+                    return Err("--threshold must be in [0,1]".to_owned());
+                }
+                args.threshold = Some(e);
+            }
+            "--preload" => {
+                args.preload = value("--preload")?
+                    .parse()
+                    .map_err(|_| "--preload: expected an integer".to_owned())?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: lexequald [--addr HOST:PORT] [--shards N] [--cache N] \
+                     [--threshold E] [--preload N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("lexequald: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut match_config = MatchConfig::default();
+    if let Some(e) = args.threshold {
+        match_config = match_config.with_threshold(e);
+    }
+    let service = Arc::new(MatchService::new(ServiceConfig {
+        match_config: match_config.clone(),
+        shards: args.shards,
+        cache_capacity: args.cache,
+    }));
+
+    if args.preload > 0 {
+        eprintln!("lexequald: preloading ~{} synthetic names...", args.preload);
+        let dataset = lexequal_service::loadgen::build_dataset(&match_config, args.preload);
+        let n = dataset.len();
+        service.extend_transformed(dataset);
+        service.build_all(3, lexequal::QgramMode::Strict);
+        eprintln!("lexequald: {n} names loaded, all access paths built");
+    }
+
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("lexequald: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "lexequald: serving on {} with {} shard(s)",
+        listener.local_addr().map_or(args.addr, |a| a.to_string()),
+        args.shards
+    );
+    match lexequal_service::serve(listener, service) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lexequald: listener failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! `loadgen` — closed-loop shard-scaling load generator.
+//!
+//! ```text
+//! loadgen [--size N] [--clients N] [--ops N] [--shards 1,2,4] [--method M]
+//!         [--threshold E] [--pool N] [--out PATH]
+//! ```
+//!
+//! Loads the paper §5 synthetic lexicon into a fresh service per shard
+//! count, drives it from concurrent client threads, and writes per-run
+//! throughput and exact latency quantiles to a JSON report (default
+//! `results/service_bench.json`). The report records the host's
+//! `available_parallelism`: shard scaling cannot exceed it.
+
+use lexequal::SearchMethod;
+use lexequal_service::loadgen::{run, write_json, LoadgenConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn parse_method(s: &str) -> Result<SearchMethod, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "scan" => Ok(SearchMethod::Scan),
+        "qgram" => Ok(SearchMethod::Qgram),
+        "phonidx" => Ok(SearchMethod::PhoneticIndex),
+        "bktree" => Ok(SearchMethod::BkTree),
+        other => Err(format!("unknown method {other:?}")),
+    }
+}
+
+fn parse_args() -> Result<(LoadgenConfig, PathBuf), String> {
+    let mut config = LoadgenConfig::default();
+    let mut out = PathBuf::from("results/service_bench.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--size" => {
+                config.dataset_size = value("--size")?
+                    .parse()
+                    .map_err(|_| "--size: expected an integer".to_owned())?;
+            }
+            "--clients" => {
+                config.clients = value("--clients")?
+                    .parse()
+                    .map_err(|_| "--clients: expected an integer".to_owned())?;
+            }
+            "--ops" => {
+                config.ops_per_client = value("--ops")?
+                    .parse()
+                    .map_err(|_| "--ops: expected an integer".to_owned())?;
+            }
+            "--shards" => {
+                config.shard_counts = value("--shards")?
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("--shards: bad count {t:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if config.shard_counts.is_empty() || config.shard_counts.contains(&0) {
+                    return Err("--shards: counts must be positive".to_owned());
+                }
+            }
+            "--method" => config.method = parse_method(&value("--method")?)?,
+            "--threshold" => {
+                config.threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|_| "--threshold: expected a number".to_owned())?;
+            }
+            "--pool" => {
+                config.query_pool = value("--pool")?
+                    .parse()
+                    .map_err(|_| "--pool: expected an integer".to_owned())?;
+            }
+            "--out" => out = PathBuf::from(value("--out")?),
+            "--help" | "-h" => {
+                println!(
+                    "usage: loadgen [--size N] [--clients N] [--ops N] [--shards 1,2,4] \
+                     [--method scan|qgram|phonidx|bktree] [--threshold E] [--pool N] [--out PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok((config, out))
+}
+
+fn main() -> ExitCode {
+    let (config, out) = match parse_args() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "loadgen: ~{} names, {} clients x {} ops, shards {:?}, method {:?}",
+        config.dataset_size,
+        config.clients,
+        config.ops_per_client,
+        config.shard_counts,
+        config.method,
+    );
+    let report = run(&config);
+    eprintln!(
+        "loadgen: loaded {} names (host parallelism {})",
+        report.dataset_size, report.available_parallelism
+    );
+    for r in &report.runs {
+        println!(
+            "shards={:<2} throughput={:>10.1} ops/s  p50={:>8.1}us  p95={:>8.1}us  p99={:>8.1}us  cache {}/{} hit",
+            r.shards, r.throughput, r.p50_us, r.p95_us, r.p99_us, r.cache_hits,
+            r.cache_hits + r.cache_misses,
+        );
+    }
+    if let Err(e) = write_json(&report, &out) {
+        eprintln!("loadgen: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("loadgen: wrote {}", out.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,63 @@
+//! # lexequal-service: phonetic match serving
+//!
+//! The serving subsystem that turns the LexEQUAL library into a system:
+//! a sharded, multi-threaded [`MatchService`] over the paper's operator
+//! and access paths, plus the `lexequald` line-oriented TCP front-end
+//! and a closed-loop load generator. Everything is built on `std`
+//! concurrency only — threads, channels, mutexes and atomics; no async
+//! runtime.
+//!
+//! ## Layers
+//!
+//! * [`shard`] — [`ShardedStore`](shard::ShardedStore): N
+//!   [`NameStore`](lexequal::NameStore) shards, each owned by a worker
+//!   thread; global ids stripe round-robin (`id % N` picks the shard,
+//!   `id / N` the local slot), searches fan out over channels and merge
+//!   exactly, and index builds run in parallel across shards.
+//! * [`cache`] — [`TransformCache`](cache::TransformCache): a
+//!   sharded-mutex LRU memoizing `(text, language) → PhonemeString`
+//!   with hit/miss counters.
+//! * [`metrics`] — lock-free request counters and a log2-bucket latency
+//!   histogram per access path.
+//! * [`service`] — [`MatchService`](service::MatchService): the
+//!   request-level API; per-request threshold/method overrides and
+//!   graceful degraded outcomes (`NoResource`, `NotBuilt`, `BadInput`)
+//!   instead of errors.
+//! * [`proto`] / [`server`] — the `lexequald` wire protocol and
+//!   thread-per-connection TCP serving loop.
+//! * [`loadgen`] — the shard-scaling load generator behind the
+//!   `loadgen` binary and `results/service_bench.json`.
+//!
+//! ## Example
+//!
+//! ```
+//! use lexequal_service::{MatchOutcome, MatchRequest, MatchService, ServiceConfig};
+//! use lexequal::Language;
+//!
+//! let service = MatchService::new(ServiceConfig { shards: 2, ..Default::default() });
+//! service.extend([
+//!     ("Nehru".to_owned(), Language::English),
+//!     ("नेहरु".to_owned(), Language::Hindi),
+//! ]).unwrap();
+//! let out = service.lookup(&MatchRequest {
+//!     threshold: Some(0.45),
+//!     ..MatchRequest::new("Nehru", Language::English)
+//! });
+//! let MatchOutcome::Matches { ids, .. } = out else { panic!() };
+//! assert_eq!(ids, vec![0, 1]); // the Hindi spelling matches cross-script
+//! ```
+
+pub mod cache;
+pub mod loadgen;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+pub mod service;
+pub mod shard;
+
+pub use cache::TransformCache;
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use metrics::ServiceMetrics;
+pub use server::serve;
+pub use service::{MatchOutcome, MatchRequest, MatchService, ServiceConfig, StatsSnapshot};
+pub use shard::{BuildSpec, ShardedStore};

@@ -1,0 +1,327 @@
+//! Closed-loop load generation for shard-scaling measurements.
+//!
+//! [`run`] stands up one [`MatchService`] per configured shard count,
+//! bulk-loads the same synthetic lexicon (paper §5's pairwise
+//! concatenation dataset, pre-transformed so loading measures serving,
+//! not G2P), then drives it with `clients` closed-loop threads cycling a
+//! shared hot-query pool. Per-operation latencies are collected exactly
+//! (nanosecond `Instant` pairs, not the histogram) so the report's
+//! quantiles are true order statistics; throughput is total ops over
+//! wall-clock.
+//!
+//! The report records `available_parallelism` because shard scaling is
+//! physically bounded by it: on a 1-CPU host the 4-shard and 1-shard
+//! configurations time-slice the same core and throughput stays flat —
+//! the numbers only spread on real multicore hardware.
+
+use crate::service::{MatchOutcome, MatchRequest, MatchService, ServiceConfig};
+use crate::shard::BuildSpec;
+use lexequal::store::NameEntry;
+use lexequal::{MatchConfig, QgramMode, SearchMethod};
+use lexequal_lexicon::{Corpus, SyntheticDataset};
+use lexequal_mdb::Json;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Target synthetic lexicon size (actual size is reported).
+    pub dataset_size: usize,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Lookups each client performs per shard configuration.
+    pub ops_per_client: usize,
+    /// Shard counts to compare.
+    pub shard_counts: Vec<usize>,
+    /// Access path under test.
+    pub method: SearchMethod,
+    /// Match threshold for every lookup.
+    pub threshold: f64,
+    /// Transform-cache capacity.
+    pub cache_capacity: usize,
+    /// Number of distinct hot queries in the shared pool.
+    pub query_pool: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            dataset_size: 50_000,
+            clients: 4,
+            ops_per_client: 250,
+            shard_counts: vec![1, 2, 4],
+            method: SearchMethod::Qgram,
+            threshold: 0.35,
+            cache_capacity: 4096,
+            query_pool: 64,
+        }
+    }
+}
+
+/// One shard configuration's measurements.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// Shards (worker threads) in the store.
+    pub shards: usize,
+    /// Total lookups performed.
+    pub total_ops: usize,
+    /// Wall-clock seconds for the measurement window.
+    pub elapsed_secs: f64,
+    /// Lookups per second.
+    pub throughput: f64,
+    /// Median per-op latency, microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile per-op latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile per-op latency, microseconds.
+    pub p99_us: f64,
+    /// Transform-cache hits after the run.
+    pub cache_hits: u64,
+    /// Transform-cache misses after the run.
+    pub cache_misses: u64,
+    /// Total matching ids returned across all lookups.
+    pub matches_returned: u64,
+}
+
+/// The full report [`run`] produces and [`write_json`] persists.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Actual number of names loaded.
+    pub dataset_size: usize,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// the hard ceiling on shard scaling.
+    pub available_parallelism: usize,
+    /// Client threads used.
+    pub clients: usize,
+    /// Access path measured.
+    pub method: SearchMethod,
+    /// Threshold used.
+    pub threshold: f64,
+    /// One entry per shard count, in configured order.
+    pub runs: Vec<ShardRun>,
+}
+
+/// Build the synthetic dataset once (shared across shard configurations).
+pub fn build_dataset(config: &MatchConfig, target: usize) -> Vec<NameEntry> {
+    let corpus = Corpus::build(config);
+    SyntheticDataset::generate(&corpus, target)
+        .entries
+        .into_iter()
+        .map(|e| NameEntry {
+            text: e.text,
+            language: e.language,
+            phonemes: e.phonemes,
+        })
+        .collect()
+}
+
+fn percentile_us(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1_000.0
+}
+
+/// Measure one shard configuration over a pre-built dataset.
+pub fn run_one(config: &LoadgenConfig, shards: usize, dataset: &[NameEntry]) -> ShardRun {
+    let service = Arc::new(MatchService::new(ServiceConfig {
+        match_config: MatchConfig::default(),
+        shards,
+        cache_capacity: config.cache_capacity,
+    }));
+    service.extend_transformed(dataset.to_vec());
+    match config.method {
+        SearchMethod::Scan => {}
+        SearchMethod::Qgram => service.build(BuildSpec::Qgram {
+            q: 3,
+            mode: QgramMode::Strict,
+        }),
+        SearchMethod::PhoneticIndex => service.build(BuildSpec::PhoneticIndex),
+        SearchMethod::BkTree => service.build(BuildSpec::BkTree),
+    }
+
+    // Hot-query pool: every k-th stored name, so each query has at least
+    // one true match and repeats exercise the transform cache.
+    let stride = (dataset.len() / config.query_pool.max(1)).max(1);
+    let pool: Vec<(String, lexequal::Language)> = dataset
+        .iter()
+        .step_by(stride)
+        .take(config.query_pool.max(1))
+        .map(|e| (e.text.clone(), e.language))
+        .collect();
+
+    let start = Instant::now();
+    let mut all_ns: Vec<u64> = Vec::with_capacity(config.clients * config.ops_per_client);
+    let mut matched = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                let pool = &pool;
+                scope.spawn(move || {
+                    let mut ns = Vec::with_capacity(config.ops_per_client);
+                    let mut matched = 0u64;
+                    for i in 0..config.ops_per_client {
+                        let (text, language) = &pool[(c + i) % pool.len()];
+                        let req = MatchRequest {
+                            text: text.clone(),
+                            language: *language,
+                            threshold: Some(config.threshold),
+                            method: Some(config.method),
+                        };
+                        let t = Instant::now();
+                        let out = service.lookup(&req);
+                        ns.push(t.elapsed().as_nanos() as u64);
+                        if let MatchOutcome::Matches { ids, .. } = out {
+                            matched += ids.len() as u64;
+                        }
+                    }
+                    (ns, matched)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (ns, m) = h.join().expect("client thread");
+            all_ns.extend(ns);
+            matched += m;
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    all_ns.sort_unstable();
+    let (cache_hits, cache_misses) = service.cache().stats();
+    ShardRun {
+        shards,
+        total_ops: all_ns.len(),
+        elapsed_secs: elapsed,
+        throughput: all_ns.len() as f64 / elapsed.max(f64::EPSILON),
+        p50_us: percentile_us(&all_ns, 0.50),
+        p95_us: percentile_us(&all_ns, 0.95),
+        p99_us: percentile_us(&all_ns, 0.99),
+        cache_hits,
+        cache_misses,
+        matches_returned: matched,
+    }
+}
+
+/// Run the whole comparison.
+pub fn run(config: &LoadgenConfig) -> LoadgenReport {
+    let dataset = build_dataset(&MatchConfig::default(), config.dataset_size);
+    let runs = config
+        .shard_counts
+        .iter()
+        .map(|&s| run_one(config, s, &dataset))
+        .collect();
+    LoadgenReport {
+        dataset_size: dataset.len(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        clients: config.clients,
+        method: config.method,
+        threshold: config.threshold,
+        runs,
+    }
+}
+
+/// Render the report as JSON.
+pub fn to_json(report: &LoadgenReport) -> Json {
+    Json::Obj(vec![
+        (
+            "dataset_size".to_owned(),
+            Json::Int(report.dataset_size as i64),
+        ),
+        (
+            "available_parallelism".to_owned(),
+            Json::Int(report.available_parallelism as i64),
+        ),
+        ("clients".to_owned(), Json::Int(report.clients as i64)),
+        (
+            "method".to_owned(),
+            Json::Str(crate::metrics::method_name(report.method).to_owned()),
+        ),
+        ("threshold".to_owned(), Json::Float(report.threshold)),
+        (
+            "runs".to_owned(),
+            Json::Arr(
+                report
+                    .runs
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("shards".to_owned(), Json::Int(r.shards as i64)),
+                            ("total_ops".to_owned(), Json::Int(r.total_ops as i64)),
+                            ("elapsed_secs".to_owned(), Json::Float(r.elapsed_secs)),
+                            ("throughput".to_owned(), Json::Float(r.throughput)),
+                            ("p50_us".to_owned(), Json::Float(r.p50_us)),
+                            ("p95_us".to_owned(), Json::Float(r.p95_us)),
+                            ("p99_us".to_owned(), Json::Float(r.p99_us)),
+                            ("cache_hits".to_owned(), Json::Int(r.cache_hits as i64)),
+                            ("cache_misses".to_owned(), Json::Int(r.cache_misses as i64)),
+                            (
+                                "matches_returned".to_owned(),
+                                Json::Int(r.matches_returned as i64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Write the report to `path` as JSON (creating parent directories).
+pub fn write_json(report: &LoadgenReport, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_json(report).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_tiny_run_produces_a_sane_report() {
+        let config = LoadgenConfig {
+            dataset_size: 300,
+            clients: 2,
+            ops_per_client: 20,
+            shard_counts: vec![1, 2],
+            method: SearchMethod::PhoneticIndex,
+            threshold: 0.35,
+            cache_capacity: 64,
+            query_pool: 8,
+        };
+        let report = run(&config);
+        assert!(report.dataset_size >= 100, "{}", report.dataset_size);
+        assert_eq!(report.runs.len(), 2);
+        for r in &report.runs {
+            assert_eq!(r.total_ops, 40);
+            assert!(r.throughput > 0.0);
+            assert!(r.p50_us <= r.p95_us && r.p95_us <= r.p99_us);
+            // 8 hot queries over 40 ops: the cache must be hitting.
+            assert!(r.cache_hits > 0, "hits={}", r.cache_hits);
+            // Every pool query is a stored name, so matches come back.
+            assert!(r.matches_returned > 0);
+        }
+        let json = to_json(&report).render();
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("runs").and_then(Json::as_arr).map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert_eq!(percentile_us(&ns, 0.50), 50.0);
+        assert_eq!(percentile_us(&ns, 0.95), 95.0);
+        assert_eq!(percentile_us(&ns, 1.0), 100.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Built-in observability: atomic request/match counters and a
+//! log2-bucket latency histogram per access path.
+//!
+//! Everything here is lock-free (relaxed atomics): recording a sample on
+//! the request path costs one increment, and a `STATS` snapshot reads
+//! whatever is current without stopping traffic. Buckets are powers of
+//! two in nanoseconds — bucket `i` counts samples with
+//! `2^i ≤ ns < 2^(i+1)` — which spans 1 ns to ~18 s in 35 buckets and
+//! needs no configuration.
+
+use lexequal::SearchMethod;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets (covers up to `2^35` ns ≈ 34 s).
+pub const HISTOGRAM_BUCKETS: usize = 36;
+
+/// A lock-free log2-bucketed latency histogram.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = (elapsed.as_nanos() as u64).max(1);
+        let bucket = (63 - ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current bucket counts (`counts[i]` is samples in `[2^i, 2^(i+1))` ns).
+    pub fn snapshot(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.snapshot().iter().sum()
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (0.0–1.0) in
+    /// nanoseconds — the upper edge of the bucket holding that rank.
+    pub fn quantile_upper_ns(&self, q: f64) -> Option<u64> {
+        let counts = self.snapshot();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        None
+    }
+}
+
+/// Stable array index for a [`SearchMethod`] (used by the per-path
+/// histogram array and the wire `STATS` rendering).
+pub fn method_index(method: SearchMethod) -> usize {
+    match method {
+        SearchMethod::Scan => 0,
+        SearchMethod::Qgram => 1,
+        SearchMethod::PhoneticIndex => 2,
+        SearchMethod::BkTree => 3,
+    }
+}
+
+/// Short lowercase wire name of a method.
+pub fn method_name(method: SearchMethod) -> &'static str {
+    match method {
+        SearchMethod::Scan => "scan",
+        SearchMethod::Qgram => "qgram",
+        SearchMethod::PhoneticIndex => "phonidx",
+        SearchMethod::BkTree => "bktree",
+    }
+}
+
+/// All four access paths in `method_index` order.
+pub const ALL_METHODS: [SearchMethod; 4] = [
+    SearchMethod::Scan,
+    SearchMethod::Qgram,
+    SearchMethod::PhoneticIndex,
+    SearchMethod::BkTree,
+];
+
+/// Counters for the whole service plus one histogram per access path.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Lookup requests received (single lookups; a batch of k counts k).
+    pub requests: AtomicU64,
+    /// Total matching ids returned.
+    pub matches_returned: AtomicU64,
+    /// Lookups answered `NoResource`.
+    pub no_resource: AtomicU64,
+    /// Lookups answered `NotBuilt`.
+    pub not_built: AtomicU64,
+    /// Lookups whose text failed to transform.
+    pub bad_input: AtomicU64,
+    /// Per-access-path search counts and latencies (`method_index` order);
+    /// latency covers the sharded fan-out + merge, not the transform.
+    pub per_method: [PathMetrics; 4],
+}
+
+/// One access path's counters.
+#[derive(Debug, Default)]
+pub struct PathMetrics {
+    /// Searches served through this path.
+    pub searches: AtomicU64,
+    /// Fan-out + merge latency.
+    pub latency: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    /// Record one served search on `method`.
+    pub fn record_search(&self, method: SearchMethod, elapsed: Duration, matches: usize) {
+        let m = &self.per_method[method_index(method)];
+        m.searches.fetch_add(1, Ordering::Relaxed);
+        m.latency.record(elapsed);
+        self.matches_returned
+            .fetch_add(matches as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(1)); // bucket 0
+        h.record(Duration::from_nanos(3)); // bucket 1
+        h.record(Duration::from_nanos(1024)); // bucket 10
+        let s = h.snapshot();
+        assert_eq!(s[0], 1);
+        assert_eq!(s[1], 1);
+        assert_eq!(s[10], 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn zero_duration_lands_in_the_first_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.snapshot()[0], 1);
+    }
+
+    #[test]
+    fn huge_samples_clamp_to_the_last_bucket() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.snapshot()[HISTOGRAM_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_upper_ns(0.5), None);
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100)); // bucket 6: [64, 128)
+        }
+        h.record(Duration::from_micros(100)); // bucket 16
+        assert_eq!(h.quantile_upper_ns(0.5), Some(128));
+        assert_eq!(h.quantile_upper_ns(1.0), Some(1 << 17));
+    }
+
+    #[test]
+    fn method_indices_are_distinct_and_named() {
+        let mut seen = [false; 4];
+        for m in ALL_METHODS {
+            let i = method_index(m);
+            assert!(!seen[i]);
+            seen[i] = true;
+            assert!(!method_name(m).is_empty());
+        }
+    }
+
+    #[test]
+    fn record_search_updates_the_right_path() {
+        let m = ServiceMetrics::default();
+        m.record_search(SearchMethod::Qgram, Duration::from_micros(5), 3);
+        assert_eq!(
+            m.per_method[method_index(SearchMethod::Qgram)]
+                .searches
+                .load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(m.matches_returned.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            m.per_method[method_index(SearchMethod::Scan)]
+                .searches
+                .load(Ordering::Relaxed),
+            0
+        );
+    }
+}

@@ -1,0 +1,392 @@
+//! The `lexequald` wire protocol: line-oriented, UTF-8, human-typeable.
+//!
+//! Every request is one line; every request gets one response line
+//! (except `BATCH`, which gets exactly one line per batched query, in
+//! order). Grammar (`-` means "use the server default"):
+//!
+//! ```text
+//! ADD <lang> <text...>
+//! BUILD QGRAM <q> STRICT|PAPER
+//! BUILD PHONIDX
+//! BUILD BKTREE
+//! BUILD ALL
+//! MATCH <lang> <method|-> <threshold|-> <text...>
+//! BATCH <lang> <method|-> <threshold|-> <text>|<text>|...
+//! STATS
+//! QUIT
+//! ```
+//!
+//! where `<lang>` is a language name or ISO code (`english`, `hi`, …)
+//! and `<method>` is `scan`, `qgram`, `phonidx` or `bktree`. Responses:
+//!
+//! ```text
+//! OK <id>                                      (ADD)
+//! OK built=<what>                              (BUILD)
+//! OK n=<k> verified=<v> method=<m> ids=<a,b,…> (MATCH / each BATCH item)
+//! OK <key>=<value> ...                         (STATS, single line)
+//! NORESOURCE <lang>
+//! NOTBUILT <method>
+//! ERR <message>
+//! BYE                                          (QUIT)
+//! ```
+
+use crate::metrics::{method_index, method_name, ALL_METHODS};
+use crate::service::{MatchOutcome, MatchRequest, StatsSnapshot};
+use lexequal::{Language, QgramMode, SearchMethod};
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `ADD <lang> <text...>`
+    Add {
+        /// Language of the name.
+        language: Language,
+        /// The name as written.
+        text: String,
+    },
+    /// `BUILD QGRAM <q> STRICT|PAPER`
+    BuildQgram {
+        /// q-gram length.
+        q: usize,
+        /// Filtering mode.
+        mode: QgramMode,
+    },
+    /// `BUILD PHONIDX`
+    BuildPhonidx,
+    /// `BUILD BKTREE`
+    BuildBktree,
+    /// `BUILD ALL` (q-gram defaults to `q=3 STRICT`).
+    BuildAll,
+    /// `MATCH <lang> <method|-> <threshold|-> <text...>`
+    Match(MatchRequest),
+    /// `BATCH <lang> <method|-> <threshold|-> <t1>|<t2>|...`
+    Batch(Vec<MatchRequest>),
+    /// `STATS`
+    Stats,
+    /// `QUIT`
+    Quit,
+}
+
+/// Parse a method token (`-` is "no override").
+fn parse_method(tok: &str) -> Result<Option<SearchMethod>, String> {
+    if tok == "-" {
+        return Ok(None);
+    }
+    ALL_METHODS
+        .into_iter()
+        .find(|&m| method_name(m) == tok.to_ascii_lowercase())
+        .map(Some)
+        .ok_or_else(|| format!("unknown method {tok:?}"))
+}
+
+/// Parse a threshold token (`-` is "no override").
+fn parse_threshold(tok: &str) -> Result<Option<f64>, String> {
+    if tok == "-" {
+        return Ok(None);
+    }
+    let e: f64 = tok.parse().map_err(|_| format!("bad threshold {tok:?}"))?;
+    if !(0.0..=1.0).contains(&e) {
+        return Err(format!("threshold {e} outside [0,1]"));
+    }
+    Ok(Some(e))
+}
+
+fn parse_lookup_head(
+    language: &str,
+    method: &str,
+    threshold: &str,
+) -> Result<(Language, Option<SearchMethod>, Option<f64>), String> {
+    Ok((
+        language.parse::<Language>()?,
+        parse_method(method)?,
+        parse_threshold(threshold)?,
+    ))
+}
+
+/// Parse one request line. Empty/whitespace-only lines yield `None`.
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    let req = match verb.to_ascii_uppercase().as_str() {
+        "ADD" => {
+            let (lang, text) = rest
+                .split_once(char::is_whitespace)
+                .ok_or("usage: ADD <lang> <text...>")?;
+            let text = text.trim();
+            if text.is_empty() {
+                return Err("ADD: empty name".into());
+            }
+            Request::Add {
+                language: lang.parse::<Language>()?,
+                text: text.to_owned(),
+            }
+        }
+        "BUILD" => {
+            let mut toks = rest.split_whitespace();
+            match toks
+                .next()
+                .ok_or("usage: BUILD QGRAM|PHONIDX|BKTREE|ALL")?
+                .to_ascii_uppercase()
+                .as_str()
+            {
+                "QGRAM" => {
+                    let q: usize = toks
+                        .next()
+                        .ok_or("usage: BUILD QGRAM <q> STRICT|PAPER")?
+                        .parse()
+                        .map_err(|_| "BUILD QGRAM: q must be a positive integer")?;
+                    if q == 0 {
+                        return Err("BUILD QGRAM: q must be positive".into());
+                    }
+                    let mode = match toks
+                        .next()
+                        .ok_or("usage: BUILD QGRAM <q> STRICT|PAPER")?
+                        .to_ascii_uppercase()
+                        .as_str()
+                    {
+                        "STRICT" => QgramMode::Strict,
+                        "PAPER" => QgramMode::PaperFaithful,
+                        other => return Err(format!("unknown q-gram mode {other:?}")),
+                    };
+                    Request::BuildQgram { q, mode }
+                }
+                "PHONIDX" => Request::BuildPhonidx,
+                "BKTREE" => Request::BuildBktree,
+                "ALL" => Request::BuildAll,
+                other => return Err(format!("unknown build target {other:?}")),
+            }
+        }
+        "MATCH" => {
+            let mut toks = rest.splitn(4, char::is_whitespace);
+            let usage = "usage: MATCH <lang> <method|-> <threshold|-> <text...>";
+            let lang = toks.next().ok_or(usage)?;
+            let method = toks.next().ok_or(usage)?;
+            let threshold = toks.next().ok_or(usage)?;
+            let text = toks.next().map(str::trim).unwrap_or("");
+            if text.is_empty() {
+                return Err("MATCH: empty query".into());
+            }
+            let (language, method, threshold) = parse_lookup_head(lang, method, threshold)?;
+            Request::Match(MatchRequest {
+                text: text.to_owned(),
+                language,
+                threshold,
+                method,
+            })
+        }
+        "BATCH" => {
+            let mut toks = rest.splitn(4, char::is_whitespace);
+            let usage = "usage: BATCH <lang> <method|-> <threshold|-> <t1>|<t2>|...";
+            let lang = toks.next().ok_or(usage)?;
+            let method = toks.next().ok_or(usage)?;
+            let threshold = toks.next().ok_or(usage)?;
+            let texts = toks.next().map(str::trim).unwrap_or("");
+            if texts.is_empty() {
+                return Err("BATCH: empty query list".into());
+            }
+            let (language, method, threshold) = parse_lookup_head(lang, method, threshold)?;
+            let reqs: Vec<MatchRequest> = texts
+                .split('|')
+                .map(str::trim)
+                .filter(|t| !t.is_empty())
+                .map(|t| MatchRequest {
+                    text: t.to_owned(),
+                    language,
+                    threshold,
+                    method,
+                })
+                .collect();
+            if reqs.is_empty() {
+                return Err("BATCH: empty query list".into());
+            }
+            Request::Batch(reqs)
+        }
+        "STATS" => Request::Stats,
+        "QUIT" => Request::Quit,
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    Ok(Some(req))
+}
+
+/// Render one lookup outcome as a response line (no trailing newline).
+pub fn format_outcome(out: &MatchOutcome) -> String {
+    match out {
+        MatchOutcome::Matches {
+            method,
+            threshold,
+            ids,
+            verifications,
+        } => {
+            let ids = ids
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "OK n={} verified={} method={} e={} ids={}",
+                ids.split(',').filter(|s| !s.is_empty()).count(),
+                verifications,
+                method_name(*method),
+                threshold,
+                ids,
+            )
+        }
+        MatchOutcome::NoResource(lang) => format!("NORESOURCE {lang}"),
+        MatchOutcome::NotBuilt(method) => format!("NOTBUILT {}", method_name(*method)),
+        MatchOutcome::BadInput(msg) => format!("ERR bad input: {}", msg.replace('\n', " ")),
+    }
+}
+
+/// Render a stats snapshot as the single-line `STATS` response.
+pub fn format_stats(s: &StatsSnapshot) -> String {
+    let mut line = format!(
+        "OK names={} shards={} requests={} matches={} noresource={} notbuilt={} badinput={} cache_hits={} cache_misses={}",
+        s.names,
+        s.shards,
+        s.requests,
+        s.matches_returned,
+        s.no_resource,
+        s.not_built,
+        s.bad_input,
+        s.cache_hits,
+        s.cache_misses,
+    );
+    for m in ALL_METHODS {
+        let pm = &s.per_method[method_index(m)];
+        let name = method_name(m);
+        line.push_str(&format!(" {name}_searches={}", pm.searches));
+        if let Some(p50) = pm.p50_upper_ns {
+            line.push_str(&format!(" {name}_p50_ns={p50}"));
+        }
+        if let Some(p99) = pm.p99_upper_ns {
+            line.push_str(&format!(" {name}_p99_ns={p99}"));
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_add() {
+        let r = parse_request("ADD hindi नेहरु जी").unwrap().unwrap();
+        assert_eq!(
+            r,
+            Request::Add {
+                language: Language::Hindi,
+                text: "नेहरु जी".to_owned(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_match_with_overrides_and_spaces_in_text() {
+        let r = parse_request("MATCH en qgram 0.45 Jawaharlal Nehru")
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            r,
+            Request::Match(MatchRequest {
+                text: "Jawaharlal Nehru".to_owned(),
+                language: Language::English,
+                threshold: Some(0.45),
+                method: Some(SearchMethod::Qgram),
+            })
+        );
+    }
+
+    #[test]
+    fn dashes_mean_defaults() {
+        let Request::Match(r) = parse_request("MATCH ta - - நேரு").unwrap().unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.language, Language::Tamil);
+        assert_eq!(r.threshold, None);
+        assert_eq!(r.method, None);
+    }
+
+    #[test]
+    fn parses_batch_pipe_separated() {
+        let Request::Batch(rs) = parse_request("BATCH en - 0.45 Nehru| Nero |Gandhi")
+            .unwrap()
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            rs.iter().map(|r| r.text.as_str()).collect::<Vec<_>>(),
+            ["Nehru", "Nero", "Gandhi"]
+        );
+        assert!(rs.iter().all(|r| r.threshold == Some(0.45)));
+    }
+
+    #[test]
+    fn parses_builds() {
+        assert_eq!(
+            parse_request("BUILD QGRAM 3 STRICT").unwrap().unwrap(),
+            Request::BuildQgram {
+                q: 3,
+                mode: QgramMode::Strict
+            }
+        );
+        assert_eq!(
+            parse_request("build qgram 2 paper").unwrap().unwrap(),
+            Request::BuildQgram {
+                q: 2,
+                mode: QgramMode::PaperFaithful
+            }
+        );
+        assert_eq!(
+            parse_request("BUILD PHONIDX").unwrap().unwrap(),
+            Request::BuildPhonidx
+        );
+        assert_eq!(
+            parse_request("BUILD ALL").unwrap().unwrap(),
+            Request::BuildAll
+        );
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_and_garbage_rejected() {
+        assert_eq!(parse_request("   ").unwrap(), None);
+        assert!(parse_request("FROB x").is_err());
+        assert!(parse_request("MATCH en scan 1.5 Nehru").is_err());
+        assert!(parse_request("MATCH xx - - Nehru").is_err());
+        assert!(parse_request("BUILD QGRAM 0 STRICT").is_err());
+        assert!(parse_request("ADD en").is_err());
+    }
+
+    #[test]
+    fn formats_outcomes() {
+        let line = format_outcome(&MatchOutcome::Matches {
+            method: SearchMethod::Qgram,
+            threshold: 0.35,
+            ids: vec![1, 5, 9],
+            verifications: 12,
+        });
+        assert_eq!(line, "OK n=3 verified=12 method=qgram e=0.35 ids=1,5,9");
+        let empty = format_outcome(&MatchOutcome::Matches {
+            method: SearchMethod::Scan,
+            threshold: 0.35,
+            ids: vec![],
+            verifications: 4,
+        });
+        assert!(empty.starts_with("OK n=0 "), "{empty}");
+        assert_eq!(
+            format_outcome(&MatchOutcome::NoResource(Language::Japanese)),
+            "NORESOURCE Japanese"
+        );
+        assert_eq!(
+            format_outcome(&MatchOutcome::NotBuilt(SearchMethod::BkTree)),
+            "NOTBUILT bktree"
+        );
+    }
+}

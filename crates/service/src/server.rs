@@ -1,0 +1,176 @@
+//! `lexequald`'s connection loop: thread-per-connection line serving.
+//!
+//! [`serve`] accepts on a caller-supplied [`TcpListener`] (the caller
+//! binds, so tests can bind port 0 and learn the ephemeral port before
+//! serving starts) and spawns one handler thread per connection. Each
+//! handler reads request lines, dispatches against the shared
+//! [`MatchService`], and writes exactly the response lines the protocol
+//! promises. Parse errors answer `ERR …` and keep the connection open;
+//! `QUIT`, EOF, or an I/O error end it.
+
+use crate::proto::{format_outcome, format_stats, parse_request, Request};
+use crate::service::MatchService;
+use crate::shard::BuildSpec;
+use lexequal::QgramMode;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Serve connections forever (until the listener errors out).
+///
+/// Never returns under normal operation; run it on a dedicated thread.
+pub fn serve(listener: TcpListener, service: Arc<MatchService>) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let service = Arc::clone(&service);
+        std::thread::Builder::new()
+            .name("lexequald-conn".to_owned())
+            .spawn(move || {
+                // A dropped connection is the client's business, not ours.
+                let _ = handle_connection(stream, &service);
+            })
+            .expect("spawn connection handler");
+    }
+    Ok(())
+}
+
+/// Drive one connection to completion. Returns when the client quits,
+/// hangs up, or the socket errors.
+pub fn handle_connection(stream: TcpStream, service: &MatchService) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let mut quit = false;
+        for response in respond(&line, service, &mut quit) {
+            writer.write_all(response.as_bytes())?;
+            writer.write_all(b"\n")?;
+        }
+        writer.flush()?;
+        if quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Compute the response lines for one request line.
+fn respond(line: &str, service: &MatchService, quit: &mut bool) -> Vec<String> {
+    let request = match parse_request(line) {
+        Ok(Some(r)) => r,
+        Ok(None) => return Vec::new(),
+        Err(msg) => return vec![format!("ERR {msg}")],
+    };
+    match request {
+        Request::Add { language, text } => match service.add(&text, language) {
+            Ok(id) => vec![format!("OK {id}")],
+            Err(e) => vec![format!("ERR {e:?}")],
+        },
+        Request::BuildQgram { q, mode } => {
+            service.build(BuildSpec::Qgram { q, mode });
+            vec!["OK built=qgram".to_owned()]
+        }
+        Request::BuildPhonidx => {
+            service.build(BuildSpec::PhoneticIndex);
+            vec!["OK built=phonidx".to_owned()]
+        }
+        Request::BuildBktree => {
+            service.build(BuildSpec::BkTree);
+            vec!["OK built=bktree".to_owned()]
+        }
+        Request::BuildAll => {
+            service.build_all(3, QgramMode::Strict);
+            vec!["OK built=all".to_owned()]
+        }
+        Request::Match(req) => vec![format_outcome(&service.lookup(&req))],
+        Request::Batch(reqs) => service
+            .lookup_batch(&reqs)
+            .iter()
+            .map(format_outcome)
+            .collect(),
+        Request::Stats => vec![format_stats(&service.stats())],
+        Request::Quit => {
+            *quit = true;
+            vec!["BYE".to_owned()]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use lexequal::Language;
+
+    fn service() -> MatchService {
+        let s = MatchService::new(ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::default()
+        });
+        s.extend(
+            [
+                ("Nehru", Language::English),
+                ("नेहरु", Language::Hindi),
+                ("Gandhi", Language::English),
+            ]
+            .map(|(t, l)| (t.to_owned(), l)),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn respond_covers_the_happy_paths() {
+        let s = service();
+        let mut quit = false;
+        assert_eq!(respond("BUILD ALL", &s, &mut quit), ["OK built=all"]);
+        // Strict q-grams have no false dismissals, so the Hindi spelling
+        // must surface (phonidx may legitimately drop it — paper §5).
+        let lines = respond("MATCH en qgram 0.45 Nehru", &s, &mut quit);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("ids=0,1"), "{}", lines[0]);
+        let lines = respond("BATCH en - 0.45 Nehru|Gandhi", &s, &mut quit);
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().all(|l| l.starts_with("OK n=")));
+        let lines = respond("ADD en Bose", &s, &mut quit);
+        assert_eq!(lines, ["OK 3"]);
+        let stats = respond("STATS", &s, &mut quit);
+        assert!(stats[0].contains("names=4"), "{}", stats[0]);
+        assert!(!quit);
+        assert_eq!(respond("QUIT", &s, &mut quit), ["BYE"]);
+        assert!(quit);
+    }
+
+    #[test]
+    fn respond_reports_errors_inline() {
+        let s = service();
+        let mut quit = false;
+        assert!(respond("FROB", &s, &mut quit)[0].starts_with("ERR "));
+        assert!(respond("", &s, &mut quit).is_empty());
+        let lines = respond("MATCH en bktree - Nehru", &s, &mut quit);
+        assert_eq!(lines, ["NOTBUILT bktree"]);
+    }
+
+    #[test]
+    fn serves_a_real_socket_end_to_end() {
+        use std::io::{BufRead, BufReader, Write};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc = Arc::new(service());
+        std::thread::spawn(move || serve(listener, svc));
+
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut send = |cmd: &str| {
+            let mut s = stream.try_clone().unwrap();
+            writeln!(s, "{cmd}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line.trim_end().to_owned()
+        };
+        assert_eq!(send("BUILD PHONIDX"), "OK built=phonidx");
+        let resp = send("MATCH hi phonidx 0.45 नेहरु");
+        assert!(resp.starts_with("OK n="), "{resp}");
+        assert_eq!(send("QUIT"), "BYE");
+    }
+}

@@ -1,0 +1,454 @@
+//! [`MatchService`]: the request-level API over the sharded store.
+//!
+//! This is the layer a front-end (TCP daemon, embedded server, load
+//! generator) talks to. It owns the [`ShardedStore`], memoizes query
+//! transforms in the [`TransformCache`], tracks which access paths have
+//! been built so an unserviceable request degrades to a structured
+//! outcome instead of a worker panic, and records request metrics.
+
+use crate::cache::TransformCache;
+use crate::metrics::{method_index, ServiceMetrics};
+use crate::shard::{BuildSpec, ShardedStore};
+use lexequal::store::NameEntry;
+use lexequal::{G2pError, Language, MatchConfig, QgramMode, SearchMethod};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
+
+/// Service construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Operator configuration (threshold default, cost model, registry).
+    pub match_config: MatchConfig,
+    /// Number of store shards (worker threads).
+    pub shards: usize,
+    /// Transform-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            match_config: MatchConfig::default(),
+            shards: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// One lookup: the query plus per-request overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchRequest {
+    /// Query text as written.
+    pub text: String,
+    /// Language whose converter transforms it.
+    pub language: Language,
+    /// Threshold override (`None` → the configured default).
+    pub threshold: Option<f64>,
+    /// Access-path override (`None` → the best built path).
+    pub method: Option<SearchMethod>,
+}
+
+impl MatchRequest {
+    /// A request with no overrides.
+    pub fn new(text: impl Into<String>, language: Language) -> Self {
+        MatchRequest {
+            text: text.into(),
+            language,
+            threshold: None,
+            method: None,
+        }
+    }
+}
+
+/// What a lookup produced. Every degraded case is a value, not an error:
+/// a serving loop answers all of these over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchOutcome {
+    /// The search ran.
+    Matches {
+        /// Access path that served it.
+        method: SearchMethod,
+        /// Threshold in force.
+        threshold: f64,
+        /// Global ids of matching names, ascending.
+        ids: Vec<u32>,
+        /// Exact-predicate evaluations spent.
+        verifications: usize,
+    },
+    /// The query language has no installed converter (paper Figure 8's
+    /// `NORESOURCE`).
+    NoResource(Language),
+    /// The requested access path has not been built.
+    NotBuilt(SearchMethod),
+    /// The query text failed to transform.
+    BadInput(String),
+}
+
+/// The serving subsystem: sharded store + transform cache + metrics.
+pub struct MatchService {
+    store: ShardedStore,
+    cache: TransformCache,
+    metrics: ServiceMetrics,
+    /// Bitmask of built access paths (bit = `method_index`); Scan's bit
+    /// is set from birth.
+    built: AtomicU8,
+}
+
+impl MatchService {
+    /// Build a service from the configuration.
+    pub fn new(config: ServiceConfig) -> Self {
+        MatchService {
+            store: ShardedStore::new(config.match_config, config.shards),
+            cache: TransformCache::new(config.cache_capacity),
+            metrics: ServiceMetrics::default(),
+            built: AtomicU8::new(1 << method_index(SearchMethod::Scan)),
+        }
+    }
+
+    /// The underlying sharded store.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// The transform cache.
+    pub fn cache(&self) -> &TransformCache {
+        &self.cache
+    }
+
+    /// The raw metric counters.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Number of stored names.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether no names are stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Add one name; returns its global id.
+    pub fn add(&self, text: &str, language: Language) -> Result<u32, G2pError> {
+        let id = self.store.insert(text, language)?;
+        self.invalidate_built();
+        Ok(id)
+    }
+
+    /// Bulk-load names; returns the assigned global id range.
+    pub fn extend(
+        &self,
+        rows: impl IntoIterator<Item = (String, Language)>,
+    ) -> Result<Range<u32>, G2pError> {
+        let range = self.store.extend(rows)?;
+        if !range.is_empty() {
+            self.invalidate_built();
+        }
+        Ok(range)
+    }
+
+    /// Bulk-load pre-transformed entries.
+    pub fn extend_transformed(&self, entries: Vec<NameEntry>) -> Range<u32> {
+        let range = self.store.extend_transformed(entries);
+        if !range.is_empty() {
+            self.invalidate_built();
+        }
+        range
+    }
+
+    fn invalidate_built(&self) {
+        self.built
+            .store(1 << method_index(SearchMethod::Scan), Ordering::Release);
+    }
+
+    /// Build one access path on every shard (in parallel across shards).
+    pub fn build(&self, spec: BuildSpec) {
+        self.store.build(spec);
+        let method = match spec {
+            BuildSpec::Qgram { .. } => SearchMethod::Qgram,
+            BuildSpec::PhoneticIndex => SearchMethod::PhoneticIndex,
+            BuildSpec::BkTree => SearchMethod::BkTree,
+        };
+        self.built
+            .fetch_or(1 << method_index(method), Ordering::Release);
+    }
+
+    /// Build every access path (q-gram with the given parameters).
+    pub fn build_all(&self, q: usize, mode: QgramMode) {
+        self.build(BuildSpec::Qgram { q, mode });
+        self.build(BuildSpec::PhoneticIndex);
+        self.build(BuildSpec::BkTree);
+    }
+
+    /// Whether `method` can serve a search right now.
+    pub fn is_built(&self, method: SearchMethod) -> bool {
+        self.built.load(Ordering::Acquire) & (1 << method_index(method)) != 0
+    }
+
+    /// The access path an override-free request uses: the cheapest built
+    /// accelerator, falling back to a scan.
+    pub fn default_method(&self) -> SearchMethod {
+        for m in [
+            SearchMethod::PhoneticIndex,
+            SearchMethod::Qgram,
+            SearchMethod::BkTree,
+        ] {
+            if self.is_built(m) {
+                return m;
+            }
+        }
+        SearchMethod::Scan
+    }
+
+    /// Serve one lookup.
+    pub fn lookup(&self, req: &MatchRequest) -> MatchOutcome {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let config = self.store.config();
+        if !config.registry.supports(req.language) {
+            self.metrics.no_resource.fetch_add(1, Ordering::Relaxed);
+            return MatchOutcome::NoResource(req.language);
+        }
+        let method = req.method.unwrap_or_else(|| self.default_method());
+        if !self.is_built(method) {
+            self.metrics.not_built.fetch_add(1, Ordering::Relaxed);
+            return MatchOutcome::NotBuilt(method);
+        }
+        let threshold = req.threshold.unwrap_or(config.threshold);
+        let query = match self
+            .cache
+            .get_or_try_insert_with(&req.text, req.language, || {
+                config.registry.transform(&req.text, req.language)
+            }) {
+            Ok(q) => q,
+            Err(e) => {
+                self.metrics.bad_input.fetch_add(1, Ordering::Relaxed);
+                return MatchOutcome::BadInput(format!("{e:?}"));
+            }
+        };
+        let start = Instant::now();
+        let result = self.store.search_phonemes(&query, threshold, method);
+        self.metrics
+            .record_search(method, start.elapsed(), result.ids.len());
+        MatchOutcome::Matches {
+            method,
+            threshold,
+            ids: result.ids,
+            verifications: result.verifications,
+        }
+    }
+
+    /// Serve a batch of lookups in request order.
+    pub fn lookup_batch(&self, reqs: &[MatchRequest]) -> Vec<MatchOutcome> {
+        reqs.iter().map(|r| self.lookup(r)).collect()
+    }
+
+    /// A point-in-time snapshot of every counter (for `STATS`).
+    pub fn stats(&self) -> StatsSnapshot {
+        let (cache_hits, cache_misses) = self.cache.stats();
+        StatsSnapshot {
+            names: self.store.len(),
+            shards: self.store.shards(),
+            requests: self.metrics.requests.load(Ordering::Relaxed),
+            matches_returned: self.metrics.matches_returned.load(Ordering::Relaxed),
+            no_resource: self.metrics.no_resource.load(Ordering::Relaxed),
+            not_built: self.metrics.not_built.load(Ordering::Relaxed),
+            bad_input: self.metrics.bad_input.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            per_method: crate::metrics::ALL_METHODS.map(|m| {
+                let pm = &self.metrics.per_method[method_index(m)];
+                MethodStats {
+                    method: m,
+                    searches: pm.searches.load(Ordering::Relaxed),
+                    p50_upper_ns: pm.latency.quantile_upper_ns(0.5),
+                    p99_upper_ns: pm.latency.quantile_upper_ns(0.99),
+                }
+            }),
+        }
+    }
+}
+
+/// One access path's share of a [`StatsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MethodStats {
+    /// The access path.
+    pub method: SearchMethod,
+    /// Searches served.
+    pub searches: u64,
+    /// Upper edge of the median latency bucket, if any samples.
+    pub p50_upper_ns: Option<u64>,
+    /// Upper edge of the p99 latency bucket, if any samples.
+    pub p99_upper_ns: Option<u64>,
+}
+
+/// Everything `STATS` reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Stored names.
+    pub names: usize,
+    /// Store shards.
+    pub shards: usize,
+    /// Lookup requests served.
+    pub requests: u64,
+    /// Total matching ids returned.
+    pub matches_returned: u64,
+    /// Lookups answered `NoResource`.
+    pub no_resource: u64,
+    /// Lookups answered `NotBuilt`.
+    pub not_built: u64,
+    /// Lookups with untransformable text.
+    pub bad_input: u64,
+    /// Transform-cache hits.
+    pub cache_hits: u64,
+    /// Transform-cache misses.
+    pub cache_misses: u64,
+    /// Per-access-path counters.
+    pub per_method: [MethodStats; 4],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service(shards: usize) -> MatchService {
+        let s = MatchService::new(ServiceConfig {
+            shards,
+            ..ServiceConfig::default()
+        });
+        s.extend(
+            [
+                ("Nehru", Language::English),
+                ("नेहरु", Language::Hindi),
+                ("நேரு", Language::Tamil),
+                ("Nero", Language::English),
+                ("Gandhi", Language::English),
+            ]
+            .map(|(t, l)| (t.to_owned(), l)),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn lookup_over_scan_needs_no_build() {
+        let s = service(2);
+        let out = s.lookup(&MatchRequest {
+            threshold: Some(0.45),
+            ..MatchRequest::new("Nehru", Language::English)
+        });
+        match out {
+            MatchOutcome::Matches { ids, method, .. } => {
+                assert_eq!(method, SearchMethod::Scan);
+                assert!(ids.contains(&1), "नेहरु: {ids:?}");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbuilt_path_is_a_graceful_outcome() {
+        let s = service(2);
+        let out = s.lookup(&MatchRequest {
+            method: Some(SearchMethod::Qgram),
+            ..MatchRequest::new("Nehru", Language::English)
+        });
+        assert_eq!(out, MatchOutcome::NotBuilt(SearchMethod::Qgram));
+        // And serving still works afterwards (no worker died).
+        s.build(BuildSpec::Qgram {
+            q: 3,
+            mode: QgramMode::Strict,
+        });
+        let out = s.lookup(&MatchRequest {
+            method: Some(SearchMethod::Qgram),
+            threshold: Some(0.45),
+            ..MatchRequest::new("Nehru", Language::English)
+        });
+        assert!(matches!(out, MatchOutcome::Matches { .. }));
+    }
+
+    #[test]
+    fn adds_invalidate_built_paths() {
+        let s = service(2);
+        s.build_all(3, QgramMode::Strict);
+        assert_eq!(s.default_method(), SearchMethod::PhoneticIndex);
+        s.add("Bose", Language::English).unwrap();
+        assert_eq!(s.default_method(), SearchMethod::Scan);
+        assert_eq!(
+            s.lookup(&MatchRequest {
+                method: Some(SearchMethod::BkTree),
+                ..MatchRequest::new("Bose", Language::English)
+            }),
+            MatchOutcome::NotBuilt(SearchMethod::BkTree)
+        );
+    }
+
+    #[test]
+    fn noresource_language_is_reported_not_errored() {
+        let config = MatchConfig::default()
+            .with_registry(lexequal::G2pRegistry::with_languages(&[Language::English]));
+        let s = MatchService::new(ServiceConfig {
+            match_config: config,
+            shards: 2,
+            cache_capacity: 16,
+        });
+        s.extend([("Nehru".to_owned(), Language::English)]).unwrap();
+        assert_eq!(
+            s.lookup(&MatchRequest::new("नेहरु", Language::Hindi)),
+            MatchOutcome::NoResource(Language::Hindi)
+        );
+    }
+
+    #[test]
+    fn bad_input_is_reported_not_errored() {
+        let s = service(2);
+        let out = s.lookup(&MatchRequest::new("नेहरु", Language::Tamil));
+        assert!(matches!(out, MatchOutcome::BadInput(_)), "{out:?}");
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_and_count_stats() {
+        let s = service(2);
+        for _ in 0..3 {
+            s.lookup(&MatchRequest {
+                threshold: Some(0.45),
+                ..MatchRequest::new("Nehru", Language::English)
+            });
+        }
+        let st = s.stats();
+        assert_eq!(st.requests, 3);
+        assert_eq!(st.cache_misses, 1);
+        assert_eq!(st.cache_hits, 2);
+        assert_eq!(st.names, 5);
+        assert_eq!(st.shards, 2);
+        let scan = st.per_method[method_index(SearchMethod::Scan)];
+        assert_eq!(scan.searches, 3);
+        assert!(scan.p50_upper_ns.is_some());
+        assert!(st.matches_returned >= 3, "{}", st.matches_returned);
+    }
+
+    #[test]
+    fn batch_preserves_request_order() {
+        let s = service(3);
+        s.build(BuildSpec::Qgram {
+            q: 3,
+            mode: QgramMode::Strict,
+        });
+        let reqs = vec![
+            MatchRequest {
+                threshold: Some(0.45),
+                ..MatchRequest::new("Nehru", Language::English)
+            },
+            MatchRequest::new("Gandhi", Language::English),
+        ];
+        let outs = s.lookup_batch(&reqs);
+        assert_eq!(outs.len(), 2);
+        for out in outs {
+            assert!(matches!(out, MatchOutcome::Matches { .. }));
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! [`ShardedStore`]: a [`NameStore`] partitioned across worker threads.
+//!
+//! Names are striped across `N` shards round-robin by global id: global id
+//! `g` lives on shard `g % N` at local id `g / N`. Each shard is a plain
+//! single-threaded [`NameStore`] *owned* by a dedicated worker thread;
+//! all access goes through that worker's command channel, so no shard
+//! state is ever shared between threads. A search fans out to every shard
+//! and merges the per-shard [`SearchResult`]s — local ids are remapped
+//! back to global ids and verification counts are summed, so the merged
+//! result is bit-identical to what an unsharded store over the same rows
+//! would return (see `tests/shard_equivalence.rs`).
+//!
+//! Index builds (`build`) are dispatched to all workers at once, so the
+//! q-gram / phonetic-index / BK-tree builds run in parallel across
+//! shards. Bulk loads parallelize the expensive G2P transform across
+//! scoped threads before striping the finished entries.
+
+use lexequal::store::{NameEntry, SearchResult};
+use lexequal::{
+    G2pError, Language, MatchConfig, NameStore, PhonemeString, QgramMode, SearchMethod,
+};
+use std::ops::Range;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Which access path to construct on every shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildSpec {
+    /// Positional q-gram filter.
+    Qgram {
+        /// Gram length.
+        q: usize,
+        /// False-dismissal policy.
+        mode: QgramMode,
+    },
+    /// Grouped-phoneme-identifier index.
+    PhoneticIndex,
+    /// BK-tree over the Levenshtein phoneme metric.
+    BkTree,
+}
+
+/// One request to a shard worker. Replies travel over per-call mpsc
+/// channels so any number of client threads can have requests in flight.
+enum Cmd {
+    /// Append pre-transformed entries (infallible: transforms already
+    /// happened on the coordinator side, so a failed row can never leave
+    /// the shards striped inconsistently).
+    Extend {
+        entries: Vec<NameEntry>,
+        reply: Sender<usize>,
+    },
+    /// Construct an access path.
+    Build { spec: BuildSpec, reply: Sender<()> },
+    /// Search this shard; echoes the shard index so the coordinator can
+    /// remap local ids while collecting replies out of order.
+    Search {
+        query: PhonemeString,
+        e: f64,
+        method: SearchMethod,
+        shard: usize,
+        reply: Sender<(usize, SearchResult)>,
+    },
+    /// Fetch one entry by local id.
+    Get {
+        local: u32,
+        reply: Sender<Option<NameEntry>>,
+    },
+}
+
+fn worker(mut store: NameStore, rx: std::sync::mpsc::Receiver<Cmd>) {
+    for cmd in rx {
+        match cmd {
+            Cmd::Extend { entries, reply } => {
+                let n = entries.len();
+                store.extend_transformed(entries);
+                let _ = reply.send(n);
+            }
+            Cmd::Build { spec, reply } => {
+                match spec {
+                    BuildSpec::Qgram { q, mode } => store.build_qgram(q, mode),
+                    BuildSpec::PhoneticIndex => store.build_phonetic_index(),
+                    BuildSpec::BkTree => store.build_bktree(),
+                }
+                let _ = reply.send(());
+            }
+            Cmd::Search {
+                query,
+                e,
+                method,
+                shard,
+                reply,
+            } => {
+                let _ = reply.send((shard, store.search_phonemes(&query, e, method)));
+            }
+            Cmd::Get { local, reply } => {
+                let _ = reply.send(store.get(local).cloned());
+            }
+        }
+    }
+}
+
+/// A multiscript name collection partitioned across worker threads.
+pub struct ShardedStore {
+    config: MatchConfig,
+    senders: Vec<Sender<Cmd>>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes global-id assignment so the round-robin stripe stays
+    /// aligned with each shard's local insertion order.
+    grow: Mutex<u32>,
+}
+
+impl ShardedStore {
+    /// Create an empty store with `shards` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(config: MatchConfig, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = channel();
+            let store = NameStore::new(config.clone());
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("lexequal-shard-{i}"))
+                    .spawn(move || worker(store, rx))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        ShardedStore {
+            config,
+            senders,
+            handles,
+            grow: Mutex::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// Total number of stored names.
+    pub fn len(&self) -> usize {
+        *self.grow.lock().expect("grow lock") as usize
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert one name; returns its global id.
+    pub fn insert(&self, text: &str, language: Language) -> Result<u32, G2pError> {
+        self.extend([(text.to_owned(), language)]).map(|r| r.start)
+    }
+
+    /// Bulk-load names; returns the contiguous global id range assigned.
+    ///
+    /// All rows are transformed *first* (in parallel across scoped
+    /// threads when the batch is large), so a G2P failure anywhere leaves
+    /// the store completely unchanged; the pre-transformed entries are
+    /// then striped round-robin and appended by every shard worker
+    /// concurrently, invalidating each shard's access paths once.
+    pub fn extend(
+        &self,
+        rows: impl IntoIterator<Item = (String, Language)>,
+    ) -> Result<Range<u32>, G2pError> {
+        let rows: Vec<(String, Language)> = rows.into_iter().collect();
+        let entries = transform_rows(&self.config, rows)?;
+        Ok(self.extend_transformed(entries))
+    }
+
+    /// Bulk-load pre-transformed entries; returns the global id range.
+    pub fn extend_transformed(&self, entries: Vec<NameEntry>) -> Range<u32> {
+        let n = self.shards();
+        let guard = self.grow.lock().expect("grow lock");
+        let start = *guard;
+        let mut per_shard: Vec<Vec<NameEntry>> = (0..n).map(|_| Vec::new()).collect();
+        for (offset, entry) in entries.into_iter().enumerate() {
+            per_shard[(start as usize + offset) % n].push(entry);
+        }
+        let (tx, rx) = channel();
+        let mut added = 0u32;
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            self.senders[shard]
+                .send(Cmd::Extend {
+                    entries: batch,
+                    reply: tx.clone(),
+                })
+                .expect("shard worker alive");
+        }
+        drop(tx);
+        for count in rx {
+            added += count as u32;
+        }
+        let end = start + added;
+        // Publish the new length only after every shard has appended, so
+        // a concurrent reader never sees ids it cannot resolve.
+        let mut guard = guard;
+        *guard = end;
+        start..end
+    }
+
+    /// Build one access path on every shard, in parallel.
+    pub fn build(&self, spec: BuildSpec) {
+        let (tx, rx) = channel();
+        for s in &self.senders {
+            s.send(Cmd::Build {
+                spec,
+                reply: tx.clone(),
+            })
+            .expect("shard worker alive");
+        }
+        drop(tx);
+        for _ in rx {}
+    }
+
+    /// Entry by global id.
+    pub fn get(&self, id: u32) -> Option<NameEntry> {
+        let n = self.shards();
+        let (tx, rx) = channel();
+        self.senders[id as usize % n]
+            .send(Cmd::Get {
+                local: id / n as u32,
+                reply: tx,
+            })
+            .expect("shard worker alive");
+        rx.recv().expect("shard worker replies")
+    }
+
+    /// Search with a query string: transform, then fan out.
+    pub fn search(
+        &self,
+        query: &str,
+        language: Language,
+        e: f64,
+        method: SearchMethod,
+    ) -> Result<SearchResult, G2pError> {
+        let q = self.config.registry.transform(query, language)?;
+        Ok(self.search_phonemes(&q, e, method))
+    }
+
+    /// Fan a pre-transformed query out over every shard and merge: local
+    /// ids remap to global ids, verification counts sum, the merged id
+    /// list is sorted ascending (same order an unsharded scan produces).
+    ///
+    /// # Panics
+    ///
+    /// Panics (on the worker thread) if the access path was not built;
+    /// see [`crate::MatchService`] for the graceful front-end.
+    pub fn search_phonemes(&self, q: &PhonemeString, e: f64, method: SearchMethod) -> SearchResult {
+        let n = self.shards();
+        let (tx, rx) = channel();
+        for (shard, s) in self.senders.iter().enumerate() {
+            s.send(Cmd::Search {
+                query: q.clone(),
+                e,
+                method,
+                shard,
+                reply: tx.clone(),
+            })
+            .expect("shard worker alive");
+        }
+        drop(tx);
+        let mut ids = Vec::new();
+        let mut verifications = 0usize;
+        let mut replies = 0usize;
+        for (shard, result) in rx {
+            replies += 1;
+            verifications += result.verifications;
+            ids.extend(
+                result
+                    .ids
+                    .iter()
+                    .map(|local| local * n as u32 + shard as u32),
+            );
+        }
+        // A worker that died (e.g. searching an unbuilt access path)
+        // hangs up instead of replying; a partial merge must never be
+        // passed off as a complete result.
+        assert_eq!(replies, n, "a shard worker died mid-search");
+        ids.sort_unstable();
+        SearchResult { ids, verifications }
+    }
+}
+
+impl Drop for ShardedStore {
+    fn drop(&mut self) {
+        // Hanging up every command channel ends the worker loops.
+        self.senders.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Transform rows to [`NameEntry`]s, fanning the G2P work out across
+/// scoped threads for large batches. Order is preserved; the first error
+/// wins and discards all work.
+fn transform_rows(
+    config: &MatchConfig,
+    rows: Vec<(String, Language)>,
+) -> Result<Vec<NameEntry>, G2pError> {
+    /// Below this size the spawn overhead outweighs the parallelism.
+    const PARALLEL_THRESHOLD: usize = 4096;
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if rows.len() < PARALLEL_THRESHOLD || workers < 2 {
+        return rows
+            .into_iter()
+            .map(|(text, language)| {
+                Ok(NameEntry {
+                    phonemes: config.registry.transform(&text, language)?,
+                    text,
+                    language,
+                })
+            })
+            .collect();
+    }
+    let chunk = rows.len().div_ceil(workers);
+    let chunks: Vec<&[(String, Language)]> = rows.chunks(chunk).collect();
+    let transformed: Vec<Result<Vec<NameEntry>, G2pError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|(text, language)| {
+                            Ok(NameEntry {
+                                phonemes: config.registry.transform(text, *language)?,
+                                text: text.clone(),
+                                language: *language,
+                            })
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(rows.len());
+    for part in transformed {
+        out.extend(part?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_rows() -> Vec<(String, Language)> {
+        [
+            ("Nehru", Language::English),
+            ("नेहरु", Language::Hindi),
+            ("நேரு", Language::Tamil),
+            ("Nero", Language::English),
+            ("Gandhi", Language::English),
+            ("गांधी", Language::Hindi),
+            ("Krishnan", Language::English),
+        ]
+        .into_iter()
+        .map(|(t, l)| (t.to_owned(), l))
+        .collect()
+    }
+
+    #[test]
+    fn global_ids_follow_insertion_order() {
+        let s = ShardedStore::new(MatchConfig::default(), 3);
+        let range = s.extend(demo_rows()).unwrap();
+        assert_eq!(range, 0..7);
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.get(1).unwrap().text, "नेहरु");
+        assert_eq!(s.get(6).unwrap().text, "Krishnan");
+        assert!(s.get(7).is_none());
+    }
+
+    #[test]
+    fn sharded_scan_matches_unsharded() {
+        let rows = demo_rows();
+        let mut flat = NameStore::new(MatchConfig::default());
+        for (t, l) in &rows {
+            flat.insert(t, *l).unwrap();
+        }
+        let sharded = ShardedStore::new(MatchConfig::default(), 3);
+        sharded.extend(rows).unwrap();
+        let a = flat
+            .search("Nehru", Language::English, 0.45, SearchMethod::Scan)
+            .unwrap();
+        let b = sharded
+            .search("Nehru", Language::English, 0.45, SearchMethod::Scan)
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(b.ids.contains(&1), "cross-script नेहरु: {:?}", b.ids);
+    }
+
+    #[test]
+    fn failed_transform_leaves_store_unchanged() {
+        let s = ShardedStore::new(MatchConfig::default(), 2);
+        // The second row's script does not match its language tag.
+        let err = s.extend([
+            ("Nehru".to_owned(), Language::English),
+            ("नेहरु".to_owned(), Language::Tamil),
+        ]);
+        assert!(err.is_err());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn incremental_insert_interleaves_with_bulk() {
+        let s = ShardedStore::new(MatchConfig::default(), 2);
+        let id = s.insert("Nehru", Language::English).unwrap();
+        assert_eq!(id, 0);
+        let range = s.extend(demo_rows()).unwrap();
+        assert_eq!(range, 1..8);
+        assert_eq!(s.get(0).unwrap().text, "Nehru");
+        assert_eq!(s.get(7).unwrap().text, "Krishnan");
+    }
+}

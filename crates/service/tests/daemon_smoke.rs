@@ -1,0 +1,143 @@
+//! End-to-end smoke test of the `lexequald` wire protocol over a real
+//! TCP socket: add names in three scripts, build access paths, and
+//! assert the paper's flagship cross-script match (Nehru ↔ नेहरु) plus
+//! cache and stats accounting — all through the line protocol.
+
+use lexequal_service::{serve, MatchService, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.stream, "{line}").expect("write");
+        self.recv()
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read");
+        line.trim_end().to_owned()
+    }
+}
+
+fn stat(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key} in {line:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} not a number in {line:?}"))
+}
+
+fn ids_of(line: &str) -> Vec<u32> {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix("ids="))
+        .unwrap_or_else(|| panic!("no ids in {line:?}"))
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("id"))
+        .collect()
+}
+
+#[test]
+fn daemon_answers_cross_script_matches_over_tcp() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("local addr");
+    let service = Arc::new(MatchService::new(ServiceConfig {
+        shards: 3,
+        ..ServiceConfig::default()
+    }));
+    std::thread::spawn(move || serve(listener, service));
+
+    let mut c = Client::connect(addr);
+
+    // Load a small multiscript directory through the wire.
+    assert_eq!(c.send("ADD en Nehru"), "OK 0");
+    assert_eq!(c.send("ADD hi नेहरु"), "OK 1");
+    assert_eq!(c.send("ADD ta நேரு"), "OK 2");
+    assert_eq!(c.send("ADD en Nero"), "OK 3");
+    assert_eq!(c.send("ADD en Gandhi"), "OK 4");
+    assert_eq!(c.send("BUILD QGRAM 3 STRICT"), "OK built=qgram");
+
+    // The paper's flagship pair: Nehru needs e=0.45 to reach नेहरु.
+    let resp = c.send("MATCH en qgram 0.45 Nehru");
+    assert!(resp.starts_with("OK "), "{resp}");
+    let ids = ids_of(&resp);
+    assert!(ids.contains(&0), "self match missing: {resp}");
+    assert!(ids.contains(&1), "Nehru ↔ नेहरु missing: {resp}");
+    assert!(ids.contains(&2), "Nehru ↔ நேரு missing: {resp}");
+    assert!(!ids.contains(&4), "Gandhi is not Nehru: {resp}");
+
+    // At the default 0.35 the Tamil spelling still matches (paper §4).
+    let resp = c.send("MATCH ta qgram - நேரு");
+    assert!(ids_of(&resp).contains(&0), "நேரு ↔ Nehru missing: {resp}");
+
+    // Repeat the first query: same answer, now served from the cache.
+    let again = c.send("MATCH en qgram 0.45 Nehru");
+    assert_eq!(ids_of(&again), ids);
+
+    // Batch: one response line per item, in order.
+    c.stream
+        .write_all("BATCH en qgram 0.45 Nehru|Gandhi\n".as_bytes())
+        .expect("write batch");
+    let first = c.recv();
+    let second = c.recv();
+    assert!(ids_of(&first).contains(&1), "{first}");
+    assert!(ids_of(&second).contains(&4), "{second}");
+
+    // Degraded outcomes stay on the connection.
+    assert_eq!(c.send("MATCH en bktree - Nehru"), "NOTBUILT bktree");
+    assert!(c.send("MATCH xx - - Nehru").starts_with("ERR "));
+
+    let stats = c.send("STATS");
+    assert_eq!(stat(&stats, "names"), 5);
+    assert_eq!(stat(&stats, "shards"), 3);
+    assert!(stat(&stats, "cache_hits") > 0, "no cache hits: {stats}");
+    assert!(stat(&stats, "cache_misses") > 0, "{stats}");
+    assert_eq!(stat(&stats, "notbuilt"), 1, "{stats}");
+    assert!(stat(&stats, "requests") >= 6, "{stats}");
+    assert!(stat(&stats, "qgram_searches") >= 5, "{stats}");
+
+    assert_eq!(c.send("QUIT"), "BYE");
+
+    // The daemon keeps serving new connections after one quits.
+    let mut c2 = Client::connect(addr);
+    let resp = c2.send("MATCH en qgram 0.45 Nehru");
+    assert!(ids_of(&resp).contains(&1), "{resp}");
+    assert_eq!(c2.send("QUIT"), "BYE");
+}
+
+#[test]
+fn two_clients_interleave_on_one_daemon() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = listener.local_addr().expect("local addr");
+    let service = Arc::new(MatchService::new(ServiceConfig {
+        shards: 2,
+        ..ServiceConfig::default()
+    }));
+    std::thread::spawn(move || serve(listener, service));
+
+    let mut a = Client::connect(addr);
+    let mut b = Client::connect(addr);
+    assert_eq!(a.send("ADD en Nehru"), "OK 0");
+    // Client b sees a's write immediately (shared service).
+    let resp = b.send("MATCH en scan - Nehru");
+    assert!(ids_of(&resp).contains(&0), "{resp}");
+    // Interleaved commands on both connections stay line-matched.
+    assert_eq!(b.send("ADD en Gandhi"), "OK 1");
+    let resp = a.send("MATCH en scan - Gandhi");
+    assert!(ids_of(&resp).contains(&1), "{resp}");
+    assert_eq!(a.send("QUIT"), "BYE");
+    assert_eq!(b.send("QUIT"), "BYE");
+}

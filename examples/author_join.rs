@@ -58,8 +58,5 @@ fn main() {
          (each unordered pair appears twice).",
         rs.rows.len()
     );
-    println!(
-        "Engine plan: {}",
-        db.explain(query).expect("explain")
-    );
+    println!("Engine plan: {}", db.explain(query).expect("explain"));
 }

@@ -27,13 +27,31 @@ fn main() {
     // (kanji has no phonemic reading without a dictionary; see
     // lexequal_g2p::japanese).
     for (author, first, title, price, lang) in [
-        ("Descartes", "René", "Les Méditations Metaphysiques", 49.00, "French"),
+        (
+            "Descartes",
+            "René",
+            "Les Méditations Metaphysiques",
+            49.00,
+            "French",
+        ),
         ("நேரு", "ஜவஹர்லால்", "ஆசிய ஜோதி", 250.0, "Tamil"),
         ("Σαρρη", "Κατερινα", "Παιχνίδια στο Πιάνο", 15.50, "Greek"),
-        ("Nero", "Bicci", "The Coronation of the Virgin", 99.00, "English"),
+        (
+            "Nero",
+            "Bicci",
+            "The Coronation of the Virgin",
+            99.00,
+            "English",
+        ),
         ("بهنسي", "عفيف", "العمارة عبر التاريخ", 75.0, "Arabic"),
         ("Nehru", "Jawaharlal", "Discovery of India", 9.95, "English"),
-        ("ネルー", "ジャワハルラール", "インドの発見", 7500.0, "Japanese"),
+        (
+            "ネルー",
+            "ジャワハルラール",
+            "インドの発見",
+            7500.0,
+            "Japanese",
+        ),
         ("नेहरु", "जवाहरलाल", "भारत एक खोज", 175.0, "Hindi"),
     ] {
         db.execute(&format!(
@@ -65,5 +83,8 @@ fn main() {
             "select Author from Books where Author LexEQUAL 'Nehru' Threshold 0.45 inlanguages *",
         )
         .expect("wildcard query");
-    println!("\nWith `inlanguages *`: {} matching renderings", rs.rows.len());
+    println!(
+        "\nWith `inlanguages *`: {} matching renderings",
+        rs.rows.len()
+    );
 }

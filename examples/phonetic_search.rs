@@ -15,18 +15,23 @@ use lexequal_lexicon::Corpus;
 use std::time::Instant;
 
 fn main() {
-    let query = std::env::args().nth(1).unwrap_or_else(|| "Krishnan".to_owned());
+    let query = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Krishnan".to_owned());
 
     println!("loading multiscript directory …");
     let corpus = Corpus::build(&MatchConfig::default());
     let mut store = NameStore::new(MatchConfig::default());
-    for e in &corpus.entries {
-        store.insert(&e.text, e.language).expect("insert");
-    }
+    store
+        .extend(corpus.entries.iter().map(|e| (e.text.clone(), e.language)))
+        .expect("bulk load");
     store.build_qgram(3, QgramMode::Strict);
     store.build_phonetic_index();
     store.build_bktree();
-    println!("{} names indexed (q-grams, phonetic index, BK-tree)\n", store.len());
+    println!(
+        "{} names indexed (q-grams, phonetic index, BK-tree)\n",
+        store.len()
+    );
 
     let threshold = 0.3;
     println!("query: {query:?}  threshold: {threshold}\n");

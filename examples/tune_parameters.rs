@@ -21,7 +21,10 @@ fn main() {
     // stride 4: every fourth tag group — fast, same shapes.
     let points = sweep_sampled(&corpus, &costs, &thresholds, 4);
 
-    println!("\n{:>5} {:>6} {:>8} {:>10}", "cost", "thresh", "recall", "precision");
+    println!(
+        "\n{:>5} {:>6} {:>8} {:>10}",
+        "cost", "thresh", "recall", "precision"
+    );
     for p in &points {
         if p.threshold * 20.0 % 2.0 < 1e-9 {
             // print every second threshold for compactness

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification, exactly what CI runs. Fully offline: the
+# workspace has no external dependencies (see the workspace Cargo.toml
+# for how to restore the optional proptest/criterion extras).
+#
+#   scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release"
+cargo build --workspace --release --offline
+
+echo "== cargo test"
+cargo test --workspace --offline -q
+
+echo "ci: all green"

@@ -12,7 +12,12 @@ fn catalog_db() -> Database {
     db.execute("CREATE TABLE books (author TEXT, title TEXT, price FLOAT, language TEXT)")
         .expect("create");
     for (author, title, price, lang) in [
-        ("Descartes", "Les Méditations Metaphysiques", 49.00, "French"),
+        (
+            "Descartes",
+            "Les Méditations Metaphysiques",
+            49.00,
+            "French",
+        ),
         ("நேரு", "ஆசிய ஜோதி", 250.0, "Tamil"),
         ("Σαρρη", "Παιχνίδια στο Πιάνο", 15.50, "Greek"),
         ("Nero", "The Coronation of the Virgin", 99.00, "English"),
@@ -119,7 +124,8 @@ fn full_accelerated_pipeline_over_names_table() {
     .collect();
     load_names_table(&mut db, "names", &names, &op).expect("names");
     load_qgram_aux_table(&mut db, "auxnames", "names", 3).expect("aux");
-    db.execute("CREATE INDEX ix_gpid ON names (gpid)").expect("index");
+    db.execute("CREATE INDEX ix_gpid ON names (gpid)")
+        .expect("index");
 
     // Aux table has one row per positional q-gram.
     let rs = db.execute("SELECT COUNT(*) FROM auxnames").expect("count");
@@ -129,9 +135,8 @@ fn full_accelerated_pipeline_over_names_table() {
     // Phonetic-index plan (Figure 15): index scan + UDF.
     let q = op.transform("Nehru", Language::English).expect("ok");
     let key = lexequal::phonidx::grouped_id(op.cost_model().clusters(), &q);
-    let sql = format!(
-        "SELECT name FROM names WHERE gpid = {key} AND PHONEQUAL(pname, '{q}', 0.45)"
-    );
+    let sql =
+        format!("SELECT name FROM names WHERE gpid = {key} AND PHONEQUAL(pname, '{q}', 0.45)");
     assert!(db.explain(&sql).expect("explain").contains("IndexScan"));
     let rs = db.execute(&sql).expect("exec");
     let found: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();

@@ -189,8 +189,7 @@ fn coarse_clusters_increase_candidates_and_reduce_dismissals() {
     assert!(coarse.distinct_keys() < fine.distinct_keys());
 
     let fine_op = LexEqual::new(MatchConfig::default());
-    let coarse_op =
-        LexEqual::new(MatchConfig::default().with_clusters(ClusterTable::coarse()));
+    let coarse_op = LexEqual::new(MatchConfig::default().with_clusters(ClusterTable::coarse()));
     let mut fine_hits = 0usize;
     let mut coarse_hits = 0usize;
     for q in phonemes.iter().step_by(47) {

@@ -22,9 +22,15 @@ fn store() -> &'static NameStore {
         let corpus = Corpus::build(&MatchConfig::default());
         let mut store = NameStore::new(MatchConfig::default());
         // Every 5th group keeps the test fast while spanning all scripts.
-        for e in corpus.entries.iter().filter(|e| e.tag % 5 == 0) {
-            store.insert(&e.text, e.language).expect("insert");
-        }
+        store
+            .extend(
+                corpus
+                    .entries
+                    .iter()
+                    .filter(|e| e.tag % 5 == 0)
+                    .map(|e| (e.text.clone(), e.language)),
+            )
+            .expect("bulk load");
         store.build_qgram(3, QgramMode::Strict);
         store.build_phonetic_index();
         store.build_bktree();

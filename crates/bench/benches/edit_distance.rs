@@ -5,7 +5,7 @@
 //! and the clustered phoneme cost model.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use lexequal::{ClusteredPhonemeCost, MatchConfig};
+use lexequal::{ClusteredPhonemeCost, LexEqual, MatchConfig, PreparedQuery, Verifier};
 use lexequal_bench::corpus;
 use lexequal_matcher::{edit_distance, edit_distance_matrix, within_distance, UnitCost};
 use lexequal_phoneme::PhonemeString;
@@ -73,5 +73,35 @@ fn bench_edit_distance(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_edit_distance);
+/// The verification kernel against the pre-kernel per-pair call: same
+/// decision, screened + allocation-free vs. fresh DP rows every pair.
+fn bench_verify_kernel(c: &mut Criterion) {
+    let op = LexEqual::new(MatchConfig::default());
+    let data = pairs(256);
+    let prepared: Vec<PreparedQuery> = data.iter().map(|(_, q)| op.prepare_query(q)).collect();
+    let cand_clusters: Vec<Vec<u8>> = data.iter().map(|(c, _)| op.cluster_ids(c)).collect();
+
+    let mut g = c.benchmark_group("verify_kernel");
+    g.sample_size(20);
+    for e in [0.25, 0.45] {
+        g.bench_function(format!("matches_phonemes_e{e}"), |b| {
+            b.iter(|| {
+                for (cand, q) in &data {
+                    black_box(op.matches_phonemes(cand, q, e));
+                }
+            })
+        });
+        g.bench_function(format!("verifier_screened_e{e}"), |b| {
+            let mut v = Verifier::new();
+            b.iter(|| {
+                for ((cand, _), (p, ids)) in data.iter().zip(prepared.iter().zip(&cand_clusters)) {
+                    black_box(v.matches(&op, p, cand, Some(ids), e));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_edit_distance, bench_verify_kernel);
 criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Verification-kernel throughput: old path vs. the screened kernel.
+//!
+//! The "old" kernel is what every access path ran before the kernel
+//! landed: `LexEqual::matches_phonemes(candidate, query, e)` per pair,
+//! allocating two fresh DP rows each call. The "new" kernel is
+//! [`lexequal::Verifier`] with a prepared query and the store's cached
+//! per-name cluster-id vectors — Myers fast-accept / fast-reject screens
+//! in front of the same banded DP on reused scratch.
+//!
+//! Both kernels decide the identical predicate (asserted per threshold),
+//! so the comparison is pure throughput. Emits a plain-text table and
+//! `results/verify_kernel_bench.json`.
+//!
+//! Usage: `verify_kernel [--quick] [--size N] [--queries N]`
+
+use lexequal::{PreparedQuery, Verifier};
+use lexequal_bench::{operator, print_table, synthetic, timed, RunOptions};
+use lexequal_mdb::Json;
+use lexequal_phoneme::PhonemeString;
+
+/// Thresholds swept: the paper's quality knee (0.25–0.45) plus a loose
+/// setting where fast-accepts dominate.
+const THRESHOLDS: [f64; 3] = [0.25, 0.35, 0.45];
+
+fn main() {
+    let opts = RunOptions::from_args();
+    let op = operator();
+    println!(
+        "Building synthetic dataset ({} entries)...",
+        opts.dataset_size
+    );
+    let data = synthetic(opts.dataset_size);
+    let names: Vec<PhonemeString> = data.entries.iter().map(|e| e.phonemes.clone()).collect();
+    // The cached side-table every NameStore now carries.
+    let cluster_ids: Vec<Vec<u8>> = names.iter().map(|p| op.cluster_ids(p)).collect();
+    let stride = (names.len() / opts.queries).max(1);
+    let queries: Vec<&PhonemeString> = names.iter().step_by(stride).take(opts.queries).collect();
+    let pairs = queries.len() * names.len();
+
+    let mut rows = Vec::new();
+    let mut json_runs = Vec::new();
+    for e in THRESHOLDS {
+        // Old kernel: the pre-kernel verification loop, verbatim.
+        let (old_hits, old_time) = timed(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                for c in &names {
+                    if op.matches_phonemes(c, q, e) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        });
+
+        // New kernel: one long-lived Verifier (as a shard worker holds),
+        // one PreparedQuery per query (as the store builds per search).
+        let mut verifier = Verifier::new();
+        let (new_hits, new_time) = timed(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                let prepared: PreparedQuery = op.prepare_query(q);
+                for (c, ids) in names.iter().zip(&cluster_ids) {
+                    if verifier.matches(&op, &prepared, c, Some(ids), e) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        });
+        assert_eq!(
+            old_hits, new_hits,
+            "kernels disagree at e={e}: old={old_hits} new={new_hits}"
+        );
+
+        let counters = verifier.take_counters();
+        let speedup = old_time.as_secs_f64() / new_time.as_secs_f64();
+        let mpairs = |t: std::time::Duration| pairs as f64 / t.as_secs_f64() / 1e6;
+        rows.push(vec![
+            format!("{e:.2}"),
+            format!("{old_hits}"),
+            format!("{:.2}", mpairs(old_time)),
+            format!("{:.2}", mpairs(new_time)),
+            format!("{speedup:.2}x"),
+            format!("{}", counters.fast_accept),
+            format!("{}", counters.fast_reject),
+            format!("{}", counters.full_dp),
+        ]);
+        json_runs.push(Json::Obj(vec![
+            ("threshold".into(), Json::Float(e)),
+            ("pairs".into(), Json::Int(pairs as i64)),
+            ("matches".into(), Json::Int(old_hits as i64)),
+            ("old_ns".into(), Json::Int(old_time.as_nanos() as i64)),
+            ("new_ns".into(), Json::Int(new_time.as_nanos() as i64)),
+            ("old_mpairs_per_s".into(), Json::Float(mpairs(old_time))),
+            ("new_mpairs_per_s".into(), Json::Float(mpairs(new_time))),
+            ("speedup".into(), Json::Float(speedup)),
+            ("fast_accept".into(), Json::Int(counters.fast_accept as i64)),
+            ("fast_reject".into(), Json::Int(counters.fast_reject as i64)),
+            ("full_dp".into(), Json::Int(counters.full_dp as i64)),
+        ]));
+    }
+
+    print_table(
+        "Verification kernel: matches_phonemes vs screened Verifier",
+        &[
+            "e", "matches", "old Mp/s", "new Mp/s", "speedup", "accept", "reject", "full DP",
+        ],
+        &rows,
+    );
+
+    let report = Json::Obj(vec![
+        ("dataset_size".into(), Json::Int(names.len() as i64)),
+        ("queries".into(), Json::Int(queries.len() as i64)),
+        ("runs".into(), Json::Arr(json_runs)),
+    ]);
+    let out = std::path::Path::new("results/verify_kernel_bench.json");
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    std::fs::write(out, report.render()).expect("write report");
+    println!("\nWrote {}", out.display());
+}

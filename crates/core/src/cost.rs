@@ -6,7 +6,7 @@
 //! costs less than a substitution from across clusters."
 
 use lexequal_matcher::CostModel;
-use lexequal_phoneme::{ClusterTable, Phoneme};
+use lexequal_phoneme::{ClusterTable, Inventory, Phoneme};
 use std::sync::Arc;
 
 /// Cost model over phonemes: identical segments are free; substitutions
@@ -75,6 +75,93 @@ impl CostModel<Phoneme> for ClusteredPhonemeCost {
 
     fn min_indel(&self) -> f64 {
         1.0
+    }
+}
+
+/// [`ClusteredPhonemeCost`] materialized as a dense `N×N` substitution
+/// matrix over [`Phoneme::index`], where `N` is the inventory size.
+///
+/// The DP inner loop of candidate verification evaluates `sub` once per
+/// cell; with the clustered model that is two cluster-table loads plus
+/// branches. Precomputing every pairwise cost (the inventory is `u8`-sized,
+/// so the matrix is a few dozen KB) turns it into a single flat array load.
+/// The matrix stores the *exact* `f64` values `ClusteredPhonemeCost::sub`
+/// returns, so distances computed through either model are bit-identical.
+///
+/// The matrix is behind an `Arc`: cloning the operator (which the service
+/// layer does per shard) shares one copy.
+#[derive(Debug, Clone)]
+pub struct DenseSubstCost {
+    /// Row-major `N×N`: `sub[a.index() * n + b.index()]`.
+    sub: Arc<[f64]>,
+    n: usize,
+}
+
+impl DenseSubstCost {
+    /// Materialize `source` over the full phoneme inventory.
+    pub fn from_clustered(source: &ClusteredPhonemeCost) -> Self {
+        let n = Inventory::len();
+        let mut sub = vec![0.0f64; n * n];
+        for a in Inventory::iter() {
+            for b in Inventory::iter() {
+                sub[a.index() * n + b.index()] = source.sub(&a, &b);
+            }
+        }
+        DenseSubstCost {
+            sub: Arc::from(sub),
+            n,
+        }
+    }
+
+    /// Inventory size `N` (the matrix is `N×N`).
+    pub fn inventory_len(&self) -> usize {
+        self.n
+    }
+}
+
+impl CostModel<Phoneme> for DenseSubstCost {
+    fn ins(&self, _t: &Phoneme) -> f64 {
+        1.0
+    }
+
+    fn del(&self, _t: &Phoneme) -> f64 {
+        1.0
+    }
+
+    #[inline]
+    fn sub(&self, a: &Phoneme, b: &Phoneme) -> f64 {
+        self.sub[a.index() * self.n + b.index()]
+    }
+
+    fn min_indel(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod dense_cost_tests {
+    use super::*;
+
+    #[test]
+    fn dense_matrix_reproduces_clustered_costs_exactly() {
+        for intra in [0.0, 0.25, 0.5, 1.0] {
+            let clustered = ClusteredPhonemeCost::new(Arc::new(ClusterTable::standard()), intra);
+            let dense = DenseSubstCost::from_clustered(&clustered);
+            assert_eq!(dense.inventory_len(), Inventory::len());
+            for a in Inventory::iter() {
+                for b in Inventory::iter() {
+                    // Bit-for-bit equality, not approximate: the kernel
+                    // relies on identical floats feeding the DP.
+                    assert_eq!(
+                        dense.sub(&a, &b).to_bits(),
+                        clustered.sub(&a, &b).to_bits(),
+                        "{a:?} vs {b:?} at intra={intra}"
+                    );
+                }
+            }
+            assert_eq!(dense.ins(&Inventory::iter().next().unwrap()), 1.0);
+            assert_eq!(dense.min_indel(), 1.0);
+        }
     }
 }
 

@@ -63,13 +63,15 @@ pub mod phonidx;
 pub mod qgram_plan;
 pub mod store;
 pub mod udf;
+pub mod verify;
 
 pub use config::MatchConfig;
-pub use cost::{ClusteredPhonemeCost, FeaturePhonemeCost};
+pub use cost::{ClusteredPhonemeCost, DenseSubstCost, FeaturePhonemeCost};
 pub use operator::{LexEqual, Outcome};
 pub use phonidx::PhoneticIndex;
 pub use qgram_plan::{QgramFilter, QgramMode};
 pub use store::{NameStore, SearchMethod};
+pub use verify::{PreparedQuery, ScreenCounters, Verifier};
 
 pub use lexequal_g2p::{G2pError, G2pRegistry, Language};
 pub use lexequal_phoneme::{ClusterTable, Phoneme, PhonemeString};
@@ -97,5 +99,8 @@ mod send_sync_audit {
         assert_send_sync::<NameStore>();
         assert_send_sync::<QgramFilter>();
         assert_send_sync::<PhoneticIndex>();
+        assert_send_sync::<DenseSubstCost>();
+        assert_send_sync::<Verifier>();
+        assert_send_sync::<PreparedQuery>();
     }
 }

@@ -1,7 +1,8 @@
 //! The LexEQUAL operator — the algorithm of the paper's Figure 8.
 
 use crate::config::MatchConfig;
-use crate::cost::ClusteredPhonemeCost;
+use crate::cost::{ClusteredPhonemeCost, DenseSubstCost};
+use crate::verify::PreparedQuery;
 use lexequal_g2p::{G2pError, Language};
 use lexequal_matcher::{edit_distance, within_distance};
 use lexequal_phoneme::PhonemeString;
@@ -23,13 +24,19 @@ pub enum Outcome {
 pub struct LexEqual {
     config: MatchConfig,
     cost: ClusteredPhonemeCost,
+    dense: DenseSubstCost,
 }
 
 impl LexEqual {
     /// Build the operator from a configuration.
     pub fn new(config: MatchConfig) -> Self {
         let cost = ClusteredPhonemeCost::new(config.clusters.clone(), config.intra_cluster_cost);
-        LexEqual { config, cost }
+        let dense = DenseSubstCost::from_clustered(&cost);
+        LexEqual {
+            config,
+            cost,
+            dense,
+        }
     }
 
     /// The configuration in force.
@@ -40,6 +47,29 @@ impl LexEqual {
     /// The phoneme cost model in force.
     pub fn cost_model(&self) -> &ClusteredPhonemeCost {
         &self.cost
+    }
+
+    /// The cost model materialized as a dense substitution matrix — the
+    /// form the verification kernel feeds to the DP (same `f64` values as
+    /// [`cost_model`](Self::cost_model), flat-array lookup).
+    pub fn dense_cost(&self) -> &DenseSubstCost {
+        &self.dense
+    }
+
+    /// The cluster-id sequence of `s` under the configured cluster table —
+    /// the per-string form of the paper's grouped phoneme string
+    /// identifier, used by the kernel's fast-reject screen.
+    pub fn cluster_ids(&self, s: &PhonemeString) -> Vec<u8> {
+        let clusters = self.cost.clusters();
+        s.iter().map(|p| clusters.cluster_of(*p).0).collect()
+    }
+
+    /// Preprocess a query for the verification kernel: cluster-id vector
+    /// plus Myers bitmask tables over phoneme ids and cluster ids. Build
+    /// once per query, verify many candidates through
+    /// [`Verifier`](crate::verify::Verifier).
+    pub fn prepare_query(&self, q: &PhonemeString) -> PreparedQuery {
+        PreparedQuery::new(self, q)
     }
 
     /// `transform(S, L)` — the string's phonemic representation.

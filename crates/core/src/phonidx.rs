@@ -17,6 +17,7 @@
 //! our evaluation harness reproduces the measurement.
 
 use crate::operator::LexEqual;
+use crate::verify::{PreparedQuery, Verifier};
 use lexequal_phoneme::{ClusterTable, PhonemeString};
 use std::collections::HashMap;
 
@@ -87,12 +88,31 @@ impl PhoneticIndex {
         e: f64,
         operator: &LexEqual,
     ) -> (Vec<u32>, usize) {
+        let prepared = operator.prepare_query(query);
+        let mut verifier = Verifier::new();
+        self.search_with(corpus, None, &prepared, e, operator, &mut verifier)
+    }
+
+    /// [`search`](Self::search) through the verification kernel: same
+    /// hits and verification count, but screen-first and allocation-free
+    /// when the caller supplies per-string cluster ids and a long-lived
+    /// [`Verifier`].
+    pub fn search_with(
+        &self,
+        corpus: &[PhonemeString],
+        cluster_ids: Option<&[Vec<u8>]>,
+        query: &PreparedQuery,
+        e: f64,
+        operator: &LexEqual,
+        verifier: &mut Verifier,
+    ) -> (Vec<u32>, usize) {
         let clusters = operator.cost_model().clusters();
         let mut verified = 0usize;
         let mut hits = Vec::new();
-        for cand in self.candidates(clusters, query) {
+        for cand in self.candidates(clusters, query.phonemes()) {
             verified += 1;
-            if operator.matches_phonemes(&corpus[cand as usize], query, e) {
+            let cc = cluster_ids.map(|c| c[cand as usize].as_slice());
+            if verifier.matches(operator, query, &corpus[cand as usize], cc, e) {
                 hits.push(cand);
             }
         }

@@ -28,6 +28,7 @@
 //!   dismissals when the intra-cluster cost is below 1.
 
 use crate::operator::LexEqual;
+use crate::verify::{PreparedQuery, Verifier};
 use lexequal_matcher::qgram::{
     count_filter_passes, length_filter_passes, positional_qgrams, PositionalQgram,
 };
@@ -214,15 +215,34 @@ impl QgramFilter {
         e: f64,
         operator: &LexEqual,
     ) -> (Vec<u32>, usize) {
+        let prepared = operator.prepare_query(query);
+        let mut verifier = Verifier::new();
+        self.search_with(corpus, None, &prepared, e, operator, &mut verifier)
+    }
+
+    /// [`search`](Self::search) through the verification kernel: same
+    /// hits and verification count, but screen-first and allocation-free
+    /// when the caller supplies per-string cluster ids and a long-lived
+    /// [`Verifier`].
+    pub fn search_with(
+        &self,
+        corpus: &[PhonemeString],
+        cluster_ids: Option<&[Vec<u8>]>,
+        query: &PreparedQuery,
+        e: f64,
+        operator: &LexEqual,
+        verifier: &mut Verifier,
+    ) -> (Vec<u32>, usize) {
         let mut verified = 0usize;
         let mut hits = Vec::new();
         // Budget depends on the candidate: e · min(|q|, |c|). Filter with
         // the largest possible budget (e · |q|) to stay conservative,
         // then verify each with its true budget.
-        let k_max = e * query.len() as f64;
-        for cand in self.candidates(query, k_max, operator) {
+        let k_max = e * query.phonemes().len() as f64;
+        for cand in self.candidates(query.phonemes(), k_max, operator) {
             verified += 1;
-            if operator.matches_phonemes(&corpus[cand as usize], query, e) {
+            let cc = cluster_ids.map(|c| c[cand as usize].as_slice());
+            if verifier.matches(operator, query, &corpus[cand as usize], cc, e) {
                 hits.push(cand);
             }
         }

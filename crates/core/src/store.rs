@@ -15,16 +15,24 @@ use crate::config::MatchConfig;
 use crate::operator::LexEqual;
 use crate::phonidx::PhoneticIndex;
 use crate::qgram_plan::{QgramFilter, QgramMode};
+use crate::verify::Verifier;
 use lexequal_g2p::{G2pError, Language};
-use lexequal_matcher::{edit_distance, BkTree, UnitCost};
+use lexequal_matcher::{bounded_levenshtein, edit_distance, BkTree, UnitCost};
 use lexequal_phoneme::PhonemeString;
 use std::ops::Range;
 
 /// Integer Levenshtein distance between phoneme strings — the BK-tree
 /// metric (the clustered distance is not integer-valued; Levenshtein
-/// bounds it from above, see [`NameStore::search`]).
+/// bounds it from above, see [`NameStore::search`]). Inserts need the
+/// exact distance; range queries use the bounded early-exit form below.
 fn levenshtein_phonemes(a: &PhonemeString, b: &PhonemeString) -> u32 {
     edit_distance(a.as_slice(), b.as_slice(), UnitCost) as u32
+}
+
+/// The bounded metric BK-tree range queries probe with: Ukkonen-banded,
+/// `None` past the bound, so pruned subtrees never pay full-matrix cost.
+fn bounded_levenshtein_phonemes(a: &PhonemeString, b: &PhonemeString, bound: u32) -> Option<u32> {
+    bounded_levenshtein(a.as_slice(), b.as_slice(), bound)
 }
 
 /// One stored name.
@@ -69,6 +77,9 @@ pub struct NameStore {
     operator: LexEqual,
     entries: Vec<NameEntry>,
     phonemes: Vec<PhonemeString>,
+    /// Per-string cluster-id vectors, parallel to `phonemes` — feeds the
+    /// verification kernel's fast-reject screen without per-pair lookups.
+    cluster_ids: Vec<Vec<u8>>,
     qgram: Option<QgramFilter>,
     phonidx: Option<PhoneticIndex>,
     bktree: Option<PhonemeBkTree>,
@@ -81,6 +92,7 @@ impl NameStore {
             operator: LexEqual::new(config),
             entries: Vec::new(),
             phonemes: Vec::new(),
+            cluster_ids: Vec::new(),
             qgram: None,
             phonidx: None,
             bktree: None,
@@ -143,6 +155,11 @@ impl NameStore {
         let start = self.entries.len() as u32;
         self.phonemes
             .extend(entries.iter().map(|e| e.phonemes.clone()));
+        self.cluster_ids.extend(
+            entries
+                .iter()
+                .map(|e| self.operator.cluster_ids(&e.phonemes)),
+        );
         self.entries.extend(entries);
         if start != self.entries.len() as u32 {
             self.qgram = None;
@@ -204,11 +221,27 @@ impl NameStore {
 
     /// Search with a pre-transformed query.
     pub fn search_phonemes(&self, q: &PhonemeString, e: f64, method: SearchMethod) -> SearchResult {
+        self.search_phonemes_with(q, e, method, &mut Verifier::new())
+    }
+
+    /// [`search_phonemes`](Self::search_phonemes) with a caller-owned
+    /// [`Verifier`]: identical results, but the kernel's DP scratch and
+    /// screen counters persist across calls (the serving layer keeps one
+    /// verifier per shard worker).
+    pub fn search_phonemes_with(
+        &self,
+        q: &PhonemeString,
+        e: f64,
+        method: SearchMethod,
+        verifier: &mut Verifier,
+    ) -> SearchResult {
+        let prepared = self.operator.prepare_query(q);
         match method {
             SearchMethod::Scan => {
                 let mut ids = Vec::new();
                 for (i, p) in self.phonemes.iter().enumerate() {
-                    if self.operator.matches_phonemes(p, q, e) {
+                    let cc = Some(self.cluster_ids[i].as_slice());
+                    if verifier.matches(&self.operator, &prepared, p, cc, e) {
                         ids.push(i as u32);
                     }
                 }
@@ -219,7 +252,14 @@ impl NameStore {
             }
             SearchMethod::Qgram => {
                 let f = self.qgram.as_ref().expect("call build_qgram first");
-                let (ids, verifications) = f.search(&self.phonemes, q, e, &self.operator);
+                let (ids, verifications) = f.search_with(
+                    &self.phonemes,
+                    Some(&self.cluster_ids),
+                    &prepared,
+                    e,
+                    &self.operator,
+                    verifier,
+                );
                 SearchResult { ids, verifications }
             }
             SearchMethod::PhoneticIndex => {
@@ -227,7 +267,14 @@ impl NameStore {
                     .phonidx
                     .as_ref()
                     .expect("call build_phonetic_index first");
-                let (ids, verifications) = idx.search(&self.phonemes, q, e, &self.operator);
+                let (ids, verifications) = idx.search_with(
+                    &self.phonemes,
+                    Some(&self.cluster_ids),
+                    &prepared,
+                    e,
+                    &self.operator,
+                    verifier,
+                );
                 SearchResult { ids, verifications }
             }
             SearchMethod::BkTree => {
@@ -241,22 +288,33 @@ impl NameStore {
                         let radius = (k / c).floor() as u32;
                         let mut verifications = 0usize;
                         let mut ids = Vec::new();
-                        for (_, &id, _) in t.range(q, radius) {
+                        for (_, &id, _) in t.range_bounded(q, radius, bounded_levenshtein_phonemes)
+                        {
                             verifications += 1;
-                            if self
-                                .operator
-                                .matches_phonemes(&self.phonemes[id as usize], q, e)
-                            {
+                            let cc = Some(self.cluster_ids[id as usize].as_slice());
+                            if verifier.matches(
+                                &self.operator,
+                                &prepared,
+                                &self.phonemes[id as usize],
+                                cc,
+                                e,
+                            ) {
                                 ids.push(id);
                             }
                         }
                         ids.sort_unstable();
                         SearchResult { ids, verifications }
                     }
-                    None => self.search_phonemes(q, e, SearchMethod::Scan),
+                    None => self.search_phonemes_with(q, e, SearchMethod::Scan, verifier),
                 }
             }
         }
+    }
+
+    /// Per-string cluster-id vectors, parallel to
+    /// [`phoneme_strings`](Self::phoneme_strings).
+    pub fn cluster_id_vectors(&self) -> &[Vec<u8>] {
+        &self.cluster_ids
     }
 
     /// The phoneme strings (benchmark access).
@@ -343,6 +401,42 @@ mod tests {
             assert!(scan.ids.contains(id), "false positive from index");
         }
         assert!(pi.verifications <= scan.verifications);
+    }
+
+    #[test]
+    fn kernel_path_is_identical_to_reference_on_every_method() {
+        // The kernel (screens + dense DP + scratch) must reproduce the
+        // raw `matches_phonemes` decision bit-for-bit on every access
+        // path; the phonetic index may dismiss but never diverge on what
+        // it verifies.
+        let s = store();
+        let mut verifier = Verifier::new();
+        for query in ["Nehru", "Nero", "Gandhi", "Krishnan", "Bose"] {
+            let q = s.operator().transform(query, Language::English).unwrap();
+            for e in [0.0, 0.15, 0.3, 0.45, 0.75] {
+                let reference: Vec<u32> = (0..s.len() as u32)
+                    .filter(|&i| {
+                        s.operator()
+                            .matches_phonemes(&s.phoneme_strings()[i as usize], &q, e)
+                    })
+                    .collect();
+                for method in [
+                    SearchMethod::Scan,
+                    SearchMethod::Qgram,
+                    SearchMethod::BkTree,
+                ] {
+                    let r = s.search_phonemes_with(&q, e, method, &mut verifier);
+                    assert_eq!(r.ids, reference, "{query} e={e} {method:?}");
+                }
+                let pi = s.search_phonemes_with(&q, e, SearchMethod::PhoneticIndex, &mut verifier);
+                for id in &pi.ids {
+                    assert!(reference.contains(id), "{query} e={e} index false positive");
+                }
+            }
+        }
+        let c = verifier.counters();
+        assert!(c.total() > 0);
+        assert!(c.fast_reject > 0, "screens never fired: {c:?}");
     }
 
     #[test]

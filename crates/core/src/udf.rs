@@ -155,22 +155,21 @@ pub fn load_names_table(
         "CREATE TABLE {table} (id INT, name TEXT, lang TEXT, pname TEXT, gpid INT)"
     ))?;
     let clusters = operator.cost_model().clusters();
+    let mut rows = Vec::with_capacity(names.len());
     for (i, (name, lang)) in names.iter().enumerate() {
         let p = operator
             .transform(name, *lang)
             .map_err(|e| DbError::Udf(format!("transform failed for {name:?}: {e}")))?;
         let gpid = crate::phonidx::grouped_id(clusters, &p);
-        db.insert(
-            table,
-            vec![
-                Value::Int(i as i64),
-                Value::from(name.as_str()),
-                Value::from(lang.to_string()),
-                Value::from(p.to_string()),
-                Value::Int(gpid),
-            ],
-        )?;
+        rows.push(vec![
+            Value::Int(i as i64),
+            Value::from(name.as_str()),
+            Value::from(lang.to_string()),
+            Value::from(p.to_string()),
+            Value::Int(gpid),
+        ]);
     }
+    db.insert_many(table, rows)?;
     Ok(())
 }
 
@@ -217,18 +216,21 @@ pub fn load_qgram_aux_table(
             })
             .collect::<Result<_, DbError>>()?
     };
-    for (id, p) in rows {
-        for g in positional_qgrams(p.as_slice(), q) {
-            db.insert(
-                aux,
-                vec![
-                    Value::Int(id),
-                    Value::from(gram_text(&g)),
-                    Value::Int(g.pos as i64),
-                ],
-            )?;
-        }
-    }
+    let gram_rows: Vec<Vec<Value>> = rows
+        .iter()
+        .flat_map(|(id, p)| {
+            positional_qgrams(p.as_slice(), q)
+                .into_iter()
+                .map(move |g| {
+                    vec![
+                        Value::Int(*id),
+                        Value::from(gram_text(&g)),
+                        Value::Int(g.pos as i64),
+                    ]
+                })
+        })
+        .collect();
+    db.insert_many(aux, gram_rows)?;
     Ok(())
 }
 

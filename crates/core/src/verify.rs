@@ -1,0 +1,305 @@
+//! The candidate-verification kernel: screen-first, allocation-free.
+//!
+//! Every access path (scan, q-gram, phonetic index, BK-tree) ends in the
+//! same loop — evaluate `LexEqual::matches_phonemes(candidate, query, e)`
+//! over the surviving candidates — and the paper's measurements (Tables
+//! 1–3) show that loop dominating total cost. [`Verifier`] computes the
+//! *identical* decision with three refinements:
+//!
+//! 1. **Bit-parallel screens** (Myers, see `lexequal_matcher::myers`).
+//!    With indels at cost 1 and substitutions ≤ 1, the plain Levenshtein
+//!    distance over phoneme ids bounds the clustered distance from above:
+//!    `lev(a, b) ≤ k` is a sound **fast-accept**. Dually, every clustered
+//!    edit op costs at least the unit op it induces on the *cluster-id*
+//!    strings (intra-cluster substitutions become matches, everything else
+//!    a unit op), so Levenshtein over cluster ids bounds it from below:
+//!    `lev(cluster(a), cluster(b)) > k` is a sound **fast-reject** — the
+//!    per-pair analogue of the paper's grouped phoneme string identifier.
+//!    Both distances are exact and cost O(|candidate|) word ops.
+//! 2. **Dense cost matrix** — pairs that survive both screens run the
+//!    banded DP with [`DenseSubstCost`](crate::cost::DenseSubstCost):
+//!    same floats, flat-array substitution lookup.
+//! 3. **Reusable scratch** — the DP rows live in the `Verifier` (one per
+//!    shard worker or query loop), so a verified pair performs zero heap
+//!    allocations once the rows have grown to the longest candidate.
+//!
+//! Because the screens are exact bounds and the fallback runs the same
+//! banded decision procedure on the same floats in the same order, the
+//! kernel's verdict is bit-for-bit identical to `matches_phonemes`.
+
+use crate::operator::LexEqual;
+use lexequal_matcher::{within_distance_scratch, DpScratch, MyersPattern};
+use lexequal_phoneme::PhonemeString;
+
+/// A query preprocessed for repeated verification: its cluster-id vector
+/// and the two Myers bitmask tables (phoneme ids, cluster ids).
+///
+/// Built once per query via [`LexEqual::prepare_query`]; the patterns are
+/// `None` when the query is empty or longer than 64 phonemes, in which
+/// case the kernel skips the screens and the DP decides alone.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    phonemes: PhonemeString,
+    cluster_ids: Vec<u8>,
+    phon_pattern: Option<MyersPattern>,
+    clus_pattern: Option<MyersPattern>,
+}
+
+impl PreparedQuery {
+    /// Preprocess `q` under `op`'s cluster table.
+    pub fn new(op: &LexEqual, q: &PhonemeString) -> Self {
+        let cluster_ids = op.cluster_ids(q);
+        let phon_pattern = MyersPattern::build(q.iter().map(|p| p.id()));
+        let clus_pattern = MyersPattern::build(cluster_ids.iter().copied());
+        PreparedQuery {
+            phonemes: q.clone(),
+            cluster_ids,
+            phon_pattern,
+            clus_pattern,
+        }
+    }
+
+    /// The query phoneme string.
+    pub fn phonemes(&self) -> &PhonemeString {
+        &self.phonemes
+    }
+
+    /// The query's cluster-id sequence.
+    pub fn cluster_ids(&self) -> &[u8] {
+        &self.cluster_ids
+    }
+}
+
+/// How the kernel disposed of verified pairs: screen effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScreenCounters {
+    /// Pairs accepted without the DP (equality or Myers fast-accept).
+    pub fast_accept: u64,
+    /// Pairs rejected without the DP (length filter or Myers fast-reject).
+    pub fast_reject: u64,
+    /// Pairs that ran the full banded DP.
+    pub full_dp: u64,
+}
+
+impl ScreenCounters {
+    /// Total pairs verified.
+    pub fn total(&self) -> u64 {
+        self.fast_accept + self.fast_reject + self.full_dp
+    }
+
+    /// Add `other` into `self` (for merging per-worker counters).
+    pub fn merge(&mut self, other: &ScreenCounters) {
+        self.fast_accept += other.fast_accept;
+        self.fast_reject += other.fast_reject;
+        self.full_dp += other.full_dp;
+    }
+}
+
+/// The verification kernel: DP scratch plus screen counters.
+///
+/// One `Verifier` per shard worker (long-lived) or per query loop; it is
+/// cheap to construct but reusing it is what makes verification
+/// allocation-free.
+#[derive(Debug, Default)]
+pub struct Verifier {
+    scratch: DpScratch,
+    counters: ScreenCounters,
+}
+
+impl Verifier {
+    /// A fresh kernel with empty scratch and zeroed counters.
+    pub fn new() -> Self {
+        Verifier::default()
+    }
+
+    /// Screen counters accumulated since construction or the last
+    /// [`take_counters`](Self::take_counters).
+    pub fn counters(&self) -> ScreenCounters {
+        self.counters
+    }
+
+    /// Return and reset the accumulated counters.
+    pub fn take_counters(&mut self) -> ScreenCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// The kernel predicate: exactly `op.matches_phonemes(cand, query, e)`
+    /// (note the argument order — candidate on the left, as every access
+    /// path calls it), decided screen-first.
+    ///
+    /// `cand_clusters`, when provided, must be `op.cluster_ids(cand)` —
+    /// stores cache these per entry; `None` derives cluster ids on the fly
+    /// (still allocation-free, one table load per symbol).
+    pub fn matches(
+        &mut self,
+        op: &LexEqual,
+        query: &PreparedQuery,
+        cand: &PhonemeString,
+        cand_clusters: Option<&[u8]>,
+        e: f64,
+    ) -> bool {
+        if *cand == query.phonemes {
+            self.counters.fast_accept += 1;
+            return true;
+        }
+        let smaller = cand.len().min(query.phonemes.len());
+        // Same strict-predicate budget as `matches_phonemes`.
+        let k = (e * smaller as f64 - 1e-9).max(1e-12);
+        // Length filter (min_indel is 1): mirrors the first check inside
+        // `within_distance`, hoisted here so it counts as a fast reject.
+        if cand.len().abs_diff(query.phonemes.len()) as f64 > k {
+            self.counters.fast_reject += 1;
+            return false;
+        }
+        // Both patterns exist iff 1 ≤ |query| ≤ 64.
+        if let (Some(phon), Some(clus)) = (&query.phon_pattern, &query.clus_pattern) {
+            let clusters = op.cost_model().clusters();
+            let lev_clus = match cand_clusters {
+                Some(ids) => clus.distance(ids.iter().copied()),
+                None => clus.distance(cand.iter().map(|p| clusters.cluster_of(*p).0)),
+            };
+            // Clustered distance ≥ cluster-id Levenshtein: reject.
+            if lev_clus as f64 > k + 1e-12 {
+                self.counters.fast_reject += 1;
+                return false;
+            }
+            // Clustered distance ≤ phoneme Levenshtein: accept.
+            let lev_phon = phon.distance(cand.iter().map(|p| p.id()));
+            if lev_phon as f64 <= k + 1e-12 {
+                self.counters.fast_accept += 1;
+                return true;
+            }
+        }
+        self.counters.full_dp += 1;
+        within_distance_scratch(
+            cand.as_slice(),
+            query.phonemes.as_slice(),
+            k,
+            op.dense_cost(),
+            &mut self.scratch,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MatchConfig;
+    use lexequal_phoneme::{Inventory, Phoneme};
+
+    /// Deterministic xorshift corpus: phoneme strings of length 0..=70
+    /// (past the 64-symbol Myers limit to exercise the no-screen path).
+    fn corpus(seed: u64, count: usize) -> Vec<PhonemeString> {
+        let mut state = seed;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = Inventory::len() as u64;
+        (0..count)
+            .map(|_| {
+                let len = (next() % 71) as usize;
+                PhonemeString::new(
+                    (0..len)
+                        .map(|_| Phoneme::from_id((next() % n) as u8).unwrap())
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernel_agrees_with_reference_on_random_strings() {
+        for intra in [0.0, 0.25, 1.0] {
+            let op = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(intra));
+            let mut v = Verifier::new();
+            let strings = corpus(0x5eed_0001 + intra.to_bits(), 40);
+            for q in &strings {
+                let prepared = op.prepare_query(q);
+                let q_check = op.cluster_ids(q);
+                assert_eq!(prepared.cluster_ids(), &q_check[..]);
+                for c in &strings {
+                    for e in [0.0, 0.15, 0.35, 0.5, 1.0] {
+                        let want = op.matches_phonemes(c, q, e);
+                        let cached = op.cluster_ids(c);
+                        assert_eq!(
+                            v.matches(&op, &prepared, c, Some(&cached), e),
+                            want,
+                            "cached clusters: |q|={} |c|={} e={e} intra={intra}",
+                            q.len(),
+                            c.len()
+                        );
+                        assert_eq!(
+                            v.matches(&op, &prepared, c, None, e),
+                            want,
+                            "derived clusters: |q|={} |c|={} e={e} intra={intra}",
+                            q.len(),
+                            c.len()
+                        );
+                    }
+                }
+            }
+            let c = v.counters();
+            assert_eq!(c.total(), (strings.len() * strings.len() * 5 * 2) as u64);
+            assert!(c.fast_accept > 0 && c.fast_reject > 0);
+        }
+    }
+
+    #[test]
+    fn counters_take_and_merge() {
+        let op = LexEqual::new(MatchConfig::default());
+        let mut v = Verifier::new();
+        let strings = corpus(0xabcd, 6);
+        let prepared = op.prepare_query(&strings[0]);
+        for c in &strings {
+            v.matches(&op, &prepared, c, None, 0.35);
+        }
+        let first = v.take_counters();
+        assert_eq!(first.total(), strings.len() as u64);
+        assert_eq!(v.counters(), ScreenCounters::default());
+        let mut sum = ScreenCounters::default();
+        sum.merge(&first);
+        sum.merge(&first);
+        assert_eq!(sum.total(), 2 * first.total());
+    }
+
+    #[cfg(feature = "property-tests")]
+    mod property {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn phoneme_string(max_len: usize) -> impl Strategy<Value = PhonemeString> {
+            proptest::collection::vec(0..Inventory::len() as u8, 0..=max_len).prop_map(|ids| {
+                PhonemeString::new(
+                    ids.into_iter()
+                        .map(|id| Phoneme::from_id(id).unwrap())
+                        .collect(),
+                )
+            })
+        }
+
+        proptest! {
+            /// Verifier::matches == matches_phonemes on random phoneme
+            /// strings up to length 64 (the Myers screen window).
+            #[test]
+            fn kernel_equals_reference(
+                q in phoneme_string(64),
+                c in phoneme_string(64),
+                e in 0.0f64..1.2,
+                intra in prop_oneof![Just(0.0), Just(0.25), Just(0.5), Just(1.0)]
+            ) {
+                let op = LexEqual::new(
+                    MatchConfig::default().with_intra_cluster_cost(intra),
+                );
+                let mut v = Verifier::new();
+                let prepared = op.prepare_query(&q);
+                let cached = op.cluster_ids(&c);
+                let want = op.matches_phonemes(&c, &q, e);
+                prop_assert_eq!(v.matches(&op, &prepared, &c, Some(&cached), e), want);
+                prop_assert_eq!(v.matches(&op, &prepared, &c, None, e), want);
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Pins the kernel's zero-allocation guarantee: once the `Verifier`'s DP
+//! scratch has grown to the longest candidate and the query has been
+//! prepared, verifying a pair performs no heap allocation at all — on
+//! any of the three dispositions (fast-accept, fast-reject, full DP).
+//!
+//! A counting global allocator makes the claim checkable: warm up over
+//! the whole corpus once, snapshot the allocation count, run the same
+//! verifications again, and require a delta of exactly zero. Lives in its
+//! own integration-test binary because `#[global_allocator]` is
+//! process-wide; keeping it out of the unit-test binary means no other
+//! test can allocate concurrently and blur the count.
+
+use lexequal::{LexEqual, MatchConfig, PreparedQuery, Verifier};
+use lexequal_phoneme::{Inventory, Phoneme, PhonemeString};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter is a relaxed
+// atomic with no allocation of its own.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Deterministic xorshift phoneme strings, lengths 0..=70 so the corpus
+/// crosses the 64-symbol Myers window and exercises the DP-only path too.
+fn corpus(seed: u64, count: usize) -> Vec<PhonemeString> {
+    let mut state = seed;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let n = Inventory::len() as u64;
+    (0..count)
+        .map(|_| {
+            let len = (next() % 71) as usize;
+            PhonemeString::new(
+                (0..len)
+                    .map(|_| Phoneme::from_id((next() % n) as u8).unwrap())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn verify_all(
+    verifier: &mut Verifier,
+    op: &LexEqual,
+    prepared: &PreparedQuery,
+    strings: &[PhonemeString],
+    cluster_ids: &[Vec<u8>],
+) -> usize {
+    let mut hits = 0;
+    for (cand, ids) in strings.iter().zip(cluster_ids) {
+        for e in [0.0, 0.15, 0.35, 0.5, 1.0] {
+            // Both the cached-cluster path (stores) and the derive-on-the-
+            // fly path (ad-hoc callers) must stay allocation-free.
+            if verifier.matches(op, prepared, cand, Some(ids), e) {
+                hits += 1;
+            }
+            if verifier.matches(op, prepared, cand, None, e) {
+                hits += 1;
+            }
+        }
+    }
+    hits
+}
+
+#[test]
+fn warmed_up_verification_does_not_allocate() {
+    let op = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.25));
+    let strings = corpus(0x0a11_0c5e, 60);
+    let cluster_ids: Vec<Vec<u8>> = strings.iter().map(|s| op.cluster_ids(s)).collect();
+    let prepared = op.prepare_query(&strings[0]);
+    let mut verifier = Verifier::new();
+
+    // Warm-up pass: the DP scratch grows to its high-water mark here.
+    let warm_hits = verify_all(&mut verifier, &op, &prepared, &strings, &cluster_ids);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let hits = verify_all(&mut verifier, &op, &prepared, &strings, &cluster_ids);
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(hits, warm_hits);
+    assert!(hits > 0, "corpus must produce some matches");
+    let counters = verifier.counters();
+    assert!(
+        counters.fast_accept > 0 && counters.fast_reject > 0 && counters.full_dp > 0,
+        "all three dispositions must be exercised: {counters:?}"
+    );
+    assert_eq!(
+        delta,
+        0,
+        "verified {} pairs with {delta} heap allocations after warm-up",
+        counters.total() / 2
+    );
+}

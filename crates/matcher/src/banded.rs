@@ -15,11 +15,50 @@
 
 use crate::cost::CostModel;
 
+/// Reusable DP rows for [`within_distance_scratch`].
+///
+/// The banded decision procedure needs two `f64` rows of length
+/// `|left| + 1`. Allocating them per call is measurable in the
+/// verification loops that dominate filter-then-verify search; a
+/// `DpScratch` owned by the caller (one per shard worker or query)
+/// amortizes the allocation to zero after warm-up.
+#[derive(Debug, Default)]
+pub struct DpScratch {
+    prev: Vec<f64>,
+    cur: Vec<f64>,
+}
+
+impl DpScratch {
+    /// An empty scratch; rows grow on first use and are then reused.
+    pub fn new() -> Self {
+        DpScratch::default()
+    }
+
+    /// Current row capacity in cells (diagnostic; capacity never shrinks).
+    pub fn capacity(&self) -> usize {
+        self.prev.capacity()
+    }
+}
+
 /// Decide `editdistance(left, right) <= k` under `model`, in
 /// O(k/min_indel · max(|left|,|right|)) time.
 ///
 /// `k` must be non-negative; a negative `k` never matches.
 pub fn within_distance<T, M: CostModel<T>>(left: &[T], right: &[T], k: f64, model: M) -> bool {
+    within_distance_scratch(left, right, k, model, &mut DpScratch::new())
+}
+
+/// [`within_distance`] with caller-owned DP rows: identical decision
+/// procedure (same code path, same float operations, hence bit-identical
+/// results), but zero heap allocations once `scratch` has grown to the
+/// longest `left` seen.
+pub fn within_distance_scratch<T, M: CostModel<T>>(
+    left: &[T],
+    right: &[T],
+    k: f64,
+    model: M,
+    scratch: &mut DpScratch,
+) -> bool {
     if k < 0.0 {
         return false;
     }
@@ -43,8 +82,12 @@ pub fn within_distance<T, M: CostModel<T>>(left: &[T], right: &[T], k: f64, mode
 
     // Column-rolling DP over `right` (columns j), rows are `left` (i).
     let inf = f64::INFINITY;
-    let mut prev = vec![inf; n + 1];
-    let mut cur = vec![inf; n + 1];
+    scratch.prev.clear();
+    scratch.prev.resize(n + 1, inf);
+    scratch.cur.clear();
+    scratch.cur.resize(n + 1, inf);
+    let mut prev = &mut scratch.prev;
+    let mut cur = &mut scratch.cur;
     prev[0] = 0.0;
     for i in 1..=n.min(band) {
         prev[i] = prev[i - 1] + model.del(&left[i - 1]);
@@ -145,6 +188,26 @@ mod tests {
                 0.25
             }
         }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        let words = ["kitten", "sitting", "", "a", "abcdefgh", "kitten"];
+        let mut scratch = DpScratch::new();
+        for a in words {
+            for b in words {
+                for k in [0.0, 0.5, 1.0, 2.5, 7.0] {
+                    let av = chars(a);
+                    let bv = chars(b);
+                    assert_eq!(
+                        within_distance_scratch(&av, &bv, k, UnitCost, &mut scratch),
+                        within_distance(&av, &bv, k, UnitCost),
+                        "a={a} b={b} k={k}"
+                    );
+                }
+            }
+        }
+        assert!(scratch.capacity() > "abcdefgh".len());
     }
 
     #[test]

@@ -116,6 +116,50 @@ impl<K, V, D: Fn(&K, &K) -> u32> BkTree<K, V, D> {
         out
     }
 
+    /// [`range`](Self::range) with an early-exit bounded metric.
+    ///
+    /// `bounded(a, b, bound)` must return `Some(d(a, b))` when
+    /// `d(a, b) <= bound` and `None` otherwise — e.g.
+    /// [`bounded_levenshtein`](crate::distance::bounded_levenshtein). Each
+    /// node is probed with `bound = k + max(child edge distance)`: a `None`
+    /// answer proves the node is not a hit *and* that no child edge lies in
+    /// the `[d − k, d + k]` window, so the whole subtree is pruned without
+    /// ever paying full-matrix cost. Results are identical to `range`.
+    pub fn range_bounded<B>(&self, query: &K, k: u32, bounded: B) -> Vec<(&K, &V, u32)>
+    where
+        B: Fn(&K, &K, u32) -> Option<u32>,
+    {
+        let mut out = Vec::new();
+        if self.nodes.is_empty() {
+            return out;
+        }
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            let node = &self.nodes[i];
+            // Children are sorted by edge distance; the last entry is the
+            // largest distance any probe window could need to cover.
+            let max_edge = node.children.last().map_or(0, |&(cd, _)| cd);
+            let Some(d) = bounded(&node.key, query, k.saturating_add(max_edge)) else {
+                // d > k + max_edge: not a hit, and d − k exceeds every
+                // child edge distance, so the window below is empty.
+                continue;
+            };
+            if d <= k {
+                for v in &node.values {
+                    out.push((&node.key, v, d));
+                }
+            }
+            let lo = d.saturating_sub(k);
+            let hi = d.saturating_add(k);
+            for &(cd, child) in &node.children {
+                if cd >= lo && cd <= hi {
+                    stack.push(child);
+                }
+            }
+        }
+        out
+    }
+
     /// Number of metric evaluations a `range` query would perform —
     /// exposes pruning effectiveness for the benchmark suite.
     pub fn probe_count(&self, query: &K, k: u32) -> usize {
@@ -191,6 +235,41 @@ mod tests {
         assert!(t.is_empty());
         assert!(t.range(&"x".to_owned(), 5).is_empty());
         assert_eq!(t.probe_count(&"x".to_owned(), 5), 0);
+    }
+
+    #[test]
+    fn range_bounded_matches_range() {
+        use crate::distance::bounded_levenshtein;
+        let words: Vec<String> = (0..120)
+            .map(|i| format!("entry{}{}", i % 11, "x".repeat(i % 7)))
+            .chain(["nehru", "neru", "nero", "gandhi"].map(str::to_owned))
+            .collect();
+        let mut t = BkTree::new(|a: &String, b: &String| levenshtein(a, b) as u32);
+        for (i, w) in words.iter().enumerate() {
+            t.insert(w.clone(), i);
+        }
+        let bounded = |a: &String, b: &String, bound: u32| {
+            let av: Vec<char> = a.chars().collect();
+            let bv: Vec<char> = b.chars().collect();
+            bounded_levenshtein(&av, &bv, bound)
+        };
+        for query in ["neru", "entry3xx", "absent", ""] {
+            for k in 0..4u32 {
+                let mut want: Vec<(usize, u32)> = t
+                    .range(&query.to_owned(), k)
+                    .into_iter()
+                    .map(|(_, &v, d)| (v, d))
+                    .collect();
+                let mut got: Vec<(usize, u32)> = t
+                    .range_bounded(&query.to_owned(), k, bounded)
+                    .into_iter()
+                    .map(|(_, &v, d)| (v, d))
+                    .collect();
+                want.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, want, "query={query} k={k}");
+            }
+        }
     }
 
     #[test]

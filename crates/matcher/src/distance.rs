@@ -79,9 +79,65 @@ pub fn edit_distance_matrix<T, M: CostModel<T>>(
 
 /// Convenience: Levenshtein distance over chars as an integer.
 pub fn levenshtein(a: &str, b: &str) -> usize {
+    // ASCII fast path: bytes and chars are in bijection, so the byte-level
+    // distance equals the char-level one without collecting either string.
+    if a.is_ascii() && b.is_ascii() {
+        return edit_distance(a.as_bytes(), b.as_bytes(), crate::cost::UnitCost) as usize;
+    }
     let av: Vec<char> = a.chars().collect();
     let bv: Vec<char> = b.chars().collect();
     edit_distance(&av, &bv, crate::cost::UnitCost) as usize
+}
+
+/// Unit-cost Levenshtein distance if it is ≤ `bound`, else `None` —
+/// Ukkonen's banded decision computed with integer arithmetic and an
+/// early exit, in O(bound · min(|a|,|b|)) time instead of O(|a|·|b|).
+///
+/// Metric indexes (the BK-tree range query) only consume distances up to
+/// a per-node bound; computing the full matrix per probed node wastes the
+/// triangle-inequality pruning this buys.
+pub fn bounded_levenshtein<T: PartialEq>(a: &[T], b: &[T], bound: u32) -> Option<u32> {
+    // Keep the shorter side as the row: unit costs are symmetric.
+    let (row, col) = if b.len() < a.len() { (b, a) } else { (a, b) };
+    let (n, m) = (row.len(), col.len());
+    if (m - n) as u64 > bound as u64 {
+        return None;
+    }
+    if n == 0 {
+        return Some(m as u32); // ≤ bound by the length check above
+    }
+    let band = bound as usize;
+    let inf = u32::MAX / 2;
+    let mut prev = vec![inf; n + 1];
+    let mut cur = vec![inf; n + 1];
+    prev[0] = 0;
+    for (i, p) in prev.iter_mut().enumerate().take(n.min(band) + 1).skip(1) {
+        *p = i as u32;
+    }
+    for j in 1..=m {
+        let lo = j.saturating_sub(band);
+        let hi = (j + band).min(n);
+        if lo > hi {
+            return None;
+        }
+        cur[lo.saturating_sub(1)..=hi].fill(inf);
+        if lo == 0 {
+            cur[0] = j as u32;
+        }
+        let mut row_min = if lo == 0 { cur[0] } else { inf };
+        let cj = &col[j - 1];
+        for i in lo.max(1)..=hi {
+            let sub = if row[i - 1] == *cj { 0 } else { 1 };
+            let best = (prev[i - 1] + sub).min(prev[i] + 1).min(cur[i - 1] + 1);
+            cur[i] = best;
+            row_min = row_min.min(best);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[n] <= bound).then_some(prev[n])
 }
 
 #[cfg(test)]
@@ -98,6 +154,36 @@ mod tests {
         assert_eq!(levenshtein("", "abc"), 3);
         assert_eq!(levenshtein("same", "same"), 0);
         assert_eq!(levenshtein("cathy", "kathy"), 1);
+    }
+
+    #[test]
+    fn non_ascii_still_counts_chars_not_bytes() {
+        // Multi-byte chars must be one edit each, same as before the
+        // ASCII byte fast path.
+        assert_eq!(levenshtein("réné", "rene"), 2);
+        assert_eq!(levenshtein("नेहरू", "नेहरू"), 0);
+        assert_eq!(levenshtein("नेहरू", ""), "नेहरू".chars().count());
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact_within_bound() {
+        let words = ["", "a", "kitten", "sitting", "kitchen", "abcdefgh"];
+        for a in words {
+            for b in words {
+                let av: Vec<char> = a.chars().collect();
+                let bv: Vec<char> = b.chars().collect();
+                let exact = levenshtein(a, b) as u32;
+                for bound in 0..10u32 {
+                    let got = bounded_levenshtein(&av, &bv, bound);
+                    if exact <= bound {
+                        assert_eq!(got, Some(exact), "a={a} b={b} bound={bound}");
+                    } else {
+                        assert_eq!(got, None, "a={a} b={b} bound={bound}");
+                    }
+                }
+            }
+        }
     }
 
     /// A deliberately asymmetric model to catch swapped ins/del accounting.

@@ -14,7 +14,11 @@
 //!   (Levenshtein) model.
 //! * [`distance`] — full-matrix and rolling two-row DP edit distance.
 //! * [`banded`] — a thresholded variant (`within_distance`) with Ukkonen-
-//!   style band pruning and early exit, the hot path of the UDF.
+//!   style band pruning and early exit, the hot path of the UDF; the
+//!   `_scratch` form reuses caller-owned DP rows for allocation-free
+//!   verification loops.
+//! * [`myers`] — Myers' bit-parallel Levenshtein over `u8` symbol ids,
+//!   used as an exact accept/reject screen around the clustered DP.
 //! * [`qgram`] — positional q-grams (Gravano et al., VLDB 2001) and the
 //!   Length / Count / Position filters used to pre-filter candidates.
 //! * [`soundex`](mod@soundex) — the classical Soundex code (Knuth), the pseudo-phonetic
@@ -29,15 +33,17 @@ pub mod bktree;
 pub mod cost;
 pub mod damerau;
 pub mod distance;
+pub mod myers;
 pub mod qgram;
 pub mod soundex;
 
 pub use alignment::{align, Alignment, EditOp};
-pub use banded::within_distance;
+pub use banded::{within_distance, within_distance_scratch, DpScratch};
 pub use bktree::BkTree;
 pub use cost::{CostModel, UnitCost};
 pub use damerau::damerau_distance;
-pub use distance::{edit_distance, edit_distance_matrix};
+pub use distance::{bounded_levenshtein, edit_distance, edit_distance_matrix};
+pub use myers::MyersPattern;
 pub use qgram::{
     count_filter_passes, length_filter_passes, matching_qgrams, positional_qgrams, Gram,
     PositionalQgram, QgramSymbol,

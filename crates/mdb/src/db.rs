@@ -53,6 +53,13 @@ impl Database {
         self.catalog.insert_row(table, row)
     }
 
+    /// Insert a batch of rows programmatically, amortizing the table and
+    /// index lookups over the whole batch; returns the number of rows
+    /// inserted. A bad row aborts the batch before anything is stored.
+    pub fn insert_many(&mut self, table: &str, rows: Vec<Row>) -> Result<usize, DbError> {
+        self.catalog.insert_rows(table, rows)
+    }
+
     /// Execute one SQL statement. DDL/DML return empty result sets.
     pub fn execute(&mut self, sql: &str) -> Result<ResultSet, DbError> {
         match parse(sql)? {

@@ -71,6 +71,35 @@ impl Table {
         Ok(self.rows.len() - 1)
     }
 
+    /// Insert a batch of rows, returning the contiguous row-id range
+    /// assigned. All rows are validated and coerced *before* any is
+    /// stored, so a bad row leaves the table unchanged; the per-row
+    /// arity/type bookkeeping is otherwise identical to
+    /// [`insert`](Self::insert) called in a loop.
+    pub fn insert_many(&mut self, rows: Vec<Row>) -> Result<std::ops::Range<RowId>, DbError> {
+        let mut coerced_rows = Vec::with_capacity(rows.len());
+        for row in rows {
+            if row.len() != self.schema.arity() {
+                return Err(DbError::SchemaMismatch(format!(
+                    "table {} expects {} columns, got {}",
+                    self.name,
+                    self.schema.arity(),
+                    row.len()
+                )));
+            }
+            let mut coerced = Vec::with_capacity(row.len());
+            for (v, col) in row.into_iter().zip(self.schema.columns()) {
+                coerced.push(v.coerce(col.ty)?);
+            }
+            coerced_rows.push(coerced);
+        }
+        let start = self.rows.len();
+        self.live += coerced_rows.len();
+        self.deleted.resize(start + coerced_rows.len(), false);
+        self.rows.extend(coerced_rows);
+        Ok(start..self.rows.len())
+    }
+
     /// Tombstone a row. Returns `false` if the id was out of range or the
     /// row was already deleted.
     pub fn delete(&mut self, rid: RowId) -> bool {

@@ -57,7 +57,7 @@ pub mod shard;
 
 pub use cache::TransformCache;
 pub use loadgen::{LoadgenConfig, LoadgenReport};
-pub use metrics::ServiceMetrics;
+pub use metrics::{ScreenTotals, ServiceMetrics};
 pub use server::serve;
 pub use service::{MatchOutcome, MatchRequest, MatchService, ServiceConfig, StatsSnapshot};
 pub use shard::{BuildSpec, ShardedStore};

@@ -8,7 +8,7 @@
 //! `2^i ≤ ns < 2^(i+1)` — which spans 1 ns to ~18 s in 35 buckets and
 //! needs no configuration.
 
-use lexequal::SearchMethod;
+use lexequal::{ScreenCounters, SearchMethod};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -121,6 +121,39 @@ pub struct PathMetrics {
     pub searches: AtomicU64,
     /// Fan-out + merge latency.
     pub latency: LatencyHistogram,
+}
+
+/// Verification-kernel screen counters aggregated across every shard
+/// worker. Each worker owns a long-lived `lexequal::Verifier` and flushes
+/// its per-search [`ScreenCounters`] here after answering, so a `STATS`
+/// snapshot shows how many verified pairs the bit-parallel screens
+/// disposed of without the full DP.
+#[derive(Debug, Default)]
+pub struct ScreenTotals {
+    /// Pairs accepted without the DP (equality or Myers fast-accept).
+    pub fast_accept: AtomicU64,
+    /// Pairs rejected without the DP (length filter or Myers fast-reject).
+    pub fast_reject: AtomicU64,
+    /// Pairs that ran the full banded DP.
+    pub full_dp: AtomicU64,
+}
+
+impl ScreenTotals {
+    /// Fold one worker's counters into the totals.
+    pub fn add(&self, c: &ScreenCounters) {
+        self.fast_accept.fetch_add(c.fast_accept, Ordering::Relaxed);
+        self.fast_reject.fetch_add(c.fast_reject, Ordering::Relaxed);
+        self.full_dp.fetch_add(c.full_dp, Ordering::Relaxed);
+    }
+
+    /// Current totals as a plain value.
+    pub fn snapshot(&self) -> ScreenCounters {
+        ScreenCounters {
+            fast_accept: self.fast_accept.load(Ordering::Relaxed),
+            fast_reject: self.fast_reject.load(Ordering::Relaxed),
+            full_dp: self.full_dp.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl ServiceMetrics {

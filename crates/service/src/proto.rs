@@ -246,7 +246,7 @@ pub fn format_outcome(out: &MatchOutcome) -> String {
 /// Render a stats snapshot as the single-line `STATS` response.
 pub fn format_stats(s: &StatsSnapshot) -> String {
     let mut line = format!(
-        "OK names={} shards={} requests={} matches={} noresource={} notbuilt={} badinput={} cache_hits={} cache_misses={}",
+        "OK names={} shards={} requests={} matches={} noresource={} notbuilt={} badinput={} cache_hits={} cache_misses={} screen_accept={} screen_reject={} screen_dp={}",
         s.names,
         s.shards,
         s.requests,
@@ -256,6 +256,9 @@ pub fn format_stats(s: &StatsSnapshot) -> String {
         s.bad_input,
         s.cache_hits,
         s.cache_misses,
+        s.screen_fast_accept,
+        s.screen_fast_reject,
+        s.screen_full_dp,
     );
     for m in ALL_METHODS {
         let pm = &s.per_method[method_index(m)];

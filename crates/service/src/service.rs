@@ -243,13 +243,77 @@ impl MatchService {
     }
 
     /// Serve a batch of lookups in request order.
+    ///
+    /// Degraded outcomes (`NoResource`, `NotBuilt`, `BadInput`) resolve
+    /// up front; the searchable remainder goes through
+    /// [`ShardedStore::search_phonemes_batch`], which enqueues every
+    /// item's per-shard fan-out before merging any of them, so shards
+    /// verify item `i + 1` while item `i`'s stragglers are still being
+    /// collected. Outcomes are identical to calling
+    /// [`lookup`](Self::lookup) per item; per-item latency is recorded as
+    /// the batch fan-out time amortized over the searched items.
     pub fn lookup_batch(&self, reqs: &[MatchRequest]) -> Vec<MatchOutcome> {
-        reqs.iter().map(|r| self.lookup(r)).collect()
+        let config = self.store.config();
+        let mut outcomes: Vec<Option<MatchOutcome>> = Vec::with_capacity(reqs.len());
+        let mut queries: Vec<(lexequal::PhonemeString, f64, SearchMethod)> = Vec::new();
+        let mut slots: Vec<usize> = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            if !config.registry.supports(req.language) {
+                self.metrics.no_resource.fetch_add(1, Ordering::Relaxed);
+                outcomes.push(Some(MatchOutcome::NoResource(req.language)));
+                continue;
+            }
+            let method = req.method.unwrap_or_else(|| self.default_method());
+            if !self.is_built(method) {
+                self.metrics.not_built.fetch_add(1, Ordering::Relaxed);
+                outcomes.push(Some(MatchOutcome::NotBuilt(method)));
+                continue;
+            }
+            let threshold = req.threshold.unwrap_or(config.threshold);
+            let query = match self
+                .cache
+                .get_or_try_insert_with(&req.text, req.language, || {
+                    config.registry.transform(&req.text, req.language)
+                }) {
+                Ok(q) => q,
+                Err(e) => {
+                    self.metrics.bad_input.fetch_add(1, Ordering::Relaxed);
+                    outcomes.push(Some(MatchOutcome::BadInput(format!("{e:?}"))));
+                    continue;
+                }
+            };
+            outcomes.push(None);
+            slots.push(i);
+            queries.push((query, threshold, method));
+        }
+        if !queries.is_empty() {
+            let start = Instant::now();
+            let results = self.store.search_phonemes_batch(&queries);
+            let amortized = start.elapsed() / queries.len() as u32;
+            for ((slot, (_, threshold, method)), result) in
+                slots.into_iter().zip(queries).zip(results)
+            {
+                self.metrics
+                    .record_search(method, amortized, result.ids.len());
+                outcomes[slot] = Some(MatchOutcome::Matches {
+                    method,
+                    threshold,
+                    ids: result.ids,
+                    verifications: result.verifications,
+                });
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every searched slot was filled"))
+            .collect()
     }
 
     /// A point-in-time snapshot of every counter (for `STATS`).
     pub fn stats(&self) -> StatsSnapshot {
         let (cache_hits, cache_misses) = self.cache.stats();
+        let screens = self.store.screen_totals();
         StatsSnapshot {
             names: self.store.len(),
             shards: self.store.shards(),
@@ -260,6 +324,9 @@ impl MatchService {
             bad_input: self.metrics.bad_input.load(Ordering::Relaxed),
             cache_hits,
             cache_misses,
+            screen_fast_accept: screens.fast_accept,
+            screen_fast_reject: screens.fast_reject,
+            screen_full_dp: screens.full_dp,
             per_method: crate::metrics::ALL_METHODS.map(|m| {
                 let pm = &self.metrics.per_method[method_index(m)];
                 MethodStats {
@@ -307,6 +374,12 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Transform-cache misses.
     pub cache_misses: u64,
+    /// Verified pairs the kernel accepted without the DP.
+    pub screen_fast_accept: u64,
+    /// Verified pairs the kernel rejected without the DP.
+    pub screen_fast_reject: u64,
+    /// Verified pairs that ran the full banded DP.
+    pub screen_full_dp: u64,
     /// Per-access-path counters.
     pub per_method: [MethodStats; 4],
 }
@@ -429,6 +502,55 @@ mod tests {
         assert_eq!(scan.searches, 3);
         assert!(scan.p50_upper_ns.is_some());
         assert!(st.matches_returned >= 3, "{}", st.matches_returned);
+    }
+
+    #[test]
+    fn batch_equals_per_item_lookups_including_degraded_outcomes() {
+        let a = service(3);
+        let b = service(3);
+        for s in [&a, &b] {
+            s.build(BuildSpec::Qgram {
+                q: 3,
+                mode: QgramMode::Strict,
+            });
+        }
+        let reqs = vec![
+            MatchRequest {
+                threshold: Some(0.45),
+                ..MatchRequest::new("Nehru", Language::English)
+            },
+            // Script/language mismatch → BadInput.
+            MatchRequest::new("नेहरु", Language::Tamil),
+            MatchRequest {
+                method: Some(SearchMethod::BkTree),
+                ..MatchRequest::new("Nero", Language::English)
+            },
+            MatchRequest::new("Gandhi", Language::English),
+        ];
+        let batched = a.lookup_batch(&reqs);
+        let singles: Vec<MatchOutcome> = reqs.iter().map(|r| b.lookup(r)).collect();
+        assert_eq!(batched, singles);
+        assert!(matches!(batched[1], MatchOutcome::BadInput(_)));
+        assert_eq!(batched[2], MatchOutcome::NotBuilt(SearchMethod::BkTree));
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!(sa.requests, sb.requests);
+        assert_eq!(sa.bad_input, 1);
+        assert_eq!(sa.not_built, 1);
+        assert_eq!(sa.matches_returned, sb.matches_returned);
+    }
+
+    #[test]
+    fn screen_counters_surface_in_stats() {
+        let s = service(2);
+        s.lookup(&MatchRequest {
+            threshold: Some(0.45),
+            ..MatchRequest::new("Nehru", Language::English)
+        });
+        let st = s.stats();
+        let screened = st.screen_fast_accept + st.screen_fast_reject + st.screen_full_dp;
+        // A scan verifies every stored name exactly once.
+        assert_eq!(screened, st.names as u64);
+        assert!(st.screen_fast_reject > 0, "{st:?}");
     }
 
     #[test]

@@ -15,13 +15,15 @@
 //! shards. Bulk loads parallelize the expensive G2P transform across
 //! scoped threads before striping the finished entries.
 
+use crate::metrics::ScreenTotals;
 use lexequal::store::{NameEntry, SearchResult};
 use lexequal::{
-    G2pError, Language, MatchConfig, NameStore, PhonemeString, QgramMode, SearchMethod,
+    G2pError, Language, MatchConfig, NameStore, PhonemeString, QgramMode, ScreenCounters,
+    SearchMethod, Verifier,
 };
 use std::ops::Range;
-use std::sync::mpsc::{channel, Sender};
-use std::sync::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Which access path to construct on every shard.
@@ -68,7 +70,11 @@ enum Cmd {
     },
 }
 
-fn worker(mut store: NameStore, rx: std::sync::mpsc::Receiver<Cmd>) {
+fn worker(mut store: NameStore, rx: Receiver<Cmd>, screens: Arc<ScreenTotals>) {
+    // One long-lived verification kernel per worker: its DP scratch grows
+    // to the longest candidate once and every later verification on this
+    // shard is allocation-free.
+    let mut verifier = Verifier::new();
     for cmd in rx {
         match cmd {
             Cmd::Extend { entries, reply } => {
@@ -91,7 +97,9 @@ fn worker(mut store: NameStore, rx: std::sync::mpsc::Receiver<Cmd>) {
                 shard,
                 reply,
             } => {
-                let _ = reply.send((shard, store.search_phonemes(&query, e, method)));
+                let result = store.search_phonemes_with(&query, e, method, &mut verifier);
+                screens.add(&verifier.take_counters());
+                let _ = reply.send((shard, result));
             }
             Cmd::Get { local, reply } => {
                 let _ = reply.send(store.get(local).cloned());
@@ -108,6 +116,8 @@ pub struct ShardedStore {
     /// Serializes global-id assignment so the round-robin stripe stays
     /// aligned with each shard's local insertion order.
     grow: Mutex<u32>,
+    /// Kernel screen counters, flushed by every worker after each search.
+    screens: Arc<ScreenTotals>,
 }
 
 impl ShardedStore {
@@ -118,15 +128,17 @@ impl ShardedStore {
     /// Panics if `shards` is zero.
     pub fn new(config: MatchConfig, shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
+        let screens = Arc::new(ScreenTotals::default());
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
             let (tx, rx) = channel();
             let store = NameStore::new(config.clone());
+            let screens = Arc::clone(&screens);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("lexequal-shard-{i}"))
-                    .spawn(move || worker(store, rx))
+                    .spawn(move || worker(store, rx, screens))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -136,7 +148,13 @@ impl ShardedStore {
             senders,
             handles,
             grow: Mutex::new(0),
+            screens,
         }
+    }
+
+    /// Aggregated verification-kernel screen counters across all workers.
+    pub fn screen_totals(&self) -> ScreenCounters {
+        self.screens.snapshot()
     }
 
     /// Number of shards.
@@ -262,7 +280,38 @@ impl ShardedStore {
     /// Panics (on the worker thread) if the access path was not built;
     /// see [`crate::MatchService`] for the graceful front-end.
     pub fn search_phonemes(&self, q: &PhonemeString, e: f64, method: SearchMethod) -> SearchResult {
-        let n = self.shards();
+        let rx = self.fan_out(q, e, method);
+        merge_replies(rx, self.shards())
+    }
+
+    /// Fan a batch of pre-transformed queries out over the shards,
+    /// pipelined: every item's per-shard commands are enqueued before any
+    /// merge starts, so shard `s` verifies item `i + 1` while the
+    /// coordinator is still collecting item `i`'s replies from slower
+    /// shards. Results come back in item order; each is identical to a
+    /// standalone [`search_phonemes`](Self::search_phonemes) call.
+    pub fn search_phonemes_batch(
+        &self,
+        queries: &[(PhonemeString, f64, SearchMethod)],
+    ) -> Vec<SearchResult> {
+        let receivers: Vec<_> = queries
+            .iter()
+            .map(|(q, e, method)| self.fan_out(q, *e, *method))
+            .collect();
+        receivers
+            .into_iter()
+            .map(|rx| merge_replies(rx, self.shards()))
+            .collect()
+    }
+
+    /// Enqueue one query on every shard; replies arrive on the returned
+    /// channel tagged with their shard index.
+    fn fan_out(
+        &self,
+        q: &PhonemeString,
+        e: f64,
+        method: SearchMethod,
+    ) -> Receiver<(usize, SearchResult)> {
         let (tx, rx) = channel();
         for (shard, s) in self.senders.iter().enumerate() {
             s.send(Cmd::Search {
@@ -274,27 +323,35 @@ impl ShardedStore {
             })
             .expect("shard worker alive");
         }
-        drop(tx);
-        let mut ids = Vec::new();
-        let mut verifications = 0usize;
-        let mut replies = 0usize;
-        for (shard, result) in rx {
-            replies += 1;
-            verifications += result.verifications;
-            ids.extend(
-                result
-                    .ids
-                    .iter()
-                    .map(|local| local * n as u32 + shard as u32),
-            );
-        }
-        // A worker that died (e.g. searching an unbuilt access path)
-        // hangs up instead of replying; a partial merge must never be
-        // passed off as a complete result.
-        assert_eq!(replies, n, "a shard worker died mid-search");
-        ids.sort_unstable();
-        SearchResult { ids, verifications }
+        rx
     }
+}
+
+/// Collect one reply per shard and merge: local ids remap to global ids,
+/// verification counts sum, ids sort ascending.
+fn merge_replies(rx: Receiver<(usize, SearchResult)>, n: usize) -> SearchResult {
+    let mut ids = Vec::new();
+    let mut verifications = 0usize;
+    let mut replies = 0usize;
+    for (shard, result) in rx {
+        replies += 1;
+        verifications += result.verifications;
+        ids.extend(
+            result
+                .ids
+                .iter()
+                .map(|local| local * n as u32 + shard as u32),
+        );
+        if replies == n {
+            break;
+        }
+    }
+    // A worker that died (e.g. searching an unbuilt access path) hangs up
+    // instead of replying; a partial merge must never be passed off as a
+    // complete result.
+    assert_eq!(replies, n, "a shard worker died mid-search");
+    ids.sort_unstable();
+    SearchResult { ids, verifications }
 }
 
 impl Drop for ShardedStore {

@@ -19,4 +19,10 @@ cargo build --workspace --release --offline
 echo "== cargo test"
 cargo test --workspace --offline -q
 
+echo "== cargo bench --no-run"
+# Compile-checks the bench harnesses. The criterion micro-benchmarks are
+# behind required-features = ["criterion-benches"], so without the
+# restored criterion dependency this covers the bench *binaries* only.
+cargo bench --workspace --offline --no-run
+
 echo "ci: all green"

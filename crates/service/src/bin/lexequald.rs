@@ -2,17 +2,22 @@
 //!
 //! ```text
 //! lexequald [--addr HOST:PORT] [--shards N] [--cache N] [--threshold E] [--preload N]
+//!           [--mode evented|threaded] [--workers N] [--max-pipeline N]
+//!           [--max-line BYTES] [--queue N]
 //! ```
 //!
 //! Binds a TCP listener and serves the line protocol documented in
-//! `lexequal_service::proto` (ADD, BUILD, MATCH, BATCH, STATS, QUIT),
-//! one thread per connection. `--preload N` bulk-loads ≈N synthetic
-//! names (paper §5 dataset) and builds all access paths before
-//! accepting connections, so a benchmark client can start matching
-//! immediately.
+//! `lexequal_service::proto` (ADD, BUILD, MATCH, BATCH, STATS, QUIT).
+//! The default `--mode evented` runs a single epoll readiness loop with
+//! a fixed pool of `--workers` verify threads and supports up to
+//! `--max-pipeline` in-flight requests per connection; `--mode
+//! threaded` is the legacy one-thread-per-connection path. `--preload
+//! N` bulk-loads ≈N synthetic names (paper §5 dataset) and builds all
+//! access paths before accepting connections, so a benchmark client can
+//! start matching immediately.
 
 use lexequal::MatchConfig;
-use lexequal_service::{MatchService, ServiceConfig};
+use lexequal_service::{MatchService, ServeMode, ServeOptions, ServiceConfig, ShutdownSignal};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -23,6 +28,8 @@ struct Args {
     cache: usize,
     threshold: Option<f64>,
     preload: usize,
+    mode: ServeMode,
+    serve: ServeOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -34,6 +41,8 @@ fn parse_args() -> Result<Args, String> {
         cache: 4096,
         threshold: None,
         preload: 0,
+        mode: ServeMode::Evented,
+        serve: ServeOptions::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,10 +76,44 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--preload: expected an integer".to_owned())?;
             }
+            "--mode" => args.mode = value("--mode")?.parse()?,
+            "--workers" => {
+                args.serve.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers: expected a positive integer".to_owned())?;
+                if args.serve.workers == 0 {
+                    return Err("--workers must be positive".to_owned());
+                }
+            }
+            "--max-pipeline" => {
+                args.serve.max_pipeline = value("--max-pipeline")?
+                    .parse()
+                    .map_err(|_| "--max-pipeline: expected a positive integer".to_owned())?;
+                if args.serve.max_pipeline == 0 {
+                    return Err("--max-pipeline must be positive".to_owned());
+                }
+            }
+            "--max-line" => {
+                args.serve.max_line = value("--max-line")?
+                    .parse()
+                    .map_err(|_| "--max-line: expected a byte count".to_owned())?;
+                if args.serve.max_line < 16 {
+                    return Err("--max-line must be at least 16 bytes".to_owned());
+                }
+            }
+            "--queue" => {
+                args.serve.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue: expected a positive integer".to_owned())?;
+                if args.serve.queue_capacity == 0 {
+                    return Err("--queue must be positive".to_owned());
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: lexequald [--addr HOST:PORT] [--shards N] [--cache N] \
-                     [--threshold E] [--preload N]"
+                     [--threshold E] [--preload N] [--mode evented|threaded] [--workers N] \
+                     [--max-pipeline N] [--max-line BYTES] [--queue N]"
                 );
                 std::process::exit(0);
             }
@@ -115,11 +158,21 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "lexequald: serving on {} with {} shard(s)",
+        "lexequald: serving on {} with {} shard(s), mode={} workers={} max-pipeline={}",
         listener.local_addr().map_or(args.addr, |a| a.to_string()),
-        args.shards
+        args.shards,
+        args.mode.name(),
+        args.serve.workers,
+        args.serve.max_pipeline,
     );
-    match lexequal_service::serve(listener, service) {
+    let shutdown = match ShutdownSignal::new() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lexequald: cannot create shutdown signal: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lexequal_service::serve_with(args.mode, listener, service, args.serve, shutdown) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("lexequald: listener failed: {e}");

@@ -3,16 +3,28 @@
 //! ```text
 //! loadgen [--size N] [--clients N] [--ops N] [--shards 1,2,4] [--method M]
 //!         [--threshold E] [--pool N] [--out PATH]
+//! loadgen --net [--connections 64,256,1024] [--pipeline N] [--conn-ops N]
+//!         [--client-threads N] [--mode both|threaded|evented] [--workers N]
+//!         [--net-out PATH]
 //! ```
 //!
-//! Loads the paper §5 synthetic lexicon into a fresh service per shard
-//! count, drives it from concurrent client threads, and writes per-run
-//! throughput and exact latency quantiles to a JSON report (default
-//! `results/service_bench.json`). The report records the host's
-//! `available_parallelism`: shard scaling cannot exceed it.
+//! Default mode loads the paper §5 synthetic lexicon into a fresh
+//! in-process service per shard count, drives it from concurrent client
+//! threads, and writes per-run throughput and exact latency quantiles
+//! to a JSON report (default `results/service_bench.json`). The report
+//! records the host's `available_parallelism`: shard scaling cannot
+//! exceed it.
+//!
+//! `--net` instead benchmarks the serving paths over real sockets: one
+//! fresh `lexequald` listener per (serve mode × connection count),
+//! driven with `--pipeline`-deep windows on every connection (default
+//! `results/evented_bench.json`).
 
 use lexequal::SearchMethod;
-use lexequal_service::loadgen::{run, write_json, LoadgenConfig};
+use lexequal_service::loadgen::{
+    run, run_net, write_json, write_net_json, LoadgenConfig, NetConfig,
+};
+use lexequal_service::ServeMode;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -26,17 +38,76 @@ fn parse_method(s: &str) -> Result<SearchMethod, String> {
     }
 }
 
-fn parse_args() -> Result<(LoadgenConfig, PathBuf), String> {
+enum Parsed {
+    InProcess(LoadgenConfig, PathBuf),
+    Net(NetConfig, PathBuf),
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut config = LoadgenConfig::default();
+    let mut net = NetConfig::default();
+    let mut net_mode = false;
     let mut out = PathBuf::from("results/service_bench.json");
+    let mut net_out = PathBuf::from("results/evented_bench.json");
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
+            "--net" => net_mode = true,
+            "--connections" => {
+                net.connections = value("--connections")?
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("--connections: bad count {t:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if net.connections.is_empty() || net.connections.contains(&0) {
+                    return Err("--connections: counts must be positive".to_owned());
+                }
+            }
+            "--pipeline" => {
+                net.pipeline = value("--pipeline")?
+                    .parse()
+                    .map_err(|_| "--pipeline: expected a positive integer".to_owned())?;
+                if net.pipeline == 0 {
+                    return Err("--pipeline must be positive".to_owned());
+                }
+            }
+            "--conn-ops" => {
+                net.ops_per_conn = value("--conn-ops")?
+                    .parse()
+                    .map_err(|_| "--conn-ops: expected an integer".to_owned())?;
+            }
+            "--client-threads" => {
+                net.client_threads = value("--client-threads")?
+                    .parse()
+                    .map_err(|_| "--client-threads: expected a positive integer".to_owned())?;
+                if net.client_threads == 0 {
+                    return Err("--client-threads must be positive".to_owned());
+                }
+            }
+            "--mode" => {
+                net.modes = match value("--mode")?.to_ascii_lowercase().as_str() {
+                    "both" => vec![ServeMode::Threaded, ServeMode::Evented],
+                    one => vec![one.parse::<ServeMode>()?],
+                };
+            }
+            "--workers" => {
+                net.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers: expected a positive integer".to_owned())?;
+                if net.workers == 0 {
+                    return Err("--workers must be positive".to_owned());
+                }
+            }
+            "--net-out" => net_out = PathBuf::from(value("--net-out")?),
             "--size" => {
                 config.dataset_size = value("--size")?
                     .parse()
                     .map_err(|_| "--size: expected an integer".to_owned())?;
+                net.dataset_size = config.dataset_size;
             }
             "--clients" => {
                 config.clients = value("--clients")?
@@ -61,39 +132,44 @@ fn parse_args() -> Result<(LoadgenConfig, PathBuf), String> {
                     return Err("--shards: counts must be positive".to_owned());
                 }
             }
-            "--method" => config.method = parse_method(&value("--method")?)?,
+            "--method" => {
+                config.method = parse_method(&value("--method")?)?;
+                net.method = config.method;
+            }
             "--threshold" => {
                 config.threshold = value("--threshold")?
                     .parse()
                     .map_err(|_| "--threshold: expected a number".to_owned())?;
+                net.threshold = config.threshold;
             }
             "--pool" => {
                 config.query_pool = value("--pool")?
                     .parse()
                     .map_err(|_| "--pool: expected an integer".to_owned())?;
+                net.query_pool = config.query_pool;
             }
             "--out" => out = PathBuf::from(value("--out")?),
             "--help" | "-h" => {
                 println!(
                     "usage: loadgen [--size N] [--clients N] [--ops N] [--shards 1,2,4] \
-                     [--method scan|qgram|phonidx|bktree] [--threshold E] [--pool N] [--out PATH]"
+                     [--method scan|qgram|phonidx|bktree] [--threshold E] [--pool N] [--out PATH]\n\
+                     \x20      loadgen --net [--connections 64,256,1024] [--pipeline N] \
+                     [--conn-ops N] [--client-threads N] [--mode both|threaded|evented] \
+                     [--workers N] [--net-out PATH]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok((config, out))
+    Ok(if net_mode {
+        Parsed::Net(net, net_out)
+    } else {
+        Parsed::InProcess(config, out)
+    })
 }
 
-fn main() -> ExitCode {
-    let (config, out) = match parse_args() {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("loadgen: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn main_in_process(config: LoadgenConfig, out: PathBuf) -> ExitCode {
     eprintln!(
         "loadgen: ~{} names, {} clients x {} ops, shards {:?}, method {:?}",
         config.dataset_size,
@@ -120,4 +196,48 @@ fn main() -> ExitCode {
     }
     eprintln!("loadgen: wrote {}", out.display());
     ExitCode::SUCCESS
+}
+
+fn main_net(config: NetConfig, out: PathBuf) -> ExitCode {
+    eprintln!(
+        "loadgen: net bench, ~{} names, {:?} connections x {} ops (pipeline {}), {} client threads",
+        config.dataset_size,
+        config.connections,
+        config.ops_per_conn,
+        config.pipeline,
+        config.client_threads,
+    );
+    let report = run_net(&config);
+    for r in &report.runs {
+        println!(
+            "mode={:<8} conns={:<5} throughput={:>10.1} ops/s  p50={:>8.1}us  p95={:>8.1}us  \
+             p99={:>8.1}us  conns_peak={} pipeline_max={} queue_peak={}",
+            r.mode.name(),
+            r.connections,
+            r.throughput,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.conns_peak,
+            r.pipeline_max,
+            r.queue_peak,
+        );
+    }
+    if let Err(e) = write_net_json(&report, &out) {
+        eprintln!("loadgen: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("loadgen: wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(Parsed::InProcess(config, out)) => main_in_process(config, out),
+        Ok(Parsed::Net(config, out)) => main_net(config, out),
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -23,10 +23,16 @@
 //!   request-level API; per-request threshold/method overrides and
 //!   graceful degraded outcomes (`NoResource`, `NotBuilt`, `BadInput`)
 //!   instead of errors.
-//! * [`proto`] / [`server`] — the `lexequald` wire protocol and
-//!   thread-per-connection TCP serving loop.
-//! * [`loadgen`] — the shard-scaling load generator behind the
-//!   `loadgen` binary and `results/service_bench.json`.
+//! * [`proto`] / [`server`] — the `lexequald` wire protocol (with
+//!   incremental line framing) and the two serving paths: the default
+//!   epoll-based evented loop ([`event_loop`], pipelined connections,
+//!   fixed verify worker pool) and the legacy thread-per-connection
+//!   loop, both stoppable via [`ShutdownSignal`].
+//! * [`event_loop`] / [`conn`] — the evented path's readiness loop,
+//!   per-connection state machines and backpressure rules.
+//! * [`loadgen`] — the load generator behind the `loadgen` binary:
+//!   in-process shard scaling (`results/service_bench.json`) and
+//!   socket-level serving-mode comparison (`results/evented_bench.json`).
 //!
 //! ## Example
 //!
@@ -48,6 +54,8 @@
 //! ```
 
 pub mod cache;
+pub(crate) mod conn;
+pub mod event_loop;
 pub mod loadgen;
 pub mod metrics;
 pub mod proto;
@@ -56,8 +64,12 @@ pub mod service;
 pub mod shard;
 
 pub use cache::TransformCache;
+pub use event_loop::{serve_evented, ShutdownSignal};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
-pub use metrics::{ScreenTotals, ServiceMetrics};
-pub use server::serve;
-pub use service::{MatchOutcome, MatchRequest, MatchService, ServiceConfig, StatsSnapshot};
-pub use shard::{BuildSpec, ShardedStore};
+pub use metrics::{ConnMetrics, ConnStats, ScreenTotals, ServiceMetrics};
+pub use proto::{FrameError, LineFramer};
+pub use server::{serve, serve_threaded, serve_with, ServeMode, ServeOptions};
+pub use service::{
+    MatchOutcome, MatchRequest, MatchService, PendingLookup, ServiceConfig, StatsSnapshot,
+};
+pub use shard::{BuildSpec, PendingSearch, ShardedStore};

@@ -13,13 +13,23 @@
 //! physically bounded by it: on a 1-CPU host the 4-shard and 1-shard
 //! configurations time-slice the same core and throughput stays flat —
 //! the numbers only spread on real multicore hardware.
+//!
+//! [`run_net`] is the socket-level companion: it stands up a real
+//! `lexequald` listener per (serve mode × connection count) cell and
+//! drives it with pipelined windows over many concurrent TCP
+//! connections, producing `results/evented_bench.json` — the
+//! evented-vs-threaded serving comparison.
 
+use crate::event_loop::ShutdownSignal;
+use crate::server::{serve_with, ServeMode, ServeOptions};
 use crate::service::{MatchOutcome, MatchRequest, MatchService, ServiceConfig};
 use crate::shard::BuildSpec;
 use lexequal::store::NameEntry;
 use lexequal::{MatchConfig, QgramMode, SearchMethod};
 use lexequal_lexicon::{Corpus, SyntheticDataset};
 use lexequal_mdb::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -280,6 +290,341 @@ pub fn write_json(report: &LoadgenReport, path: &std::path::Path) -> std::io::Re
     std::fs::write(path, to_json(report).render())
 }
 
+// ---------------------------------------------------------------------------
+// Socket-level serving-mode comparison (`--net`)
+// ---------------------------------------------------------------------------
+
+/// What the socket-level bench measures.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Target synthetic lexicon size.
+    pub dataset_size: usize,
+    /// Concurrent TCP connection counts to compare.
+    pub connections: Vec<usize>,
+    /// Requests pipelined per window on each connection.
+    pub pipeline: usize,
+    /// Total requests each connection sends (rounded down to whole
+    /// windows).
+    pub ops_per_conn: usize,
+    /// Client threads multiplexing the connections.
+    pub client_threads: usize,
+    /// Serve modes to compare.
+    pub modes: Vec<ServeMode>,
+    /// Verify workers for the evented mode.
+    pub workers: usize,
+    /// Access path under test.
+    pub method: SearchMethod,
+    /// Match threshold for every lookup.
+    pub threshold: f64,
+    /// Number of distinct hot queries in the shared pool.
+    pub query_pool: usize,
+    /// Transform-cache capacity.
+    pub cache_capacity: usize,
+    /// Store shards.
+    pub shards: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            dataset_size: 20_000,
+            connections: vec![64, 256, 1024],
+            pipeline: 8,
+            ops_per_conn: 32,
+            client_threads: 4,
+            modes: vec![ServeMode::Threaded, ServeMode::Evented],
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            method: SearchMethod::PhoneticIndex,
+            threshold: 0.35,
+            query_pool: 64,
+            cache_capacity: 4096,
+            shards: 2,
+        }
+    }
+}
+
+/// One (mode × connection count) cell of the socket bench.
+#[derive(Debug, Clone)]
+pub struct NetRun {
+    /// Serve mode measured.
+    pub mode: ServeMode,
+    /// Concurrent connections driven.
+    pub connections: usize,
+    /// Pipeline window depth per connection.
+    pub pipeline: usize,
+    /// Total MATCH requests completed.
+    pub total_ops: usize,
+    /// Wall-clock seconds for the measurement window (connect + drive).
+    pub elapsed_secs: f64,
+    /// Requests per second.
+    pub throughput: f64,
+    /// Median per-request latency, microseconds. Measured per pipelined
+    /// window round-trip and divided by the window depth, so it is an
+    /// amortized figure, not a single-request RTT.
+    pub p50_us: f64,
+    /// 95th percentile (same amortized basis).
+    pub p95_us: f64,
+    /// 99th percentile (same amortized basis).
+    pub p99_us: f64,
+    /// Server-reported peak concurrent connections (`STATS`).
+    pub conns_peak: u64,
+    /// Server-reported per-connection max pipeline depth (`STATS`).
+    pub pipeline_max: u64,
+    /// Server-reported verify-queue depth peak (`STATS`, evented only).
+    pub queue_peak: u64,
+}
+
+/// The full socket-bench report.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Actual number of names loaded into each server.
+    pub dataset_size: usize,
+    /// Host `available_parallelism` — everything below time-slices it.
+    pub available_parallelism: usize,
+    /// Client threads multiplexing the sockets.
+    pub client_threads: usize,
+    /// Access path measured.
+    pub method: SearchMethod,
+    /// One entry per (mode × connection count), modes outermost.
+    pub runs: Vec<NetRun>,
+}
+
+/// Pull a `key=value` integer out of a STATS line.
+fn stat_u64(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Drive one (mode × connection count) cell against a fresh server.
+pub fn run_net_one(
+    config: &NetConfig,
+    mode: ServeMode,
+    conns: usize,
+    dataset: &[NameEntry],
+) -> NetRun {
+    let service = Arc::new(MatchService::new(ServiceConfig {
+        match_config: MatchConfig::default(),
+        shards: config.shards,
+        cache_capacity: config.cache_capacity,
+    }));
+    service.extend_transformed(dataset.to_vec());
+    match config.method {
+        SearchMethod::Scan => {}
+        SearchMethod::Qgram => service.build(BuildSpec::Qgram {
+            q: 3,
+            mode: QgramMode::Strict,
+        }),
+        SearchMethod::PhoneticIndex => service.build(BuildSpec::PhoneticIndex),
+        SearchMethod::BkTree => service.build(BuildSpec::BkTree),
+    }
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind bench listener");
+    let addr = listener.local_addr().expect("listener addr");
+    let shutdown = ShutdownSignal::new().expect("shutdown signal");
+    let opts = ServeOptions {
+        workers: config.workers,
+        // Leave the window wider than the client's so server-side
+        // backpressure never throttles the measurement itself.
+        max_pipeline: (2 * config.pipeline).max(16),
+        ..ServeOptions::default()
+    };
+    let server = {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || serve_with(mode, listener, service, opts, shutdown))
+    };
+
+    // Pre-render the request lines clients cycle through.
+    let stride = (dataset.len() / config.query_pool.max(1)).max(1);
+    let method = crate::metrics::method_name(config.method);
+    let pool: Vec<String> = dataset
+        .iter()
+        .step_by(stride)
+        .take(config.query_pool.max(1))
+        .map(|e| {
+            format!(
+                "MATCH {} {} {} {}\n",
+                e.language, method, config.threshold, e.text
+            )
+        })
+        .collect();
+
+    let windows = (config.ops_per_conn / config.pipeline).max(1);
+    let threads = config.client_threads.max(1);
+    let start = Instant::now();
+    let mut window_ns: Vec<u64> = Vec::with_capacity(conns * windows);
+    let mut total_ops = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let pool = &pool;
+                scope.spawn(move || {
+                    let my_conns = (t..conns).step_by(threads).count();
+                    let mut socks = Vec::with_capacity(my_conns);
+                    for _ in 0..my_conns {
+                        let stream = TcpStream::connect(addr).expect("connect bench conn");
+                        stream.set_nodelay(true).expect("nodelay");
+                        let reader = BufReader::new(stream.try_clone().expect("clone"));
+                        socks.push((stream, reader));
+                    }
+                    let mut ns = Vec::with_capacity(my_conns * windows);
+                    let mut ops = 0usize;
+                    let mut line = String::new();
+                    for w in 0..windows {
+                        // Lock-step: write every connection's window, then
+                        // collect every connection's responses. While one
+                        // socket waits the server is busy with the others,
+                        // so all `conns` stay concurrently in flight.
+                        let mut starts = Vec::with_capacity(socks.len());
+                        for (i, (stream, _)) in socks.iter_mut().enumerate() {
+                            let mut batch = String::new();
+                            for k in 0..config.pipeline {
+                                batch.push_str(&pool[(t + i + w + k) % pool.len()]);
+                            }
+                            starts.push(Instant::now());
+                            stream.write_all(batch.as_bytes()).expect("write window");
+                        }
+                        for (i, (_, reader)) in socks.iter_mut().enumerate() {
+                            for _ in 0..config.pipeline {
+                                line.clear();
+                                reader.read_line(&mut line).expect("read response");
+                                assert!(
+                                    line.starts_with("OK ") || line.starts_with("NO"),
+                                    "bench got {line:?}"
+                                );
+                                ops += 1;
+                            }
+                            ns.push(starts[i].elapsed().as_nanos() as u64);
+                        }
+                    }
+                    (ns, ops)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (ns, ops) = h.join().expect("bench client thread");
+            window_ns.extend(ns);
+            total_ops += ops;
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    // Scrape the server's own gauges before shutting it down.
+    let stats_line = {
+        let stream = TcpStream::connect(addr).expect("connect stats conn");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut s = stream;
+        s.write_all(b"STATS\nQUIT\n").expect("write stats");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read stats");
+        line
+    };
+    shutdown.trigger();
+    server.join().expect("server thread").expect("serve loop");
+
+    window_ns.sort_unstable();
+    let per_op = |p: f64| percentile_us(&window_ns, p) / config.pipeline as f64;
+    NetRun {
+        mode,
+        connections: conns,
+        pipeline: config.pipeline,
+        total_ops,
+        elapsed_secs: elapsed,
+        throughput: total_ops as f64 / elapsed.max(f64::EPSILON),
+        p50_us: per_op(0.50),
+        p95_us: per_op(0.95),
+        p99_us: per_op(0.99),
+        conns_peak: stat_u64(&stats_line, "conns_peak"),
+        pipeline_max: stat_u64(&stats_line, "pipeline_max"),
+        queue_peak: stat_u64(&stats_line, "queue_peak"),
+    }
+}
+
+/// Run the whole serving-mode comparison.
+pub fn run_net(config: &NetConfig) -> NetReport {
+    let dataset = build_dataset(&MatchConfig::default(), config.dataset_size);
+    let mut runs = Vec::new();
+    for &mode in &config.modes {
+        for &conns in &config.connections {
+            eprintln!("loadgen: net {} x {conns} connections...", mode.name());
+            runs.push(run_net_one(config, mode, conns, &dataset));
+        }
+    }
+    NetReport {
+        dataset_size: dataset.len(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        client_threads: config.client_threads,
+        method: config.method,
+        runs,
+    }
+}
+
+/// Render the socket-bench report as JSON.
+pub fn net_to_json(report: &NetReport) -> Json {
+    Json::Obj(vec![
+        (
+            "dataset_size".to_owned(),
+            Json::Int(report.dataset_size as i64),
+        ),
+        (
+            "available_parallelism".to_owned(),
+            Json::Int(report.available_parallelism as i64),
+        ),
+        (
+            "client_threads".to_owned(),
+            Json::Int(report.client_threads as i64),
+        ),
+        (
+            "method".to_owned(),
+            Json::Str(crate::metrics::method_name(report.method).to_owned()),
+        ),
+        (
+            "latency_note".to_owned(),
+            Json::Str(
+                "latencies are window round-trips divided by pipeline depth (amortized)".to_owned(),
+            ),
+        ),
+        (
+            "runs".to_owned(),
+            Json::Arr(
+                report
+                    .runs
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("mode".to_owned(), Json::Str(r.mode.name().to_owned())),
+                            ("connections".to_owned(), Json::Int(r.connections as i64)),
+                            ("pipeline".to_owned(), Json::Int(r.pipeline as i64)),
+                            ("total_ops".to_owned(), Json::Int(r.total_ops as i64)),
+                            ("elapsed_secs".to_owned(), Json::Float(r.elapsed_secs)),
+                            ("throughput".to_owned(), Json::Float(r.throughput)),
+                            ("p50_us".to_owned(), Json::Float(r.p50_us)),
+                            ("p95_us".to_owned(), Json::Float(r.p95_us)),
+                            ("p99_us".to_owned(), Json::Float(r.p99_us)),
+                            ("conns_peak".to_owned(), Json::Int(r.conns_peak as i64)),
+                            ("pipeline_max".to_owned(), Json::Int(r.pipeline_max as i64)),
+                            ("queue_peak".to_owned(), Json::Int(r.queue_peak as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Write the socket-bench report to `path` as JSON.
+pub fn write_net_json(report: &NetReport, path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, net_to_json(report).render())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +654,39 @@ mod tests {
             assert!(r.matches_returned > 0);
         }
         let json = to_json(&report).render();
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("runs").and_then(Json::as_arr).map(|a| a.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn a_tiny_net_run_covers_both_modes() {
+        let config = NetConfig {
+            dataset_size: 300,
+            connections: vec![8],
+            pipeline: 4,
+            ops_per_conn: 8,
+            client_threads: 2,
+            modes: vec![ServeMode::Threaded, ServeMode::Evented],
+            workers: 2,
+            query_pool: 8,
+            ..NetConfig::default()
+        };
+        let report = run_net(&config);
+        assert_eq!(report.runs.len(), 2);
+        for r in &report.runs {
+            assert_eq!(r.total_ops, 8 * 8, "{:?}", r.mode);
+            assert!(r.throughput > 0.0);
+            assert_eq!(r.conns_peak, 8, "{:?}", r.mode);
+            // Evented connections really pipeline; threaded handlers
+            // consume one line at a time (depth observed as 1).
+            if r.mode == ServeMode::Evented {
+                assert!(r.pipeline_max >= 2, "pipeline_max={}", r.pipeline_max);
+            }
+        }
+        let json = net_to_json(&report).render();
         let parsed = Json::parse(&json).unwrap();
         assert_eq!(
             parsed.get("runs").and_then(Json::as_arr).map(|a| a.len()),

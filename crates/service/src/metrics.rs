@@ -32,8 +32,15 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Record one sample.
     pub fn record(&self, elapsed: Duration) {
-        let ns = (elapsed.as_nanos() as u64).max(1);
-        let bucket = (63 - ns.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.record_count((elapsed.as_nanos() as u64).max(1));
+    }
+
+    /// Record an arbitrary non-negative magnitude (the buckets are just
+    /// powers of two — nothing about them is nanosecond-specific, so the
+    /// same histogram tracks e.g. pipeline depths).
+    pub fn record_count(&self, value: u64) {
+        let v = value.max(1);
+        let bucket = (63 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -156,6 +163,88 @@ impl ScreenTotals {
     }
 }
 
+/// Serving-path gauges for the TCP front-ends: connection counts, the
+/// verify-dispatch queue, and per-connection pipelining depth. Owned by
+/// a serving loop (not by [`crate::MatchService`]) and surfaced through
+/// the `STATS` response.
+#[derive(Debug, Default)]
+pub struct ConnMetrics {
+    conns_current: AtomicU64,
+    conns_peak: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_peak: AtomicU64,
+    pipeline_max: AtomicU64,
+    dispatches: AtomicU64,
+    /// Log2 histogram of the in-flight window size observed at each
+    /// dispatch (depth 1 = the client waited for every response — no
+    /// pipelining; bigger buckets mean the window is actually used).
+    pipeline_depths: LatencyHistogram,
+}
+
+impl ConnMetrics {
+    /// A connection was accepted.
+    pub fn conn_opened(&self) {
+        let now = self.conns_current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// A connection was closed.
+    pub fn conn_closed(&self) {
+        self.conns_current.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A job entered the verify-dispatch queue.
+    pub fn queue_pushed(&self) {
+        let now = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// `n` jobs left the verify-dispatch queue.
+    pub fn queue_popped(&self, n: u64) {
+        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// A request was dispatched while its connection had `depth`
+    /// requests in flight (including this one).
+    pub fn observe_pipeline(&self, depth: u64) {
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.pipeline_max.fetch_max(depth, Ordering::Relaxed);
+        self.pipeline_depths.record_count(depth);
+    }
+
+    /// Point-in-time values for `STATS`.
+    pub fn snapshot(&self) -> ConnStats {
+        ConnStats {
+            conns_current: self.conns_current.load(Ordering::Relaxed),
+            conns_peak: self.conns_peak.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            pipeline_max: self.pipeline_max.load(Ordering::Relaxed),
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            pipeline_p99: self.pipeline_depths.quantile_upper_ns(0.99),
+        }
+    }
+}
+
+/// A [`ConnMetrics`] snapshot (the `STATS` serving-gauge fields).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Connections open right now.
+    pub conns_current: u64,
+    /// Most connections ever open at once.
+    pub conns_peak: u64,
+    /// Jobs sitting in the verify-dispatch queue right now.
+    pub queue_depth: u64,
+    /// Deepest the dispatch queue has ever been.
+    pub queue_peak: u64,
+    /// Largest per-connection in-flight window ever observed.
+    pub pipeline_max: u64,
+    /// Requests dispatched to the worker pool.
+    pub dispatches: u64,
+    /// Upper edge of the p99 bucket of observed pipeline depths.
+    pub pipeline_p99: Option<u64>,
+}
+
 impl ServiceMetrics {
     /// Record one served search on `method`.
     pub fn record_search(&self, method: SearchMethod, elapsed: Duration, matches: usize) {
@@ -219,6 +308,28 @@ mod tests {
             seen[i] = true;
             assert!(!method_name(m).is_empty());
         }
+    }
+
+    #[test]
+    fn conn_metrics_track_gauges_and_peaks() {
+        let m = ConnMetrics::default();
+        m.conn_opened();
+        m.conn_opened();
+        m.conn_closed();
+        m.queue_pushed();
+        m.queue_pushed();
+        m.queue_popped(2);
+        m.observe_pipeline(1);
+        m.observe_pipeline(9);
+        m.observe_pipeline(4);
+        let s = m.snapshot();
+        assert_eq!(s.conns_current, 1);
+        assert_eq!(s.conns_peak, 2);
+        assert_eq!(s.queue_depth, 0);
+        assert_eq!(s.queue_peak, 2);
+        assert_eq!(s.pipeline_max, 9);
+        assert_eq!(s.dispatches, 3);
+        assert!(s.pipeline_p99.unwrap() >= 9);
     }
 
     #[test]

@@ -34,6 +34,95 @@ use crate::metrics::{method_index, method_name, ALL_METHODS};
 use crate::service::{MatchOutcome, MatchRequest, StatsSnapshot};
 use lexequal::{Language, QgramMode, SearchMethod};
 
+/// Why incremental framing gave up on a connection's byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// A line ran past the configured maximum without a newline (the
+    /// payload is the limit in bytes).
+    Oversized(usize),
+    /// A completed line was not valid UTF-8.
+    Utf8,
+}
+
+/// Incremental line framing over a nonblocking byte stream.
+///
+/// Bytes arrive in whatever chunks the socket delivers —
+/// [`push`](Self::push) buffers them, [`next_line`](Self::next_line)
+/// yields each completed line exactly once (trailing `\r` stripped, so
+/// both `\n` and `\r\n` clients work). A line is *complete* only when
+/// its newline has arrived; a partial tail survives across any number
+/// of reads. Lines longer than `max_line` bytes are rejected rather
+/// than buffered without bound.
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    /// Start of the current (unconsumed) line within `buf`.
+    start: usize,
+    /// Scan resume point — bytes before this are known newline-free.
+    scan: usize,
+    max_line: usize,
+}
+
+impl LineFramer {
+    /// A framer rejecting lines longer than `max_line` bytes.
+    pub fn new(max_line: usize) -> Self {
+        LineFramer {
+            buf: Vec::new(),
+            start: 0,
+            scan: 0,
+            max_line,
+        }
+    }
+
+    /// Buffer freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as lines.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// The next completed line, if one has fully arrived.
+    pub fn next_line(&mut self) -> Result<Option<String>, FrameError> {
+        while self.scan < self.buf.len() {
+            if self.buf[self.scan] == b'\n' {
+                let mut end = self.scan;
+                if end > self.start && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                if end - self.start > self.max_line {
+                    return Err(FrameError::Oversized(self.max_line));
+                }
+                let line = std::str::from_utf8(&self.buf[self.start..end])
+                    .map_err(|_| FrameError::Utf8)?
+                    .to_owned();
+                self.scan += 1;
+                self.start = self.scan;
+                if self.start == self.buf.len() {
+                    self.buf.clear();
+                    self.start = 0;
+                    self.scan = 0;
+                }
+                return Ok(Some(line));
+            }
+            self.scan += 1;
+        }
+        if self.buffered() > self.max_line {
+            return Err(FrameError::Oversized(self.max_line));
+        }
+        // Nothing complete: drop consumed bytes so the buffer only ever
+        // holds the partial tail.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.scan -= self.start;
+            self.start = 0;
+        }
+        Ok(None)
+    }
+}
+
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -271,12 +360,89 @@ pub fn format_stats(s: &StatsSnapshot) -> String {
             line.push_str(&format!(" {name}_p99_ns={p99}"));
         }
     }
+    if let Some(conn) = &s.conn {
+        line.push_str(&format!(
+            " conns_current={} conns_peak={} queue_depth={} queue_peak={} pipeline_max={} dispatches={}",
+            conn.conns_current,
+            conn.conns_peak,
+            conn.queue_depth,
+            conn.queue_peak,
+            conn.pipeline_max,
+            conn.dispatches,
+        ));
+        if let Some(p99) = conn.pipeline_p99 {
+            line.push_str(&format!(" pipeline_p99={p99}"));
+        }
+    }
     line
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn framer_reassembles_lines_split_across_pushes() {
+        let mut f = LineFramer::new(1024);
+        f.push(b"MAT");
+        assert_eq!(f.next_line().unwrap(), None);
+        f.push(b"CH en scan - Neh");
+        assert_eq!(f.next_line().unwrap(), None);
+        f.push(b"ru\nSTA");
+        assert_eq!(
+            f.next_line().unwrap().as_deref(),
+            Some("MATCH en scan - Nehru")
+        );
+        assert_eq!(f.next_line().unwrap(), None);
+        f.push(b"TS\n");
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("STATS"));
+        assert_eq!(f.buffered(), 0);
+    }
+
+    #[test]
+    fn framer_yields_every_line_from_one_push() {
+        let mut f = LineFramer::new(1024);
+        f.push(b"A\nB\r\n\nC\n");
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("A"));
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("B"));
+        assert_eq!(f.next_line().unwrap().as_deref(), Some(""));
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("C"));
+        assert_eq!(f.next_line().unwrap(), None);
+    }
+
+    #[test]
+    fn framer_rejects_oversized_lines_with_and_without_newline() {
+        // No newline yet: the partial tail alone trips the limit.
+        let mut f = LineFramer::new(8);
+        f.push(b"ABCDEFGHIJ");
+        assert_eq!(f.next_line(), Err(FrameError::Oversized(8)));
+        // Newline present but the line is still too long.
+        let mut f = LineFramer::new(8);
+        f.push(b"ABCDEFGHIJ\n");
+        assert_eq!(f.next_line(), Err(FrameError::Oversized(8)));
+        // At the limit exactly: fine.
+        let mut f = LineFramer::new(8);
+        f.push(b"ABCDEFGH\n");
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("ABCDEFGH"));
+    }
+
+    #[test]
+    fn framer_rejects_invalid_utf8() {
+        let mut f = LineFramer::new(64);
+        f.push(&[0x4D, 0xFF, 0xFE, b'\n']);
+        assert_eq!(f.next_line(), Err(FrameError::Utf8));
+    }
+
+    #[test]
+    fn framer_handles_multibyte_utf8_split_mid_character() {
+        let mut f = LineFramer::new(1024);
+        let bytes = "ADD hi नेहरु\n".as_bytes();
+        // Split in the middle of a Devanagari code point.
+        f.push(&bytes[..7]);
+        assert_eq!(f.next_line().unwrap(), None);
+        f.push(&bytes[7..]);
+        assert_eq!(f.next_line().unwrap().as_deref(), Some("ADD hi नेहरु"));
+    }
 
     #[test]
     fn parses_add() {

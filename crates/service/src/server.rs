@@ -1,13 +1,21 @@
-//! `lexequald`'s connection loop: thread-per-connection line serving.
+//! `lexequald`'s connection serving: the evented default and the
+//! legacy thread-per-connection path.
 //!
-//! [`serve`] accepts on a caller-supplied [`TcpListener`] (the caller
-//! binds, so tests can bind port 0 and learn the ephemeral port before
-//! serving starts) and spawns one handler thread per connection. Each
-//! handler reads request lines, dispatches against the shared
-//! [`MatchService`], and writes exactly the response lines the protocol
-//! promises. Parse errors answer `ERR …` and keep the connection open;
-//! `QUIT`, EOF, or an I/O error end it.
+//! Both paths speak the same wire protocol through the same request
+//! executor ([`execute_request`]) and honor the same
+//! [`ShutdownSignal`]; they differ only in how connections map to
+//! threads:
+//!
+//! * [`serve_evented`] (also re-exported as the [`serve`] default) —
+//!   one epoll readiness loop plus a fixed verify worker pool; thread
+//!   count is constant no matter how many clients connect, and each
+//!   connection may pipeline many requests. See [`crate::event_loop`].
+//! * [`serve_threaded`] — one OS thread per connection, requests
+//!   handled strictly one at a time. Kept as the baseline the evented
+//!   bench compares against, and for environments without epoll.
 
+use crate::event_loop::{serve_evented, ShutdownSignal};
+use crate::metrics::ConnMetrics;
 use crate::proto::{format_outcome, format_stats, parse_request, Request};
 use crate::service::MatchService;
 use crate::shard::BuildSpec;
@@ -15,59 +23,222 @@ use lexequal::QgramMode;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// Serve connections forever (until the listener errors out).
-///
-/// Never returns under normal operation; run it on a dedicated thread.
+/// How a serving loop maps connections to threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Legacy: one handler thread per connection.
+    Threaded,
+    /// Epoll readiness loop + fixed verify worker pool (the default).
+    Evented,
+}
+
+impl ServeMode {
+    /// Lowercase wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeMode::Threaded => "threaded",
+            ServeMode::Evented => "evented",
+        }
+    }
+}
+
+impl std::str::FromStr for ServeMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "threaded" => Ok(ServeMode::Threaded),
+            "evented" => Ok(ServeMode::Evented),
+            other => Err(format!("unknown serve mode {other:?}")),
+        }
+    }
+}
+
+/// Evented-path tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Verify-dispatch worker threads (the event loop itself is one more
+    /// thread; the shard workers belong to the service).
+    pub workers: usize,
+    /// Per-connection in-flight request window; reads pause beyond it.
+    pub max_pipeline: usize,
+    /// Longest accepted request line in bytes; longer lines answer
+    /// `ERR` and close the connection.
+    pub max_line: usize,
+    /// Total verify-dispatch queue capacity (split across workers); a
+    /// full queue parks the job on its connection and pauses its reads.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            max_pipeline: 128,
+            max_line: 64 * 1024,
+            queue_capacity: 4096,
+        }
+    }
+}
+
+/// Serve with the default evented path and default options until the
+/// process dies (compat shim over [`serve_evented`] for callers that
+/// don't need a shutdown handle).
 pub fn serve(listener: TcpListener, service: Arc<MatchService>) -> std::io::Result<()> {
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let service = Arc::clone(&service);
-        std::thread::Builder::new()
-            .name("lexequald-conn".to_owned())
-            .spawn(move || {
-                // A dropped connection is the client's business, not ours.
-                let _ = handle_connection(stream, &service);
-            })
-            .expect("spawn connection handler");
+    serve_evented(
+        listener,
+        service,
+        ServeOptions::default(),
+        ShutdownSignal::new()?,
+    )
+}
+
+/// Serve with the chosen mode until `shutdown` fires.
+pub fn serve_with(
+    mode: ServeMode,
+    listener: TcpListener,
+    service: Arc<MatchService>,
+    opts: ServeOptions,
+    shutdown: ShutdownSignal,
+) -> std::io::Result<()> {
+    match mode {
+        ServeMode::Threaded => serve_threaded(listener, service, shutdown),
+        ServeMode::Evented => serve_evented(listener, service, opts, shutdown),
+    }
+}
+
+/// How often the threaded path's blocking waits surface to check the
+/// shutdown flag (accept loop sleep and handler read timeout).
+const THREADED_POLL: Duration = Duration::from_millis(100);
+
+/// Serve one thread per connection until `shutdown` fires; all handler
+/// threads are joined before returning, so tests leak nothing.
+pub fn serve_threaded(
+    listener: TcpListener,
+    service: Arc<MatchService>,
+    shutdown: ShutdownSignal,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let metrics = Arc::new(ConnMetrics::default());
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.is_triggered() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(&service);
+                let metrics = Arc::clone(&metrics);
+                let shutdown = shutdown.clone();
+                metrics.conn_opened();
+                let handle = std::thread::Builder::new()
+                    .name("lexequald-conn".to_owned())
+                    .spawn(move || {
+                        // A dropped connection is the client's business.
+                        let _ = handle_connection(stream, &service, &metrics, &shutdown);
+                        metrics.conn_closed();
+                    })
+                    .expect("spawn connection handler");
+                handles.push(handle);
+                handles.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(THREADED_POLL);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    for h in handles {
+        let _ = h.join();
     }
     Ok(())
 }
 
-/// Drive one connection to completion. Returns when the client quits,
-/// hangs up, or the socket errors.
-pub fn handle_connection(stream: TcpStream, service: &MatchService) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
+/// Drive one connection to completion on its own thread. Returns when
+/// the client quits, hangs up, the socket errors, or `shutdown` fires.
+pub fn handle_connection(
+    stream: TcpStream,
+    service: &MatchService,
+    metrics: &ConnMetrics,
+    shutdown: &ShutdownSignal,
+) -> std::io::Result<()> {
+    // The read timeout turns a blocked handler into a shutdown poll; a
+    // partial line survives in `line` across timeouts.
+    stream.set_read_timeout(Some(THREADED_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        let mut quit = false;
-        for response in respond(&line, service, &mut quit) {
-            writer.write_all(response.as_bytes())?;
-            writer.write_all(b"\n")?;
+    let mut line = String::new();
+    loop {
+        if shutdown.is_triggered() {
+            return Ok(());
         }
-        writer.flush()?;
-        if quit {
-            break;
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                metrics.observe_pipeline(1);
+                let mut quit = false;
+                for response in respond_with(&line, service, Some(metrics), &mut quit) {
+                    writer.write_all(response.as_bytes())?;
+                    writer.write_all(b"\n")?;
+                }
+                writer.flush()?;
+                if quit {
+                    return Ok(());
+                }
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
         }
     }
-    Ok(())
 }
 
-/// Compute the response lines for one request line.
-fn respond(line: &str, service: &MatchService, quit: &mut bool) -> Vec<String> {
+/// Compute the response lines for one request line (no conn gauges).
+pub fn respond(line: &str, service: &MatchService, quit: &mut bool) -> Vec<String> {
+    respond_with(line, service, None, quit)
+}
+
+/// Compute the response lines for one request line, surfacing `conn`
+/// gauges in `STATS` when a serving loop provides them.
+pub fn respond_with(
+    line: &str,
+    service: &MatchService,
+    conn: Option<&ConnMetrics>,
+    quit: &mut bool,
+) -> Vec<String> {
     let request = match parse_request(line) {
         Ok(Some(r)) => r,
         Ok(None) => return Vec::new(),
         Err(msg) => return vec![format!("ERR {msg}")],
     };
+    if matches!(request, Request::Quit) {
+        *quit = true;
+    }
+    execute_request(service, &request, conn)
+}
+
+/// Execute one parsed request against the service. Shared by the
+/// threaded handlers and the evented path's verify workers; `QUIT`
+/// answers `BYE` here, connection teardown is the caller's job.
+pub(crate) fn execute_request(
+    service: &MatchService,
+    request: &Request,
+    conn: Option<&ConnMetrics>,
+) -> Vec<String> {
     match request {
-        Request::Add { language, text } => match service.add(&text, language) {
+        Request::Add { language, text } => match service.add(text, *language) {
             Ok(id) => vec![format!("OK {id}")],
             Err(e) => vec![format!("ERR {e:?}")],
         },
         Request::BuildQgram { q, mode } => {
-            service.build(BuildSpec::Qgram { q, mode });
+            service.build(BuildSpec::Qgram { q: *q, mode: *mode });
             vec!["OK built=qgram".to_owned()]
         }
         Request::BuildPhonidx => {
@@ -82,17 +253,18 @@ fn respond(line: &str, service: &MatchService, quit: &mut bool) -> Vec<String> {
             service.build_all(3, QgramMode::Strict);
             vec!["OK built=all".to_owned()]
         }
-        Request::Match(req) => vec![format_outcome(&service.lookup(&req))],
+        Request::Match(req) => vec![format_outcome(&service.lookup(req))],
         Request::Batch(reqs) => service
-            .lookup_batch(&reqs)
+            .lookup_batch(reqs)
             .iter()
             .map(format_outcome)
             .collect(),
-        Request::Stats => vec![format_stats(&service.stats())],
-        Request::Quit => {
-            *quit = true;
-            vec!["BYE".to_owned()]
+        Request::Stats => {
+            let mut snapshot = service.stats();
+            snapshot.conn = conn.map(ConnMetrics::snapshot);
+            vec![format_stats(&snapshot)]
         }
+        Request::Quit => vec!["BYE".to_owned()],
     }
 }
 
@@ -152,25 +324,51 @@ mod tests {
     }
 
     #[test]
-    fn serves_a_real_socket_end_to_end() {
-        use std::io::{BufRead, BufReader, Write};
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let svc = Arc::new(service());
-        std::thread::spawn(move || serve(listener, svc));
+    fn stats_surface_conn_gauges_when_provided() {
+        let s = service();
+        let metrics = ConnMetrics::default();
+        metrics.conn_opened();
+        metrics.observe_pipeline(3);
+        let mut quit = false;
+        let line = &respond_with("STATS", &s, Some(&metrics), &mut quit)[0];
+        assert!(line.contains("conns_current=1"), "{line}");
+        assert!(line.contains("conns_peak=1"), "{line}");
+        assert!(line.contains("queue_depth=0"), "{line}");
+        assert!(line.contains("pipeline_max=3"), "{line}");
+        // Without gauges the fields stay off the wire.
+        let bare = &respond("STATS", &s, &mut quit)[0];
+        assert!(!bare.contains("conns_current"), "{bare}");
+    }
 
-        let stream = TcpStream::connect(addr).unwrap();
-        let mut reader = BufReader::new(stream.try_clone().unwrap());
-        let mut send = |cmd: &str| {
-            let mut s = stream.try_clone().unwrap();
-            writeln!(s, "{cmd}").unwrap();
-            let mut line = String::new();
-            reader.read_line(&mut line).unwrap();
-            line.trim_end().to_owned()
-        };
-        assert_eq!(send("BUILD PHONIDX"), "OK built=phonidx");
-        let resp = send("MATCH hi phonidx 0.45 नेहरु");
-        assert!(resp.starts_with("OK n="), "{resp}");
-        assert_eq!(send("QUIT"), "BYE");
+    #[test]
+    fn both_paths_serve_a_real_socket_end_to_end() {
+        use std::io::{BufRead, BufReader, Write};
+        for mode in [ServeMode::Threaded, ServeMode::Evented] {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            let addr = listener.local_addr().unwrap();
+            let svc = Arc::new(service());
+            let shutdown = ShutdownSignal::new().unwrap();
+            let sd = shutdown.clone();
+            let server = std::thread::spawn(move || {
+                serve_with(mode, listener, svc, ServeOptions::default(), sd)
+            });
+
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut send = |cmd: &str| {
+                let mut s = stream.try_clone().unwrap();
+                writeln!(s, "{cmd}").unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                line.trim_end().to_owned()
+            };
+            assert_eq!(send("BUILD PHONIDX"), "OK built=phonidx", "{mode:?}");
+            let resp = send("MATCH hi phonidx 0.45 नेहरु");
+            assert!(resp.starts_with("OK n="), "{mode:?}: {resp}");
+            assert_eq!(send("QUIT"), "BYE", "{mode:?}");
+
+            shutdown.trigger();
+            server.join().unwrap().unwrap();
+        }
     }
 }

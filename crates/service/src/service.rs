@@ -7,8 +7,8 @@
 //! outcome instead of a worker panic, and records request metrics.
 
 use crate::cache::TransformCache;
-use crate::metrics::{method_index, ServiceMetrics};
-use crate::shard::{BuildSpec, ShardedStore};
+use crate::metrics::{method_index, ConnStats, ServiceMetrics};
+use crate::shard::{BuildSpec, PendingSearch, ShardedStore};
 use lexequal::store::NameEntry;
 use lexequal::{G2pError, Language, MatchConfig, QgramMode, SearchMethod};
 use std::ops::Range;
@@ -207,16 +207,26 @@ impl MatchService {
 
     /// Serve one lookup.
     pub fn lookup(&self, req: &MatchRequest) -> MatchOutcome {
+        self.lookup_finish(self.lookup_begin(req))
+    }
+
+    /// Start one lookup without waiting for the shards: degraded cases
+    /// (`NoResource`, `NotBuilt`, `BadInput`) resolve immediately, a
+    /// searchable request has its fan-out *enqueued* on every shard
+    /// worker and comes back as a pending handle. Beginning several
+    /// lookups before finishing any lets one caller thread keep every
+    /// shard busy — the evented daemon's verify workers lean on this.
+    pub fn lookup_begin(&self, req: &MatchRequest) -> PendingLookup {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let config = self.store.config();
         if !config.registry.supports(req.language) {
             self.metrics.no_resource.fetch_add(1, Ordering::Relaxed);
-            return MatchOutcome::NoResource(req.language);
+            return PendingLookup::ready(MatchOutcome::NoResource(req.language));
         }
         let method = req.method.unwrap_or_else(|| self.default_method());
         if !self.is_built(method) {
             self.metrics.not_built.fetch_add(1, Ordering::Relaxed);
-            return MatchOutcome::NotBuilt(method);
+            return PendingLookup::ready(MatchOutcome::NotBuilt(method));
         }
         let threshold = req.threshold.unwrap_or(config.threshold);
         let query = match self
@@ -227,18 +237,41 @@ impl MatchService {
             Ok(q) => q,
             Err(e) => {
                 self.metrics.bad_input.fetch_add(1, Ordering::Relaxed);
-                return MatchOutcome::BadInput(format!("{e:?}"));
+                return PendingLookup::ready(MatchOutcome::BadInput(format!("{e:?}")));
             }
         };
-        let start = Instant::now();
-        let result = self.store.search_phonemes(&query, threshold, method);
-        self.metrics
-            .record_search(method, start.elapsed(), result.ids.len());
-        MatchOutcome::Matches {
-            method,
-            threshold,
-            ids: result.ids,
-            verifications: result.verifications,
+        PendingLookup {
+            kind: PendingKind::Searching {
+                pending: self.store.begin_search(&query, threshold, method),
+                method,
+                threshold,
+                start: Instant::now(),
+            },
+        }
+    }
+
+    /// Collect a lookup started by [`lookup_begin`](Self::lookup_begin):
+    /// merge the per-shard replies and record metrics. The outcome is
+    /// identical to a blocking [`lookup`](Self::lookup) call.
+    pub fn lookup_finish(&self, pending: PendingLookup) -> MatchOutcome {
+        match pending.kind {
+            PendingKind::Ready(outcome) => outcome,
+            PendingKind::Searching {
+                pending,
+                method,
+                threshold,
+                start,
+            } => {
+                let result = pending.merge();
+                self.metrics
+                    .record_search(method, start.elapsed(), result.ids.len());
+                MatchOutcome::Matches {
+                    method,
+                    threshold,
+                    ids: result.ids,
+                    verifications: result.verifications,
+                }
+            }
         }
     }
 
@@ -336,6 +369,31 @@ impl MatchService {
                     p99_upper_ns: pm.latency.quantile_upper_ns(0.99),
                 }
             }),
+            conn: None,
+        }
+    }
+}
+
+/// A lookup in flight: either already resolved (degraded outcomes never
+/// reach the shards) or waiting on every shard's reply.
+pub struct PendingLookup {
+    kind: PendingKind,
+}
+
+enum PendingKind {
+    Ready(MatchOutcome),
+    Searching {
+        pending: PendingSearch,
+        method: SearchMethod,
+        threshold: f64,
+        start: Instant,
+    },
+}
+
+impl PendingLookup {
+    fn ready(outcome: MatchOutcome) -> Self {
+        PendingLookup {
+            kind: PendingKind::Ready(outcome),
         }
     }
 }
@@ -382,6 +440,10 @@ pub struct StatsSnapshot {
     pub screen_full_dp: u64,
     /// Per-access-path counters.
     pub per_method: [MethodStats; 4],
+    /// Serving-loop connection/queue/pipelining gauges. `None` from
+    /// [`MatchService::stats`] (the service doesn't own connections); a
+    /// TCP front-end fills this in before formatting `STATS`.
+    pub conn: Option<ConnStats>,
 }
 
 #[cfg(test)]

@@ -280,8 +280,19 @@ impl ShardedStore {
     /// Panics (on the worker thread) if the access path was not built;
     /// see [`crate::MatchService`] for the graceful front-end.
     pub fn search_phonemes(&self, q: &PhonemeString, e: f64, method: SearchMethod) -> SearchResult {
-        let rx = self.fan_out(q, e, method);
-        merge_replies(rx, self.shards())
+        self.begin_search(q, e, method).merge()
+    }
+
+    /// Enqueue one query's fan-out on every shard worker and return
+    /// without waiting. The caller collects the merged result with
+    /// [`PendingSearch::merge`] whenever it likes; beginning several
+    /// searches before merging any is exactly how the batch path and the
+    /// evented daemon's verify workers keep all shards busy at once.
+    pub fn begin_search(&self, q: &PhonemeString, e: f64, method: SearchMethod) -> PendingSearch {
+        PendingSearch {
+            rx: self.fan_out(q, e, method),
+            shards: self.shards(),
+        }
     }
 
     /// Fan a batch of pre-transformed queries out over the shards,
@@ -294,14 +305,11 @@ impl ShardedStore {
         &self,
         queries: &[(PhonemeString, f64, SearchMethod)],
     ) -> Vec<SearchResult> {
-        let receivers: Vec<_> = queries
+        let pending: Vec<_> = queries
             .iter()
-            .map(|(q, e, method)| self.fan_out(q, *e, *method))
+            .map(|(q, e, method)| self.begin_search(q, *e, *method))
             .collect();
-        receivers
-            .into_iter()
-            .map(|rx| merge_replies(rx, self.shards()))
-            .collect()
+        pending.into_iter().map(PendingSearch::merge).collect()
     }
 
     /// Enqueue one query on every shard; replies arrive on the returned
@@ -324,6 +332,25 @@ impl ShardedStore {
             .expect("shard worker alive");
         }
         rx
+    }
+}
+
+/// A search whose per-shard fan-out has been enqueued but whose replies
+/// have not been collected yet (from [`ShardedStore::begin_search`]).
+///
+/// Dropping a `PendingSearch` without merging is safe — the shard
+/// workers still run the search, their replies just land on a
+/// disconnected channel.
+pub struct PendingSearch {
+    rx: Receiver<(usize, SearchResult)>,
+    shards: usize,
+}
+
+impl PendingSearch {
+    /// Block until every shard has replied and merge, exactly like
+    /// [`ShardedStore::search_phonemes`].
+    pub fn merge(self) -> SearchResult {
+        merge_replies(self.rx, self.shards)
     }
 }
 

@@ -1,0 +1,149 @@
+//! Socket-level framing edge cases against the evented daemon: request
+//! lines split across arbitrarily small writes, many lines arriving in
+//! one write, CRLF endings, and oversized-line rejection. These are the
+//! cases a readiness loop must get right that a blocking
+//! `BufReader::read_line` handler gets for free.
+
+use lexequal_service::event_loop::{serve_evented, ShutdownSignal};
+use lexequal_service::{MatchService, ServeOptions, ServiceConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn spawn_evented(
+    opts: ServeOptions,
+) -> (
+    std::net::SocketAddr,
+    ShutdownSignal,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let service = Arc::new(MatchService::new(ServiceConfig {
+        shards: 2,
+        ..ServiceConfig::default()
+    }));
+    service
+        .extend([
+            ("Nehru".to_owned(), lexequal::Language::English),
+            ("नेहरु".to_owned(), lexequal::Language::Hindi),
+        ])
+        .expect("seed names");
+    service.build_all(3, lexequal::QgramMode::Strict);
+    let shutdown = ShutdownSignal::new().expect("shutdown");
+    let sd = shutdown.clone();
+    let handle = std::thread::spawn(move || serve_evented(listener, service, opts, sd));
+    (addr, shutdown, handle)
+}
+
+#[test]
+fn a_request_split_into_single_bytes_still_parses() {
+    let (addr, shutdown, handle) = spawn_evented(ServeOptions::default());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    // Dribble the request one byte per write — including mid-UTF-8
+    // splits inside नेहरु — with small pauses so each byte lands in its
+    // own readiness event.
+    let request = "MATCH hi qgram 0.45 नेहरु\n";
+    for chunk in request.as_bytes().chunks(1) {
+        stream.write_all(chunk).expect("write byte");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("OK n="), "{line}");
+    assert!(
+        line.contains("ids=0,1"),
+        "cross-script pair missing: {line}"
+    );
+    shutdown.trigger();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn many_lines_in_one_write_pipeline_in_order() {
+    let (addr, shutdown, handle) = spawn_evented(ServeOptions::default());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // One write, five requests, mixed endings and a blank line (which
+    // produces no response). Responses must come back in order. The
+    // MATCH uses scan because the preceding ADD invalidates built
+    // indexes (this test is about framing, not index lifecycle).
+    let burst = "ADD en Bose\r\nMATCH en scan 0.45 Nehru\n\nADD en Tagore\nSTATS\n";
+    stream.write_all(burst.as_bytes()).expect("write burst");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut lines = Vec::new();
+    for _ in 0..4 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read");
+        lines.push(line.trim_end().to_owned());
+    }
+    assert_eq!(lines[0], "OK 2", "{lines:?}");
+    assert!(lines[1].starts_with("OK n="), "{lines:?}");
+    assert!(lines[1].contains("ids=0,1"), "{lines:?}");
+    assert_eq!(lines[2], "OK 3", "{lines:?}");
+    assert!(lines[3].starts_with("OK names=4"), "{lines:?}");
+    // The daemon saw the whole burst as a pipeline, depth > 1.
+    let depth: u64 = lines[3]
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("pipeline_max="))
+        .expect("pipeline_max in STATS")
+        .parse()
+        .expect("number");
+    assert!(depth >= 2, "burst not pipelined: {}", lines[3]);
+    shutdown.trigger();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn an_oversized_line_answers_err_and_closes() {
+    let opts = ServeOptions {
+        max_line: 64,
+        ..ServeOptions::default()
+    };
+    let (addr, shutdown, handle) = spawn_evented(opts);
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // 200 bytes with no newline: rejected on length alone, no waiting
+    // for a terminator that may never come.
+    stream.write_all(&[b'A'; 200]).expect("write oversized");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(
+        line.starts_with("ERR line exceeds"),
+        "expected oversized rejection, got {line:?}"
+    );
+    // The daemon closes the connection after the error: EOF follows.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read to eof");
+    assert!(rest.is_empty(), "{rest:?}");
+
+    // A fresh connection still works; the daemon survived.
+    let mut c2 = TcpStream::connect(addr).expect("reconnect");
+    c2.write_all(b"MATCH en qgram 0.45 Nehru\n").expect("write");
+    let mut reader = BufReader::new(c2);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("OK n="), "{line}");
+    shutdown.trigger();
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn invalid_utf8_answers_err_and_closes() {
+    let (addr, shutdown, handle) = spawn_evented(ServeOptions::default());
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(b"MATCH en qgram 0.45 \xff\xfe\n")
+        .expect("write bad bytes");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("ERR invalid utf-8"), "{line:?}");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("read to eof");
+    assert!(rest.is_empty(), "{rest:?}");
+    shutdown.trigger();
+    handle.join().unwrap().unwrap();
+}

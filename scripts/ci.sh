@@ -13,11 +13,19 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo clippy -p lexequal-service -D warnings"
+# The serving crate gets its own pass so a service-only change can't
+# hide behind a cached workspace run.
+cargo clippy -p lexequal-service --all-targets --offline -- -D warnings
+
 echo "== cargo build --release"
 cargo build --workspace --release --offline
 
 echo "== cargo test"
 cargo test --workspace --offline -q
+
+echo "== evented serving: framing + 1024-connection soak"
+cargo test -p lexequal-service --offline -q --test framing --test evented_soak
 
 echo "== cargo bench --no-run"
 # Compile-checks the bench harnesses. The criterion micro-benchmarks are

@@ -311,6 +311,15 @@ impl NameStore {
         }
     }
 
+    /// Every stored entry, in id order — the export side of snapshot
+    /// persistence: entry `i` here is id `i`, so a store rebuilt by
+    /// feeding this slice back through
+    /// [`extend_transformed`](Self::extend_transformed) assigns every
+    /// name its original id.
+    pub fn entries(&self) -> &[NameEntry] {
+        &self.entries
+    }
+
     /// Per-string cluster-id vectors, parallel to
     /// [`phoneme_strings`](Self::phoneme_strings).
     pub fn cluster_id_vectors(&self) -> &[Vec<u8>] {

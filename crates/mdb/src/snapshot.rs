@@ -24,12 +24,17 @@ fn decode_err(what: &str) -> DbError {
 /// Encode one cell as a tagged object: `{"t":"Int","v":1}` (`v` omitted
 /// for NULL). The tag keeps the format self-describing so a future column
 /// type can be added without renumbering.
+///
+/// Non-finite floats cannot ride on [`Json::Float`] (the writer renders
+/// them as `null`, which is lossy — format v1 silently turned `∞` into
+/// NaN on reload), so `Float` cells carry explicit string markers for
+/// them instead.
 fn value_to_json(v: &Value) -> Json {
     let (tag, content) = match v {
         Value::Null => ("Null", None),
         Value::Bool(b) => ("Bool", Some(Json::Bool(*b))),
         Value::Int(i) => ("Int", Some(Json::Int(*i))),
-        Value::Float(f) => ("Float", Some(Json::Float(*f))),
+        Value::Float(f) => ("Float", Some(float_to_json(*f))),
         Value::Str(s) => ("Str", Some(Json::Str(s.clone()))),
     };
     let mut fields = vec![("t".to_owned(), Json::Str(tag.to_owned()))];
@@ -37,6 +42,34 @@ fn value_to_json(v: &Value) -> Json {
         fields.push(("v".to_owned(), c));
     }
     Json::Obj(fields)
+}
+
+fn float_to_json(f: f64) -> Json {
+    if f.is_finite() {
+        Json::Float(f)
+    } else if f.is_nan() {
+        Json::Str("nan".to_owned())
+    } else if f > 0.0 {
+        Json::Str("inf".to_owned())
+    } else {
+        Json::Str("-inf".to_owned())
+    }
+}
+
+fn float_from_json(j: &Json) -> Option<f64> {
+    match j {
+        Json::Str(s) => match s.as_str() {
+            "nan" => Some(f64::NAN),
+            "inf" => Some(f64::INFINITY),
+            "-inf" => Some(f64::NEG_INFINITY),
+            _ => None,
+        },
+        // A bare `null` is NOT accepted: it is what the lossy v1 encoding
+        // produced for every non-finite value, and decoding it would mean
+        // conjuring a NaN the writer never stored.
+        Json::Null => None,
+        other => other.as_f64(),
+    }
 }
 
 fn value_from_json(j: &Json) -> Result<Value, DbError> {
@@ -49,9 +82,7 @@ fn value_from_json(j: &Json) -> Result<Value, DbError> {
         ("Null", _) => Some(Value::Null),
         ("Bool", Some(c)) => c.as_bool().map(Value::Bool),
         ("Int", Some(c)) => c.as_i64().map(Value::Int),
-        // A NaN written as null comes back as NaN.
-        ("Float", Some(Json::Null)) => Some(Value::Float(f64::NAN)),
-        ("Float", Some(c)) => c.as_f64().map(Value::Float),
+        ("Float", Some(c)) => float_from_json(c).map(Value::Float),
         ("Str", Some(c)) => c.as_str().map(|s| Value::Str(s.to_owned())),
         _ => None,
     }
@@ -104,7 +135,13 @@ pub struct Snapshot {
 }
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// v2 changed the `Float` cell encoding: non-finite values are written as
+/// explicit `"inf"` / `"-inf"` / `"nan"` markers. v1 rendered them through
+/// [`Json::Float`], which emits `null` for anything non-finite, so a v1
+/// reload silently replaced `±∞` with NaN; v2 readers reject a bare
+/// Float-`null` rather than guess.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 impl Snapshot {
     /// Capture a database's tables and index definitions.
@@ -399,6 +436,56 @@ mod tests {
         Snapshot::capture(&db).unwrap().write_to(&mut a).unwrap();
         Snapshot::capture(&db).unwrap().write_to(&mut b).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_bit_exact() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE f (id INT, x FLOAT)")
+            .expect("create");
+        let specials = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            f64::MIN_POSITIVE,
+        ];
+        for (i, &x) in specials.iter().enumerate() {
+            db.insert("f", vec![Value::Int(i as i64), Value::Float(x)])
+                .expect("insert");
+        }
+        let mut buf = Vec::new();
+        Snapshot::capture(&db).unwrap().write_to(&mut buf).unwrap();
+        let mut restored = Snapshot::read_from(buf.as_slice())
+            .unwrap()
+            .restore()
+            .unwrap();
+        let rs = restored.execute("SELECT x FROM f").expect("query");
+        assert_eq!(rs.rows.len(), specials.len());
+        for (row, &expect) in rs.rows.iter().zip(&specials) {
+            let Value::Float(got) = row[0] else {
+                panic!("not a float: {row:?}");
+            };
+            // Bit-exact: NaN == NaN would fail, and -0.0 == 0.0 would
+            // pass, under float comparison — compare representations.
+            assert_eq!(
+                got.to_bits(),
+                expect.to_bits(),
+                "{expect} came back as {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_v1_float_null_is_rejected_not_nan() {
+        // What the v1 encoder produced for any non-finite float. Decoding
+        // it must be an error, not a silent NaN.
+        let src = r#"{"version":2,"tables":[{"name":"t","columns":[["x","Float"]],"rows":[[{"t":"Float","v":null}]]}],"indexes":[]}"#;
+        let err = Snapshot::read_from(src.as_bytes());
+        assert!(err.is_err(), "Float-null must not decode");
+        // Unknown markers are rejected too.
+        let src = r#"{"version":2,"tables":[{"name":"t","columns":[["x","Float"]],"rows":[[{"t":"Float","v":"fast"}]]}],"indexes":[]}"#;
+        assert!(Snapshot::read_from(src.as_bytes()).is_err());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! lexequald [--addr HOST:PORT] [--shards N] [--cache N] [--threshold E] [--preload N]
+//!           [--snapshot PATH] [--save-snapshot PATH]
 //!           [--mode evented|threaded] [--workers N] [--max-pipeline N]
 //!           [--max-line BYTES] [--queue N]
 //! ```
@@ -11,123 +12,158 @@
 //! The default `--mode evented` runs a single epoll readiness loop with
 //! a fixed pool of `--workers` verify threads and supports up to
 //! `--max-pipeline` in-flight requests per connection; `--mode
-//! threaded` is the legacy one-thread-per-connection path. `--preload
-//! N` bulk-loads ≈N synthetic names (paper §5 dataset) and builds all
-//! access paths before accepting connections, so a benchmark client can
-//! start matching immediately.
+//! threaded` is the legacy one-thread-per-connection path.
+//!
+//! Store population, fastest first:
+//!
+//! * `--snapshot PATH` — restore the store from a snapshot written by
+//!   `--save-snapshot`: a file read plus a parallel index rebuild, no
+//!   G2P pass. The store comes back with the snapshot's own shard count
+//!   unless `--shards` pins one (which must then match — re-sharding on
+//!   load is not supported).
+//! * `--preload N` — bulk-load ≈N synthetic names (paper §5 dataset)
+//!   and build all access paths before accepting connections.
+//!
+//! `--save-snapshot PATH` writes the store to PATH once it is populated
+//! (after `--preload`, before serving), so the next start can use
+//! `--snapshot PATH`.
 
 use lexequal::MatchConfig;
 use lexequal_service::{MatchService, ServeMode, ServeOptions, ServiceConfig, ShutdownSignal};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
+
+const USAGE: &str = "usage: lexequald [--addr HOST:PORT] [--shards N] [--cache N] \
+[--threshold E] [--preload N] [--snapshot PATH] [--save-snapshot PATH] \
+[--mode evented|threaded] [--workers N] [--max-pipeline N] [--max-line BYTES] [--queue N]";
 
 struct Args {
     addr: String,
-    shards: usize,
+    /// `None` until `--shards` is given: a snapshot load then adopts the
+    /// snapshot's own shard count instead of guessing.
+    shards: Option<usize>,
     cache: usize,
     threshold: Option<f64>,
     preload: usize,
+    snapshot: Option<String>,
+    save_snapshot: Option<String>,
     mode: ServeMode,
     serve: ServeOptions,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// Parse one flag's value, naming the flag *and* the offending value in
+/// the error — every numeric flag goes through here so bad input always
+/// reads the same way: `--shards: invalid value "x" (expected ...)`.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: &str, expected: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid value {value:?} (expected {expected})"))
+}
+
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7077".to_owned(),
-        shards: std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1),
+        shards: None,
         cache: 4096,
         threshold: None,
         preload: 0,
+        snapshot: None,
+        save_snapshot: None,
         mode: ServeMode::Evented,
         serve: ServeOptions::default(),
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = argv;
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
+            "--snapshot" => args.snapshot = Some(value("--snapshot")?),
+            "--save-snapshot" => args.save_snapshot = Some(value("--save-snapshot")?),
             "--shards" => {
-                args.shards = value("--shards")?
-                    .parse()
-                    .map_err(|_| "--shards: expected a positive integer".to_owned())?;
-                if args.shards == 0 {
-                    return Err("--shards must be positive".to_owned());
+                let v = value("--shards")?;
+                let n: usize = parse_value("--shards", &v, "a positive integer")?;
+                if n == 0 {
+                    return Err(format!("--shards: invalid value {v:?} (must be positive)"));
                 }
+                args.shards = Some(n);
             }
             "--cache" => {
-                args.cache = value("--cache")?
-                    .parse()
-                    .map_err(|_| "--cache: expected an integer".to_owned())?;
+                args.cache = parse_value("--cache", &value("--cache")?, "an integer")?;
             }
             "--threshold" => {
-                let e: f64 = value("--threshold")?
-                    .parse()
-                    .map_err(|_| "--threshold: expected a number".to_owned())?;
+                let v = value("--threshold")?;
+                let e: f64 = parse_value("--threshold", &v, "a number in [0,1]")?;
                 if !(0.0..=1.0).contains(&e) {
-                    return Err("--threshold must be in [0,1]".to_owned());
+                    return Err(format!(
+                        "--threshold: invalid value {v:?} (must be in [0,1])"
+                    ));
                 }
                 args.threshold = Some(e);
             }
             "--preload" => {
-                args.preload = value("--preload")?
-                    .parse()
-                    .map_err(|_| "--preload: expected an integer".to_owned())?;
+                args.preload = parse_value("--preload", &value("--preload")?, "an integer")?;
             }
-            "--mode" => args.mode = value("--mode")?.parse()?,
+            "--mode" => {
+                let v = value("--mode")?;
+                args.mode = parse_value("--mode", &v, "evented or threaded")?;
+            }
             "--workers" => {
-                args.serve.workers = value("--workers")?
-                    .parse()
-                    .map_err(|_| "--workers: expected a positive integer".to_owned())?;
+                let v = value("--workers")?;
+                args.serve.workers = parse_value("--workers", &v, "a positive integer")?;
                 if args.serve.workers == 0 {
-                    return Err("--workers must be positive".to_owned());
+                    return Err(format!("--workers: invalid value {v:?} (must be positive)"));
                 }
             }
             "--max-pipeline" => {
-                args.serve.max_pipeline = value("--max-pipeline")?
-                    .parse()
-                    .map_err(|_| "--max-pipeline: expected a positive integer".to_owned())?;
+                let v = value("--max-pipeline")?;
+                args.serve.max_pipeline = parse_value("--max-pipeline", &v, "a positive integer")?;
                 if args.serve.max_pipeline == 0 {
-                    return Err("--max-pipeline must be positive".to_owned());
+                    return Err(format!(
+                        "--max-pipeline: invalid value {v:?} (must be positive)"
+                    ));
                 }
             }
             "--max-line" => {
-                args.serve.max_line = value("--max-line")?
-                    .parse()
-                    .map_err(|_| "--max-line: expected a byte count".to_owned())?;
+                let v = value("--max-line")?;
+                args.serve.max_line = parse_value("--max-line", &v, "a byte count")?;
                 if args.serve.max_line < 16 {
-                    return Err("--max-line must be at least 16 bytes".to_owned());
+                    return Err(format!(
+                        "--max-line: invalid value {v:?} (must be at least 16 bytes)"
+                    ));
                 }
             }
             "--queue" => {
-                args.serve.queue_capacity = value("--queue")?
-                    .parse()
-                    .map_err(|_| "--queue: expected a positive integer".to_owned())?;
+                let v = value("--queue")?;
+                args.serve.queue_capacity = parse_value("--queue", &v, "a positive integer")?;
                 if args.serve.queue_capacity == 0 {
-                    return Err("--queue must be positive".to_owned());
+                    return Err(format!("--queue: invalid value {v:?} (must be positive)"));
                 }
             }
             "--help" | "-h" => {
-                println!(
-                    "usage: lexequald [--addr HOST:PORT] [--shards N] [--cache N] \
-                     [--threshold E] [--preload N] [--mode evented|threaded] [--workers N] \
-                     [--max-pipeline N] [--max-line BYTES] [--queue N]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
+    if args.snapshot.is_some() && args.preload > 0 {
+        return Err(
+            "--snapshot and --preload are mutually exclusive (the snapshot \
+                    already holds a corpus)"
+                .to_owned(),
+        );
+    }
     Ok(args)
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("lexequald: {e}");
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     };
@@ -135,19 +171,59 @@ fn main() -> ExitCode {
     if let Some(e) = args.threshold {
         match_config = match_config.with_threshold(e);
     }
-    let service = Arc::new(MatchService::new(ServiceConfig {
-        match_config: match_config.clone(),
-        shards: args.shards,
-        cache_capacity: args.cache,
-    }));
 
-    if args.preload > 0 {
-        eprintln!("lexequald: preloading ~{} synthetic names...", args.preload);
-        let dataset = lexequal_service::loadgen::build_dataset(&match_config, args.preload);
-        let n = dataset.len();
-        service.extend_transformed(dataset);
-        service.build_all(3, lexequal::QgramMode::Strict);
-        eprintln!("lexequald: {n} names loaded, all access paths built");
+    let service = if let Some(path) = &args.snapshot {
+        let start = Instant::now();
+        match MatchService::load_snapshot(match_config.clone(), args.shards, args.cache, path) {
+            Ok(s) => {
+                eprintln!(
+                    "lexequald: snapshot {path:?} restored: {} names on {} shard(s), \
+                     {} access path(s) rebuilt in {:.2?}",
+                    s.len(),
+                    s.store().shards(),
+                    s.store().built_specs().len(),
+                    start.elapsed(),
+                );
+                Arc::new(s)
+            }
+            Err(e) => {
+                eprintln!("lexequald: cannot load snapshot {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let shards = args.shards.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        let service = Arc::new(MatchService::new(ServiceConfig {
+            match_config: match_config.clone(),
+            shards,
+            cache_capacity: args.cache,
+        }));
+        if args.preload > 0 {
+            eprintln!("lexequald: preloading ~{} synthetic names...", args.preload);
+            let dataset = lexequal_service::loadgen::build_dataset(&match_config, args.preload);
+            let n = dataset.len();
+            service.extend_transformed(dataset);
+            service.build_all(3, lexequal::QgramMode::Strict);
+            eprintln!("lexequald: {n} names loaded, all access paths built");
+        }
+        service
+    };
+
+    if let Some(path) = &args.save_snapshot {
+        let start = Instant::now();
+        if let Err(e) = service.save_snapshot(path) {
+            eprintln!("lexequald: cannot save snapshot {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "lexequald: snapshot saved to {path:?} ({} names) in {:.2?}",
+            service.len(),
+            start.elapsed(),
+        );
     }
 
     let listener = match TcpListener::bind(&args.addr) {
@@ -160,7 +236,7 @@ fn main() -> ExitCode {
     eprintln!(
         "lexequald: serving on {} with {} shard(s), mode={} workers={} max-pipeline={}",
         listener.local_addr().map_or(args.addr, |a| a.to_string()),
-        args.shards,
+        service.store().shards(),
         args.mode.name(),
         args.serve.workers,
         args.serve.max_pipeline,

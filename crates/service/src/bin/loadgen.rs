@@ -22,7 +22,8 @@
 
 use lexequal::SearchMethod;
 use lexequal_service::loadgen::{
-    run, run_net, write_json, write_net_json, LoadgenConfig, NetConfig,
+    run, run_net, run_snapshot_bench, write_json, write_net_json, write_snapshot_bench_json,
+    LoadgenConfig, NetConfig, SnapshotBenchConfig,
 };
 use lexequal_service::ServeMode;
 use std::path::PathBuf;
@@ -41,19 +42,36 @@ fn parse_method(s: &str) -> Result<SearchMethod, String> {
 enum Parsed {
     InProcess(LoadgenConfig, PathBuf),
     Net(NetConfig, PathBuf),
+    SnapshotBench(SnapshotBenchConfig, PathBuf),
 }
 
 fn parse_args() -> Result<Parsed, String> {
     let mut config = LoadgenConfig::default();
     let mut net = NetConfig::default();
+    let mut snap = SnapshotBenchConfig::default();
     let mut net_mode = false;
+    let mut snap_mode = false;
     let mut out = PathBuf::from("results/service_bench.json");
     let mut net_out = PathBuf::from("results/evented_bench.json");
+    let mut snap_out = PathBuf::from("results/snapshot_bench.json");
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
             "--net" => net_mode = true,
+            "--snapshot-bench" => snap_mode = true,
+            "--snap-shards" => {
+                let v = value("--snap-shards")?;
+                snap.shards = v.parse().map_err(|_| {
+                    format!("--snap-shards: invalid value {v:?} (expected a positive integer)")
+                })?;
+                if snap.shards == 0 {
+                    return Err(format!(
+                        "--snap-shards: invalid value {v:?} (must be positive)"
+                    ));
+                }
+            }
+            "--snapshot-out" => snap_out = PathBuf::from(value("--snapshot-out")?),
             "--connections" => {
                 net.connections = value("--connections")?
                     .split(',')
@@ -108,6 +126,7 @@ fn parse_args() -> Result<Parsed, String> {
                     .parse()
                     .map_err(|_| "--size: expected an integer".to_owned())?;
                 net.dataset_size = config.dataset_size;
+                snap.dataset_size = config.dataset_size;
             }
             "--clients" => {
                 config.clients = value("--clients")?
@@ -155,14 +174,18 @@ fn parse_args() -> Result<Parsed, String> {
                      [--method scan|qgram|phonidx|bktree] [--threshold E] [--pool N] [--out PATH]\n\
                      \x20      loadgen --net [--connections 64,256,1024] [--pipeline N] \
                      [--conn-ops N] [--client-threads N] [--mode both|threaded|evented] \
-                     [--workers N] [--net-out PATH]"
+                     [--workers N] [--net-out PATH]\n\
+                     \x20      loadgen --snapshot-bench [--size N] [--snap-shards N] \
+                     [--snapshot-out PATH]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(if net_mode {
+    Ok(if snap_mode {
+        Parsed::SnapshotBench(snap, snap_out)
+    } else if net_mode {
         Parsed::Net(net, net_out)
     } else {
         Parsed::InProcess(config, out)
@@ -231,10 +254,35 @@ fn main_net(config: NetConfig, out: PathBuf) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn main_snapshot_bench(config: SnapshotBenchConfig, out: PathBuf) -> ExitCode {
+    eprintln!(
+        "loadgen: snapshot cold-start bench, ~{} names, {} shards",
+        config.dataset_size, config.shards,
+    );
+    let report = run_snapshot_bench(&config);
+    println!(
+        "build-from-corpus={:.3}s (g2p {:.3}s)  save={:.3}s ({} bytes)  \
+         load-from-snapshot={:.3}s  speedup={:.1}x",
+        report.build_cold_start_secs,
+        report.g2p_secs,
+        report.save_secs,
+        report.snapshot_bytes,
+        report.snapshot_cold_start_secs,
+        report.cold_start_speedup,
+    );
+    if let Err(e) = write_snapshot_bench_json(&report, &out) {
+        eprintln!("loadgen: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("loadgen: wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     match parse_args() {
         Ok(Parsed::InProcess(config, out)) => main_in_process(config, out),
         Ok(Parsed::Net(config, out)) => main_net(config, out),
+        Ok(Parsed::SnapshotBench(config, out)) => main_snapshot_bench(config, out),
         Err(e) => {
             eprintln!("loadgen: {e}");
             ExitCode::FAILURE

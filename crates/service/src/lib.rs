@@ -30,6 +30,11 @@
 //!   loop, both stoppable via [`ShutdownSignal`].
 //! * [`event_loop`] / [`conn`] — the evented path's readiness loop,
 //!   per-connection state machines and backpressure rules.
+//! * [`snapshot`] — [`StoreSnapshot`](snapshot::StoreSnapshot):
+//!   versioned on-disk persistence for the sharded store (per-shard
+//!   entry sections, build specs, corpus fingerprint); `lexequald
+//!   --snapshot` cold starts become a file read plus a parallel index
+//!   rebuild instead of a full G2P pass.
 //! * [`loadgen`] — the load generator behind the `loadgen` binary:
 //!   in-process shard scaling (`results/service_bench.json`) and
 //!   socket-level serving-mode comparison (`results/evented_bench.json`).
@@ -62,6 +67,7 @@ pub mod proto;
 pub mod server;
 pub mod service;
 pub mod shard;
+pub mod snapshot;
 
 pub use cache::TransformCache;
 pub use event_loop::{serve_evented, ShutdownSignal};
@@ -73,3 +79,4 @@ pub use service::{
     MatchOutcome, MatchRequest, MatchService, PendingLookup, ServiceConfig, StatsSnapshot,
 };
 pub use shard::{BuildSpec, PendingSearch, ShardedStore};
+pub use snapshot::{StoreSnapshot, STORE_SNAPSHOT_VERSION};

@@ -291,6 +291,156 @@ pub fn write_json(report: &LoadgenReport, path: &std::path::Path) -> std::io::Re
 }
 
 // ---------------------------------------------------------------------------
+// Snapshot cold-start comparison (`--snapshot-bench`)
+// ---------------------------------------------------------------------------
+
+/// What the snapshot cold-start bench measures.
+#[derive(Debug, Clone)]
+pub struct SnapshotBenchConfig {
+    /// Target synthetic lexicon size.
+    pub dataset_size: usize,
+    /// Store shards for both sides of the comparison.
+    pub shards: usize,
+    /// Transform-cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for SnapshotBenchConfig {
+    fn default() -> Self {
+        SnapshotBenchConfig {
+            dataset_size: 20_000,
+            shards: 2,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Cold-start timings: building a serving store from the corpus (G2P
+/// pass + load + index builds) versus restoring it from a snapshot
+/// (file read + validation + parallel index rebuild).
+#[derive(Debug, Clone)]
+pub struct SnapshotBenchReport {
+    /// Actual number of names.
+    pub dataset_size: usize,
+    /// Store shards used on both sides.
+    pub shards: usize,
+    /// Host `available_parallelism` (bounds both sides equally).
+    pub available_parallelism: usize,
+    /// The G2P transform share of the corpus build, seconds.
+    pub g2p_secs: f64,
+    /// Full build-from-corpus cold start, seconds (G2P + bulk load +
+    /// all three access-path builds).
+    pub build_cold_start_secs: f64,
+    /// Writing the snapshot, seconds.
+    pub save_secs: f64,
+    /// Snapshot size on disk, bytes.
+    pub snapshot_bytes: u64,
+    /// Full load-from-snapshot cold start, seconds (read + decode +
+    /// fingerprint/cluster validation + parallel index rebuild).
+    pub snapshot_cold_start_secs: f64,
+    /// `build_cold_start_secs / snapshot_cold_start_secs`.
+    pub cold_start_speedup: f64,
+}
+
+/// Run the cold-start comparison. The snapshot itself is written to a
+/// temporary file and removed afterwards; only the timings survive.
+pub fn run_snapshot_bench(config: &SnapshotBenchConfig) -> SnapshotBenchReport {
+    let match_config = MatchConfig::default();
+
+    // Side A: cold start from the corpus.
+    let t0 = Instant::now();
+    let dataset = build_dataset(&match_config, config.dataset_size);
+    let g2p_secs = t0.elapsed().as_secs_f64();
+    let service = MatchService::new(ServiceConfig {
+        match_config: match_config.clone(),
+        shards: config.shards,
+        cache_capacity: config.cache_capacity,
+    });
+    let n = dataset.len();
+    service.extend_transformed(dataset);
+    service.build_all(3, QgramMode::Strict);
+    let build_cold_start_secs = t0.elapsed().as_secs_f64();
+
+    // Save once (not part of either cold start).
+    let path = std::env::temp_dir().join(format!(
+        "lexequal_snapshot_bench_{}_{}.json",
+        std::process::id(),
+        config.dataset_size
+    ));
+    let t1 = Instant::now();
+    service.save_snapshot(&path).expect("save snapshot");
+    let save_secs = t1.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    drop(service);
+
+    // Side B: cold start from the snapshot.
+    let t2 = Instant::now();
+    let loaded = MatchService::load_snapshot(match_config, None, config.cache_capacity, &path)
+        .expect("load snapshot");
+    let snapshot_cold_start_secs = t2.elapsed().as_secs_f64();
+    assert_eq!(loaded.len(), n, "snapshot dropped names");
+    std::fs::remove_file(&path).ok();
+
+    SnapshotBenchReport {
+        dataset_size: n,
+        shards: config.shards,
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        g2p_secs,
+        build_cold_start_secs,
+        save_secs,
+        snapshot_bytes,
+        snapshot_cold_start_secs,
+        cold_start_speedup: build_cold_start_secs / snapshot_cold_start_secs.max(f64::EPSILON),
+    }
+}
+
+/// Render the snapshot bench report as JSON.
+pub fn snapshot_bench_to_json(report: &SnapshotBenchReport) -> Json {
+    Json::Obj(vec![
+        (
+            "dataset_size".to_owned(),
+            Json::Int(report.dataset_size as i64),
+        ),
+        ("shards".to_owned(), Json::Int(report.shards as i64)),
+        (
+            "available_parallelism".to_owned(),
+            Json::Int(report.available_parallelism as i64),
+        ),
+        ("g2p_secs".to_owned(), Json::Float(report.g2p_secs)),
+        (
+            "build_cold_start_secs".to_owned(),
+            Json::Float(report.build_cold_start_secs),
+        ),
+        ("save_secs".to_owned(), Json::Float(report.save_secs)),
+        (
+            "snapshot_bytes".to_owned(),
+            Json::Int(report.snapshot_bytes as i64),
+        ),
+        (
+            "snapshot_cold_start_secs".to_owned(),
+            Json::Float(report.snapshot_cold_start_secs),
+        ),
+        (
+            "cold_start_speedup".to_owned(),
+            Json::Float(report.cold_start_speedup),
+        ),
+    ])
+}
+
+/// Write the snapshot bench report to `path` as JSON.
+pub fn write_snapshot_bench_json(
+    report: &SnapshotBenchReport,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, snapshot_bench_to_json(report).render())
+}
+
+// ---------------------------------------------------------------------------
 // Socket-level serving-mode comparison (`--net`)
 // ---------------------------------------------------------------------------
 
@@ -692,6 +842,24 @@ mod tests {
             parsed.get("runs").and_then(Json::as_arr).map(|a| a.len()),
             Some(2)
         );
+    }
+
+    #[test]
+    fn snapshot_bench_produces_a_sane_report() {
+        let report = run_snapshot_bench(&SnapshotBenchConfig {
+            dataset_size: 300,
+            shards: 2,
+            cache_capacity: 64,
+        });
+        assert!(report.dataset_size >= 100, "{}", report.dataset_size);
+        assert_eq!(report.shards, 2);
+        assert!(report.snapshot_bytes > 0);
+        assert!(report.build_cold_start_secs > 0.0);
+        assert!(report.snapshot_cold_start_secs > 0.0);
+        assert!(report.g2p_secs <= report.build_cold_start_secs);
+        let json = snapshot_bench_to_json(&report).render();
+        let parsed = Json::parse(&json).unwrap();
+        assert!(parsed.get("cold_start_speedup").is_some());
     }
 
     #[test]

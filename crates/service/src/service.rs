@@ -108,6 +108,49 @@ impl MatchService {
         }
     }
 
+    /// Wrap an existing store (typically one restored from a snapshot):
+    /// the service's built-path mask is seeded from the store's recorded
+    /// build specs, so a path the snapshot rebuilt serves immediately.
+    pub fn from_store(store: ShardedStore, cache_capacity: usize) -> Self {
+        let mut built = 1u8 << method_index(SearchMethod::Scan);
+        for spec in store.built_specs() {
+            let method = match spec {
+                BuildSpec::Qgram { .. } => SearchMethod::Qgram,
+                BuildSpec::PhoneticIndex => SearchMethod::PhoneticIndex,
+                BuildSpec::BkTree => SearchMethod::BkTree,
+            };
+            built |= 1 << method_index(method);
+        }
+        MatchService {
+            store,
+            cache: TransformCache::new(cache_capacity),
+            metrics: ServiceMetrics::default(),
+            built: AtomicU8::new(built),
+        }
+    }
+
+    /// Persist the store (entries, striping, built access paths) to
+    /// `path` — see [`crate::snapshot`].
+    pub fn save_snapshot(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), lexequal_mdb::DbError> {
+        self.store.save_to_file(path)
+    }
+
+    /// Build a service around a store loaded from a snapshot file.
+    /// `shards` as in [`ShardedStore::load_from_file`]: `None` accepts
+    /// the snapshot's own shard count, `Some(m)` insists on `m`.
+    pub fn load_snapshot(
+        match_config: MatchConfig,
+        shards: Option<usize>,
+        cache_capacity: usize,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, lexequal_mdb::DbError> {
+        let store = ShardedStore::load_from_file(match_config, shards, path)?;
+        Ok(MatchService::from_store(store, cache_capacity))
+    }
+
     /// The underlying sharded store.
     pub fn store(&self) -> &ShardedStore {
         &self.store

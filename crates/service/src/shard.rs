@@ -68,6 +68,12 @@ enum Cmd {
         local: u32,
         reply: Sender<Option<NameEntry>>,
     },
+    /// Export every entry in local-id order (snapshot capture); echoes
+    /// the shard index so the coordinator can collect out of order.
+    Export {
+        shard: usize,
+        reply: Sender<(usize, Vec<NameEntry>)>,
+    },
 }
 
 fn worker(mut store: NameStore, rx: Receiver<Cmd>, screens: Arc<ScreenTotals>) {
@@ -104,6 +110,9 @@ fn worker(mut store: NameStore, rx: Receiver<Cmd>, screens: Arc<ScreenTotals>) {
             Cmd::Get { local, reply } => {
                 let _ = reply.send(store.get(local).cloned());
             }
+            Cmd::Export { shard, reply } => {
+                let _ = reply.send((shard, store.entries().to_vec()));
+            }
         }
     }
 }
@@ -118,6 +127,10 @@ pub struct ShardedStore {
     grow: Mutex<u32>,
     /// Kernel screen counters, flushed by every worker after each search.
     screens: Arc<ScreenTotals>,
+    /// Access paths currently built on every shard, in build order —
+    /// recorded so a snapshot can rebuild exactly the same paths on
+    /// load. Cleared whenever an append invalidates the shard indexes.
+    builds: Mutex<Vec<BuildSpec>>,
 }
 
 impl ShardedStore {
@@ -149,6 +162,7 @@ impl ShardedStore {
             handles,
             grow: Mutex::new(0),
             screens,
+            builds: Mutex::new(Vec::new()),
         }
     }
 
@@ -225,6 +239,10 @@ impl ShardedStore {
             added += count as u32;
         }
         let end = start + added;
+        if added > 0 {
+            // The appends invalidated every shard's access paths.
+            self.builds.lock().expect("builds lock").clear();
+        }
         // Publish the new length only after every shard has appended, so
         // a concurrent reader never sees ids it cannot resolve.
         let mut guard = guard;
@@ -244,6 +262,77 @@ impl ShardedStore {
         }
         drop(tx);
         for _ in rx {}
+        let mut builds = self.builds.lock().expect("builds lock");
+        // Rebuilding the same path replaces its recorded spec (a second
+        // q-gram build with a different `q` overwrites the old filter).
+        builds.retain(|b| std::mem::discriminant(b) != std::mem::discriminant(&spec));
+        builds.push(spec);
+    }
+
+    /// The access paths currently built on every shard, in build order
+    /// (what a snapshot records and a load rebuilds).
+    pub fn built_specs(&self) -> Vec<BuildSpec> {
+        self.builds.lock().expect("builds lock").clone()
+    }
+
+    /// Pull every shard's entries in local-id order (shard `s`, local
+    /// `l` holds global id `l * shards + s`) — the snapshot capture path.
+    pub(crate) fn export_shards(&self) -> Vec<Vec<NameEntry>> {
+        // Hold the grow lock across the export so no concurrent append
+        // can land between two shards' section copies.
+        let _guard = self.grow.lock().expect("grow lock");
+        let n = self.shards();
+        let (tx, rx) = channel();
+        for (shard, s) in self.senders.iter().enumerate() {
+            s.send(Cmd::Export {
+                shard,
+                reply: tx.clone(),
+            })
+            .expect("shard worker alive");
+        }
+        drop(tx);
+        let mut sections: Vec<Vec<NameEntry>> = (0..n).map(|_| Vec::new()).collect();
+        for (shard, entries) in rx {
+            sections[shard] = entries;
+        }
+        sections
+    }
+
+    /// Place pre-striped sections on the shards — the snapshot restore
+    /// path. Section `s` becomes shard `s`'s entries verbatim, so global
+    /// ids are exactly what they were in the store that was saved (shard
+    /// `s` local `l` is global `l * N + s`). All appends are enqueued
+    /// before any is awaited, so the per-shard bulk loads run in
+    /// parallel. Only valid on an empty store whose shard count equals
+    /// `sections.len()` and whose sections form a round-robin stripe —
+    /// [`crate::snapshot`] validates both before calling.
+    pub(crate) fn import_shards(&self, sections: Vec<Vec<NameEntry>>) {
+        debug_assert_eq!(sections.len(), self.shards());
+        let guard = self.grow.lock().expect("grow lock");
+        debug_assert_eq!(*guard, 0, "import into a non-empty store");
+        let total: usize = sections.iter().map(Vec::len).sum();
+        let (tx, rx) = channel();
+        let mut expected = 0usize;
+        for (shard, batch) in sections.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            expected += 1;
+            self.senders[shard]
+                .send(Cmd::Extend {
+                    entries: batch,
+                    reply: tx.clone(),
+                })
+                .expect("shard worker alive");
+        }
+        drop(tx);
+        for _ in 0..expected {
+            rx.recv().expect("shard worker replies");
+        }
+        // Publish the total only after every shard confirmed its append,
+        // exactly like `extend_transformed`.
+        let mut guard = guard;
+        *guard = total as u32;
     }
 
     /// Entry by global id.

@@ -1,0 +1,223 @@
+//! Black-box tests of the `lexequald` command line: bad flag values
+//! must name the flag *and* the value, print the usage line, and exit
+//! non-zero — never panic, never start serving. Also covers the full
+//! snapshot serving cycle: `--save-snapshot` on one run, `--snapshot`
+//! on the next, with a bit-identical MATCH response across the restart.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+fn lexequald() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lexequald"))
+}
+
+/// Run the daemon with `args`, expecting it to exit immediately, and
+/// return (exit-ok, stderr).
+fn run_expect_exit(args: &[&str]) -> (bool, String) {
+    let out = lexequald()
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("spawn lexequald");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// Assert one bad invocation dies with a message containing every
+/// `needles` fragment plus the usage line.
+fn assert_usage_error(args: &[&str], needles: &[&str]) {
+    let (ok, stderr) = run_expect_exit(args);
+    assert!(!ok, "{args:?} must exit non-zero, stderr: {stderr}");
+    for needle in needles {
+        assert!(
+            stderr.contains(needle),
+            "{args:?}: {needle:?} not in {stderr:?}"
+        );
+    }
+    assert!(
+        stderr.contains("usage:"),
+        "{args:?}: no usage line in {stderr:?}"
+    );
+}
+
+#[test]
+fn bad_flag_values_name_the_flag_and_value() {
+    // Non-numeric values: the flag and the literal value both appear.
+    assert_usage_error(&["--shards", "x"], &["--shards", "\"x\"", "invalid value"]);
+    assert_usage_error(&["--cache", "many"], &["--cache", "\"many\""]);
+    assert_usage_error(&["--preload", "abc"], &["--preload", "\"abc\""]);
+    assert_usage_error(&["--threshold", "huge"], &["--threshold", "\"huge\""]);
+    assert_usage_error(&["--workers", "-1"], &["--workers", "\"-1\""]);
+    assert_usage_error(&["--max-pipeline", "1.5"], &["--max-pipeline", "\"1.5\""]);
+    assert_usage_error(&["--queue", ""], &["--queue", "\"\""]);
+
+    // Parseable but out of range: same shape.
+    assert_usage_error(&["--shards", "0"], &["--shards", "\"0\"", "positive"]);
+    assert_usage_error(&["--threshold", "9"], &["--threshold", "\"9\"", "[0,1]"]);
+    assert_usage_error(&["--workers", "0"], &["--workers", "\"0\""]);
+    assert_usage_error(&["--max-line", "4"], &["--max-line", "\"4\""]);
+
+    // Structural errors.
+    assert_usage_error(&["--shards"], &["--shards", "needs a value"]);
+    assert_usage_error(&["--frobnicate"], &["--frobnicate", "unknown flag"]);
+    assert_usage_error(&["--mode", "fast"], &["--mode", "\"fast\""]);
+    assert_usage_error(
+        &["--snapshot", "s.json", "--preload", "10"],
+        &["--snapshot", "--preload", "mutually exclusive"],
+    );
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = lexequald().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn missing_and_corrupt_snapshots_fail_cleanly() {
+    let (ok, stderr) = run_expect_exit(&["--snapshot", "/nonexistent/lexequal.json"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot load snapshot"), "{stderr}");
+
+    let path =
+        std::env::temp_dir().join(format!("lexequal_cli_corrupt_{}.json", std::process::id()));
+    std::fs::write(&path, b"{ not a snapshot").expect("write corrupt file");
+    let (ok, stderr) = run_expect_exit(&["--snapshot", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok, "corrupt snapshot must not serve");
+    assert!(stderr.contains("cannot load snapshot"), "{stderr}");
+}
+
+/// A running daemon child whose stderr is consumed line by line.
+struct Server {
+    child: Child,
+    stderr: BufReader<std::process::ChildStderr>,
+    addr: Option<std::net::SocketAddr>,
+}
+
+impl Server {
+    fn spawn(args: &[&str]) -> Self {
+        let mut child = lexequald()
+            .args(args)
+            .stdin(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn lexequald");
+        let stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+        Server {
+            child,
+            stderr,
+            addr: None,
+        }
+    }
+
+    /// Read stderr until the "serving on ADDR" line; return lines seen.
+    fn wait_serving(&mut self) -> Vec<String> {
+        let mut seen = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n = self.stderr.read_line(&mut line).expect("read stderr");
+            assert!(
+                n > 0,
+                "daemon exited before serving; stderr so far: {seen:?}"
+            );
+            let line = line.trim_end().to_owned();
+            if let Some(rest) = line.strip_prefix("lexequald: serving on ") {
+                let addr = rest.split_whitespace().next().expect("addr token");
+                self.addr = Some(addr.parse().expect("socket addr"));
+                seen.push(line);
+                return seen;
+            }
+            seen.push(line);
+        }
+    }
+
+    /// One request/response round trip on a fresh connection.
+    fn request(&self, line: &str) -> String {
+        let mut stream = TcpStream::connect(self.addr.expect("serving")).expect("connect");
+        writeln!(stream, "{line}").expect("write");
+        let mut reader = BufReader::new(&stream);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read");
+        resp.trim_end().to_owned()
+    }
+
+    fn stop(mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+/// The full serving cycle: preload + save a snapshot, restart from it,
+/// and assert the restarted daemon answers a MATCH bit-identically.
+#[test]
+fn snapshot_written_by_one_run_serves_the_next() {
+    let snap = std::env::temp_dir().join(format!("lexequal_cli_cycle_{}.json", std::process::id()));
+    let snap_str = snap.to_str().unwrap().to_owned();
+
+    let mut first = Server::spawn(&[
+        "--addr",
+        "127.0.0.1:0",
+        "--shards",
+        "2",
+        "--preload",
+        "400",
+        "--save-snapshot",
+        &snap_str,
+    ]);
+    let lines = first.wait_serving();
+    assert!(
+        lines.iter().any(|l| l.contains("snapshot saved")),
+        "no save line in {lines:?}"
+    );
+    let query = "MATCH en qgram 0.45 Nehru";
+    let before = first.request(query);
+    assert!(before.starts_with("OK "), "{before}");
+    let names_before = first.request("STATS");
+    first.stop();
+
+    // Restart purely from the snapshot — no --preload, no --shards: the
+    // store must come back with the snapshot's own shard count.
+    let mut second = Server::spawn(&["--addr", "127.0.0.1:0", "--snapshot", &snap_str]);
+    let lines = second.wait_serving();
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("restored") && l.contains("shard")),
+        "no restore line in {lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("2 shard(s)")),
+        "snapshot shard count not adopted: {lines:?}"
+    );
+    let after = second.request(query);
+    assert_eq!(after, before, "MATCH diverged across the restart");
+    // STATS agrees on the corpus size (strip the volatile counters).
+    let names = |s: &str| {
+        s.split_whitespace()
+            .find(|kv| kv.starts_with("names="))
+            .map(str::to_owned)
+    };
+    assert_eq!(names(&names_before), names(&second.request("STATS")));
+    second.stop();
+
+    // A --shards pin that disagrees with the snapshot is a clean startup
+    // failure pointing at the open re-sharding item.
+    let (ok, stderr) = run_expect_exit(&["--snapshot", &snap_str, "--shards", "5"]);
+    assert!(!ok, "mismatched --shards must not serve");
+    assert!(stderr.contains("2 shard"), "{stderr}");
+    assert!(stderr.contains("rebalancing"), "{stderr}");
+
+    std::fs::remove_file(&snap).ok();
+}

@@ -13,10 +13,10 @@ cargo fmt --all -- --check
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "== cargo clippy -p lexequal-service -D warnings"
-# The serving crate gets its own pass so a service-only change can't
-# hide behind a cached workspace run.
-cargo clippy -p lexequal-service --all-targets --offline -- -D warnings
+echo "== cargo clippy -p lexequal-service -p lexequal-mdb -D warnings"
+# The serving and snapshot crates get their own pass so a crate-local
+# change can't hide behind a cached workspace run.
+cargo clippy -p lexequal-service -p lexequal-mdb --all-targets --offline -- -D warnings
 
 echo "== cargo build --release"
 cargo build --workspace --release --offline
@@ -26,6 +26,15 @@ cargo test --workspace --offline -q
 
 echo "== evented serving: framing + 1024-connection soak"
 cargo test -p lexequal-service --offline -q --test framing --test evented_soak
+
+echo "== snapshot persistence: round-trip equivalence + corrupt files + CLI"
+cargo test -p lexequal-service --offline -q --test snapshot_roundtrip --test cli_flags
+cargo test -p lexequal-mdb --offline -q snapshot
+
+echo "== snapshot cold-start timing (small run; full size via --size)"
+cargo run --release -p lexequal-service --offline --bin loadgen -- \
+    --snapshot-bench --size 5000 --snapshot-out results/snapshot_bench_ci.json
+rm -f results/snapshot_bench_ci.json
 
 echo "== cargo bench --no-run"
 # Compile-checks the bench harnesses. The criterion micro-benchmarks are

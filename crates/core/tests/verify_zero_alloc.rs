@@ -7,15 +7,32 @@
 //! the whole corpus once, snapshot the allocation count, run the same
 //! verifications again, and require a delta of exactly zero. Lives in its
 //! own integration-test binary because `#[global_allocator]` is
-//! process-wide; keeping it out of the unit-test binary means no other
-//! test can allocate concurrently and blur the count.
+//! process-wide. Counting is gated on a thread-local flag so only the
+//! measuring thread is observed — the libtest harness's own thread may
+//! allocate (progress output, timers) at any moment, and without the
+//! gate those allocations land in the window and flake the count.
 
 use lexequal::{LexEqual, MatchConfig, PreparedQuery, Verifier};
 use lexequal_phoneme::{Inventory, Phoneme, PhonemeString};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    // `const` init: reading the flag never itself allocates.
+    static COUNT_THIS_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count() {
+    // `try_with` so a (never-allocating) read during TLS teardown can't
+    // panic inside the allocator.
+    let counting = COUNT_THIS_THREAD.try_with(Cell::get).unwrap_or(false);
+    if counting {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 struct CountingAllocator;
 
@@ -23,17 +40,17 @@ struct CountingAllocator;
 // atomic with no allocation of its own.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -103,7 +120,9 @@ fn warmed_up_verification_does_not_allocate() {
     let warm_hits = verify_all(&mut verifier, &op, &prepared, &strings, &cluster_ids);
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNT_THIS_THREAD.with(|c| c.set(true));
     let hits = verify_all(&mut verifier, &op, &prepared, &strings, &cluster_ids);
+    COUNT_THIS_THREAD.with(|c| c.set(false));
     let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
 
     assert_eq!(hits, warm_hits);

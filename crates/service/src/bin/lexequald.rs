@@ -2,41 +2,60 @@
 //!
 //! ```text
 //! lexequald [--addr HOST:PORT] [--shards N] [--cache N] [--threshold E] [--preload N]
-//!           [--snapshot PATH] [--save-snapshot PATH]
+//!           [--snapshot PATH] [--save-snapshot PATH] [--wal PATH]
+//!           [--replica-of HOST:PORT] [--repl-listen HOST:PORT]
 //!           [--mode evented|threaded] [--workers N] [--max-pipeline N]
 //!           [--max-line BYTES] [--queue N]
 //! ```
 //!
 //! Binds a TCP listener and serves the line protocol documented in
-//! `lexequal_service::proto` (ADD, BUILD, MATCH, BATCH, STATS, QUIT).
-//! The default `--mode evented` runs a single epoll readiness loop with
-//! a fixed pool of `--workers` verify threads and supports up to
-//! `--max-pipeline` in-flight requests per connection; `--mode
+//! `lexequal_service::proto` (ADD, BUILD, MATCH, BATCH, STATS, SAVE,
+//! QUIT). The default `--mode evented` runs a single epoll readiness
+//! loop with a fixed pool of `--workers` verify threads and supports up
+//! to `--max-pipeline` in-flight requests per connection; `--mode
 //! threaded` is the legacy one-thread-per-connection path.
 //!
 //! Store population, fastest first:
 //!
 //! * `--snapshot PATH` — restore the store from a snapshot written by
-//!   `--save-snapshot`: a file read plus a parallel index rebuild, no
-//!   G2P pass. The store comes back with the snapshot's own shard count
-//!   unless `--shards` pins one (which must then match — re-sharding on
-//!   load is not supported).
+//!   `--save-snapshot` (or the `SAVE` wire command): a file read plus a
+//!   parallel index rebuild, no G2P pass. The store comes back with the
+//!   snapshot's own shard count unless `--shards` pins one (which must
+//!   then match — re-sharding on load is not supported).
 //! * `--preload N` — bulk-load ≈N synthetic names (paper §5 dataset)
 //!   and build all access paths before accepting connections.
 //!
 //! `--save-snapshot PATH` writes the store to PATH once it is populated
 //! (after `--preload`, before serving), so the next start can use
-//! `--snapshot PATH`.
+//! `--snapshot PATH`. It also becomes the default target for the `SAVE`
+//! wire command.
+//!
+//! Replication (see DESIGN §5e):
+//!
+//! * `--wal PATH` makes this daemon a **primary**: every mutation
+//!   appends to the write-ahead op log (fsynced) before the client sees
+//!   `OK`, restart replays the WAL tail past `--snapshot`'s covered
+//!   LSN, and `REPL HELLO <lsn>` on any connection opens a replication
+//!   stream. `--repl-listen HOST:PORT` additionally serves streams on a
+//!   dedicated listener.
+//! * `--replica-of HOST:PORT` makes this daemon a **read-only replica**:
+//!   it seeds itself with a snapshot transfer from the primary, applies
+//!   the op stream continuously (reconnecting with backoff), answers
+//!   MATCH/BATCH/STATS locally and rejects mutations with a redirect.
 
 use lexequal::MatchConfig;
-use lexequal_service::{MatchService, ServeMode, ServeOptions, ServiceConfig, ShutdownSignal};
-use std::net::TcpListener;
+use lexequal_service::{
+    bind_reusable, repl, MatchService, ReplicaState, Replicator, ReqCtx, ServeMode, ServeOptions,
+    ServiceConfig, ShutdownSignal, Wal, WalMetrics,
+};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "usage: lexequald [--addr HOST:PORT] [--shards N] [--cache N] \
-[--threshold E] [--preload N] [--snapshot PATH] [--save-snapshot PATH] \
+[--threshold E] [--preload N] [--snapshot PATH] [--save-snapshot PATH] [--wal PATH] \
+[--replica-of HOST:PORT] [--repl-listen HOST:PORT] \
 [--mode evented|threaded] [--workers N] [--max-pipeline N] [--max-line BYTES] [--queue N]";
 
 struct Args {
@@ -49,6 +68,9 @@ struct Args {
     preload: usize,
     snapshot: Option<String>,
     save_snapshot: Option<String>,
+    wal: Option<String>,
+    replica_of: Option<String>,
+    repl_listen: Option<String>,
     mode: ServeMode,
     serve: ServeOptions,
 }
@@ -62,6 +84,17 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: &str, expected: &str) ->
         .map_err(|_| format!("{flag}: invalid value {value:?} (expected {expected})"))
 }
 
+/// Addresses must at least look like `HOST:PORT`; catching this at parse
+/// time beats a confusing connect/bind error later.
+fn parse_addr(flag: &str, value: String) -> Result<String, String> {
+    if !value.contains(':') {
+        return Err(format!(
+            "{flag}: invalid value {value:?} (expected HOST:PORT)"
+        ));
+    }
+    Ok(value)
+}
+
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7077".to_owned(),
@@ -71,6 +104,9 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         preload: 0,
         snapshot: None,
         save_snapshot: None,
+        wal: None,
+        replica_of: None,
+        repl_listen: None,
         mode: ServeMode::Evented,
         serve: ServeOptions::default(),
     };
@@ -78,9 +114,16 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
-            "--addr" => args.addr = value("--addr")?,
+            "--addr" => args.addr = parse_addr("--addr", value("--addr")?)?,
             "--snapshot" => args.snapshot = Some(value("--snapshot")?),
             "--save-snapshot" => args.save_snapshot = Some(value("--save-snapshot")?),
+            "--wal" => args.wal = Some(value("--wal")?),
+            "--replica-of" => {
+                args.replica_of = Some(parse_addr("--replica-of", value("--replica-of")?)?);
+            }
+            "--repl-listen" => {
+                args.repl_listen = Some(parse_addr("--repl-listen", value("--repl-listen")?)?);
+            }
             "--shards" => {
                 let v = value("--shards")?;
                 let n: usize = parse_value("--shards", &v, "a positive integer")?;
@@ -155,6 +198,27 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 .to_owned(),
         );
     }
+    if args.replica_of.is_some() {
+        // A replica's store is owned by the primary's stream end to end:
+        // no local WAL, no local seeding, no snapshots of its own.
+        for (flag, set) in [
+            ("--wal", args.wal.is_some()),
+            ("--snapshot", args.snapshot.is_some()),
+            ("--save-snapshot", args.save_snapshot.is_some()),
+            ("--repl-listen", args.repl_listen.is_some()),
+            ("--preload", args.preload > 0),
+        ] {
+            if set {
+                return Err(format!(
+                    "--replica-of and {flag} are mutually exclusive (a replica \
+                     seeds itself from the primary)"
+                ));
+            }
+        }
+    }
+    if args.repl_listen.is_some() && args.wal.is_none() {
+        return Err("--repl-listen requires --wal (only a primary serves replicas)".to_owned());
+    }
     Ok(args)
 }
 
@@ -172,10 +236,19 @@ fn main() -> ExitCode {
         match_config = match_config.with_threshold(e);
     }
 
-    let service = if let Some(path) = &args.snapshot {
+    if args.replica_of.is_some() {
+        return run_replica_daemon(&args, match_config);
+    }
+
+    let (service, base_lsn) = if let Some(path) = &args.snapshot {
         let start = Instant::now();
-        match MatchService::load_snapshot(match_config.clone(), args.shards, args.cache, path) {
-            Ok(s) => {
+        match MatchService::load_snapshot_with_lsn(
+            match_config.clone(),
+            args.shards,
+            args.cache,
+            path,
+        ) {
+            Ok((s, lsn)) => {
                 eprintln!(
                     "lexequald: snapshot {path:?} restored: {} names on {} shard(s), \
                      {} access path(s) rebuilt in {:.2?}",
@@ -184,7 +257,7 @@ fn main() -> ExitCode {
                     s.store().built_specs().len(),
                     start.elapsed(),
                 );
-                Arc::new(s)
+                (Arc::new(s), lsn)
             }
             Err(e) => {
                 eprintln!("lexequald: cannot load snapshot {path:?}: {e}");
@@ -210,12 +283,50 @@ fn main() -> ExitCode {
             service.build_all(3, lexequal::QgramMode::Strict);
             eprintln!("lexequald: {n} names loaded, all access paths built");
         }
-        service
+        (service, 0)
+    };
+
+    // With --wal this daemon is a primary: recover the tail past the
+    // snapshot, then commit every future mutation through the log.
+    let replicator = if let Some(path) = &args.wal {
+        let start = Instant::now();
+        let metrics = Arc::new(WalMetrics::default());
+        let (wal, tail) = match Wal::open(path, base_lsn, Arc::clone(&metrics)) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("lexequald: cannot open wal {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let replayed = tail.len();
+        for record in tail {
+            if let Err(e) = service.apply_op(&record.op) {
+                eprintln!(
+                    "lexequald: cannot replay wal {path:?} record lsn {}: {e:?}",
+                    record.lsn
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            "lexequald: wal {path:?} replayed {replayed} op(s), head lsn {} in {:.2?}",
+            wal.head_lsn(),
+            start.elapsed(),
+        );
+        Some(Replicator::new(wal, metrics))
+    } else {
+        None
     };
 
     if let Some(path) = &args.save_snapshot {
         let start = Instant::now();
-        if let Err(e) = service.save_snapshot(path) {
+        let saved = match &replicator {
+            Some(repl) => repl
+                .save_snapshot_atomic(&service, std::path::Path::new(path))
+                .map(|_| ()),
+            None => service.save_snapshot_with_lsn(path, 0),
+        };
+        if let Err(e) = saved {
             eprintln!("lexequald: cannot save snapshot {path:?}: {e}");
             return ExitCode::FAILURE;
         }
@@ -226,21 +337,6 @@ fn main() -> ExitCode {
         );
     }
 
-    let listener = match TcpListener::bind(&args.addr) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("lexequald: cannot bind {}: {e}", args.addr);
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!(
-        "lexequald: serving on {} with {} shard(s), mode={} workers={} max-pipeline={}",
-        listener.local_addr().map_or(args.addr, |a| a.to_string()),
-        service.store().shards(),
-        args.mode.name(),
-        args.serve.workers,
-        args.serve.max_pipeline,
-    );
     let shutdown = match ShutdownSignal::new() {
         Ok(s) => s,
         Err(e) => {
@@ -248,7 +344,176 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match lexequal_service::serve_with(args.mode, listener, service, args.serve, shutdown) {
+
+    // Optional dedicated replication listener (streams also work on the
+    // main address; this isolates them for firewalling or QoS).
+    let repl_thread = match (&replicator, &args.repl_listen) {
+        (Some(repl), Some(addr)) => {
+            let listener = match bind_reusable(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("lexequald: cannot bind replication listener {addr}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("lexequald: replication listener on {addr}");
+            let service = Arc::clone(&service);
+            let repl = Arc::clone(repl);
+            let shutdown = shutdown.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("lexequald-repl-accept".to_owned())
+                    .spawn(move || {
+                        if let Err(e) = repl::serve_repl_listener(listener, service, repl, shutdown)
+                        {
+                            eprintln!("lexequald: replication listener failed: {e}");
+                        }
+                    })
+                    .expect("spawn replication listener"),
+            )
+        }
+        _ => None,
+    };
+
+    let listener = match bind_reusable(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("lexequald: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "lexequald: serving on {} with {} shard(s), mode={} workers={} max-pipeline={}{}",
+        listener.local_addr().map_or(args.addr, |a| a.to_string()),
+        service.store().shards(),
+        args.mode.name(),
+        args.serve.workers,
+        args.serve.max_pipeline,
+        if replicator.is_some() {
+            " role=primary"
+        } else {
+            ""
+        },
+    );
+    let ctx = ReqCtx {
+        repl: replicator.clone(),
+        replica: None,
+        save_path: args
+            .save_snapshot
+            .as_ref()
+            .or(args.snapshot.as_ref())
+            .map(PathBuf::from),
+    };
+    let result = lexequal_service::serve_ctx(args.mode, listener, service, ctx, args.serve, {
+        shutdown.clone()
+    });
+    shutdown.trigger();
+    if let Some(repl) = &replicator {
+        repl.stop_and_join();
+    }
+    if let Some(handle) = repl_thread {
+        let _ = handle.join();
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lexequald: listener failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `--replica-of` daemon: seed from the primary's snapshot stream,
+/// keep applying ops on a background thread, serve reads locally.
+fn run_replica_daemon(args: &Args, match_config: MatchConfig) -> ExitCode {
+    let primary = args.replica_of.clone().expect("replica_of checked");
+    let state = Arc::new(ReplicaState::new(primary.clone()));
+    let shutdown = match ShutdownSignal::new() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lexequald: cannot create shutdown signal: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let start = Instant::now();
+    eprintln!("lexequald: replica of {primary}: waiting for initial sync...");
+    let (service, stream, reader) = match repl::initial_sync(
+        &primary,
+        &match_config,
+        args.shards,
+        args.cache,
+        &state,
+        &shutdown,
+    ) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("lexequald: initial sync with {primary} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = Arc::new(service);
+    eprintln!(
+        "lexequald: replica synced from {primary}: {} names on {} shard(s) at lsn {} in {:.2?}",
+        service.len(),
+        service.store().shards(),
+        state.applied(),
+        start.elapsed(),
+    );
+
+    let apply_thread = {
+        let service = Arc::clone(&service);
+        let state = Arc::clone(&state);
+        let shutdown = shutdown.clone();
+        std::thread::Builder::new()
+            .name("lexequald-apply".to_owned())
+            .spawn(move || {
+                if let Err(e) =
+                    repl::run_replica(&service, &state, Some((stream, reader)), &shutdown)
+                {
+                    // A divergent replica cannot limp along serving
+                    // stale answers; die loudly so a supervisor reseeds.
+                    eprintln!("lexequald: replication stream failed: {e}");
+                    std::process::exit(2);
+                }
+            })
+            .expect("spawn replica apply thread")
+    };
+
+    let listener = match bind_reusable(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("lexequald: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "lexequald: serving on {} with {} shard(s), mode={} workers={} max-pipeline={} \
+         role=replica primary={}",
+        listener
+            .local_addr()
+            .map_or_else(|_| args.addr.clone(), |a| a.to_string()),
+        service.store().shards(),
+        args.mode.name(),
+        args.serve.workers,
+        args.serve.max_pipeline,
+        primary,
+    );
+    let ctx = ReqCtx {
+        repl: None,
+        replica: Some(Arc::clone(&state)),
+        save_path: None,
+    };
+    let result = lexequal_service::serve_ctx(
+        args.mode,
+        listener,
+        service,
+        ctx,
+        args.serve.clone(),
+        shutdown.clone(),
+    );
+    shutdown.trigger();
+    let _ = apply_thread.join();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("lexequald: listener failed: {e}");

@@ -19,11 +19,17 @@
 //! fresh `lexequald` listener per (serve mode × connection count),
 //! driven with `--pipeline`-deep windows on every connection (default
 //! `results/evented_bench.json`).
+//!
+//! `--repl-bench` stands up a WAL-backed primary and a streaming
+//! replica linked over a socket and measures the snapshot transfer,
+//! commit and apply rates, and sustained lag (default
+//! `results/repl_bench.json`).
 
 use lexequal::SearchMethod;
 use lexequal_service::loadgen::{
-    run, run_net, run_snapshot_bench, write_json, write_net_json, write_snapshot_bench_json,
-    LoadgenConfig, NetConfig, SnapshotBenchConfig,
+    run, run_net, run_repl_bench, run_snapshot_bench, write_json, write_net_json,
+    write_repl_bench_json, write_snapshot_bench_json, LoadgenConfig, NetConfig, ReplBenchConfig,
+    SnapshotBenchConfig,
 };
 use lexequal_service::ServeMode;
 use std::path::PathBuf;
@@ -43,23 +49,51 @@ enum Parsed {
     InProcess(LoadgenConfig, PathBuf),
     Net(NetConfig, PathBuf),
     SnapshotBench(SnapshotBenchConfig, PathBuf),
+    ReplBench(ReplBenchConfig, PathBuf),
 }
 
 fn parse_args() -> Result<Parsed, String> {
     let mut config = LoadgenConfig::default();
     let mut net = NetConfig::default();
     let mut snap = SnapshotBenchConfig::default();
+    let mut repl = ReplBenchConfig::default();
     let mut net_mode = false;
     let mut snap_mode = false;
+    let mut repl_mode = false;
     let mut out = PathBuf::from("results/service_bench.json");
     let mut net_out = PathBuf::from("results/evented_bench.json");
     let mut snap_out = PathBuf::from("results/snapshot_bench.json");
+    let mut repl_out = PathBuf::from("results/repl_bench.json");
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match flag.as_str() {
             "--net" => net_mode = true,
             "--snapshot-bench" => snap_mode = true,
+            "--repl-bench" => repl_mode = true,
+            "--repl-ops" => {
+                let v = value("--repl-ops")?;
+                repl.ops = v.parse().map_err(|_| {
+                    format!("--repl-ops: invalid value {v:?} (expected a positive integer)")
+                })?;
+                if repl.ops == 0 {
+                    return Err(format!(
+                        "--repl-ops: invalid value {v:?} (must be positive)"
+                    ));
+                }
+            }
+            "--repl-shards" => {
+                let v = value("--repl-shards")?;
+                repl.shards = v.parse().map_err(|_| {
+                    format!("--repl-shards: invalid value {v:?} (expected a positive integer)")
+                })?;
+                if repl.shards == 0 {
+                    return Err(format!(
+                        "--repl-shards: invalid value {v:?} (must be positive)"
+                    ));
+                }
+            }
+            "--repl-out" => repl_out = PathBuf::from(value("--repl-out")?),
             "--snap-shards" => {
                 let v = value("--snap-shards")?;
                 snap.shards = v.parse().map_err(|_| {
@@ -127,6 +161,7 @@ fn parse_args() -> Result<Parsed, String> {
                     .map_err(|_| "--size: expected an integer".to_owned())?;
                 net.dataset_size = config.dataset_size;
                 snap.dataset_size = config.dataset_size;
+                repl.dataset_size = config.dataset_size;
             }
             "--clients" => {
                 config.clients = value("--clients")?
@@ -176,14 +211,18 @@ fn parse_args() -> Result<Parsed, String> {
                      [--conn-ops N] [--client-threads N] [--mode both|threaded|evented] \
                      [--workers N] [--net-out PATH]\n\
                      \x20      loadgen --snapshot-bench [--size N] [--snap-shards N] \
-                     [--snapshot-out PATH]"
+                     [--snapshot-out PATH]\n\
+                     \x20      loadgen --repl-bench [--size N] [--repl-ops N] [--repl-shards N] \
+                     [--repl-out PATH]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(if snap_mode {
+    Ok(if repl_mode {
+        Parsed::ReplBench(repl, repl_out)
+    } else if snap_mode {
         Parsed::SnapshotBench(snap, snap_out)
     } else if net_mode {
         Parsed::Net(net, net_out)
@@ -278,11 +317,37 @@ fn main_snapshot_bench(config: SnapshotBenchConfig, out: PathBuf) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn main_repl_bench(config: ReplBenchConfig, out: PathBuf) -> ExitCode {
+    eprintln!(
+        "loadgen: replication bench, ~{} names + {} streamed ops, {} shards",
+        config.dataset_size, config.ops, config.shards,
+    );
+    let report = run_repl_bench(&config);
+    println!(
+        "sync={:.3}s  commit={:.1} ops/s  apply={:.1} ops/s  catch-up={:.1}ms  \
+         lag p50={} max={} final={}",
+        report.sync_secs,
+        report.commit_ops_per_sec,
+        report.apply_ops_per_sec,
+        report.catch_up_ms,
+        report.lag_p50,
+        report.lag_max,
+        report.final_lag,
+    );
+    if let Err(e) = write_repl_bench_json(&report, &out) {
+        eprintln!("loadgen: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("loadgen: wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     match parse_args() {
         Ok(Parsed::InProcess(config, out)) => main_in_process(config, out),
         Ok(Parsed::Net(config, out)) => main_net(config, out),
         Ok(Parsed::SnapshotBench(config, out)) => main_snapshot_bench(config, out),
+        Ok(Parsed::ReplBench(config, out)) => main_repl_bench(config, out),
         Err(e) => {
             eprintln!("loadgen: {e}");
             ExitCode::FAILURE

@@ -45,6 +45,11 @@ pub(crate) struct Conn {
     pub peer_gone: bool,
     /// Largest in-flight window this connection ever reached.
     pub pipeline_peak: u64,
+    /// A `REPL HELLO <lsn>` was parsed on a primary: stop reading, and
+    /// once earlier pipelined responses have flushed
+    /// ([`ready_for_handoff`](Self::ready_for_handoff)), the loop lifts
+    /// the socket onto a dedicated replication sender thread.
+    pub handoff: Option<u64>,
     /// Epoll interest bits currently registered for this socket.
     pub interest: u32,
     pending: VecDeque<Slot>,
@@ -63,6 +68,7 @@ impl Conn {
             quitting: false,
             peer_gone: false,
             pipeline_peak: 0,
+            handoff: None,
             interest: crate::event_loop::EPOLLIN,
             pending: VecDeque::new(),
             next_seq: 0,
@@ -142,5 +148,11 @@ impl Conn {
     /// every pending response has been flushed.
     pub fn finished(&self) -> bool {
         (self.quitting || self.peer_gone) && self.pending.is_empty() && self.out_backlog() == 0
+    }
+
+    /// Whether a pending replication handoff can happen now: every
+    /// response queued before the `REPL HELLO` has hit the wire.
+    pub fn ready_for_handoff(&self) -> bool {
+        self.pending.is_empty() && self.out_backlog() == 0
     }
 }

@@ -40,7 +40,7 @@
 use crate::conn::{Conn, WRITE_HIGH_WATER};
 use crate::metrics::ConnMetrics;
 use crate::proto::{format_outcome, parse_request, FrameError, Request};
-use crate::server::{execute_request, ServeOptions};
+use crate::server::{execute_request, ReqCtx, ServeOptions};
 use crate::service::MatchService;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read};
@@ -337,6 +337,7 @@ impl WorkerPool {
         workers: usize,
         queue_capacity: usize,
         service: Arc<MatchService>,
+        ctx: ReqCtx,
         completions: Arc<CompletionQueue>,
         metrics: Arc<ConnMetrics>,
     ) -> Self {
@@ -353,13 +354,16 @@ impl WorkerPool {
             });
             queues.push(Arc::clone(&queue));
             let service = Arc::clone(&service);
+            let ctx = ctx.clone();
             let completions = Arc::clone(&completions);
             let metrics = Arc::clone(&metrics);
             let stop = Arc::clone(&stop);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("lexequald-verify-{i}"))
-                    .spawn(move || worker_loop(&queue, &service, &completions, &metrics, &stop))
+                    .spawn(move || {
+                        worker_loop(&queue, &service, &ctx, &completions, &metrics, &stop)
+                    })
                     .expect("spawn verify worker"),
             );
         }
@@ -402,6 +406,7 @@ impl Drop for WorkerPool {
 fn worker_loop(
     queue: &WorkerQueue,
     service: &MatchService,
+    ctx: &ReqCtx,
     completions: &CompletionQueue,
     metrics: &ConnMetrics,
     stop: &AtomicBool,
@@ -453,7 +458,7 @@ fn worker_loop(
                 out.push(Completion {
                     token: job.token,
                     seq: job.seq,
-                    lines: execute_request(service, &job.request, Some(metrics)),
+                    lines: execute_request(service, ctx, &job.request, Some(metrics)),
                 });
                 i += 1;
             }
@@ -467,6 +472,7 @@ fn worker_loop(
 fn reads_wanted(conn: &Conn, max_pipeline: usize) -> bool {
     !conn.quitting
         && !conn.peer_gone
+        && conn.handoff.is_none()
         && conn.blocked_job.is_none()
         && conn.inflight < max_pipeline
         && conn.out_backlog() < WRITE_HIGH_WATER
@@ -494,6 +500,19 @@ pub fn serve_evented(
     opts: ServeOptions,
     shutdown: ShutdownSignal,
 ) -> io::Result<()> {
+    serve_evented_ctx(listener, service, ReqCtx::default(), opts, shutdown)
+}
+
+/// [`serve_evented`] with a request context. On a primary, a
+/// `REPL HELLO` hands the socket off the event loop onto a dedicated
+/// replication sender thread once its pipelined responses have flushed.
+pub fn serve_evented_ctx(
+    listener: TcpListener,
+    service: Arc<MatchService>,
+    ctx: ReqCtx,
+    opts: ServeOptions,
+    shutdown: ShutdownSignal,
+) -> io::Result<()> {
     listener.set_nonblocking(true)?;
     let metrics = Arc::new(ConnMetrics::default());
     let completions = Arc::new(CompletionQueue::new()?);
@@ -501,6 +520,7 @@ pub fn serve_evented(
         opts.workers,
         opts.queue_capacity,
         Arc::clone(&service),
+        ctx.clone(),
         Arc::clone(&completions),
         Arc::clone(&metrics),
     );
@@ -511,6 +531,8 @@ pub fn serve_evented(
     EventLoop {
         poller,
         listener,
+        service,
+        ctx,
         pool,
         completions,
         metrics,
@@ -526,6 +548,8 @@ pub fn serve_evented(
 struct EventLoop {
     poller: Poller,
     listener: TcpListener,
+    service: Arc<MatchService>,
+    ctx: ReqCtx,
     pool: WorkerPool,
     completions: Arc<CompletionQueue>,
     metrics: Arc<ConnMetrics>,
@@ -634,6 +658,7 @@ impl EventLoop {
             return;
         };
         while !conn.quitting
+            && conn.handoff.is_none()
             && conn.blocked_job.is_none()
             && conn.inflight < self.max_pipeline
             && conn.out_backlog() < WRITE_HIGH_WATER
@@ -645,6 +670,12 @@ impl EventLoop {
                     Ok(Some(Request::Quit)) => {
                         conn.enqueue_done(vec!["BYE".to_owned()]);
                         conn.quitting = true;
+                    }
+                    Ok(Some(Request::ReplHello { lsn })) if self.ctx.repl.is_some() => {
+                        // Stop reading; once every earlier pipelined
+                        // response has flushed, the socket leaves the
+                        // event loop for a dedicated sender thread.
+                        conn.handoff = Some(lsn);
                     }
                     Ok(Some(request)) => {
                         let seq = conn.alloc_seq();
@@ -677,7 +708,43 @@ impl EventLoop {
             self.close_conn(token);
             return;
         }
+        if conn.handoff.is_some() && conn.ready_for_handoff() {
+            self.start_handoff(token);
+            return;
+        }
         self.update_interest(token);
+    }
+
+    /// Lift a handshaken replication connection off the event loop onto
+    /// its own sender thread (the stream side is blocking-push, the
+    /// opposite of this loop's readiness model).
+    fn start_handoff(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else {
+            return;
+        };
+        self.poller.delete(conn.stream.as_raw_fd());
+        self.metrics.conn_closed();
+        let Some(repl) = self.ctx.repl.clone() else {
+            return;
+        };
+        let stream = conn.stream;
+        if stream.set_nonblocking(false).is_err() {
+            return;
+        }
+        let lsn = conn.handoff.unwrap_or(0);
+        let service = Arc::clone(&self.service);
+        let spawned = std::thread::Builder::new()
+            .name("lexequald-repl".to_owned())
+            .spawn({
+                let repl = Arc::clone(&repl);
+                move || {
+                    // A dropped replica just reconnects; nothing to report.
+                    let _ = crate::repl::serve_replica(stream, lsn, &service, &repl);
+                }
+            });
+        if let Ok(handle) = spawned {
+            repl.adopt_thread(handle);
+        }
     }
 
     fn update_interest(&mut self, token: u64) {
@@ -687,6 +754,7 @@ impl EventLoop {
         let mut desired = 0u32;
         if !conn.quitting
             && !conn.peer_gone
+            && conn.handoff.is_none()
             && conn.blocked_job.is_none()
             && conn.inflight < self.max_pipeline
             && conn.out_backlog() < WRITE_HIGH_WATER

@@ -32,12 +32,21 @@
 //!   per-connection state machines and backpressure rules.
 //! * [`snapshot`] — [`StoreSnapshot`](snapshot::StoreSnapshot):
 //!   versioned on-disk persistence for the sharded store (per-shard
-//!   entry sections, build specs, corpus fingerprint); `lexequald
-//!   --snapshot` cold starts become a file read plus a parallel index
-//!   rebuild instead of a full G2P pass.
+//!   entry sections, build specs, corpus fingerprint, covered WAL LSN);
+//!   `lexequald --snapshot` cold starts become a file read plus a
+//!   parallel index rebuild instead of a full G2P pass.
+//! * [`wal`] — the write-ahead op log: length-prefixed checksummed
+//!   records with monotonic LSNs; every mutation is durable before the
+//!   client sees `OK`, and restart replays the tail past the snapshot.
+//! * [`repl`] — replication: the primary's [`Replicator`](repl::Replicator)
+//!   (WAL commit lock + per-replica sender threads streaming snapshots
+//!   and op records) and the replica side
+//!   ([`initial_sync`](repl::initial_sync) / [`run_replica`](repl::run_replica))
+//!   behind `lexequald --replica-of`.
 //! * [`loadgen`] — the load generator behind the `loadgen` binary:
-//!   in-process shard scaling (`results/service_bench.json`) and
-//!   socket-level serving-mode comparison (`results/evented_bench.json`).
+//!   in-process shard scaling (`results/service_bench.json`),
+//!   socket-level serving-mode comparison (`results/evented_bench.json`)
+//!   and replication apply/lag measurement (`results/repl_bench.json`).
 //!
 //! ## Example
 //!
@@ -64,19 +73,31 @@ pub mod event_loop;
 pub mod loadgen;
 pub mod metrics;
 pub mod proto;
+pub mod repl;
 pub mod server;
 pub mod service;
 pub mod shard;
 pub mod snapshot;
+pub mod wal;
 
 pub use cache::TransformCache;
-pub use event_loop::{serve_evented, ShutdownSignal};
+pub use event_loop::{serve_evented, serve_evented_ctx, ShutdownSignal};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
-pub use metrics::{ConnMetrics, ConnStats, ScreenTotals, ServiceMetrics};
+pub use metrics::{
+    ConnMetrics, ConnStats, ReplRole, ReplStats, ScreenTotals, ServiceMetrics, WalMetrics, WalStats,
+};
 pub use proto::{FrameError, LineFramer};
-pub use server::{serve, serve_threaded, serve_with, ServeMode, ServeOptions};
+pub use repl::{
+    initial_sync, run_replica, serve_repl_listener, serve_replica, CommitError, ReplError,
+    ReplicaState, Replicator,
+};
+pub use server::{
+    bind_reusable, serve, serve_ctx, serve_threaded, serve_threaded_ctx, serve_with, ReqCtx,
+    ServeMode, ServeOptions,
+};
 pub use service::{
     MatchOutcome, MatchRequest, MatchService, PendingLookup, ServiceConfig, StatsSnapshot,
 };
 pub use shard::{BuildSpec, PendingSearch, ShardedStore};
 pub use snapshot::{StoreSnapshot, STORE_SNAPSHOT_VERSION};
+pub use wal::{Op, Wal, WalError, WalRecord};

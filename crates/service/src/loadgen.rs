@@ -775,6 +775,237 @@ pub fn write_net_json(report: &NetReport, path: &std::path::Path) -> std::io::Re
     std::fs::write(path, net_to_json(report).render())
 }
 
+// ---------------------------------------------------------------------------
+// Replication apply/lag measurement (`--repl-bench`)
+// ---------------------------------------------------------------------------
+
+/// What the replication bench measures.
+#[derive(Debug, Clone)]
+pub struct ReplBenchConfig {
+    /// Names preloaded into the primary before the replica attaches
+    /// (they travel in the initial snapshot transfer).
+    pub dataset_size: usize,
+    /// Mutations committed through the WAL while the replica streams.
+    pub ops: usize,
+    /// Store shards on both sides.
+    pub shards: usize,
+    /// Transform-cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for ReplBenchConfig {
+    fn default() -> Self {
+        ReplBenchConfig {
+            dataset_size: 20_000,
+            ops: 2_000,
+            shards: 2,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Replication timings: a real primary (WAL + replication listener) and
+/// a real replica linked over a socket, measuring the snapshot transfer,
+/// the primary's fsynced commit rate, the replica's apply rate, and the
+/// lag the stream sustains while commits flow.
+#[derive(Debug, Clone)]
+pub struct ReplBenchReport {
+    /// Names in the initial snapshot transfer.
+    pub dataset_size: usize,
+    /// Streamed mutations measured.
+    pub ops: usize,
+    /// Store shards on both sides.
+    pub shards: usize,
+    /// Host `available_parallelism` (primary, replica and bench driver
+    /// all time-slice it).
+    pub available_parallelism: usize,
+    /// Initial sync wall-clock, seconds (connect + snapshot transfer +
+    /// restore + index rebuild).
+    pub sync_secs: f64,
+    /// Primary-side committed mutations per second (validate + WAL
+    /// append + fsync + apply, serialized on the commit lock).
+    pub commit_ops_per_sec: f64,
+    /// Replica-side applied ops per second over the same window
+    /// (first commit until the replica reports zero lag).
+    pub apply_ops_per_sec: f64,
+    /// How long the replica needed to drain the residual lag after the
+    /// last commit, milliseconds.
+    pub catch_up_ms: f64,
+    /// Median sampled lag (LSNs behind) while commits flowed.
+    pub lag_p50: u64,
+    /// Worst sampled lag while commits flowed.
+    pub lag_max: u64,
+    /// Lag after catch-up (must be 0 for a healthy stream).
+    pub final_lag: u64,
+}
+
+/// Run the replication bench. The WAL lives in a temporary file and is
+/// removed afterwards; only the timings survive.
+pub fn run_repl_bench(config: &ReplBenchConfig) -> ReplBenchReport {
+    use crate::metrics::WalMetrics;
+    use crate::repl::{self, ReplicaState, Replicator};
+    use crate::wal::Wal;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let match_config = MatchConfig::default();
+    // One corpus: the head seeds the primary (and travels in the
+    // snapshot), the tail becomes the streamed commits. Every entry is
+    // a real G2P-transformable name, so commits never fail validation.
+    let dataset = build_dataset(&match_config, config.dataset_size + config.ops);
+    let ops = config.ops.min(dataset.len().saturating_sub(1)).max(1);
+    let (base, tail) = dataset.split_at(dataset.len() - ops);
+
+    let primary = Arc::new(MatchService::new(ServiceConfig {
+        match_config: match_config.clone(),
+        shards: config.shards,
+        cache_capacity: config.cache_capacity,
+    }));
+    primary.extend_transformed(base.to_vec());
+    primary.build_all(3, QgramMode::Strict);
+
+    let wal_path =
+        std::env::temp_dir().join(format!("lexequal_repl_bench_{}.wal", std::process::id()));
+    std::fs::remove_file(&wal_path).ok();
+    let metrics = Arc::new(WalMetrics::default());
+    let (wal, _) = Wal::open(&wal_path, 0, Arc::clone(&metrics)).expect("open bench wal");
+    let replicator = Replicator::new(wal, metrics);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind repl listener");
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    let shutdown = ShutdownSignal::new().expect("shutdown signal");
+    let accept = {
+        let primary = Arc::clone(&primary);
+        let replicator = Arc::clone(&replicator);
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            repl::serve_repl_listener(listener, primary, replicator, shutdown)
+        })
+    };
+
+    // Fresh replica: HELLO 0 forces the full snapshot transfer.
+    let state = Arc::new(ReplicaState::new(addr.clone()));
+    let t_sync = Instant::now();
+    let (replica, stream, reader) = repl::initial_sync(
+        &addr,
+        &match_config,
+        Some(config.shards),
+        config.cache_capacity,
+        &state,
+        &shutdown,
+    )
+    .expect("initial sync");
+    let sync_secs = t_sync.elapsed().as_secs_f64();
+    let replica = Arc::new(replica);
+    let apply = {
+        let replica = Arc::clone(&replica);
+        let state = Arc::clone(&state);
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            repl::run_replica(&replica, &state, Some((stream, reader)), &shutdown)
+        })
+    };
+
+    // Sample the replica's lag while commits flow.
+    let sampling = Arc::new(AtomicBool::new(true));
+    let sampler = {
+        let state = Arc::clone(&state);
+        let sampling = Arc::clone(&sampling);
+        std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            while sampling.load(Ordering::Acquire) {
+                samples.push(state.lag());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            samples
+        })
+    };
+
+    let t_commit = Instant::now();
+    for entry in tail {
+        replicator
+            .commit_add(&primary, &entry.text, entry.language)
+            .expect("bench commit");
+    }
+    let commit_secs = t_commit.elapsed().as_secs_f64();
+
+    // Drain: the stream is healthy only if lag really reaches zero.
+    let head = replicator.head();
+    let t_drain = Instant::now();
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    while state.applied() < head {
+        assert!(Instant::now() < deadline, "replica never caught up");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let catch_up_ms = t_drain.elapsed().as_secs_f64() * 1_000.0;
+    let apply_secs = t_commit.elapsed().as_secs_f64();
+    sampling.store(false, Ordering::Release);
+    let mut samples = sampler.join().expect("lag sampler");
+    samples.sort_unstable();
+    let final_lag = state.lag();
+
+    shutdown.trigger();
+    replicator.stop_and_join();
+    let _ = apply.join().expect("apply thread");
+    let _ = accept.join().expect("accept thread");
+    std::fs::remove_file(&wal_path).ok();
+
+    ReplBenchReport {
+        dataset_size: base.len(),
+        ops,
+        shards: config.shards,
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        sync_secs,
+        commit_ops_per_sec: ops as f64 / commit_secs.max(f64::EPSILON),
+        apply_ops_per_sec: ops as f64 / apply_secs.max(f64::EPSILON),
+        catch_up_ms,
+        lag_p50: samples.get(samples.len() / 2).copied().unwrap_or(0),
+        lag_max: samples.last().copied().unwrap_or(0),
+        final_lag,
+    }
+}
+
+/// Render the replication bench report as JSON.
+pub fn repl_bench_to_json(report: &ReplBenchReport) -> Json {
+    Json::Obj(vec![
+        (
+            "dataset_size".to_owned(),
+            Json::Int(report.dataset_size as i64),
+        ),
+        ("ops".to_owned(), Json::Int(report.ops as i64)),
+        ("shards".to_owned(), Json::Int(report.shards as i64)),
+        (
+            "available_parallelism".to_owned(),
+            Json::Int(report.available_parallelism as i64),
+        ),
+        ("sync_secs".to_owned(), Json::Float(report.sync_secs)),
+        (
+            "commit_ops_per_sec".to_owned(),
+            Json::Float(report.commit_ops_per_sec),
+        ),
+        (
+            "apply_ops_per_sec".to_owned(),
+            Json::Float(report.apply_ops_per_sec),
+        ),
+        ("catch_up_ms".to_owned(), Json::Float(report.catch_up_ms)),
+        ("lag_p50".to_owned(), Json::Int(report.lag_p50 as i64)),
+        ("lag_max".to_owned(), Json::Int(report.lag_max as i64)),
+        ("final_lag".to_owned(), Json::Int(report.final_lag as i64)),
+    ])
+}
+
+/// Write the replication bench report to `path` as JSON.
+pub fn write_repl_bench_json(
+    report: &ReplBenchReport,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, repl_bench_to_json(report).render())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -860,6 +1091,29 @@ mod tests {
         let json = snapshot_bench_to_json(&report).render();
         let parsed = Json::parse(&json).unwrap();
         assert!(parsed.get("cold_start_speedup").is_some());
+    }
+
+    #[test]
+    fn a_tiny_repl_bench_converges() {
+        let report = run_repl_bench(&ReplBenchConfig {
+            dataset_size: 300,
+            ops: 40,
+            shards: 2,
+            cache_capacity: 64,
+        });
+        assert_eq!(report.ops, 40);
+        assert_eq!(report.final_lag, 0);
+        assert!(report.sync_secs > 0.0);
+        assert!(report.commit_ops_per_sec > 0.0);
+        assert!(report.apply_ops_per_sec > 0.0);
+        let json = repl_bench_to_json(&report).render();
+        let parsed = Json::parse(&json).unwrap();
+        assert_eq!(
+            parsed.get("final_lag").and_then(Json::as_i64),
+            Some(0),
+            "{json}"
+        );
+        assert!(parsed.get("available_parallelism").is_some());
     }
 
     #[test]

@@ -245,6 +245,76 @@ pub struct ConnStats {
     pub pipeline_p99: Option<u64>,
 }
 
+/// Write-ahead-log counters (appends, fsyncs, bytes) — relaxed atomics
+/// bumped once per committed mutation by [`crate::wal::Wal::append`].
+#[derive(Debug, Default)]
+pub struct WalMetrics {
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl WalMetrics {
+    /// Record one durable append of `bytes` record bytes (one fsync).
+    pub fn record_append(&self, bytes: usize) {
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A [`WalMetrics`] snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended.
+    pub appends: u64,
+    /// fsyncs issued (one per append today).
+    pub fsyncs: u64,
+    /// Record bytes written (magic excluded).
+    pub bytes: u64,
+}
+
+/// Which side of the replication link a daemon is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplRole {
+    /// Owns the WAL and serves the stream.
+    Primary,
+    /// Applies the stream; read-only.
+    Replica,
+}
+
+/// Replication state as surfaced by `STATS` — a plain value struct so
+/// [`crate::StatsSnapshot`] stays `Eq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplStats {
+    /// This daemon's role.
+    pub role: ReplRole,
+    /// Head LSN: the WAL head on a primary, the last head heard from
+    /// the primary on a replica.
+    pub head_lsn: u64,
+    /// Last LSN applied to the local store (= `head_lsn` on a primary).
+    pub applied_lsn: u64,
+    /// `head_lsn - applied_lsn` (0 when caught up).
+    pub lag: u64,
+    /// Replica: whether the stream link is currently up.
+    pub connected: bool,
+    /// Primary: replica streams attached right now.
+    pub replicas: u64,
+    /// Primary: WAL counters.
+    pub wal: Option<WalStats>,
+    /// Replica: the primary's address.
+    pub primary_addr: Option<String>,
+}
+
 impl ServiceMetrics {
     /// Record one served search on `method`.
     pub fn record_search(&self, method: SearchMethod, elapsed: Duration, matches: usize) {

@@ -13,6 +13,8 @@
 //! MATCH <lang> <method|-> <threshold|-> <text...>
 //! BATCH <lang> <method|-> <threshold|-> <text>|<text>|...
 //! STATS
+//! SAVE [path]
+//! REPL HELLO <lsn>
 //! QUIT
 //! ```
 //!
@@ -24,11 +26,19 @@
 //! OK built=<what>                              (BUILD)
 //! OK n=<k> verified=<v> method=<m> ids=<a,b,…> (MATCH / each BATCH item)
 //! OK <key>=<value> ...                         (STATS, single line)
+//! OK saved=<path> names=<n> lsn=<l>            (SAVE)
 //! NORESOURCE <lang>
 //! NOTBUILT <method>
 //! ERR <message>
 //! BYE                                          (QUIT)
 //! ```
+//!
+//! `SAVE` snapshots the running store to disk (atomically, temp file +
+//! rename); without a path it uses the daemon's configured snapshot
+//! path. `REPL HELLO <lsn>` is not a request/response pair: on a
+//! primary started with `--wal` it converts the connection into a
+//! replication stream (see [`crate::repl`] for the stream grammar);
+//! anywhere else it draws an `ERR`.
 
 use crate::metrics::{method_index, method_name, ALL_METHODS};
 use crate::service::{MatchOutcome, MatchRequest, StatsSnapshot};
@@ -152,6 +162,17 @@ pub enum Request {
     Batch(Vec<MatchRequest>),
     /// `STATS`
     Stats,
+    /// `SAVE [path]` — snapshot the running store on demand.
+    Save {
+        /// Target path; `None` uses the daemon's configured default.
+        path: Option<String>,
+    },
+    /// `REPL HELLO <lsn>` — a replica opening the stream, carrying the
+    /// last LSN it applied (0 = fresh).
+    ReplHello {
+        /// The replica's last applied LSN.
+        lsn: u64,
+    },
     /// `QUIT`
     Quit,
 }
@@ -297,6 +318,28 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             Request::Batch(reqs)
         }
         "STATS" => Request::Stats,
+        "SAVE" => Request::Save {
+            path: if rest.is_empty() {
+                None
+            } else {
+                Some(rest.to_owned())
+            },
+        },
+        "REPL" => {
+            let usage = "usage: REPL HELLO <lsn>";
+            let mut toks = rest.split_whitespace();
+            match toks.next().map(str::to_ascii_uppercase).as_deref() {
+                Some("HELLO") => {
+                    let lsn = toks
+                        .next()
+                        .ok_or(usage)?
+                        .parse::<u64>()
+                        .map_err(|_| "REPL HELLO: lsn must be a non-negative integer")?;
+                    Request::ReplHello { lsn }
+                }
+                _ => return Err(usage.into()),
+            }
+        }
         "QUIT" => Request::Quit,
         other => return Err(format!("unknown command {other:?}")),
     };
@@ -372,6 +415,34 @@ pub fn format_stats(s: &StatsSnapshot) -> String {
         ));
         if let Some(p99) = conn.pipeline_p99 {
             line.push_str(&format!(" pipeline_p99={p99}"));
+        }
+    }
+    if let Some(repl) = &s.repl {
+        match repl.role {
+            crate::metrics::ReplRole::Primary => {
+                line.push_str(&format!(
+                    " repl_role=primary wal_lsn={} repl_replicas={}",
+                    repl.head_lsn, repl.replicas,
+                ));
+                if let Some(wal) = &repl.wal {
+                    line.push_str(&format!(
+                        " wal_appends={} wal_fsyncs={} wal_bytes={}",
+                        wal.appends, wal.fsyncs, wal.bytes,
+                    ));
+                }
+            }
+            crate::metrics::ReplRole::Replica => {
+                line.push_str(&format!(
+                    " repl_role=replica repl_lsn={} repl_head={} repl_lag={} repl_connected={}",
+                    repl.applied_lsn,
+                    repl.head_lsn,
+                    repl.lag,
+                    u64::from(repl.connected),
+                ));
+                if let Some(primary) = &repl.primary_addr {
+                    line.push_str(&format!(" repl_primary={primary}"));
+                }
+            }
         }
     }
     line

@@ -1,0 +1,862 @@
+//! Primary/replica replication: snapshot shipping plus WAL streaming.
+//!
+//! A primary started with `--wal` owns a [`Replicator`]: the single
+//! commit path that appends every mutation to the log (fsynced) and
+//! only then applies it to the store, under one lock — so LSN order is
+//! store-apply order, on the primary and on every copy. A replica
+//! (`--replica-of HOST:PORT`) opens the primary's line protocol with
+//! `REPL HELLO <lsn>` and applies what comes back through the same
+//! deterministic [`MatchService::apply_op`] path WAL replay uses.
+//!
+//! # Stream grammar (primary → replica, after the HELLO)
+//!
+//! ```text
+//! SNAP lsn=<l> bytes=<n>\n<n snapshot bytes>   full transfer, then streaming
+//! OK lsn=<head>\n                              incremental catch-up possible
+//! OP <lsn> <op payload>\n                      one committed mutation
+//! PING lsn=<head>\n                            heartbeat (~500ms when idle)
+//! ```
+//!
+//! The primary answers `SNAP` when the replica's LSN is 0 or has fallen
+//! behind the log horizon (the WAL no longer holds `lsn+1`), `OK`
+//! otherwise. A replica only accepts a `SNAP` while its store is still
+//! empty — a mid-life demand means the primary's lineage diverged and
+//! comes back as the fatal [`ReplError::NeedsResync`] (restart the
+//! replica to re-seed).
+//!
+//! [`MatchService::apply_op`]: crate::MatchService::apply_op
+
+use crate::event_loop::ShutdownSignal;
+use crate::metrics::{ReplRole, ReplStats, WalMetrics, WalStats};
+use crate::service::MatchService;
+use crate::snapshot::StoreSnapshot;
+use crate::wal::{Op, Wal, WalError, WalRecord};
+use lexequal::MatchConfig;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Idle-stream heartbeat interval (each carries the head LSN).
+pub const HEARTBEAT: Duration = Duration::from_millis(500);
+/// A replica declares the link dead after this long without a line
+/// (several heartbeats worth).
+const REPLICA_READ_TIMEOUT: Duration = Duration::from_secs(3);
+/// Reconnect backoff start / cap.
+const BACKOFF_START: Duration = Duration::from_millis(100);
+const BACKOFF_CAP: Duration = Duration::from_secs(3);
+/// How long a primary waits on a stuck replica socket before dropping it.
+const SENDER_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Handshake patience (covers a large snapshot transfer).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Why a commit was refused.
+#[derive(Debug)]
+pub enum CommitError {
+    /// The input failed G2P transform — nothing was logged or applied.
+    BadInput(lexequal::G2pError),
+    /// The WAL append failed — nothing was applied.
+    Wal(WalError),
+}
+
+impl std::fmt::Display for CommitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitError::BadInput(e) => write!(f, "{e:?}"),
+            CommitError::Wal(e) => write!(f, "wal append failed: {e}"),
+        }
+    }
+}
+
+/// Primary-side replication state: the WAL behind its commit lock, the
+/// published head LSN, and the sender threads feeding replicas.
+pub struct Replicator {
+    /// THE commit lock: append+fsync and store-apply happen under it,
+    /// so apply order always equals LSN order.
+    wal: Mutex<Wal>,
+    head: AtomicU64,
+    /// Last committed LSN, guarded separately so stream senders can
+    /// block on the condvar without touching the commit lock.
+    tail: Mutex<u64>,
+    tail_cv: Condvar,
+    replicas: AtomicU64,
+    stop: AtomicBool,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    metrics: Arc<WalMetrics>,
+}
+
+impl std::fmt::Debug for Replicator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replicator")
+            .field("head", &self.head())
+            .field("replicas", &self.replicas())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Replicator {
+    /// Wrap an opened (already replayed) WAL.
+    pub fn new(wal: Wal, metrics: Arc<WalMetrics>) -> Arc<Replicator> {
+        let head = wal.head_lsn();
+        Arc::new(Replicator {
+            wal: Mutex::new(wal),
+            head: AtomicU64::new(head),
+            tail: Mutex::new(head),
+            tail_cv: Condvar::new(),
+            replicas: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            threads: Mutex::new(Vec::new()),
+            metrics: Arc::clone(&metrics),
+        })
+    }
+
+    /// Last committed LSN.
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Replica streams attached right now.
+    pub fn replicas(&self) -> u64 {
+        self.replicas.load(Ordering::Relaxed)
+    }
+
+    /// WAL counter snapshot.
+    pub fn wal_stats(&self) -> WalStats {
+        self.metrics.stats()
+    }
+
+    /// Commit one `ADD`: validate (transform) first, append+fsync, then
+    /// apply — the client's `OK` only ever follows a durable record.
+    /// Returns `(lsn, global id)`.
+    pub fn commit_add(
+        &self,
+        service: &MatchService,
+        text: &str,
+        language: lexequal::Language,
+    ) -> Result<(u64, u32), CommitError> {
+        let entry = service
+            .prepare_entry(text, language)
+            .map_err(CommitError::BadInput)?;
+        let op = Op::Add {
+            language,
+            text: text.to_owned(),
+        };
+        let mut wal = self.wal.lock().expect("wal lock");
+        let lsn = wal.append(&op).map_err(CommitError::Wal)?;
+        let id = service.apply_entry(entry);
+        self.publish(lsn);
+        Ok((lsn, id))
+    }
+
+    /// Commit one `BUILD`. Returns its LSN.
+    pub fn commit_build(
+        &self,
+        service: &MatchService,
+        spec: crate::shard::BuildSpec,
+    ) -> Result<u64, CommitError> {
+        let mut wal = self.wal.lock().expect("wal lock");
+        let lsn = wal.append(&Op::Build(spec)).map_err(CommitError::Wal)?;
+        service.build(spec);
+        self.publish(lsn);
+        Ok(lsn)
+    }
+
+    /// Publish a committed LSN (called with the commit lock held, so
+    /// `fetch_max` is belt-and-braces).
+    fn publish(&self, lsn: u64) {
+        self.head.fetch_max(lsn, Ordering::Release);
+        let mut tail = self.tail.lock().expect("tail lock");
+        *tail = (*tail).max(lsn);
+        drop(tail);
+        self.tail_cv.notify_all();
+    }
+
+    /// Capture a store snapshot consistent with the WAL head (holds the
+    /// commit lock for the duration). Returns `(document bytes, lsn)`.
+    pub fn snapshot_document(
+        &self,
+        service: &MatchService,
+    ) -> Result<(Vec<u8>, u64), lexequal_mdb::DbError> {
+        let wal = self.wal.lock().expect("wal lock");
+        let lsn = wal.head_lsn();
+        let snap = StoreSnapshot::capture_with_lsn(service.store(), lsn);
+        let mut bytes = Vec::new();
+        snap.write_to(&mut bytes)?;
+        Ok((bytes, lsn))
+    }
+
+    /// Snapshot the store to `path` atomically, stamped with the WAL
+    /// head (holds the commit lock). Returns the covered LSN.
+    pub fn save_snapshot_atomic(
+        &self,
+        service: &MatchService,
+        path: &Path,
+    ) -> Result<u64, lexequal_mdb::DbError> {
+        let wal = self.wal.lock().expect("wal lock");
+        let lsn = wal.head_lsn();
+        StoreSnapshot::capture_with_lsn(service.store(), lsn).write_to_file_atomic(path)?;
+        Ok(lsn)
+    }
+
+    /// Whether an incremental catch-up from `from` loses nothing
+    /// (0 always demands a snapshot — a fresh replica has no state).
+    pub fn can_serve_incremental(&self, from: u64) -> bool {
+        from != 0 && self.wal.lock().expect("wal lock").can_serve_from(from)
+    }
+
+    /// Records with `lsn > from`, in order.
+    pub fn read_from(&self, from: u64) -> Result<Vec<WalRecord>, WalError> {
+        self.wal.lock().expect("wal lock").read_from(from)
+    }
+
+    /// Block until the head passes `from`, `timeout` elapses, or the
+    /// replicator stops. Returns the head seen.
+    fn wait_beyond(&self, from: u64, timeout: Duration) -> u64 {
+        let deadline = Instant::now() + timeout;
+        let mut tail = self.tail.lock().expect("tail lock");
+        while *tail <= from && !self.stopped() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .tail_cv
+                .wait_timeout(tail, deadline - now)
+                .expect("tail wait");
+            tail = guard;
+        }
+        *tail
+    }
+
+    /// Whether [`stop`](Self::stop) was called.
+    pub fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Ask every sender thread to wind down (they notice within one
+    /// heartbeat).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        self.tail_cv.notify_all();
+    }
+
+    /// Track a sender/accept thread for [`stop_and_join`](Self::stop_and_join).
+    pub fn adopt_thread(&self, handle: JoinHandle<()>) {
+        self.threads.lock().expect("threads lock").push(handle);
+    }
+
+    /// Stop and join every tracked thread.
+    pub fn stop_and_join(&self) {
+        self.stop();
+        let handles: Vec<_> = self
+            .threads
+            .lock()
+            .expect("threads lock")
+            .drain(..)
+            .collect();
+        for h in handles {
+            h.join().ok();
+        }
+    }
+}
+
+fn io_other(e: impl std::fmt::Display) -> io::Error {
+    io::Error::other(e.to_string())
+}
+
+/// Serve one replica's stream on the current thread until the link
+/// drops or the replicator stops. `hello_lsn` is the replica's last
+/// applied LSN (0 = fresh).
+pub fn serve_replica(
+    stream: TcpStream,
+    hello_lsn: u64,
+    service: &MatchService,
+    repl: &Replicator,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_write_timeout(Some(SENDER_WRITE_TIMEOUT))?;
+    let mut w = BufWriter::new(stream);
+    repl.replicas.fetch_add(1, Ordering::Relaxed);
+    let r = stream_to_replica(&mut w, hello_lsn, service, repl);
+    repl.replicas.fetch_sub(1, Ordering::Relaxed);
+    r
+}
+
+fn stream_to_replica(
+    w: &mut impl Write,
+    hello_lsn: u64,
+    service: &MatchService,
+    repl: &Replicator,
+) -> io::Result<()> {
+    let mut from = hello_lsn;
+    if repl.can_serve_incremental(hello_lsn) {
+        writeln!(w, "OK lsn={}", repl.head())?;
+    } else {
+        let (bytes, lsn) = repl.snapshot_document(service).map_err(io_other)?;
+        writeln!(w, "SNAP lsn={lsn} bytes={}", bytes.len())?;
+        w.write_all(&bytes)?;
+        from = lsn;
+    }
+    w.flush()?;
+    while !repl.stopped() {
+        let records = repl.read_from(from).map_err(io_other)?;
+        if records.is_empty() {
+            let head = repl.wait_beyond(from, HEARTBEAT);
+            if head <= from {
+                writeln!(w, "PING lsn={}", repl.head())?;
+                w.flush()?;
+            }
+            continue;
+        }
+        for rec in records {
+            writeln!(w, "OP {} {}", rec.lsn, rec.op.encode())?;
+            from = rec.lsn;
+        }
+        w.flush()?;
+    }
+    Ok(())
+}
+
+/// Accept loop for a dedicated `--repl-listen` port: each connection
+/// must open with `REPL HELLO <lsn>` and is then served the stream on
+/// its own thread (tracked by the replicator).
+pub fn serve_repl_listener(
+    listener: TcpListener,
+    service: Arc<MatchService>,
+    repl: Arc<Replicator>,
+    shutdown: ShutdownSignal,
+) -> io::Result<()> {
+    const ACCEPT_POLL: Duration = Duration::from_millis(100);
+    listener.set_nonblocking(true)?;
+    while !shutdown.is_triggered() && !repl.stopped() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = Arc::clone(&service);
+                let repl2 = Arc::clone(&repl);
+                let handle = std::thread::Builder::new()
+                    .name("lexequald-repl".to_owned())
+                    .spawn(move || {
+                        let _ = handshake_and_serve(stream, &service, &repl2);
+                    })
+                    .expect("spawn replication sender");
+                repl.adopt_thread(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Read the one `REPL HELLO` line a dedicated-port connection owes,
+/// then stream.
+fn handshake_and_serve(
+    stream: TcpStream,
+    service: &MatchService,
+    repl: &Replicator,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    match crate::proto::parse_request(&line) {
+        Ok(Some(crate::proto::Request::ReplHello { lsn })) => {
+            stream.set_read_timeout(None)?;
+            serve_replica(stream, lsn, service, repl)
+        }
+        _ => {
+            let mut stream = stream;
+            stream.write_all(b"ERR expected REPL HELLO <lsn>\n").ok();
+            Ok(())
+        }
+    }
+}
+
+/// Replica-side gauges: what `STATS` reports and the apply loop updates.
+#[derive(Debug)]
+pub struct ReplicaState {
+    /// The primary's `HOST:PORT`.
+    pub primary: String,
+    applied: AtomicU64,
+    head: AtomicU64,
+    connected: AtomicBool,
+}
+
+impl ReplicaState {
+    /// Fresh state for a replica of `primary`.
+    pub fn new(primary: String) -> ReplicaState {
+        ReplicaState {
+            primary,
+            applied: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+            connected: AtomicBool::new(false),
+        }
+    }
+
+    /// Last LSN applied to the local store.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Acquire)
+    }
+
+    /// Last head LSN heard from the primary.
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Whether the stream link is currently up.
+    pub fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::Acquire)
+    }
+
+    /// `head - applied` (0 when caught up).
+    pub fn lag(&self) -> u64 {
+        self.head().saturating_sub(self.applied())
+    }
+
+    /// The `STATS` view of this state.
+    pub fn stats(&self) -> ReplStats {
+        let head = self.head().max(self.applied());
+        ReplStats {
+            role: ReplRole::Replica,
+            head_lsn: head,
+            applied_lsn: self.applied(),
+            lag: head.saturating_sub(self.applied()),
+            connected: self.is_connected(),
+            replicas: 0,
+            wal: None,
+            primary_addr: Some(self.primary.clone()),
+        }
+    }
+}
+
+/// Why a replica's stream (or sync) failed.
+#[derive(Debug)]
+pub enum ReplError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The primary spoke something this replica doesn't understand —
+    /// or went silent past the heartbeat budget.
+    Protocol(String),
+    /// The shipped snapshot failed to decode/restore.
+    Snapshot(lexequal_mdb::DbError),
+    /// The primary demanded a full snapshot transfer after this
+    /// replica's store already held data: the lineages diverged (e.g.
+    /// the primary lost its WAL) and live re-seeding is not supported —
+    /// restart the replica to sync from scratch.
+    NeedsResync(String),
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::Io(e) => write!(f, "replication io: {e}"),
+            ReplError::Protocol(what) => write!(f, "replication protocol: {what}"),
+            ReplError::Snapshot(e) => write!(f, "replication snapshot: {e}"),
+            ReplError::NeedsResync(what) => write!(f, "replica needs resync: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {}
+
+impl From<io::Error> for ReplError {
+    fn from(e: io::Error) -> Self {
+        ReplError::Io(e)
+    }
+}
+
+/// `key=value` → value, from a stream header line.
+fn kv_u64(tokens: &str, key: &str) -> Result<u64, ReplError> {
+    tokens
+        .split_whitespace()
+        .find_map(|t| t.strip_prefix(key)?.strip_prefix('=')?.parse().ok())
+        .ok_or_else(|| ReplError::Protocol(format!("missing {key}= in {tokens:?}")))
+}
+
+/// Sleep `*backoff` in shutdown-checking slices, then double it
+/// (capped).
+fn sleep_backoff(backoff: &mut Duration, shutdown: &ShutdownSignal) {
+    const SLICE: Duration = Duration::from_millis(50);
+    let mut left = *backoff;
+    while !left.is_zero() && !shutdown.is_triggered() {
+        let step = left.min(SLICE);
+        std::thread::sleep(step);
+        left = left.saturating_sub(step);
+    }
+    *backoff = (*backoff * 2).min(BACKOFF_CAP);
+}
+
+/// Connect to the primary and complete the *initial* sync: a fresh
+/// `REPL HELLO 0`, the full snapshot transfer, and a restored
+/// [`MatchService`] ready to serve. Retries with capped backoff until
+/// the primary answers or `shutdown` fires.
+pub fn initial_sync(
+    primary: &str,
+    config: &MatchConfig,
+    shards: Option<usize>,
+    cache_capacity: usize,
+    state: &ReplicaState,
+    shutdown: &ShutdownSignal,
+) -> Result<(MatchService, TcpStream, BufReader<TcpStream>), ReplError> {
+    let mut backoff = BACKOFF_START;
+    loop {
+        if shutdown.is_triggered() {
+            return Err(ReplError::Protocol("shutdown during initial sync".into()));
+        }
+        match try_initial_sync(primary, config, shards, cache_capacity, state) {
+            Ok(link) => return Ok(link),
+            Err(e) => {
+                eprintln!("lexequald: initial sync with {primary} failed ({e}), retrying");
+                sleep_backoff(&mut backoff, shutdown);
+            }
+        }
+    }
+}
+
+fn try_initial_sync(
+    primary: &str,
+    config: &MatchConfig,
+    shards: Option<usize>,
+    cache_capacity: usize,
+    state: &ReplicaState,
+) -> Result<(MatchService, TcpStream, BufReader<TcpStream>), ReplError> {
+    let stream = TcpStream::connect(primary)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    let mut w = stream.try_clone()?;
+    w.write_all(b"REPL HELLO 0\n")?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ReplError::Protocol(
+            "primary closed the connection during the handshake".into(),
+        ));
+    }
+    let header = line.trim_end();
+    let Some(rest) = header.strip_prefix("SNAP ") else {
+        return Err(ReplError::Protocol(format!(
+            "expected SNAP for a fresh replica, got {header:?}"
+        )));
+    };
+    let lsn = kv_u64(rest, "lsn")?;
+    let nbytes = kv_u64(rest, "bytes")? as usize;
+    let mut bytes = vec![0u8; nbytes];
+    reader.read_exact(&mut bytes)?;
+    let snap = StoreSnapshot::read_from(bytes.as_slice()).map_err(ReplError::Snapshot)?;
+    if snap.lsn() != lsn {
+        return Err(ReplError::Protocol(format!(
+            "snapshot says lsn {} but the header said {lsn}",
+            snap.lsn()
+        )));
+    }
+    let store = match shards {
+        Some(m) => snap.restore_with_shards(config.clone(), m),
+        None => snap.restore(config.clone()),
+    }
+    .map_err(ReplError::Snapshot)?;
+    let service = MatchService::from_store(store, cache_capacity);
+    state.applied.store(lsn, Ordering::Release);
+    state.head.fetch_max(lsn, Ordering::AcqRel);
+    state.connected.store(true, Ordering::Release);
+    stream.set_read_timeout(Some(REPLICA_READ_TIMEOUT))?;
+    Ok((service, stream, reader))
+}
+
+/// Apply the primary's stream to `service` until `shutdown` fires,
+/// reconnecting with capped exponential backoff across primary
+/// restarts. The only fatal return is [`ReplError::NeedsResync`].
+pub fn run_replica(
+    service: &MatchService,
+    state: &ReplicaState,
+    first_link: Option<(TcpStream, BufReader<TcpStream>)>,
+    shutdown: &ShutdownSignal,
+) -> Result<(), ReplError> {
+    let mut link = first_link;
+    let mut backoff = BACKOFF_START;
+    loop {
+        if shutdown.is_triggered() {
+            return Ok(());
+        }
+        let (stream, reader) = match link.take() {
+            Some(l) => l,
+            None => match reconnect(service, state) {
+                Ok(l) => l,
+                Err(e @ ReplError::NeedsResync(_)) => return Err(e),
+                Err(_) => {
+                    sleep_backoff(&mut backoff, shutdown);
+                    continue;
+                }
+            },
+        };
+        state.connected.store(true, Ordering::Release);
+        backoff = BACKOFF_START;
+        let outcome = apply_stream(service, state, &stream, reader, shutdown);
+        state.connected.store(false, Ordering::Release);
+        if let Err(e @ ReplError::NeedsResync(_)) = outcome {
+            return Err(e);
+        }
+        // Anything else — disconnect, timeout, protocol hiccup — is
+        // retryable: the primary may just be restarting.
+        sleep_backoff(&mut backoff, shutdown);
+    }
+}
+
+/// One reconnect attempt: `REPL HELLO <applied>` expecting an
+/// incremental `OK`. An empty-store `SNAP` is also fine (both sides are
+/// at the beginning); a non-empty one is [`ReplError::NeedsResync`].
+fn reconnect(
+    service: &MatchService,
+    state: &ReplicaState,
+) -> Result<(TcpStream, BufReader<TcpStream>), ReplError> {
+    let stream = TcpStream::connect(&state.primary)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
+    let applied = state.applied();
+    let mut w = stream.try_clone()?;
+    w.write_all(format!("REPL HELLO {applied}\n").as_bytes())?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ReplError::Protocol(
+            "primary closed the connection during the handshake".into(),
+        ));
+    }
+    let header = line.trim_end();
+    if let Some(rest) = header.strip_prefix("OK ") {
+        state.head.fetch_max(kv_u64(rest, "lsn")?, Ordering::AcqRel);
+        stream.set_read_timeout(Some(REPLICA_READ_TIMEOUT))?;
+        return Ok((stream, reader));
+    }
+    if let Some(rest) = header.strip_prefix("SNAP ") {
+        let lsn = kv_u64(rest, "lsn")?;
+        let nbytes = kv_u64(rest, "bytes")? as usize;
+        let mut bytes = vec![0u8; nbytes];
+        reader.read_exact(&mut bytes)?;
+        let snap = StoreSnapshot::read_from(bytes.as_slice()).map_err(ReplError::Snapshot)?;
+        if snap.is_empty() && service.is_empty() {
+            // Both sides are at the start of (possibly a new) history.
+            state.applied.store(lsn, Ordering::Release);
+            state.head.fetch_max(lsn, Ordering::AcqRel);
+            stream.set_read_timeout(Some(REPLICA_READ_TIMEOUT))?;
+            return Ok((stream, reader));
+        }
+        return Err(ReplError::NeedsResync(format!(
+            "primary demanded a full snapshot transfer (lsn {lsn}, {} names) but this \
+             replica already holds {} names at lsn {applied}; restart the replica to re-seed",
+            snap.len(),
+            service.len()
+        )));
+    }
+    Err(ReplError::Protocol(format!(
+        "unexpected handshake reply {header:?}"
+    )))
+}
+
+/// Apply `OP`/`PING` lines until the link breaks or `shutdown` fires.
+fn apply_stream(
+    service: &MatchService,
+    state: &ReplicaState,
+    _stream: &TcpStream,
+    mut reader: BufReader<TcpStream>,
+    shutdown: &ShutdownSignal,
+) -> Result<(), ReplError> {
+    let mut line = String::new();
+    loop {
+        if shutdown.is_triggered() {
+            return Ok(());
+        }
+        // NB: `read_line` may buffer a partial line across a timeout, so
+        // `line` is only cleared after a full line is processed.
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err(ReplError::Protocol("primary closed the stream".into())),
+            Ok(_) => {
+                apply_stream_line(service, state, line.trim_end())?;
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.is_triggered() {
+                    return Ok(());
+                }
+                // Heartbeats come every ~500ms; a multi-second silence
+                // means the link (or the primary) is gone.
+                return Err(ReplError::Protocol(format!(
+                    "primary silent for {REPLICA_READ_TIMEOUT:?}"
+                )));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ReplError::Io(e)),
+        }
+    }
+}
+
+fn apply_stream_line(
+    service: &MatchService,
+    state: &ReplicaState,
+    line: &str,
+) -> Result<(), ReplError> {
+    if let Some(rest) = line.strip_prefix("OP ") {
+        let (lsn_tok, payload) = rest
+            .split_once(' ')
+            .ok_or_else(|| ReplError::Protocol(format!("malformed op line {line:?}")))?;
+        let lsn: u64 = lsn_tok
+            .parse()
+            .map_err(|_| ReplError::Protocol(format!("bad op lsn {lsn_tok:?}")))?;
+        let applied = state.applied();
+        if lsn <= applied {
+            // Replay overlap after a reconnect — already applied.
+            return Ok(());
+        }
+        if lsn != applied + 1 {
+            return Err(ReplError::Protocol(format!(
+                "op lsn {lsn} arrived after {applied} (hole in the stream)"
+            )));
+        }
+        let op = Op::decode(payload).map_err(ReplError::Protocol)?;
+        service
+            .apply_op(&op)
+            .map_err(|e| ReplError::Protocol(format!("apply of lsn {lsn} failed: {e:?}")))?;
+        state.applied.store(lsn, Ordering::Release);
+        state.head.fetch_max(lsn, Ordering::AcqRel);
+        return Ok(());
+    }
+    if let Some(rest) = line.strip_prefix("PING ") {
+        state.head.fetch_max(kv_u64(rest, "lsn")?, Ordering::AcqRel);
+        return Ok(());
+    }
+    if line.is_empty() {
+        return Ok(());
+    }
+    Err(ReplError::Protocol(format!(
+        "unexpected stream line {line:?}"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use lexequal::{Language, SearchMethod};
+    use std::path::PathBuf;
+
+    fn temp_wal(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "lexequal_repl_unit_{}_{name}.wal",
+            std::process::id()
+        ))
+    }
+
+    /// In-process end to end: primary with a WAL and a stream listener,
+    /// a replica syncing (snapshot transfer) then following commits
+    /// (incremental tail), converging to identical lookups.
+    #[test]
+    fn replica_converges_in_process() {
+        let config = MatchConfig::default();
+        let primary = Arc::new(MatchService::new(ServiceConfig {
+            match_config: config.clone(),
+            shards: 2,
+            cache_capacity: 64,
+        }));
+        let wal_path = temp_wal("converge");
+        std::fs::remove_file(&wal_path).ok();
+        let metrics = Arc::new(WalMetrics::default());
+        let (wal, replay) = Wal::open(&wal_path, 0, Arc::clone(&metrics)).expect("open wal");
+        assert!(replay.is_empty());
+        let repl = Replicator::new(wal, metrics);
+
+        // Pre-replica history: names + builds, all through the commit path.
+        for text in ["Nehru", "Nero", "Gandhi"] {
+            repl.commit_add(&primary, text, Language::English)
+                .expect("commit");
+        }
+        repl.commit_build(&primary, crate::shard::BuildSpec::BkTree)
+            .expect("commit build");
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let shutdown = ShutdownSignal::new().expect("shutdown signal");
+        let accept = {
+            let service = Arc::clone(&primary);
+            let repl = Arc::clone(&repl);
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || serve_repl_listener(listener, service, repl, shutdown))
+        };
+
+        let state = Arc::new(ReplicaState::new(addr));
+        let (replica, stream, reader) =
+            initial_sync(&state.primary, &config, None, 64, &state, &shutdown).expect("sync");
+        assert_eq!(replica.len(), 3, "snapshot transfer carried the corpus");
+        assert_eq!(state.applied(), 4);
+        let replica = Arc::new(replica);
+        let apply = {
+            let replica = Arc::clone(&replica);
+            let state = Arc::clone(&state);
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                run_replica(&replica, &state, Some((stream, reader)), &shutdown)
+            })
+        };
+
+        // Incremental tail: more names + a build.
+        for text in ["Krishnan", "Bose"] {
+            repl.commit_add(&primary, text, Language::English)
+                .expect("commit");
+        }
+        repl.commit_build(&primary, crate::shard::BuildSpec::PhoneticIndex)
+            .expect("commit build");
+
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while state.applied() < repl.head() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(state.applied(), repl.head(), "replica caught up");
+        assert_eq!(state.lag(), 0);
+        assert_eq!(replica.len(), primary.len());
+
+        // Identical answers on both copies.
+        for text in ["Nehru", "Bose", "Gandhi"] {
+            let req = crate::service::MatchRequest {
+                threshold: Some(0.4),
+                method: Some(SearchMethod::Scan),
+                ..crate::service::MatchRequest::new(text, Language::English)
+            };
+            assert_eq!(primary.lookup(&req), replica.lookup(&req), "{text}");
+        }
+        assert!(replica.is_built(SearchMethod::PhoneticIndex));
+
+        shutdown.trigger();
+        repl.stop_and_join();
+        apply.join().expect("apply thread").expect("stream clean");
+        accept.join().expect("accept thread").expect("accept clean");
+        std::fs::remove_file(&wal_path).ok();
+    }
+
+    #[test]
+    fn bad_input_never_reaches_the_log() {
+        // English-only registry: a Hindi ADD fails at transform time,
+        // before the commit lock ever writes a record.
+        let config = crate::service::ServiceConfig {
+            match_config: lexequal::MatchConfig::default()
+                .with_registry(lexequal::G2pRegistry::with_languages(&[Language::English])),
+            shards: 1,
+            cache_capacity: 16,
+        };
+        let primary = MatchService::new(config);
+        let wal_path = temp_wal("badinput");
+        std::fs::remove_file(&wal_path).ok();
+        let metrics = Arc::new(WalMetrics::default());
+        let (wal, _) = Wal::open(&wal_path, 0, Arc::clone(&metrics)).expect("open wal");
+        let repl = Replicator::new(wal, Arc::clone(&metrics));
+        let err = repl.commit_add(&primary, "नेहरु", Language::Hindi);
+        assert!(matches!(err, Err(CommitError::BadInput(_))), "{err:?}");
+        assert_eq!(repl.head(), 0);
+        assert_eq!(metrics.stats().appends, 0);
+        assert_eq!(primary.len(), 0);
+        std::fs::remove_file(&wal_path).ok();
+    }
+}

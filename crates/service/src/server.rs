@@ -14,16 +14,54 @@
 //!   handled strictly one at a time. Kept as the baseline the evented
 //!   bench compares against, and for environments without epoll.
 
-use crate::event_loop::{serve_evented, ShutdownSignal};
-use crate::metrics::ConnMetrics;
+use crate::event_loop::{serve_evented, serve_evented_ctx, ShutdownSignal};
+use crate::metrics::{ConnMetrics, ReplRole, ReplStats};
 use crate::proto::{format_outcome, format_stats, parse_request, Request};
+use crate::repl::{ReplicaState, Replicator};
 use crate::service::MatchService;
 use crate::shard::BuildSpec;
 use lexequal::QgramMode;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Per-serving-loop request context: which replication role the daemon
+/// plays and where `SAVE` lands without a path. `Default` is a
+/// standalone daemon — no WAL, no replica, mutations apply directly.
+#[derive(Clone, Default)]
+pub struct ReqCtx {
+    /// Primary-side replication (set when running with `--wal`):
+    /// mutations commit through the WAL before they apply.
+    pub repl: Option<Arc<Replicator>>,
+    /// Replica-side state (set under `--replica-of`): mutations are
+    /// rejected with a redirect to the primary.
+    pub replica: Option<Arc<ReplicaState>>,
+    /// Default target for `SAVE` without a path.
+    pub save_path: Option<PathBuf>,
+}
+
+impl ReqCtx {
+    /// The `STATS` replication block for this context (`None` when the
+    /// daemon is standalone).
+    fn repl_stats(&self) -> Option<ReplStats> {
+        if let Some(repl) = &self.repl {
+            let head = repl.head();
+            return Some(ReplStats {
+                role: ReplRole::Primary,
+                head_lsn: head,
+                applied_lsn: head,
+                lag: 0,
+                connected: true,
+                replicas: repl.replicas(),
+                wal: Some(repl.wal_stats()),
+                primary_addr: None,
+            });
+        }
+        self.replica.as_ref().map(|state| state.stats())
+    }
+}
 
 /// How a serving loop maps connections to threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,10 +143,122 @@ pub fn serve_with(
     opts: ServeOptions,
     shutdown: ShutdownSignal,
 ) -> std::io::Result<()> {
+    serve_ctx(mode, listener, service, ReqCtx::default(), opts, shutdown)
+}
+
+/// [`serve_with`], carrying a replication/admin request context. Both
+/// serve modes route every request through it; on a primary a
+/// `REPL HELLO` hands the connection off to a stream sender thread.
+pub fn serve_ctx(
+    mode: ServeMode,
+    listener: TcpListener,
+    service: Arc<MatchService>,
+    ctx: ReqCtx,
+    opts: ServeOptions,
+    shutdown: ShutdownSignal,
+) -> std::io::Result<()> {
     match mode {
-        ServeMode::Threaded => serve_threaded(listener, service, shutdown),
-        ServeMode::Evented => serve_evented(listener, service, opts, shutdown),
+        ServeMode::Threaded => serve_threaded_ctx(listener, service, ctx, shutdown),
+        ServeMode::Evented => serve_evented_ctx(listener, service, ctx, opts, shutdown),
     }
+}
+
+/// `TcpListener::bind` with `SO_REUSEADDR`, so a restarted daemon can
+/// retake its port immediately even while old connections linger in
+/// TIME_WAIT (std's bind does not set the option on Linux). Raw libc
+/// shims in the spirit of [`crate::event_loop`]'s epoll bindings.
+pub fn bind_reusable(addr: &str) -> std::io::Result<TcpListener> {
+    use std::net::ToSocketAddrs;
+    let mut last_err = None;
+    for sa in addr.to_socket_addrs()? {
+        match bind_reusable_one(&sa) {
+            Ok(listener) => return Ok(listener),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("address {addr:?} resolved to nothing"),
+        )
+    }))
+}
+
+fn bind_reusable_one(sa: &std::net::SocketAddr) -> std::io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    mod sys {
+        extern "C" {
+            pub fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+            pub fn setsockopt(
+                fd: i32,
+                level: i32,
+                name: i32,
+                value: *const core::ffi::c_void,
+                len: u32,
+            ) -> i32;
+            pub fn bind(fd: i32, addr: *const u8, len: u32) -> i32;
+            pub fn listen(fd: i32, backlog: i32) -> i32;
+            pub fn close(fd: i32) -> i32;
+        }
+    }
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    // struct sockaddr_in / sockaddr_in6, assembled by hand (the kernel
+    // ABI is stable: family is native-endian, port/address are
+    // network-order byte sequences).
+    let (domain, sockaddr): (i32, Vec<u8>) = match sa {
+        std::net::SocketAddr::V4(v4) => {
+            let mut b = vec![0u8; 16];
+            b[0..2].copy_from_slice(&(AF_INET as u16).to_ne_bytes());
+            b[2..4].copy_from_slice(&v4.port().to_be_bytes());
+            b[4..8].copy_from_slice(&v4.ip().octets());
+            (AF_INET, b)
+        }
+        std::net::SocketAddr::V6(v6) => {
+            let mut b = vec![0u8; 28];
+            b[0..2].copy_from_slice(&(AF_INET6 as u16).to_ne_bytes());
+            b[2..4].copy_from_slice(&v6.port().to_be_bytes());
+            b[4..8].copy_from_slice(&v6.flowinfo().to_be_bytes());
+            b[8..24].copy_from_slice(&v6.ip().octets());
+            b[24..28].copy_from_slice(&v6.scope_id().to_ne_bytes());
+            (AF_INET6, b)
+        }
+    };
+    let fd = unsafe { sys::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if fd < 0 {
+        return Err(std::io::Error::last_os_error());
+    }
+    let fail = |fd: i32| {
+        let e = std::io::Error::last_os_error();
+        unsafe { sys::close(fd) };
+        Err(e)
+    };
+    let one: i32 = 1;
+    if unsafe {
+        sys::setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_REUSEADDR,
+            (&one as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    } < 0
+    {
+        return fail(fd);
+    }
+    if unsafe { sys::bind(fd, sockaddr.as_ptr(), sockaddr.len() as u32) } < 0 {
+        return fail(fd);
+    }
+    if unsafe { sys::listen(fd, 1024) } < 0 {
+        return fail(fd);
+    }
+    Ok(unsafe { TcpListener::from_raw_fd(fd) })
 }
 
 /// How often the threaded path's blocking waits surface to check the
@@ -122,6 +272,16 @@ pub fn serve_threaded(
     service: Arc<MatchService>,
     shutdown: ShutdownSignal,
 ) -> std::io::Result<()> {
+    serve_threaded_ctx(listener, service, ReqCtx::default(), shutdown)
+}
+
+/// [`serve_threaded`] with a request context.
+pub fn serve_threaded_ctx(
+    listener: TcpListener,
+    service: Arc<MatchService>,
+    ctx: ReqCtx,
+    shutdown: ShutdownSignal,
+) -> std::io::Result<()> {
     listener.set_nonblocking(true)?;
     let metrics = Arc::new(ConnMetrics::default());
     let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -130,13 +290,14 @@ pub fn serve_threaded(
             Ok((stream, _)) => {
                 let service = Arc::clone(&service);
                 let metrics = Arc::clone(&metrics);
+                let ctx = ctx.clone();
                 let shutdown = shutdown.clone();
                 metrics.conn_opened();
                 let handle = std::thread::Builder::new()
                     .name("lexequald-conn".to_owned())
                     .spawn(move || {
                         // A dropped connection is the client's business.
-                        let _ = handle_connection(stream, &service, &metrics, &shutdown);
+                        let _ = handle_connection_ctx(stream, &service, &ctx, &metrics, &shutdown);
                         metrics.conn_closed();
                     })
                     .expect("spawn connection handler");
@@ -164,6 +325,19 @@ pub fn handle_connection(
     metrics: &ConnMetrics,
     shutdown: &ShutdownSignal,
 ) -> std::io::Result<()> {
+    handle_connection_ctx(stream, service, &ReqCtx::default(), metrics, shutdown)
+}
+
+/// [`handle_connection`] with a request context. On a primary, a
+/// `REPL HELLO` converts the connection into a replication stream: the
+/// handler thread itself becomes the sender.
+pub fn handle_connection_ctx(
+    stream: TcpStream,
+    service: &MatchService,
+    ctx: &ReqCtx,
+    metrics: &ConnMetrics,
+    shutdown: &ShutdownSignal,
+) -> std::io::Result<()> {
     // The read timeout turns a blocked handler into a shutdown poll; a
     // partial line survives in `line` across timeouts.
     stream.set_read_timeout(Some(THREADED_POLL))?;
@@ -178,8 +352,20 @@ pub fn handle_connection(
             Ok(0) => return Ok(()),
             Ok(_) => {
                 metrics.observe_pipeline(1);
+                if let (Ok(Some(Request::ReplHello { lsn })), Some(repl)) =
+                    (parse_request(&line), &ctx.repl)
+                {
+                    writer.flush()?;
+                    drop(reader);
+                    let stream = match writer.into_inner() {
+                        Ok(s) => s,
+                        Err(e) => return Err(e.into_error()),
+                    };
+                    stream.set_read_timeout(None)?;
+                    return crate::repl::serve_replica(stream, lsn, service, repl);
+                }
                 let mut quit = false;
-                for response in respond_with(&line, service, Some(metrics), &mut quit) {
+                for response in respond_with_ctx(&line, service, ctx, Some(metrics), &mut quit) {
                     writer.write_all(response.as_bytes())?;
                     writer.write_all(b"\n")?;
                 }
@@ -213,6 +399,17 @@ pub fn respond_with(
     conn: Option<&ConnMetrics>,
     quit: &mut bool,
 ) -> Vec<String> {
+    respond_with_ctx(line, service, &ReqCtx::default(), conn, quit)
+}
+
+/// [`respond_with`], routing through a request context.
+pub fn respond_with_ctx(
+    line: &str,
+    service: &MatchService,
+    ctx: &ReqCtx,
+    conn: Option<&ConnMetrics>,
+    quit: &mut bool,
+) -> Vec<String> {
     let request = match parse_request(line) {
         Ok(Some(r)) => r,
         Ok(None) => return Vec::new(),
@@ -221,36 +418,89 @@ pub fn respond_with(
     if matches!(request, Request::Quit) {
         *quit = true;
     }
-    execute_request(service, &request, conn)
+    execute_request(service, ctx, &request, conn)
+}
+
+/// The read-only rejection a replica answers every mutation with.
+fn replica_read_only(state: &ReplicaState) -> String {
+    format!(
+        "read-only replica: writes go to the primary at {}",
+        state.primary
+    )
+}
+
+/// Route one build through the context: reject on a replica, commit
+/// through the WAL on a primary, apply directly when standalone.
+fn do_build(service: &MatchService, ctx: &ReqCtx, spec: BuildSpec) -> Result<(), String> {
+    if let Some(state) = &ctx.replica {
+        return Err(replica_read_only(state));
+    }
+    if let Some(repl) = &ctx.repl {
+        repl.commit_build(service, spec)
+            .map_err(|e| e.to_string())?;
+    } else {
+        service.build(spec);
+    }
+    Ok(())
 }
 
 /// Execute one parsed request against the service. Shared by the
 /// threaded handlers and the evented path's verify workers; `QUIT`
 /// answers `BYE` here, connection teardown is the caller's job.
+/// Mutations route through `ctx`: WAL-committed on a primary, rejected
+/// with a redirect on a replica.
 pub(crate) fn execute_request(
     service: &MatchService,
+    ctx: &ReqCtx,
     request: &Request,
     conn: Option<&ConnMetrics>,
 ) -> Vec<String> {
     match request {
-        Request::Add { language, text } => match service.add(text, *language) {
-            Ok(id) => vec![format!("OK {id}")],
-            Err(e) => vec![format!("ERR {e:?}")],
-        },
+        Request::Add { language, text } => {
+            if let Some(state) = &ctx.replica {
+                return vec![format!("ERR {}", replica_read_only(state))];
+            }
+            if let Some(repl) = &ctx.repl {
+                return match repl.commit_add(service, text, *language) {
+                    Ok((_lsn, id)) => vec![format!("OK {id}")],
+                    Err(e) => vec![format!("ERR {e}")],
+                };
+            }
+            match service.add(text, *language) {
+                Ok(id) => vec![format!("OK {id}")],
+                Err(e) => vec![format!("ERR {e:?}")],
+            }
+        }
         Request::BuildQgram { q, mode } => {
-            service.build(BuildSpec::Qgram { q: *q, mode: *mode });
-            vec!["OK built=qgram".to_owned()]
+            match do_build(service, ctx, BuildSpec::Qgram { q: *q, mode: *mode }) {
+                Ok(()) => vec!["OK built=qgram".to_owned()],
+                Err(e) => vec![format!("ERR {e}")],
+            }
         }
-        Request::BuildPhonidx => {
-            service.build(BuildSpec::PhoneticIndex);
-            vec!["OK built=phonidx".to_owned()]
-        }
-        Request::BuildBktree => {
-            service.build(BuildSpec::BkTree);
-            vec!["OK built=bktree".to_owned()]
-        }
+        Request::BuildPhonidx => match do_build(service, ctx, BuildSpec::PhoneticIndex) {
+            Ok(()) => vec!["OK built=phonidx".to_owned()],
+            Err(e) => vec![format!("ERR {e}")],
+        },
+        Request::BuildBktree => match do_build(service, ctx, BuildSpec::BkTree) {
+            Ok(()) => vec!["OK built=bktree".to_owned()],
+            Err(e) => vec![format!("ERR {e}")],
+        },
         Request::BuildAll => {
-            service.build_all(3, QgramMode::Strict);
+            // The wire command is one request but logs as three ops, in
+            // the same order `build_all` applies them.
+            let specs = [
+                BuildSpec::Qgram {
+                    q: 3,
+                    mode: QgramMode::Strict,
+                },
+                BuildSpec::PhoneticIndex,
+                BuildSpec::BkTree,
+            ];
+            for spec in specs {
+                if let Err(e) = do_build(service, ctx, spec) {
+                    return vec![format!("ERR {e}")];
+                }
+            }
             vec!["OK built=all".to_owned()]
         }
         Request::Match(req) => vec![format_outcome(&service.lookup(req))],
@@ -262,9 +512,55 @@ pub(crate) fn execute_request(
         Request::Stats => {
             let mut snapshot = service.stats();
             snapshot.conn = conn.map(ConnMetrics::snapshot);
+            snapshot.repl = ctx.repl_stats();
             vec![format_stats(&snapshot)]
         }
+        Request::Save { path } => execute_save(service, ctx, path.as_deref()),
+        Request::ReplHello { .. } => vec![match (&ctx.repl, &ctx.replica) {
+            (None, None) => {
+                "ERR replication not enabled (start the primary with --wal PATH)".to_owned()
+            }
+            (_, Some(_)) => {
+                "ERR this daemon is a replica; open the stream against the primary".to_owned()
+            }
+            // Reached only through entry points that cannot hand the
+            // socket off (e.g. `respond` embedders); the serve loops
+            // intercept the handshake before it gets here.
+            (Some(_), None) => "ERR replication stream unavailable on this connection".to_owned(),
+        }],
         Request::Quit => vec!["BYE".to_owned()],
+    }
+}
+
+/// `SAVE [path]`: snapshot the running store atomically, stamped with
+/// the WAL head (primary), the applied LSN (replica), or 0.
+fn execute_save(service: &MatchService, ctx: &ReqCtx, path: Option<&str>) -> Vec<String> {
+    let target = match path.map(PathBuf::from).or_else(|| ctx.save_path.clone()) {
+        Some(t) => t,
+        None => {
+            return vec![
+                "ERR SAVE: no path given and no default configured (use SAVE <path> \
+                 or start with --save-snapshot PATH)"
+                    .to_owned(),
+            ]
+        }
+    };
+    let saved = if let Some(repl) = &ctx.repl {
+        // Under the commit lock: the snapshot is exact at its LSN.
+        repl.save_snapshot_atomic(service, &target)
+    } else {
+        // On a replica the apply loop may advance while capturing; the
+        // stamped LSN is a lower bound (see DESIGN §5e).
+        let lsn = ctx.replica.as_ref().map_or(0, |s| s.applied());
+        service.save_snapshot_with_lsn(&target, lsn).map(|()| lsn)
+    };
+    match saved {
+        Ok(lsn) => vec![format!(
+            "OK saved={} names={} lsn={lsn}",
+            target.display(),
+            service.len()
+        )],
+        Err(e) => vec![format!("ERR SAVE: {e}")],
     }
 }
 

@@ -151,6 +151,39 @@ impl MatchService {
         Ok(MatchService::from_store(store, cache_capacity))
     }
 
+    /// [`load_snapshot`](Self::load_snapshot), also returning the WAL
+    /// LSN the snapshot covers (0 for pre-replication snapshots) so the
+    /// daemon knows where log replay starts.
+    pub fn load_snapshot_with_lsn(
+        match_config: MatchConfig,
+        shards: Option<usize>,
+        cache_capacity: usize,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(Self, u64), lexequal_mdb::DbError> {
+        let f = std::fs::File::open(path)
+            .map_err(|e| lexequal_mdb::DbError::Unsupported(format!("store snapshot open: {e}")))?;
+        let snap = crate::snapshot::StoreSnapshot::read_from(std::io::BufReader::new(f))?;
+        let lsn = snap.lsn();
+        let store = match shards {
+            Some(m) => snap.restore_with_shards(match_config, m),
+            None => snap.restore(match_config),
+        }?;
+        Ok((MatchService::from_store(store, cache_capacity), lsn))
+    }
+
+    /// Persist the store atomically (temp file + rename), stamping the
+    /// WAL LSN the state corresponds to. The caller is responsible for
+    /// holding writes off while capturing (the daemon captures under its
+    /// commit lock).
+    pub fn save_snapshot_with_lsn(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        lsn: u64,
+    ) -> Result<(), lexequal_mdb::DbError> {
+        crate::snapshot::StoreSnapshot::capture_with_lsn(&self.store, lsn)
+            .write_to_file_atomic(path)
+    }
+
     /// The underlying sharded store.
     pub fn store(&self) -> &ShardedStore {
         &self.store
@@ -226,6 +259,48 @@ impl MatchService {
         self.build(BuildSpec::Qgram { q, mode });
         self.build(BuildSpec::PhoneticIndex);
         self.build(BuildSpec::BkTree);
+    }
+
+    /// Transform one name (through the cache) into the entry an `ADD`
+    /// would append — the *fallible* half of a WAL-logged mutation, run
+    /// before the op is appended so a bad input never reaches the log.
+    pub fn prepare_entry(&self, text: &str, language: Language) -> Result<NameEntry, G2pError> {
+        let phonemes = self.cache.get_or_try_insert_with(text, language, || {
+            self.store.config().registry.transform(text, language)
+        })?;
+        Ok(NameEntry {
+            text: text.to_owned(),
+            language,
+            phonemes,
+        })
+    }
+
+    /// Append one pre-transformed entry — the infallible half of an
+    /// `ADD`. Returns the assigned global id.
+    pub fn apply_entry(&self, entry: NameEntry) -> u32 {
+        self.extend_transformed(vec![entry]).start
+    }
+
+    /// Deterministically apply one logged op, exactly as the original
+    /// mutation did. WAL replay on restart and replicas applying the
+    /// primary's stream both come through here, and the primary's own
+    /// commit path splits into the same [`prepare_entry`]/[`apply_entry`]
+    /// halves — so every copy of the store converges byte-for-byte.
+    /// Returns the assigned global id for an `Add`.
+    ///
+    /// [`prepare_entry`]: Self::prepare_entry
+    /// [`apply_entry`]: Self::apply_entry
+    pub fn apply_op(&self, op: &crate::wal::Op) -> Result<Option<u32>, G2pError> {
+        match op {
+            crate::wal::Op::Add { language, text } => {
+                let entry = self.prepare_entry(text, *language)?;
+                Ok(Some(self.apply_entry(entry)))
+            }
+            crate::wal::Op::Build(spec) => {
+                self.build(*spec);
+                Ok(None)
+            }
+        }
     }
 
     /// Whether `method` can serve a search right now.
@@ -413,6 +488,7 @@ impl MatchService {
                 }
             }),
             conn: None,
+            repl: None,
         }
     }
 }
@@ -487,6 +563,10 @@ pub struct StatsSnapshot {
     /// [`MatchService::stats`] (the service doesn't own connections); a
     /// TCP front-end fills this in before formatting `STATS`.
     pub conn: Option<ConnStats>,
+    /// Replication role/lag gauges. `None` from [`MatchService::stats`]
+    /// (and on a daemon with neither `--wal` nor `--replica-of`); the
+    /// serving layer fills this in from its request context.
+    pub repl: Option<crate::metrics::ReplStats>,
 }
 
 #[cfg(test)]

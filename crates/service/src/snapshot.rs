@@ -77,6 +77,11 @@ pub struct StoreSnapshot {
     shards: usize,
     builds: Vec<BuildSpec>,
     fingerprint: u64,
+    /// WAL LSN this snapshot covers (0 = no WAL): recovery replays the
+    /// log strictly past this point, and a replica restored from the
+    /// snapshot resumes the stream here. Older documents without the
+    /// field read back as 0.
+    lsn: u64,
     sections: Vec<Vec<SnapEntry>>,
 }
 
@@ -223,8 +228,16 @@ fn entry_from_json(j: &Json) -> Result<SnapEntry, DbError> {
 
 impl StoreSnapshot {
     /// Capture a store's entries (per shard, in local-id order), built
-    /// access paths and corpus fingerprint.
+    /// access paths and corpus fingerprint. The snapshot carries no WAL
+    /// anchor (lsn 0) — see [`capture_with_lsn`](Self::capture_with_lsn).
     pub fn capture(store: &ShardedStore) -> StoreSnapshot {
+        Self::capture_with_lsn(store, 0)
+    }
+
+    /// [`capture`](Self::capture), recording the WAL LSN the store state
+    /// corresponds to. The caller must hold writes off (the daemon
+    /// captures under its commit lock) so the anchor is exact.
+    pub fn capture_with_lsn(store: &ShardedStore, lsn: u64) -> StoreSnapshot {
         let operator = LexEqual::new(store.config().clone());
         let sections: Vec<Vec<SnapEntry>> = store
             .export_shards()
@@ -246,6 +259,7 @@ impl StoreSnapshot {
             shards: store.shards(),
             builds: store.built_specs(),
             fingerprint: fingerprint(&sections),
+            lsn,
             sections,
         }
     }
@@ -253,6 +267,11 @@ impl StoreSnapshot {
     /// Shard count the snapshot was written with (and restores to).
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// WAL LSN this snapshot covers (0 = no WAL).
+    pub fn lsn(&self) -> u64 {
+        self.lsn
     }
 
     /// Total names across all shard sections.
@@ -388,6 +407,7 @@ impl StoreSnapshot {
             ("version".to_owned(), Json::Int(self.version as i64)),
             ("shards".to_owned(), Json::Int(self.shards as i64)),
             ("names".to_owned(), Json::Int(self.len() as i64)),
+            ("lsn".to_owned(), Json::Int(self.lsn as i64)),
             (
                 "fingerprint".to_owned(),
                 Json::Str(format!("{:016x}", self.fingerprint)),
@@ -465,11 +485,18 @@ impl StoreSnapshot {
                 "header says {names} names but the sections hold {total}"
             )));
         }
+        // Pre-replication documents carry no lsn; they anchor at 0.
+        let lsn = doc
+            .get("lsn")
+            .and_then(Json::as_i64)
+            .filter(|&l| l >= 0)
+            .unwrap_or(0) as u64;
         Ok(StoreSnapshot {
             version,
             shards,
             builds,
             fingerprint,
+            lsn,
             sections,
         })
     }
@@ -487,6 +514,32 @@ impl StoreSnapshot {
             .map_err(|e| decode_err(format!("read: {e}")))?;
         let doc = Json::parse(&text).map_err(decode_err)?;
         StoreSnapshot::from_json(&doc)
+    }
+
+    /// Write to `path` atomically: the document lands in a same-directory
+    /// temp file, is fsynced, then renamed over the target — a reader
+    /// (or a crash) never sees a half-written snapshot.
+    pub fn write_to_file_atomic(&self, path: impl AsRef<std::path::Path>) -> Result<(), DbError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        let write = (|| {
+            let f = std::fs::File::create(&tmp)
+                .map_err(|e| DbError::Unsupported(format!("store snapshot create: {e}")))?;
+            let mut w = std::io::BufWriter::new(f);
+            self.write_to(&mut w)?;
+            use std::io::Write as _;
+            w.flush()
+                .and_then(|()| w.get_ref().sync_all())
+                .map_err(|e| DbError::Unsupported(format!("store snapshot sync: {e}")))?;
+            std::fs::rename(&tmp, path)
+                .map_err(|e| DbError::Unsupported(format!("store snapshot rename: {e}")))
+        })();
+        if write.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        write
     }
 }
 

@@ -221,3 +221,59 @@ fn snapshot_written_by_one_run_serves_the_next() {
 
     std::fs::remove_file(&snap).ok();
 }
+
+#[test]
+fn replication_flags_reject_bad_combinations() {
+    // Values are required and must look like addresses.
+    assert_usage_error(&["--wal"], &["--wal", "needs a value"]);
+    assert_usage_error(&["--replica-of"], &["--replica-of", "needs a value"]);
+    assert_usage_error(
+        &["--replica-of", "nohost"],
+        &["--replica-of", "\"nohost\"", "HOST:PORT"],
+    );
+    assert_usage_error(
+        &["--repl-listen", "9999"],
+        &["--repl-listen", "\"9999\"", "HOST:PORT"],
+    );
+    assert_usage_error(
+        &["--addr", "localhost"],
+        &["--addr", "\"localhost\"", "HOST:PORT"],
+    );
+
+    // A replica seeds itself from the primary: local state flags clash.
+    for flag in ["--wal", "--snapshot", "--save-snapshot"] {
+        assert_usage_error(
+            &["--replica-of", "127.0.0.1:9", flag, "x"],
+            &["--replica-of", flag, "mutually exclusive"],
+        );
+    }
+    assert_usage_error(
+        &["--replica-of", "127.0.0.1:9", "--preload", "10"],
+        &["--replica-of", "--preload", "mutually exclusive"],
+    );
+    assert_usage_error(
+        &[
+            "--replica-of",
+            "127.0.0.1:9",
+            "--repl-listen",
+            "127.0.0.1:10",
+        ],
+        &["--replica-of", "--repl-listen", "mutually exclusive"],
+    );
+
+    // A dedicated replication listener is a primary-only concept.
+    assert_usage_error(
+        &["--repl-listen", "127.0.0.1:10"],
+        &["--repl-listen", "requires --wal"],
+    );
+}
+
+#[test]
+fn help_lists_the_replication_flags() {
+    let out = lexequald().arg("--help").output().expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for flag in ["--wal", "--replica-of", "--repl-listen"] {
+        assert!(stdout.contains(flag), "{flag} missing from usage: {stdout}");
+    }
+}

@@ -1,0 +1,299 @@
+//! WAL corruption and recovery battery.
+//!
+//! Every case feeds `Wal::open` a damaged file and demands one of two
+//! outcomes: clean recovery (torn tails from a crashed append) or a
+//! clean *named* error (bit rot, sequence breaks, anchoring mismatches,
+//! wrong file). Nothing here may panic, and nothing may silently drop a
+//! record that a crash did not tear.
+
+use lexequal::Language;
+use lexequal_service::wal::{Op, Wal, WalError, WAL_MAGIC};
+use lexequal_service::WalMetrics;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A temp path that cleans up after itself.
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(name: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("lexequal_walrec_{}_{name}", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        TempPath(p)
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+fn metrics() -> Arc<WalMetrics> {
+    Arc::new(WalMetrics::default())
+}
+
+fn add(text: &str) -> Op {
+    Op::Add {
+        language: Language::English,
+        text: text.to_owned(),
+    }
+}
+
+/// Write a healthy three-record log and return its bytes.
+fn healthy_log(path: &TempPath) -> Vec<u8> {
+    let (mut wal, _) = Wal::open(&path.0, 0, metrics()).expect("open fresh");
+    for text in ["Nehru", "Gandhi", "Krishnan"] {
+        wal.append(&add(text)).expect("append");
+    }
+    drop(wal);
+    std::fs::read(&path.0).expect("read log")
+}
+
+/// FNV-1a 64 with the WAL's constants — a test-local copy so these
+/// tests can forge records the implementation would never write.
+fn fnv1a(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Forge one wire-exact record with an arbitrary (possibly wrong) LSN.
+fn forge_record(lsn: u64, payload: &str) -> Vec<u8> {
+    let len_le = (payload.len() as u32).to_le_bytes();
+    let lsn_le = lsn.to_le_bytes();
+    let sum = fnv1a(&[&len_le, &lsn_le, payload.as_bytes()]);
+    let mut out = Vec::new();
+    out.extend_from_slice(&len_le);
+    out.extend_from_slice(&lsn_le);
+    out.extend_from_slice(payload.as_bytes());
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+#[test]
+fn truncation_at_every_byte_offset_recovers() {
+    let path = TempPath::new("everycut");
+    let full = healthy_log(&path);
+    // Every possible crash point, from one byte short of complete down
+    // to the empty file, must open cleanly with a sequential prefix.
+    for cut in (0..full.len()).rev() {
+        std::fs::write(&path.0, &full[..cut]).expect("write truncated");
+        let (wal, replay) = match Wal::open(&path.0, 0, metrics()) {
+            Ok(v) => v,
+            Err(e) => panic!("cut at {cut}/{} bytes must recover, got {e}", full.len()),
+        };
+        assert!(replay.len() <= 3, "cut {cut}: {} records", replay.len());
+        for (i, rec) in replay.iter().enumerate() {
+            assert_eq!(rec.lsn, i as u64 + 1, "cut {cut}");
+        }
+        assert_eq!(wal.head_lsn(), replay.len() as u64, "cut {cut}");
+    }
+}
+
+#[test]
+fn recovered_log_accepts_appends_and_reopens() {
+    let path = TempPath::new("appendafter");
+    let full = healthy_log(&path);
+    // Tear the final record in half.
+    std::fs::write(&path.0, &full[..full.len() - 10]).expect("write torn");
+    let (mut wal, replay) = Wal::open(&path.0, 0, metrics()).expect("recover");
+    assert_eq!(replay.len(), 2);
+    assert_eq!(wal.append(&add("Patel")).expect("append"), 3);
+    drop(wal);
+    let (wal, replay) = Wal::open(&path.0, 0, metrics()).expect("reopen");
+    assert_eq!(wal.head_lsn(), 3);
+    let texts: Vec<&str> = replay
+        .iter()
+        .map(|r| match &r.op {
+            Op::Add { text, .. } => text.as_str(),
+            other => panic!("unexpected {other:?}"),
+        })
+        .collect();
+    assert_eq!(texts, vec!["Nehru", "Gandhi", "Patel"]);
+}
+
+#[test]
+fn flipped_byte_mid_file_is_a_named_corruption() {
+    let path = TempPath::new("midrot");
+    let mut bytes = healthy_log(&path);
+    // Flip one payload byte inside the FIRST record: bit rot, not a torn
+    // tail, so recovery must refuse rather than silently skip.
+    let offset = WAL_MAGIC.len() + 12 + 2;
+    bytes[offset] ^= 0x40;
+    std::fs::write(&path.0, &bytes).expect("write rotted");
+    match Wal::open(&path.0, 0, metrics()) {
+        Err(WalError::Corrupt { what, .. }) => {
+            assert!(what.contains("checksum"), "{what}");
+        }
+        other => panic!("mid-file rot must be Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn flipped_checksum_byte_in_final_record_truncates_to_the_good_prefix() {
+    let path = TempPath::new("tailrot");
+    let mut bytes = healthy_log(&path);
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&path.0, &bytes).expect("write rotted");
+    // Indistinguishable from a crash mid-append of the final record:
+    // recover to the 2-record prefix.
+    let (wal, replay) = Wal::open(&path.0, 0, metrics()).expect("recover");
+    assert_eq!(replay.len(), 2);
+    assert_eq!(wal.head_lsn(), 2);
+    // And the truncation is physical: a fresh scan sees a clean file.
+    drop(wal);
+    let (_, replay) = Wal::open(&path.0, 0, metrics()).expect("reopen");
+    assert_eq!(replay.len(), 2);
+}
+
+#[test]
+fn duplicate_lsn_is_a_sequence_break() {
+    let path = TempPath::new("duplsn");
+    let mut bytes = Vec::from(WAL_MAGIC);
+    bytes.extend_from_slice(&forge_record(1, "A en Nehru"));
+    bytes.extend_from_slice(&forge_record(1, "A en Gandhi"));
+    std::fs::write(&path.0, &bytes).expect("write forged");
+    match Wal::open(&path.0, 0, metrics()) {
+        Err(WalError::SequenceBreak {
+            expected, found, ..
+        }) => {
+            assert_eq!((expected, found), (2, 1));
+        }
+        other => panic!("duplicate lsn must be SequenceBreak, got {other:?}"),
+    }
+}
+
+#[test]
+fn skipped_lsn_is_a_sequence_break() {
+    let path = TempPath::new("skiplsn");
+    let mut bytes = Vec::from(WAL_MAGIC);
+    bytes.extend_from_slice(&forge_record(1, "A en Nehru"));
+    bytes.extend_from_slice(&forge_record(3, "A en Gandhi"));
+    std::fs::write(&path.0, &bytes).expect("write forged");
+    match Wal::open(&path.0, 0, metrics()) {
+        Err(WalError::SequenceBreak {
+            expected, found, ..
+        }) => assert_eq!((expected, found), (2, 3)),
+        other => panic!("skipped lsn must be SequenceBreak, got {other:?}"),
+    }
+}
+
+#[test]
+fn empty_file_is_a_fresh_log() {
+    let path = TempPath::new("empty");
+    std::fs::write(&path.0, b"").expect("write empty");
+    let (wal, replay) = Wal::open(&path.0, 0, metrics()).expect("open empty");
+    assert!(replay.is_empty());
+    assert_eq!(wal.head_lsn(), 0);
+    drop(wal);
+    // The magic was written on open.
+    let bytes = std::fs::read(&path.0).expect("read");
+    assert_eq!(bytes, WAL_MAGIC);
+}
+
+#[test]
+fn oversized_record_length_is_corrupt_even_at_the_tail() {
+    let path = TempPath::new("oversized");
+    let mut bytes = Vec::from(WAL_MAGIC);
+    bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+    bytes.extend_from_slice(&1u64.to_le_bytes());
+    std::fs::write(&path.0, &bytes).expect("write forged");
+    match Wal::open(&path.0, 0, metrics()) {
+        Err(WalError::Corrupt { what, .. }) => assert!(what.contains("bound"), "{what}"),
+        other => panic!("absurd length must be Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn undecodable_payload_mid_file_is_corrupt() {
+    let path = TempPath::new("badop");
+    let mut bytes = Vec::from(WAL_MAGIC);
+    bytes.extend_from_slice(&forge_record(1, "Z not an op"));
+    bytes.extend_from_slice(&forge_record(2, "A en Nehru"));
+    std::fs::write(&path.0, &bytes).expect("write forged");
+    match Wal::open(&path.0, 0, metrics()) {
+        Err(WalError::Corrupt { what, .. }) => assert!(what.contains("unknown tag"), "{what}"),
+        other => panic!("bad op must be Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_file_that_is_not_a_wal_is_bad_magic() {
+    let path = TempPath::new("notawal");
+    std::fs::write(&path.0, b"{\"version\": 1}\n").expect("write json");
+    match Wal::open(&path.0, 0, metrics()) {
+        Err(WalError::BadMagic { path: p }) => assert_eq!(p, path.0),
+        other => panic!("non-wal file must be BadMagic, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_anchoring_rejects_gaps_and_stale_logs() {
+    let path = TempPath::new("anchor");
+    healthy_log(&path); // lsns 1..=3
+
+    // Snapshot newer than the whole log: stale lineage.
+    match Wal::open(&path.0, 5, metrics()) {
+        Err(WalError::SnapshotAhead {
+            snapshot_lsn,
+            wal_head,
+        }) => assert_eq!((snapshot_lsn, wal_head), (5, 3)),
+        other => panic!("expected SnapshotAhead, got {other:?}"),
+    }
+
+    // Log starting after the snapshot: lost ops in between.
+    let mut bytes = Vec::from(WAL_MAGIC);
+    bytes.extend_from_slice(&forge_record(5, "A en Nehru"));
+    bytes.extend_from_slice(&forge_record(6, "A en Gandhi"));
+    std::fs::write(&path.0, &bytes).expect("write forged");
+    match Wal::open(&path.0, 2, metrics()) {
+        Err(WalError::Gap {
+            snapshot_lsn,
+            wal_first,
+        }) => assert_eq!((snapshot_lsn, wal_first), (2, 5)),
+        other => panic!("expected Gap, got {other:?}"),
+    }
+
+    // The exact boundaries are fine: base == first-1 and base == head.
+    let (_, replay) = Wal::open(&path.0, 4, metrics()).expect("base = first-1");
+    assert_eq!(replay.len(), 2);
+    let (_, replay) = Wal::open(&path.0, 6, metrics()).expect("base = head");
+    assert!(replay.is_empty());
+}
+
+#[test]
+fn every_wal_error_displays_without_panicking() {
+    let cases: Vec<WalError> = vec![
+        WalError::Io(std::io::Error::other("boom")),
+        WalError::BadMagic {
+            path: PathBuf::from("/tmp/x"),
+        },
+        WalError::Corrupt {
+            offset: 17,
+            what: "checksum".to_owned(),
+        },
+        WalError::SequenceBreak {
+            offset: 17,
+            expected: 2,
+            found: 9,
+        },
+        WalError::SnapshotAhead {
+            snapshot_lsn: 9,
+            wal_head: 3,
+        },
+        WalError::Gap {
+            snapshot_lsn: 1,
+            wal_first: 5,
+        },
+    ];
+    for e in cases {
+        assert!(!e.to_string().is_empty());
+    }
+}

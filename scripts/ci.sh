@@ -31,6 +31,16 @@ echo "== snapshot persistence: round-trip equivalence + corrupt files + CLI"
 cargo test -p lexequal-service --offline -q --test snapshot_roundtrip --test cli_flags
 cargo test -p lexequal-mdb --offline -q snapshot
 
+echo "== replication: WAL corruption matrix + primary/replica e2e"
+# repl_e2e includes the kill-primary / restart-from-snapshot+WAL cycle
+# through the real binary, asserting byte-identical MATCH answers.
+cargo test -p lexequal-service --offline -q --test wal_recovery --test repl_e2e
+
+echo "== replication bench (small run; full size via --size/--repl-ops)"
+cargo run --release -p lexequal-service --offline --bin loadgen -- \
+    --repl-bench --size 2000 --repl-ops 200 --repl-out results/repl_bench_ci.json
+rm -f results/repl_bench_ci.json
+
 echo "== snapshot cold-start timing (small run; full size via --size)"
 cargo run --release -p lexequal-service --offline --bin loadgen -- \
     --snapshot-bench --size 5000 --snapshot-out results/snapshot_bench_ci.json

@@ -73,7 +73,7 @@ pub use qgram_plan::{QgramFilter, QgramMode};
 pub use store::{NameStore, SearchMethod};
 pub use verify::{PreparedQuery, ScreenCounters, Verifier};
 
-pub use lexequal_g2p::{G2pError, G2pRegistry, Language};
+pub use lexequal_g2p::{G2pError, G2pRegistry, Language, Route, Router, Script, ScriptProfile};
 pub use lexequal_phoneme::{ClusterTable, Phoneme, PhonemeString};
 
 #[cfg(test)]
@@ -102,5 +102,8 @@ mod send_sync_audit {
         assert_send_sync::<DenseSubstCost>();
         assert_send_sync::<Verifier>();
         assert_send_sync::<PreparedQuery>();
+        assert_send_sync::<ScriptProfile>();
+        assert_send_sync::<Router>();
+        assert_send_sync::<Route>();
     }
 }

@@ -22,12 +22,80 @@ pub enum Script {
     Tamil,
     /// Greek and Coptic block (U+0370–U+03FF).
     Greek,
+    /// Cyrillic blocks (U+0400–U+04FF, supplement U+0500–U+052F).
+    Cyrillic,
     /// Arabic block (U+0600–U+06FF) and presentation forms.
     Arabic,
     /// Japanese kana blocks (hiragana U+3040–U+309F, katakana U+30A0–U+30FF).
     Kana,
-    /// Anything else (Han, Hangul, …) — recognized but unsupported.
+    /// Hangul jamo and syllables (U+1100–U+11FF, U+3130–U+318F,
+    /// U+AC00–U+D7AF) — detected, but no converter ships (`NORESOURCE`).
+    Hangul,
+    /// Thai block (U+0E00–U+0E7F) — detected, but no converter ships
+    /// (`NORESOURCE`).
+    Thai,
+    /// Anything else (Han, …) — recognized but unsupported.
     Other,
+}
+
+impl Script {
+    /// Every script the detector distinguishes, in a stable order. The
+    /// order doubles as the tie-break for mixed-script plurality votes:
+    /// earlier wins.
+    pub const ALL: [Script; 10] = [
+        Script::Latin,
+        Script::Devanagari,
+        Script::Tamil,
+        Script::Greek,
+        Script::Cyrillic,
+        Script::Arabic,
+        Script::Kana,
+        Script::Hangul,
+        Script::Thai,
+        Script::Other,
+    ];
+
+    /// Number of distinguished scripts (histogram width).
+    pub const COUNT: usize = Script::ALL.len();
+
+    /// This script's position in [`Script::ALL`] — a stable histogram /
+    /// counter index.
+    pub fn index(self) -> usize {
+        match self {
+            Script::Latin => 0,
+            Script::Devanagari => 1,
+            Script::Tamil => 2,
+            Script::Greek => 3,
+            Script::Cyrillic => 4,
+            Script::Arabic => 5,
+            Script::Kana => 6,
+            Script::Hangul => 7,
+            Script::Thai => 8,
+            Script::Other => 9,
+        }
+    }
+
+    /// Lowercase stable name (used as a `STATS` key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Script::Latin => "latin",
+            Script::Devanagari => "devanagari",
+            Script::Tamil => "tamil",
+            Script::Greek => "greek",
+            Script::Cyrillic => "cyrillic",
+            Script::Arabic => "arabic",
+            Script::Kana => "kana",
+            Script::Hangul => "hangul",
+            Script::Thai => "thai",
+            Script::Other => "other",
+        }
+    }
+}
+
+impl fmt::Display for Script {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// The languages the LexEQUAL prototype ships converters for.
@@ -49,11 +117,23 @@ pub enum Language {
     Arabic,
     /// Japanese, kana only (katakana is how foreign names are written).
     Japanese,
+    /// Russian (Cyrillic script, transliteration-style rules).
+    Russian,
+    /// Korean (Hangul script) — a *tag* only: the detector recognizes the
+    /// script but no converter ships, modeling the paper's `NORESOURCE`
+    /// outcome for languages outside `S_L`.
+    Korean,
+    /// Thai (Thai script) — a tag without a converter, like [`Korean`].
+    ///
+    /// [`Korean`]: Language::Korean
+    Thai,
 }
 
 impl Language {
-    /// All supported languages, in a stable order.
-    pub const ALL: [Language; 8] = [
+    /// All known language tags, in a stable order. This includes tags the
+    /// detector can assign but no converter serves (Korean, Thai); use
+    /// [`Language::CONVERTIBLE`] for the paper's `S_L` set.
+    pub const ALL: [Language; 11] = [
         Language::English,
         Language::Hindi,
         Language::Tamil,
@@ -62,6 +142,24 @@ impl Language {
         Language::Spanish,
         Language::Arabic,
         Language::Japanese,
+        Language::Russian,
+        Language::Korean,
+        Language::Thai,
+    ];
+
+    /// The languages a converter ships for — the paper's `S_L`,
+    /// "languages with IPA transformations". Everything in `ALL` but not
+    /// here transforms to the `NORESOURCE` outcome.
+    pub const CONVERTIBLE: [Language; 9] = [
+        Language::English,
+        Language::Hindi,
+        Language::Tamil,
+        Language::Greek,
+        Language::French,
+        Language::Spanish,
+        Language::Arabic,
+        Language::Japanese,
+        Language::Russian,
     ];
 
     /// The script this language is written in.
@@ -73,6 +171,9 @@ impl Language {
             Language::Greek => Script::Greek,
             Language::Arabic => Script::Arabic,
             Language::Japanese => Script::Kana,
+            Language::Russian => Script::Cyrillic,
+            Language::Korean => Script::Hangul,
+            Language::Thai => Script::Thai,
         }
     }
 }
@@ -88,6 +189,9 @@ impl fmt::Display for Language {
             Language::Spanish => "Spanish",
             Language::Arabic => "Arabic",
             Language::Japanese => "Japanese",
+            Language::Russian => "Russian",
+            Language::Korean => "Korean",
+            Language::Thai => "Thai",
         };
         f.write_str(name)
     }
@@ -105,6 +209,9 @@ impl FromStr for Language {
             "spanish" | "es" => Ok(Language::Spanish),
             "arabic" | "ar" => Ok(Language::Arabic),
             "japanese" | "ja" => Ok(Language::Japanese),
+            "russian" | "ru" => Ok(Language::Russian),
+            "korean" | "ko" => Ok(Language::Korean),
+            "thai" | "th" => Ok(Language::Thai),
             other => Err(format!("unknown language {other:?}")),
         }
     }
@@ -118,63 +225,38 @@ pub fn script_of_char(c: char) -> Option<Script> {
         0x0900..=0x097F => Some(Script::Devanagari),
         0x0B80..=0x0BFF => Some(Script::Tamil),
         0x0370..=0x03FF | 0x1F00..=0x1FFF => Some(Script::Greek),
+        0x0400..=0x052F => Some(Script::Cyrillic),
         0x0600..=0x06FF | 0xFB50..=0xFDFF | 0xFE70..=0xFEFF => Some(Script::Arabic),
+        0x0E00..=0x0E7F => Some(Script::Thai),
         0x3040..=0x30FF => Some(Script::Kana),
+        0x1100..=0x11FF | 0x3130..=0x318F | 0xAC00..=0xD7AF => Some(Script::Hangul),
         _ if c.is_alphabetic() => Some(Script::Other),
         _ => None,
     }
 }
 
-/// Dominant script of a string: the script of the majority of its letters,
-/// or `None` if it contains no letters.
+/// Dominant script of a string: the plurality script of its letters, or
+/// `None` if it contains no letters. Thin wrapper over
+/// [`crate::script::ScriptProfile`], which also exposes the full
+/// per-script histogram, mixed-script flags, and a confidence score. On a
+/// tie, the earlier entry in [`Script::ALL`] wins — deterministic and
+/// documented, so mixed inputs like `"Tokyo東京"` (5 Latin letters vs. 2
+/// Han) always resolve the same way.
 pub fn detect_script(text: &str) -> Option<Script> {
-    let mut counts = [0usize; 7];
-    for c in text.chars() {
-        if let Some(s) = script_of_char(c) {
-            let i = match s {
-                Script::Latin => 0,
-                Script::Devanagari => 1,
-                Script::Tamil => 2,
-                Script::Greek => 3,
-                Script::Arabic => 4,
-                Script::Kana => 5,
-                Script::Other => 6,
-            };
-            counts[i] += 1;
-        }
-    }
-    let (best, &n) = counts
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, n)| *n)
-        .expect("array is non-empty");
-    if n == 0 {
-        return None;
-    }
-    Some(match best {
-        0 => Script::Latin,
-        1 => Script::Devanagari,
-        2 => Script::Tamil,
-        3 => Script::Greek,
-        4 => Script::Arabic,
-        5 => Script::Kana,
-        _ => Script::Other,
-    })
+    crate::script::ScriptProfile::of(text).primary()
 }
 
 /// Best-effort language identification from script (the paper's §2.1
 /// caveat applies: Latin-script text defaults to English even though it
-/// could be French or Spanish).
+/// could be French or Spanish — [`crate::script::Router`] fans out over
+/// all three instead of guessing). Thin wrapper over
+/// [`crate::script::ScriptProfile`]; mixed-script input resolves by
+/// plurality with the [`Script::ALL`] tie-break. Scripts without a
+/// converter still return their tag (Hangul → Korean, Thai → Thai) so the
+/// caller can surface the paper's `NORESOURCE` outcome; only scripts with
+/// no tag at all (Han, …) return `None`.
 pub fn detect_language(text: &str) -> Option<Language> {
-    match detect_script(text)? {
-        Script::Latin => Some(Language::English),
-        Script::Devanagari => Some(Language::Hindi),
-        Script::Tamil => Some(Language::Tamil),
-        Script::Greek => Some(Language::Greek),
-        Script::Arabic => Some(Language::Arabic),
-        Script::Kana => Some(Language::Japanese),
-        Script::Other => None,
-    }
+    crate::script::default_language(detect_script(text)?)
 }
 
 #[cfg(test)]
@@ -187,6 +269,9 @@ mod tests {
         assert_eq!(detect_script("नेहरु"), Some(Script::Devanagari));
         assert_eq!(detect_script("நேரு"), Some(Script::Tamil));
         assert_eq!(detect_script("Σαρρη"), Some(Script::Greek));
+        assert_eq!(detect_script("Неру"), Some(Script::Cyrillic));
+        assert_eq!(detect_script("네루"), Some(Script::Hangul));
+        assert_eq!(detect_script("เนห์รู"), Some(Script::Thai));
         assert_eq!(detect_script("北京"), Some(Script::Other));
         assert_eq!(detect_script("123 !?"), None);
     }
@@ -205,7 +290,20 @@ mod tests {
         assert_eq!(detect_language("Νερού"), Some(Language::Greek));
         assert_eq!(detect_language("العمارة"), Some(Language::Arabic));
         assert_eq!(detect_language("ネルー"), Some(Language::Japanese));
+        assert_eq!(detect_language("Неру"), Some(Language::Russian));
+        // Tags without converters still detect (→ NORESOURCE downstream).
+        assert_eq!(detect_language("네루"), Some(Language::Korean));
+        assert_eq!(detect_language("เนห์รู"), Some(Language::Thai));
         assert_eq!(detect_language("北京"), None);
+    }
+
+    #[test]
+    fn mixed_script_is_deterministic() {
+        // 5 Latin letters vs. 2 Han: plurality → Latin → English.
+        assert_eq!(detect_script("Tokyo東京"), Some(Script::Latin));
+        assert_eq!(detect_language("Tokyo東京"), Some(Language::English));
+        // Exact tie: earlier entry in Script::ALL wins (Latin < Other).
+        assert_eq!(detect_script("ab東京"), Some(Script::Latin));
     }
 
     #[test]
@@ -221,6 +319,9 @@ mod tests {
         assert_eq!("english".parse::<Language>(), Ok(Language::English));
         assert_eq!("TA".parse::<Language>(), Ok(Language::Tamil));
         assert_eq!("el".parse::<Language>(), Ok(Language::Greek));
+        assert_eq!("ru".parse::<Language>(), Ok(Language::Russian));
+        assert_eq!("korean".parse::<Language>(), Ok(Language::Korean));
+        assert_eq!("th".parse::<Language>(), Ok(Language::Thai));
         assert!("klingon".parse::<Language>().is_err());
     }
 
@@ -229,8 +330,28 @@ mod tests {
         assert_eq!(Language::English.script(), Script::Latin);
         assert_eq!(Language::Hindi.script(), Script::Devanagari);
         assert_eq!(Language::French.script(), Script::Latin);
+        assert_eq!(Language::Russian.script(), Script::Cyrillic);
+        assert_eq!(Language::Korean.script(), Script::Hangul);
+        assert_eq!(Language::Thai.script(), Script::Thai);
         for l in Language::ALL {
             let _ = l.script(); // total
         }
+    }
+
+    #[test]
+    fn script_index_matches_all_order() {
+        for (i, s) in Script::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(Script::COUNT, Script::ALL.len());
+    }
+
+    #[test]
+    fn convertible_is_a_subset_of_all() {
+        for l in Language::CONVERTIBLE {
+            assert!(Language::ALL.contains(&l));
+        }
+        assert!(!Language::CONVERTIBLE.contains(&Language::Korean));
+        assert!(!Language::CONVERTIBLE.contains(&Language::Thai));
     }
 }

@@ -18,8 +18,14 @@
 //!   voicing rules (word-initial voiceless, post-nasal and intervocalic
 //!   voiced/lenited) recreate the phoneme-set mismatch the paper leans on.
 //!   See [`tamil`].
-//! * **Greek**, **French**, **Spanish** — letter/digraph maps sufficient
-//!   for the paper's Figure 1 catalog and Figure 9 samples.
+//! * **Greek**, **French**, **Spanish**, **Russian** — letter/digraph
+//!   maps sufficient for the paper's Figure 1 catalog and Figure 9
+//!   samples (Russian adds Cyrillic coverage for untagged traffic).
+//!
+//! [`script`] profiles *untagged* input (per-script histogram, primary
+//! script, confidence) and routes it to one converter or a fan-out set
+//! ([`Router`]); Korean/Thai are detected but converterless, yielding the
+//! paper's `NORESOURCE` outcome.
 //!
 //! [`translit`] goes the *other* way (IPA → Devanagari / Tamil script) and
 //! is how the evaluation corpus renders English names into Indic scripts,
@@ -53,12 +59,15 @@ pub mod japanese;
 pub mod language;
 pub mod registry;
 pub mod rules;
+pub mod russian;
+pub mod script;
 pub mod spanish;
 pub mod tamil;
 pub mod translit;
 
 pub use error::G2pError;
-pub use language::{detect_language, Language, Script};
+pub use language::{detect_language, detect_script, Language, Script};
 pub use registry::{G2pRegistry, TextToPhoneme};
+pub use script::{Route, Router, ScriptProfile, LATIN_FANOUT};
 
 pub use lexequal_phoneme::PhonemeString;

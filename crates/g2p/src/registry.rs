@@ -9,6 +9,7 @@ use crate::greek::GreekG2p;
 use crate::hindi::HindiG2p;
 use crate::japanese::JapaneseG2p;
 use crate::language::Language;
+use crate::russian::RussianG2p;
 use crate::spanish::SpanishG2p;
 use crate::tamil::TamilG2p;
 use lexequal_phoneme::PhonemeString;
@@ -59,6 +60,11 @@ impl TextToPhoneme for JapaneseG2p {
         self.convert(text)
     }
 }
+impl TextToPhoneme for RussianG2p {
+    fn to_phonemes(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        self.convert(text)
+    }
+}
 
 /// Registry of installed TTP converters. The LexEQUAL algorithm consults
 /// it before transforming (`if L ∈ S_L`); languages without a converter
@@ -69,10 +75,12 @@ pub struct G2pRegistry {
 }
 
 impl G2pRegistry {
-    /// A registry with every supported converter installed.
+    /// A registry with every shipped converter installed — the paper's
+    /// `S_L`. Tags without a converter (Korean, Thai) are deliberately
+    /// absent so they resolve to `NORESOURCE`, not a panic.
     pub fn standard() -> Self {
         G2pRegistry {
-            enabled: Language::ALL.to_vec(),
+            enabled: Language::CONVERTIBLE.to_vec(),
         }
     }
 
@@ -109,6 +117,10 @@ impl G2pRegistry {
             Language::Spanish => SpanishG2p.to_phonemes(text),
             Language::Arabic => ArabicG2p.to_phonemes(text),
             Language::Japanese => JapaneseG2p.to_phonemes(text),
+            Language::Russian => RussianG2p.to_phonemes(text),
+            // Tags the detector can assign but no converter serves: even
+            // if explicitly enabled, there is nothing to run.
+            Language::Korean | Language::Thai => Err(G2pError::NoResource(language)),
         }
     }
 
@@ -134,11 +146,38 @@ mod tests {
     use super::*;
 
     #[test]
-    fn standard_registry_supports_all() {
+    fn standard_registry_supports_every_convertible_language() {
         let r = G2pRegistry::standard();
-        for l in Language::ALL {
+        for l in Language::CONVERTIBLE {
             assert!(r.supports(l));
         }
+        // Converterless tags are outside S_L → NORESOURCE.
+        for l in [Language::Korean, Language::Thai] {
+            assert!(!r.supports(l));
+            assert!(matches!(
+                r.transform("네루", l),
+                Err(G2pError::NoResource(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn converterless_tags_noresource_even_when_enabled() {
+        // A registry that *claims* Korean still has nothing to run.
+        let r = G2pRegistry::with_languages(&[Language::Korean]);
+        assert!(matches!(
+            r.transform("네루", Language::Korean),
+            Err(G2pError::NoResource(Language::Korean))
+        ));
+    }
+
+    #[test]
+    fn russian_converter_is_registered() {
+        let r = G2pRegistry::standard();
+        assert_eq!(
+            r.transform("Неру", Language::Russian).unwrap().to_string(),
+            "nɛru" // same phonemes as English "Nehru"
+        );
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Russian grapheme-to-phoneme conversion.
+//!
+//! Russian orthography is close to phonemic once three regularities are
+//! applied: the iotated vowels е/ё/ю/я carry a /j/ glide word-initially,
+//! after another vowel, or after a soft/hard sign; the signs ь/ъ
+//! themselves are silent (palatalization is not segmental and the phoneme
+//! inventory carries no ʲ, so it is dropped — transliteration-style, like
+//! the paper's hand conversions); and word-final obstruents devoice
+//! (Иванов → /ivanof/). Covers Cyrillic renderings of the paper's name
+//! catalog (e.g. Неру for Nehru).
+
+use crate::error::G2pError;
+use crate::language::Language;
+use lexequal_phoneme::PhonemeString;
+
+/// Lowercase and strip the combining acute accent (U+0301) Russian texts
+/// sometimes carry as a stress mark (the letter itself follows).
+fn fold(c: char) -> Option<char> {
+    if c == '\u{0301}' {
+        return None;
+    }
+    Some(c.to_lowercase().next().unwrap_or(c))
+}
+
+/// Cyrillic vowel letters (iotation context: a glide follows a vowel).
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'а' | 'е' | 'ё' | 'и' | 'о' | 'у' | 'ы' | 'э' | 'ю' | 'я')
+}
+
+/// The Russian text-to-phoneme converter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RussianG2p;
+
+impl RussianG2p {
+    /// Convert Cyrillic text to IPA phonemes.
+    pub fn convert(&self, text: &str) -> Result<PhonemeString, G2pError> {
+        let chars: Vec<char> = text
+            .chars()
+            .filter(|c| !c.is_whitespace() && *c != '-')
+            .filter_map(fold)
+            .collect();
+        let mut ipa = String::new();
+        for (i, &c) in chars.iter().enumerate() {
+            let prev = if i > 0 { Some(chars[i - 1]) } else { None };
+            let last = i + 1 == chars.len();
+            // The /j/ glide surfaces word-initially, after a vowel, or
+            // after a soft/hard sign (съезд, пьеса).
+            let iotated = prev.map_or(true, |p| is_vowel(p) || p == 'ь' || p == 'ъ');
+            let s = match c {
+                'а' => "a",
+                'б' => {
+                    if last {
+                        "p" // final devoicing
+                    } else {
+                        "b"
+                    }
+                }
+                'в' => {
+                    if last {
+                        "f"
+                    } else {
+                        "v"
+                    }
+                }
+                'г' => {
+                    if last {
+                        "k"
+                    } else {
+                        "g"
+                    }
+                }
+                'д' => {
+                    if last {
+                        "t"
+                    } else {
+                        "d"
+                    }
+                }
+                'е' => {
+                    if iotated {
+                        "jɛ"
+                    } else {
+                        "ɛ"
+                    }
+                }
+                'ё' => {
+                    if iotated {
+                        "jo"
+                    } else {
+                        "o"
+                    }
+                }
+                'ж' => {
+                    if last {
+                        "ʃ"
+                    } else {
+                        "ʒ"
+                    }
+                }
+                'з' => {
+                    if last {
+                        "s"
+                    } else {
+                        "z"
+                    }
+                }
+                'и' => "i",
+                'й' => "j",
+                'к' => "k",
+                'л' => "l",
+                'м' => "m",
+                'н' => "n",
+                'о' => "o",
+                'п' => "p",
+                'р' => "r",
+                'с' => "s",
+                'т' => "t",
+                'у' => "u",
+                'ф' => "f",
+                'х' => "x",
+                'ц' => "ts",
+                'ч' => "tʃ",
+                'ш' => "ʃ",
+                'щ' => "ʃtʃ",
+                'ъ' | 'ь' => "", // silent; see module docs
+                'ы' => "ɪ",
+                'э' => "ɛ",
+                'ю' => {
+                    if iotated {
+                        "ju"
+                    } else {
+                        "u"
+                    }
+                }
+                'я' => {
+                    if iotated {
+                        "ja"
+                    } else {
+                        "a"
+                    }
+                }
+                other => {
+                    return Err(G2pError::UntranslatableChar {
+                        ch: other,
+                        language: Language::Russian,
+                    })
+                }
+            };
+            ipa.push_str(s);
+        }
+        Ok(ipa.parse()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ipa(text: &str) -> String {
+        RussianG2p.convert(text).unwrap().to_string()
+    }
+
+    #[test]
+    fn nehru_rendering_matches_english() {
+        // Неру — the Cyrillic rendering of "Nehru"; lands on the same
+        // phoneme string as the English converter's "Nehru" (nɛru).
+        assert_eq!(ipa("Неру"), "nɛru");
+    }
+
+    #[test]
+    fn final_obstruents_devoice() {
+        assert_eq!(ipa("Иванов"), "ivanof");
+        assert_eq!(ipa("Петербург"), "pɛtɛrburk");
+        assert_eq!(ipa("муж"), "muʃ");
+    }
+
+    #[test]
+    fn iotated_vowels_take_a_glide() {
+        assert_eq!(ipa("Ельцин"), "jɛltsin");
+        assert_eq!(ipa("Юрий"), "jurij");
+        assert_eq!(ipa("Мария"), "marija");
+        // ...but stay plain right after a consonant.
+        assert_eq!(ipa("Нева"), "nɛva");
+    }
+
+    #[test]
+    fn signs_are_silent_but_restore_the_glide() {
+        assert_eq!(ipa("съезд"), "sjɛzt");
+        assert_eq!(ipa("область"), "oblast");
+    }
+
+    #[test]
+    fn hushers_and_affricates() {
+        assert_eq!(ipa("Щи"), "ʃtʃi");
+        assert_eq!(ipa("Хрущёв"), "xruʃtʃof");
+        assert_eq!(ipa("Чехов"), "tʃɛxof");
+        assert_eq!(ipa("Циолковский"), "tsiolkovskij");
+    }
+
+    #[test]
+    fn yeru_is_a_lax_vowel() {
+        assert_eq!(ipa("Крым"), "krɪm");
+    }
+
+    #[test]
+    fn stress_marks_fold_away() {
+        assert_eq!(ipa("Нер\u{0301}у"), ipa("Неру"));
+    }
+
+    #[test]
+    fn untranslatable() {
+        assert!(RussianG2p.convert("а7").is_err());
+        assert!(RussianG2p.convert("abc").is_err());
+    }
+}

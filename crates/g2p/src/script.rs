@@ -1,0 +1,274 @@
+//! Script profiling and language routing for **untagged** input.
+//!
+//! The paper assumes every value arrives "tagged with its language" (§1)
+//! and concedes that block-based identification is imperfect because many
+//! languages share a script (§2.1). This module is the subsystem behind
+//! the tagless wire forms (`ADD -`, `MATCH -`): instead of guessing one
+//! language per script, it
+//!
+//! 1. profiles the input in a single O(n) pass ([`ScriptProfile`]:
+//!    per-script code-point histogram, plurality primary script,
+//!    mixed-script flag, confidence score), and
+//! 2. routes the profile ([`Router`]) to exactly one converter when the
+//!    script is unambiguous, or **fans out** across every plausible
+//!    language sharing the script (Latin → English/French/Spanish,
+//!    [`LATIN_FANOUT`]). The caller unions and dedupes the per-language
+//!    candidates before the bit-identical verifier confirms them, so
+//!    fan-out can only *add* recall — accuracy is never at risk.
+//!
+//! Scripts the detector recognizes but no converter serves (Hangul →
+//! Korean, Thai → Thai) route to [`Route::NoResource`] — the paper's
+//! `NORESOURCE` outcome for languages outside `S_L`, not an error.
+
+use crate::language::{script_of_char, Language, Script};
+
+/// Fan-out set for Latin-script input: the Latin-writing languages we
+/// ship converters for, in registry order. English first — it is also the
+/// resolution choice when an untagged `ADD` must commit to one tag.
+pub const LATIN_FANOUT: [Language; 3] = [Language::English, Language::French, Language::Spanish];
+
+/// The default (most likely) language of a script, used when one tag must
+/// be committed to — e.g. [`crate::detect_language`] and untagged-`ADD`
+/// resolution. Latin defaults to English (the paper's §2.1 caveat);
+/// `None` only for scripts with no tag at all (Han, …).
+pub fn default_language(script: Script) -> Option<Language> {
+    match script {
+        Script::Latin => Some(Language::English),
+        Script::Devanagari => Some(Language::Hindi),
+        Script::Tamil => Some(Language::Tamil),
+        Script::Greek => Some(Language::Greek),
+        Script::Cyrillic => Some(Language::Russian),
+        Script::Arabic => Some(Language::Arabic),
+        Script::Kana => Some(Language::Japanese),
+        Script::Hangul => Some(Language::Korean),
+        Script::Thai => Some(Language::Thai),
+        Script::Other => None,
+    }
+}
+
+/// Per-script letter histogram of one string, computed in a single O(n)
+/// pass over its characters. Everything else — primary script, mixed
+/// flag, confidence — is derived from the counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptProfile {
+    counts: [u32; Script::COUNT],
+    letters: u32,
+}
+
+impl ScriptProfile {
+    /// Profile `text`: one pass, one [`script_of_char`] lookup per
+    /// character, non-letters (digits, punctuation, whitespace) ignored.
+    pub fn of(text: &str) -> Self {
+        let mut counts = [0u32; Script::COUNT];
+        let mut letters = 0u32;
+        for c in text.chars() {
+            if let Some(s) = script_of_char(c) {
+                counts[s.index()] += 1;
+                letters += 1;
+            }
+        }
+        ScriptProfile { counts, letters }
+    }
+
+    /// Letters counted for `script`.
+    pub fn count(&self, script: Script) -> u32 {
+        self.counts[script.index()]
+    }
+
+    /// The full per-script histogram, indexed by [`Script::index`].
+    pub fn histogram(&self) -> &[u32; Script::COUNT] {
+        &self.counts
+    }
+
+    /// Total letters profiled (histogram sum).
+    pub fn letters(&self) -> u32 {
+        self.letters
+    }
+
+    /// The plurality script, or `None` if the string has no letters. On a
+    /// tie the earlier entry in [`Script::ALL`] wins — deterministic, so
+    /// mixed inputs always resolve the same way.
+    pub fn primary(&self) -> Option<Script> {
+        if self.letters == 0 {
+            return None;
+        }
+        let mut best = Script::ALL[0];
+        for s in Script::ALL {
+            if self.count(s) > self.count(best) {
+                best = s;
+            }
+        }
+        Some(best)
+    }
+
+    /// Whether letters from more than one script are present
+    /// ("Tokyo東京").
+    pub fn is_mixed(&self) -> bool {
+        self.counts.iter().filter(|&&n| n > 0).count() > 1
+    }
+
+    /// Fraction of letters belonging to the primary script, in `[0, 1]`
+    /// (`0.0` when there are no letters). `1.0` means pure single-script
+    /// input; anything lower quantifies how mixed it is.
+    pub fn confidence(&self) -> f64 {
+        match self.primary() {
+            Some(p) => f64::from(self.count(p)) / f64::from(self.letters),
+            None => 0.0,
+        }
+    }
+}
+
+/// Where an untagged request goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// The script maps to exactly one shipped converter.
+    Single(Language),
+    /// Several shipped converters share the script: transform under each,
+    /// union + dedupe the candidates.
+    FanOut(&'static [Language]),
+    /// The script is recognized and tagged, but no converter ships — the
+    /// paper's `NORESOURCE` outcome, carrying the tag to report.
+    NoResource(Language),
+    /// The script is seen but has no language tag at all (Han, …).
+    Unsupported(Script),
+    /// No letters to detect from — bad input.
+    NoLetters,
+}
+
+/// Maps a [`ScriptProfile`] to converters. Stateless: the routing table
+/// is fixed by which converters ship (callers intersect fan-out sets with
+/// their own registry's enabled languages).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Router;
+
+impl Router {
+    /// Route a profile by its primary script.
+    ///
+    /// | primary script | route |
+    /// |---|---|
+    /// | Latin | fan out over [`LATIN_FANOUT`] (En/Fr/Es) |
+    /// | Devanagari / Tamil / Greek / Cyrillic / Arabic / Kana | single converter |
+    /// | Hangul / Thai | `NoResource` (Korean / Thai tag) |
+    /// | Other (Han, …) | `Unsupported` |
+    /// | no letters | `NoLetters` |
+    pub fn route(profile: &ScriptProfile) -> Route {
+        let Some(primary) = profile.primary() else {
+            return Route::NoLetters;
+        };
+        match primary {
+            Script::Latin => Route::FanOut(&LATIN_FANOUT),
+            Script::Hangul => Route::NoResource(Language::Korean),
+            Script::Thai => Route::NoResource(Language::Thai),
+            Script::Other => Route::Unsupported(Script::Other),
+            s => match default_language(s) {
+                Some(l) => Route::Single(l),
+                None => Route::Unsupported(s),
+            },
+        }
+    }
+
+    /// Profile and route in one call.
+    pub fn route_text(text: &str) -> Route {
+        Self::route(&ScriptProfile::of(text))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_is_a_per_script_histogram() {
+        let p = ScriptProfile::of("Tokyo東京 123!");
+        assert_eq!(p.count(Script::Latin), 5);
+        assert_eq!(p.count(Script::Other), 2);
+        assert_eq!(p.letters(), 7);
+        assert!(p.is_mixed());
+        assert_eq!(p.primary(), Some(Script::Latin));
+        assert!((p.confidence() - 5.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_input_has_full_confidence() {
+        let p = ScriptProfile::of("Неру");
+        assert_eq!(p.primary(), Some(Script::Cyrillic));
+        assert!(!p.is_mixed());
+        assert_eq!(p.confidence(), 1.0);
+    }
+
+    #[test]
+    fn empty_input_profiles_to_nothing() {
+        let p = ScriptProfile::of("123 !?");
+        assert_eq!(p.letters(), 0);
+        assert_eq!(p.primary(), None);
+        assert_eq!(p.confidence(), 0.0);
+        assert!(!p.is_mixed());
+    }
+
+    #[test]
+    fn ties_break_by_script_order() {
+        // 2 Latin vs. 2 Devanagari (न + matra): Latin is earlier in
+        // Script::ALL.
+        let p = ScriptProfile::of("abने");
+        assert_eq!(p.count(Script::Latin), 2);
+        assert_eq!(p.count(Script::Devanagari), 2);
+        assert_eq!(p.primary(), Some(Script::Latin));
+    }
+
+    #[test]
+    fn routing_table() {
+        assert_eq!(
+            Router::route_text("Nehru"),
+            Route::FanOut(&LATIN_FANOUT as &[Language])
+        );
+        assert_eq!(Router::route_text("नेहरु"), Route::Single(Language::Hindi));
+        assert_eq!(Router::route_text("நேரு"), Route::Single(Language::Tamil));
+        assert_eq!(Router::route_text("Νερού"), Route::Single(Language::Greek));
+        assert_eq!(Router::route_text("Неру"), Route::Single(Language::Russian));
+        assert_eq!(
+            Router::route_text("العمارة"),
+            Route::Single(Language::Arabic)
+        );
+        assert_eq!(
+            Router::route_text("ネルー"),
+            Route::Single(Language::Japanese)
+        );
+        assert_eq!(
+            Router::route_text("네루"),
+            Route::NoResource(Language::Korean)
+        );
+        assert_eq!(
+            Router::route_text("เนห์รู"),
+            Route::NoResource(Language::Thai)
+        );
+        assert_eq!(
+            Router::route_text("北京"),
+            Route::Unsupported(Script::Other)
+        );
+        assert_eq!(Router::route_text("42"), Route::NoLetters);
+    }
+
+    #[test]
+    fn mixed_input_routes_by_plurality() {
+        // Latin plurality → Latin fan-out, deterministically.
+        assert_eq!(
+            Router::route_text("Tokyo東京"),
+            Route::FanOut(&LATIN_FANOUT as &[Language])
+        );
+        // Devanagari plurality (the language.rs golden string).
+        assert_eq!(
+            Router::route_text("Nehru नेहरु जवाहरलाल"),
+            Route::Single(Language::Hindi)
+        );
+    }
+
+    #[test]
+    fn default_language_covers_every_tagged_script() {
+        for s in Script::ALL {
+            match s {
+                Script::Other => assert_eq!(default_language(s), None),
+                _ => assert!(default_language(s).is_some(), "{s}"),
+            }
+        }
+    }
+}

@@ -24,12 +24,18 @@
 //! replica linked over a socket and measures the snapshot transfer,
 //! commit and apply rates, and sustained lag (default
 //! `results/repl_bench.json`).
+//!
+//! `--untagged-bench` drives one service with a mixed tagged/untagged
+//! workload (`--untagged-pct` of ops omit the language tag and go
+//! through script profiling + fan-out routing, including foreign-script
+//! probes) and reports the two latency distributions side by side plus
+//! the router's counters (default `results/untagged_bench.json`).
 
 use lexequal::SearchMethod;
 use lexequal_service::loadgen::{
-    run, run_net, run_repl_bench, run_snapshot_bench, write_json, write_net_json,
-    write_repl_bench_json, write_snapshot_bench_json, LoadgenConfig, NetConfig, ReplBenchConfig,
-    SnapshotBenchConfig,
+    run, run_net, run_repl_bench, run_snapshot_bench, run_untagged_bench, write_json,
+    write_net_json, write_repl_bench_json, write_snapshot_bench_json, write_untagged_bench_json,
+    LoadgenConfig, NetConfig, ReplBenchConfig, SnapshotBenchConfig, UntaggedBenchConfig,
 };
 use lexequal_service::ServeMode;
 use std::path::PathBuf;
@@ -50,6 +56,7 @@ enum Parsed {
     Net(NetConfig, PathBuf),
     SnapshotBench(SnapshotBenchConfig, PathBuf),
     ReplBench(ReplBenchConfig, PathBuf),
+    UntaggedBench(UntaggedBenchConfig, PathBuf),
 }
 
 fn parse_args() -> Result<Parsed, String> {
@@ -57,13 +64,16 @@ fn parse_args() -> Result<Parsed, String> {
     let mut net = NetConfig::default();
     let mut snap = SnapshotBenchConfig::default();
     let mut repl = ReplBenchConfig::default();
+    let mut untagged = UntaggedBenchConfig::default();
     let mut net_mode = false;
     let mut snap_mode = false;
     let mut repl_mode = false;
+    let mut untagged_mode = false;
     let mut out = PathBuf::from("results/service_bench.json");
     let mut net_out = PathBuf::from("results/evented_bench.json");
     let mut snap_out = PathBuf::from("results/snapshot_bench.json");
     let mut repl_out = PathBuf::from("results/repl_bench.json");
+    let mut untagged_out = PathBuf::from("results/untagged_bench.json");
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -71,6 +81,30 @@ fn parse_args() -> Result<Parsed, String> {
             "--net" => net_mode = true,
             "--snapshot-bench" => snap_mode = true,
             "--repl-bench" => repl_mode = true,
+            "--untagged-bench" => untagged_mode = true,
+            "--untagged-pct" => {
+                let v = value("--untagged-pct")?;
+                untagged.untagged_pct = v
+                    .parse()
+                    .map_err(|_| format!("--untagged-pct: invalid value {v:?} (expected 0-100)"))?;
+                if untagged.untagged_pct > 100 {
+                    return Err(format!(
+                        "--untagged-pct: invalid value {v:?} (must be <= 100)"
+                    ));
+                }
+            }
+            "--untagged-shards" => {
+                let v = value("--untagged-shards")?;
+                untagged.shards = v.parse().map_err(|_| {
+                    format!("--untagged-shards: invalid value {v:?} (expected a positive integer)")
+                })?;
+                if untagged.shards == 0 {
+                    return Err(format!(
+                        "--untagged-shards: invalid value {v:?} (must be positive)"
+                    ));
+                }
+            }
+            "--untagged-out" => untagged_out = PathBuf::from(value("--untagged-out")?),
             "--repl-ops" => {
                 let v = value("--repl-ops")?;
                 repl.ops = v.parse().map_err(|_| {
@@ -162,16 +196,19 @@ fn parse_args() -> Result<Parsed, String> {
                 net.dataset_size = config.dataset_size;
                 snap.dataset_size = config.dataset_size;
                 repl.dataset_size = config.dataset_size;
+                untagged.dataset_size = config.dataset_size;
             }
             "--clients" => {
                 config.clients = value("--clients")?
                     .parse()
                     .map_err(|_| "--clients: expected an integer".to_owned())?;
+                untagged.clients = config.clients;
             }
             "--ops" => {
                 config.ops_per_client = value("--ops")?
                     .parse()
                     .map_err(|_| "--ops: expected an integer".to_owned())?;
+                untagged.ops_per_client = config.ops_per_client;
             }
             "--shards" => {
                 config.shard_counts = value("--shards")?
@@ -189,18 +226,21 @@ fn parse_args() -> Result<Parsed, String> {
             "--method" => {
                 config.method = parse_method(&value("--method")?)?;
                 net.method = config.method;
+                untagged.method = config.method;
             }
             "--threshold" => {
                 config.threshold = value("--threshold")?
                     .parse()
                     .map_err(|_| "--threshold: expected a number".to_owned())?;
                 net.threshold = config.threshold;
+                untagged.threshold = config.threshold;
             }
             "--pool" => {
                 config.query_pool = value("--pool")?
                     .parse()
                     .map_err(|_| "--pool: expected an integer".to_owned())?;
                 net.query_pool = config.query_pool;
+                untagged.query_pool = config.query_pool;
             }
             "--out" => out = PathBuf::from(value("--out")?),
             "--help" | "-h" => {
@@ -213,14 +253,18 @@ fn parse_args() -> Result<Parsed, String> {
                      \x20      loadgen --snapshot-bench [--size N] [--snap-shards N] \
                      [--snapshot-out PATH]\n\
                      \x20      loadgen --repl-bench [--size N] [--repl-ops N] [--repl-shards N] \
-                     [--repl-out PATH]"
+                     [--repl-out PATH]\n\
+                     \x20      loadgen --untagged-bench [--size N] [--clients N] [--ops N] \
+                     [--untagged-pct P] [--untagged-shards N] [--untagged-out PATH]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(if repl_mode {
+    Ok(if untagged_mode {
+        Parsed::UntaggedBench(untagged, untagged_out)
+    } else if repl_mode {
         Parsed::ReplBench(repl, repl_out)
     } else if snap_mode {
         Parsed::SnapshotBench(snap, snap_out)
@@ -342,12 +386,44 @@ fn main_repl_bench(config: ReplBenchConfig, out: PathBuf) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn main_untagged_bench(config: UntaggedBenchConfig, out: PathBuf) -> ExitCode {
+    eprintln!(
+        "loadgen: untagged bench, ~{} names, {} clients x {} ops, {}% untagged, {} shards",
+        config.dataset_size,
+        config.clients,
+        config.ops_per_client,
+        config.untagged_pct,
+        config.shards,
+    );
+    let report = run_untagged_bench(&config);
+    println!(
+        "throughput={:.1} ops/s  tagged p50={:.1}us p95={:.1}us  untagged p50={:.1}us \
+         p95={:.1}us  fanout sum={} max={} dedup={} noresource={}",
+        report.throughput,
+        report.tagged_p50_us,
+        report.tagged_p95_us,
+        report.untagged_p50_us,
+        report.untagged_p95_us,
+        report.untagged.fanout_width_sum,
+        report.untagged.fanout_width_max,
+        report.untagged.dedup_hits,
+        report.untagged.no_resource,
+    );
+    if let Err(e) = write_untagged_bench_json(&report, &out) {
+        eprintln!("loadgen: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("loadgen: wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     match parse_args() {
         Ok(Parsed::InProcess(config, out)) => main_in_process(config, out),
         Ok(Parsed::Net(config, out)) => main_net(config, out),
         Ok(Parsed::SnapshotBench(config, out)) => main_snapshot_bench(config, out),
         Ok(Parsed::ReplBench(config, out)) => main_repl_bench(config, out),
+        Ok(Parsed::UntaggedBench(config, out)) => main_untagged_bench(config, out),
         Err(e) => {
             eprintln!("loadgen: {e}");
             ExitCode::FAILURE

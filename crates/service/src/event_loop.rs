@@ -426,30 +426,40 @@ fn worker_loop(
         metrics.queue_popped(batch.len() as u64);
         let mut out = Vec::with_capacity(batch.len());
         let mut i = 0;
+        // Tagged and untagged matches mix in one overlap run; each kind
+        // keeps its own pending type.
+        enum Begun {
+            Tagged(crate::service::PendingLookup),
+            Auto(crate::service::AutoPendingLookup),
+        }
+        let is_match = |r: &Request| matches!(r, Request::Match(_) | Request::MatchAuto(_));
         while i < batch.len() {
-            if matches!(batch[i].request, Request::Match(_)) {
+            if is_match(&batch[i].request) {
                 // Overlap a run of consecutive MATCH jobs: enqueue every
                 // fan-out before merging any of them. Runs never cross a
                 // non-MATCH job, so a pipelined ADD/BUILD still happens
                 // before the MATCH behind it.
                 let run_end = batch[i..]
                     .iter()
-                    .position(|j| !matches!(j.request, Request::Match(_)))
+                    .position(|j| !is_match(&j.request))
                     .map_or(batch.len(), |p| i + p);
                 let pending: Vec<_> = batch[i..run_end]
                     .iter()
-                    .map(|job| {
-                        let Request::Match(req) = &job.request else {
-                            unreachable!("run contains only MATCH jobs")
-                        };
-                        service.lookup_begin(req)
+                    .map(|job| match &job.request {
+                        Request::Match(req) => Begun::Tagged(service.lookup_begin(req)),
+                        Request::MatchAuto(req) => Begun::Auto(service.lookup_auto_begin(req)),
+                        _ => unreachable!("run contains only MATCH jobs"),
                     })
                     .collect();
                 for (job, p) in batch[i..run_end].iter().zip(pending) {
+                    let outcome = match p {
+                        Begun::Tagged(p) => service.lookup_finish(p),
+                        Begun::Auto(p) => service.lookup_auto_finish(p),
+                    };
                     out.push(Completion {
                         token: job.token,
                         seq: job.seq,
-                        lines: vec![format_outcome(&service.lookup_finish(p))],
+                        lines: vec![format_outcome(&outcome)],
                     });
                 }
                 i = run_end;

@@ -96,7 +96,8 @@ pub use server::{
     ServeMode, ServeOptions,
 };
 pub use service::{
-    MatchOutcome, MatchRequest, MatchService, PendingLookup, ServiceConfig, StatsSnapshot,
+    AddResolution, AutoMatchRequest, AutoPendingLookup, MatchOutcome, MatchRequest, MatchService,
+    PendingLookup, ServiceConfig, StatsSnapshot,
 };
 pub use shard::{BuildSpec, PendingSearch, ShardedStore};
 pub use snapshot::{StoreSnapshot, STORE_SNAPSHOT_VERSION};

@@ -22,7 +22,7 @@
 
 use crate::event_loop::ShutdownSignal;
 use crate::server::{serve_with, ServeMode, ServeOptions};
-use crate::service::{MatchOutcome, MatchRequest, MatchService, ServiceConfig};
+use crate::service::{AutoMatchRequest, MatchOutcome, MatchRequest, MatchService, ServiceConfig};
 use crate::shard::BuildSpec;
 use lexequal::store::NameEntry;
 use lexequal::{MatchConfig, QgramMode, SearchMethod};
@@ -1006,6 +1006,284 @@ pub fn write_repl_bench_json(
     std::fs::write(path, repl_bench_to_json(report).render())
 }
 
+// ---------------------------------------------------------------------------
+// Untagged-query bench (`--untagged-bench`)
+// ---------------------------------------------------------------------------
+
+/// What the untagged (mixed-script) bench measures.
+#[derive(Debug, Clone)]
+pub struct UntaggedBenchConfig {
+    /// Target synthetic lexicon size.
+    pub dataset_size: usize,
+    /// Store shards.
+    pub shards: usize,
+    /// Concurrent closed-loop client threads.
+    pub clients: usize,
+    /// Lookups each client performs.
+    pub ops_per_client: usize,
+    /// Percentage of ops issued *untagged* (`MATCH -` semantics), 0–100.
+    pub untagged_pct: usize,
+    /// Access path under test.
+    pub method: SearchMethod,
+    /// Match threshold for every lookup.
+    pub threshold: f64,
+    /// Transform-cache capacity.
+    pub cache_capacity: usize,
+    /// Number of distinct hot queries in the shared pool.
+    pub query_pool: usize,
+}
+
+impl Default for UntaggedBenchConfig {
+    fn default() -> Self {
+        UntaggedBenchConfig {
+            dataset_size: 20_000,
+            shards: 2,
+            clients: 4,
+            ops_per_client: 250,
+            untagged_pct: 50,
+            method: SearchMethod::Qgram,
+            threshold: 0.35,
+            cache_capacity: 4096,
+            query_pool: 64,
+        }
+    }
+}
+
+/// The untagged bench report: tagged-vs-untagged latency side by side,
+/// plus the router's own counters (fan-out width, dedupe, NORESOURCE).
+#[derive(Debug, Clone)]
+pub struct UntaggedBenchReport {
+    /// Actual number of names loaded.
+    pub dataset_size: usize,
+    /// Host `available_parallelism`.
+    pub available_parallelism: usize,
+    /// Store shards used.
+    pub shards: usize,
+    /// Client threads used.
+    pub clients: usize,
+    /// Configured untagged share, percent.
+    pub untagged_pct: usize,
+    /// Tagged lookups performed.
+    pub tagged_ops: usize,
+    /// Untagged lookups performed.
+    pub untagged_ops: usize,
+    /// Wall-clock seconds for the measurement window.
+    pub elapsed_secs: f64,
+    /// All lookups per second (both kinds).
+    pub throughput: f64,
+    /// Tagged median / p95 per-op latency, microseconds.
+    pub tagged_p50_us: f64,
+    /// Tagged 95th percentile, microseconds.
+    pub tagged_p95_us: f64,
+    /// Untagged median latency, microseconds — the fan-out overhead shows
+    /// up as the gap against `tagged_p50_us`.
+    pub untagged_p50_us: f64,
+    /// Untagged 95th percentile, microseconds.
+    pub untagged_p95_us: f64,
+    /// Final untagged-subsystem counters from the service.
+    pub untagged: crate::metrics::UntaggedStats,
+}
+
+/// Fixed foreign-script probes folded into the untagged stream so the
+/// bench also exercises single-converter routing (Cyrillic, Greek,
+/// Kana) and the `NORESOURCE` path (Hangul, Thai) — the synthetic
+/// lexicon alone is Latin/Devanagari/Tamil.
+const UNTAGGED_PROBES: [&str; 5] = ["Неру", "Νερού", "ネルー", "네루", "เนห์รู"];
+
+/// Run the mixed tagged/untagged workload against one service.
+pub fn run_untagged_bench(config: &UntaggedBenchConfig) -> UntaggedBenchReport {
+    let dataset = build_dataset(&MatchConfig::default(), config.dataset_size);
+    let service = Arc::new(MatchService::new(ServiceConfig {
+        match_config: MatchConfig::default(),
+        shards: config.shards,
+        cache_capacity: config.cache_capacity,
+    }));
+    service.extend_transformed(dataset.to_vec());
+    match config.method {
+        SearchMethod::Scan => {}
+        SearchMethod::Qgram => service.build(BuildSpec::Qgram {
+            q: 3,
+            mode: QgramMode::Strict,
+        }),
+        SearchMethod::PhoneticIndex => service.build(BuildSpec::PhoneticIndex),
+        SearchMethod::BkTree => service.build(BuildSpec::BkTree),
+    }
+
+    let stride = (dataset.len() / config.query_pool.max(1)).max(1);
+    let pool: Vec<(String, lexequal::Language)> = dataset
+        .iter()
+        .step_by(stride)
+        .take(config.query_pool.max(1))
+        .map(|e| (e.text.clone(), e.language))
+        .collect();
+
+    let start = Instant::now();
+    let mut tagged_ns: Vec<u64> = Vec::new();
+    let mut untagged_ns: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|c| {
+                let service = Arc::clone(&service);
+                let pool = &pool;
+                scope.spawn(move || {
+                    let mut tagged = Vec::new();
+                    let mut untagged = Vec::new();
+                    let mut u = 0usize; // untagged ops issued so far
+                    for i in 0..config.ops_per_client {
+                        let (text, language) = &pool[(c + i) % pool.len()];
+                        // Deterministic interleave at the configured
+                        // ratio, exact at any op count (Bresenham).
+                        let k = c + i;
+                        if (k + 1) * config.untagged_pct / 100 > k * config.untagged_pct / 100 {
+                            // Every 4th untagged op probes a foreign
+                            // script instead of a stored name, cycling
+                            // the whole probe set.
+                            let text = if u % 4 == 3 {
+                                UNTAGGED_PROBES[(c + u / 4) % UNTAGGED_PROBES.len()].to_owned()
+                            } else {
+                                text.clone()
+                            };
+                            u += 1;
+                            let req = AutoMatchRequest {
+                                text,
+                                threshold: Some(config.threshold),
+                                method: Some(config.method),
+                            };
+                            let t = Instant::now();
+                            let _ = service.lookup_auto(&req);
+                            untagged.push(t.elapsed().as_nanos() as u64);
+                        } else {
+                            let req = MatchRequest {
+                                text: text.clone(),
+                                language: *language,
+                                threshold: Some(config.threshold),
+                                method: Some(config.method),
+                            };
+                            let t = Instant::now();
+                            let _ = service.lookup(&req);
+                            tagged.push(t.elapsed().as_nanos() as u64);
+                        }
+                    }
+                    (tagged, untagged)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (t, u) = h.join().expect("client thread");
+            tagged_ns.extend(t);
+            untagged_ns.extend(u);
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    tagged_ns.sort_unstable();
+    untagged_ns.sort_unstable();
+    let total = tagged_ns.len() + untagged_ns.len();
+
+    UntaggedBenchReport {
+        dataset_size: dataset.len(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        shards: config.shards,
+        clients: config.clients,
+        untagged_pct: config.untagged_pct,
+        tagged_ops: tagged_ns.len(),
+        untagged_ops: untagged_ns.len(),
+        elapsed_secs: elapsed,
+        throughput: total as f64 / elapsed.max(f64::EPSILON),
+        tagged_p50_us: percentile_us(&tagged_ns, 0.50),
+        tagged_p95_us: percentile_us(&tagged_ns, 0.95),
+        untagged_p50_us: percentile_us(&untagged_ns, 0.50),
+        untagged_p95_us: percentile_us(&untagged_ns, 0.95),
+        untagged: service.stats().untagged,
+    }
+}
+
+/// Render the untagged bench report as JSON.
+pub fn untagged_bench_to_json(report: &UntaggedBenchReport) -> Json {
+    let per_script: Vec<(String, Json)> = lexequal_g2p::Script::ALL
+        .iter()
+        .filter(|s| report.untagged.per_script[s.index()] > 0)
+        .map(|s| {
+            (
+                s.name().to_owned(),
+                Json::Int(report.untagged.per_script[s.index()] as i64),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "dataset_size".to_owned(),
+            Json::Int(report.dataset_size as i64),
+        ),
+        (
+            "available_parallelism".to_owned(),
+            Json::Int(report.available_parallelism as i64),
+        ),
+        ("shards".to_owned(), Json::Int(report.shards as i64)),
+        ("clients".to_owned(), Json::Int(report.clients as i64)),
+        (
+            "untagged_pct".to_owned(),
+            Json::Int(report.untagged_pct as i64),
+        ),
+        ("tagged_ops".to_owned(), Json::Int(report.tagged_ops as i64)),
+        (
+            "untagged_ops".to_owned(),
+            Json::Int(report.untagged_ops as i64),
+        ),
+        ("elapsed_secs".to_owned(), Json::Float(report.elapsed_secs)),
+        ("throughput".to_owned(), Json::Float(report.throughput)),
+        (
+            "tagged_p50_us".to_owned(),
+            Json::Float(report.tagged_p50_us),
+        ),
+        (
+            "tagged_p95_us".to_owned(),
+            Json::Float(report.tagged_p95_us),
+        ),
+        (
+            "untagged_p50_us".to_owned(),
+            Json::Float(report.untagged_p50_us),
+        ),
+        (
+            "untagged_p95_us".to_owned(),
+            Json::Float(report.untagged_p95_us),
+        ),
+        (
+            "untagged_requests".to_owned(),
+            Json::Int(report.untagged.requests as i64),
+        ),
+        (
+            "fanout_width_sum".to_owned(),
+            Json::Int(report.untagged.fanout_width_sum as i64),
+        ),
+        (
+            "fanout_width_max".to_owned(),
+            Json::Int(report.untagged.fanout_width_max as i64),
+        ),
+        (
+            "dedup_hits".to_owned(),
+            Json::Int(report.untagged.dedup_hits as i64),
+        ),
+        (
+            "no_resource".to_owned(),
+            Json::Int(report.untagged.no_resource as i64),
+        ),
+        ("per_script".to_owned(), Json::Obj(per_script)),
+    ])
+}
+
+/// Write the untagged bench report to `path` as JSON.
+pub fn write_untagged_bench_json(
+    report: &UntaggedBenchReport,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, untagged_bench_to_json(report).render())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1114,6 +1392,40 @@ mod tests {
             "{json}"
         );
         assert!(parsed.get("available_parallelism").is_some());
+    }
+
+    #[test]
+    fn a_tiny_untagged_bench_exercises_the_router() {
+        let report = run_untagged_bench(&UntaggedBenchConfig {
+            dataset_size: 300,
+            shards: 2,
+            clients: 2,
+            ops_per_client: 40,
+            untagged_pct: 50,
+            method: SearchMethod::Qgram,
+            threshold: 0.35,
+            cache_capacity: 64,
+            query_pool: 8,
+        });
+        assert_eq!(report.tagged_ops + report.untagged_ops, 80);
+        // The deterministic interleave puts ops on both sides at 50%.
+        assert!(report.tagged_ops > 0 && report.untagged_ops > 0);
+        assert_eq!(report.untagged.requests, report.untagged_ops as u64);
+        // Latin untagged lookups fan out, so width outpaces requests.
+        assert!(
+            report.untagged.fanout_width_sum >= report.untagged.requests,
+            "sum={} requests={}",
+            report.untagged.fanout_width_sum,
+            report.untagged.requests
+        );
+        assert!(report.untagged.fanout_width_max >= 1);
+        // Foreign-script probes hit Hangul/Thai at least once over 40
+        // untagged ops (every 16th op cycles through 5 probes).
+        assert!(report.untagged.no_resource > 0 || report.untagged_ops < 16);
+        let json = untagged_bench_to_json(&report).render();
+        let parsed = Json::parse(&json).unwrap();
+        assert!(parsed.get("fanout_width_sum").is_some(), "{json}");
+        assert!(parsed.get("per_script").is_some(), "{json}");
     }
 
     #[test]

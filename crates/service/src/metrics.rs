@@ -9,6 +9,7 @@
 //! needs no configuration.
 
 use lexequal::{ScreenCounters, SearchMethod};
+use lexequal_g2p::Script;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -119,6 +120,80 @@ pub struct ServiceMetrics {
     /// Per-access-path search counts and latencies (`method_index` order);
     /// latency covers the sharded fan-out + merge, not the transform.
     pub per_method: [PathMetrics; 4],
+    /// Untagged-request path (`ADD -` / `MATCH -`): script detections,
+    /// fan-out widths, dedupe hits.
+    pub untagged: UntaggedMetrics,
+}
+
+/// Counters for the untagged-request subsystem (script profiling +
+/// routing + fan-out merge). Same lock-free relaxed-atomic discipline as
+/// the rest of this module: one increment per event on the request path.
+#[derive(Debug, Default)]
+pub struct UntaggedMetrics {
+    /// Untagged requests received (`ADD -` and `MATCH -`).
+    pub requests: AtomicU64,
+    /// Primary-script detections, indexed by [`Script::index`].
+    pub per_script: [AtomicU64; Script::COUNT],
+    /// Sum of fan-out widths (converters actually queried per request);
+    /// `sum / requests` is the mean width.
+    pub fanout_width_sum: AtomicU64,
+    /// Widest fan-out ever issued.
+    pub fanout_width_max: AtomicU64,
+    /// Untagged requests that resolved to `NORESOURCE` (Hangul/Thai, or
+    /// a single-script language absent from the registry).
+    pub no_resource: AtomicU64,
+    /// Fan-out candidates dropped because another language produced the
+    /// identical phoneme string (merge dedupe before the shards).
+    pub dedup_hits: AtomicU64,
+}
+
+impl UntaggedMetrics {
+    /// Record the routing decision for one untagged request: the primary
+    /// script (if any letters) and, once candidates are known, the
+    /// fan-out width via [`record_fanout`](Self::record_fanout).
+    pub fn record_request(&self, primary: Option<Script>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(s) = primary {
+            self.per_script[s.index()].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record the number of unique phoneme queries issued (`width`) and
+    /// how many candidates deduped away before the shards (`deduped`).
+    pub fn record_fanout(&self, width: u64, deduped: u64) {
+        self.fanout_width_sum.fetch_add(width, Ordering::Relaxed);
+        self.fanout_width_max.fetch_max(width, Ordering::Relaxed);
+        self.dedup_hits.fetch_add(deduped, Ordering::Relaxed);
+    }
+
+    /// Point-in-time values for `STATS`.
+    pub fn snapshot(&self) -> UntaggedStats {
+        UntaggedStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            per_script: std::array::from_fn(|i| self.per_script[i].load(Ordering::Relaxed)),
+            fanout_width_sum: self.fanout_width_sum.load(Ordering::Relaxed),
+            fanout_width_max: self.fanout_width_max.load(Ordering::Relaxed),
+            no_resource: self.no_resource.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An [`UntaggedMetrics`] snapshot (the `STATS` untagged-path fields).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UntaggedStats {
+    /// Untagged requests received.
+    pub requests: u64,
+    /// Primary-script detections, indexed by [`Script::index`].
+    pub per_script: [u64; Script::COUNT],
+    /// Sum of fan-out widths.
+    pub fanout_width_sum: u64,
+    /// Widest fan-out ever issued.
+    pub fanout_width_max: u64,
+    /// Untagged `NORESOURCE` outcomes.
+    pub no_resource: u64,
+    /// Candidates deduped before the shards.
+    pub dedup_hits: u64,
 }
 
 /// One access path's counters.
@@ -400,6 +475,25 @@ mod tests {
         assert_eq!(s.pipeline_max, 9);
         assert_eq!(s.dispatches, 3);
         assert!(s.pipeline_p99.unwrap() >= 9);
+    }
+
+    #[test]
+    fn untagged_metrics_track_scripts_and_fanout() {
+        let m = UntaggedMetrics::default();
+        m.record_request(Some(Script::Latin));
+        m.record_fanout(3, 0);
+        m.record_request(Some(Script::Latin));
+        m.record_fanout(2, 1);
+        m.record_request(Some(Script::Cyrillic));
+        m.record_fanout(1, 0);
+        m.record_request(None);
+        let s = m.snapshot();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.per_script[Script::Latin.index()], 2);
+        assert_eq!(s.per_script[Script::Cyrillic.index()], 1);
+        assert_eq!(s.fanout_width_sum, 6);
+        assert_eq!(s.fanout_width_max, 3);
+        assert_eq!(s.dedup_hits, 1);
     }
 
     #[test]

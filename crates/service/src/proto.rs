@@ -5,12 +5,12 @@
 //! order). Grammar (`-` means "use the server default"):
 //!
 //! ```text
-//! ADD <lang> <text...>
+//! ADD <lang|-> <text...>
 //! BUILD QGRAM <q> STRICT|PAPER
 //! BUILD PHONIDX
 //! BUILD BKTREE
 //! BUILD ALL
-//! MATCH <lang> <method|-> <threshold|-> <text...>
+//! MATCH <lang|-> <method|-> <threshold|-> <text...>
 //! BATCH <lang> <method|-> <threshold|-> <text>|<text>|...
 //! STATS
 //! SAVE [path]
@@ -19,7 +19,14 @@
 //! ```
 //!
 //! where `<lang>` is a language name or ISO code (`english`, `hi`, …)
-//! and `<method>` is `scan`, `qgram`, `phonidx` or `bktree`. Responses:
+//! and `<method>` is `scan`, `qgram`, `phonidx` or `bktree`. `-` in the
+//! language slot means **untagged**: the server profiles the text's
+//! Unicode script and routes it itself — one converter when the script
+//! is unambiguous, a fan-out across every language sharing the script
+//! (Latin → English/French/Spanish, results unioned) otherwise; scripts
+//! without a converter (Hangul, Thai) answer `NORESOURCE`. An untagged
+//! `ADD` commits (and WAL-logs) the *resolved* language. `BATCH` stays
+//! tagged. Responses:
 //!
 //! ```text
 //! OK <id>                                      (ADD)
@@ -41,8 +48,9 @@
 //! anywhere else it draws an `ERR`.
 
 use crate::metrics::{method_index, method_name, ALL_METHODS};
-use crate::service::{MatchOutcome, MatchRequest, StatsSnapshot};
+use crate::service::{AutoMatchRequest, MatchOutcome, MatchRequest, StatsSnapshot};
 use lexequal::{Language, QgramMode, SearchMethod};
+use lexequal_g2p::Script;
 
 /// Why incremental framing gave up on a connection's byte stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +151,12 @@ pub enum Request {
         /// The name as written.
         text: String,
     },
+    /// `ADD - <text...>` — untagged: the server resolves the language by
+    /// script profiling and commits under the resolved tag.
+    AddAuto {
+        /// The name as written.
+        text: String,
+    },
     /// `BUILD QGRAM <q> STRICT|PAPER`
     BuildQgram {
         /// q-gram length.
@@ -158,6 +172,9 @@ pub enum Request {
     BuildAll,
     /// `MATCH <lang> <method|-> <threshold|-> <text...>`
     Match(MatchRequest),
+    /// `MATCH - <method|-> <threshold|-> <text...>` — untagged: script
+    /// profiling routes to one converter or a fan-out set.
+    MatchAuto(AutoMatchRequest),
     /// `BATCH <lang> <method|-> <threshold|-> <t1>|<t2>|...`
     Batch(Vec<MatchRequest>),
     /// `STATS`
@@ -227,14 +244,20 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         "ADD" => {
             let (lang, text) = rest
                 .split_once(char::is_whitespace)
-                .ok_or("usage: ADD <lang> <text...>")?;
+                .ok_or("usage: ADD <lang|-> <text...>")?;
             let text = text.trim();
             if text.is_empty() {
                 return Err("ADD: empty name".into());
             }
-            Request::Add {
-                language: lang.parse::<Language>()?,
-                text: text.to_owned(),
+            if lang == "-" {
+                Request::AddAuto {
+                    text: text.to_owned(),
+                }
+            } else {
+                Request::Add {
+                    language: lang.parse::<Language>()?,
+                    text: text.to_owned(),
+                }
             }
         }
         "BUILD" => {
@@ -274,7 +297,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         }
         "MATCH" => {
             let mut toks = rest.splitn(4, char::is_whitespace);
-            let usage = "usage: MATCH <lang> <method|-> <threshold|-> <text...>";
+            let usage = "usage: MATCH <lang|-> <method|-> <threshold|-> <text...>";
             let lang = toks.next().ok_or(usage)?;
             let method = toks.next().ok_or(usage)?;
             let threshold = toks.next().ok_or(usage)?;
@@ -282,13 +305,21 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             if text.is_empty() {
                 return Err("MATCH: empty query".into());
             }
-            let (language, method, threshold) = parse_lookup_head(lang, method, threshold)?;
-            Request::Match(MatchRequest {
-                text: text.to_owned(),
-                language,
-                threshold,
-                method,
-            })
+            if lang == "-" {
+                Request::MatchAuto(AutoMatchRequest {
+                    text: text.to_owned(),
+                    threshold: parse_threshold(threshold)?,
+                    method: parse_method(method)?,
+                })
+            } else {
+                let (language, method, threshold) = parse_lookup_head(lang, method, threshold)?;
+                Request::Match(MatchRequest {
+                    text: text.to_owned(),
+                    language,
+                    threshold,
+                    method,
+                })
+            }
         }
         "BATCH" => {
             let mut toks = rest.splitn(4, char::is_whitespace);
@@ -415,6 +446,19 @@ pub fn format_stats(s: &StatsSnapshot) -> String {
         ));
         if let Some(p99) = conn.pipeline_p99 {
             line.push_str(&format!(" pipeline_p99={p99}"));
+        }
+    }
+    if s.untagged.requests > 0 {
+        let u = &s.untagged;
+        line.push_str(&format!(
+            " untagged_requests={} untagged_noresource={} untagged_fanout_sum={} untagged_fanout_max={} untagged_dedup={}",
+            u.requests, u.no_resource, u.fanout_width_sum, u.fanout_width_max, u.dedup_hits,
+        ));
+        for script in Script::ALL {
+            let n = u.per_script[script.index()];
+            if n > 0 {
+                line.push_str(&format!(" untagged_script_{script}={n}"));
+            }
         }
     }
     if let Some(repl) = &s.repl {
@@ -602,6 +646,111 @@ mod tests {
         assert!(parse_request("MATCH xx - - Nehru").is_err());
         assert!(parse_request("BUILD QGRAM 0 STRICT").is_err());
         assert!(parse_request("ADD en").is_err());
+    }
+
+    #[test]
+    fn parses_untagged_add() {
+        assert_eq!(
+            parse_request("ADD - Неру").unwrap().unwrap(),
+            Request::AddAuto {
+                text: "Неру".to_owned(),
+            }
+        );
+        // Spaces in the name survive, exactly like tagged ADD.
+        assert_eq!(
+            parse_request("ADD - Jawaharlal Nehru").unwrap().unwrap(),
+            Request::AddAuto {
+                text: "Jawaharlal Nehru".to_owned(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_untagged_match_with_overrides() {
+        assert_eq!(
+            parse_request("MATCH - qgram 0.45 Nehru").unwrap().unwrap(),
+            Request::MatchAuto(AutoMatchRequest {
+                text: "Nehru".to_owned(),
+                threshold: Some(0.45),
+                method: Some(SearchMethod::Qgram),
+            })
+        );
+        assert_eq!(
+            parse_request("MATCH - - - नेहरु").unwrap().unwrap(),
+            Request::MatchAuto(AutoMatchRequest {
+                text: "नेहरु".to_owned(),
+                threshold: None,
+                method: None,
+            })
+        );
+    }
+
+    #[test]
+    fn untagged_forms_reject_bad_input_like_tagged_ones() {
+        // The language slot is the only difference: every other token
+        // still validates.
+        assert!(parse_request("ADD -").is_err()); // no text
+        assert!(parse_request("ADD - ").is_err());
+        assert!(parse_request("MATCH - scan 1.5 Nehru").is_err()); // bad e
+        assert!(parse_request("MATCH - frob - Nehru").is_err()); // bad method
+        assert!(parse_request("MATCH - - -").is_err()); // no text
+                                                        // A literal "-" name is a parse of AddAuto with text "-": allowed
+                                                        // here, rejected later by profiling (no letters).
+        assert!(parse_request("ADD - -").is_ok());
+        // BATCH stays tagged: "-" is not a language there.
+        assert!(parse_request("BATCH - - - Nehru|Nero").is_err());
+    }
+
+    #[test]
+    fn stats_line_includes_untagged_block_only_when_used() {
+        let mut s = StatsSnapshot {
+            names: 0,
+            shards: 1,
+            requests: 0,
+            matches_returned: 0,
+            no_resource: 0,
+            not_built: 0,
+            bad_input: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            screen_fast_accept: 0,
+            screen_fast_reject: 0,
+            screen_full_dp: 0,
+            per_method: ALL_METHODS.map(|m| crate::service::MethodStats {
+                method: m,
+                searches: 0,
+                p50_upper_ns: None,
+                p99_upper_ns: None,
+            }),
+            conn: None,
+            repl: None,
+            untagged: crate::metrics::UntaggedStats {
+                requests: 0,
+                per_script: [0; Script::COUNT],
+                fanout_width_sum: 0,
+                fanout_width_max: 0,
+                no_resource: 0,
+                dedup_hits: 0,
+            },
+        };
+        assert!(!format_stats(&s).contains("untagged_"));
+        s.untagged.requests = 2;
+        s.untagged.no_resource = 1;
+        s.untagged.fanout_width_sum = 3;
+        s.untagged.fanout_width_max = 3;
+        s.untagged.per_script[Script::Latin.index()] = 1;
+        s.untagged.per_script[Script::Hangul.index()] = 1;
+        let line = format_stats(&s);
+        assert!(
+            line.contains(
+                "untagged_requests=2 untagged_noresource=1 untagged_fanout_sum=3 \
+                 untagged_fanout_max=3 untagged_dedup=0"
+            ),
+            "{line}"
+        );
+        assert!(line.contains("untagged_script_latin=1"), "{line}");
+        assert!(line.contains("untagged_script_hangul=1"), "{line}");
+        assert!(!line.contains("untagged_script_thai"), "{line}");
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::event_loop::{serve_evented, serve_evented_ctx, ShutdownSignal};
 use crate::metrics::{ConnMetrics, ReplRole, ReplStats};
 use crate::proto::{format_outcome, format_stats, parse_request, Request};
 use crate::repl::{ReplicaState, Replicator};
-use crate::service::MatchService;
+use crate::service::{AddResolution, MatchService};
 use crate::shard::BuildSpec;
 use lexequal::QgramMode;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -503,7 +503,31 @@ pub(crate) fn execute_request(
             }
             vec!["OK built=all".to_owned()]
         }
+        Request::AddAuto { text } => {
+            // Untagged ADD: resolve the language *here*, once, so the WAL
+            // logs a concrete tag and replicas converge byte-identically
+            // without knowing the routing table.
+            if let Some(state) = &ctx.replica {
+                return vec![format!("ERR {}", replica_read_only(state))];
+            }
+            let language = match service.resolve_add_language(text) {
+                AddResolution::Resolved(l) => l,
+                AddResolution::NoResource(l) => return vec![format!("NORESOURCE {l}")],
+                AddResolution::BadInput(msg) => return vec![format!("ERR bad input: {msg}")],
+            };
+            if let Some(repl) = &ctx.repl {
+                return match repl.commit_add(service, text, language) {
+                    Ok((_lsn, id)) => vec![format!("OK {id} lang={language}")],
+                    Err(e) => vec![format!("ERR {e}")],
+                };
+            }
+            match service.add(text, language) {
+                Ok(id) => vec![format!("OK {id} lang={language}")],
+                Err(e) => vec![format!("ERR {e:?}")],
+            }
+        }
         Request::Match(req) => vec![format_outcome(&service.lookup(req))],
+        Request::MatchAuto(req) => vec![format_outcome(&service.lookup_auto(req))],
         Request::Batch(reqs) => service
             .lookup_batch(reqs)
             .iter()

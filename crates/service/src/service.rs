@@ -7,10 +7,11 @@
 //! outcome instead of a worker panic, and records request metrics.
 
 use crate::cache::TransformCache;
-use crate::metrics::{method_index, ConnStats, ServiceMetrics};
+use crate::metrics::{method_index, ConnStats, ServiceMetrics, UntaggedStats};
 use crate::shard::{BuildSpec, PendingSearch, ShardedStore};
 use lexequal::store::NameEntry;
 use lexequal::{G2pError, Language, MatchConfig, QgramMode, SearchMethod};
+use lexequal_g2p::{Route, Router, ScriptProfile};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::time::Instant;
@@ -61,6 +62,44 @@ impl MatchRequest {
             method: None,
         }
     }
+}
+
+/// One **untagged** lookup (`MATCH -`): the query plus per-request
+/// overrides, with the language left to script profiling + routing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoMatchRequest {
+    /// Query text as written.
+    pub text: String,
+    /// Threshold override (`None` → the configured default).
+    pub threshold: Option<f64>,
+    /// Access-path override (`None` → the best built path).
+    pub method: Option<SearchMethod>,
+}
+
+impl AutoMatchRequest {
+    /// An untagged request with no overrides.
+    pub fn new(text: impl Into<String>) -> Self {
+        AutoMatchRequest {
+            text: text.into(),
+            threshold: None,
+            method: None,
+        }
+    }
+}
+
+/// How an untagged `ADD` resolved its language tag. The WAL logs the
+/// *resolved* language, never "untagged", so replay and replicas converge
+/// byte-identically with no knowledge of the routing table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AddResolution {
+    /// Commit under this tag.
+    Resolved(Language),
+    /// The script is recognized but no converter ships (paper
+    /// `NORESOURCE`).
+    NoResource(Language),
+    /// Nothing to detect from, unroutable script, or every fan-out
+    /// converter rejected the text.
+    BadInput(String),
 }
 
 /// What a lookup produced. Every degraded case is a value, not an error:
@@ -393,6 +432,220 @@ impl MatchService {
         }
     }
 
+    /// Serve one **untagged** lookup (`MATCH -`): profile the script,
+    /// route to one converter or a fan-out set, union + dedupe.
+    pub fn lookup_auto(&self, req: &AutoMatchRequest) -> MatchOutcome {
+        self.lookup_auto_finish(self.lookup_auto_begin(req))
+    }
+
+    /// Start one untagged lookup without waiting for the shards — the
+    /// untagged twin of [`lookup_begin`](Self::lookup_begin).
+    ///
+    /// The text is profiled ([`ScriptProfile`]) and routed ([`Router`]):
+    /// an unambiguous script transforms under its single converter
+    /// (outcome byte-identical to the tagged request); Latin input
+    /// transforms under every enabled fan-out language, identical phoneme
+    /// strings dedupe *before* the shards (counted as dedupe hits), and
+    /// each surviving query has its per-shard fan-out enqueued before any
+    /// is merged — the same overlap machinery tagged lookups use, just
+    /// one level up. Hangul/Thai resolve to the paper's `NORESOURCE`;
+    /// letterless or unroutable input is `BadInput`.
+    pub fn lookup_auto_begin(&self, req: &AutoMatchRequest) -> AutoPendingLookup {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let profile = ScriptProfile::of(&req.text);
+        self.metrics.untagged.record_request(profile.primary());
+        let config = self.store.config();
+        let candidates: Vec<Language> = match Router::route(&profile) {
+            Route::Single(l) => {
+                if !config.registry.supports(l) {
+                    return AutoPendingLookup::ready(self.untagged_no_resource(l));
+                }
+                vec![l]
+            }
+            Route::FanOut(set) => {
+                let enabled: Vec<Language> = set
+                    .iter()
+                    .copied()
+                    .filter(|l| config.registry.supports(*l))
+                    .collect();
+                if enabled.is_empty() {
+                    // Every converter for this script is disabled in this
+                    // deployment; report the script's default tag.
+                    return AutoPendingLookup::ready(self.untagged_no_resource(set[0]));
+                }
+                enabled
+            }
+            Route::NoResource(l) => {
+                return AutoPendingLookup::ready(self.untagged_no_resource(l));
+            }
+            Route::Unsupported(s) => {
+                self.metrics.bad_input.fetch_add(1, Ordering::Relaxed);
+                return AutoPendingLookup::ready(MatchOutcome::BadInput(format!(
+                    "unsupported script {s}"
+                )));
+            }
+            Route::NoLetters => {
+                self.metrics.bad_input.fetch_add(1, Ordering::Relaxed);
+                return AutoPendingLookup::ready(MatchOutcome::BadInput(
+                    "no letters to detect a script from".to_owned(),
+                ));
+            }
+        };
+        let method = req.method.unwrap_or_else(|| self.default_method());
+        if !self.is_built(method) {
+            self.metrics.not_built.fetch_add(1, Ordering::Relaxed);
+            return AutoPendingLookup::ready(MatchOutcome::NotBuilt(method));
+        }
+        let threshold = req.threshold.unwrap_or(config.threshold);
+        // Transform under every candidate; languages whose converter
+        // rejects the text just drop out of the fan-out, and identical
+        // phoneme renderings collapse to one shard query.
+        let mut queries: Vec<lexequal::PhonemeString> = Vec::with_capacity(candidates.len());
+        let mut deduped = 0u64;
+        let mut last_err: Option<G2pError> = None;
+        for &lang in &candidates {
+            match self.cache.get_or_try_insert_with(&req.text, lang, || {
+                config.registry.transform(&req.text, lang)
+            }) {
+                Ok(q) => {
+                    if queries.contains(&q) {
+                        deduped += 1;
+                    } else {
+                        queries.push(q);
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if queries.is_empty() {
+            self.metrics.bad_input.fetch_add(1, Ordering::Relaxed);
+            self.metrics.untagged.record_fanout(0, deduped);
+            let e = last_err.expect("no queries implies at least one transform error");
+            return AutoPendingLookup::ready(MatchOutcome::BadInput(format!("{e:?}")));
+        }
+        self.metrics
+            .untagged
+            .record_fanout(queries.len() as u64, deduped);
+        let start = Instant::now();
+        // Enqueue every query's per-shard fan-out before merging any.
+        let pendings: Vec<PendingSearch> = queries
+            .iter()
+            .map(|q| self.store.begin_search(q, threshold, method))
+            .collect();
+        AutoPendingLookup {
+            kind: AutoPendingKind::Searching {
+                pendings,
+                method,
+                threshold,
+                start,
+            },
+        }
+    }
+
+    /// Collect an untagged lookup started by
+    /// [`lookup_auto_begin`](Self::lookup_auto_begin): merge every
+    /// per-language search, union + dedupe the ids (fan-out can only add
+    /// recall; every id was confirmed by the same bit-identical verifier
+    /// a tagged query uses), sum the verification work.
+    pub fn lookup_auto_finish(&self, pending: AutoPendingLookup) -> MatchOutcome {
+        match pending.kind {
+            AutoPendingKind::Ready(outcome) => outcome,
+            AutoPendingKind::Searching {
+                pendings,
+                method,
+                threshold,
+                start,
+            } => {
+                let mut ids: Vec<u32> = Vec::new();
+                let mut verifications = 0usize;
+                for pending in pendings {
+                    let result = pending.merge();
+                    ids.extend(result.ids);
+                    verifications += result.verifications;
+                }
+                ids.sort_unstable();
+                ids.dedup();
+                self.metrics
+                    .record_search(method, start.elapsed(), ids.len());
+                MatchOutcome::Matches {
+                    method,
+                    threshold,
+                    ids,
+                    verifications,
+                }
+            }
+        }
+    }
+
+    fn untagged_no_resource(&self, language: Language) -> MatchOutcome {
+        self.metrics.no_resource.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .untagged
+            .no_resource
+            .fetch_add(1, Ordering::Relaxed);
+        MatchOutcome::NoResource(language)
+    }
+
+    /// Resolve the language tag an untagged `ADD` commits under: route by
+    /// primary script, and for a fan-out set take the *first* language
+    /// (registry order — English before French/Spanish) whose converter
+    /// accepts the text. The WAL then logs the resolved tag through the
+    /// ordinary [`prepare_entry`](Self::prepare_entry) /
+    /// [`apply_entry`](Self::apply_entry) halves, so replay and replicas
+    /// never see "untagged" and convergence stays byte-identical.
+    pub fn resolve_add_language(&self, text: &str) -> AddResolution {
+        let profile = ScriptProfile::of(text);
+        self.metrics.untagged.record_request(profile.primary());
+        let config = self.store.config();
+        let candidates: Vec<Language> = match Router::route(&profile) {
+            Route::Single(l) => vec![l],
+            Route::FanOut(set) => set.to_vec(),
+            Route::NoResource(l) => {
+                self.metrics
+                    .untagged
+                    .no_resource
+                    .fetch_add(1, Ordering::Relaxed);
+                return AddResolution::NoResource(l);
+            }
+            Route::Unsupported(s) => {
+                return AddResolution::BadInput(format!("unsupported script {s}"));
+            }
+            Route::NoLetters => {
+                return AddResolution::BadInput("no letters to detect a script from".to_owned());
+            }
+        };
+        let mut attempts = 0u64;
+        let mut last_err: Option<G2pError> = None;
+        for &lang in &candidates {
+            if !config.registry.supports(lang) {
+                last_err = Some(G2pError::NoResource(lang));
+                continue;
+            }
+            attempts += 1;
+            match self
+                .cache
+                .get_or_try_insert_with(text, lang, || config.registry.transform(text, lang))
+            {
+                Ok(_) => {
+                    self.metrics.untagged.record_fanout(attempts, 0);
+                    return AddResolution::Resolved(lang);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match last_err {
+            Some(G2pError::NoResource(l)) => {
+                self.metrics
+                    .untagged
+                    .no_resource
+                    .fetch_add(1, Ordering::Relaxed);
+                AddResolution::NoResource(l)
+            }
+            Some(e) => AddResolution::BadInput(format!("{e:?}")),
+            None => AddResolution::BadInput("no candidate languages".to_owned()),
+        }
+    }
+
     /// Serve a batch of lookups in request order.
     ///
     /// Degraded outcomes (`NoResource`, `NotBuilt`, `BadInput`) resolve
@@ -489,6 +742,7 @@ impl MatchService {
             }),
             conn: None,
             repl: None,
+            untagged: self.metrics.untagged.snapshot(),
         }
     }
 }
@@ -513,6 +767,31 @@ impl PendingLookup {
     fn ready(outcome: MatchOutcome) -> Self {
         PendingLookup {
             kind: PendingKind::Ready(outcome),
+        }
+    }
+}
+
+/// An untagged lookup in flight: resolved up front (degraded outcomes,
+/// `NORESOURCE`, unroutable scripts) or waiting on one pending search per
+/// unique per-language phoneme rendering.
+pub struct AutoPendingLookup {
+    kind: AutoPendingKind,
+}
+
+enum AutoPendingKind {
+    Ready(MatchOutcome),
+    Searching {
+        pendings: Vec<PendingSearch>,
+        method: SearchMethod,
+        threshold: f64,
+        start: Instant,
+    },
+}
+
+impl AutoPendingLookup {
+    fn ready(outcome: MatchOutcome) -> Self {
+        AutoPendingLookup {
+            kind: AutoPendingKind::Ready(outcome),
         }
     }
 }
@@ -567,6 +846,10 @@ pub struct StatsSnapshot {
     /// (and on a daemon with neither `--wal` nor `--replica-of`); the
     /// serving layer fills this in from its request context.
     pub repl: Option<crate::metrics::ReplStats>,
+    /// Untagged-path counters (`ADD -` / `MATCH -`): script detections,
+    /// fan-out widths, dedupe hits. All-zero until the first untagged
+    /// request, and the `STATS` line omits the block while it is.
+    pub untagged: UntaggedStats,
 }
 
 #[cfg(test)]
@@ -736,6 +1019,146 @@ mod tests {
         // A scan verifies every stored name exactly once.
         assert_eq!(screened, st.names as u64);
         assert!(st.screen_fast_reject > 0, "{st:?}");
+    }
+
+    #[test]
+    fn untagged_latin_merge_equals_union_of_tagged_queries() {
+        let s = service(3);
+        s.extend(
+            [("Descartes", Language::French), ("Nero", Language::Spanish)]
+                .map(|(t, l)| (t.to_owned(), l)),
+        )
+        .unwrap();
+        let text = "Nehru";
+        let mut union: Vec<u32> = Vec::new();
+        for lang in [Language::English, Language::French, Language::Spanish] {
+            match s.lookup(&MatchRequest {
+                threshold: Some(0.45),
+                ..MatchRequest::new(text, lang)
+            }) {
+                MatchOutcome::Matches { ids, .. } => union.extend(ids),
+                other => panic!("tagged lookup failed: {other:?}"),
+            }
+        }
+        union.sort_unstable();
+        union.dedup();
+        let out = s.lookup_auto(&AutoMatchRequest {
+            threshold: Some(0.45),
+            ..AutoMatchRequest::new(text)
+        });
+        match out {
+            MatchOutcome::Matches { ids, .. } => assert_eq!(ids, union),
+            other => panic!("untagged lookup failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unambiguous_untagged_is_byte_identical_to_tagged() {
+        let tagged = service(2);
+        let untagged = service(2);
+        let t = tagged.lookup(&MatchRequest {
+            threshold: Some(0.45),
+            ..MatchRequest::new("नेहरु", Language::Hindi)
+        });
+        let u = untagged.lookup_auto(&AutoMatchRequest {
+            threshold: Some(0.45),
+            ..AutoMatchRequest::new("नेहरु")
+        });
+        assert_eq!(t, u);
+        assert!(matches!(t, MatchOutcome::Matches { .. }));
+    }
+
+    #[test]
+    fn untagged_cyrillic_routes_to_russian() {
+        let s = service(2);
+        s.add("Неру", Language::Russian).unwrap();
+        let out = s.lookup_auto(&AutoMatchRequest {
+            threshold: Some(0.45),
+            ..AutoMatchRequest::new("Неру")
+        });
+        match out {
+            MatchOutcome::Matches { ids, .. } => {
+                // Matches the Cyrillic entry *and* the cross-script ones
+                // (Неру renders to the same phonemes as English Nehru).
+                assert!(ids.contains(&5), "{ids:?}");
+                assert!(ids.contains(&0), "{ids:?}");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untagged_hangul_and_thai_are_noresource() {
+        let s = service(2);
+        assert_eq!(
+            s.lookup_auto(&AutoMatchRequest::new("네루")),
+            MatchOutcome::NoResource(Language::Korean)
+        );
+        assert_eq!(
+            s.lookup_auto(&AutoMatchRequest::new("เนห์รู")),
+            MatchOutcome::NoResource(Language::Thai)
+        );
+        assert!(matches!(
+            s.lookup_auto(&AutoMatchRequest::new("北京")),
+            MatchOutcome::BadInput(_)
+        ));
+        assert!(matches!(
+            s.lookup_auto(&AutoMatchRequest::new("123 !?")),
+            MatchOutcome::BadInput(_)
+        ));
+        let st = s.stats();
+        assert_eq!(st.untagged.requests, 4);
+        assert_eq!(st.untagged.no_resource, 2);
+    }
+
+    #[test]
+    fn untagged_stats_track_fanout_and_scripts() {
+        let s = service(2);
+        s.lookup_auto(&AutoMatchRequest {
+            threshold: Some(0.45),
+            ..AutoMatchRequest::new("Nehru")
+        });
+        let st = s.stats();
+        assert_eq!(st.untagged.requests, 1);
+        assert_eq!(
+            st.untagged.per_script[lexequal_g2p::Script::Latin.index()],
+            1
+        );
+        // All three Latin converters produced a rendering; at least one
+        // shard query was issued and the width never exceeds three.
+        assert!(st.untagged.fanout_width_max >= 1);
+        assert!(st.untagged.fanout_width_max <= 3);
+        assert_eq!(
+            st.untagged.fanout_width_sum + st.untagged.dedup_hits,
+            3,
+            "3 candidates split between issued queries and dedupe hits: {:?}",
+            st.untagged
+        );
+    }
+
+    #[test]
+    fn resolve_add_language_commits_to_one_tag() {
+        let s = service(2);
+        assert_eq!(
+            s.resolve_add_language("Nehru"),
+            AddResolution::Resolved(Language::English)
+        );
+        assert_eq!(
+            s.resolve_add_language("नेहरु"),
+            AddResolution::Resolved(Language::Hindi)
+        );
+        assert_eq!(
+            s.resolve_add_language("Неру"),
+            AddResolution::Resolved(Language::Russian)
+        );
+        assert_eq!(
+            s.resolve_add_language("네루"),
+            AddResolution::NoResource(Language::Korean)
+        );
+        assert!(matches!(
+            s.resolve_add_language("!!!"),
+            AddResolution::BadInput(_)
+        ));
     }
 
     #[test]

@@ -36,6 +36,14 @@ echo "== replication: WAL corruption matrix + primary/replica e2e"
 # through the real binary, asserting byte-identical MATCH answers.
 cargo test -p lexequal-service --offline -q --test wal_recovery --test repl_e2e
 
+echo "== untagged queries: script routing + g2p + wire/replica e2e"
+# clippy over the new modules specifically, then the pinned goldens
+# (fan-out union, byte-identical unambiguous answers, NORESOURCE,
+# resolved-tag replication) over real sockets in both serve modes.
+cargo clippy -p lexequal-g2p --all-targets --offline -- -D warnings
+cargo test -p lexequal-g2p --offline -q
+cargo test -p lexequal-service --offline -q --test untagged
+
 echo "== replication bench (small run; full size via --size/--repl-ops)"
 cargo run --release -p lexequal-service --offline --bin loadgen -- \
     --repl-bench --size 2000 --repl-ops 200 --repl-out results/repl_bench_ci.json
@@ -45,6 +53,12 @@ echo "== snapshot cold-start timing (small run; full size via --size)"
 cargo run --release -p lexequal-service --offline --bin loadgen -- \
     --snapshot-bench --size 5000 --snapshot-out results/snapshot_bench_ci.json
 rm -f results/snapshot_bench_ci.json
+
+echo "== untagged bench (small run; full size via --size/--ops)"
+cargo run --release -p lexequal-service --offline --bin loadgen -- \
+    --untagged-bench --size 2000 --ops 100 \
+    --untagged-out results/untagged_bench_ci.json
+rm -f results/untagged_bench_ci.json
 
 echo "== cargo bench --no-run"
 # Compile-checks the bench harnesses. The criterion micro-benchmarks are

@@ -5,7 +5,10 @@
 //! and the clustered phoneme cost model.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use lexequal::{ClusteredPhonemeCost, LexEqual, MatchConfig, PreparedQuery, Verifier};
+use lexequal::{
+    available_simd_levels, BatchVerifier, ClusteredPhonemeCost, LexEqual, MatchConfig,
+    PreparedQuery, Verifier,
+};
 use lexequal_bench::corpus;
 use lexequal_matcher::{edit_distance, edit_distance_matrix, within_distance, UnitCost};
 use lexequal_phoneme::PhonemeString;
@@ -103,5 +106,54 @@ fn bench_verify_kernel(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_edit_distance, bench_verify_kernel);
+/// The batched kernel across widths and SIMD backends, against the
+/// pair-at-a-time `Verifier` on the same verify-bound corpus sweep.
+fn bench_verify_batch(c: &mut Criterion) {
+    let op = LexEqual::new(MatchConfig::default());
+    let data = pairs(256);
+    let names: Vec<PhonemeString> = data.iter().map(|(cand, _)| cand.clone()).collect();
+    let cluster_ids: Vec<Vec<u8>> = names.iter().map(|p| op.cluster_ids(p)).collect();
+    let query = op.prepare_query(&data[0].1);
+    let e = 0.35;
+
+    let mut g = c.benchmark_group("verify_batch");
+    g.sample_size(20);
+    g.bench_function("pairwise_baseline", |b| {
+        let mut v = Verifier::new();
+        b.iter(|| {
+            for (cand, ids) in names.iter().zip(&cluster_ids) {
+                black_box(v.matches(&op, &query, cand, Some(ids), e));
+            }
+        })
+    });
+    for level in available_simd_levels() {
+        for width in [1usize, 4, 8, 16] {
+            g.bench_function(format!("batched_w{width}_{level}"), |b| {
+                let mut v = BatchVerifier::with_width_and_level(width, level);
+                let mut hits: Vec<u32> = Vec::with_capacity(names.len());
+                b.iter(|| {
+                    hits.clear();
+                    v.verify_ids(
+                        &op,
+                        &query,
+                        &names,
+                        Some(&cluster_ids),
+                        0..names.len() as u32,
+                        e,
+                        &mut hits,
+                    );
+                    black_box(hits.len())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_edit_distance,
+    bench_verify_kernel,
+    bench_verify_batch
+);
 criterion_main!(benches);

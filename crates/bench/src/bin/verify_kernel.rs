@@ -11,10 +11,16 @@
 //! so the comparison is pure throughput. Emits a plain-text table and
 //! `results/verify_kernel_bench.json`.
 //!
+//! A second sweep compares the pair-at-a-time kernel against the
+//! batched [`lexequal::BatchVerifier`] across batch widths (1/4/8/16)
+//! and every SIMD backend this machine offers, emitting
+//! `results/verify_batch_bench.json` (with the detected dispatch level
+//! and `available_parallelism` recorded for reproduction).
+//!
 //! Usage: `verify_kernel [--quick] [--size N] [--queries N]`
 
-use lexequal::{PreparedQuery, Verifier};
-use lexequal_bench::{operator, print_table, synthetic, timed, RunOptions};
+use lexequal::{available_simd_levels, simd_level, BatchVerifier, PreparedQuery, Verifier};
+use lexequal_bench::{operator, print_table, synthetic, timed, timed_best, RunOptions};
 use lexequal_mdb::Json;
 use lexequal_phoneme::PhonemeString;
 
@@ -115,6 +121,150 @@ fn main() {
         ("runs".into(), Json::Arr(json_runs)),
     ]);
     let out = std::path::Path::new("results/verify_kernel_bench.json");
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create results dir");
+    }
+    std::fs::write(out, report.render()).expect("write report");
+    println!("\nWrote {}", out.display());
+
+    batch_sweep(&op, &names, &cluster_ids, &queries);
+}
+
+/// Batch widths swept against the pair-at-a-time baseline.
+const WIDTHS: [usize; 4] = [1, 4, 8, 16];
+
+/// The batched-kernel sweep: width × SIMD backend, one row per cell,
+/// speedups relative to the pair-at-a-time `Verifier` on the same
+/// verify-bound workload (every pair screened, cached cluster ids).
+fn batch_sweep(
+    op: &lexequal::LexEqual,
+    names: &[PhonemeString],
+    cluster_ids: &[Vec<u8>],
+    queries: &[&PhonemeString],
+) {
+    let pairs = queries.len() * names.len();
+    let mut rows = Vec::new();
+    let mut json_runs = Vec::new();
+    let mpairs = |t: std::time::Duration| pairs as f64 / t.as_secs_f64() / 1e6;
+    // Best-of-N timing: this sweep's cells are short enough that one
+    // noisy-neighbour window can swamp a single pass.
+    const ROUNDS: usize = 9;
+    for e in THRESHOLDS {
+        // Pair-at-a-time baseline: what the shards ran before batching.
+        let mut verifier = Verifier::new();
+        let (base_hits, base_time) = timed_best(ROUNDS, || {
+            let mut hits = 0usize;
+            for q in queries {
+                let prepared: PreparedQuery = op.prepare_query(q);
+                for (c, ids) in names.iter().zip(cluster_ids) {
+                    if verifier.matches(op, &prepared, c, Some(ids), e) {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        });
+
+        for level in available_simd_levels() {
+            for width in WIDTHS {
+                let mut bv = BatchVerifier::with_width_and_level(width, level);
+                let mut lane_hits: Vec<u32> = Vec::with_capacity(names.len());
+                let (batch_hits, batch_time) = timed_best(ROUNDS, || {
+                    let mut hits = 0usize;
+                    for q in queries {
+                        let prepared: PreparedQuery = op.prepare_query(q);
+                        lane_hits.clear();
+                        bv.verify_ids(
+                            op,
+                            &prepared,
+                            names,
+                            Some(cluster_ids),
+                            0..names.len() as u32,
+                            e,
+                            &mut lane_hits,
+                        );
+                        hits += lane_hits.len();
+                    }
+                    hits
+                });
+                assert_eq!(
+                    base_hits, batch_hits,
+                    "kernels disagree at e={e} width={width} level={level}"
+                );
+                let speedup = base_time.as_secs_f64() / batch_time.as_secs_f64();
+                rows.push(vec![
+                    format!("{e:.2}"),
+                    format!("{width}"),
+                    level.name().to_string(),
+                    format!("{:.2}", mpairs(base_time)),
+                    format!("{:.2}", mpairs(batch_time)),
+                    format!("{speedup:.2}x"),
+                ]);
+                json_runs.push(Json::Obj(vec![
+                    ("threshold".into(), Json::Float(e)),
+                    ("width".into(), Json::Int(width as i64)),
+                    ("simd".into(), Json::Str(level.name().into())),
+                    ("pairs".into(), Json::Int(pairs as i64)),
+                    ("matches".into(), Json::Int(batch_hits as i64)),
+                    ("base_ns".into(), Json::Int(base_time.as_nanos() as i64)),
+                    ("batch_ns".into(), Json::Int(batch_time.as_nanos() as i64)),
+                    ("base_mpairs_per_s".into(), Json::Float(mpairs(base_time))),
+                    ("batch_mpairs_per_s".into(), Json::Float(mpairs(batch_time))),
+                    ("speedup".into(), Json::Float(speedup)),
+                ]));
+            }
+        }
+    }
+
+    print_table(
+        "Batched kernel: pair-at-a-time Verifier vs BatchVerifier",
+        &["e", "width", "simd", "base Mp/s", "batch Mp/s", "speedup"],
+        &rows,
+    );
+
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // Headline: the speedup the serving layer actually gets — detected
+    // SIMD level, production widths (8+), averaged across thresholds.
+    let detected = simd_level().name();
+    let headline: Vec<f64> = json_runs
+        .iter()
+        .filter_map(|r| match r {
+            Json::Obj(fields) => {
+                let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+                match (get("simd"), get("width"), get("speedup")) {
+                    (Some(Json::Str(s)), Some(Json::Int(w)), Some(Json::Float(sp)))
+                        if s == detected && *w >= 8 =>
+                    {
+                        Some(*sp)
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        })
+        .collect();
+    let headline_mean = headline.iter().sum::<f64>() / headline.len().max(1) as f64;
+    println!("\nheadline ({detected}, width 8+): mean speedup {headline_mean:.2}x");
+    let report = Json::Obj(vec![
+        ("dataset_size".into(), Json::Int(names.len() as i64)),
+        ("queries".into(), Json::Int(queries.len() as i64)),
+        (
+            "available_parallelism".into(),
+            Json::Int(parallelism as i64),
+        ),
+        (
+            "simd_detected".into(),
+            Json::Str(simd_level().name().into()),
+        ),
+        (
+            "headline_speedup_width8plus".into(),
+            Json::Float(headline_mean),
+        ),
+        ("runs".into(), Json::Arr(json_runs)),
+    ]);
+    let out = std::path::Path::new("results/verify_batch_bench.json");
     if let Some(parent) = out.parent() {
         std::fs::create_dir_all(parent).expect("create results dir");
     }

@@ -117,6 +117,12 @@ impl DenseSubstCost {
     pub fn inventory_len(&self) -> usize {
         self.n
     }
+
+    /// The raw row-major matrix (`matrix[a.index() * N + b.index()]`) —
+    /// what the lane-batched DP kernel gathers from directly.
+    pub fn matrix(&self) -> &[f64] {
+        &self.sub
+    }
 }
 
 impl CostModel<Phoneme> for DenseSubstCost {

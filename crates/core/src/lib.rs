@@ -71,9 +71,12 @@ pub use operator::{LexEqual, Outcome};
 pub use phonidx::PhoneticIndex;
 pub use qgram_plan::{QgramFilter, QgramMode};
 pub use store::{NameStore, SearchMethod};
-pub use verify::{PreparedQuery, ScreenCounters, Verifier};
+pub use verify::{
+    BatchCounters, BatchVerifier, PreparedQuery, ScreenCounters, Verifier, MAX_LANES,
+};
 
 pub use lexequal_g2p::{G2pError, G2pRegistry, Language, Route, Router, Script, ScriptProfile};
+pub use lexequal_matcher::{available_simd_levels, simd_level, SimdLevel};
 pub use lexequal_phoneme::{ClusterTable, Phoneme, PhonemeString};
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! our evaluation harness reproduces the measurement.
 
 use crate::operator::LexEqual;
-use crate::verify::{PreparedQuery, Verifier};
+use crate::verify::{BatchVerifier, PreparedQuery, Verifier};
 use lexequal_phoneme::{ClusterTable, PhonemeString};
 use std::collections::HashMap;
 
@@ -116,6 +116,27 @@ impl PhoneticIndex {
                 hits.push(cand);
             }
         }
+        hits.sort_unstable();
+        (hits, verified)
+    }
+
+    /// [`search_with`](Self::search_with) through the batched kernel:
+    /// identical hits and verification count, with the index probe's
+    /// candidates verified in width-sized interleaved steps.
+    pub fn search_batched(
+        &self,
+        corpus: &[PhonemeString],
+        cluster_ids: Option<&[Vec<u8>]>,
+        query: &PreparedQuery,
+        e: f64,
+        operator: &LexEqual,
+        verifier: &mut BatchVerifier,
+    ) -> (Vec<u32>, usize) {
+        let clusters = operator.cost_model().clusters();
+        let mut hits = Vec::new();
+        let cands = self.candidates(clusters, query.phonemes());
+        let verified =
+            verifier.verify_ids(operator, query, corpus, cluster_ids, cands, e, &mut hits);
         hits.sort_unstable();
         (hits, verified)
     }

@@ -28,7 +28,7 @@
 //!   dismissals when the intra-cluster cost is below 1.
 
 use crate::operator::LexEqual;
-use crate::verify::{PreparedQuery, Verifier};
+use crate::verify::{BatchVerifier, PreparedQuery, Verifier};
 use lexequal_matcher::qgram::{
     count_filter_passes, length_filter_passes, positional_qgrams, PositionalQgram,
 };
@@ -246,6 +246,27 @@ impl QgramFilter {
                 hits.push(cand);
             }
         }
+        (hits, verified)
+    }
+
+    /// [`search_with`](Self::search_with) through the batched kernel:
+    /// identical hits and verification count, with the surviving
+    /// candidates verified in width-sized interleaved steps.
+    pub fn search_batched(
+        &self,
+        corpus: &[PhonemeString],
+        cluster_ids: Option<&[Vec<u8>]>,
+        query: &PreparedQuery,
+        e: f64,
+        operator: &LexEqual,
+        verifier: &mut BatchVerifier,
+    ) -> (Vec<u32>, usize) {
+        let mut hits = Vec::new();
+        // Same conservative filter budget as `search_with`.
+        let k_max = e * query.phonemes().len() as f64;
+        let cands = self.candidates(query.phonemes(), k_max, operator);
+        let verified =
+            verifier.verify_ids(operator, query, corpus, cluster_ids, cands, e, &mut hits);
         (hits, verified)
     }
 }

@@ -15,7 +15,7 @@ use crate::config::MatchConfig;
 use crate::operator::LexEqual;
 use crate::phonidx::PhoneticIndex;
 use crate::qgram_plan::{QgramFilter, QgramMode};
-use crate::verify::Verifier;
+use crate::verify::{BatchVerifier, Verifier};
 use lexequal_g2p::{G2pError, Language};
 use lexequal_matcher::{bounded_levenshtein, edit_distance, BkTree, UnitCost};
 use lexequal_phoneme::PhonemeString;
@@ -306,6 +306,88 @@ impl NameStore {
                         SearchResult { ids, verifications }
                     }
                     None => self.search_phonemes_with(q, e, SearchMethod::Scan, verifier),
+                }
+            }
+        }
+    }
+
+    /// [`search_phonemes_with`](Self::search_phonemes_with) through the
+    /// batched kernel: the access path produces candidate ids as before,
+    /// and the [`BatchVerifier`] disposes of them in width-sized
+    /// interleaved steps. Hits and verification counts are bit-for-bit
+    /// identical to the pair-at-a-time form on every method.
+    pub fn search_phonemes_batched(
+        &self,
+        q: &PhonemeString,
+        e: f64,
+        method: SearchMethod,
+        verifier: &mut BatchVerifier,
+    ) -> SearchResult {
+        let prepared = self.operator.prepare_query(q);
+        match method {
+            SearchMethod::Scan => {
+                let mut ids = Vec::new();
+                let verifications = verifier.verify_ids(
+                    &self.operator,
+                    &prepared,
+                    &self.phonemes,
+                    Some(&self.cluster_ids),
+                    0..self.phonemes.len() as u32,
+                    e,
+                    &mut ids,
+                );
+                SearchResult { ids, verifications }
+            }
+            SearchMethod::Qgram => {
+                let f = self.qgram.as_ref().expect("call build_qgram first");
+                let (ids, verifications) = f.search_batched(
+                    &self.phonemes,
+                    Some(&self.cluster_ids),
+                    &prepared,
+                    e,
+                    &self.operator,
+                    verifier,
+                );
+                SearchResult { ids, verifications }
+            }
+            SearchMethod::PhoneticIndex => {
+                let idx = self
+                    .phonidx
+                    .as_ref()
+                    .expect("call build_phonetic_index first");
+                let (ids, verifications) = idx.search_batched(
+                    &self.phonemes,
+                    Some(&self.cluster_ids),
+                    &prepared,
+                    e,
+                    &self.operator,
+                    verifier,
+                );
+                SearchResult { ids, verifications }
+            }
+            SearchMethod::BkTree => {
+                let t = self.bktree.as_ref().expect("call build_bktree first");
+                // Same radius mapping (and cost-0 fallback) as the
+                // pair-at-a-time form.
+                let k = e * q.len() as f64;
+                match self.operator.cost_model().min_nonzero_cost() {
+                    Some(c) => {
+                        let radius = (k / c).floor() as u32;
+                        let mut ids = Vec::new();
+                        let leaf_runs = t.range_bounded(q, radius, bounded_levenshtein_phonemes);
+                        let verifications = verifier.verify_ids(
+                            &self.operator,
+                            &prepared,
+                            &self.phonemes,
+                            Some(&self.cluster_ids),
+                            leaf_runs.iter().map(|(_, &id, _)| id),
+                            e,
+                            &mut ids,
+                        );
+                        ids.sort_unstable();
+                        SearchResult { ids, verifications }
+                    }
+                    None => self.search_phonemes_batched(q, e, SearchMethod::Scan, verifier),
                 }
             }
         }

@@ -28,18 +28,28 @@
 //! kernel's verdict is bit-for-bit identical to `matches_phonemes`.
 
 use crate::operator::LexEqual;
-use lexequal_matcher::{within_distance_scratch, DpScratch, MyersPattern};
+use lexequal_matcher::{
+    simd_level, within_distance_dense, within_distance_scratch, DpScratch, MyersPattern, SimdLevel,
+};
 use lexequal_phoneme::PhonemeString;
 
-/// A query preprocessed for repeated verification: its cluster-id vector
-/// and the two Myers bitmask tables (phoneme ids, cluster ids).
+/// Maximum candidates one interleaved [`BatchVerifier`] step processes
+/// (re-exported from the matcher's lane-batched Myers module).
+pub const MAX_LANES: usize = lexequal_matcher::MAX_LANES;
+
+/// A query preprocessed for repeated verification: its cluster-id and
+/// phoneme-id vectors and the two Myers bitmask tables (phoneme ids,
+/// cluster ids).
 ///
 /// Built once per query via [`LexEqual::prepare_query`]; the patterns are
-/// `None` when the query is empty or longer than 64 phonemes, in which
-/// case the kernel skips the screens and the DP decides alone.
+/// `None` when the query is empty or longer than 64 phonemes
+/// ([`screens_active`](Self::screens_active) is `false`), in which case
+/// the kernel skips the screens and the DP decides alone — counted by
+/// the `bypass` screen counter so the condition is visible in `STATS`.
 #[derive(Debug)]
 pub struct PreparedQuery {
     phonemes: PhonemeString,
+    phoneme_ids: Vec<u8>,
     cluster_ids: Vec<u8>,
     phon_pattern: Option<MyersPattern>,
     clus_pattern: Option<MyersPattern>,
@@ -49,10 +59,12 @@ impl PreparedQuery {
     /// Preprocess `q` under `op`'s cluster table.
     pub fn new(op: &LexEqual, q: &PhonemeString) -> Self {
         let cluster_ids = op.cluster_ids(q);
-        let phon_pattern = MyersPattern::build(q.iter().map(|p| p.id()));
+        let phoneme_ids: Vec<u8> = q.iter().map(|p| p.id()).collect();
+        let phon_pattern = MyersPattern::build(phoneme_ids.iter().copied());
         let clus_pattern = MyersPattern::build(cluster_ids.iter().copied());
         PreparedQuery {
             phonemes: q.clone(),
+            phoneme_ids,
             cluster_ids,
             phon_pattern,
             clus_pattern,
@@ -64,9 +76,24 @@ impl PreparedQuery {
         &self.phonemes
     }
 
+    /// The query's phoneme-id sequence (`phonemes()` as raw `u8` ids —
+    /// the right-hand side of the dense DP).
+    pub fn phoneme_ids(&self) -> &[u8] {
+        &self.phoneme_ids
+    }
+
     /// The query's cluster-id sequence.
     pub fn cluster_ids(&self) -> &[u8] {
         &self.cluster_ids
+    }
+
+    /// Whether the Myers fast-accept/fast-reject screens will run for
+    /// this query. `false` exactly when the query is empty or longer
+    /// than 64 phonemes (the single-word Myers limit): every pair then
+    /// goes straight to the DP, and the kernels count it under the
+    /// `bypass` screen counter.
+    pub fn screens_active(&self) -> bool {
+        self.phon_pattern.is_some() && self.clus_pattern.is_some()
     }
 }
 
@@ -79,6 +106,11 @@ pub struct ScreenCounters {
     pub fast_reject: u64,
     /// Pairs that ran the full banded DP.
     pub full_dp: u64,
+    /// Pairs that skipped both Myers screens because the query had no
+    /// patterns (empty or >64 phonemes). These pairs are *also* counted
+    /// in `full_dp` — `bypass` is a diagnostic overlay, not a fourth
+    /// outcome — so it does not contribute to [`total`](Self::total).
+    pub bypass: u64,
 }
 
 impl ScreenCounters {
@@ -92,6 +124,7 @@ impl ScreenCounters {
         self.fast_accept += other.fast_accept;
         self.fast_reject += other.fast_reject;
         self.full_dp += other.full_dp;
+        self.bypass += other.bypass;
     }
 }
 
@@ -169,6 +202,8 @@ impl Verifier {
                 self.counters.fast_accept += 1;
                 return true;
             }
+        } else {
+            self.counters.bypass += 1;
         }
         self.counters.full_dp += 1;
         within_distance_scratch(
@@ -178,6 +213,442 @@ impl Verifier {
             op.dense_cost(),
             &mut self.scratch,
         )
+    }
+}
+
+/// Batch-shape statistics for [`BatchVerifier`]: how many interleaved
+/// steps ran and how full their lanes were, split by outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchCounters {
+    /// Interleaved verification steps ([`BatchVerifier::matches_lanes`]
+    /// invocations).
+    pub calls: u64,
+    /// Sum of lane counts over all calls (`lanes_sum / calls` is the
+    /// mean batch fill).
+    pub lanes_sum: u64,
+    /// Widest batch seen.
+    pub lanes_max: u64,
+    /// Lanes decided by equality or the phoneme fast-accept screen.
+    pub lane_accept: u64,
+    /// Lanes decided by the length filter or the cluster fast-reject
+    /// screen.
+    pub lane_reject: u64,
+    /// Lanes drained through the dense banded DP.
+    pub lane_dp: u64,
+}
+
+impl BatchCounters {
+    /// Add `other` into `self` (`lanes_max` merges by maximum).
+    pub fn merge(&mut self, other: &BatchCounters) {
+        self.calls += other.calls;
+        self.lanes_sum += other.lanes_sum;
+        self.lanes_max = self.lanes_max.max(other.lanes_max);
+        self.lane_accept += other.lane_accept;
+        self.lane_reject += other.lane_reject;
+        self.lane_dp += other.lane_dp;
+    }
+}
+
+/// The batched verification kernel: verdicts over a slice of up to
+/// [`MAX_LANES`] candidates per step, bit-for-bit identical to running
+/// [`Verifier::matches`] on each candidate in turn.
+///
+/// Where the pair-at-a-time kernel leaves instruction-level parallelism
+/// on the table (both the Myers recurrence and the DP column scan are
+/// serial dependency chains), the batched kernel restructures the work
+/// per *batch*:
+///
+/// 1. per-lane scalar pre-screens (equality, threshold, length filter);
+/// 2. one **interleaved** Myers pass over the cluster-id strings of all
+///    surviving lanes (struct-of-arrays state, shared pattern masks —
+///    see `lexequal_matcher::myers_batch`) for the fast-reject bound;
+/// 3. one interleaved Myers pass over the phoneme-id strings of the
+///    remainder for the fast-accept bound;
+/// 4. a DP drain of still-undecided lanes through the **dense SIMD**
+///    banded DP (`lexequal_matcher::simd`), with the backend fixed at
+///    construction from [`simd_level`].
+///
+/// Exactness: the lanes never interact — each step computes exactly the
+/// distances and comparisons the scalar kernel computes per pair, on the
+/// same floats in the same per-pair order — so reordering work *across*
+/// lanes cannot change any verdict.
+///
+/// Like [`Verifier`], it owns its DP scratch and per-lane id buffers, so
+/// steady-state verification performs zero heap allocations.
+#[derive(Debug)]
+pub struct BatchVerifier {
+    scratch: DpScratch,
+    counters: ScreenCounters,
+    batch: BatchCounters,
+    width: usize,
+    level: SimdLevel,
+    /// Per-lane cluster-id buffers (filled only for lanes whose caller
+    /// did not supply cached cluster ids); phoneme ids are read in
+    /// place via [`PhonemeString::id_bytes`], no buffer needed.
+    clus_bufs: Vec<Vec<u8>>,
+    /// Screen scratch, kept across calls so each flush skips ~0.5KB of
+    /// array zero-inits: per-slot Myers distances, survivor lane
+    /// indices, and undecided (DP-bound) lane indices.
+    scr_dists: [usize; MAX_LANES],
+    scr_surv: [usize; MAX_LANES],
+    scr_dp: [usize; MAX_LANES],
+}
+
+impl Default for BatchVerifier {
+    fn default() -> Self {
+        BatchVerifier::new()
+    }
+}
+
+impl BatchVerifier {
+    /// A fresh kernel at the full [`MAX_LANES`] width, with the DP
+    /// backend from the process-wide [`simd_level`] dispatch.
+    pub fn new() -> Self {
+        BatchVerifier::with_width_and_level(MAX_LANES, simd_level())
+    }
+
+    /// A kernel with an explicit batch width (`1..=MAX_LANES`) and DP
+    /// backend — the differential suites and benchmarks sweep these.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width` is 0 or exceeds [`MAX_LANES`].
+    pub fn with_width_and_level(width: usize, level: SimdLevel) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&width),
+            "batch width must be in 1..={MAX_LANES}"
+        );
+        BatchVerifier {
+            scratch: DpScratch::default(),
+            counters: ScreenCounters::default(),
+            batch: BatchCounters::default(),
+            width,
+            level,
+            clus_bufs: (0..MAX_LANES).map(|_| Vec::new()).collect(),
+            scr_dists: [0; MAX_LANES],
+            scr_surv: [0; MAX_LANES],
+            scr_dp: [0; MAX_LANES],
+        }
+    }
+
+    /// The batch width [`verify_ids`](Self::verify_ids) fills lanes to.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The DP backend this kernel drains undecided lanes with.
+    pub fn simd_level(&self) -> SimdLevel {
+        self.level
+    }
+
+    /// Screen counters accumulated since construction or the last
+    /// [`take_counters`](Self::take_counters) — same per-pair semantics
+    /// as [`Verifier::counters`].
+    pub fn counters(&self) -> ScreenCounters {
+        self.counters
+    }
+
+    /// Return and reset the accumulated screen counters.
+    pub fn take_counters(&mut self) -> ScreenCounters {
+        std::mem::take(&mut self.counters)
+    }
+
+    /// Batch-shape counters accumulated since construction or the last
+    /// [`take_batch_counters`](Self::take_batch_counters).
+    pub fn batch_counters(&self) -> BatchCounters {
+        self.batch
+    }
+
+    /// Return and reset the accumulated batch-shape counters.
+    pub fn take_batch_counters(&mut self) -> BatchCounters {
+        std::mem::take(&mut self.batch)
+    }
+
+    /// Decide `op.matches_phonemes(cand, query, e)` for every lane:
+    /// `verdicts[l]` receives the verdict for `lanes[l]`, bit-for-bit
+    /// what [`Verifier::matches`] returns for that pair.
+    ///
+    /// Each lane is a candidate plus its optional cached cluster-id
+    /// sequence (`op.cluster_ids(cand)`); `None` derives cluster ids
+    /// into an internal per-lane buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes.len() > MAX_LANES` or `verdicts` is shorter
+    /// than `lanes`.
+    pub fn matches_lanes(
+        &mut self,
+        op: &LexEqual,
+        query: &PreparedQuery,
+        lanes: &[(&PhonemeString, Option<&[u8]>)],
+        e: f64,
+        verdicts: &mut [bool],
+    ) {
+        let w = lanes.len();
+        assert!(w <= MAX_LANES, "at most {MAX_LANES} lanes per call");
+        assert!(verdicts.len() >= w, "verdicts must hold one bool per lane");
+        self.batch.calls += 1;
+        self.batch.lanes_sum += w as u64;
+        self.batch.lanes_max = self.batch.lanes_max.max(w as u64);
+
+        // Per-lane pre-screens: equality accept, threshold, length
+        // filter — identical arithmetic to the scalar kernel.
+        let mut ks = [0.0f64; MAX_LANES];
+        let mut pending = [0usize; MAX_LANES];
+        let mut n_pending = 0;
+        for (l, &(cand, _)) in lanes.iter().enumerate() {
+            if *cand == query.phonemes {
+                self.counters.fast_accept += 1;
+                self.batch.lane_accept += 1;
+                verdicts[l] = true;
+                continue;
+            }
+            let smaller = cand.len().min(query.phonemes.len());
+            // Same strict-predicate budget as `matches_phonemes`.
+            let k = (e * smaller as f64 - 1e-9).max(1e-12);
+            ks[l] = k;
+            if cand.len().abs_diff(query.phonemes.len()) as f64 > k {
+                self.counters.fast_reject += 1;
+                self.batch.lane_reject += 1;
+                verdicts[l] = false;
+                continue;
+            }
+            pending[n_pending] = l;
+            n_pending += 1;
+        }
+
+        self.screen_pending(op, query, lanes, &ks, &pending[..n_pending], verdicts);
+    }
+
+    /// The interleaved-screen core: decide every `pending` lane (indices
+    /// into `lanes`, each already past the equality and length filters,
+    /// with its budget in `ks`) through the lock-step Myers screens and
+    /// the SIMD DP drain. Shared by [`matches_lanes`](Self::matches_lanes)
+    /// and the id-stream flush path, which computes `ks` while chunking
+    /// and so skips the per-lane pre-screen here.
+    fn screen_pending(
+        &mut self,
+        op: &LexEqual,
+        query: &PreparedQuery,
+        lanes: &[(&PhonemeString, Option<&[u8]>)],
+        ks: &[f64; MAX_LANES],
+        pending: &[usize],
+        verdicts: &mut [bool],
+    ) {
+        let n_pending = pending.len();
+
+        // Lane indices still undecided after the screens.
+        let mut n_dp = 0;
+
+        if let (Some(phon), Some(clus)) = (&query.phon_pattern, &query.clus_pattern) {
+            // Interleaved cluster screen: one pass advances every
+            // pending lane's Myers recurrence in lock-step.
+            let clusters = op.cost_model().clusters();
+            for (slot, &l) in pending[..n_pending].iter().enumerate() {
+                let (cand, cached) = lanes[l];
+                if cached.is_none() {
+                    let buf = &mut self.clus_bufs[slot];
+                    buf.clear();
+                    buf.extend(cand.iter().map(|p| clusters.cluster_of(*p).0));
+                }
+            }
+            let mut texts: [&[u8]; MAX_LANES] = [&[]; MAX_LANES];
+            for (slot, &l) in pending[..n_pending].iter().enumerate() {
+                texts[slot] = match lanes[l].1 {
+                    Some(ids) => ids,
+                    None => &self.clus_bufs[slot],
+                };
+            }
+            clus.distance_batch(&texts[..n_pending], &mut self.scr_dists, self.level);
+            // Clustered distance ≥ cluster-id Levenshtein: reject.
+            let mut n_surv = 0;
+            for (slot, &l) in pending[..n_pending].iter().enumerate() {
+                if self.scr_dists[slot] as f64 > ks[l] + 1e-12 {
+                    self.counters.fast_reject += 1;
+                    self.batch.lane_reject += 1;
+                    verdicts[l] = false;
+                } else {
+                    self.scr_surv[n_surv] = l;
+                    n_surv += 1;
+                }
+            }
+
+            // Interleaved phoneme screen over the survivors; texts view
+            // each candidate's phoneme ids in place — no copy.
+            let mut texts: [&[u8]; MAX_LANES] = [&[]; MAX_LANES];
+            for (slot, &l) in self.scr_surv[..n_surv].iter().enumerate() {
+                texts[slot] = lanes[l].0.id_bytes();
+            }
+            phon.distance_batch(&texts[..n_surv], &mut self.scr_dists, self.level);
+            // Clustered distance ≤ phoneme Levenshtein: accept.
+            for slot in 0..n_surv {
+                let l = self.scr_surv[slot];
+                if self.scr_dists[slot] as f64 <= ks[l] + 1e-12 {
+                    self.counters.fast_accept += 1;
+                    self.batch.lane_accept += 1;
+                    verdicts[l] = true;
+                } else {
+                    self.scr_dp[n_dp] = l;
+                    n_dp += 1;
+                }
+            }
+        } else {
+            // No patterns (query empty or >64 phonemes): every pending
+            // lane bypasses the screens and goes straight to the DP.
+            for &l in pending {
+                self.counters.bypass += 1;
+                self.scr_dp[n_dp] = l;
+                n_dp += 1;
+            }
+        }
+
+        // DP drain: the dense SIMD banded DP, bit-identical to the
+        // generic `within_distance_scratch` on the same matrix.
+        let dense = op.dense_cost();
+        for i in 0..n_dp {
+            let l = self.scr_dp[i];
+            self.counters.full_dp += 1;
+            self.batch.lane_dp += 1;
+            verdicts[l] = within_distance_dense(
+                lanes[l].0.id_bytes(),
+                &query.phoneme_ids,
+                ks[l],
+                dense.matrix(),
+                dense.inventory_len(),
+                &mut self.scratch,
+                self.level,
+            );
+        }
+    }
+
+    /// Verify corpus entries by id in width-sized batches, appending the
+    /// matching ids to `hits` in input order; returns the number of
+    /// candidates verified.
+    ///
+    /// Candidates the O(1) pre-screens settle (equality accept, length
+    /// filter) are decided inline as the id stream arrives; only the
+    /// survivors occupy batch lanes, so every interleaved step runs with
+    /// [`width`](Self::width) full Myers lanes instead of carrying
+    /// already-decided passengers. Hit order stays exactly the input id
+    /// order: an equality accept (the one inline disposition that emits
+    /// a hit) first flushes any pending partial batch, whose lanes all
+    /// precede it in the stream.
+    ///
+    /// `cluster_ids`, when provided, must hold `op.cluster_ids` of every
+    /// corpus entry (stores cache these).
+    #[allow(clippy::too_many_arguments)]
+    pub fn verify_ids<I>(
+        &mut self,
+        op: &LexEqual,
+        query: &PreparedQuery,
+        corpus: &[PhonemeString],
+        cluster_ids: Option<&[Vec<u8>]>,
+        ids: I,
+        e: f64,
+        hits: &mut Vec<u32>,
+    ) -> usize
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let mut lane_ids = [0u32; MAX_LANES];
+        let mut lane_ks = [0.0f64; MAX_LANES];
+        let mut filled = 0;
+        let mut verified = 0;
+        for id in ids {
+            verified += 1;
+            let cand = &corpus[id as usize];
+            if *cand == query.phonemes {
+                // Keep hits in input order: everything pending precedes
+                // this id in the stream, so decide it first.
+                if filled > 0 {
+                    let (ids, ks) = (&lane_ids[..filled], &lane_ks);
+                    self.flush_ids(op, query, corpus, cluster_ids, ids, ks, hits);
+                    filled = 0;
+                }
+                self.counters.fast_accept += 1;
+                hits.push(id);
+                continue;
+            }
+            let smaller = cand.len().min(query.phonemes.len());
+            // Same strict-predicate budget as `matches_phonemes`.
+            let k = (e * smaller as f64 - 1e-9).max(1e-12);
+            if cand.len().abs_diff(query.phonemes.len()) as f64 > k {
+                self.counters.fast_reject += 1;
+                continue;
+            }
+            lane_ids[filled] = id;
+            lane_ks[filled] = k;
+            // The flush pointer-chases this lane's payloads up to
+            // `width` ids from now: start pulling them in behind the
+            // pre-screen, which only reads lengths from the headers.
+            #[cfg(target_arch = "x86_64")]
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch(cand.id_bytes().as_ptr().cast(), _MM_HINT_T0);
+                if let Some(c) = cluster_ids {
+                    _mm_prefetch(c[id as usize].as_ptr().cast(), _MM_HINT_T0);
+                }
+            }
+            filled += 1;
+            if filled == self.width {
+                let (ids, ks) = (&lane_ids[..filled], &lane_ks);
+                self.flush_ids(op, query, corpus, cluster_ids, ids, ks, hits);
+                filled = 0;
+            }
+        }
+        if filled > 0 {
+            let (ids, ks) = (&lane_ids[..filled], &lane_ks);
+            self.flush_ids(op, query, corpus, cluster_ids, ids, ks, hits);
+        }
+        verified
+    }
+
+    /// One batched step over `ids`: build the lane slice, verify, push
+    /// hits in lane order.
+    #[allow(clippy::too_many_arguments)]
+    /// Flush one batch of pre-screened ids (each with its precomputed
+    /// budget in `ks`) through the interleaved screens, pushing matches
+    /// onto `hits` in id order.
+    #[allow(clippy::too_many_arguments)]
+    fn flush_ids(
+        &mut self,
+        op: &LexEqual,
+        query: &PreparedQuery,
+        corpus: &[PhonemeString],
+        cluster_ids: Option<&[Vec<u8>]>,
+        ids: &[u32],
+        ks: &[f64; MAX_LANES],
+        hits: &mut Vec<u32>,
+    ) {
+        let n = ids.len();
+        self.batch.calls += 1;
+        self.batch.lanes_sum += n as u64;
+        self.batch.lanes_max = self.batch.lanes_max.max(n as u64);
+        // Every flushed lane is pending by construction.
+        const IDENT: [usize; MAX_LANES] = {
+            let mut a = [0usize; MAX_LANES];
+            let mut i = 0;
+            while i < MAX_LANES {
+                a[i] = i;
+                i += 1;
+            }
+            a
+        };
+        let mut lanes: [(&PhonemeString, Option<&[u8]>); MAX_LANES] =
+            [(&query.phonemes, None); MAX_LANES];
+        for (slot, &id) in ids.iter().enumerate() {
+            lanes[slot] = (
+                &corpus[id as usize],
+                cluster_ids.map(|c| c[id as usize].as_slice()),
+            );
+        }
+        let mut verdicts = [false; MAX_LANES];
+        self.screen_pending(op, query, &lanes[..n], ks, &IDENT[..n], &mut verdicts);
+        for (slot, &id) in ids.iter().enumerate() {
+            if verdicts[slot] {
+                hits.push(id);
+            }
+        }
     }
 }
 

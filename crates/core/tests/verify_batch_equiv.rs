@@ -1,0 +1,225 @@
+//! Differential suite for the batched verification kernel: on every
+//! access path, at every batch width `1..=MAX_LANES`, under every SIMD
+//! backend this machine offers (plus the forced-scalar one — run again
+//! with `LEXEQUAL_FORCE_SCALAR=1` to pin the process-wide dispatch too),
+//! the [`BatchVerifier`]'s verdict vector must be **bit-for-bit
+//! identical** to running the scalar [`Verifier`] pair by pair — same
+//! hits, same verification counts, same screen-counter totals.
+//!
+//! The scalar kernel is itself pinned against `matches_phonemes` by the
+//! unit suites, so transitively the batched kernel computes the paper's
+//! exact predicate.
+
+use lexequal::{
+    available_simd_levels, BatchVerifier, Language, LexEqual, MatchConfig, NameStore, SearchMethod,
+    Verifier, MAX_LANES,
+};
+use lexequal_phoneme::{Inventory, Phoneme, PhonemeString};
+
+/// Deterministic xorshift phoneme strings, lengths 0..=70 so the corpus
+/// crosses the 64-symbol Myers window (DP-only queries included).
+fn corpus(seed: u64, count: usize) -> Vec<PhonemeString> {
+    let mut state = seed;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let n = Inventory::len() as u64;
+    (0..count)
+        .map(|_| {
+            let len = (next() % 71) as usize;
+            PhonemeString::new(
+                (0..len)
+                    .map(|_| Phoneme::from_id((next() % n) as u8).unwrap())
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+const THRESHOLDS: [f64; 5] = [0.0, 0.15, 0.35, 0.5, 1.0];
+
+#[test]
+fn batched_pairs_equal_scalar_at_every_width_and_backend() {
+    for intra in [0.0, 0.25, 1.0] {
+        let op = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(intra));
+        let strings = corpus(0xba7c_0001 + intra.to_bits(), 32);
+        let cached: Vec<Vec<u8>> = strings.iter().map(|s| op.cluster_ids(s)).collect();
+        for q in strings.iter().take(5) {
+            let prepared = op.prepare_query(q);
+            for e in THRESHOLDS {
+                // Scalar reference verdicts + counters over the corpus.
+                let mut scalar = Verifier::new();
+                let want: Vec<bool> = strings
+                    .iter()
+                    .zip(&cached)
+                    .enumerate()
+                    .map(|(i, (c, ids))| {
+                        // Alternate cached and derive-on-the-fly cluster
+                        // ids, as the batched lanes below do.
+                        let cc = (i % 2 == 0).then_some(ids.as_slice());
+                        scalar.matches(&op, &prepared, c, cc, e)
+                    })
+                    .collect();
+                let want_counters = scalar.take_counters();
+
+                for level in available_simd_levels() {
+                    for width in 1..=MAX_LANES {
+                        let mut batch = BatchVerifier::with_width_and_level(width, level);
+                        let mut got = vec![false; strings.len()];
+                        for (chunk_start, chunk) in (0..strings.len())
+                            .step_by(width)
+                            .map(|s| (s, &strings[s..(s + width).min(strings.len())]))
+                        {
+                            let lanes: Vec<(&PhonemeString, Option<&[u8]>)> = chunk
+                                .iter()
+                                .enumerate()
+                                .map(|(o, c)| {
+                                    let i = chunk_start + o;
+                                    (c, (i % 2 == 0).then_some(cached[i].as_slice()))
+                                })
+                                .collect();
+                            let mut verdicts = vec![false; lanes.len()];
+                            batch.matches_lanes(&op, &prepared, &lanes, e, &mut verdicts);
+                            got[chunk_start..chunk_start + lanes.len()].copy_from_slice(&verdicts);
+                        }
+                        assert_eq!(
+                            got, want,
+                            "verdicts diverge: intra={intra} e={e} width={width} level={level}"
+                        );
+                        assert_eq!(
+                            batch.take_counters(),
+                            want_counters,
+                            "screen counters diverge: intra={intra} e={e} width={width} level={level}"
+                        );
+                        let shape = batch.take_batch_counters();
+                        assert_eq!(shape.lanes_sum, strings.len() as u64);
+                        assert_eq!(shape.lanes_max, width.min(strings.len()) as u64);
+                        assert_eq!(
+                            shape.lane_accept + shape.lane_reject + shape.lane_dp,
+                            strings.len() as u64
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn fixture() -> (NameStore, LexEqual) {
+    let mut s = NameStore::new(MatchConfig::default());
+    for (n, l) in [
+        ("Nehru", Language::English),
+        ("नेहरु", Language::Hindi),
+        ("நேரு", Language::Tamil),
+        ("Nero", Language::English),
+        ("Gandhi", Language::English),
+        ("गांधी", Language::Hindi),
+        ("Krishnan", Language::English),
+        ("Kumar", Language::English),
+        ("कुमार", Language::Hindi),
+        ("Catherine", Language::English),
+        ("Katherine", Language::English),
+    ] {
+        s.insert(n, l).unwrap();
+    }
+    s.build_qgram(3, lexequal::QgramMode::Strict);
+    s.build_phonetic_index();
+    s.build_bktree();
+    (s, LexEqual::new(MatchConfig::default()))
+}
+
+#[test]
+fn batched_access_paths_equal_scalar_on_every_method() {
+    let (store, op) = fixture();
+    let methods = [
+        SearchMethod::Scan,
+        SearchMethod::Qgram,
+        SearchMethod::PhoneticIndex,
+        SearchMethod::BkTree,
+    ];
+    for (query, lang) in [
+        ("Nehru", Language::English),
+        ("Gandhi", Language::English),
+        ("நேரு", Language::Tamil),
+        ("Kumari", Language::English),
+    ] {
+        let q = op.transform(query, lang).unwrap();
+        for e in [0.0, 0.3, 0.45] {
+            for method in methods {
+                let want = store.search_phonemes_with(&q, e, method, &mut Verifier::new());
+                for level in available_simd_levels() {
+                    for width in 1..=MAX_LANES {
+                        let mut batch = BatchVerifier::with_width_and_level(width, level);
+                        let got = store.search_phonemes_batched(&q, e, method, &mut batch);
+                        assert_eq!(
+                            got, want,
+                            "q={query} e={e} method={method:?} width={width} level={level}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_bktree_falls_back_to_scan_at_zero_cost() {
+    // intra-cluster cost 0 leaves no finite Levenshtein radius: the
+    // BK-tree path must degrade to a scan in both kernels.
+    let mut s = NameStore::new(MatchConfig::default().with_intra_cluster_cost(0.0));
+    for n in ["Nehru", "Nero", "Gandhi"] {
+        s.insert(n, Language::English).unwrap();
+    }
+    s.build_bktree();
+    let op = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.0));
+    let q = op.transform("Nehru", Language::English).unwrap();
+    let want = s.search_phonemes_with(&q, 0.45, SearchMethod::BkTree, &mut Verifier::new());
+    let got = s.search_phonemes_batched(&q, 0.45, SearchMethod::BkTree, &mut BatchVerifier::new());
+    assert_eq!(got, want);
+    assert_eq!(want.verifications, s.len(), "fallback verifies every row");
+}
+
+/// Regression for the silent screen bypass: queries longer than the
+/// 64-phoneme Myers window must still verify correctly (DP-only), be
+/// observable via `screens_active`, and count every bypassed pair.
+#[test]
+fn long_queries_verify_correctly_through_the_dp_only_path() {
+    let op = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.25));
+    let mut strings = corpus(0x10a6_cafe, 24);
+    // A 70-phoneme query: past the screen window.
+    let long: PhonemeString = PhonemeString::new(
+        (0..70)
+            .map(|i| Phoneme::from_id((i % Inventory::len()) as u8).unwrap())
+            .collect(),
+    );
+    strings.push(long.clone()); // its own exact match is in the corpus
+    let prepared = op.prepare_query(&long);
+    assert!(!prepared.screens_active(), "70 phonemes must bypass");
+    assert!(
+        op.prepare_query(&strings[0]).screens_active() || strings[0].is_empty(),
+        "short queries keep their screens"
+    );
+
+    let mut scalar = Verifier::new();
+    let mut batch = BatchVerifier::new();
+    for e in THRESHOLDS {
+        for c in &strings {
+            let want = op.matches_phonemes(c, &long, e);
+            assert_eq!(scalar.matches(&op, &prepared, c, None, e), want);
+            let mut verdict = [false];
+            batch.matches_lanes(&op, &prepared, &[(c, None)], e, &mut verdict);
+            assert_eq!(verdict[0], want);
+        }
+    }
+    for counters in [scalar.take_counters(), batch.take_counters()] {
+        assert!(counters.fast_accept > 0, "the exact copy fast-accepts");
+        assert!(counters.bypass > 0, "bypassed pairs must be counted");
+        assert_eq!(
+            counters.bypass, counters.full_dp,
+            "with no screens, every DP pair is a bypass"
+        );
+    }
+}

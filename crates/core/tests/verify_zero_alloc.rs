@@ -12,7 +12,7 @@
 //! allocate (progress output, timers) at any moment, and without the
 //! gate those allocations land in the window and flake the count.
 
-use lexequal::{LexEqual, MatchConfig, PreparedQuery, Verifier};
+use lexequal::{BatchVerifier, LexEqual, MatchConfig, PreparedQuery, Verifier, MAX_LANES};
 use lexequal_phoneme::{Inventory, Phoneme, PhonemeString};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -136,6 +136,97 @@ fn warmed_up_verification_does_not_allocate() {
         delta,
         0,
         "verified {} pairs with {delta} heap allocations after warm-up",
+        counters.total() / 2
+    );
+}
+
+fn verify_all_batched(
+    verifier: &mut BatchVerifier,
+    op: &LexEqual,
+    prepared: &PreparedQuery,
+    strings: &[PhonemeString],
+    cluster_ids: &[Vec<u8>],
+    hits: &mut Vec<u32>,
+) -> usize {
+    let mut total = 0;
+    for e in [0.0, 0.15, 0.35, 0.5, 1.0] {
+        // Cached cluster ids (the store path)…
+        verifier.verify_ids(
+            op,
+            prepared,
+            strings,
+            Some(cluster_ids),
+            0..strings.len() as u32,
+            e,
+            hits,
+        );
+        total += hits.len();
+        hits.clear();
+        // …and derive-on-the-fly (fills the kernel's own lane buffers).
+        verifier.verify_ids(
+            op,
+            prepared,
+            strings,
+            None,
+            0..strings.len() as u32,
+            e,
+            hits,
+        );
+        total += hits.len();
+        hits.clear();
+    }
+    total
+}
+
+/// The batched kernel keeps the same guarantee: once its DP scratch and
+/// per-lane id buffers have grown, a full batched verification sweep
+/// allocates nothing (the caller-owned hit vector is pre-grown too).
+#[test]
+fn warmed_up_batched_verification_does_not_allocate() {
+    let op = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.25));
+    let strings = corpus(0x0a11_0c5e, 60);
+    let cluster_ids: Vec<Vec<u8>> = strings.iter().map(|s| op.cluster_ids(s)).collect();
+    let prepared = op.prepare_query(&strings[0]);
+    let mut verifier = BatchVerifier::new();
+    assert_eq!(verifier.width(), MAX_LANES);
+    let mut hits = Vec::with_capacity(strings.len());
+
+    // Warm-up: scratch, lane buffers and the hit vector reach their
+    // high-water marks here.
+    let warm_hits = verify_all_batched(
+        &mut verifier,
+        &op,
+        &prepared,
+        &strings,
+        &cluster_ids,
+        &mut hits,
+    );
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    COUNT_THIS_THREAD.with(|c| c.set(true));
+    let total = verify_all_batched(
+        &mut verifier,
+        &op,
+        &prepared,
+        &strings,
+        &cluster_ids,
+        &mut hits,
+    );
+    COUNT_THIS_THREAD.with(|c| c.set(false));
+    let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(total, warm_hits);
+    assert!(total > 0, "corpus must produce some matches");
+    let counters = verifier.counters();
+    assert!(
+        counters.fast_accept > 0 && counters.fast_reject > 0 && counters.full_dp > 0,
+        "all three dispositions must be exercised: {counters:?}"
+    );
+    assert!(verifier.batch_counters().calls > 0);
+    assert_eq!(
+        delta,
+        0,
+        "batch-verified {} pairs with {delta} heap allocations after warm-up",
         counters.total() / 2
     );
 }

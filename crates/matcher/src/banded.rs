@@ -24,8 +24,12 @@ use crate::cost::CostModel;
 /// amortizes the allocation to zero after warm-up.
 #[derive(Debug, Default)]
 pub struct DpScratch {
-    prev: Vec<f64>,
-    cur: Vec<f64>,
+    pub(crate) prev: Vec<f64>,
+    pub(crate) cur: Vec<f64>,
+    /// Substitution-row byte offsets of the left string's symbols into a
+    /// dense cost matrix — only the dense/SIMD form (`crate::simd`) uses
+    /// this; the generic DP above leaves it empty.
+    pub(crate) off: Vec<i64>,
 }
 
 impl DpScratch {

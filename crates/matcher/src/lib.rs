@@ -19,6 +19,13 @@
 //!   verification loops.
 //! * [`myers`] — Myers' bit-parallel Levenshtein over `u8` symbol ids,
 //!   used as an exact accept/reject screen around the clustered DP.
+//! * [`myers_batch`] — the interleaved multi-lane form of the Myers
+//!   screen: one shared pattern, up to 16 texts advanced per step with
+//!   struct-of-arrays lane state, so independent recurrences fill the
+//!   pipeline.
+//! * [`simd`] — the dense-matrix specialization of the banded DP with
+//!   SSE2/AVX2 column kernels and once-per-process runtime dispatch
+//!   (`LEXEQUAL_FORCE_SCALAR=1` pins the portable fallback).
 //! * [`qgram`] — positional q-grams (Gravano et al., VLDB 2001) and the
 //!   Length / Count / Position filters used to pre-filter candidates.
 //! * [`soundex`](mod@soundex) — the classical Soundex code (Knuth), the pseudo-phonetic
@@ -34,7 +41,9 @@ pub mod cost;
 pub mod damerau;
 pub mod distance;
 pub mod myers;
+pub mod myers_batch;
 pub mod qgram;
+pub mod simd;
 pub mod soundex;
 
 pub use alignment::{align, Alignment, EditOp};
@@ -44,8 +53,12 @@ pub use cost::{CostModel, UnitCost};
 pub use damerau::damerau_distance;
 pub use distance::{bounded_levenshtein, edit_distance, edit_distance_matrix};
 pub use myers::MyersPattern;
+pub use myers_batch::MAX_LANES;
 pub use qgram::{
     count_filter_passes, length_filter_passes, matching_qgrams, positional_qgrams, Gram,
     PositionalQgram, QgramSymbol,
+};
+pub use simd::{
+    available_simd_levels, detect_simd_level, simd_level, within_distance_dense, SimdLevel,
 };
 pub use soundex::soundex;

@@ -56,6 +56,12 @@ impl MyersPattern {
         self.len
     }
 
+    /// The per-symbol match-bitmask table (shared by the interleaved
+    /// multi-lane form in [`crate::myers_batch`]).
+    pub(crate) fn peq(&self) -> &[u64; 256] {
+        &self.peq
+    }
+
     /// Whether the pattern is empty — never true for a built pattern.
     pub fn is_empty(&self) -> bool {
         self.len == 0

@@ -11,6 +11,7 @@ use std::fmt;
 /// `Phoneme` is `Copy`, one byte wide, and compares/hashes in O(1) — the
 /// edit-distance inner loop of LexEQUAL runs over slices of these.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Phoneme(u8);
 
 impl Phoneme {

@@ -38,6 +38,15 @@ impl PhonemeString {
         &self.0
     }
 
+    /// The segments viewed as their raw inventory ids, in place — the
+    /// batched screens and the dense DP read candidate symbols through
+    /// this without copying.
+    pub fn id_bytes(&self) -> &[u8] {
+        // SAFETY: `Phoneme` is `#[repr(transparent)]` over `u8`, so a
+        // slice of phonemes has the same layout as a slice of bytes.
+        unsafe { std::slice::from_raw_parts(self.0.as_ptr().cast::<u8>(), self.0.len()) }
+    }
+
     /// Iterate over segments.
     pub fn iter(&self) -> std::slice::Iter<'_, Phoneme> {
         self.0.iter()

@@ -317,7 +317,8 @@ fn main_net(config: NetConfig, out: PathBuf) -> ExitCode {
     for r in &report.runs {
         println!(
             "mode={:<8} conns={:<5} throughput={:>10.1} ops/s  p50={:>8.1}us  p95={:>8.1}us  \
-             p99={:>8.1}us  conns_peak={} pipeline_max={} queue_peak={}",
+             p99={:>8.1}us  conns_peak={} pipeline_max={} queue_peak={} \
+             batch_calls={} batch_lanes_sum={} batch_lanes_max={} simd={}",
             r.mode.name(),
             r.connections,
             r.throughput,
@@ -327,6 +328,10 @@ fn main_net(config: NetConfig, out: PathBuf) -> ExitCode {
             r.conns_peak,
             r.pipeline_max,
             r.queue_peak,
+            r.batch_calls,
+            r.batch_lanes_sum,
+            r.batch_lanes_max,
+            r.simd,
         );
     }
     if let Err(e) = write_net_json(&report, &out) {

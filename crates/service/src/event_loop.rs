@@ -5,7 +5,8 @@
 //! The whole machine runs on a constant number of threads regardless of
 //! connection count — the event loop plus `workers` dispatch threads
 //! (which in turn lean on the existing shard workers, each owning a warm
-//! [`lexequal::Verifier`]):
+//! [`lexequal::BatchVerifier`] that disposes of its access path's
+//! candidate stream in interleaved lane-batched steps):
 //!
 //! ```text
 //!              epoll readiness loop (1 thread)
@@ -324,7 +325,7 @@ const WORKER_BATCH: usize = 16;
 /// The fixed verify-dispatch pool. Jobs route to `queues[token % n]`,
 /// which preserves per-connection execution order (each queue drains
 /// FIFO); verification itself happens on the shard workers' warm
-/// [`lexequal::Verifier`]s, reached through [`MatchService`].
+/// [`lexequal::BatchVerifier`]s, reached through [`MatchService`].
 struct WorkerPool {
     queues: Vec<Arc<WorkerQueue>>,
     stop: Arc<AtomicBool>,

@@ -524,6 +524,16 @@ pub struct NetRun {
     pub pipeline_max: u64,
     /// Server-reported verify-queue depth peak (`STATS`, evented only).
     pub queue_peak: u64,
+    /// Server-reported batched-verifier steps across all shards (`STATS`).
+    pub batch_calls: u64,
+    /// Server-reported candidate lanes occupied across those steps
+    /// (`STATS`); `batch_lanes_sum / batch_calls` is the mean fill.
+    pub batch_lanes_sum: u64,
+    /// Server-reported widest single batched step (`STATS`).
+    pub batch_lanes_max: u64,
+    /// Server-reported SIMD dispatch level for the batched DP drain
+    /// (`STATS`): `avx2`, `sse2`, or `scalar`.
+    pub simd: String,
 }
 
 /// The full socket-bench report.
@@ -547,6 +557,14 @@ fn stat_u64(line: &str, key: &str) -> u64 {
         .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
         .and_then(|v| v.parse().ok())
         .unwrap_or(0)
+}
+
+/// Pull a `key=value` string out of a STATS line.
+fn stat_str(line: &str, key: &str) -> String {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or("")
+        .to_owned()
 }
 
 /// Drive one (mode × connection count) cell against a fresh server.
@@ -690,6 +708,10 @@ pub fn run_net_one(
         conns_peak: stat_u64(&stats_line, "conns_peak"),
         pipeline_max: stat_u64(&stats_line, "pipeline_max"),
         queue_peak: stat_u64(&stats_line, "queue_peak"),
+        batch_calls: stat_u64(&stats_line, "batch_calls"),
+        batch_lanes_sum: stat_u64(&stats_line, "batch_lanes_sum"),
+        batch_lanes_max: stat_u64(&stats_line, "batch_lanes_max"),
+        simd: stat_str(&stats_line, "simd"),
     }
 }
 
@@ -759,6 +781,16 @@ pub fn net_to_json(report: &NetReport) -> Json {
                             ("conns_peak".to_owned(), Json::Int(r.conns_peak as i64)),
                             ("pipeline_max".to_owned(), Json::Int(r.pipeline_max as i64)),
                             ("queue_peak".to_owned(), Json::Int(r.queue_peak as i64)),
+                            ("batch_calls".to_owned(), Json::Int(r.batch_calls as i64)),
+                            (
+                                "batch_lanes_sum".to_owned(),
+                                Json::Int(r.batch_lanes_sum as i64),
+                            ),
+                            (
+                                "batch_lanes_max".to_owned(),
+                                Json::Int(r.batch_lanes_max as i64),
+                            ),
+                            ("simd".to_owned(), Json::Str(r.simd.clone())),
                         ])
                     })
                     .collect(),

@@ -8,7 +8,7 @@
 //! `2^i ≤ ns < 2^(i+1)` — which spans 1 ns to ~18 s in 35 buckets and
 //! needs no configuration.
 
-use lexequal::{ScreenCounters, SearchMethod};
+use lexequal::{BatchCounters, ScreenCounters, SearchMethod};
 use lexequal_g2p::Script;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -206,7 +206,7 @@ pub struct PathMetrics {
 }
 
 /// Verification-kernel screen counters aggregated across every shard
-/// worker. Each worker owns a long-lived `lexequal::Verifier` and flushes
+/// worker. Each worker owns a long-lived `lexequal::BatchVerifier` and flushes
 /// its per-search [`ScreenCounters`] here after answering, so a `STATS`
 /// snapshot shows how many verified pairs the bit-parallel screens
 /// disposed of without the full DP.
@@ -218,6 +218,10 @@ pub struct ScreenTotals {
     pub fast_reject: AtomicU64,
     /// Pairs that ran the full banded DP.
     pub full_dp: AtomicU64,
+    /// Pairs that skipped both Myers screens (query empty or >64
+    /// phonemes) — a diagnostic overlay on `full_dp`, not a fourth
+    /// outcome.
+    pub bypass: AtomicU64,
 }
 
 impl ScreenTotals {
@@ -226,6 +230,7 @@ impl ScreenTotals {
         self.fast_accept.fetch_add(c.fast_accept, Ordering::Relaxed);
         self.fast_reject.fetch_add(c.fast_reject, Ordering::Relaxed);
         self.full_dp.fetch_add(c.full_dp, Ordering::Relaxed);
+        self.bypass.fetch_add(c.bypass, Ordering::Relaxed);
     }
 
     /// Current totals as a plain value.
@@ -234,6 +239,52 @@ impl ScreenTotals {
             fast_accept: self.fast_accept.load(Ordering::Relaxed),
             fast_reject: self.fast_reject.load(Ordering::Relaxed),
             full_dp: self.full_dp.load(Ordering::Relaxed),
+            bypass: self.bypass.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Batch-shape counters aggregated across every shard worker, the
+/// lock-free mirror of [`BatchCounters`]: each worker owns a long-lived
+/// `lexequal::BatchVerifier` and flushes here after answering, so a
+/// `STATS` snapshot shows how many interleaved steps ran and how full
+/// their lanes were.
+#[derive(Debug, Default)]
+pub struct BatchTotals {
+    /// Interleaved verification steps.
+    pub calls: AtomicU64,
+    /// Sum of lane counts over all steps.
+    pub lanes_sum: AtomicU64,
+    /// Widest batch seen (merged with `fetch_max`).
+    pub lanes_max: AtomicU64,
+    /// Lanes decided by equality or the phoneme fast-accept screen.
+    pub lane_accept: AtomicU64,
+    /// Lanes decided by the length filter or cluster fast-reject screen.
+    pub lane_reject: AtomicU64,
+    /// Lanes drained through the dense banded DP.
+    pub lane_dp: AtomicU64,
+}
+
+impl BatchTotals {
+    /// Fold one worker's counters into the totals.
+    pub fn add(&self, c: &BatchCounters) {
+        self.calls.fetch_add(c.calls, Ordering::Relaxed);
+        self.lanes_sum.fetch_add(c.lanes_sum, Ordering::Relaxed);
+        self.lanes_max.fetch_max(c.lanes_max, Ordering::Relaxed);
+        self.lane_accept.fetch_add(c.lane_accept, Ordering::Relaxed);
+        self.lane_reject.fetch_add(c.lane_reject, Ordering::Relaxed);
+        self.lane_dp.fetch_add(c.lane_dp, Ordering::Relaxed);
+    }
+
+    /// Current totals as a plain value.
+    pub fn snapshot(&self) -> BatchCounters {
+        BatchCounters {
+            calls: self.calls.load(Ordering::Relaxed),
+            lanes_sum: self.lanes_sum.load(Ordering::Relaxed),
+            lanes_max: self.lanes_max.load(Ordering::Relaxed),
+            lane_accept: self.lane_accept.load(Ordering::Relaxed),
+            lane_reject: self.lane_reject.load(Ordering::Relaxed),
+            lane_dp: self.lane_dp.load(Ordering::Relaxed),
         }
     }
 }

@@ -409,7 +409,7 @@ pub fn format_outcome(out: &MatchOutcome) -> String {
 /// Render a stats snapshot as the single-line `STATS` response.
 pub fn format_stats(s: &StatsSnapshot) -> String {
     let mut line = format!(
-        "OK names={} shards={} requests={} matches={} noresource={} notbuilt={} badinput={} cache_hits={} cache_misses={} screen_accept={} screen_reject={} screen_dp={}",
+        "OK names={} shards={} requests={} matches={} noresource={} notbuilt={} badinput={} cache_hits={} cache_misses={} screen_accept={} screen_reject={} screen_dp={} screen_bypass={} batch_calls={} batch_lanes_sum={} batch_lanes_max={} batch_accept={} batch_reject={} batch_dp={} simd={}",
         s.names,
         s.shards,
         s.requests,
@@ -422,6 +422,14 @@ pub fn format_stats(s: &StatsSnapshot) -> String {
         s.screen_fast_accept,
         s.screen_fast_reject,
         s.screen_full_dp,
+        s.screen_bypass,
+        s.batch_calls,
+        s.batch_lanes_sum,
+        s.batch_lanes_max,
+        s.batch_lane_accept,
+        s.batch_lane_reject,
+        s.batch_lane_dp,
+        s.simd_level,
     );
     for m in ALL_METHODS {
         let pm = &s.per_method[method_index(m)];
@@ -716,6 +724,14 @@ mod tests {
             screen_fast_accept: 0,
             screen_fast_reject: 0,
             screen_full_dp: 0,
+            screen_bypass: 0,
+            batch_calls: 0,
+            batch_lanes_sum: 0,
+            batch_lanes_max: 0,
+            batch_lane_accept: 0,
+            batch_lane_reject: 0,
+            batch_lane_dp: 0,
+            simd_level: "scalar",
             per_method: ALL_METHODS.map(|m| crate::service::MethodStats {
                 method: m,
                 searches: 0,

@@ -718,6 +718,7 @@ impl MatchService {
     pub fn stats(&self) -> StatsSnapshot {
         let (cache_hits, cache_misses) = self.cache.stats();
         let screens = self.store.screen_totals();
+        let batches = self.store.batch_totals();
         StatsSnapshot {
             names: self.store.len(),
             shards: self.store.shards(),
@@ -731,6 +732,14 @@ impl MatchService {
             screen_fast_accept: screens.fast_accept,
             screen_fast_reject: screens.fast_reject,
             screen_full_dp: screens.full_dp,
+            screen_bypass: screens.bypass,
+            batch_calls: batches.calls,
+            batch_lanes_sum: batches.lanes_sum,
+            batch_lanes_max: batches.lanes_max,
+            batch_lane_accept: batches.lane_accept,
+            batch_lane_reject: batches.lane_reject,
+            batch_lane_dp: batches.lane_dp,
+            simd_level: lexequal::simd_level().name(),
             per_method: crate::metrics::ALL_METHODS.map(|m| {
                 let pm = &self.metrics.per_method[method_index(m)];
                 MethodStats {
@@ -836,6 +845,24 @@ pub struct StatsSnapshot {
     pub screen_fast_reject: u64,
     /// Verified pairs that ran the full banded DP.
     pub screen_full_dp: u64,
+    /// Verified pairs that skipped both screens (query empty or >64
+    /// phonemes) — an overlay on `screen_full_dp`.
+    pub screen_bypass: u64,
+    /// Interleaved verification steps run by the batched kernels.
+    pub batch_calls: u64,
+    /// Sum of lane counts over those steps (`/ batch_calls` = mean fill).
+    pub batch_lanes_sum: u64,
+    /// Widest batch any worker ran.
+    pub batch_lanes_max: u64,
+    /// Lanes disposed of by equality / phoneme fast-accept.
+    pub batch_lane_accept: u64,
+    /// Lanes disposed of by the length filter / cluster fast-reject.
+    pub batch_lane_reject: u64,
+    /// Lanes drained through the dense banded DP.
+    pub batch_lane_dp: u64,
+    /// The SIMD backend the DP drain dispatched to at startup
+    /// (`avx2` | `sse2` | `scalar`).
+    pub simd_level: &'static str,
     /// Per-access-path counters.
     pub per_method: [MethodStats; 4],
     /// Serving-loop connection/queue/pipelining gauges. `None` from
@@ -1019,6 +1046,37 @@ mod tests {
         // A scan verifies every stored name exactly once.
         assert_eq!(screened, st.names as u64);
         assert!(st.screen_fast_reject > 0, "{st:?}");
+        assert_eq!(st.screen_bypass, 0, "short queries keep their screens");
+    }
+
+    #[test]
+    fn batch_counters_surface_in_stats() {
+        let s = service(2);
+        s.lookup(&MatchRequest {
+            threshold: Some(0.45),
+            ..MatchRequest::new("Nehru", Language::English)
+        });
+        let st = s.stats();
+        // The shard workers verify through the batched kernel: every
+        // pair the O(1) pre-screens can't settle inline becomes a lane
+        // of some interleaved step, so the lane totals are bounded by
+        // (and here nonzero under) the per-pair screen totals.
+        assert!(st.batch_calls > 0, "{st:?}");
+        assert!(st.batch_lanes_sum > 0, "{st:?}");
+        assert!(
+            st.batch_lanes_sum <= st.screen_fast_accept + st.screen_fast_reject + st.screen_full_dp,
+            "{st:?}"
+        );
+        assert_eq!(
+            st.batch_lanes_sum,
+            st.batch_lane_accept + st.batch_lane_reject + st.batch_lane_dp,
+            "{st:?}"
+        );
+        assert!(st.batch_lanes_max >= 1 && st.batch_lanes_max <= lexequal::MAX_LANES as u64);
+        assert!(
+            ["scalar", "sse2", "avx2"].contains(&st.simd_level),
+            "{st:?}"
+        );
     }
 
     #[test]

@@ -15,11 +15,11 @@
 //! shards. Bulk loads parallelize the expensive G2P transform across
 //! scoped threads before striping the finished entries.
 
-use crate::metrics::ScreenTotals;
+use crate::metrics::{BatchTotals, ScreenTotals};
 use lexequal::store::{NameEntry, SearchResult};
 use lexequal::{
-    G2pError, Language, MatchConfig, NameStore, PhonemeString, QgramMode, ScreenCounters,
-    SearchMethod, Verifier,
+    BatchCounters, BatchVerifier, G2pError, Language, MatchConfig, NameStore, PhonemeString,
+    QgramMode, ScreenCounters, SearchMethod,
 };
 use std::ops::Range;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -76,11 +76,18 @@ enum Cmd {
     },
 }
 
-fn worker(mut store: NameStore, rx: Receiver<Cmd>, screens: Arc<ScreenTotals>) {
-    // One long-lived verification kernel per worker: its DP scratch grows
-    // to the longest candidate once and every later verification on this
-    // shard is allocation-free.
-    let mut verifier = Verifier::new();
+fn worker(
+    mut store: NameStore,
+    rx: Receiver<Cmd>,
+    screens: Arc<ScreenTotals>,
+    batches: Arc<BatchTotals>,
+) {
+    // One long-lived batched verification kernel per worker: its DP
+    // scratch and lane buffers grow to the longest candidate once and
+    // every later verification on this shard is allocation-free. The
+    // evented front-end feeds whole candidate slices through here, so
+    // each search step verifies up to MAX_LANES candidates interleaved.
+    let mut verifier = BatchVerifier::new();
     for cmd in rx {
         match cmd {
             Cmd::Extend { entries, reply } => {
@@ -103,8 +110,9 @@ fn worker(mut store: NameStore, rx: Receiver<Cmd>, screens: Arc<ScreenTotals>) {
                 shard,
                 reply,
             } => {
-                let result = store.search_phonemes_with(&query, e, method, &mut verifier);
+                let result = store.search_phonemes_batched(&query, e, method, &mut verifier);
                 screens.add(&verifier.take_counters());
+                batches.add(&verifier.take_batch_counters());
                 let _ = reply.send((shard, result));
             }
             Cmd::Get { local, reply } => {
@@ -127,6 +135,8 @@ pub struct ShardedStore {
     grow: Mutex<u32>,
     /// Kernel screen counters, flushed by every worker after each search.
     screens: Arc<ScreenTotals>,
+    /// Batch-shape counters, flushed alongside the screen counters.
+    batches: Arc<BatchTotals>,
     /// Access paths currently built on every shard, in build order —
     /// recorded so a snapshot can rebuild exactly the same paths on
     /// load. Cleared whenever an append invalidates the shard indexes.
@@ -142,16 +152,18 @@ impl ShardedStore {
     pub fn new(config: MatchConfig, shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         let screens = Arc::new(ScreenTotals::default());
+        let batches = Arc::new(BatchTotals::default());
         let mut senders = Vec::with_capacity(shards);
         let mut handles = Vec::with_capacity(shards);
         for i in 0..shards {
             let (tx, rx) = channel();
             let store = NameStore::new(config.clone());
             let screens = Arc::clone(&screens);
+            let batches = Arc::clone(&batches);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("lexequal-shard-{i}"))
-                    .spawn(move || worker(store, rx, screens))
+                    .spawn(move || worker(store, rx, screens, batches))
                     .expect("spawn shard worker"),
             );
             senders.push(tx);
@@ -162,6 +174,7 @@ impl ShardedStore {
             handles,
             grow: Mutex::new(0),
             screens,
+            batches,
             builds: Mutex::new(Vec::new()),
         }
     }
@@ -169,6 +182,11 @@ impl ShardedStore {
     /// Aggregated verification-kernel screen counters across all workers.
     pub fn screen_totals(&self) -> ScreenCounters {
         self.screens.snapshot()
+    }
+
+    /// Aggregated batch-shape counters across all workers.
+    pub fn batch_totals(&self) -> BatchCounters {
+        self.batches.snapshot()
     }
 
     /// Number of shards.

@@ -44,6 +44,16 @@ cargo clippy -p lexequal-g2p --all-targets --offline -- -D warnings
 cargo test -p lexequal-g2p --offline -q
 cargo test -p lexequal-service --offline -q --test untagged
 
+echo "== batched verification: differential suite on both SIMD backends"
+# The batched kernel must return bit-identical verdicts to the scalar
+# Verifier on every access path, batch width and backend. The second
+# pass re-runs the suite in a fresh process with the runtime dispatch
+# pinned to the scalar DP column (the OnceLock caches the level per
+# process, so the override needs its own invocation).
+cargo clippy -p lexequal-matcher -p lexequal --all-targets --offline -- -D warnings
+cargo test -p lexequal --offline -q --test verify_batch_equiv --test verify_zero_alloc
+LEXEQUAL_FORCE_SCALAR=1 cargo test -p lexequal --offline -q --test verify_batch_equiv
+
 echo "== replication bench (small run; full size via --size/--repl-ops)"
 cargo run --release -p lexequal-service --offline --bin loadgen -- \
     --repl-bench --size 2000 --repl-ops 200 --repl-out results/repl_bench_ci.json

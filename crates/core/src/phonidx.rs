@@ -90,17 +90,17 @@ impl PhoneticIndex {
     ) -> (Vec<u32>, usize) {
         let prepared = operator.prepare_query(query);
         let mut verifier = Verifier::new();
-        self.search_with(corpus, None, &prepared, e, operator, &mut verifier)
+        self.search_with::<Vec<u8>>(corpus, None, &prepared, e, operator, &mut verifier)
     }
 
     /// [`search`](Self::search) through the verification kernel: same
     /// hits and verification count, but screen-first and allocation-free
     /// when the caller supplies per-string cluster ids and a long-lived
     /// [`Verifier`].
-    pub fn search_with(
+    pub fn search_with<C: AsRef<[u8]>>(
         &self,
         corpus: &[PhonemeString],
-        cluster_ids: Option<&[Vec<u8>]>,
+        cluster_ids: Option<&[C]>,
         query: &PreparedQuery,
         e: f64,
         operator: &LexEqual,
@@ -111,7 +111,7 @@ impl PhoneticIndex {
         let mut hits = Vec::new();
         for cand in self.candidates(clusters, query.phonemes()) {
             verified += 1;
-            let cc = cluster_ids.map(|c| c[cand as usize].as_slice());
+            let cc = cluster_ids.map(|c| c[cand as usize].as_ref());
             if verifier.matches(operator, query, &corpus[cand as usize], cc, e) {
                 hits.push(cand);
             }
@@ -123,10 +123,10 @@ impl PhoneticIndex {
     /// [`search_with`](Self::search_with) through the batched kernel:
     /// identical hits and verification count, with the index probe's
     /// candidates verified in width-sized interleaved steps.
-    pub fn search_batched(
+    pub fn search_batched<C: AsRef<[u8]>>(
         &self,
         corpus: &[PhonemeString],
-        cluster_ids: Option<&[Vec<u8>]>,
+        cluster_ids: Option<&[C]>,
         query: &PreparedQuery,
         e: f64,
         operator: &LexEqual,

@@ -18,7 +18,8 @@ use crate::qgram_plan::{QgramFilter, QgramMode};
 use crate::verify::{BatchVerifier, Verifier};
 use lexequal_g2p::{G2pError, Language};
 use lexequal_matcher::{bounded_levenshtein, edit_distance, BkTree, UnitCost};
-use lexequal_phoneme::PhonemeString;
+use lexequal_phoneme::{Bytes, PhonemeString, SharedBytes};
+use std::fmt;
 use std::ops::Range;
 
 /// Integer Levenshtein distance between phoneme strings — the BK-tree
@@ -44,6 +45,72 @@ pub struct NameEntry {
     pub language: Language,
     /// Its phonemic representation.
     pub phonemes: PhonemeString,
+}
+
+/// One name's columns as validated views into a shared allocation —
+/// the unit the memory-mapped snapshot loader feeds to
+/// [`NameStore::push_shared_entry`]. All four views alias the same
+/// owner (the mapping), so adopting an entry is three `Arc` bumps,
+/// never a copy.
+#[derive(Clone)]
+pub struct SharedEntry {
+    /// UTF-8 text bytes.
+    pub text: SharedBytes,
+    /// Language tag.
+    pub language: Language,
+    /// Raw phoneme inventory ids.
+    pub phonemes: SharedBytes,
+    /// Cluster ids, parallel to `phonemes`.
+    pub clusters: SharedBytes,
+}
+
+/// Why [`NameStore::push_shared_entry`] refused an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedEntryError {
+    /// The text bytes are not valid UTF-8.
+    TextNotUtf8,
+    /// A phoneme byte is outside the inventory.
+    BadPhonemeId,
+    /// The cluster-id vector disagrees with the configured cost model
+    /// (wrong length or wrong cluster for a phoneme).
+    ClusterMismatch,
+}
+
+impl fmt::Display for SharedEntryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SharedEntryError::TextNotUtf8 => write!(f, "entry text is not valid UTF-8"),
+            SharedEntryError::BadPhonemeId => {
+                write!(f, "entry contains a phoneme id outside the inventory")
+            }
+            SharedEntryError::ClusterMismatch => write!(
+                f,
+                "stored cluster ids disagree with the configured cost model"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SharedEntryError {}
+
+/// Entry text: an owned string for wire-`ADD`ed names, a borrowed
+/// UTF-8-validated view for mmap-loaded corpora.
+enum StoredText {
+    Owned(String),
+    /// Invariant: the viewed bytes are valid UTF-8 (checked at
+    /// construction in [`NameStore::push_shared_entry`]).
+    Shared(SharedBytes),
+}
+
+impl StoredText {
+    fn as_str(&self) -> &str {
+        match self {
+            StoredText::Owned(s) => s,
+            // SAFETY: UTF-8 validity was checked when the view was
+            // adopted, and the shared allocation is immutable.
+            StoredText::Shared(b) => unsafe { std::str::from_utf8_unchecked(b.as_slice()) },
+        }
+    }
 }
 
 /// Which access path a search uses.
@@ -73,13 +140,19 @@ pub struct SearchResult {
 type PhonemeBkTree = BkTree<PhonemeString, u32, fn(&PhonemeString, &PhonemeString) -> u32>;
 
 /// A searchable multiscript name collection.
+///
+/// Storage is column-oriented (texts, languages, phoneme strings,
+/// cluster-id vectors in parallel arrays), and every column is
+/// borrowed-or-owned: wire-`ADD`ed rows own their buffers, rows loaded
+/// from a memory-mapped snapshot are views into the mapping.
 pub struct NameStore {
     operator: LexEqual,
-    entries: Vec<NameEntry>,
+    texts: Vec<StoredText>,
+    languages: Vec<Language>,
     phonemes: Vec<PhonemeString>,
     /// Per-string cluster-id vectors, parallel to `phonemes` — feeds the
     /// verification kernel's fast-reject screen without per-pair lookups.
-    cluster_ids: Vec<Vec<u8>>,
+    cluster_ids: Vec<Bytes>,
     qgram: Option<QgramFilter>,
     phonidx: Option<PhoneticIndex>,
     bktree: Option<PhonemeBkTree>,
@@ -90,7 +163,8 @@ impl NameStore {
     pub fn new(config: MatchConfig) -> Self {
         NameStore {
             operator: LexEqual::new(config),
-            entries: Vec::new(),
+            texts: Vec::new(),
+            languages: Vec::new(),
             phonemes: Vec::new(),
             cluster_ids: Vec::new(),
             qgram: None,
@@ -106,17 +180,36 @@ impl NameStore {
 
     /// Number of stored names.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.texts.len()
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.texts.is_empty()
     }
 
-    /// Entry by id.
-    pub fn get(&self, id: u32) -> Option<&NameEntry> {
-        self.entries.get(id as usize)
+    /// Entry by id, materialized (the store no longer keeps row-shaped
+    /// entries; mmap-backed rows borrow their bytes from the mapping).
+    pub fn get(&self, id: u32) -> Option<NameEntry> {
+        let i = id as usize;
+        if i >= self.texts.len() {
+            return None;
+        }
+        Some(NameEntry {
+            text: self.texts[i].as_str().to_owned(),
+            language: self.languages[i],
+            phonemes: self.phonemes[i].clone(),
+        })
+    }
+
+    /// Entry text by id, in place — no materialization.
+    pub fn text(&self, id: u32) -> Option<&str> {
+        self.texts.get(id as usize).map(StoredText::as_str)
+    }
+
+    /// Entry language by id.
+    pub fn language(&self, id: u32) -> Option<Language> {
+        self.languages.get(id as usize).copied()
     }
 
     /// Insert a name; returns its id. Invalidates built access paths
@@ -152,21 +245,102 @@ impl NameStore {
     /// its own threads); returns the contiguous id range assigned.
     /// Invalidates built access paths once.
     pub fn extend_transformed(&mut self, entries: Vec<NameEntry>) -> Range<u32> {
-        let start = self.entries.len() as u32;
-        self.phonemes
-            .extend(entries.iter().map(|e| e.phonemes.clone()));
-        self.cluster_ids.extend(
-            entries
-                .iter()
-                .map(|e| self.operator.cluster_ids(&e.phonemes)),
-        );
-        self.entries.extend(entries);
-        if start != self.entries.len() as u32 {
+        let start = self.texts.len() as u32;
+        for e in entries {
+            self.cluster_ids
+                .push(Bytes::from(self.operator.cluster_ids(&e.phonemes)));
+            self.phonemes.push(e.phonemes);
+            self.languages.push(e.language);
+            self.texts.push(StoredText::Owned(e.text));
+        }
+        if start != self.texts.len() as u32 {
             self.qgram = None;
             self.phonidx = None;
             self.bktree = None;
         }
-        start..self.entries.len() as u32
+        start..self.texts.len() as u32
+    }
+
+    /// Adopt one validated entry whose columns are views into a shared
+    /// allocation (the mmap-load fast path: three `Arc` bumps per row,
+    /// no per-entry heap allocation). Invalidates built access paths.
+    ///
+    /// Every view is re-validated here so the zero-copy invariants
+    /// never depend on the caller: text must be UTF-8, phoneme bytes
+    /// must be inventory ids, and the cluster ids must be exactly what
+    /// the configured cost model assigns to those phonemes.
+    pub fn push_shared_entry(&mut self, entry: SharedEntry) -> Result<u32, SharedEntryError> {
+        let SharedEntry {
+            text,
+            language,
+            phonemes,
+            clusters,
+        } = entry;
+        if std::str::from_utf8(text.as_slice()).is_err() {
+            return Err(SharedEntryError::TextNotUtf8);
+        }
+        let phonemes =
+            PhonemeString::from_shared(phonemes).map_err(|_| SharedEntryError::BadPhonemeId)?;
+        if clusters.len() != phonemes.len() {
+            return Err(SharedEntryError::ClusterMismatch);
+        }
+        let table = self.operator.cost_model().clusters();
+        let agree = phonemes
+            .as_slice()
+            .iter()
+            .zip(clusters.as_slice())
+            .all(|(&p, &c)| table.cluster_of(p).0 == c);
+        if !agree {
+            return Err(SharedEntryError::ClusterMismatch);
+        }
+        let id = self.texts.len() as u32;
+        self.cluster_ids.push(Bytes::Shared(clusters));
+        self.phonemes.push(phonemes);
+        self.languages.push(language);
+        self.texts.push(StoredText::Shared(text));
+        self.qgram = None;
+        self.phonidx = None;
+        self.bktree = None;
+        Ok(id)
+    }
+
+    /// Pre-size the column vectors for `additional` more entries —
+    /// bulk import paths know the count up front, so growth reallocs
+    /// (and their copies) are wasted work.
+    pub fn reserve(&mut self, additional: usize) {
+        self.texts.reserve(additional);
+        self.languages.reserve(additional);
+        self.phonemes.reserve(additional);
+        self.cluster_ids.reserve(additional);
+    }
+
+    /// [`push_shared_entry`](Self::push_shared_entry) for entries a
+    /// loader has already validated arena-wide (the mmap snapshot
+    /// loader checks UTF-8, phoneme ids and cluster agreement over the
+    /// whole file before striping) — re-validating 20K entries per
+    /// shard would double the cold-start cost for nothing. Debug builds
+    /// still assert the invariants; an unvalidated entry here corrupts
+    /// answers, not memory (every downstream read is bounds-checked).
+    #[doc(hidden)]
+    pub fn push_shared_entry_prevalidated(&mut self, entry: SharedEntry) -> u32 {
+        debug_assert!(std::str::from_utf8(entry.text.as_slice()).is_ok());
+        debug_assert_eq!(entry.clusters.len(), entry.phonemes.len());
+        let SharedEntry {
+            text,
+            language,
+            phonemes,
+            clusters,
+        } = entry;
+        let phonemes = PhonemeString::from_shared_prevalidated(phonemes);
+        let id = self.texts.len() as u32;
+        self.cluster_ids.push(Bytes::Shared(clusters));
+        self.phonemes.push(phonemes);
+        self.languages.push(language);
+        self.texts.push(StoredText::Shared(text));
+        self.qgram = None;
+        self.phonidx = None;
+        self.bktree = None;
+        id
     }
 
     /// Whether the access path a [`search`](Self::search) via `method`
@@ -393,18 +567,20 @@ impl NameStore {
         }
     }
 
-    /// Every stored entry, in id order — the export side of snapshot
-    /// persistence: entry `i` here is id `i`, so a store rebuilt by
-    /// feeding this slice back through
+    /// Every stored entry, materialized in id order — the export side
+    /// of snapshot persistence: entry `i` here is id `i`, so a store
+    /// rebuilt by feeding this vector back through
     /// [`extend_transformed`](Self::extend_transformed) assigns every
     /// name its original id.
-    pub fn entries(&self) -> &[NameEntry] {
-        &self.entries
+    pub fn export_entries(&self) -> Vec<NameEntry> {
+        (0..self.len() as u32)
+            .map(|i| self.get(i).expect("id in range"))
+            .collect()
     }
 
     /// Per-string cluster-id vectors, parallel to
     /// [`phoneme_strings`](Self::phoneme_strings).
-    pub fn cluster_id_vectors(&self) -> &[Vec<u8>] {
+    pub fn cluster_id_vectors(&self) -> &[Bytes] {
         &self.cluster_ids
     }
 

@@ -535,20 +535,23 @@ impl BatchVerifier {
     /// precede it in the stream.
     ///
     /// `cluster_ids`, when provided, must hold `op.cluster_ids` of every
-    /// corpus entry (stores cache these).
+    /// corpus entry (stores cache these). The element type is anything
+    /// byte-sliceable, so owned `Vec<u8>` columns and borrowed
+    /// mmap-backed `Bytes` columns verify through the same kernel.
     #[allow(clippy::too_many_arguments)]
-    pub fn verify_ids<I>(
+    pub fn verify_ids<I, C>(
         &mut self,
         op: &LexEqual,
         query: &PreparedQuery,
         corpus: &[PhonemeString],
-        cluster_ids: Option<&[Vec<u8>]>,
+        cluster_ids: Option<&[C]>,
         ids: I,
         e: f64,
         hits: &mut Vec<u32>,
     ) -> usize
     where
         I: IntoIterator<Item = u32>,
+        C: AsRef<[u8]>,
     {
         let mut lane_ids = [0u32; MAX_LANES];
         let mut lane_ks = [0.0f64; MAX_LANES];
@@ -586,7 +589,7 @@ impl BatchVerifier {
                 use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
                 _mm_prefetch(cand.id_bytes().as_ptr().cast(), _MM_HINT_T0);
                 if let Some(c) = cluster_ids {
-                    _mm_prefetch(c[id as usize].as_ptr().cast(), _MM_HINT_T0);
+                    _mm_prefetch(c[id as usize].as_ref().as_ptr().cast(), _MM_HINT_T0);
                 }
             }
             filled += 1;
@@ -610,12 +613,12 @@ impl BatchVerifier {
     /// budget in `ks`) through the interleaved screens, pushing matches
     /// onto `hits` in id order.
     #[allow(clippy::too_many_arguments)]
-    fn flush_ids(
+    fn flush_ids<C: AsRef<[u8]>>(
         &mut self,
         op: &LexEqual,
         query: &PreparedQuery,
         corpus: &[PhonemeString],
-        cluster_ids: Option<&[Vec<u8>]>,
+        cluster_ids: Option<&[C]>,
         ids: &[u32],
         ks: &[f64; MAX_LANES],
         hits: &mut Vec<u32>,
@@ -639,7 +642,7 @@ impl BatchVerifier {
         for (slot, &id) in ids.iter().enumerate() {
             lanes[slot] = (
                 &corpus[id as usize],
-                cluster_ids.map(|c| c[id as usize].as_slice()),
+                cluster_ids.map(|c| c[id as usize].as_ref()),
             );
         }
         let mut verdicts = [false; MAX_LANES];

@@ -163,7 +163,7 @@ fn verify_all_batched(
         total += hits.len();
         hits.clear();
         // …and derive-on-the-fly (fills the kernel's own lane buffers).
-        verifier.verify_ids(
+        verifier.verify_ids::<_, Vec<u8>>(
             op,
             prepared,
             strings,

@@ -1,0 +1,275 @@
+//! Borrowed-or-owned byte storage for zero-copy corpora.
+//!
+//! The memory-mapped snapshot format serves phoneme strings and
+//! cluster-id vectors *directly out of the mapping*: the store holds
+//! views into one shared allocation (the `mmap`ed file, or the raw
+//! snapshot transfer buffer on a replica) instead of one heap `Vec`
+//! per entry. [`SharedBytes`] is that view — an `Arc`-owned immutable
+//! byte region plus a pre-resolved `(ptr, len)` window into it — and
+//! [`Bytes`] is the two-faced storage the store actually keeps:
+//! `Owned` for wire-`ADD`ed tails, `Shared` for loaded corpora.
+//!
+//! Both faces expose exactly one thing, `as_slice(&self) -> &[u8]`,
+//! so the verification kernel and the access paths never know which
+//! face they are reading.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The owner trait object behind a [`SharedBytes`] view: any stable,
+/// immutable byte region — an mmap, a `Vec<u8>`, a boxed slice.
+pub type ByteOwner = dyn AsRef<[u8]> + Send + Sync;
+
+/// An immutable window into a shared byte allocation.
+///
+/// Cloning is an `Arc` bump; the bytes are never copied. The `ptr`
+/// and `len` are resolved once at construction so reads skip the
+/// vtable call on the owner.
+pub struct SharedBytes {
+    owner: Arc<ByteOwner>,
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the owner is `Send + Sync` and the region it exposes is
+// immutable for the owner's lifetime (`AsRef<[u8]>` on a stable
+// allocation); `ptr` is derived from that region and outlived by the
+// `Arc` we hold, so sharing the view across threads is sound.
+unsafe impl Send for SharedBytes {}
+unsafe impl Sync for SharedBytes {}
+
+impl SharedBytes {
+    /// View `owner[offset..offset + len]`. Returns `None` when the
+    /// window falls outside the owner's region.
+    pub fn new(owner: Arc<ByteOwner>, offset: usize, len: usize) -> Option<Self> {
+        let region: &[u8] = (*owner).as_ref();
+        let end = offset.checked_add(len)?;
+        if end > region.len() {
+            return None;
+        }
+        let ptr = region[offset..end].as_ptr();
+        Some(SharedBytes { owner, ptr, len })
+    }
+
+    /// View the owner's whole region.
+    pub fn whole(owner: Arc<ByteOwner>) -> Self {
+        let region: &[u8] = (*owner).as_ref();
+        let (ptr, len) = (region.as_ptr(), region.len());
+        SharedBytes { owner, ptr, len }
+    }
+
+    /// A sub-window of this view (same owner, no copy).
+    pub fn slice(&self, offset: usize, len: usize) -> Option<Self> {
+        let end = offset.checked_add(len)?;
+        if end > self.len {
+            return None;
+        }
+        Some(SharedBytes {
+            owner: Arc::clone(&self.owner),
+            // SAFETY: `offset <= end <= self.len`, so the new pointer
+            // stays inside the window established at construction.
+            ptr: unsafe { self.ptr.add(offset) },
+            len,
+        })
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr`/`len` were validated against the owner's
+        // region at construction and the owner is immutable and kept
+        // alive by our `Arc`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Window length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Clone for SharedBytes {
+    fn clone(&self) -> Self {
+        SharedBytes {
+            owner: Arc::clone(&self.owner),
+            ptr: self.ptr,
+            len: self.len,
+        }
+    }
+}
+
+impl AsRef<[u8]> for SharedBytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for SharedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SharedBytes({} bytes)", self.len)
+    }
+}
+
+/// Byte storage that is either an owned heap buffer or a borrowed
+/// view into a shared allocation. Equality, ordering and hashing are
+/// over the byte content, never the representation.
+#[derive(Clone, Debug)]
+pub enum Bytes {
+    /// A private heap allocation (wire-`ADD`ed entries, G2P output).
+    Owned(Vec<u8>),
+    /// A view into a shared allocation (mmap-loaded corpora).
+    Shared(SharedBytes),
+}
+
+impl Bytes {
+    /// The stored bytes, whichever face holds them.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Bytes::Owned(v) => v.as_slice(),
+            Bytes::Shared(s) => s.as_slice(),
+        }
+    }
+
+    /// Length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Bytes::Owned(v) => v.len(),
+            Bytes::Shared(s) => s.len(),
+        }
+    }
+
+    /// Whether the storage is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a byte, converting a shared view into an owned buffer
+    /// first (copy-on-write; loaded corpora are immutable, so in
+    /// practice only owned tails are ever pushed to).
+    pub fn push(&mut self, b: u8) {
+        self.make_owned().push(b);
+    }
+
+    /// The owned buffer, converting from a shared view if needed.
+    fn make_owned(&mut self) -> &mut Vec<u8> {
+        if let Bytes::Shared(s) = self {
+            *self = Bytes::Owned(s.as_slice().to_vec());
+        }
+        match self {
+            Bytes::Owned(v) => v,
+            Bytes::Shared(_) => unreachable!("just converted"),
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::Owned(Vec::new())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes::Owned(v)
+    }
+}
+
+impl From<SharedBytes> for Bytes {
+    fn from(s: SharedBytes) -> Self {
+        Bytes::Shared(s)
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Matches `Vec<u8>`'s slice hash so either face of equal
+        // content lands in the same bucket.
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_window_bounds_are_enforced() {
+        let owner: Arc<ByteOwner> = Arc::new(vec![1u8, 2, 3, 4, 5]);
+        let whole = SharedBytes::whole(Arc::clone(&owner));
+        assert_eq!(whole.as_slice(), &[1, 2, 3, 4, 5]);
+        let mid = SharedBytes::new(Arc::clone(&owner), 1, 3).unwrap();
+        assert_eq!(mid.as_slice(), &[2, 3, 4]);
+        assert!(SharedBytes::new(Arc::clone(&owner), 3, 3).is_none());
+        assert!(SharedBytes::new(Arc::clone(&owner), usize::MAX, 2).is_none());
+        // Sub-windows re-validate against the parent window, not the owner.
+        assert_eq!(mid.slice(1, 2).unwrap().as_slice(), &[3, 4]);
+        assert!(mid.slice(2, 2).is_none());
+    }
+
+    #[test]
+    fn faces_compare_and_hash_by_content() {
+        use std::collections::hash_map::DefaultHasher;
+        let owner: Arc<ByteOwner> = Arc::new(vec![9u8, 8, 7]);
+        let shared = Bytes::from(SharedBytes::whole(owner));
+        let owned = Bytes::from(vec![9u8, 8, 7]);
+        assert_eq!(shared, owned);
+        assert_eq!(shared.cmp(&owned), std::cmp::Ordering::Equal);
+        let h = |b: &Bytes| {
+            let mut s = DefaultHasher::new();
+            b.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&shared), h(&owned));
+    }
+
+    #[test]
+    fn push_converts_shared_to_owned() {
+        let owner: Arc<ByteOwner> = Arc::new(vec![1u8, 2]);
+        let mut b = Bytes::from(SharedBytes::whole(owner));
+        b.push(3);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+        assert!(matches!(b, Bytes::Owned(_)));
+    }
+
+    #[test]
+    fn clone_is_view_not_copy() {
+        let owner: Arc<ByteOwner> = Arc::new(vec![0u8; 64]);
+        let a = SharedBytes::whole(owner);
+        let b = a.clone();
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+    }
+}

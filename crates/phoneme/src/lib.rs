@@ -38,6 +38,7 @@
 //! assert_eq!(clusters.cluster_of(n), clusters.cluster_of(m));
 //! ```
 
+pub mod bytes;
 pub mod cluster;
 pub mod error;
 pub mod features;
@@ -46,6 +47,7 @@ pub mod parse;
 pub mod phoneme;
 pub mod string;
 
+pub use bytes::{ByteOwner, Bytes, SharedBytes};
 pub use cluster::{ClusterId, ClusterTable};
 pub use error::PhonemeError;
 pub use features::{Backness, Height, Length, Manner, Place, Roundedness, SegmentKind, Voicing};

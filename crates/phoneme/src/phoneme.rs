@@ -24,11 +24,19 @@ impl Phoneme {
 
     /// Construct from a raw id, validating range.
     pub fn from_id(id: u8) -> Result<Self, PhonemeError> {
-        if (id as usize) < TABLE.len() {
+        if Self::is_valid_id(id) {
             Ok(Phoneme(id))
         } else {
             Err(PhonemeError::InvalidId(id))
         }
+    }
+
+    /// Whether a raw byte is a valid inventory id — the invariant the
+    /// zero-copy [`PhonemeString`](crate::PhonemeString) storage
+    /// enforces on every byte it adopts.
+    #[inline]
+    pub fn is_valid_id(id: u8) -> bool {
+        (id as usize) < TABLE.len()
     }
 
     /// Look up a phoneme by its canonical IPA symbol.

@@ -1,26 +1,64 @@
 //! [`PhonemeString`]: the unit of comparison in phoneme space.
 
+use crate::bytes::{Bytes, SharedBytes};
 use crate::error::PhonemeError;
 use crate::parse::parse_ipa;
 use crate::phoneme::Phoneme;
 use std::fmt;
+use std::mem::ManuallyDrop;
 use std::ops::Index;
 use std::str::FromStr;
 
 /// An immutable sequence of phonemes — the phonemic rendering of one proper
 /// name. This is what the LexEQUAL operator actually compares.
+///
+/// Storage is [`Bytes`]: raw inventory ids, either an owned buffer
+/// (parsed or G2P-produced strings) or a borrowed view into a shared
+/// allocation (entries served straight out of a memory-mapped
+/// snapshot). The invariant that makes [`as_slice`](Self::as_slice)
+/// sound is enforced at every construction site: **every stored byte
+/// is a valid inventory id** (`< Inventory::len()`).
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct PhonemeString(Vec<Phoneme>);
+pub struct PhonemeString(Bytes);
 
 impl PhonemeString {
     /// Create from a vector of phonemes.
     pub fn new(phonemes: Vec<Phoneme>) -> Self {
-        PhonemeString(phonemes)
+        // `Phoneme` is `#[repr(transparent)]` over `u8`, so the vec's
+        // allocation can be adopted wholesale instead of re-collected.
+        let mut v = ManuallyDrop::new(phonemes);
+        let (ptr, len, cap) = (v.as_mut_ptr(), v.len(), v.capacity());
+        // SAFETY: same element layout and alignment (`repr(transparent)`
+        // over `u8`), same allocator, and the original vec is leaked via
+        // `ManuallyDrop` so the allocation has exactly one owner. Every
+        // byte is a valid id because it came from a `Phoneme`.
+        let bytes = unsafe { Vec::from_raw_parts(ptr.cast::<u8>(), len, cap) };
+        PhonemeString(Bytes::Owned(bytes))
+    }
+
+    /// Create from a borrowed view of raw inventory ids, validating
+    /// every byte. This is the mmap-load path: the returned string
+    /// reads the shared allocation in place, no copy.
+    pub fn from_shared(ids: SharedBytes) -> Result<Self, PhonemeError> {
+        if let Some(&bad) = ids.as_slice().iter().find(|&&b| !Phoneme::is_valid_id(b)) {
+            return Err(PhonemeError::InvalidId(bad));
+        }
+        Ok(PhonemeString(Bytes::Shared(ids)))
+    }
+
+    /// [`from_shared`](Self::from_shared) for bytes a loader already
+    /// validated arena-wide. Debug builds still assert; an invalid id
+    /// smuggled through indexes the inventory out of range later (a
+    /// panic, not UB — `Phoneme` is a plain `u8` wrapper).
+    #[doc(hidden)]
+    pub fn from_shared_prevalidated(ids: SharedBytes) -> Self {
+        debug_assert!(ids.as_slice().iter().all(|&b| Phoneme::is_valid_id(b)));
+        PhonemeString(Bytes::Shared(ids))
     }
 
     /// Empty phoneme string.
     pub fn empty() -> Self {
-        PhonemeString(Vec::new())
+        PhonemeString(Bytes::default())
     }
 
     /// Number of segments.
@@ -34,62 +72,67 @@ impl PhonemeString {
     }
 
     /// The segments as a slice — this is what edit distance runs over.
+    #[inline]
     pub fn as_slice(&self) -> &[Phoneme] {
-        &self.0
+        let bytes = self.0.as_slice();
+        // SAFETY: `Phoneme` is `#[repr(transparent)]` over `u8`, so the
+        // layouts match; every stored byte is a valid inventory id by
+        // the construction invariant (`new` from real `Phoneme`s,
+        // `from_shared`/`push` validated).
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<Phoneme>(), bytes.len()) }
     }
 
     /// The segments viewed as their raw inventory ids, in place — the
     /// batched screens and the dense DP read candidate symbols through
     /// this without copying.
+    #[inline]
     pub fn id_bytes(&self) -> &[u8] {
-        // SAFETY: `Phoneme` is `#[repr(transparent)]` over `u8`, so a
-        // slice of phonemes has the same layout as a slice of bytes.
-        unsafe { std::slice::from_raw_parts(self.0.as_ptr().cast::<u8>(), self.0.len()) }
+        self.0.as_slice()
     }
 
     /// Iterate over segments.
     pub fn iter(&self) -> std::slice::Iter<'_, Phoneme> {
-        self.0.iter()
+        self.as_slice().iter()
     }
 
     /// Append another phoneme string (used by the synthetic dataset
     /// generator, which concatenates lexicon entries pairwise).
     pub fn concat(&self, other: &PhonemeString) -> PhonemeString {
         let mut v = Vec::with_capacity(self.len() + other.len());
-        v.extend_from_slice(&self.0);
-        v.extend_from_slice(&other.0);
-        PhonemeString(v)
+        v.extend_from_slice(self.id_bytes());
+        v.extend_from_slice(other.id_bytes());
+        PhonemeString(Bytes::Owned(v))
     }
 
     /// Push a single phoneme (used by G2P emitters).
     pub fn push(&mut self, p: Phoneme) {
-        self.0.push(p);
+        self.0.push(p.id());
     }
 
     /// Last phoneme, if any.
     pub fn last(&self) -> Option<Phoneme> {
-        self.0.last().copied()
+        self.as_slice().last().copied()
     }
 }
 
 impl Index<usize> for PhonemeString {
     type Output = Phoneme;
     fn index(&self, i: usize) -> &Phoneme {
-        &self.0[i]
+        &self.as_slice()[i]
     }
 }
 
 impl FromStr for PhonemeString {
     type Err = PhonemeError;
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        parse_ipa(s).map(PhonemeString)
+        parse_ipa(s).map(PhonemeString::new)
     }
 }
 
 impl fmt::Display for PhonemeString {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut prev: Option<Phoneme> = None;
-        for &p in &self.0 {
+        for &p in self.as_slice() {
             if let Some(q) = prev {
                 // Disambiguate junctions whose concatenation would
                 // re-tokenize differently (t + s vs the affricate ts).
@@ -112,7 +155,7 @@ impl fmt::Debug for PhonemeString {
 
 impl FromIterator<Phoneme> for PhonemeString {
     fn from_iter<T: IntoIterator<Item = Phoneme>>(iter: T) -> Self {
-        PhonemeString(iter.into_iter().collect())
+        PhonemeString::new(iter.into_iter().collect())
     }
 }
 
@@ -120,13 +163,14 @@ impl<'a> IntoIterator for &'a PhonemeString {
     type Item = &'a Phoneme;
     type IntoIter = std::slice::Iter<'a, Phoneme>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.as_slice().iter()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn parse_display_round_trip() {
@@ -167,5 +211,22 @@ mod tests {
         let a: PhonemeString = "pa".parse().unwrap();
         let b: PhonemeString = "pat".parse().unwrap();
         assert!(a < b, "prefix sorts before extension");
+    }
+
+    #[test]
+    fn shared_face_is_equal_to_owned_face() {
+        let owned: PhonemeString = "neru".parse().unwrap();
+        let owner: Arc<crate::bytes::ByteOwner> = Arc::new(owned.id_bytes().to_vec());
+        let shared = PhonemeString::from_shared(SharedBytes::whole(owner)).unwrap();
+        assert_eq!(owned, shared);
+        assert_eq!(owned.to_string(), shared.to_string());
+        assert_eq!(owned.as_slice(), shared.as_slice());
+    }
+
+    #[test]
+    fn from_shared_rejects_out_of_range_ids() {
+        let owner: Arc<crate::bytes::ByteOwner> = Arc::new(vec![0u8, 255, 0]);
+        let err = PhonemeString::from_shared(SharedBytes::whole(owner)).unwrap_err();
+        assert_eq!(err, PhonemeError::InvalidId(255));
     }
 }

@@ -46,7 +46,7 @@
 use lexequal::MatchConfig;
 use lexequal_service::{
     bind_reusable, repl, MatchService, ReplicaState, Replicator, ReqCtx, ServeMode, ServeOptions,
-    ServiceConfig, ShutdownSignal, Wal, WalMetrics,
+    ServiceConfig, ShutdownSignal, SnapshotFormat, Wal, WalMetrics,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -54,7 +54,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "usage: lexequald [--addr HOST:PORT] [--shards N] [--cache N] \
-[--threshold E] [--preload N] [--snapshot PATH] [--save-snapshot PATH] [--wal PATH] \
+[--threshold E] [--preload N] [--snapshot PATH] [--save-snapshot PATH] \
+[--snapshot-format mmap|json] [--wal PATH] \
 [--replica-of HOST:PORT] [--repl-listen HOST:PORT] \
 [--mode evented|threaded] [--workers N] [--max-pipeline N] [--max-line BYTES] [--queue N]";
 
@@ -68,6 +69,9 @@ struct Args {
     preload: usize,
     snapshot: Option<String>,
     save_snapshot: Option<String>,
+    /// `None` = default (binary mmap); `--snapshot-format json` keeps
+    /// the debug/export document for `--save-snapshot` and `SAVE`.
+    snapshot_format: Option<SnapshotFormat>,
     wal: Option<String>,
     replica_of: Option<String>,
     repl_listen: Option<String>,
@@ -104,6 +108,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         preload: 0,
         snapshot: None,
         save_snapshot: None,
+        snapshot_format: None,
         wal: None,
         replica_of: None,
         repl_listen: None,
@@ -117,6 +122,18 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--addr" => args.addr = parse_addr("--addr", value("--addr")?)?,
             "--snapshot" => args.snapshot = Some(value("--snapshot")?),
             "--save-snapshot" => args.save_snapshot = Some(value("--save-snapshot")?),
+            "--snapshot-format" => {
+                let v = value("--snapshot-format")?;
+                args.snapshot_format = Some(match v.to_ascii_lowercase().as_str() {
+                    "mmap" | "binary" => SnapshotFormat::Mmap,
+                    "json" => SnapshotFormat::Json,
+                    _ => {
+                        return Err(format!(
+                            "--snapshot-format: invalid value {v:?} (expected mmap or json)"
+                        ))
+                    }
+                });
+            }
             "--wal" => args.wal = Some(value("--wal")?),
             "--replica-of" => {
                 args.replica_of = Some(parse_addr("--replica-of", value("--replica-of")?)?);
@@ -240,24 +257,31 @@ fn main() -> ExitCode {
         return run_replica_daemon(&args, match_config);
     }
 
-    let (service, base_lsn) = if let Some(path) = &args.snapshot {
-        let start = Instant::now();
-        match MatchService::load_snapshot_with_lsn(
-            match_config.clone(),
-            args.shards,
-            args.cache,
-            path,
-        ) {
-            Ok((s, lsn)) => {
-                eprintln!(
-                    "lexequald: snapshot {path:?} restored: {} names on {} shard(s), \
-                     {} access path(s) rebuilt in {:.2?}",
-                    s.len(),
-                    s.store().shards(),
-                    s.store().built_specs().len(),
-                    start.elapsed(),
-                );
-                (Arc::new(s), lsn)
+    let (service, base_lsn, pending_builds) = if let Some(path) = &args.snapshot {
+        match MatchService::load_snapshot_auto(match_config.clone(), args.shards, args.cache, path)
+        {
+            Ok(load) => {
+                match load.format {
+                    SnapshotFormat::Mmap => eprintln!(
+                        "lexequald: snapshot {path:?} loaded via mmap: {} names on {} \
+                         shard(s), {} bytes mapped, serve-ready in {}ms \
+                         ({} access path(s) deferred to background rebuild)",
+                        load.service.len(),
+                        load.service.store().shards(),
+                        load.mapped_bytes,
+                        load.load_ms,
+                        load.pending_builds.len(),
+                    ),
+                    SnapshotFormat::Json => eprintln!(
+                        "lexequald: snapshot {path:?} loaded via json parse: {} names on {} \
+                         shard(s), {} access path(s) rebuilt in {}ms",
+                        load.service.len(),
+                        load.service.store().shards(),
+                        load.service.store().built_specs().len(),
+                        load.load_ms,
+                    ),
+                }
+                (Arc::new(load.service), load.lsn, load.pending_builds)
             }
             Err(e) => {
                 eprintln!("lexequald: cannot load snapshot {path:?}: {e}");
@@ -283,7 +307,7 @@ fn main() -> ExitCode {
             service.build_all(3, lexequal::QgramMode::Strict);
             eprintln!("lexequald: {n} names loaded, all access paths built");
         }
-        (service, 0)
+        (service, 0, Vec::new())
     };
 
     // With --wal this daemon is a primary: recover the tail past the
@@ -318,21 +342,46 @@ fn main() -> ExitCode {
         None
     };
 
+    // An mmap load defers index rebuilds: the scan path serves
+    // immediately, and the recorded access paths come up in the
+    // background. This runs strictly AFTER WAL-tail replay — replayed
+    // mutations invalidate built paths, so building first would waste
+    // the work.
+    if !pending_builds.is_empty() {
+        let service = Arc::clone(&service);
+        std::thread::Builder::new()
+            .name("lexequald-bg-build".to_owned())
+            .spawn(move || {
+                let start = Instant::now();
+                let n = pending_builds.len();
+                for spec in pending_builds {
+                    service.build(spec);
+                }
+                eprintln!(
+                    "lexequald: {n} access path(s) rebuilt in background in {start:?}",
+                    start = start.elapsed()
+                );
+            })
+            .expect("spawn background index build");
+    }
+
+    let save_format = args.snapshot_format.unwrap_or(SnapshotFormat::Mmap);
     if let Some(path) = &args.save_snapshot {
         let start = Instant::now();
         let saved = match &replicator {
             Some(repl) => repl
-                .save_snapshot_atomic(&service, std::path::Path::new(path))
+                .save_snapshot_atomic_format(&service, std::path::Path::new(path), save_format)
                 .map(|_| ()),
-            None => service.save_snapshot_with_lsn(path, 0),
+            None => service.save_snapshot_with_lsn_format(path, 0, save_format),
         };
         if let Err(e) = saved {
             eprintln!("lexequald: cannot save snapshot {path:?}: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "lexequald: snapshot saved to {path:?} ({} names) in {:.2?}",
+            "lexequald: snapshot saved to {path:?} ({} names, format={}) in {:.2?}",
             service.len(),
+            save_format.name(),
             start.elapsed(),
         );
     }
@@ -452,12 +501,17 @@ fn run_replica_daemon(args: &Args, match_config: MatchConfig) -> ExitCode {
         }
     };
     let service = Arc::new(service);
+    let load = service.load_info();
     eprintln!(
-        "lexequald: replica synced from {primary}: {} names on {} shard(s) at lsn {} in {:.2?}",
+        "lexequald: replica synced from {primary}: {} names on {} shard(s) at lsn {} in {:.2?} \
+         (transfer format={}, {} bytes, loaded in {}ms)",
         service.len(),
         service.store().shards(),
         state.applied(),
         start.elapsed(),
+        load.format,
+        load.mapped_bytes,
+        load.load_ms,
     );
 
     let apply_thread = {

@@ -72,6 +72,7 @@ pub(crate) mod conn;
 pub mod event_loop;
 pub mod loadgen;
 pub mod metrics;
+pub mod mmapstore;
 pub mod proto;
 pub mod repl;
 pub mod server;
@@ -86,6 +87,7 @@ pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use metrics::{
     ConnMetrics, ConnStats, ReplRole, ReplStats, ScreenTotals, ServiceMetrics, WalMetrics, WalStats,
 };
+pub use mmapstore::{LoadedImage, Mmap};
 pub use proto::{FrameError, LineFramer};
 pub use repl::{
     initial_sync, run_replica, serve_repl_listener, serve_replica, CommitError, ReplError,
@@ -96,8 +98,8 @@ pub use server::{
     ServeMode, ServeOptions,
 };
 pub use service::{
-    AddResolution, AutoMatchRequest, AutoPendingLookup, MatchOutcome, MatchRequest, MatchService,
-    PendingLookup, ServiceConfig, StatsSnapshot,
+    AddResolution, AutoMatchRequest, AutoPendingLookup, LoadInfo, MatchOutcome, MatchRequest,
+    MatchService, PendingLookup, ServiceConfig, SnapshotFormat, SnapshotLoad, StatsSnapshot,
 };
 pub use shard::{BuildSpec, PendingSearch, ShardedStore};
 pub use snapshot::{StoreSnapshot, STORE_SNAPSHOT_VERSION};

@@ -22,7 +22,9 @@
 
 use crate::event_loop::ShutdownSignal;
 use crate::server::{serve_with, ServeMode, ServeOptions};
-use crate::service::{AutoMatchRequest, MatchOutcome, MatchRequest, MatchService, ServiceConfig};
+use crate::service::{
+    AutoMatchRequest, MatchOutcome, MatchRequest, MatchService, ServiceConfig, SnapshotFormat,
+};
 use crate::shard::BuildSpec;
 use lexequal::store::NameEntry;
 use lexequal::{MatchConfig, QgramMode, SearchMethod};
@@ -315,31 +317,49 @@ impl Default for SnapshotBenchConfig {
     }
 }
 
-/// Cold-start timings: building a serving store from the corpus (G2P
-/// pass + load + index builds) versus restoring it from a snapshot
-/// (file read + validation + parallel index rebuild).
+/// Three-way cold-start timings: building a serving store from the
+/// corpus (G2P pass + load + index builds), restoring it from the JSON
+/// snapshot document (read + decode + validation + parallel index
+/// rebuild), and mmapping the binary image (validate header/checksums,
+/// serve directly from the mapping — index rebuilds deferred and timed
+/// separately).
 #[derive(Debug, Clone)]
 pub struct SnapshotBenchReport {
     /// Actual number of names.
     pub dataset_size: usize,
-    /// Store shards used on both sides.
+    /// Store shards used on all sides.
     pub shards: usize,
-    /// Host `available_parallelism` (bounds both sides equally).
+    /// Host `available_parallelism` (bounds all sides equally).
     pub available_parallelism: usize,
     /// The G2P transform share of the corpus build, seconds.
     pub g2p_secs: f64,
     /// Full build-from-corpus cold start, seconds (G2P + bulk load +
     /// all three access-path builds).
     pub build_cold_start_secs: f64,
-    /// Writing the snapshot, seconds.
+    /// Writing the JSON snapshot document, seconds.
     pub save_secs: f64,
-    /// Snapshot size on disk, bytes.
+    /// JSON snapshot size on disk, bytes.
     pub snapshot_bytes: u64,
-    /// Full load-from-snapshot cold start, seconds (read + decode +
+    /// Full load-from-JSON cold start, seconds (read + decode +
     /// fingerprint/cluster validation + parallel index rebuild).
     pub snapshot_cold_start_secs: f64,
     /// `build_cold_start_secs / snapshot_cold_start_secs`.
     pub cold_start_speedup: f64,
+    /// Writing the binary mmap image, seconds.
+    pub mmap_save_secs: f64,
+    /// Binary image size on disk, bytes.
+    pub mmap_snapshot_bytes: u64,
+    /// mmap + validate + serve-ready, seconds: after this the scan path
+    /// answers MATCH straight out of the mapping.
+    pub mmap_load_secs: f64,
+    /// Rebuilding the recorded access paths afterwards, seconds (runs
+    /// in the background in `lexequald`; measured synchronously here).
+    pub mmap_build_secs: f64,
+    /// `snapshot_cold_start_secs / mmap_load_secs` — how much faster
+    /// the mapping reaches serve-ready than the JSON parse path.
+    pub mmap_vs_json_speedup: f64,
+    /// `build_cold_start_secs / mmap_load_secs`.
+    pub mmap_cold_start_speedup: f64,
 }
 
 /// Run the cold-start comparison. The snapshot itself is written to a
@@ -361,25 +381,61 @@ pub fn run_snapshot_bench(config: &SnapshotBenchConfig) -> SnapshotBenchReport {
     service.build_all(3, QgramMode::Strict);
     let build_cold_start_secs = t0.elapsed().as_secs_f64();
 
-    // Save once (not part of either cold start).
-    let path = std::env::temp_dir().join(format!(
+    // Save both formats once (not part of any cold start).
+    let json_path = std::env::temp_dir().join(format!(
         "lexequal_snapshot_bench_{}_{}.json",
         std::process::id(),
         config.dataset_size
     ));
+    let mmap_path = std::env::temp_dir().join(format!(
+        "lexequal_snapshot_bench_{}_{}.lexmm",
+        std::process::id(),
+        config.dataset_size
+    ));
     let t1 = Instant::now();
-    service.save_snapshot(&path).expect("save snapshot");
+    service
+        .save_snapshot_with_lsn_format(&json_path, 0, SnapshotFormat::Json)
+        .expect("save json snapshot");
     let save_secs = t1.elapsed().as_secs_f64();
-    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let snapshot_bytes = std::fs::metadata(&json_path).map(|m| m.len()).unwrap_or(0);
+    let t1m = Instant::now();
+    service
+        .save_snapshot_with_lsn_format(&mmap_path, 0, SnapshotFormat::Mmap)
+        .expect("save mmap snapshot");
+    let mmap_save_secs = t1m.elapsed().as_secs_f64();
+    let mmap_snapshot_bytes = std::fs::metadata(&mmap_path).map(|m| m.len()).unwrap_or(0);
     drop(service);
 
-    // Side B: cold start from the snapshot.
+    // Side B: cold start from the JSON document (parse + validate +
+    // parallel index rebuild).
     let t2 = Instant::now();
-    let loaded = MatchService::load_snapshot(match_config, None, config.cache_capacity, &path)
-        .expect("load snapshot");
+    let loaded = MatchService::load_snapshot(
+        match_config.clone(),
+        None,
+        config.cache_capacity,
+        &json_path,
+    )
+    .expect("load json snapshot");
     let snapshot_cold_start_secs = t2.elapsed().as_secs_f64();
     assert_eq!(loaded.len(), n, "snapshot dropped names");
-    std::fs::remove_file(&path).ok();
+    drop(loaded);
+    std::fs::remove_file(&json_path).ok();
+
+    // Side C: mmap the binary image. Serve-ready (scan path live) and
+    // the deferred index rebuilds are timed separately — `lexequald`
+    // runs the latter in the background while already serving.
+    let t3 = Instant::now();
+    let mmap_loaded =
+        MatchService::load_snapshot_auto(match_config, None, config.cache_capacity, &mmap_path)
+            .expect("load mmap snapshot");
+    let mmap_load_secs = t3.elapsed().as_secs_f64();
+    assert_eq!(mmap_loaded.service.len(), n, "mmap image dropped names");
+    let t4 = Instant::now();
+    for spec in mmap_loaded.pending_builds {
+        mmap_loaded.service.build(spec);
+    }
+    let mmap_build_secs = t4.elapsed().as_secs_f64();
+    std::fs::remove_file(&mmap_path).ok();
 
     SnapshotBenchReport {
         dataset_size: n,
@@ -393,6 +449,12 @@ pub fn run_snapshot_bench(config: &SnapshotBenchConfig) -> SnapshotBenchReport {
         snapshot_bytes,
         snapshot_cold_start_secs,
         cold_start_speedup: build_cold_start_secs / snapshot_cold_start_secs.max(f64::EPSILON),
+        mmap_save_secs,
+        mmap_snapshot_bytes,
+        mmap_load_secs,
+        mmap_build_secs,
+        mmap_vs_json_speedup: snapshot_cold_start_secs / mmap_load_secs.max(f64::EPSILON),
+        mmap_cold_start_speedup: build_cold_start_secs / mmap_load_secs.max(f64::EPSILON),
     }
 }
 
@@ -425,6 +487,30 @@ pub fn snapshot_bench_to_json(report: &SnapshotBenchReport) -> Json {
         (
             "cold_start_speedup".to_owned(),
             Json::Float(report.cold_start_speedup),
+        ),
+        (
+            "mmap_save_secs".to_owned(),
+            Json::Float(report.mmap_save_secs),
+        ),
+        (
+            "mmap_snapshot_bytes".to_owned(),
+            Json::Int(report.mmap_snapshot_bytes as i64),
+        ),
+        (
+            "mmap_load_secs".to_owned(),
+            Json::Float(report.mmap_load_secs),
+        ),
+        (
+            "mmap_build_secs".to_owned(),
+            Json::Float(report.mmap_build_secs),
+        ),
+        (
+            "mmap_vs_json_speedup".to_owned(),
+            Json::Float(report.mmap_vs_json_speedup),
+        ),
+        (
+            "mmap_cold_start_speedup".to_owned(),
+            Json::Float(report.mmap_cold_start_speedup),
         ),
     ])
 }

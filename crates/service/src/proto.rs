@@ -13,7 +13,7 @@
 //! MATCH <lang|-> <method|-> <threshold|-> <text...>
 //! BATCH <lang> <method|-> <threshold|-> <text>|<text>|...
 //! STATS
-//! SAVE [path]
+//! SAVE [JSON] [path]
 //! REPL HELLO <lsn>
 //! QUIT
 //! ```
@@ -41,8 +41,9 @@
 //! ```
 //!
 //! `SAVE` snapshots the running store to disk (atomically, temp file +
-//! rename); without a path it uses the daemon's configured snapshot
-//! path. `REPL HELLO <lsn>` is not a request/response pair: on a
+//! rename) in the binary mmap format; `SAVE JSON` writes the
+//! human-readable document instead (debug/export). Without a path it
+//! uses the daemon's configured snapshot path. `REPL HELLO <lsn>` is not a request/response pair: on a
 //! primary started with `--wal` it converts the connection into a
 //! replication stream (see [`crate::repl`] for the stream grammar);
 //! anywhere else it draws an `ERR`.
@@ -179,10 +180,13 @@ pub enum Request {
     Batch(Vec<MatchRequest>),
     /// `STATS`
     Stats,
-    /// `SAVE [path]` — snapshot the running store on demand.
+    /// `SAVE [JSON] [path]` — snapshot the running store on demand.
     Save {
         /// Target path; `None` uses the daemon's configured default.
         path: Option<String>,
+        /// `true` for `SAVE JSON …`: write the human-readable debug/
+        /// export document instead of the default binary mmap image.
+        json: bool,
     },
     /// `REPL HELLO <lsn>` — a replica opening the stream, carrying the
     /// last LSN it applied (0 = fresh).
@@ -349,13 +353,22 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             Request::Batch(reqs)
         }
         "STATS" => Request::Stats,
-        "SAVE" => Request::Save {
-            path: if rest.is_empty() {
-                None
-            } else {
-                Some(rest.to_owned())
-            },
-        },
+        "SAVE" => {
+            let (json, rest) = match rest.split_whitespace().next() {
+                Some(tok) if tok.eq_ignore_ascii_case("json") => {
+                    (true, rest.trim_start()[tok.len()..].trim_start())
+                }
+                _ => (false, rest),
+            };
+            Request::Save {
+                path: if rest.is_empty() {
+                    None
+                } else {
+                    Some(rest.to_owned())
+                },
+                json,
+            }
+        }
         "REPL" => {
             let usage = "usage: REPL HELLO <lsn>";
             let mut toks = rest.split_whitespace();
@@ -431,6 +444,10 @@ pub fn format_stats(s: &StatsSnapshot) -> String {
         s.batch_lane_dp,
         s.simd_level,
     );
+    line.push_str(&format!(
+        " snapshot_format={} mmap_bytes={} load_ms={}",
+        s.load.format, s.load.mapped_bytes, s.load.load_ms,
+    ));
     for m in ALL_METHODS {
         let pm = &s.per_method[method_index(m)];
         let name = method_name(m);
@@ -748,8 +765,10 @@ mod tests {
                 no_resource: 0,
                 dedup_hits: 0,
             },
+            load: crate::service::LoadInfo::default(),
         };
         assert!(!format_stats(&s).contains("untagged_"));
+        assert!(format_stats(&s).contains("snapshot_format=rebuild mmap_bytes=0 load_ms=0"));
         s.untagged.requests = 2;
         s.untagged.no_resource = 1;
         s.untagged.fanout_width_sum = 3;

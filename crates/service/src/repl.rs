@@ -175,16 +175,17 @@ impl Replicator {
     }
 
     /// Capture a store snapshot consistent with the WAL head (holds the
-    /// commit lock for the duration). Returns `(document bytes, lsn)`.
+    /// commit lock for the duration). Returns `(image bytes, lsn)`.
+    /// The bytes are the binary mmap format — exactly what a snapshot
+    /// file holds, so the replica can load the transfer buffer directly
+    /// (or persist it verbatim) with no re-encode.
     pub fn snapshot_document(
         &self,
         service: &MatchService,
     ) -> Result<(Vec<u8>, u64), lexequal_mdb::DbError> {
         let wal = self.wal.lock().expect("wal lock");
         let lsn = wal.head_lsn();
-        let snap = StoreSnapshot::capture_with_lsn(service.store(), lsn);
-        let mut bytes = Vec::new();
-        snap.write_to(&mut bytes)?;
+        let bytes = crate::mmapstore::encode(service.store(), lsn)?;
         Ok((bytes, lsn))
     }
 
@@ -195,9 +196,27 @@ impl Replicator {
         service: &MatchService,
         path: &Path,
     ) -> Result<u64, lexequal_mdb::DbError> {
+        self.save_snapshot_atomic_format(service, path, crate::service::SnapshotFormat::Mmap)
+    }
+
+    /// [`save_snapshot_atomic`](Self::save_snapshot_atomic) in an
+    /// explicit format (`SAVE JSON` on a primary).
+    pub fn save_snapshot_atomic_format(
+        &self,
+        service: &MatchService,
+        path: &Path,
+        format: crate::service::SnapshotFormat,
+    ) -> Result<u64, lexequal_mdb::DbError> {
         let wal = self.wal.lock().expect("wal lock");
         let lsn = wal.head_lsn();
-        StoreSnapshot::capture_with_lsn(service.store(), lsn).write_to_file_atomic(path)?;
+        match format {
+            crate::service::SnapshotFormat::Mmap => {
+                crate::mmapstore::write_file_atomic(service.store(), lsn, path)?;
+            }
+            crate::service::SnapshotFormat::Json => {
+                StoreSnapshot::capture_with_lsn(service.store(), lsn).write_to_file_atomic(path)?;
+            }
+        }
         Ok(lsn)
     }
 
@@ -546,19 +565,51 @@ fn try_initial_sync(
     let nbytes = kv_u64(rest, "bytes")? as usize;
     let mut bytes = vec![0u8; nbytes];
     reader.read_exact(&mut bytes)?;
-    let snap = StoreSnapshot::read_from(bytes.as_slice()).map_err(ReplError::Snapshot)?;
-    if snap.lsn() != lsn {
-        return Err(ReplError::Protocol(format!(
-            "snapshot says lsn {} but the header said {lsn}",
-            snap.lsn()
-        )));
-    }
-    let store = match shards {
-        Some(m) => snap.restore_with_shards(config.clone(), m),
-        None => snap.restore(config.clone()),
-    }
-    .map_err(ReplError::Snapshot)?;
-    let service = MatchService::from_store(store, cache_capacity);
+    let start = std::time::Instant::now();
+    let service = if crate::mmapstore::is_binary(&bytes) {
+        // The primary ships the binary image verbatim: load the
+        // transfer buffer directly — no re-parse, no re-encode.
+        let image = crate::mmapstore::load_bytes(config.clone(), shards, bytes)
+            .map_err(ReplError::Snapshot)?;
+        if image.lsn != lsn {
+            return Err(ReplError::Protocol(format!(
+                "snapshot says lsn {} but the header said {lsn}",
+                image.lsn
+            )));
+        }
+        let service = MatchService::from_store(image.store, cache_capacity);
+        // A replica serves immediately after seeding, so its recorded
+        // access paths are rebuilt before the handshake completes.
+        for spec in image.builds {
+            service.build(spec);
+        }
+        service.set_load_info(crate::service::LoadInfo {
+            format: "mmap",
+            mapped_bytes: image.bytes,
+            load_ms: start.elapsed().as_millis() as u64,
+        });
+        service
+    } else {
+        let snap = StoreSnapshot::read_from(bytes.as_slice()).map_err(ReplError::Snapshot)?;
+        if snap.lsn() != lsn {
+            return Err(ReplError::Protocol(format!(
+                "snapshot says lsn {} but the header said {lsn}",
+                snap.lsn()
+            )));
+        }
+        let store = match shards {
+            Some(m) => snap.restore_with_shards(config.clone(), m),
+            None => snap.restore(config.clone()),
+        }
+        .map_err(ReplError::Snapshot)?;
+        let service = MatchService::from_store(store, cache_capacity);
+        service.set_load_info(crate::service::LoadInfo {
+            format: "json",
+            mapped_bytes: nbytes as u64,
+            load_ms: start.elapsed().as_millis() as u64,
+        });
+        service
+    };
     state.applied.store(lsn, Ordering::Release);
     state.head.fetch_max(lsn, Ordering::AcqRel);
     state.connected.store(true, Ordering::Release);
@@ -636,8 +687,15 @@ fn reconnect(
         let nbytes = kv_u64(rest, "bytes")? as usize;
         let mut bytes = vec![0u8; nbytes];
         reader.read_exact(&mut bytes)?;
-        let snap = StoreSnapshot::read_from(bytes.as_slice()).map_err(ReplError::Snapshot)?;
-        if snap.is_empty() && service.is_empty() {
+        // Only the entry count matters here — peek the binary header
+        // rather than fully loading either format.
+        let snap_names = match crate::mmapstore::peek(&bytes) {
+            Some((_, entries)) => entries as usize,
+            None => StoreSnapshot::read_from(bytes.as_slice())
+                .map_err(ReplError::Snapshot)?
+                .len(),
+        };
+        if snap_names == 0 && service.is_empty() {
             // Both sides are at the start of (possibly a new) history.
             state.applied.store(lsn, Ordering::Release);
             state.head.fetch_max(lsn, Ordering::AcqRel);
@@ -645,9 +703,8 @@ fn reconnect(
             return Ok((stream, reader));
         }
         return Err(ReplError::NeedsResync(format!(
-            "primary demanded a full snapshot transfer (lsn {lsn}, {} names) but this \
+            "primary demanded a full snapshot transfer (lsn {lsn}, {snap_names} names) but this \
              replica already holds {} names at lsn {applied}; restart the replica to re-seed",
-            snap.len(),
             service.len()
         )));
     }

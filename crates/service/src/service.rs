@@ -14,7 +14,76 @@ use lexequal::{G2pError, Language, MatchConfig, QgramMode, SearchMethod};
 use lexequal_g2p::{Route, Router, ScriptProfile};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Snapshot serialization formats the service can read and write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// The zero-copy memory-mapped binary format ([`crate::mmapstore`]) —
+    /// the default for every save path.
+    Mmap,
+    /// The versioned JSON document ([`crate::snapshot`]) — kept as an
+    /// explicit debug/export format (`SAVE JSON`, `--snapshot-format
+    /// json`).
+    Json,
+}
+
+impl SnapshotFormat {
+    /// Wire/log name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapshotFormat::Mmap => "mmap",
+            SnapshotFormat::Json => "json",
+        }
+    }
+}
+
+/// How this service's corpus came to be — surfaced in `STATS`
+/// (`snapshot_format=`/`mmap_bytes=`/`load_ms=`) and the daemon's
+/// startup log, so the 0.67x "snapshot loads slower than rebuild" class
+/// of regression is visible instead of silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadInfo {
+    /// `"mmap"`, `"json"`, or `"rebuild"` (fresh store, corpus built
+    /// from source).
+    pub format: &'static str,
+    /// Bytes mapped (mmap) or transferred (replica seeding); 0 for
+    /// JSON loads and rebuilds.
+    pub mapped_bytes: u64,
+    /// Validate-to-serve-ready time in milliseconds.
+    pub load_ms: u64,
+}
+
+impl Default for LoadInfo {
+    fn default() -> Self {
+        LoadInfo {
+            format: "rebuild",
+            mapped_bytes: 0,
+            load_ms: 0,
+        }
+    }
+}
+
+/// What [`MatchService::load_snapshot_auto`] produced.
+pub struct SnapshotLoad {
+    /// The serving handle (scan path ready; see `pending_builds`).
+    pub service: MatchService,
+    /// WAL LSN the snapshot covers (0 for pre-replication snapshots).
+    pub lsn: u64,
+    /// Which format the file turned out to be.
+    pub format: SnapshotFormat,
+    /// Bytes mapped (0 for JSON).
+    pub mapped_bytes: u64,
+    /// Validate-to-serve-ready time in milliseconds.
+    pub load_ms: u64,
+    /// Access paths the snapshot records that have *not* been rebuilt
+    /// yet. Empty for JSON loads (which rebuild synchronously); for
+    /// mmap loads the caller chooses — rebuild in the background
+    /// (`lexequald`) or synchronously (tests, replicas) via
+    /// [`MatchService::build`].
+    pub pending_builds: Vec<BuildSpec>,
+}
 
 /// Service construction knobs.
 #[derive(Debug, Clone)]
@@ -134,6 +203,8 @@ pub struct MatchService {
     /// Bitmask of built access paths (bit = `method_index`); Scan's bit
     /// is set from birth.
     built: AtomicU8,
+    /// How the corpus was loaded (STATS / startup-log provenance).
+    load_info: Mutex<LoadInfo>,
 }
 
 impl MatchService {
@@ -144,6 +215,7 @@ impl MatchService {
             cache: TransformCache::new(config.cache_capacity),
             metrics: ServiceMetrics::default(),
             built: AtomicU8::new(1 << method_index(SearchMethod::Scan)),
+            load_info: Mutex::new(LoadInfo::default()),
         }
     }
 
@@ -165,62 +237,143 @@ impl MatchService {
             cache: TransformCache::new(cache_capacity),
             metrics: ServiceMetrics::default(),
             built: AtomicU8::new(built),
+            load_info: Mutex::new(LoadInfo::default()),
         }
     }
 
+    /// Record how this service's corpus was loaded (shown in `STATS`
+    /// and the daemon startup log).
+    pub fn set_load_info(&self, info: LoadInfo) {
+        *self.load_info.lock().expect("load info lock") = info;
+    }
+
+    /// How this service's corpus was loaded.
+    pub fn load_info(&self) -> LoadInfo {
+        *self.load_info.lock().expect("load info lock")
+    }
+
     /// Persist the store (entries, striping, built access paths) to
-    /// `path` — see [`crate::snapshot`].
+    /// `path` in the default (binary mmap) format — see
+    /// [`crate::mmapstore`].
     pub fn save_snapshot(
         &self,
         path: impl AsRef<std::path::Path>,
     ) -> Result<(), lexequal_mdb::DbError> {
-        self.store.save_to_file(path)
+        self.save_snapshot_with_lsn(path, 0)
     }
 
-    /// Build a service around a store loaded from a snapshot file.
-    /// `shards` as in [`ShardedStore::load_from_file`]: `None` accepts
-    /// the snapshot's own shard count, `Some(m)` insists on `m`.
+    /// Build a service around a store loaded from a snapshot file,
+    /// detecting the format by magic. `shards`: `None` accepts the
+    /// snapshot's own shard count, `Some(m)` insists on `m`.
     pub fn load_snapshot(
         match_config: MatchConfig,
         shards: Option<usize>,
         cache_capacity: usize,
         path: impl AsRef<std::path::Path>,
     ) -> Result<Self, lexequal_mdb::DbError> {
-        let store = ShardedStore::load_from_file(match_config, shards, path)?;
-        Ok(MatchService::from_store(store, cache_capacity))
+        Self::load_snapshot_with_lsn(match_config, shards, cache_capacity, path).map(|(s, _)| s)
     }
 
     /// [`load_snapshot`](Self::load_snapshot), also returning the WAL
     /// LSN the snapshot covers (0 for pre-replication snapshots) so the
-    /// daemon knows where log replay starts.
+    /// daemon knows where log replay starts. Recorded access paths are
+    /// rebuilt synchronously before returning; use
+    /// [`load_snapshot_auto`](Self::load_snapshot_auto) to defer them.
     pub fn load_snapshot_with_lsn(
         match_config: MatchConfig,
         shards: Option<usize>,
         cache_capacity: usize,
         path: impl AsRef<std::path::Path>,
     ) -> Result<(Self, u64), lexequal_mdb::DbError> {
-        let f = std::fs::File::open(path)
-            .map_err(|e| lexequal_mdb::DbError::Unsupported(format!("store snapshot open: {e}")))?;
-        let snap = crate::snapshot::StoreSnapshot::read_from(std::io::BufReader::new(f))?;
-        let lsn = snap.lsn();
-        let store = match shards {
-            Some(m) => snap.restore_with_shards(match_config, m),
-            None => snap.restore(match_config),
-        }?;
-        Ok((MatchService::from_store(store, cache_capacity), lsn))
+        let load = Self::load_snapshot_auto(match_config, shards, cache_capacity, path)?;
+        for spec in load.pending_builds {
+            load.service.build(spec);
+        }
+        Ok((load.service, load.lsn))
+    }
+
+    /// Load a snapshot with format detection by magic: binary images
+    /// are `mmap`ed and served zero-copy out of the mapping (scan path
+    /// ready as soon as validation passes — O(1) cold start), JSON
+    /// documents take the legacy parse-and-rebuild path. The returned
+    /// [`SnapshotLoad`] carries provenance for logs/STATS plus any
+    /// recorded access paths not yet rebuilt.
+    pub fn load_snapshot_auto(
+        match_config: MatchConfig,
+        shards: Option<usize>,
+        cache_capacity: usize,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<SnapshotLoad, lexequal_mdb::DbError> {
+        let path = path.as_ref();
+        let start = Instant::now();
+        let load = if crate::mmapstore::sniff_file(path) {
+            let image = crate::mmapstore::load_file(match_config, shards, path)?;
+            let service = MatchService::from_store(image.store, cache_capacity);
+            SnapshotLoad {
+                service,
+                lsn: image.lsn,
+                format: SnapshotFormat::Mmap,
+                mapped_bytes: image.bytes,
+                load_ms: start.elapsed().as_millis() as u64,
+                pending_builds: image.builds,
+            }
+        } else {
+            let f = std::fs::File::open(path).map_err(|e| {
+                lexequal_mdb::DbError::Unsupported(format!("store snapshot open: {e}"))
+            })?;
+            let snap = crate::snapshot::StoreSnapshot::read_from(std::io::BufReader::new(f))?;
+            let lsn = snap.lsn();
+            let store = match shards {
+                Some(m) => snap.restore_with_shards(match_config, m),
+                None => snap.restore(match_config),
+            }?;
+            SnapshotLoad {
+                service: MatchService::from_store(store, cache_capacity),
+                lsn,
+                format: SnapshotFormat::Json,
+                mapped_bytes: 0,
+                load_ms: start.elapsed().as_millis() as u64,
+                pending_builds: Vec::new(),
+            }
+        };
+        load.service.set_load_info(LoadInfo {
+            format: load.format.name(),
+            mapped_bytes: load.mapped_bytes,
+            load_ms: load.load_ms,
+        });
+        Ok(load)
     }
 
     /// Persist the store atomically (temp file + rename), stamping the
-    /// WAL LSN the state corresponds to. The caller is responsible for
-    /// holding writes off while capturing (the daemon captures under its
-    /// commit lock).
+    /// WAL LSN the state corresponds to, in the default (binary mmap)
+    /// format. The caller is responsible for holding writes off while
+    /// capturing (the daemon captures under its commit lock).
     pub fn save_snapshot_with_lsn(
         &self,
         path: impl AsRef<std::path::Path>,
         lsn: u64,
     ) -> Result<(), lexequal_mdb::DbError> {
-        crate::snapshot::StoreSnapshot::capture_with_lsn(&self.store, lsn)
-            .write_to_file_atomic(path)
+        self.save_snapshot_with_lsn_format(path, lsn, SnapshotFormat::Mmap)
+    }
+
+    /// [`save_snapshot_with_lsn`](Self::save_snapshot_with_lsn) in an
+    /// explicit format (`SAVE JSON` keeps the human-readable document
+    /// available as a debug/export path).
+    pub fn save_snapshot_with_lsn_format(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        lsn: u64,
+        format: SnapshotFormat,
+    ) -> Result<(), lexequal_mdb::DbError> {
+        match format {
+            SnapshotFormat::Mmap => {
+                crate::mmapstore::write_file_atomic(&self.store, lsn, path).map(|_| ())
+            }
+            SnapshotFormat::Json => {
+                crate::snapshot::StoreSnapshot::capture_with_lsn(&self.store, lsn)
+                    .write_to_file_atomic(path)
+            }
+        }
     }
 
     /// The underlying sharded store.
@@ -752,6 +905,7 @@ impl MatchService {
             conn: None,
             repl: None,
             untagged: self.metrics.untagged.snapshot(),
+            load: self.load_info(),
         }
     }
 }
@@ -877,6 +1031,10 @@ pub struct StatsSnapshot {
     /// fan-out widths, dedupe hits. All-zero until the first untagged
     /// request, and the `STATS` line omits the block while it is.
     pub untagged: UntaggedStats,
+    /// How the store came up: snapshot format served from (`mmap` |
+    /// `json`), bytes mapped, and validate-to-serve-ready time.
+    /// `format: "rebuild"` when no snapshot was loaded.
+    pub load: LoadInfo,
 }
 
 #[cfg(test)]

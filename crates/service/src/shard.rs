@@ -19,7 +19,7 @@ use crate::metrics::{BatchTotals, ScreenTotals};
 use lexequal::store::{NameEntry, SearchResult};
 use lexequal::{
     BatchCounters, BatchVerifier, G2pError, Language, MatchConfig, NameStore, PhonemeString,
-    QgramMode, ScreenCounters, SearchMethod,
+    QgramMode, ScreenCounters, SearchMethod, SharedEntry,
 };
 use std::ops::Range;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -50,6 +50,13 @@ enum Cmd {
     /// the shards striped inconsistently).
     Extend {
         entries: Vec<NameEntry>,
+        reply: Sender<usize>,
+    },
+    /// Append zero-copy entries whose columns are views into a shared
+    /// allocation (the memory-mapped snapshot load path). Entries were
+    /// validated by the loader; the store re-validates on adoption.
+    ExtendShared {
+        entries: Vec<SharedEntry>,
         reply: Sender<usize>,
     },
     /// Construct an access path.
@@ -95,6 +102,17 @@ fn worker(
                 store.extend_transformed(entries);
                 let _ = reply.send(n);
             }
+            Cmd::ExtendShared { entries, reply } => {
+                let n = entries.len();
+                store.reserve(n);
+                for e in entries {
+                    // The mmap loader validated every view against the
+                    // mapping (arena-wide) before striping; re-checking
+                    // 20K entries here would double the cold start.
+                    store.push_shared_entry_prevalidated(e);
+                }
+                let _ = reply.send(n);
+            }
             Cmd::Build { spec, reply } => {
                 match spec {
                     BuildSpec::Qgram { q, mode } => store.build_qgram(q, mode),
@@ -116,10 +134,10 @@ fn worker(
                 let _ = reply.send((shard, result));
             }
             Cmd::Get { local, reply } => {
-                let _ = reply.send(store.get(local).cloned());
+                let _ = reply.send(store.get(local));
             }
             Cmd::Export { shard, reply } => {
-                let _ = reply.send((shard, store.entries().to_vec()));
+                let _ = reply.send((shard, store.export_entries()));
             }
         }
     }
@@ -349,6 +367,38 @@ impl ShardedStore {
         }
         // Publish the total only after every shard confirmed its append,
         // exactly like `extend_transformed`.
+        let mut guard = guard;
+        *guard = total as u32;
+    }
+
+    /// Place pre-striped zero-copy sections on the shards — the
+    /// memory-mapped restore path, the borrowed twin of
+    /// [`import_shards`](Self::import_shards): same round-robin layout
+    /// contract, but each entry is three `Arc` bumps into the mapping
+    /// instead of an owned row.
+    pub(crate) fn import_shared(&self, sections: Vec<Vec<SharedEntry>>) {
+        debug_assert_eq!(sections.len(), self.shards());
+        let guard = self.grow.lock().expect("grow lock");
+        debug_assert_eq!(*guard, 0, "import into a non-empty store");
+        let total: usize = sections.iter().map(Vec::len).sum();
+        let (tx, rx) = channel();
+        let mut expected = 0usize;
+        for (shard, batch) in sections.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            expected += 1;
+            self.senders[shard]
+                .send(Cmd::ExtendShared {
+                    entries: batch,
+                    reply: tx.clone(),
+                })
+                .expect("shard worker alive");
+        }
+        drop(tx);
+        for _ in 0..expected {
+            rx.recv().expect("shard worker replies");
+        }
         let mut guard = guard;
         *guard = total as u32;
     }

@@ -86,6 +86,8 @@ pub struct StoreSnapshot {
 }
 
 /// FNV-1a 64-bit, the in-tree fingerprint primitive (no dependencies).
+/// The binary snapshot format's section checksums use a word-folded
+/// variant of the same construction (see `mmapstore::section_checksum`).
 struct Fnv(u64);
 
 impl Fnv {
@@ -317,9 +319,9 @@ impl StoreSnapshot {
         if shards != self.shards {
             return Err(DbError::Unsupported(format!(
                 "snapshot holds {} shard(s) but {shards} were requested; \
-                 loading a snapshot into a different shard count would re-stripe \
-                 every global id and is not supported yet (ROADMAP: shard \
-                 rebalancing) — load with {} shard(s) or rebuild from the corpus",
+                 re-striping at load is not supported in the binary or JSON \
+                 snapshot formats (ROADMAP: shard rebalancing) — load with \
+                 {} shard(s) or rebuild from the corpus",
                 self.shards, self.shards
             )));
         }

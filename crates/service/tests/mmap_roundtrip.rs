@@ -1,0 +1,348 @@
+//! Binary mmap snapshot round-trip equivalence: a store served out of
+//! the mapping must be indistinguishable from the store that wrote the
+//! image — bit-identical `MatchOutcome`s on all four access paths,
+//! identical entries under every global id, identical answers through
+//! both serving modes, and a replica seeded from the raw transfer bytes
+//! answering exactly like its primary.
+
+use lexequal::{Language, MatchConfig, SearchMethod};
+use lexequal_service::loadgen::build_dataset;
+use lexequal_service::service::SnapshotFormat;
+use lexequal_service::{
+    mmapstore, serve_with, MatchOutcome, MatchRequest, MatchService, ServeMode, ServeOptions,
+    ServiceConfig, ShutdownSignal,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A self-cleaning temp path.
+struct TempPath(PathBuf);
+
+impl TempPath {
+    fn new(name: &str) -> Self {
+        TempPath(std::env::temp_dir().join(format!("lexequal_mm_{}_{name}", std::process::id())))
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
+}
+
+/// A populated service: the paper's flagship names plus a slice of the
+/// synthetic §5 corpus, all access paths built.
+fn populated_service(shards: usize) -> MatchService {
+    let config = MatchConfig::default();
+    let service = MatchService::new(ServiceConfig {
+        match_config: config.clone(),
+        shards,
+        cache_capacity: 256,
+    });
+    service
+        .extend(
+            [
+                ("Nehru", Language::English),
+                ("नेहरु", Language::Hindi),
+                ("நேரு", Language::Tamil),
+                ("Nero", Language::English),
+                ("Gandhi", Language::English),
+                ("गांधी", Language::Hindi),
+                ("Krishnan", Language::English),
+            ]
+            .map(|(t, l)| (t.to_owned(), l)),
+        )
+        .unwrap();
+    service.extend_transformed(build_dataset(&config, 150));
+    service.build_all(3, lexequal::QgramMode::Strict);
+    service
+}
+
+const METHODS: [SearchMethod; 4] = [
+    SearchMethod::Scan,
+    SearchMethod::Qgram,
+    SearchMethod::PhoneticIndex,
+    SearchMethod::BkTree,
+];
+
+/// Wire-protocol tag for a battery language.
+fn lang_tag(language: Language) -> &'static str {
+    match language {
+        Language::English => "en",
+        Language::Hindi => "hi",
+        Language::Tamil => "ta",
+        other => panic!("battery uses no {other:?} queries"),
+    }
+}
+
+/// The query battery both stores must answer identically.
+fn battery() -> Vec<(String, Language, f64)> {
+    let mut queries = Vec::new();
+    for (text, language) in [
+        ("Nehru", Language::English),
+        ("नेहरु", Language::Hindi),
+        ("நேரு", Language::Tamil),
+        ("Gandhi", Language::English),
+        ("गांधी", Language::Hindi),
+        ("Krishnan", Language::English),
+        ("Bose", Language::English), // not stored: empty result sets must agree too
+    ] {
+        for e in [0.0, 0.35, 0.45] {
+            queries.push((text.to_owned(), language, e));
+        }
+    }
+    queries
+}
+
+/// Run the battery over every access path on both services and demand
+/// bit-identical outcomes.
+fn assert_identical(original: &MatchService, loaded: &MatchService, what: &str) {
+    for method in METHODS {
+        for (text, language, threshold) in battery() {
+            let req = MatchRequest {
+                threshold: Some(threshold),
+                method: Some(method),
+                ..MatchRequest::new(&text, language)
+            };
+            let a = original.lookup(&req);
+            let b = loaded.lookup(&req);
+            assert_eq!(
+                a, b,
+                "{what}: {method:?} {text:?} e={threshold} diverged across the round trip"
+            );
+            assert!(
+                matches!(a, MatchOutcome::Matches { .. }),
+                "{what}: expected a served outcome, got {a:?}"
+            );
+        }
+    }
+    // Every entry under every global id survives byte-for-byte.
+    assert_eq!(original.len(), loaded.len(), "{what}: corpus size");
+    for id in 0..original.len() as u32 {
+        let a = original
+            .store()
+            .get(id)
+            .unwrap_or_else(|| panic!("{what}: id {id} missing in original"));
+        let b = loaded
+            .store()
+            .get(id)
+            .unwrap_or_else(|| panic!("{what}: id {id} missing in loaded"));
+        assert_eq!(a.text, b.text, "{what}: entry {id} text");
+        assert_eq!(a.language, b.language, "{what}: entry {id} language");
+        assert_eq!(a.phonemes, b.phonemes, "{what}: entry {id} phonemes");
+    }
+    assert!(loaded.store().get(original.len() as u32).is_none());
+}
+
+#[test]
+fn default_save_writes_the_binary_format() {
+    let service = populated_service(2);
+    let path = TempPath::new("default.snap");
+    service.save_snapshot(&path.0).expect("save");
+    assert!(
+        mmapstore::sniff_file(&path.0),
+        "default save is not the binary format"
+    );
+    let bytes = std::fs::read(&path.0).expect("read image");
+    assert!(mmapstore::is_binary(&bytes));
+    assert_eq!(
+        mmapstore::peek(&bytes).map(|(_, n)| n as usize),
+        Some(service.len())
+    );
+}
+
+#[test]
+fn mmap_reload_is_bit_identical_on_all_four_access_paths() {
+    let original = populated_service(3);
+    let path = TempPath::new("roundtrip.snap");
+    original.save_snapshot(&path.0).expect("save");
+
+    // `load_snapshot` rebuilds the recorded access paths synchronously.
+    let loaded =
+        MatchService::load_snapshot(MatchConfig::default(), None, 256, &path.0).expect("load");
+    assert_eq!(loaded.load_info().format, "mmap");
+    assert!(loaded.load_info().mapped_bytes > 0);
+    assert_identical(&original, &loaded, "mmap reload");
+}
+
+#[test]
+fn deferred_builds_serve_scans_first_then_everything() {
+    let original = populated_service(2);
+    let path = TempPath::new("deferred.snap");
+    original.save_snapshot(&path.0).expect("save");
+
+    let load =
+        MatchService::load_snapshot_auto(MatchConfig::default(), None, 256, &path.0).expect("load");
+    assert_eq!(load.pending_builds.len(), 3, "three recorded access paths");
+    // Serve-ready means the scan path answers before any index exists.
+    let req = MatchRequest {
+        threshold: Some(0.45),
+        method: Some(SearchMethod::Scan),
+        ..MatchRequest::new("Nehru", Language::English)
+    };
+    let scan_before = load.service.lookup(&req);
+    assert_eq!(scan_before, original.lookup(&req), "scan before builds");
+    // A method-pinned lookup on an unbuilt path degrades, not errors.
+    let qgram_req = MatchRequest {
+        method: Some(SearchMethod::Qgram),
+        ..req.clone()
+    };
+    assert!(matches!(
+        load.service.lookup(&qgram_req),
+        MatchOutcome::NotBuilt { .. }
+    ));
+    for spec in load.pending_builds {
+        load.service.build(spec);
+    }
+    assert_identical(&original, &load.service, "after deferred builds");
+}
+
+#[test]
+fn json_and_mmap_loads_agree_with_each_other() {
+    let original = populated_service(2);
+    let json_path = TempPath::new("agree.json");
+    let mmap_path = TempPath::new("agree.snap");
+    original
+        .save_snapshot_with_lsn_format(&json_path.0, 7, SnapshotFormat::Json)
+        .expect("save json");
+    original
+        .save_snapshot_with_lsn_format(&mmap_path.0, 7, SnapshotFormat::Mmap)
+        .expect("save mmap");
+    assert!(!mmapstore::sniff_file(&json_path.0));
+    assert!(mmapstore::sniff_file(&mmap_path.0));
+
+    let (from_json, json_lsn) =
+        MatchService::load_snapshot_with_lsn(MatchConfig::default(), None, 256, &json_path.0)
+            .expect("load json");
+    let (from_mmap, mmap_lsn) =
+        MatchService::load_snapshot_with_lsn(MatchConfig::default(), None, 256, &mmap_path.0)
+            .expect("load mmap");
+    assert_eq!(json_lsn, 7);
+    assert_eq!(mmap_lsn, 7);
+    assert_eq!(from_json.load_info().format, "json");
+    assert_eq!(from_mmap.load_info().format, "mmap");
+    assert_identical(&from_json, &from_mmap, "json vs mmap");
+}
+
+#[test]
+fn second_generation_image_stays_identical() {
+    let original = populated_service(2);
+    let first = TempPath::new("gen1.snap");
+    let second = TempPath::new("gen2.snap");
+    original.save_snapshot(&first.0).expect("save gen1");
+    let gen1 =
+        MatchService::load_snapshot(MatchConfig::default(), None, 256, &first.0).expect("load");
+    gen1.save_snapshot(&second.0).expect("save gen2");
+    let gen2 =
+        MatchService::load_snapshot(MatchConfig::default(), None, 256, &second.0).expect("load");
+    assert_identical(&original, &gen2, "second generation");
+    // Shared views round-trip through `encode` byte-for-byte, so the
+    // two generations are the same file.
+    assert_eq!(
+        std::fs::read(&first.0).expect("gen1 bytes"),
+        std::fs::read(&second.0).expect("gen2 bytes"),
+        "second-generation image diverged"
+    );
+}
+
+#[test]
+fn replica_seeded_from_raw_transfer_bytes_matches_the_primary() {
+    let primary = populated_service(2);
+    // What the primary's sender thread ships: the encoded image, raw.
+    let transfer = mmapstore::encode(primary.store(), 42).expect("encode");
+    let image =
+        mmapstore::load_bytes(MatchConfig::default(), None, transfer).expect("load transfer");
+    assert_eq!(image.lsn, 42);
+    let replica = MatchService::from_store(image.store, 256);
+    for spec in image.builds {
+        replica.build(spec);
+    }
+    assert_identical(&primary, &replica, "replica seeding");
+}
+
+/// Line-protocol client against an in-process daemon.
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        writeln!(self.stream, "{line}").expect("write");
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read");
+        reply.trim_end().to_owned()
+    }
+}
+
+struct Daemon {
+    addr: std::net::SocketAddr,
+    shutdown: ShutdownSignal,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl Daemon {
+    fn spawn(mode: ServeMode, service: Arc<MatchService>) -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral");
+        let addr = listener.local_addr().expect("local addr");
+        let shutdown = ShutdownSignal::new().expect("shutdown signal");
+        let sd = shutdown.clone();
+        let handle = std::thread::spawn(move || {
+            serve_with(mode, listener, service, ServeOptions::default(), sd)
+        });
+        Daemon {
+            addr,
+            shutdown,
+            handle,
+        }
+    }
+
+    fn stop(self) {
+        self.shutdown.trigger();
+        self.handle.join().expect("serve thread").expect("serve");
+    }
+}
+
+#[test]
+fn both_serve_modes_answer_identically_from_the_mapping() {
+    let original = populated_service(2);
+    let path = TempPath::new("serve.snap");
+    original.save_snapshot(&path.0).expect("save");
+    let loaded = Arc::new(
+        MatchService::load_snapshot(MatchConfig::default(), None, 256, &path.0).expect("load"),
+    );
+    let reference = Arc::new(original);
+
+    for mode in [ServeMode::Evented, ServeMode::Threaded] {
+        let want = Daemon::spawn(mode, Arc::clone(&reference));
+        let got = Daemon::spawn(mode, Arc::clone(&loaded));
+        let mut want_client = Client::connect(want.addr);
+        let mut got_client = Client::connect(got.addr);
+        for method in ["scan", "qgram", "phonidx", "bktree"] {
+            for (text, language, threshold) in battery() {
+                let line = format!("MATCH {} {method} {threshold} {text}", lang_tag(language));
+                assert_eq!(
+                    want_client.send(&line),
+                    got_client.send(&line),
+                    "{mode:?} {line:?} diverged between rebuilt and mmap-loaded daemons"
+                );
+            }
+        }
+        // STATS names the provenance on the mmap side.
+        let stats = got_client.send("STATS");
+        assert!(stats.contains("snapshot_format=mmap"), "{stats}");
+        assert!(!stats.contains("mmap_bytes=0 "), "{stats}");
+        let ref_stats = want_client.send("STATS");
+        assert!(ref_stats.contains("snapshot_format=rebuild"), "{ref_stats}");
+        want.stop();
+        got.stop();
+    }
+}

@@ -31,6 +31,15 @@ echo "== snapshot persistence: round-trip equivalence + corrupt files + CLI"
 cargo test -p lexequal-service --offline -q --test snapshot_roundtrip --test cli_flags
 cargo test -p lexequal-mdb --offline -q snapshot
 
+echo "== mmap store: hostile-binary battery + bit-identical round trip"
+# The binary format's own pass: clippy over the serving crate (where
+# mmapstore lives), the corruption battery (truncation sweep, header
+# byte sweep, OOB/misaligned sections, checksum flips — named errors,
+# zero panics), and the round-trip suite (save → mmap-load → full MATCH
+# battery vs the rebuilt store, both serve modes, replica raw-transfer).
+cargo clippy -p lexequal-service --all-targets --offline -- -D warnings
+cargo test -p lexequal-service --offline -q --test mmap_corruption --test mmap_roundtrip
+
 echo "== replication: WAL corruption matrix + primary/replica e2e"
 # repl_e2e includes the kill-primary / restart-from-snapshot+WAL cycle
 # through the real binary, asserting byte-identical MATCH answers.
@@ -60,9 +69,12 @@ cargo run --release -p lexequal-service --offline --bin loadgen -- \
 rm -f results/repl_bench_ci.json
 
 echo "== snapshot cold-start timing (small run; full size via --size)"
+# Scratch dir: --snapshot-bench also writes a sibling mmap_bench.json,
+# and the CI smoke run must not clobber the full-size artifacts.
+mkdir -p results/ci_scratch
 cargo run --release -p lexequal-service --offline --bin loadgen -- \
-    --snapshot-bench --size 5000 --snapshot-out results/snapshot_bench_ci.json
-rm -f results/snapshot_bench_ci.json
+    --snapshot-bench --size 5000 --snapshot-out results/ci_scratch/snapshot_bench_ci.json
+rm -rf results/ci_scratch
 
 echo "== untagged bench (small run; full size via --size/--ops)"
 cargo run --release -p lexequal-service --offline --bin loadgen -- \

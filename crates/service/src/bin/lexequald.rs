@@ -346,23 +346,39 @@ fn main() -> ExitCode {
     // immediately, and the recorded access paths come up in the
     // background. This runs strictly AFTER WAL-tail replay — replayed
     // mutations invalidate built paths, so building first would waste
-    // the work.
+    // the work. With --save-snapshot the builds run synchronously
+    // instead: the saved image records `built_specs()`, and an image
+    // captured while the rebuild was still pending would record zero
+    // access paths — permanently scan-only for any daemon loading it,
+    // since there is no wire BUILD command to recover them.
     if !pending_builds.is_empty() {
-        let service = Arc::clone(&service);
-        std::thread::Builder::new()
-            .name("lexequald-bg-build".to_owned())
-            .spawn(move || {
-                let start = Instant::now();
-                let n = pending_builds.len();
-                for spec in pending_builds {
-                    service.build(spec);
-                }
-                eprintln!(
-                    "lexequald: {n} access path(s) rebuilt in background in {start:?}",
-                    start = start.elapsed()
-                );
-            })
-            .expect("spawn background index build");
+        if args.save_snapshot.is_some() {
+            let start = Instant::now();
+            let n = pending_builds.len();
+            for spec in pending_builds {
+                service.build(spec);
+            }
+            eprintln!(
+                "lexequald: {n} access path(s) rebuilt before snapshot save in {:.2?}",
+                start.elapsed()
+            );
+        } else {
+            let service = Arc::clone(&service);
+            std::thread::Builder::new()
+                .name("lexequald-bg-build".to_owned())
+                .spawn(move || {
+                    let start = Instant::now();
+                    let n = pending_builds.len();
+                    for spec in pending_builds {
+                        service.build(spec);
+                    }
+                    eprintln!(
+                        "lexequald: {n} access path(s) rebuilt in background in {start:?}",
+                        start = start.elapsed()
+                    );
+                })
+                .expect("spawn background index build");
+        }
     }
 
     let save_format = args.snapshot_format.unwrap_or(SnapshotFormat::Mmap);

@@ -99,15 +99,17 @@ fn err(what: impl std::fmt::Display) -> DbError {
     DbError::Parse(format!("mmap snapshot: {what}"))
 }
 
-/// Raw `mmap`/`munmap` shims. `std` links libc, so these symbols are
-/// always available; declaring them here keeps the workspace
-/// dependency-free (same pattern as the epoll shims in
+/// Raw `mmap`/`munmap`/`flock` shims. `std` links libc, so these
+/// symbols are always available; declaring them here keeps the
+/// workspace dependency-free (same pattern as the epoll shims in
 /// [`crate::event_loop`]).
 mod sys {
     use std::ffi::{c_int, c_void};
 
     pub const PROT_READ: c_int = 0x1;
     pub const MAP_SHARED: c_int = 0x01;
+    pub const LOCK_SH: c_int = 1;
+    pub const LOCK_NB: c_int = 4;
 
     extern "C" {
         pub fn mmap(
@@ -119,6 +121,7 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+        pub fn flock(fd: c_int, operation: c_int) -> c_int;
     }
 }
 
@@ -127,9 +130,27 @@ mod sys {
 /// `MAP_SHARED` + `PROT_READ` means every process serving the same
 /// snapshot shares one copy of the page cache, and pages fault in
 /// lazily — load time is O(validation), not O(corpus).
+///
+/// # Truncation hazard
+///
+/// The header/offset/checksum validation defends against hostile file
+/// *contents*, but no userspace check can defend against the file
+/// **shrinking while mapped**: reads beyond the new EOF raise `SIGBUS`
+/// and kill the process. The daemon's own save path never does this —
+/// [`write_image_atomic`] writes a temp file and `rename`s it over the
+/// target, so the mapped inode lives on unchanged — but an operator
+/// truncating or rewriting the snapshot *in place* (`truncate`, `>`
+/// redirection, `cp` onto it) would. As a tripwire for cooperating
+/// tools, the mapping holds a shared advisory `flock` on the file for
+/// its whole lifetime (best-effort; some filesystems don't support it):
+/// `flock -x -n <snapshot>` fails while a daemon serves from it.
+/// Replace a live snapshot only via rename (as `SAVE` does).
 pub struct Mmap {
     ptr: *mut std::ffi::c_void,
     len: usize,
+    /// Keeps the mapped file's descriptor (and with it the advisory
+    /// shared lock taken at map time) alive as long as the mapping.
+    _file: File,
 }
 
 // SAFETY: the mapping is immutable (PROT_READ) and lives until Drop;
@@ -138,8 +159,10 @@ unsafe impl Send for Mmap {}
 unsafe impl Sync for Mmap {}
 
 impl Mmap {
-    /// Map an open file read-only in its entirety.
-    pub fn map(file: &File) -> std::io::Result<Mmap> {
+    /// Map an open file read-only in its entirety, taking (best-effort)
+    /// a shared advisory lock on it for the mapping's lifetime — see
+    /// the truncation hazard in the type docs.
+    pub fn map(file: File) -> std::io::Result<Mmap> {
         use std::os::fd::AsRawFd;
         let len = file.metadata()?.len();
         if len == 0 {
@@ -152,6 +175,15 @@ impl Mmap {
         }
         let len = usize::try_from(len)
             .map_err(|_| std::io::Error::new(std::io::ErrorKind::Unsupported, "file too large"))?;
+        // Advisory only (cannot *stop* a truncate, which would SIGBUS
+        // us) and best-effort (some filesystems reject flock): a shared
+        // lock never blocks other readers, and the non-blocking probe
+        // means an unsupported filesystem degrades to today's behavior
+        // instead of failing the load.
+        // SAFETY: fd is a valid open file; the result is only observed.
+        unsafe {
+            sys::flock(file.as_raw_fd(), sys::LOCK_SH | sys::LOCK_NB);
+        }
         // SAFETY: fd is a valid open file, len is its nonzero size;
         // failures return MAP_FAILED which we check.
         let ptr = unsafe {
@@ -167,7 +199,11 @@ impl Mmap {
         if ptr as isize == -1 {
             return Err(std::io::Error::last_os_error());
         }
-        Ok(Mmap { ptr, len })
+        Ok(Mmap {
+            ptr,
+            len,
+            _file: file,
+        })
     }
 
     /// Mapping size in bytes.
@@ -555,7 +591,7 @@ pub fn load_file(
     let path = path.as_ref();
     let io_err = |e: std::io::Error| err(format!("open {}: {e}", path.display()));
     let file = File::open(path).map_err(io_err)?;
-    let map = Mmap::map(&file).map_err(io_err)?;
+    let map = Mmap::map(file).map_err(io_err)?;
     load_owner(config, shards, Arc::new(map))
 }
 

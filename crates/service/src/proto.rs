@@ -14,7 +14,7 @@
 //! BATCH <lang> <method|-> <threshold|-> <text>|<text>|...
 //! STATS
 //! SAVE [JSON] [path]
-//! REPL HELLO <lsn>
+//! REPL HELLO <lsn> [MMAP]
 //! QUIT
 //! ```
 //!
@@ -43,10 +43,12 @@
 //! `SAVE` snapshots the running store to disk (atomically, temp file +
 //! rename) in the binary mmap format; `SAVE JSON` writes the
 //! human-readable document instead (debug/export). Without a path it
-//! uses the daemon's configured snapshot path. `REPL HELLO <lsn>` is not a request/response pair: on a
-//! primary started with `--wal` it converts the connection into a
-//! replication stream (see [`crate::repl`] for the stream grammar);
-//! anywhere else it draws an `ERR`.
+//! uses the daemon's configured snapshot path. `REPL HELLO <lsn> [MMAP]`
+//! is not a request/response pair: on a primary started with `--wal` it
+//! converts the connection into a replication stream (see
+//! [`crate::repl`] for the stream grammar and the snapshot-format
+//! negotiation the optional `MMAP` capability token drives); anywhere
+//! else it draws an `ERR`.
 
 use crate::metrics::{method_index, method_name, ALL_METHODS};
 use crate::service::{AutoMatchRequest, MatchOutcome, MatchRequest, StatsSnapshot};
@@ -188,11 +190,19 @@ pub enum Request {
         /// export document instead of the default binary mmap image.
         json: bool,
     },
-    /// `REPL HELLO <lsn>` — a replica opening the stream, carrying the
-    /// last LSN it applied (0 = fresh).
+    /// `REPL HELLO <lsn> [MMAP]` — a replica opening the stream,
+    /// carrying the last LSN it applied (0 = fresh) and optionally
+    /// advertising that it understands the binary mmap snapshot format.
+    /// A bare `REPL HELLO <lsn>` (a replica from before the binary
+    /// format existed) is served the JSON document instead, so rolling
+    /// upgrades (new primary, old replicas) keep seeding. Unknown
+    /// trailing capability tokens are ignored for the same reason in
+    /// the other direction.
     ReplHello {
         /// The replica's last applied LSN.
         lsn: u64,
+        /// Whether the replica advertised binary-snapshot support.
+        mmap: bool,
     },
     /// `QUIT`
     Quit,
@@ -370,7 +380,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
             }
         }
         "REPL" => {
-            let usage = "usage: REPL HELLO <lsn>";
+            let usage = "usage: REPL HELLO <lsn> [MMAP]";
             let mut toks = rest.split_whitespace();
             match toks.next().map(str::to_ascii_uppercase).as_deref() {
                 Some("HELLO") => {
@@ -379,7 +389,11 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
                         .ok_or(usage)?
                         .parse::<u64>()
                         .map_err(|_| "REPL HELLO: lsn must be a non-negative integer")?;
-                    Request::ReplHello { lsn }
+                    // Trailing tokens are capability advertisements;
+                    // unknown ones are ignored so an older primary
+                    // still accepts a newer replica's HELLO.
+                    let mmap = toks.any(|t| t.eq_ignore_ascii_case("MMAP"));
+                    Request::ReplHello { lsn, mmap }
                 }
                 _ => return Err(usage.into()),
             }
@@ -582,6 +596,33 @@ mod tests {
         assert_eq!(f.next_line().unwrap(), None);
         f.push(&bytes[7..]);
         assert_eq!(f.next_line().unwrap().as_deref(), Some("ADD hi नेहरु"));
+    }
+
+    #[test]
+    fn parses_repl_hello_with_and_without_mmap_capability() {
+        // A replica from before the binary snapshot format: bare HELLO.
+        assert_eq!(
+            parse_request("REPL HELLO 42").unwrap().unwrap(),
+            Request::ReplHello {
+                lsn: 42,
+                mmap: false
+            }
+        );
+        // A current replica advertises MMAP (case-insensitive).
+        assert_eq!(
+            parse_request("REPL HELLO 0 mmap").unwrap().unwrap(),
+            Request::ReplHello { lsn: 0, mmap: true }
+        );
+        // Unknown trailing capability tokens are ignored, so a *future*
+        // replica can keep talking to this primary (the same contract
+        // that lets today's replica send MMAP to an old primary).
+        assert_eq!(
+            parse_request("REPL HELLO 7 MMAP SOME-FUTURE-CAP")
+                .unwrap()
+                .unwrap(),
+            Request::ReplHello { lsn: 7, mmap: true }
+        );
+        assert!(parse_request("REPL HELLO nope").is_err());
     }
 
     #[test]

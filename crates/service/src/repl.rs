@@ -5,8 +5,16 @@
 //! only then applies it to the store, under one lock — so LSN order is
 //! store-apply order, on the primary and on every copy. A replica
 //! (`--replica-of HOST:PORT`) opens the primary's line protocol with
-//! `REPL HELLO <lsn>` and applies what comes back through the same
+//! `REPL HELLO <lsn> MMAP` and applies what comes back through the same
 //! deterministic [`MatchService::apply_op`] path WAL replay uses.
+//!
+//! The trailing `MMAP` token negotiates the snapshot transfer format: a
+//! replica that advertises it is shipped the binary mmap image verbatim
+//! (loaded zero-copy from the transfer buffer), while a bare
+//! `REPL HELLO <lsn>` — a replica from before the binary format
+//! existed — is served the JSON document it understands. Either side
+//! may be upgraded first: an old primary ignores the unknown token, and
+//! a new replica sniffs the transfer's magic bytes to pick its loader.
 //!
 //! # Stream grammar (primary → replica, after the HELLO)
 //!
@@ -176,16 +184,30 @@ impl Replicator {
 
     /// Capture a store snapshot consistent with the WAL head (holds the
     /// commit lock for the duration). Returns `(image bytes, lsn)`.
-    /// The bytes are the binary mmap format — exactly what a snapshot
-    /// file holds, so the replica can load the transfer buffer directly
-    /// (or persist it verbatim) with no re-encode.
+    /// With [`SnapshotFormat::Mmap`] the bytes are the binary image —
+    /// exactly what a snapshot file holds, so a replica that advertised
+    /// the capability loads the transfer buffer directly (or persists
+    /// it verbatim) with no re-encode. [`SnapshotFormat::Json`] is the
+    /// pre-binary wire document, kept for replicas that predate the
+    /// mmap format (rolling upgrades: new primary, old replicas).
+    ///
+    /// [`SnapshotFormat::Mmap`]: crate::service::SnapshotFormat::Mmap
+    /// [`SnapshotFormat::Json`]: crate::service::SnapshotFormat::Json
     pub fn snapshot_document(
         &self,
         service: &MatchService,
+        format: crate::service::SnapshotFormat,
     ) -> Result<(Vec<u8>, u64), lexequal_mdb::DbError> {
         let wal = self.wal.lock().expect("wal lock");
         let lsn = wal.head_lsn();
-        let bytes = crate::mmapstore::encode(service.store(), lsn)?;
+        let bytes = match format {
+            crate::service::SnapshotFormat::Mmap => crate::mmapstore::encode(service.store(), lsn)?,
+            crate::service::SnapshotFormat::Json => {
+                let mut bytes = Vec::new();
+                StoreSnapshot::capture_with_lsn(service.store(), lsn).write_to(&mut bytes)?;
+                bytes
+            }
+        };
         Ok((bytes, lsn))
     }
 
@@ -288,10 +310,14 @@ fn io_other(e: impl std::fmt::Display) -> io::Error {
 
 /// Serve one replica's stream on the current thread until the link
 /// drops or the replicator stops. `hello_lsn` is the replica's last
-/// applied LSN (0 = fresh).
+/// applied LSN (0 = fresh); `peer_mmap` is whether its HELLO advertised
+/// the binary snapshot format (a bare `REPL HELLO <lsn>` from a
+/// pre-binary replica gets the JSON document, so rolling upgrades keep
+/// seeding).
 pub fn serve_replica(
     stream: TcpStream,
     hello_lsn: u64,
+    peer_mmap: bool,
     service: &MatchService,
     repl: &Replicator,
 ) -> io::Result<()> {
@@ -299,7 +325,7 @@ pub fn serve_replica(
     stream.set_write_timeout(Some(SENDER_WRITE_TIMEOUT))?;
     let mut w = BufWriter::new(stream);
     repl.replicas.fetch_add(1, Ordering::Relaxed);
-    let r = stream_to_replica(&mut w, hello_lsn, service, repl);
+    let r = stream_to_replica(&mut w, hello_lsn, peer_mmap, service, repl);
     repl.replicas.fetch_sub(1, Ordering::Relaxed);
     r
 }
@@ -307,14 +333,20 @@ pub fn serve_replica(
 fn stream_to_replica(
     w: &mut impl Write,
     hello_lsn: u64,
+    peer_mmap: bool,
     service: &MatchService,
     repl: &Replicator,
 ) -> io::Result<()> {
+    let format = if peer_mmap {
+        crate::service::SnapshotFormat::Mmap
+    } else {
+        crate::service::SnapshotFormat::Json
+    };
     let mut from = hello_lsn;
     if repl.can_serve_incremental(hello_lsn) {
         writeln!(w, "OK lsn={}", repl.head())?;
     } else {
-        let (bytes, lsn) = repl.snapshot_document(service).map_err(io_other)?;
+        let (bytes, lsn) = repl.snapshot_document(service, format).map_err(io_other)?;
         writeln!(w, "SNAP lsn={lsn} bytes={}", bytes.len())?;
         w.write_all(&bytes)?;
         from = lsn;
@@ -383,9 +415,9 @@ fn handshake_and_serve(
     let mut line = String::new();
     reader.read_line(&mut line)?;
     match crate::proto::parse_request(&line) {
-        Ok(Some(crate::proto::Request::ReplHello { lsn })) => {
+        Ok(Some(crate::proto::Request::ReplHello { lsn, mmap })) => {
             stream.set_read_timeout(None)?;
-            serve_replica(stream, lsn, service, repl)
+            serve_replica(stream, lsn, mmap, service, repl)
         }
         _ => {
             let mut stream = stream;
@@ -547,7 +579,10 @@ fn try_initial_sync(
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
     let mut w = stream.try_clone()?;
-    w.write_all(b"REPL HELLO 0\n")?;
+    // Advertise binary-snapshot support; an older primary ignores the
+    // trailing token and ships JSON, which the magic sniff below still
+    // handles.
+    w.write_all(b"REPL HELLO 0 MMAP\n")?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
@@ -668,7 +703,7 @@ fn reconnect(
     stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT))?;
     let applied = state.applied();
     let mut w = stream.try_clone()?;
-    w.write_all(format!("REPL HELLO {applied}\n").as_bytes())?;
+    w.write_all(format!("REPL HELLO {applied} MMAP\n").as_bytes())?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
@@ -806,6 +841,51 @@ mod tests {
             "lexequal_repl_unit_{}_{name}.wal",
             std::process::id()
         ))
+    }
+
+    /// Regression: replica seeding used to hard-code the binary image,
+    /// which broke rolling upgrades (new primary, pre-mmap replicas).
+    /// The transfer format now follows the peer's advertised
+    /// capability, and the JSON branch must still be the exact
+    /// pre-binary wire document an old replica can parse.
+    #[test]
+    fn snapshot_document_format_follows_peer_capability() {
+        let primary = MatchService::new(ServiceConfig {
+            match_config: MatchConfig::default(),
+            shards: 2,
+            cache_capacity: 16,
+        });
+        let wal_path = temp_wal("format");
+        std::fs::remove_file(&wal_path).ok();
+        let metrics = Arc::new(WalMetrics::default());
+        let (wal, _replay) = Wal::open(&wal_path, 0, Arc::clone(&metrics)).expect("open wal");
+        let repl = Replicator::new(wal, metrics);
+        for text in ["Nehru", "Gandhi"] {
+            repl.commit_add(&primary, text, Language::English)
+                .expect("commit");
+        }
+
+        let (mmap_bytes, mmap_lsn) = repl
+            .snapshot_document(&primary, crate::service::SnapshotFormat::Mmap)
+            .expect("binary document");
+        assert!(
+            crate::mmapstore::is_binary(&mmap_bytes),
+            "an MMAP-capable peer gets the binary image"
+        );
+
+        let (json_bytes, json_lsn) = repl
+            .snapshot_document(&primary, crate::service::SnapshotFormat::Json)
+            .expect("json document");
+        assert!(
+            !crate::mmapstore::is_binary(&json_bytes),
+            "a bare-HELLO peer must never see binary bytes"
+        );
+        assert_eq!(mmap_lsn, json_lsn, "both formats stamp the WAL head");
+
+        let snap = StoreSnapshot::read_from(&json_bytes[..]).expect("old-format parse");
+        assert_eq!(snap.lsn(), json_lsn);
+
+        std::fs::remove_file(&wal_path).ok();
     }
 
     /// In-process end to end: primary with a WAL and a stream listener,

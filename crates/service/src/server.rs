@@ -352,7 +352,7 @@ pub fn handle_connection_ctx(
             Ok(0) => return Ok(()),
             Ok(_) => {
                 metrics.observe_pipeline(1);
-                if let (Ok(Some(Request::ReplHello { lsn })), Some(repl)) =
+                if let (Ok(Some(Request::ReplHello { lsn, mmap })), Some(repl)) =
                     (parse_request(&line), &ctx.repl)
                 {
                     writer.flush()?;
@@ -362,7 +362,7 @@ pub fn handle_connection_ctx(
                         Err(e) => return Err(e.into_error()),
                     };
                     stream.set_read_timeout(None)?;
-                    return crate::repl::serve_replica(stream, lsn, service, repl);
+                    return crate::repl::serve_replica(stream, lsn, mmap, service, repl);
                 }
                 let mut quit = false;
                 for response in respond_with_ctx(&line, service, ctx, Some(metrics), &mut quit) {

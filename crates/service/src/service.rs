@@ -403,9 +403,7 @@ impl MatchService {
 
     /// Add one name; returns its global id.
     pub fn add(&self, text: &str, language: Language) -> Result<u32, G2pError> {
-        let id = self.store.insert(text, language)?;
-        self.invalidate_built();
-        Ok(id)
+        self.extend([(text.to_owned(), language)]).map(|r| r.start)
     }
 
     /// Bulk-load names; returns the assigned global id range.
@@ -413,20 +411,16 @@ impl MatchService {
         &self,
         rows: impl IntoIterator<Item = (String, Language)>,
     ) -> Result<Range<u32>, G2pError> {
-        let range = self.store.extend(rows)?;
-        if !range.is_empty() {
-            self.invalidate_built();
-        }
-        Ok(range)
+        // The mask invalidation runs under the store's grow lock (only
+        // when rows were actually appended), so it cannot interleave
+        // with a concurrent `build`'s mask update.
+        self.store.extend_with(rows, || self.invalidate_built())
     }
 
     /// Bulk-load pre-transformed entries.
     pub fn extend_transformed(&self, entries: Vec<NameEntry>) -> Range<u32> {
-        let range = self.store.extend_transformed(entries);
-        if !range.is_empty() {
-            self.invalidate_built();
-        }
-        range
+        self.store
+            .extend_transformed_with(entries, || self.invalidate_built())
     }
 
     fn invalidate_built(&self) {
@@ -435,15 +429,25 @@ impl MatchService {
     }
 
     /// Build one access path on every shard (in parallel across shards).
+    ///
+    /// The whole build — per-shard index construction, the store's spec
+    /// record, and this service's built-mask bit — commits under the
+    /// store's grow lock, so a concurrent `ADD` either lands entirely
+    /// before the build (and is indexed by it) or entirely after (and
+    /// invalidates both the record and the mask). The mask can therefore
+    /// never claim a path is built when some shard's index is gone —
+    /// which previously let a background rebuild racing an `ADD` leave
+    /// the daemon panicking on every search of that path.
     pub fn build(&self, spec: BuildSpec) {
-        self.store.build(spec);
         let method = match spec {
             BuildSpec::Qgram { .. } => SearchMethod::Qgram,
             BuildSpec::PhoneticIndex => SearchMethod::PhoneticIndex,
             BuildSpec::BkTree => SearchMethod::BkTree,
         };
-        self.built
-            .fetch_or(1 << method_index(method), Ordering::Release);
+        self.store.build_with(spec, |_| {
+            self.built
+                .fetch_or(1 << method_index(method), Ordering::Release);
+        });
     }
 
     /// Build every access path (q-gram with the given parameters).
@@ -1111,6 +1115,69 @@ mod tests {
             }),
             MatchOutcome::NotBuilt(SearchMethod::BkTree)
         );
+    }
+
+    /// Regression: a rebuild racing concurrent ADDs used to re-mark
+    /// access paths as built *after* the append had invalidated the
+    /// per-shard indexes, so the next method-pinned MATCH panicked
+    /// inside a shard worker and every later request died on the
+    /// closed channel. Builds now serialize against mutations under
+    /// the store's grow lock, and a worker that still sees a stale
+    /// request degrades to the exact scan — so this hammering must
+    /// never panic and must end in a consistent state.
+    #[test]
+    fn builds_racing_adds_never_kill_a_shard_worker() {
+        use std::sync::atomic::AtomicBool;
+
+        let s = std::sync::Arc::new(service(3));
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let builder = {
+            let s = std::sync::Arc::clone(&s);
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    s.build(BuildSpec::PhoneticIndex);
+                    s.build(BuildSpec::Qgram {
+                        q: 3,
+                        mode: QgramMode::Strict,
+                    });
+                }
+            })
+        };
+        for i in 0..200 {
+            s.add(&format!("Name{i}"), Language::English).unwrap();
+            let out = s.lookup(&MatchRequest {
+                method: Some(SearchMethod::PhoneticIndex),
+                threshold: Some(0.45),
+                ..MatchRequest::new("Nehru", Language::English)
+            });
+            assert!(
+                matches!(
+                    out,
+                    MatchOutcome::Matches { .. } | MatchOutcome::NotBuilt(_)
+                ),
+                "mid-race lookup produced {out:?}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        builder.join().expect("builder thread panicked");
+
+        // Every worker is still alive and the final state is coherent:
+        // one more build, then a pinned lookup over the full corpus.
+        s.build(BuildSpec::PhoneticIndex);
+        let out = s.lookup(&MatchRequest {
+            method: Some(SearchMethod::PhoneticIndex),
+            threshold: Some(0.45),
+            ..MatchRequest::new("Name123", Language::English)
+        });
+        match out {
+            MatchOutcome::Matches { ids, method, .. } => {
+                assert_eq!(method, SearchMethod::PhoneticIndex);
+                assert!(!ids.is_empty(), "Name123 was added and must match itself");
+            }
+            other => panic!("post-race lookup produced {other:?}"),
+        }
+        assert_eq!(s.len(), 5 + 200);
     }
 
     #[test]

@@ -128,6 +128,18 @@ fn worker(
                 shard,
                 reply,
             } => {
+                // The front-end's built-mask check and this command's
+                // arrival are not atomic: an append can land in between
+                // and invalidate the access path the caller saw as
+                // built. Degrading to a scan keeps the answer exact
+                // (every accelerator is a filter over the same
+                // verifier) instead of panicking and killing the
+                // worker — and with it the whole shard — for good.
+                let method = if store.is_built(method) {
+                    method
+                } else {
+                    SearchMethod::Scan
+                };
                 let result = store.search_phonemes_batched(&query, e, method, &mut verifier);
                 screens.add(&verifier.take_counters());
                 batches.add(&verifier.take_batch_counters());
@@ -149,7 +161,11 @@ pub struct ShardedStore {
     senders: Vec<Sender<Cmd>>,
     handles: Vec<JoinHandle<()>>,
     /// Serializes global-id assignment so the round-robin stripe stays
-    /// aligned with each shard's local insertion order.
+    /// aligned with each shard's local insertion order. Also held across
+    /// every [`build`](Self::build), so a build and an append can never
+    /// interleave — the recorded build specs (and the service's built
+    /// mask, updated under this lock via the `_with` hooks) always agree
+    /// with the actual per-shard index state.
     grow: Mutex<u32>,
     /// Kernel screen counters, flushed by every worker after each search.
     screens: Arc<ScreenTotals>,
@@ -248,8 +264,34 @@ impl ShardedStore {
         Ok(self.extend_transformed(entries))
     }
 
+    /// [`extend`](Self::extend) with the
+    /// [`extend_transformed_with`](Self::extend_transformed_with) hook.
+    pub(crate) fn extend_with(
+        &self,
+        rows: impl IntoIterator<Item = (String, Language)>,
+        after: impl FnOnce(),
+    ) -> Result<Range<u32>, G2pError> {
+        let rows: Vec<(String, Language)> = rows.into_iter().collect();
+        let entries = transform_rows(&self.config, rows)?;
+        Ok(self.extend_transformed_with(entries, after))
+    }
+
     /// Bulk-load pre-transformed entries; returns the global id range.
     pub fn extend_transformed(&self, entries: Vec<NameEntry>) -> Range<u32> {
+        self.extend_transformed_with(entries, || {})
+    }
+
+    /// [`extend_transformed`](Self::extend_transformed) with a hook run
+    /// under the grow lock after the recorded build specs are cleared
+    /// (only when at least one row was appended). [`crate::MatchService`]
+    /// invalidates its built-path mask here, so the mask can never claim
+    /// a path is built while the appends have just torn it down — a
+    /// concurrent [`build`](Self::build) serializes behind the same lock.
+    pub(crate) fn extend_transformed_with(
+        &self,
+        entries: Vec<NameEntry>,
+        after: impl FnOnce(),
+    ) -> Range<u32> {
         let n = self.shards();
         let guard = self.grow.lock().expect("grow lock");
         let start = *guard;
@@ -278,6 +320,7 @@ impl ShardedStore {
         if added > 0 {
             // The appends invalidated every shard's access paths.
             self.builds.lock().expect("builds lock").clear();
+            after();
         }
         // Publish the new length only after every shard has appended, so
         // a concurrent reader never sees ids it cannot resolve.
@@ -288,6 +331,22 @@ impl ShardedStore {
 
     /// Build one access path on every shard, in parallel.
     pub fn build(&self, spec: BuildSpec) {
+        self.build_with(spec, |_| {});
+    }
+
+    /// [`build`](Self::build) with a hook run under the grow lock after
+    /// the spec is recorded, receiving the full recorded list.
+    ///
+    /// The grow lock is held across the *entire* build — dispatch, every
+    /// shard's completion, and the spec record. Without that, an append
+    /// racing the build could invalidate the freshly built per-shard
+    /// indexes and clear the recorded specs, after which this method's
+    /// record (and the caller's built-mask update in `after`) would
+    /// re-mark the path as built anyway; the next search via that path
+    /// would then panic inside a shard worker. Serializing build against
+    /// mutations makes the recorded state truthful by construction.
+    pub(crate) fn build_with(&self, spec: BuildSpec, after: impl FnOnce(&[BuildSpec])) {
+        let _guard = self.grow.lock().expect("grow lock");
         let (tx, rx) = channel();
         for s in &self.senders {
             s.send(Cmd::Build {
@@ -303,6 +362,7 @@ impl ShardedStore {
         // q-gram build with a different `q` overwrites the old filter).
         builds.retain(|b| std::mem::discriminant(b) != std::mem::discriminant(&spec));
         builds.push(spec);
+        after(&builds);
     }
 
     /// The access paths currently built on every shard, in build order

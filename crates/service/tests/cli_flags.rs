@@ -230,6 +230,77 @@ fn snapshot_written_by_one_run_serves_the_next() {
     std::fs::remove_file(&snap).ok();
 }
 
+/// Regression: `--snapshot X --save-snapshot Y` used to save while the
+/// background index rebuild was still running, so Y recorded *zero*
+/// access paths and a daemon later loaded from Y served scan-only
+/// forever (the wire protocol has no BUILD command). Pending rebuilds
+/// must now run synchronously before the save, and the written image
+/// must record them.
+#[test]
+fn save_snapshot_after_mmap_load_records_access_paths() {
+    let pid = std::process::id();
+    let first_snap = std::env::temp_dir().join(format!("lexequal_cli_chain_a_{pid}.snap"));
+    let second_snap = std::env::temp_dir().join(format!("lexequal_cli_chain_b_{pid}.snap"));
+    let first_str = first_snap.to_str().unwrap().to_owned();
+    let second_str = second_snap.to_str().unwrap().to_owned();
+
+    // Seed run: preload builds every access path, then saves.
+    let mut seed = Server::spawn(&[
+        "--addr",
+        "127.0.0.1:0",
+        "--shards",
+        "2",
+        "--preload",
+        "200",
+        "--save-snapshot",
+        &first_str,
+    ]);
+    seed.wait_serving();
+    seed.stop();
+
+    // Chained run: load the image, save a new one. The builds the
+    // image records must be re-run *before* the save, and the daemon
+    // must say so.
+    let mut chain = Server::spawn(&[
+        "--addr",
+        "127.0.0.1:0",
+        "--snapshot",
+        &first_str,
+        "--save-snapshot",
+        &second_str,
+    ]);
+    let lines = chain.wait_serving();
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("rebuilt before snapshot save")),
+        "no synchronous-rebuild line in {lines:?}"
+    );
+    // By serving time the paths are built — a method-pinned MATCH must
+    // not answer NOTBUILT (no background-rebuild polling window).
+    let resp = chain.request("MATCH en qgram 0.45 Nehru");
+    assert!(resp.starts_with("OK "), "{resp}");
+    chain.stop();
+
+    // The chained image itself records the access paths: a third
+    // daemon loading it knows what to rebuild.
+    let image = lexequal_service::mmapstore::load_file(
+        lexequal::MatchConfig::default(),
+        None,
+        &second_snap,
+    )
+    .expect("chained snapshot loads");
+    assert_eq!(
+        image.builds.len(),
+        3,
+        "chained snapshot must record qgram + phonetic + bk-tree, got {:?}",
+        image.builds
+    );
+
+    std::fs::remove_file(&first_snap).ok();
+    std::fs::remove_file(&second_snap).ok();
+}
+
 #[test]
 fn replication_flags_reject_bad_combinations() {
     // Values are required and must look like addresses.

@@ -3,6 +3,7 @@
 //! ```text
 //! lexequald [--addr HOST:PORT] [--shards N] [--cache N] [--threshold E] [--preload N]
 //!           [--snapshot PATH] [--save-snapshot PATH] [--wal PATH]
+//!           [--wal-max-bytes N] [--wal-ack-grace SECS]
 //!           [--replica-of HOST:PORT] [--repl-listen HOST:PORT]
 //!           [--mode evented|threaded] [--workers N] [--max-pipeline N]
 //!           [--max-line BYTES] [--queue N]
@@ -42,20 +43,33 @@
 //!   it seeds itself with a snapshot transfer from the primary, applies
 //!   the op stream continuously (reconnecting with backoff), answers
 //!   MATCH/BATCH/STATS locally and rejects mutations with a redirect.
+//!
+//! WAL compaction (see DESIGN §5i): `--wal-max-bytes N` bounds the log —
+//! when it grows past N bytes a background cycle writes a durable mmap
+//! checkpoint to `<wal>.checkpoint` and truncates the prefix every
+//! in-grace replica has acknowledged (the `COMPACT` wire command runs
+//! the same cycle by hand, threshold or not). `--wal-ack-grace SECS`
+//! (default 10) is how long a silent replica keeps pinning the horizon
+//! before it is written off as a straggler (it re-seeds from a snapshot
+//! transfer when it comes back). On startup, if the configured
+//! `--snapshot` predates a compacted log (gap), the daemon falls back
+//! to `<wal>.checkpoint` automatically; with no `--snapshot` at all the
+//! checkpoint is used whenever it exists.
 
 use lexequal::MatchConfig;
 use lexequal_service::{
-    bind_reusable, repl, MatchService, ReplicaState, Replicator, ReqCtx, ServeMode, ServeOptions,
-    ServiceConfig, ShutdownSignal, SnapshotFormat, Wal, WalMetrics,
+    bind_reusable, repl, BuildSpec, CompactionPolicy, MatchService, ReplicaState, Replicator,
+    ReqCtx, ServeMode, ServeOptions, ServiceConfig, ShutdownSignal, SnapshotFormat, Wal, WalError,
+    WalMetrics,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: lexequald [--addr HOST:PORT] [--shards N] [--cache N] \
 [--threshold E] [--preload N] [--snapshot PATH] [--save-snapshot PATH] \
-[--snapshot-format mmap|json] [--wal PATH] \
+[--snapshot-format mmap|json] [--wal PATH] [--wal-max-bytes N] [--wal-ack-grace SECS] \
 [--replica-of HOST:PORT] [--repl-listen HOST:PORT] \
 [--mode evented|threaded] [--workers N] [--max-pipeline N] [--max-line BYTES] [--queue N]";
 
@@ -73,6 +87,12 @@ struct Args {
     /// the debug/export document for `--save-snapshot` and `SAVE`.
     snapshot_format: Option<SnapshotFormat>,
     wal: Option<String>,
+    /// Size threshold for background WAL compaction (`None` = only the
+    /// explicit `COMPACT` command compacts).
+    wal_max_bytes: Option<u64>,
+    /// Straggler grace in seconds before a silent replica stops
+    /// pinning the compaction horizon (`None` = default).
+    wal_ack_grace: Option<u64>,
     replica_of: Option<String>,
     repl_listen: Option<String>,
     mode: ServeMode,
@@ -110,6 +130,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         save_snapshot: None,
         snapshot_format: None,
         wal: None,
+        wal_max_bytes: None,
+        wal_ack_grace: None,
         replica_of: None,
         repl_listen: None,
         mode: ServeMode::Evented,
@@ -135,6 +157,21 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 });
             }
             "--wal" => args.wal = Some(value("--wal")?),
+            "--wal-max-bytes" => {
+                let v = value("--wal-max-bytes")?;
+                let n: u64 = parse_value("--wal-max-bytes", &v, "a positive byte count")?;
+                if n == 0 {
+                    return Err(format!(
+                        "--wal-max-bytes: invalid value {v:?} (must be positive)"
+                    ));
+                }
+                args.wal_max_bytes = Some(n);
+            }
+            "--wal-ack-grace" => {
+                let v = value("--wal-ack-grace")?;
+                args.wal_ack_grace =
+                    Some(parse_value("--wal-ack-grace", &v, "a number of seconds")?);
+            }
             "--replica-of" => {
                 args.replica_of = Some(parse_addr("--replica-of", value("--replica-of")?)?);
             }
@@ -236,6 +273,16 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     if args.repl_listen.is_some() && args.wal.is_none() {
         return Err("--repl-listen requires --wal (only a primary serves replicas)".to_owned());
     }
+    for (flag, set) in [
+        ("--wal-max-bytes", args.wal_max_bytes.is_some()),
+        ("--wal-ack-grace", args.wal_ack_grace.is_some()),
+    ] {
+        if set && args.wal.is_none() {
+            return Err(format!(
+                "{flag} requires --wal (compaction bounds the write-ahead log)"
+            ));
+        }
+    }
     Ok(args)
 }
 
@@ -257,90 +304,102 @@ fn main() -> ExitCode {
         return run_replica_daemon(&args, match_config);
     }
 
-    let (service, base_lsn, pending_builds) = if let Some(path) = &args.snapshot {
-        match MatchService::load_snapshot_auto(match_config.clone(), args.shards, args.cache, path)
-        {
-            Ok(load) => {
-                match load.format {
-                    SnapshotFormat::Mmap => eprintln!(
-                        "lexequald: snapshot {path:?} loaded via mmap: {} names on {} \
-                         shard(s), {} bytes mapped, serve-ready in {}ms \
-                         ({} access path(s) deferred to background rebuild)",
-                        load.service.len(),
-                        load.service.store().shards(),
-                        load.mapped_bytes,
-                        load.load_ms,
-                        load.pending_builds.len(),
-                    ),
-                    SnapshotFormat::Json => eprintln!(
-                        "lexequald: snapshot {path:?} loaded via json parse: {} names on {} \
-                         shard(s), {} access path(s) rebuilt in {}ms",
-                        load.service.len(),
-                        load.service.store().shards(),
-                        load.service.store().built_specs().len(),
-                        load.load_ms,
-                    ),
-                }
-                (Arc::new(load.service), load.lsn, load.pending_builds)
-            }
-            Err(e) => {
-                eprintln!("lexequald: cannot load snapshot {path:?}: {e}");
+    // Recovery candidates, preferred first: the explicit --snapshot,
+    // then the compaction checkpoint (<wal>.checkpoint) when one
+    // exists, then a fresh store. A candidate too old for a compacted
+    // log (WAL gap) falls through to the next — the checkpoint is
+    // written durably before any truncation precisely so this chain
+    // always lands (DESIGN §5i).
+    let checkpoint_path = args.wal.as_ref().map(|w| format!("{w}.checkpoint"));
+    let mut candidates: Vec<String> = Vec::new();
+    if let Some(s) = &args.snapshot {
+        candidates.push(s.clone());
+    }
+    if let Some(c) = &checkpoint_path {
+        if std::path::Path::new(c).exists() {
+            if args.preload > 0 {
+                eprintln!(
+                    "lexequald: refusing --preload: wal checkpoint {c:?} exists and \
+                     already holds a corpus (remove it to start fresh)"
+                );
                 return ExitCode::FAILURE;
             }
+            candidates.push(c.clone());
         }
-    } else {
-        let shards = args.shards.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        });
-        let service = Arc::new(MatchService::new(ServiceConfig {
-            match_config: match_config.clone(),
-            shards,
-            cache_capacity: args.cache,
-        }));
-        if args.preload > 0 {
-            eprintln!("lexequald: preloading ~{} synthetic names...", args.preload);
-            let dataset = lexequal_service::loadgen::build_dataset(&match_config, args.preload);
-            let n = dataset.len();
-            service.extend_transformed(dataset);
-            service.build_all(3, lexequal::QgramMode::Strict);
-            eprintln!("lexequald: {n} names loaded, all access paths built");
-        }
-        (service, 0, Vec::new())
-    };
+    }
 
-    // With --wal this daemon is a primary: recover the tail past the
-    // snapshot, then commit every future mutation through the log.
-    let replicator = if let Some(path) = &args.wal {
+    let mut candidate = 0usize;
+    let (service, replicator, pending_builds) = loop {
+        let (service, base_lsn, pending_builds) = match candidates.get(candidate) {
+            Some(path) => match load_snapshot_service(path, &match_config, &args) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("lexequald: cannot load snapshot {path:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => fresh_service(&match_config, &args),
+        };
+
+        // With --wal this daemon is a primary: recover the tail past the
+        // snapshot, then commit every future mutation through the log.
+        let Some(path) = &args.wal else {
+            break (service, None, pending_builds);
+        };
         let start = Instant::now();
         let metrics = Arc::new(WalMetrics::default());
         let (wal, tail) = match Wal::open(path, base_lsn, Arc::clone(&metrics)) {
             Ok(v) => v,
+            Err(e @ WalError::Gap { .. }) if candidate + 1 < candidates.len() => {
+                eprintln!(
+                    "lexequald: snapshot {:?} predates the compacted wal {path:?} ({e}); \
+                     falling back to {:?}",
+                    candidates[candidate],
+                    candidates[candidate + 1],
+                );
+                candidate += 1;
+                continue;
+            }
             Err(e) => {
                 eprintln!("lexequald: cannot open wal {path:?}: {e}");
                 return ExitCode::FAILURE;
             }
         };
         let replayed = tail.len();
+        let mut replay_failed = false;
         for record in tail {
             if let Err(e) = service.apply_op(&record.op) {
                 eprintln!(
                     "lexequald: cannot replay wal {path:?} record lsn {}: {e:?}",
                     record.lsn
                 );
-                return ExitCode::FAILURE;
+                replay_failed = true;
+                break;
             }
+        }
+        if replay_failed {
+            return ExitCode::FAILURE;
         }
         eprintln!(
             "lexequald: wal {path:?} replayed {replayed} op(s), head lsn {} in {:.2?}",
             wal.head_lsn(),
             start.elapsed(),
         );
-        Some(Replicator::new(wal, metrics))
-    } else {
-        None
+        break (service, Some(Replicator::new(wal, metrics)), pending_builds);
     };
+
+    // Compaction policy: the checkpoint target is fixed next to the
+    // wal, so recovery always knows where to look; the byte threshold
+    // arms the background compactor below.
+    if let Some(repl) = &replicator {
+        repl.set_compaction_policy(CompactionPolicy {
+            checkpoint: checkpoint_path.as_ref().map(PathBuf::from),
+            max_bytes: args.wal_max_bytes,
+            grace: args
+                .wal_ack_grace
+                .map_or(repl::DEFAULT_ACK_GRACE, Duration::from_secs),
+        });
+    }
 
     // An mmap load defers index rebuilds: the scan path serves
     // immediately, and the recorded access paths come up in the
@@ -409,6 +468,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Background compactor: polls the live byte count and runs a
+    // checkpoint-and-truncate cycle whenever the log outgrows the
+    // threshold (DESIGN §5i). Explicit COMPACT works regardless.
+    if let Some(repl) = &replicator {
+        if args.wal_max_bytes.is_some() {
+            repl.adopt_thread(repl::spawn_compactor(
+                Arc::clone(repl),
+                Arc::clone(&service),
+                shutdown.clone(),
+            ));
+        }
+    }
 
     // Optional dedicated replication listener (streams also work on the
     // main address; this isolates them for firewalling or QoS).
@@ -486,6 +558,67 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// One startup recovery candidate, loaded: the serving handle, the WAL
+/// LSN it covers, and any index rebuilds an mmap load deferred.
+type LoadedService = (Arc<MatchService>, u64, Vec<BuildSpec>);
+
+/// Restore the store from a snapshot (or checkpoint) file, announcing
+/// how it loaded. Shared by every recovery candidate in `main`.
+fn load_snapshot_service(
+    path: &str,
+    match_config: &MatchConfig,
+    args: &Args,
+) -> Result<LoadedService, String> {
+    let load =
+        MatchService::load_snapshot_auto(match_config.clone(), args.shards, args.cache, path)
+            .map_err(|e| e.to_string())?;
+    match load.format {
+        SnapshotFormat::Mmap => eprintln!(
+            "lexequald: snapshot {path:?} loaded via mmap: {} names on {} \
+             shard(s), {} bytes mapped, serve-ready in {}ms \
+             ({} access path(s) deferred to background rebuild)",
+            load.service.len(),
+            load.service.store().shards(),
+            load.mapped_bytes,
+            load.load_ms,
+            load.pending_builds.len(),
+        ),
+        SnapshotFormat::Json => eprintln!(
+            "lexequald: snapshot {path:?} loaded via json parse: {} names on {} \
+             shard(s), {} access path(s) rebuilt in {}ms",
+            load.service.len(),
+            load.service.store().shards(),
+            load.service.store().built_specs().len(),
+            load.load_ms,
+        ),
+    }
+    Ok((Arc::new(load.service), load.lsn, load.pending_builds))
+}
+
+/// No snapshot and no checkpoint: an empty store (optionally bulk-seeded
+/// via `--preload`) starting at LSN 0.
+fn fresh_service(match_config: &MatchConfig, args: &Args) -> LoadedService {
+    let shards = args.shards.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let service = Arc::new(MatchService::new(ServiceConfig {
+        match_config: match_config.clone(),
+        shards,
+        cache_capacity: args.cache,
+    }));
+    if args.preload > 0 {
+        eprintln!("lexequald: preloading ~{} synthetic names...", args.preload);
+        let dataset = lexequal_service::loadgen::build_dataset(match_config, args.preload);
+        let n = dataset.len();
+        service.extend_transformed(dataset);
+        service.build_all(3, lexequal::QgramMode::Strict);
+        eprintln!("lexequald: {n} names loaded, all access paths built");
+    }
+    (service, 0, Vec::new())
 }
 
 /// The `--replica-of` daemon: seed from the primary's snapshot stream,

@@ -25,6 +25,13 @@
 //! commit and apply rates, and sustained lag (default
 //! `results/repl_bench.json`).
 //!
+//! `--compaction-bench` is the WAL-bound soak: a primary with a tiny
+//! `--wal-max-bytes` threshold and a live streaming replica, committing
+//! through several background checkpoint-and-truncate cycles, then
+//! proving the bound held (sampled peak), the replica drained to zero
+//! lag, and a battery of lookups answers identically on both sides
+//! (default `results/compaction_bench.json`).
+//!
 //! `--untagged-bench` drives one service with a mixed tagged/untagged
 //! workload (`--untagged-pct` of ops omit the language tag and go
 //! through script profiling + fan-out routing, including foreign-script
@@ -33,9 +40,10 @@
 
 use lexequal::SearchMethod;
 use lexequal_service::loadgen::{
-    run, run_net, run_repl_bench, run_snapshot_bench, run_untagged_bench, write_json,
-    write_net_json, write_repl_bench_json, write_snapshot_bench_json, write_untagged_bench_json,
-    LoadgenConfig, NetConfig, ReplBenchConfig, SnapshotBenchConfig, UntaggedBenchConfig,
+    run, run_compaction_bench, run_net, run_repl_bench, run_snapshot_bench, run_untagged_bench,
+    write_compaction_bench_json, write_json, write_net_json, write_repl_bench_json,
+    write_snapshot_bench_json, write_untagged_bench_json, CompactionBenchConfig, LoadgenConfig,
+    NetConfig, ReplBenchConfig, SnapshotBenchConfig, UntaggedBenchConfig,
 };
 use lexequal_service::ServeMode;
 use std::path::PathBuf;
@@ -56,6 +64,7 @@ enum Parsed {
     Net(NetConfig, PathBuf),
     SnapshotBench(SnapshotBenchConfig, PathBuf),
     ReplBench(ReplBenchConfig, PathBuf),
+    CompactionBench(CompactionBenchConfig, PathBuf),
     UntaggedBench(UntaggedBenchConfig, PathBuf),
 }
 
@@ -64,15 +73,18 @@ fn parse_args() -> Result<Parsed, String> {
     let mut net = NetConfig::default();
     let mut snap = SnapshotBenchConfig::default();
     let mut repl = ReplBenchConfig::default();
+    let mut compaction = CompactionBenchConfig::default();
     let mut untagged = UntaggedBenchConfig::default();
     let mut net_mode = false;
     let mut snap_mode = false;
     let mut repl_mode = false;
+    let mut compaction_mode = false;
     let mut untagged_mode = false;
     let mut out = PathBuf::from("results/service_bench.json");
     let mut net_out = PathBuf::from("results/evented_bench.json");
     let mut snap_out = PathBuf::from("results/snapshot_bench.json");
     let mut repl_out = PathBuf::from("results/repl_bench.json");
+    let mut compaction_out = PathBuf::from("results/compaction_bench.json");
     let mut untagged_out = PathBuf::from("results/untagged_bench.json");
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -81,6 +93,30 @@ fn parse_args() -> Result<Parsed, String> {
             "--net" => net_mode = true,
             "--snapshot-bench" => snap_mode = true,
             "--repl-bench" => repl_mode = true,
+            "--compaction-bench" => compaction_mode = true,
+            "--wal-max-bytes" => {
+                let v = value("--wal-max-bytes")?;
+                compaction.wal_max_bytes = v.parse().map_err(|_| {
+                    format!("--wal-max-bytes: invalid value {v:?} (expected a positive byte count)")
+                })?;
+                if compaction.wal_max_bytes == 0 {
+                    return Err(format!(
+                        "--wal-max-bytes: invalid value {v:?} (must be positive)"
+                    ));
+                }
+            }
+            "--compaction-ops" => {
+                let v = value("--compaction-ops")?;
+                compaction.ops = v.parse().map_err(|_| {
+                    format!("--compaction-ops: invalid value {v:?} (expected a positive integer)")
+                })?;
+                if compaction.ops == 0 {
+                    return Err(format!(
+                        "--compaction-ops: invalid value {v:?} (must be positive)"
+                    ));
+                }
+            }
+            "--compaction-out" => compaction_out = PathBuf::from(value("--compaction-out")?),
             "--untagged-bench" => untagged_mode = true,
             "--untagged-pct" => {
                 let v = value("--untagged-pct")?;
@@ -126,6 +162,7 @@ fn parse_args() -> Result<Parsed, String> {
                         "--repl-shards: invalid value {v:?} (must be positive)"
                     ));
                 }
+                compaction.shards = repl.shards;
             }
             "--repl-out" => repl_out = PathBuf::from(value("--repl-out")?),
             "--snap-shards" => {
@@ -196,6 +233,7 @@ fn parse_args() -> Result<Parsed, String> {
                 net.dataset_size = config.dataset_size;
                 snap.dataset_size = config.dataset_size;
                 repl.dataset_size = config.dataset_size;
+                compaction.dataset_size = config.dataset_size;
                 untagged.dataset_size = config.dataset_size;
             }
             "--clients" => {
@@ -254,6 +292,8 @@ fn parse_args() -> Result<Parsed, String> {
                      [--snapshot-out PATH]\n\
                      \x20      loadgen --repl-bench [--size N] [--repl-ops N] [--repl-shards N] \
                      [--repl-out PATH]\n\
+                     \x20      loadgen --compaction-bench [--size N] [--compaction-ops N] \
+                     [--wal-max-bytes N] [--repl-shards N] [--compaction-out PATH]\n\
                      \x20      loadgen --untagged-bench [--size N] [--clients N] [--ops N] \
                      [--untagged-pct P] [--untagged-shards N] [--untagged-out PATH]"
                 );
@@ -264,6 +304,8 @@ fn parse_args() -> Result<Parsed, String> {
     }
     Ok(if untagged_mode {
         Parsed::UntaggedBench(untagged, untagged_out)
+    } else if compaction_mode {
+        Parsed::CompactionBench(compaction, compaction_out)
     } else if repl_mode {
         Parsed::ReplBench(repl, repl_out)
     } else if snap_mode {
@@ -406,6 +448,38 @@ fn main_repl_bench(config: ReplBenchConfig, out: PathBuf) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn main_compaction_bench(config: CompactionBenchConfig, out: PathBuf) -> ExitCode {
+    eprintln!(
+        "loadgen: compaction soak, ~{} names + {} committed ops, wal bound {} bytes, {} shards",
+        config.dataset_size, config.ops, config.wal_max_bytes, config.shards,
+    );
+    let report = run_compaction_bench(&config);
+    println!(
+        "compactions={} checkpoint_lsn={} appended={}B peak={}B final={}B  \
+         commit={:.1} ops/s  final_lag={} battery {}/{} identical reseeds={}",
+        report.compactions,
+        report.checkpoint_lsn,
+        report.bytes_appended,
+        report.wal_bytes_peak,
+        report.wal_bytes_final,
+        report.commit_ops_per_sec,
+        report.final_lag,
+        report.battery_queries - report.battery_mismatches,
+        report.battery_queries,
+        report.reseeds,
+    );
+    if report.final_lag != 0 || report.battery_mismatches != 0 {
+        eprintln!("loadgen: compaction soak FAILED (lag or battery mismatch)");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = write_compaction_bench_json(&report, &out) {
+        eprintln!("loadgen: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("loadgen: wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 fn main_untagged_bench(config: UntaggedBenchConfig, out: PathBuf) -> ExitCode {
     eprintln!(
         "loadgen: untagged bench, ~{} names, {} clients x {} ops, {}% untagged, {} shards",
@@ -443,6 +517,7 @@ fn main() -> ExitCode {
         Ok(Parsed::Net(config, out)) => main_net(config, out),
         Ok(Parsed::SnapshotBench(config, out)) => main_snapshot_bench(config, out),
         Ok(Parsed::ReplBench(config, out)) => main_repl_bench(config, out),
+        Ok(Parsed::CompactionBench(config, out)) => main_compaction_bench(config, out),
         Ok(Parsed::UntaggedBench(config, out)) => main_untagged_bench(config, out),
         Err(e) => {
             eprintln!("loadgen: {e}");

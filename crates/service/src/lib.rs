@@ -38,15 +38,22 @@
 //! * [`wal`] — the write-ahead op log: length-prefixed checksummed
 //!   records with monotonic LSNs; every mutation is durable before the
 //!   client sees `OK`, and restart replays the tail past the snapshot.
+//!   Cursor-based tail reads and an atomic checkpoint-and-truncate
+//!   rewrite ([`Wal::compact_to`](wal::Wal::compact_to)) keep the file
+//!   bounded.
 //! * [`repl`] — replication: the primary's [`Replicator`](repl::Replicator)
 //!   (WAL commit lock + per-replica sender threads streaming snapshots
-//!   and op records) and the replica side
+//!   and op records, replica ACK tracking, and the
+//!   [`spawn_compactor`](repl::spawn_compactor) checkpoint/compaction
+//!   loop with replica-aware horizons) and the replica side
 //!   ([`initial_sync`](repl::initial_sync) / [`run_replica`](repl::run_replica))
-//!   behind `lexequald --replica-of`.
+//!   behind `lexequald --replica-of`, including live re-seed after
+//!   being compacted past and fatal divergence detection.
 //! * [`loadgen`] — the load generator behind the `loadgen` binary:
 //!   in-process shard scaling (`results/service_bench.json`),
-//!   socket-level serving-mode comparison (`results/evented_bench.json`)
-//!   and replication apply/lag measurement (`results/repl_bench.json`).
+//!   socket-level serving-mode comparison (`results/evented_bench.json`),
+//!   replication apply/lag measurement (`results/repl_bench.json`) and
+//!   the bounded-WAL compaction soak (`results/compaction_bench.json`).
 //!
 //! ## Example
 //!
@@ -90,8 +97,8 @@ pub use metrics::{
 pub use mmapstore::{LoadedImage, Mmap};
 pub use proto::{FrameError, LineFramer};
 pub use repl::{
-    initial_sync, run_replica, serve_repl_listener, serve_replica, CommitError, ReplError,
-    ReplicaState, Replicator,
+    initial_sync, run_replica, serve_repl_listener, serve_replica, spawn_compactor, CommitError,
+    CompactReport, CompactionPolicy, ReplError, ReplicaState, Replicator,
 };
 pub use server::{
     bind_reusable, serve, serve_ctx, serve_threaded, serve_threaded_ctx, serve_with, ReqCtx,
@@ -103,4 +110,4 @@ pub use service::{
 };
 pub use shard::{BuildSpec, PendingSearch, ShardedStore};
 pub use snapshot::{StoreSnapshot, STORE_SNAPSHOT_VERSION};
-pub use wal::{Op, Wal, WalError, WalRecord};
+pub use wal::{CompactionStats, Op, Wal, WalCursor, WalError, WalRecord};

@@ -1125,6 +1125,307 @@ pub fn write_repl_bench_json(
 }
 
 // ---------------------------------------------------------------------------
+// WAL compaction soak (`--compaction-bench`)
+// ---------------------------------------------------------------------------
+
+/// What the compaction soak measures.
+#[derive(Debug, Clone)]
+pub struct CompactionBenchConfig {
+    /// Names preloaded into the primary before the replica attaches.
+    pub dataset_size: usize,
+    /// Mutations committed through the WAL while the compactor runs.
+    pub ops: usize,
+    /// Byte threshold handed to the background compactor — kept tiny so
+    /// the soak crosses it many times.
+    pub wal_max_bytes: u64,
+    /// Store shards on both sides.
+    pub shards: usize,
+    /// Transform-cache capacity.
+    pub cache_capacity: usize,
+    /// Lookups in the primary-vs-replica verification battery.
+    pub battery: usize,
+}
+
+impl Default for CompactionBenchConfig {
+    fn default() -> Self {
+        CompactionBenchConfig {
+            dataset_size: 3_000,
+            ops: 2_000,
+            wal_max_bytes: 32 * 1024,
+            shards: 2,
+            cache_capacity: 4096,
+            battery: 64,
+        }
+    }
+}
+
+/// The compaction soak report: a WAL-bounded primary with a live
+/// streaming replica, committing through several checkpoint-and-truncate
+/// cycles and then proving the replica converged (lag 0, battery of
+/// identical lookups).
+#[derive(Debug, Clone)]
+pub struct CompactionBenchReport {
+    /// Names in the initial snapshot transfer.
+    pub dataset_size: usize,
+    /// Streamed mutations committed.
+    pub ops: usize,
+    /// Compactor byte threshold.
+    pub wal_max_bytes: u64,
+    /// Store shards on both sides.
+    pub shards: usize,
+    /// Checkpoint-and-truncate cycles that actually dropped records.
+    pub compactions: u64,
+    /// LSN the last durable checkpoint covers.
+    pub checkpoint_lsn: u64,
+    /// Snapshot re-seeds served (0 here: the replica never lapses).
+    pub reseeds: u64,
+    /// Total record bytes appended over the run — what an unbounded log
+    /// would have held (magic excluded).
+    pub bytes_appended: u64,
+    /// Largest sampled live log size, bytes.
+    pub wal_bytes_peak: u64,
+    /// Live log size after the final cycle, bytes.
+    pub wal_bytes_final: u64,
+    /// Primary-side committed mutations per second while compaction
+    /// cycles ran underneath.
+    pub commit_ops_per_sec: f64,
+    /// Replica lag after the drain (must be 0).
+    pub final_lag: u64,
+    /// Lookups compared primary-vs-replica.
+    pub battery_queries: usize,
+    /// Compared lookups whose id sets differed (must be 0).
+    pub battery_mismatches: usize,
+}
+
+/// Run the compaction soak. The WAL and its checkpoint live in
+/// temporary files and are removed afterwards; only the numbers survive.
+pub fn run_compaction_bench(config: &CompactionBenchConfig) -> CompactionBenchReport {
+    use crate::metrics::WalMetrics;
+    use crate::repl::{self, CompactionPolicy, ReplicaState, Replicator};
+    use crate::wal::Wal;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let match_config = MatchConfig::default();
+    let dataset = build_dataset(&match_config, config.dataset_size + config.ops);
+    let ops = config.ops.min(dataset.len().saturating_sub(1)).max(1);
+    let (base, tail) = dataset.split_at(dataset.len() - ops);
+
+    let primary = Arc::new(MatchService::new(ServiceConfig {
+        match_config: match_config.clone(),
+        shards: config.shards,
+        cache_capacity: config.cache_capacity,
+    }));
+    primary.extend_transformed(base.to_vec());
+    primary.build_all(3, QgramMode::Strict);
+
+    let wal_path = std::env::temp_dir().join(format!(
+        "lexequal_compaction_bench_{}.wal",
+        std::process::id()
+    ));
+    let checkpoint_path = wal_path.with_extension("wal.checkpoint");
+    std::fs::remove_file(&wal_path).ok();
+    std::fs::remove_file(&checkpoint_path).ok();
+    let metrics = Arc::new(WalMetrics::default());
+    let (wal, _) = Wal::open(&wal_path, 0, Arc::clone(&metrics)).expect("open bench wal");
+    let replicator = Replicator::new(wal, metrics);
+    replicator.set_compaction_policy(CompactionPolicy {
+        checkpoint: Some(checkpoint_path.clone()),
+        max_bytes: Some(config.wal_max_bytes),
+        grace: std::time::Duration::from_secs(10),
+    });
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind repl listener");
+    let addr = listener.local_addr().expect("listener addr").to_string();
+    let shutdown = ShutdownSignal::new().expect("shutdown signal");
+    let accept = {
+        let primary = Arc::clone(&primary);
+        let replicator = Arc::clone(&replicator);
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            repl::serve_repl_listener(listener, primary, replicator, shutdown)
+        })
+    };
+    replicator.adopt_thread(repl::spawn_compactor(
+        Arc::clone(&replicator),
+        Arc::clone(&primary),
+        shutdown.clone(),
+    ));
+
+    let state = Arc::new(ReplicaState::new(addr.clone()));
+    let (replica, stream, reader) = repl::initial_sync(
+        &addr,
+        &match_config,
+        Some(config.shards),
+        config.cache_capacity,
+        &state,
+        &shutdown,
+    )
+    .expect("initial sync");
+    let replica = Arc::new(replica);
+    let apply = {
+        let replica = Arc::clone(&replica);
+        let state = Arc::clone(&state);
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || {
+            repl::run_replica(&replica, &state, Some((stream, reader)), &shutdown)
+        })
+    };
+
+    // Sample the live log size while commits and compaction cycles race:
+    // the peak is the bound the soak proves.
+    let sampling = Arc::new(AtomicBool::new(true));
+    let sampler = {
+        let replicator = Arc::clone(&replicator);
+        let sampling = Arc::clone(&sampling);
+        std::thread::spawn(move || {
+            let mut peak = 0u64;
+            while sampling.load(Ordering::Acquire) {
+                peak = peak.max(replicator.live_bytes());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            peak
+        })
+    };
+
+    let t_commit = Instant::now();
+    for entry in tail {
+        replicator
+            .commit_add(&primary, &entry.text, entry.language)
+            .expect("bench commit");
+    }
+    let commit_secs = t_commit.elapsed().as_secs_f64();
+
+    // Drain: the replica must reach the head even though the log prefix
+    // it streamed from kept disappearing underneath it.
+    let head = replicator.head();
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    while state.applied() < head {
+        assert!(
+            Instant::now() < deadline,
+            "replica never caught up past compaction"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // Let the compactor finish the cycle for the final burst before the
+    // peak/final byte readings settle.
+    let settle = Instant::now() + std::time::Duration::from_secs(5);
+    while replicator.live_bytes() > config.wal_max_bytes && Instant::now() < settle {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    sampling.store(false, Ordering::Release);
+    let wal_bytes_peak = sampler.join().expect("byte sampler");
+    let final_lag = state.lag();
+
+    // Converged means *answers*, not just LSNs: the same battery of
+    // lookups must return the same ids on both sides.
+    let battery = config.battery.min(dataset.len()).max(1);
+    let stride = (dataset.len() / battery).max(1);
+    let mut battery_queries = 0usize;
+    let mut battery_mismatches = 0usize;
+    for entry in dataset.iter().step_by(stride).take(battery) {
+        let req = MatchRequest::new(&entry.text, entry.language);
+        let a = match primary.lookup(&req) {
+            MatchOutcome::Matches { ids, .. } => ids,
+            other => panic!("primary battery lookup failed: {other:?}"),
+        };
+        let b = match replica.lookup(&req) {
+            MatchOutcome::Matches { ids, .. } => ids,
+            other => panic!("replica battery lookup failed: {other:?}"),
+        };
+        battery_queries += 1;
+        if a != b {
+            battery_mismatches += 1;
+        }
+    }
+
+    let report = CompactionBenchReport {
+        dataset_size: base.len(),
+        ops,
+        wal_max_bytes: config.wal_max_bytes,
+        shards: config.shards,
+        compactions: replicator.compactions(),
+        checkpoint_lsn: replicator.checkpoint_lsn(),
+        reseeds: replicator.reseeds(),
+        bytes_appended: replicator.wal_stats().bytes,
+        wal_bytes_peak,
+        wal_bytes_final: replicator.live_bytes(),
+        commit_ops_per_sec: ops as f64 / commit_secs.max(f64::EPSILON),
+        final_lag,
+        battery_queries,
+        battery_mismatches,
+    };
+
+    shutdown.trigger();
+    replicator.stop_and_join();
+    let _ = apply.join().expect("apply thread");
+    let _ = accept.join().expect("accept thread");
+    std::fs::remove_file(&wal_path).ok();
+    std::fs::remove_file(&checkpoint_path).ok();
+    report
+}
+
+/// Render the compaction soak report as JSON.
+pub fn compaction_bench_to_json(report: &CompactionBenchReport) -> Json {
+    Json::Obj(vec![
+        (
+            "dataset_size".to_owned(),
+            Json::Int(report.dataset_size as i64),
+        ),
+        ("ops".to_owned(), Json::Int(report.ops as i64)),
+        (
+            "wal_max_bytes".to_owned(),
+            Json::Int(report.wal_max_bytes as i64),
+        ),
+        ("shards".to_owned(), Json::Int(report.shards as i64)),
+        (
+            "compactions".to_owned(),
+            Json::Int(report.compactions as i64),
+        ),
+        (
+            "checkpoint_lsn".to_owned(),
+            Json::Int(report.checkpoint_lsn as i64),
+        ),
+        ("reseeds".to_owned(), Json::Int(report.reseeds as i64)),
+        (
+            "bytes_appended".to_owned(),
+            Json::Int(report.bytes_appended as i64),
+        ),
+        (
+            "wal_bytes_peak".to_owned(),
+            Json::Int(report.wal_bytes_peak as i64),
+        ),
+        (
+            "wal_bytes_final".to_owned(),
+            Json::Int(report.wal_bytes_final as i64),
+        ),
+        (
+            "commit_ops_per_sec".to_owned(),
+            Json::Float(report.commit_ops_per_sec),
+        ),
+        ("final_lag".to_owned(), Json::Int(report.final_lag as i64)),
+        (
+            "battery_queries".to_owned(),
+            Json::Int(report.battery_queries as i64),
+        ),
+        (
+            "battery_mismatches".to_owned(),
+            Json::Int(report.battery_mismatches as i64),
+        ),
+    ])
+}
+
+/// Write the compaction soak report to `path` as JSON.
+pub fn write_compaction_bench_json(
+    report: &CompactionBenchReport,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, compaction_bench_to_json(report).render())
+}
+
+// ---------------------------------------------------------------------------
 // Untagged-query bench (`--untagged-bench`)
 // ---------------------------------------------------------------------------
 

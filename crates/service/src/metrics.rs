@@ -439,6 +439,17 @@ pub struct ReplStats {
     pub wal: Option<WalStats>,
     /// Replica: the primary's address.
     pub primary_addr: Option<String>,
+    /// Primary: live (post-compaction) WAL file size in bytes.
+    pub wal_bytes_live: u64,
+    /// Primary: completed checkpoint-and-truncate cycles.
+    pub compactions: u64,
+    /// Primary: LSN covered by the newest durable checkpoint (0 = none).
+    pub checkpoint_lsn: u64,
+    /// Snapshot-transfer catch-ups served (primary) or performed
+    /// (replica) because an incremental stream was impossible.
+    pub reseeds: u64,
+    /// Divergent-history detections: a replica ahead of its primary.
+    pub divergences: u64,
 }
 
 impl ServiceMetrics {

@@ -14,6 +14,7 @@
 //! BATCH <lang> <method|-> <threshold|-> <text>|<text>|...
 //! STATS
 //! SAVE [JSON] [path]
+//! COMPACT
 //! REPL HELLO <lsn> [MMAP]
 //! QUIT
 //! ```
@@ -34,6 +35,7 @@
 //! OK n=<k> verified=<v> method=<m> ids=<a,b,…> (MATCH / each BATCH item)
 //! OK <key>=<value> ...                         (STATS, single line)
 //! OK saved=<path> names=<n> lsn=<l>            (SAVE)
+//! OK compacted checkpoint_lsn=<c> horizon=<h> dropped=<n> wal_bytes_live=<b>  (COMPACT)
 //! NORESOURCE <lang>
 //! NOTBUILT <method>
 //! ERR <message>
@@ -43,7 +45,12 @@
 //! `SAVE` snapshots the running store to disk (atomically, temp file +
 //! rename) in the binary mmap format; `SAVE JSON` writes the
 //! human-readable document instead (debug/export). Without a path it
-//! uses the daemon's configured snapshot path. `REPL HELLO <lsn> [MMAP]`
+//! uses the daemon's configured snapshot path. `COMPACT` (primaries
+//! with `--wal` only) runs one checkpoint-and-truncate cycle by hand:
+//! a durable checkpoint at the WAL head, then the log prefix every
+//! in-grace replica has acknowledged is dropped — the same cycle the
+//! `--wal-max-bytes` trigger runs automatically (see
+//! [`crate::repl::Replicator::compact`]). `REPL HELLO <lsn> [MMAP]`
 //! is not a request/response pair: on a primary started with `--wal` it
 //! converts the connection into a replication stream (see
 //! [`crate::repl`] for the stream grammar and the snapshot-format
@@ -204,6 +211,10 @@ pub enum Request {
         /// Whether the replica advertised binary-snapshot support.
         mmap: bool,
     },
+    /// `COMPACT` — checkpoint the store and truncate the WAL prefix
+    /// every in-grace replica has acknowledged (primaries only; the
+    /// same cycle the `--wal-max-bytes` trigger runs automatically).
+    Compact,
     /// `QUIT`
     Quit,
 }
@@ -398,6 +409,7 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
                 _ => return Err(usage.into()),
             }
         }
+        "COMPACT" => Request::Compact,
         "QUIT" => Request::Quit,
         other => return Err(format!("unknown command {other:?}")),
     };
@@ -513,6 +525,15 @@ pub fn format_stats(s: &StatsSnapshot) -> String {
                         wal.appends, wal.fsyncs, wal.bytes,
                     ));
                 }
+                line.push_str(&format!(
+                    " wal_bytes_live={} compactions={} checkpoint_lsn={} reseeds={} \
+                     divergences={}",
+                    repl.wal_bytes_live,
+                    repl.compactions,
+                    repl.checkpoint_lsn,
+                    repl.reseeds,
+                    repl.divergences,
+                ));
             }
             crate::metrics::ReplRole::Replica => {
                 line.push_str(&format!(
@@ -525,6 +546,10 @@ pub fn format_stats(s: &StatsSnapshot) -> String {
                 if let Some(primary) = &repl.primary_addr {
                     line.push_str(&format!(" repl_primary={primary}"));
                 }
+                line.push_str(&format!(
+                    " repl_reseeds={} repl_divergences={}",
+                    repl.reseeds, repl.divergences,
+                ));
             }
         }
     }

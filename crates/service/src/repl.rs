@@ -23,14 +23,27 @@
 //! OK lsn=<head>\n                              incremental catch-up possible
 //! OP <lsn> <op payload>\n                      one committed mutation
 //! PING lsn=<head>\n                            heartbeat (~500ms when idle)
+//! DIVERGED lsn=<head>\n                        replica is AHEAD of this primary
 //! ```
+//!
+//! The replica talks back on the same socket: `ACK <lsn>\n` after
+//! applying (throttled, and on every heartbeat), which the primary
+//! records per replica as that stream's acknowledged horizon — the
+//! input to WAL compaction (see [`Replicator::compact`]).
 //!
 //! The primary answers `SNAP` when the replica's LSN is 0 or has fallen
 //! behind the log horizon (the WAL no longer holds `lsn+1`), `OK`
-//! otherwise. A replica only accepts a `SNAP` while its store is still
-//! empty — a mid-life demand means the primary's lineage diverged and
-//! comes back as the fatal [`ReplError::NeedsResync`] (restart the
-//! replica to re-seed).
+//! otherwise. A mid-life `SNAP` is how a replica that outlived the
+//! compacted log re-seeds: when the snapshot's history is a strict
+//! extension of the replica's own (same entries, same order — which
+//! non-divergent WAL history guarantees), the replica appends the
+//! missing tail entries from the transfer and rebuilds the snapshot's
+//! access paths, all without restarting. Only a genuine divergence —
+//! the snapshot contradicting entries the replica already holds, or a
+//! `DIVERGED` reply (this replica's LSN is ahead of the primary's whole
+//! history, e.g. a primary restored from an old snapshot) — is the
+//! fatal [`ReplError::NeedsResync`], because continuing would silently
+//! roll back acknowledged state.
 //!
 //! [`MatchService::apply_op`]: crate::MatchService::apply_op
 
@@ -38,11 +51,12 @@ use crate::event_loop::ShutdownSignal;
 use crate::metrics::{ReplRole, ReplStats, WalMetrics, WalStats};
 use crate::service::MatchService;
 use crate::snapshot::StoreSnapshot;
-use crate::wal::{Op, Wal, WalError, WalRecord};
+use crate::wal::{self, Op, Wal, WalCursor, WalError, WalRecord};
 use lexequal::MatchConfig;
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::path::Path;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -60,6 +74,15 @@ const BACKOFF_CAP: Duration = Duration::from_secs(3);
 const SENDER_WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 /// Handshake patience (covers a large snapshot transfer).
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Minimum spacing between a replica's progress `ACK`s (heartbeats
+/// always get one regardless, so an idle link still refreshes its
+/// straggler-grace clock).
+const ACK_INTERVAL: Duration = Duration::from_millis(100);
+/// How often the background compactor re-checks the log size.
+const COMPACTOR_POLL: Duration = Duration::from_millis(200);
+/// Default straggler grace: a replica silent this long stops pinning
+/// the compaction horizon (it re-seeds from a snapshot on reconnect).
+pub const DEFAULT_ACK_GRACE: Duration = Duration::from_secs(10);
 
 /// Why a commit was refused.
 #[derive(Debug)]
@@ -79,6 +102,59 @@ impl std::fmt::Display for CommitError {
     }
 }
 
+/// How and when the WAL gets compacted. Installed by the daemon via
+/// [`Replicator::set_compaction_policy`]; without a checkpoint path,
+/// [`Replicator::compact`] refuses to run (truncating without a durable
+/// checkpoint would simply lose the prefix).
+#[derive(Debug, Clone)]
+pub struct CompactionPolicy {
+    /// Where the pre-truncation checkpoint lands (the daemon uses
+    /// `<wal>.checkpoint`).
+    pub checkpoint: Option<PathBuf>,
+    /// Size threshold the background compactor acts on (`None` = only
+    /// explicit `COMPACT`).
+    pub max_bytes: Option<u64>,
+    /// Straggler grace: replicas silent longer than this stop pinning
+    /// the horizon.
+    pub grace: Duration,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            checkpoint: None,
+            max_bytes: None,
+            grace: DEFAULT_ACK_GRACE,
+        }
+    }
+}
+
+/// One attached replica's acknowledged position, as fed back on the
+/// stream socket via `ACK` lines.
+#[derive(Debug, Clone, Copy)]
+struct AckEntry {
+    /// Highest LSN the replica acknowledged (floored at the position
+    /// the stream started from, which the replica provably holds).
+    acked: u64,
+    /// When we last heard from it — the straggler-grace clock.
+    heard: Instant,
+}
+
+/// What one [`Replicator::compact`] cycle did.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactReport {
+    /// LSN the freshly written checkpoint covers.
+    pub checkpoint_lsn: u64,
+    /// Horizon actually truncated to (≤ `checkpoint_lsn`).
+    pub horizon: u64,
+    /// Records dropped from the log.
+    pub dropped_records: u64,
+    /// Bytes the log shrank by.
+    pub dropped_bytes: u64,
+    /// Log size after the rewrite.
+    pub wal_bytes_live: u64,
+}
+
 /// Primary-side replication state: the WAL behind its commit lock, the
 /// published head LSN, and the sender threads feeding replicas.
 pub struct Replicator {
@@ -94,6 +170,18 @@ pub struct Replicator {
     stop: AtomicBool,
     threads: Mutex<Vec<JoinHandle<()>>>,
     metrics: Arc<WalMetrics>,
+    /// Per-attached-replica acknowledged LSNs, keyed by a registration
+    /// id handed out per stream.
+    acks: Mutex<HashMap<u64, AckEntry>>,
+    next_replica_id: AtomicU64,
+    /// Serializes compaction cycles (an explicit `COMPACT` racing the
+    /// background compactor simply reports "busy").
+    compaction: Mutex<()>,
+    policy: Mutex<CompactionPolicy>,
+    compactions: AtomicU64,
+    checkpoint_lsn: AtomicU64,
+    reseeds: AtomicU64,
+    divergences: AtomicU64,
 }
 
 impl std::fmt::Debug for Replicator {
@@ -118,7 +206,51 @@ impl Replicator {
             stop: AtomicBool::new(false),
             threads: Mutex::new(Vec::new()),
             metrics: Arc::clone(&metrics),
+            acks: Mutex::new(HashMap::new()),
+            next_replica_id: AtomicU64::new(1),
+            compaction: Mutex::new(()),
+            policy: Mutex::new(CompactionPolicy::default()),
+            compactions: AtomicU64::new(0),
+            checkpoint_lsn: AtomicU64::new(0),
+            reseeds: AtomicU64::new(0),
+            divergences: AtomicU64::new(0),
         })
+    }
+
+    /// Install the compaction policy (checkpoint path, size trigger,
+    /// straggler grace). The daemon calls this right after startup.
+    pub fn set_compaction_policy(&self, policy: CompactionPolicy) {
+        *self.policy.lock().expect("policy lock") = policy;
+    }
+
+    /// Current on-disk WAL size in bytes.
+    pub fn live_bytes(&self) -> u64 {
+        self.wal.lock().expect("wal lock").live_bytes()
+    }
+
+    /// First LSN still present in the WAL (`None` = empty log).
+    pub fn wal_first_lsn(&self) -> Option<u64> {
+        self.wal.lock().expect("wal lock").first_lsn()
+    }
+
+    /// Completed checkpoint-and-truncate cycles.
+    pub fn compactions(&self) -> u64 {
+        self.compactions.load(Ordering::Relaxed)
+    }
+
+    /// LSN covered by the newest durable checkpoint (0 = none yet).
+    pub fn checkpoint_lsn(&self) -> u64 {
+        self.checkpoint_lsn.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot-transfer catch-ups served to non-fresh replicas.
+    pub fn reseeds(&self) -> u64 {
+        self.reseeds.load(Ordering::Relaxed)
+    }
+
+    /// Replicas that arrived *ahead* of this primary's history.
+    pub fn divergences(&self) -> u64 {
+        self.divergences.load(Ordering::Relaxed)
     }
 
     /// Last committed LSN.
@@ -249,8 +381,146 @@ impl Replicator {
     }
 
     /// Records with `lsn > from`, in order.
+    ///
+    /// Holds the commit lock across a whole-file scan — kept only for
+    /// small one-shot reads; stream senders use
+    /// [`read_tail`](Self::read_tail), which does neither.
     pub fn read_from(&self, from: u64) -> Result<Vec<WalRecord>, WalError> {
         self.wal.lock().expect("wal lock").read_from(from)
+    }
+
+    /// Records at or past `cursor`, advancing it. The commit lock is
+    /// held only to snapshot the log's path/generation/bounds — plain
+    /// metadata — never across the file I/O, so a replica deep in
+    /// catch-up cannot stall commits. The cursor makes the read itself
+    /// a seek + tail scan instead of a whole-file rescan.
+    ///
+    /// Returns [`WalError::Gap`] when compaction has truncated past
+    /// this reader (a straggler beyond its grace): the stream cannot
+    /// continue and the replica must re-seed on reconnect.
+    pub fn read_tail(&self, cursor: &mut WalCursor) -> Result<Vec<WalRecord>, WalError> {
+        let (path, generation, first_lsn, head) = {
+            let wal = self.wal.lock().expect("wal lock");
+            (
+                wal.path().to_owned(),
+                wal.generation(),
+                wal.first_lsn(),
+                wal.head_lsn(),
+            )
+        };
+        // An empty log's records are all compacted away: a reader not
+        // exactly at the head has lost its suffix.
+        let effective_first = first_lsn.unwrap_or(head + 1);
+        if cursor.next_lsn() < effective_first {
+            return Err(WalError::Gap {
+                snapshot_lsn: cursor.next_lsn().saturating_sub(1),
+                wal_first: effective_first,
+            });
+        }
+        wal::read_tail(&path, generation, cursor)
+    }
+
+    /// Register one attached replica stream whose acknowledged position
+    /// starts at `floor` (the LSN the stream is serving from — state
+    /// the replica provably holds or is being shipped). Returns the id
+    /// for [`note_ack`](Self::note_ack) / [`drop_replica`](Self::drop_replica).
+    fn register_replica(&self, floor: u64) -> u64 {
+        let id = self.next_replica_id.fetch_add(1, Ordering::Relaxed);
+        self.acks.lock().expect("acks lock").insert(
+            id,
+            AckEntry {
+                acked: floor,
+                heard: Instant::now(),
+            },
+        );
+        id
+    }
+
+    /// Record an `ACK <lsn>` (or any sign of life) from replica `id`.
+    fn note_ack(&self, id: u64, lsn: u64) {
+        if let Some(entry) = self.acks.lock().expect("acks lock").get_mut(&id) {
+            entry.acked = entry.acked.max(lsn);
+            entry.heard = Instant::now();
+        }
+    }
+
+    /// Forget a departed replica stream.
+    fn drop_replica(&self, id: u64) {
+        self.acks.lock().expect("acks lock").remove(&id);
+    }
+
+    /// The lowest acknowledged LSN across attached replicas that are
+    /// still inside `grace` — `None` when nothing pins the log (no
+    /// replicas, or all stragglers past their grace).
+    pub fn ack_floor(&self, grace: Duration) -> Option<u64> {
+        self.acks
+            .lock()
+            .expect("acks lock")
+            .values()
+            .filter(|e| e.heard.elapsed() <= grace)
+            .map(|e| e.acked)
+            .min()
+    }
+
+    /// One checkpoint-and-truncate cycle:
+    ///
+    /// 1. write a durable mmap checkpoint of the store at the WAL head
+    ///    (fsync + rename, via the commit lock so it is exact at its
+    ///    LSN) to the policy's checkpoint path;
+    /// 2. compute the horizon: the checkpoint's LSN, clamped down to
+    ///    the lowest acknowledged LSN of any in-grace replica;
+    /// 3. atomically rewrite the log, dropping records `<= horizon`.
+    ///
+    /// The ordering is the crash-safety invariant: the checkpoint is
+    /// durable *before* any log byte is dropped, so recovery at every
+    /// intermediate state composes a complete store from
+    /// checkpoint + surviving tail. Concurrent cycles are refused
+    /// ("busy"), commits keep flowing between steps 1 and 3, and a
+    /// sender whose replica the horizon passed (straggler beyond grace)
+    /// gets a `Gap` on its next read and hands the replica to the
+    /// snapshot re-seed path.
+    pub fn compact(&self, service: &MatchService) -> Result<CompactReport, String> {
+        let Ok(_guard) = self.compaction.try_lock() else {
+            return Err("a compaction is already in progress".into());
+        };
+        let policy = self.policy.lock().expect("policy lock").clone();
+        let Some(checkpoint) = policy.checkpoint else {
+            return Err("no checkpoint path configured (compaction needs a wal)".into());
+        };
+
+        let checkpoint_lsn = self
+            .save_snapshot_atomic(service, &checkpoint)
+            .map_err(|e| format!("checkpoint write failed: {e}"))?;
+        self.checkpoint_lsn
+            .fetch_max(checkpoint_lsn, Ordering::Relaxed);
+
+        let mut horizon = checkpoint_lsn;
+        if let Some(floor) = self.ack_floor(policy.grace) {
+            horizon = horizon.min(floor);
+        }
+
+        let (stats, live) = {
+            let mut wal = self.wal.lock().expect("wal lock");
+            let stats = wal
+                .compact_to(horizon)
+                .map_err(|e| format!("wal rewrite failed: {e}"))?;
+            (stats, wal.live_bytes())
+        };
+        if stats.dropped_records > 0 {
+            self.compactions.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "lexequald: wal compacted to lsn {horizon} (checkpoint lsn {checkpoint_lsn}): \
+                 dropped {} records / {} bytes, {live} bytes live",
+                stats.dropped_records, stats.dropped_bytes
+            );
+        }
+        Ok(CompactReport {
+            checkpoint_lsn,
+            horizon,
+            dropped_records: stats.dropped_records,
+            dropped_bytes: stats.dropped_bytes,
+            wal_bytes_live: live,
+        })
     }
 
     /// Block until the head passes `from`, `timeout` elapses, or the
@@ -323,11 +593,77 @@ pub fn serve_replica(
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_write_timeout(Some(SENDER_WRITE_TIMEOUT))?;
+
+    // A replica claiming an LSN past our whole history diverged from
+    // this primary's lineage (e.g. we were restored from an older
+    // snapshot). Serving it a snapshot would silently roll back state
+    // it acknowledged to *its* clients — refuse loudly instead, on
+    // both sides of the wire.
+    let head = repl.head();
+    if hello_lsn > head {
+        repl.divergences.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "lexequald: DIVERGENCE: replica HELLO at lsn {hello_lsn} is ahead of this \
+             primary's head {head}; its history is not a prefix of ours — refusing to \
+             serve it a rollback (operator must re-seed it deliberately)"
+        );
+        let mut stream = stream;
+        stream.write_all(format!("DIVERGED lsn={head}\n").as_bytes())?;
+        return Ok(());
+    }
+
+    let reader_stream = stream.try_clone()?;
+    let shutdown_handle = stream.try_clone()?;
     let mut w = BufWriter::new(stream);
+    let id = repl.register_replica(hello_lsn);
     repl.replicas.fetch_add(1, Ordering::Relaxed);
-    let r = stream_to_replica(&mut w, hello_lsn, peer_mmap, service, repl);
+    // The ack reader shares our scope (it only borrows `repl`); the
+    // socket shutdown below unblocks it when the sender is done, so
+    // the scope never hangs on join.
+    let r = std::thread::scope(|s| {
+        let reader = s.spawn(|| read_acks(reader_stream, repl, id));
+        let r = stream_to_replica(&mut w, hello_lsn, peer_mmap, service, repl, id);
+        shutdown_handle.shutdown(Shutdown::Both).ok();
+        let _ = reader.join();
+        r
+    });
     repl.replicas.fetch_sub(1, Ordering::Relaxed);
+    repl.drop_replica(id);
     r
+}
+
+/// Drain `ACK <lsn>` lines a replica sends back on its stream socket,
+/// feeding the compaction horizon. Exits on EOF/error or when the
+/// replicator stops (the read timeout bounds how long that takes).
+fn read_acks(stream: TcpStream, repl: &Replicator, id: u64) {
+    if stream.set_read_timeout(Some(HEARTBEAT)).is_err() {
+        return;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                if let Some(rest) = line.trim_end().strip_prefix("ACK ") {
+                    if let Ok(lsn) = rest.trim().parse::<u64>() {
+                        repl.note_ack(id, lsn);
+                    }
+                }
+                // Unknown chatter is ignored: future replicas may say more.
+                line.clear();
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if repl.stopped() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
 }
 
 fn stream_to_replica(
@@ -336,6 +672,7 @@ fn stream_to_replica(
     peer_mmap: bool,
     service: &MatchService,
     repl: &Replicator,
+    id: u64,
 ) -> io::Result<()> {
     let format = if peer_mmap {
         crate::service::SnapshotFormat::Mmap
@@ -346,14 +683,30 @@ fn stream_to_replica(
     if repl.can_serve_incremental(hello_lsn) {
         writeln!(w, "OK lsn={}", repl.head())?;
     } else {
+        if hello_lsn > 0 {
+            // A non-fresh replica the log can no longer serve: the
+            // compaction horizon passed it. The snapshot transfer
+            // re-seeds it live (see `reconnect` on the other side).
+            repl.reseeds.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "lexequald: replica at lsn {hello_lsn} predates the wal horizon \
+                 (first retained lsn {:?}); re-seeding it via snapshot transfer",
+                repl.wal_first_lsn()
+            );
+        }
         let (bytes, lsn) = repl.snapshot_document(service, format).map_err(io_other)?;
         writeln!(w, "SNAP lsn={lsn} bytes={}", bytes.len())?;
         w.write_all(&bytes)?;
         from = lsn;
     }
+    // The stream now owes everything past `from`, and the transfer in
+    // flight provably carries state up to it — that floor (not 0) is
+    // what this replica pins the compaction horizon at.
+    repl.note_ack(id, from);
     w.flush()?;
+    let mut cursor = WalCursor::after(from);
     while !repl.stopped() {
-        let records = repl.read_from(from).map_err(io_other)?;
+        let records = repl.read_tail(&mut cursor).map_err(io_other)?;
         if records.is_empty() {
             let head = repl.wait_beyond(from, HEARTBEAT);
             if head <= from {
@@ -369,6 +722,47 @@ fn stream_to_replica(
         w.flush()?;
     }
     Ok(())
+}
+
+/// Spawn the background compactor: polls the log size and runs
+/// [`Replicator::compact`] whenever it passes the policy's `max_bytes`
+/// *and* the horizon can actually drop something (so a fleet of
+/// stragglers cannot make it spin writing checkpoints for nothing).
+/// Returns the handle; the thread winds down when `shutdown` fires or
+/// the replicator stops.
+pub fn spawn_compactor(
+    repl: Arc<Replicator>,
+    service: Arc<MatchService>,
+    shutdown: ShutdownSignal,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("lexequald-compactor".to_owned())
+        .spawn(move || {
+            while !shutdown.is_triggered() && !repl.stopped() {
+                std::thread::sleep(COMPACTOR_POLL);
+                let policy = repl.policy.lock().expect("policy lock").clone();
+                let Some(max_bytes) = policy.max_bytes else {
+                    continue;
+                };
+                if repl.live_bytes() <= max_bytes {
+                    continue;
+                }
+                // Cheap pre-check: would the horizon drop anything?
+                let Some(first) = repl.wal_first_lsn() else {
+                    continue;
+                };
+                let horizon = repl
+                    .ack_floor(policy.grace)
+                    .map_or(repl.head(), |floor| floor.min(repl.head()));
+                if horizon < first {
+                    continue;
+                }
+                if let Err(e) = repl.compact(&service) {
+                    eprintln!("lexequald: background compaction failed: {e}");
+                }
+            }
+        })
+        .expect("spawn compactor thread")
 }
 
 /// Accept loop for a dedicated `--repl-listen` port: each connection
@@ -435,6 +829,8 @@ pub struct ReplicaState {
     applied: AtomicU64,
     head: AtomicU64,
     connected: AtomicBool,
+    reseeds: AtomicU64,
+    divergences: AtomicU64,
 }
 
 impl ReplicaState {
@@ -445,7 +841,21 @@ impl ReplicaState {
             applied: AtomicU64::new(0),
             head: AtomicU64::new(0),
             connected: AtomicBool::new(false),
+            reseeds: AtomicU64::new(0),
+            divergences: AtomicU64::new(0),
         }
+    }
+
+    /// Live snapshot re-seeds this replica performed after the
+    /// primary's log was compacted past it.
+    pub fn reseeds(&self) -> u64 {
+        self.reseeds.load(Ordering::Relaxed)
+    }
+
+    /// Divergences detected (the primary refused us as ahead of its
+    /// history, or a shipped snapshot contradicted local state).
+    pub fn divergences(&self) -> u64 {
+        self.divergences.load(Ordering::Relaxed)
     }
 
     /// Last LSN applied to the local store.
@@ -480,6 +890,11 @@ impl ReplicaState {
             replicas: 0,
             wal: None,
             primary_addr: Some(self.primary.clone()),
+            wal_bytes_live: 0,
+            compactions: 0,
+            checkpoint_lsn: 0,
+            reseeds: self.reseeds(),
+            divergences: self.divergences(),
         }
     }
 }
@@ -692,8 +1107,10 @@ pub fn run_replica(
 }
 
 /// One reconnect attempt: `REPL HELLO <applied>` expecting an
-/// incremental `OK`. An empty-store `SNAP` is also fine (both sides are
-/// at the beginning); a non-empty one is [`ReplError::NeedsResync`].
+/// incremental `OK`. A `SNAP` means the primary's log was compacted
+/// past us: re-seed live from the transfer (see
+/// [`apply_snapshot_delta`]). A `DIVERGED` reply — or a snapshot that
+/// contradicts local state — is the fatal [`ReplError::NeedsResync`].
 fn reconnect(
     service: &MatchService,
     state: &ReplicaState,
@@ -717,46 +1134,159 @@ fn reconnect(
         stream.set_read_timeout(Some(REPLICA_READ_TIMEOUT))?;
         return Ok((stream, reader));
     }
+    if let Some(rest) = header.strip_prefix("DIVERGED ") {
+        let primary_head = kv_u64(rest, "lsn").unwrap_or(0);
+        state.divergences.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "lexequald: DIVERGENCE: this replica applied lsn {applied} but primary {} \
+             only reaches lsn {primary_head}; continuing would roll back acknowledged \
+             state — refusing",
+            state.primary
+        );
+        return Err(ReplError::NeedsResync(format!(
+            "history diverged: replica at lsn {applied} is ahead of primary head \
+             {primary_head}; wipe this replica deliberately to re-seed it"
+        )));
+    }
     if let Some(rest) = header.strip_prefix("SNAP ") {
         let lsn = kv_u64(rest, "lsn")?;
         let nbytes = kv_u64(rest, "bytes")? as usize;
         let mut bytes = vec![0u8; nbytes];
         reader.read_exact(&mut bytes)?;
-        // Only the entry count matters here — peek the binary header
-        // rather than fully loading either format.
-        let snap_names = match crate::mmapstore::peek(&bytes) {
-            Some((_, entries)) => entries as usize,
-            None => StoreSnapshot::read_from(bytes.as_slice())
-                .map_err(ReplError::Snapshot)?
-                .len(),
-        };
-        if snap_names == 0 && service.is_empty() {
-            // Both sides are at the start of (possibly a new) history.
-            state.applied.store(lsn, Ordering::Release);
-            state.head.fetch_max(lsn, Ordering::AcqRel);
-            stream.set_read_timeout(Some(REPLICA_READ_TIMEOUT))?;
-            return Ok((stream, reader));
+        if lsn < applied {
+            state.divergences.fetch_add(1, Ordering::Relaxed);
+            return Err(ReplError::NeedsResync(format!(
+                "primary's snapshot covers lsn {lsn}, behind this replica's applied \
+                 {applied}: histories diverged"
+            )));
         }
-        return Err(ReplError::NeedsResync(format!(
-            "primary demanded a full snapshot transfer (lsn {lsn}, {snap_names} names) but this \
-             replica already holds {} names at lsn {applied}; restart the replica to re-seed",
-            service.len()
-        )));
+        let added = apply_snapshot_delta(service, bytes, lsn)?;
+        if !(added == 0 && service.is_empty()) {
+            // A genuine mid-life re-seed, not the both-sides-fresh case.
+            state.reseeds.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "lexequald: primary's log was compacted past lsn {applied}; re-seeded \
+                 live from its snapshot at lsn {lsn} ({added} entries appended)"
+            );
+        }
+        state.applied.store(lsn, Ordering::Release);
+        state.head.fetch_max(lsn, Ordering::AcqRel);
+        stream.set_read_timeout(Some(REPLICA_READ_TIMEOUT))?;
+        return Ok((stream, reader));
     }
     Err(ReplError::Protocol(format!(
         "unexpected handshake reply {header:?}"
     )))
 }
 
+/// Catch this replica up from a full snapshot transfer *without*
+/// restarting: non-divergent WAL history means the local store is a
+/// strict prefix of the snapshot (entries append in LSN order on every
+/// copy), so it suffices to verify the prefix, append the missing tail
+/// entries (already transformed — no G2P cost), and rebuild the
+/// snapshot's recorded access paths. Returns how many entries were
+/// appended; a snapshot that contradicts local state is
+/// [`ReplError::NeedsResync`].
+fn apply_snapshot_delta(
+    service: &MatchService,
+    bytes: Vec<u8>,
+    lsn: u64,
+) -> Result<usize, ReplError> {
+    let config = service.store().config().clone();
+    let shards = service.store().shards();
+    // Decode into a detached store; either transfer format works.
+    let (snap_store, builds) = if crate::mmapstore::is_binary(&bytes) {
+        let image = crate::mmapstore::load_bytes(config, Some(shards), bytes)
+            .map_err(ReplError::Snapshot)?;
+        if image.lsn != lsn {
+            return Err(ReplError::Protocol(format!(
+                "snapshot says lsn {} but the header said {lsn}",
+                image.lsn
+            )));
+        }
+        (image.store, image.builds)
+    } else {
+        let snap = StoreSnapshot::read_from(bytes.as_slice()).map_err(ReplError::Snapshot)?;
+        if snap.lsn() != lsn {
+            return Err(ReplError::Protocol(format!(
+                "snapshot says lsn {} but the header said {lsn}",
+                snap.lsn()
+            )));
+        }
+        let store = snap
+            .restore_with_shards(config, shards)
+            .map_err(ReplError::Snapshot)?;
+        let builds = store.built_specs();
+        (store, builds)
+    };
+
+    let have = service.len() as u32;
+    let snap_len = snap_store.len() as u32;
+    if snap_len < have {
+        return Err(ReplError::NeedsResync(format!(
+            "primary's snapshot holds {snap_len} entries but this replica already has \
+             {have}: histories diverged"
+        )));
+    }
+    // Spot-check the prefix property at both ends and the middle: ids
+    // assign in append order, so any divergent history shows up as a
+    // mismatched entry at the same id.
+    let mut probes = vec![];
+    if have > 0 {
+        probes.extend([0, have / 2, have - 1]);
+        probes.dedup();
+    }
+    for id in probes {
+        let mine = service.store().get(id);
+        let theirs = snap_store.get(id);
+        let same = match (&mine, &theirs) {
+            (Some(a), Some(b)) => a.text == b.text && a.language == b.language,
+            _ => false,
+        };
+        if !same {
+            return Err(ReplError::NeedsResync(format!(
+                "entry id {id} differs between this replica and the primary's snapshot \
+                 ({:?} vs {:?}): histories diverged",
+                mine.map(|e| e.text),
+                theirs.map(|e| e.text)
+            )));
+        }
+    }
+
+    let delta: Vec<_> = (have..snap_len)
+        .map(|id| snap_store.get(id).expect("id below snapshot len"))
+        .collect();
+    let added = delta.len();
+    if added > 0 {
+        let range = service.extend_transformed(delta);
+        debug_assert_eq!(range.start, have, "ids must continue the local sequence");
+    }
+    // Converge the access paths to the snapshot's recorded set (the
+    // appends above invalidated any local ones).
+    for spec in builds {
+        service.build(spec);
+    }
+    Ok(added)
+}
+
 /// Apply `OP`/`PING` lines until the link breaks or `shutdown` fires.
+/// After applying, progress is acknowledged back on the same socket
+/// (`ACK <lsn>`, throttled to [`ACK_INTERVAL`], plus one per heartbeat
+/// so an idle link keeps refreshing its straggler-grace clock) — the
+/// primary folds these into its compaction horizon.
 fn apply_stream(
     service: &MatchService,
     state: &ReplicaState,
-    _stream: &TcpStream,
+    stream: &TcpStream,
     mut reader: BufReader<TcpStream>,
     shutdown: &ShutdownSignal,
 ) -> Result<(), ReplError> {
     let mut line = String::new();
+    let mut last_ack_lsn = state.applied();
+    let mut last_ack_at = Instant::now();
+    // Establish our position immediately: a primary deciding a
+    // compaction horizon should not have to wait a full interval.
+    send_ack(stream, last_ack_lsn)?;
     loop {
         if shutdown.is_triggered() {
             return Ok(());
@@ -766,8 +1296,15 @@ fn apply_stream(
         match reader.read_line(&mut line) {
             Ok(0) => return Err(ReplError::Protocol("primary closed the stream".into())),
             Ok(_) => {
+                let is_ping = line.starts_with("PING ");
                 apply_stream_line(service, state, line.trim_end())?;
                 line.clear();
+                let applied = state.applied();
+                if is_ping || (applied > last_ack_lsn && last_ack_at.elapsed() >= ACK_INTERVAL) {
+                    send_ack(stream, applied)?;
+                    last_ack_lsn = applied;
+                    last_ack_at = Instant::now();
+                }
             }
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
@@ -785,6 +1322,14 @@ fn apply_stream(
             Err(e) => return Err(ReplError::Io(e)),
         }
     }
+}
+
+/// Write one `ACK <lsn>` on the stream socket (the primary's ack
+/// reader drains these on its side of the same connection).
+fn send_ack(stream: &TcpStream, lsn: u64) -> Result<(), ReplError> {
+    let mut w = stream;
+    w.write_all(format!("ACK {lsn}\n").as_bytes())
+        .map_err(ReplError::Io)
 }
 
 fn apply_stream_line(

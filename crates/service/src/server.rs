@@ -57,6 +57,11 @@ impl ReqCtx {
                 replicas: repl.replicas(),
                 wal: Some(repl.wal_stats()),
                 primary_addr: None,
+                wal_bytes_live: repl.live_bytes(),
+                compactions: repl.compactions(),
+                checkpoint_lsn: repl.checkpoint_lsn(),
+                reseeds: repl.reseeds(),
+                divergences: repl.divergences(),
             });
         }
         self.replica.as_ref().map(|state| state.stats())
@@ -540,6 +545,25 @@ pub(crate) fn execute_request(
             vec![format_stats(&snapshot)]
         }
         Request::Save { path, json } => execute_save(service, ctx, path.as_deref(), *json),
+        Request::Compact => vec![match (&ctx.repl, &ctx.replica) {
+            (Some(repl), _) => match repl.compact(service) {
+                Ok(report) => format!(
+                    "OK compacted checkpoint_lsn={} horizon={} dropped={} wal_bytes_live={}",
+                    report.checkpoint_lsn,
+                    report.horizon,
+                    report.dropped_records,
+                    report.wal_bytes_live,
+                ),
+                Err(e) => format!("ERR COMPACT: {e}"),
+            },
+            (None, Some(state)) => format!(
+                "ERR this daemon is a replica (no wal); COMPACT runs on the primary at {}",
+                state.primary
+            ),
+            (None, None) => {
+                "ERR COMPACT requires a write-ahead log (start with --wal PATH)".to_owned()
+            }
+        }],
         Request::ReplHello { .. } => vec![match (&ctx.repl, &ctx.replica) {
             (None, None) => {
                 "ERR replication not enabled (start the primary with --wal PATH)".to_owned()

@@ -37,6 +37,20 @@
 //!   `[first_lsn - 1, last_lsn]`, else [`WalError::Gap`] /
 //!   [`WalError::SnapshotAhead`].
 //!
+//! # Compaction
+//!
+//! [`Wal::compact_to`] drops every record at or below a horizon by
+//! atomically rewriting the file: surviving records are re-encoded
+//! (the encoding is deterministic, so surviving bytes are identical)
+//! into `<path>.compact.tmp`, fsynced, renamed over the log, and the
+//! directory fsynced. A compacted log legitimately starts at an LSN
+//! above 1; the anchoring rules above already handle that, provided a
+//! checkpoint covering `first_lsn - 1` exists — which is why the
+//! daemon writes its checkpoint durably *before* truncating (see
+//! [`crate::repl::Replicator::compact`]). Each rewrite bumps the log's
+//! generation so [`WalCursor`] readers know their byte offsets went
+//! stale.
+//!
 //! [`MatchService::apply_op`]: crate::MatchService::apply_op
 
 use crate::metrics::WalMetrics;
@@ -339,6 +353,23 @@ fn scan_records(bytes: &[u8], offset0: u64) -> Result<Scan, WalError> {
     })
 }
 
+/// Serialize one record exactly as [`Wal::append`] lays it on disk:
+/// header, payload, trailing checksum. `Op::encode` is deterministic,
+/// so re-encoding a decoded record is byte-identical — compaction
+/// relies on this to preserve the surviving suffix bit-for-bit.
+fn encode_record(lsn: u64, op: &Op) -> Vec<u8> {
+    let payload = op.encode();
+    let len_le = (payload.len() as u32).to_le_bytes();
+    let lsn_le = lsn.to_le_bytes();
+    let sum = fnv1a(&[&len_le, &lsn_le, payload.as_bytes()]);
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    buf.extend_from_slice(&len_le);
+    buf.extend_from_slice(&lsn_le);
+    buf.extend_from_slice(payload.as_bytes());
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
 /// Scan a whole file image, magic included. A torn magic (shorter than
 /// [`WAL_MAGIC`] but a prefix of it) counts as a torn tail at offset 0.
 fn scan_file(bytes: &[u8], path: &Path) -> Result<Scan, WalError> {
@@ -371,7 +402,30 @@ pub struct Wal {
     next_lsn: u64,
     /// First LSN present in the file, if any record is.
     first_lsn: Option<u64>,
+    /// Current length of the file in bytes (magic included).
+    file_bytes: u64,
+    /// Bumped by every [`compact_to`](Self::compact_to) rewrite, so
+    /// [`WalCursor`] readers can tell their byte offsets went stale.
+    generation: u64,
     metrics: Arc<WalMetrics>,
+}
+
+/// What one [`Wal::compact_to`] rewrite dropped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompactionStats {
+    /// Records removed from the file.
+    pub dropped_records: u64,
+    /// Bytes the file shrank by.
+    pub dropped_bytes: u64,
+}
+
+/// The scratch file a compaction rewrite stages into before renaming
+/// over `path`. A leftover (crash mid-rewrite) is inert and deleted on
+/// the next [`Wal::open`].
+fn compact_tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".compact.tmp");
+    path.with_file_name(name)
 }
 
 impl Wal {
@@ -386,6 +440,9 @@ impl Wal {
         metrics: Arc<WalMetrics>,
     ) -> Result<(Wal, Vec<WalRecord>), WalError> {
         let path = path.as_ref().to_owned();
+        // A crash between a compaction's tmp write and its rename leaves
+        // an inert scratch file behind; the real log is untouched.
+        std::fs::remove_file(compact_tmp_path(&path)).ok();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -403,6 +460,8 @@ impl Wal {
                 path,
                 next_lsn: base_lsn + 1,
                 first_lsn: None,
+                file_bytes: WAL_MAGIC.len() as u64,
+                generation: 0,
                 metrics,
             };
             return Ok((wal, Vec::new()));
@@ -452,6 +511,10 @@ impl Wal {
             path,
             next_lsn,
             first_lsn,
+            // After the torn-tail truncation above the file is exactly
+            // the valid prefix (never shorter than the magic).
+            file_bytes: scan.valid_len.max(WAL_MAGIC.len() as u64),
+            generation: 0,
             metrics,
         };
         Ok((wal, replay))
@@ -461,19 +524,12 @@ impl Wal {
     /// The record is durable before this returns.
     pub fn append(&mut self, op: &Op) -> Result<u64, WalError> {
         let lsn = self.next_lsn;
-        let payload = op.encode();
-        let len_le = (payload.len() as u32).to_le_bytes();
-        let lsn_le = lsn.to_le_bytes();
-        let sum = fnv1a(&[&len_le, &lsn_le, payload.as_bytes()]);
-        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
-        buf.extend_from_slice(&len_le);
-        buf.extend_from_slice(&lsn_le);
-        buf.extend_from_slice(payload.as_bytes());
-        buf.extend_from_slice(&sum.to_le_bytes());
+        let buf = encode_record(lsn, op);
         self.file.write_all(&buf)?;
         self.file.sync_data()?;
         self.metrics.record_append(buf.len());
         self.next_lsn += 1;
+        self.file_bytes += buf.len() as u64;
         if self.first_lsn.is_none() {
             self.first_lsn = Some(lsn);
         }
@@ -494,6 +550,91 @@ impl Wal {
     /// The file this log appends to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Current on-disk size of the log in bytes (magic included).
+    pub fn live_bytes(&self) -> u64 {
+        self.file_bytes
+    }
+
+    /// Rewrite counter: bumped by every [`compact_to`](Self::compact_to)
+    /// that replaces the file, so byte offsets cached by readers
+    /// ([`WalCursor`]) can be detected as stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Drop every record with `lsn <= horizon` by atomically rewriting
+    /// the file: surviving records go to `<path>.compact.tmp`, the tmp
+    /// is fsynced, renamed over the log, and the directory fsynced, so
+    /// a crash at any instant leaves either the old complete log or the
+    /// new complete log — never a partial one. The caller must hold the
+    /// commit lock (no append may be in flight) and must have made a
+    /// checkpoint covering `horizon` durable *first*, or the dropped
+    /// prefix is simply lost.
+    ///
+    /// A horizon below `first_lsn` (or an empty log) is a no-op; a
+    /// horizon above the head is clamped to it.
+    pub fn compact_to(&mut self, horizon: u64) -> Result<CompactionStats, WalError> {
+        let horizon = horizon.min(self.head_lsn());
+        match self.first_lsn {
+            None => return Ok(CompactionStats::default()),
+            Some(first) if horizon < first => return Ok(CompactionStats::default()),
+            Some(_) => {}
+        }
+
+        // Re-scan our own file. Under the commit lock nothing can be
+        // mid-append, so a torn or damaged record here is real trouble —
+        // refuse to rewrite rather than silently shrink history.
+        let mut f = File::open(&self.path)?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        let scan = scan_file(&bytes, &self.path)?;
+        if let Some(what) = scan.torn {
+            return Err(WalError::Corrupt {
+                offset: scan.valid_len,
+                what: format!("torn record with no append in flight: {what}"),
+            });
+        }
+
+        let total = scan.records.len() as u64;
+        let keep: Vec<&WalRecord> = scan.records.iter().filter(|r| r.lsn > horizon).collect();
+        let dropped_records = total - keep.len() as u64;
+        if dropped_records == 0 {
+            return Ok(CompactionStats::default());
+        }
+
+        let tmp = compact_tmp_path(&self.path);
+        let mut out = File::create(&tmp)?;
+        out.write_all(WAL_MAGIC)?;
+        let mut new_bytes = WAL_MAGIC.len() as u64;
+        for rec in &keep {
+            let buf = encode_record(rec.lsn, &rec.op);
+            out.write_all(&buf)?;
+            new_bytes += buf.len() as u64;
+        }
+        out.sync_all()?;
+        drop(out);
+        std::fs::rename(&tmp, &self.path)?;
+        // Make the rename itself durable before the old bytes can be
+        // considered gone.
+        if let Some(dir) = self.path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = File::open(dir) {
+                d.sync_all().ok();
+            }
+        }
+
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        let stats = CompactionStats {
+            dropped_records,
+            dropped_bytes: self.file_bytes.saturating_sub(new_bytes),
+        };
+        self.file = file;
+        self.first_lsn = keep.first().map(|r| r.lsn);
+        self.file_bytes = new_bytes;
+        self.generation += 1;
+        Ok(stats)
     }
 
     /// Whether every record in `(from, head]` is present in this file —
@@ -521,6 +662,113 @@ impl Wal {
         let scan = scan_file(&bytes, &self.path)?;
         Ok(scan.records.into_iter().filter(|r| r.lsn > from).collect())
     }
+}
+
+/// A tail reader's memoized position: the byte offset where the next
+/// unread record starts, validated against the LSN expected there and
+/// the file generation it was computed on. Lets replica senders fetch
+/// new records with a seek + tail read instead of re-scanning the whole
+/// file on every poll (which made catch-up quadratic in log size).
+///
+/// The cursor self-heals: a generation bump (compaction rewrote the
+/// file) or an LSN mismatch at the remembered offset falls back to one
+/// full scan, after which seeking resumes.
+#[derive(Debug, Clone)]
+pub struct WalCursor {
+    /// LSN of the next record this reader wants.
+    next_lsn: u64,
+    /// Byte offset where that record will begin, valid for `generation`.
+    offset: u64,
+    /// File generation `offset` was computed against (`u64::MAX` until
+    /// the first successful read).
+    generation: u64,
+}
+
+impl WalCursor {
+    /// A cursor positioned just past `lsn` (0 = start of history).
+    pub fn after(lsn: u64) -> WalCursor {
+        WalCursor {
+            next_lsn: lsn + 1,
+            offset: 0,
+            generation: u64::MAX,
+        }
+    }
+
+    /// LSN of the next record this cursor will return.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+}
+
+/// Read every record at or past `cursor` from the log file at `path`,
+/// advancing the cursor past what was returned. `generation` is the
+/// log's current rewrite generation (snapshot it under the commit lock;
+/// the read itself needs no lock — see [`Wal::read_from`] on why a
+/// concurrent torn tail is harmless).
+///
+/// When the cursor's generation matches, this seeks straight to the
+/// remembered offset and scans only the new tail; otherwise (first
+/// read, or the file was rewritten underneath us) it rescans from the
+/// magic. Returns [`WalError::Gap`] if the file's first record is
+/// already past `cursor.next_lsn` — the records this reader still owes
+/// its consumer were compacted away, so the consumer must re-seed.
+pub fn read_tail(
+    path: &Path,
+    generation: u64,
+    cursor: &mut WalCursor,
+) -> Result<Vec<WalRecord>, WalError> {
+    if cursor.generation == generation && cursor.offset >= WAL_MAGIC.len() as u64 {
+        let mut f = File::open(path)?;
+        f.seek(SeekFrom::Start(cursor.offset))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            return Ok(Vec::new());
+        }
+        // A scan error here can be an artifact of the file having been
+        // rewritten under a stale generation snapshot (our offset lands
+        // mid-record in the new file): fall through to a full scan,
+        // which re-validates from the magic.
+        if let Ok(scan) = scan_records(&bytes, cursor.offset) {
+            match scan.records.first() {
+                // Nothing but a torn in-flight append past our offset.
+                None => return Ok(Vec::new()),
+                Some(first) if first.lsn == cursor.next_lsn => {
+                    cursor.offset = scan.valid_len;
+                    cursor.next_lsn = scan.records.last().expect("nonempty scan").lsn + 1;
+                    return Ok(scan.records);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    let mut f = File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    if bytes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let scan = scan_file(&bytes, path)?;
+    if let Some(first) = scan.records.first() {
+        if first.lsn > cursor.next_lsn {
+            return Err(WalError::Gap {
+                snapshot_lsn: cursor.next_lsn - 1,
+                wal_first: first.lsn,
+            });
+        }
+    }
+    let records: Vec<WalRecord> = scan
+        .records
+        .into_iter()
+        .filter(|r| r.lsn >= cursor.next_lsn)
+        .collect();
+    cursor.generation = generation;
+    cursor.offset = scan.valid_len;
+    if let Some(last) = records.last() {
+        cursor.next_lsn = last.lsn + 1;
+    }
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -630,6 +878,139 @@ mod tests {
         let tail = wal.read_from(1).expect("read");
         assert_eq!(tail.iter().map(|r| r.lsn).collect::<Vec<_>>(), vec![2, 3]);
         assert!(wal.read_from(3).expect("read").is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn add(text: &str) -> Op {
+        Op::Add {
+            language: Language::English,
+            text: text.to_owned(),
+        }
+    }
+
+    #[test]
+    fn compact_drops_prefix_and_reopen_anchors_on_the_base() {
+        let path = temp("compact");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path, 0, Arc::new(WalMetrics::default())).expect("open");
+        for i in 1..=5 {
+            wal.append(&add(&format!("name{i}"))).expect("append");
+        }
+        let before = wal.live_bytes();
+        let stats = wal.compact_to(3).expect("compact");
+        assert_eq!(stats.dropped_records, 3);
+        assert!(stats.dropped_bytes > 0);
+        assert_eq!(wal.first_lsn(), Some(4));
+        assert_eq!(wal.head_lsn(), 5);
+        assert_eq!(wal.generation(), 1);
+        assert!(wal.live_bytes() < before);
+        assert_eq!(
+            wal.live_bytes(),
+            std::fs::metadata(&path).expect("meta").len()
+        );
+
+        // can_serve_from edges around the compacted base: 3 is the last
+        // position an incremental catch-up can start from.
+        assert!(!wal.can_serve_from(2));
+        assert!(wal.can_serve_from(3));
+        assert!(wal.can_serve_from(4));
+        assert!(wal.can_serve_from(5));
+        assert!(!wal.can_serve_from(6));
+
+        // Appends keep flowing after the rewrite.
+        assert_eq!(wal.append(&add("post")).expect("append"), 6);
+        drop(wal);
+
+        // A checkpoint at the base LSN anchors a reopen; older ones gap.
+        let (wal, replay) = Wal::open(&path, 3, Arc::new(WalMetrics::default())).expect("reopen");
+        assert_eq!(wal.first_lsn(), Some(4));
+        assert_eq!(replay.iter().map(|r| r.lsn).collect::<Vec<_>>(), [4, 5, 6]);
+        drop(wal);
+        match Wal::open(&path, 2, Arc::new(WalMetrics::default())) {
+            Err(WalError::Gap {
+                snapshot_lsn: 2,
+                wal_first: 4,
+            }) => {}
+            other => panic!("expected Gap, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_to_full_horizon_empties_the_log() {
+        let path = temp("compact_all");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path, 0, Arc::new(WalMetrics::default())).expect("open");
+        for i in 1..=3 {
+            wal.append(&add(&format!("n{i}"))).expect("append");
+        }
+        // Horizons above the head clamp; a second compact is a no-op.
+        let stats = wal.compact_to(99).expect("compact");
+        assert_eq!(stats.dropped_records, 3);
+        assert_eq!(wal.first_lsn(), None);
+        assert_eq!(wal.head_lsn(), 3);
+        assert_eq!(wal.live_bytes(), WAL_MAGIC.len() as u64);
+        assert_eq!(wal.compact_to(3).expect("noop").dropped_records, 0);
+        assert_eq!(wal.generation(), 1);
+        // LSNs continue from the head even though the file is empty.
+        assert_eq!(wal.append(&add("after")).expect("append"), 4);
+        assert_eq!(wal.first_lsn(), Some(4));
+        drop(wal);
+        let (wal, replay) = Wal::open(&path, 3, Arc::new(WalMetrics::default())).expect("reopen");
+        assert_eq!(replay.len(), 1);
+        assert_eq!(wal.head_lsn(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cursor_seeks_incrementally_and_survives_compaction() {
+        let path = temp("cursor");
+        std::fs::remove_file(&path).ok();
+        let (mut wal, _) = Wal::open(&path, 0, Arc::new(WalMetrics::default())).expect("open");
+        for i in 1..=4 {
+            wal.append(&add(&format!("c{i}"))).expect("append");
+        }
+        let mut cursor = WalCursor::after(0);
+        let got = read_tail(&path, wal.generation(), &mut cursor).expect("first read");
+        assert_eq!(got.iter().map(|r| r.lsn).collect::<Vec<_>>(), [1, 2, 3, 4]);
+        assert_eq!(cursor.next_lsn(), 5);
+        // Caught up: the seek path reads nothing.
+        assert!(read_tail(&path, wal.generation(), &mut cursor)
+            .expect("empty")
+            .is_empty());
+        wal.append(&add("c5")).expect("append");
+        wal.append(&add("c6")).expect("append");
+        let got = read_tail(&path, wal.generation(), &mut cursor).expect("tail read");
+        assert_eq!(got.iter().map(|r| r.lsn).collect::<Vec<_>>(), [5, 6]);
+
+        // Compaction invalidates the generation; a reader still inside
+        // the retained suffix full-rescans once and carries on.
+        wal.compact_to(4).expect("compact");
+        let mut behind = WalCursor::after(4);
+        let got = read_tail(&path, wal.generation(), &mut behind).expect("post-compact");
+        assert_eq!(got.iter().map(|r| r.lsn).collect::<Vec<_>>(), [5, 6]);
+
+        // A reader whose next record was compacted away gets a Gap.
+        let mut stale = WalCursor::after(2);
+        match read_tail(&path, wal.generation(), &mut stale) {
+            Err(WalError::Gap {
+                snapshot_lsn: 2,
+                wal_first: 5,
+            }) => {}
+            other => panic!("expected Gap, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_compaction_scratch_is_deleted_on_open() {
+        let path = temp("scratch");
+        std::fs::remove_file(&path).ok();
+        let tmp = compact_tmp_path(&path);
+        std::fs::write(&tmp, b"leftover from a crashed rewrite").expect("write tmp");
+        let (wal, _) = Wal::open(&path, 0, Arc::new(WalMetrics::default())).expect("open");
+        assert!(!tmp.exists(), "stale {tmp:?} must be removed");
+        drop(wal);
         std::fs::remove_file(&path).ok();
     }
 }

@@ -348,11 +348,45 @@ fn replication_flags_reject_bad_combinations() {
 }
 
 #[test]
+fn compaction_flags_validate_and_require_a_wal() {
+    // Values must parse, and zero bytes is a nonsense bound.
+    assert_usage_error(&["--wal-max-bytes"], &["--wal-max-bytes", "needs a value"]);
+    assert_usage_error(
+        &["--wal", "w", "--wal-max-bytes", "lots"],
+        &["--wal-max-bytes", "\"lots\"", "invalid value"],
+    );
+    assert_usage_error(
+        &["--wal", "w", "--wal-max-bytes", "0"],
+        &["--wal-max-bytes", "\"0\"", "positive"],
+    );
+    assert_usage_error(
+        &["--wal", "w", "--wal-ack-grace", "soon"],
+        &["--wal-ack-grace", "\"soon\"", "invalid value"],
+    );
+
+    // Compaction bounds the WAL — without one, both flags are errors.
+    assert_usage_error(
+        &["--wal-max-bytes", "4096"],
+        &["--wal-max-bytes", "requires --wal"],
+    );
+    assert_usage_error(
+        &["--wal-ack-grace", "5"],
+        &["--wal-ack-grace", "requires --wal"],
+    );
+}
+
+#[test]
 fn help_lists_the_replication_flags() {
     let out = lexequald().arg("--help").output().expect("spawn");
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for flag in ["--wal", "--replica-of", "--repl-listen"] {
+    for flag in [
+        "--wal",
+        "--replica-of",
+        "--repl-listen",
+        "--wal-max-bytes",
+        "--wal-ack-grace",
+    ] {
         assert!(stdout.contains(flag), "{flag} missing from usage: {stdout}");
     }
 }

@@ -1,0 +1,388 @@
+//! End-to-end WAL compaction through the real `lexequald` binary: a
+//! primary with a tiny `--wal-max-bytes` bound and a live replica
+//! soaking through several background checkpoint-and-truncate cycles,
+//! the explicit `COMPACT` wire command, crash (SIGKILL) loops landing at
+//! arbitrary points of the compaction cycle, and the flag/role
+//! refusals.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn lexequald() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lexequald"))
+}
+
+/// A temp file path that cleans up after itself (and its checkpoint).
+struct TempPath(std::path::PathBuf);
+
+impl TempPath {
+    fn new(name: &str) -> Self {
+        let p =
+            std::env::temp_dir().join(format!("lexequal_compact_{}_{name}", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        std::fs::remove_file(p.with_file_name(format!(
+            "{}.checkpoint",
+            p.file_name().unwrap().to_str().unwrap()
+        )))
+        .ok();
+        TempPath(p)
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+
+    fn checkpoint(&self) -> std::path::PathBuf {
+        self.0.with_file_name(format!(
+            "{}.checkpoint",
+            self.0.file_name().unwrap().to_str().unwrap()
+        ))
+    }
+}
+
+impl Drop for TempPath {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+        std::fs::remove_file(self.checkpoint()).ok();
+    }
+}
+
+/// A running daemon child whose stderr is consumed line by line.
+struct Server {
+    child: Child,
+    stderr: BufReader<std::process::ChildStderr>,
+    addr: Option<std::net::SocketAddr>,
+}
+
+impl Server {
+    fn spawn(args: &[&str]) -> Self {
+        let mut child = lexequald()
+            .args(args)
+            .stdin(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn lexequald");
+        let stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+        Server {
+            child,
+            stderr,
+            addr: None,
+        }
+    }
+
+    /// Read stderr until the "serving on ADDR" line; return lines seen.
+    fn wait_serving(&mut self) -> Vec<String> {
+        let mut seen = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n = self.stderr.read_line(&mut line).expect("read stderr");
+            assert!(
+                n > 0,
+                "daemon exited before serving; stderr so far: {seen:?}"
+            );
+            let line = line.trim_end().to_owned();
+            if let Some(rest) = line.strip_prefix("lexequald: serving on ") {
+                let addr = rest.split_whitespace().next().expect("addr token");
+                self.addr = Some(addr.parse().expect("socket addr"));
+                seen.push(line);
+                return seen;
+            }
+            seen.push(line);
+        }
+    }
+
+    fn addr_str(&self) -> String {
+        self.addr.expect("serving").to_string()
+    }
+
+    /// One request/response round trip on a fresh connection.
+    fn request(&self, line: &str) -> String {
+        let mut stream = TcpStream::connect(self.addr.expect("serving")).expect("connect");
+        writeln!(stream, "{line}").expect("write");
+        let mut reader = BufReader::new(&stream);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read");
+        resp.trim_end().to_owned()
+    }
+
+    /// SIGKILL — the crash the checkpoint-before-truncate ordering
+    /// exists for.
+    fn kill(mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+/// Pull `key=value` out of a STATS line.
+fn stat<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key).and_then(|r| r.strip_prefix('=')))
+}
+
+/// Poll the server's STATS until `pred` holds (or fail loudly).
+fn wait_stats(server: &Server, what: &str, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = server.request("STATS");
+        if pred(&stats) {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}; last STATS: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The i-th synthetic name: always alphabetic, always G2P-transformable.
+fn name(i: usize) -> String {
+    let heads = ["Ka", "Re", "Ni", "Mo", "Ta", "Lu", "Sa", "Vi"];
+    let tails = ["ram", "vel", "din", "sha", "pur", "nak", "kar", "tel"];
+    format!(
+        "{}{}{}",
+        heads[(i / tails.len()) % heads.len()],
+        tails[i % tails.len()],
+        i / (heads.len() * tails.len()),
+    )
+}
+
+/// The MATCH battery both sides must answer identically.
+fn battery(server: &Server, names: &[String]) -> Vec<String> {
+    names
+        .iter()
+        .map(|n| {
+            let q = format!("MATCH en scan 0.45 {n}");
+            format!("{q} => {}", server.request(&q))
+        })
+        .collect()
+}
+
+/// The headline soak: a WAL bounded at a few KiB stays bounded across
+/// several background compaction cycles while a live replica streams,
+/// drains its lag to zero and answers byte-identically.
+#[test]
+fn bounded_wal_soaks_with_a_live_replica() {
+    let wal = TempPath::new("soak.wal");
+    let mut primary = Server::spawn(&[
+        "--addr",
+        "127.0.0.1:0",
+        "--shards",
+        "2",
+        "--wal",
+        wal.as_str(),
+        "--wal-max-bytes",
+        "2048",
+    ]);
+    primary.wait_serving();
+    let primary_addr = primary.addr_str();
+
+    let mut replica = Server::spawn(&["--addr", "127.0.0.1:0", "--replica-of", &primary_addr]);
+    replica.wait_serving();
+
+    // Commit in rounds until three compaction cycles have landed (the
+    // background compactor polls every 200ms, so rounds give it room).
+    let mut names = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        for _ in 0..40 {
+            let n = name(names.len());
+            let resp = primary.request(&format!("ADD en {n}"));
+            assert!(resp.starts_with("OK "), "{resp}");
+            names.push(n);
+        }
+        let stats = primary.request("STATS");
+        let compactions: u64 = stat(&stats, "compactions")
+            .unwrap_or_else(|| panic!("no compactions key: {stats}"))
+            .parse()
+            .expect("compactions number");
+        if compactions >= 3 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "never reached 3 compactions; last STATS: {stats}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The bound held: the live log (and the file itself) stayed a small
+    // multiple of the threshold, far below the total committed bytes.
+    let stats = wait_stats(&primary, "post-compaction stats", |s| {
+        stat(s, "wal_bytes_live")
+            .and_then(|v| v.parse::<u64>().ok())
+            .is_some_and(|v| v <= 2048)
+    });
+    let file_bytes = std::fs::metadata(wal.as_str()).expect("wal file").len();
+    assert!(
+        file_bytes <= 4 * 2048,
+        "on-disk wal is {file_bytes} bytes, way past the bound: {stats}"
+    );
+    assert!(wal.checkpoint().exists(), "checkpoint must exist on disk");
+    let checkpoint_lsn: u64 = stat(&stats, "checkpoint_lsn")
+        .expect("checkpoint_lsn key")
+        .parse()
+        .expect("checkpoint_lsn number");
+    assert!(checkpoint_lsn > 0, "{stats}");
+    assert_eq!(stat(&stats, "divergences"), Some("0"), "{stats}");
+
+    // The replica rode through every truncation and converged.
+    wait_stats(&replica, "replica catch-up", |s| {
+        stat(s, "repl_lag") == Some("0") && stat(s, "repl_connected") == Some("1")
+    });
+    let probe: Vec<String> = names.iter().step_by(7).cloned().collect();
+    assert_eq!(
+        battery(&replica, &probe),
+        battery(&primary, &probe),
+        "replica diverged across compactions"
+    );
+
+    // Explicit COMPACT works on top of the background cycles.
+    let compacted = primary.request("COMPACT");
+    assert!(
+        compacted.starts_with("OK compacted checkpoint_lsn="),
+        "{compacted}"
+    );
+    assert!(compacted.contains("wal_bytes_live="), "{compacted}");
+
+    // And a restart recovers the full corpus from checkpoint + tail.
+    primary.kill();
+    let mut revived = Server::spawn(&[
+        "--addr",
+        "127.0.0.1:0",
+        "--shards",
+        "2",
+        "--wal",
+        wal.as_str(),
+        "--wal-max-bytes",
+        "2048",
+    ]);
+    let lines = revived.wait_serving();
+    assert!(
+        lines.iter().any(|l| l.contains("loaded via mmap")),
+        "restart must load the checkpoint: {lines:?}"
+    );
+    let all: Vec<String> = names.clone();
+    for n in &all {
+        let resp = revived.request(&format!("MATCH en scan 0.45 {n}"));
+        assert!(
+            resp.starts_with("OK n=") && !resp.starts_with("OK n=0 "),
+            "lost {n} after restart: {resp}"
+        );
+    }
+}
+
+/// Kill -9 loops: crash the primary at staggered points while the
+/// background compactor is cycling, restart from whatever the
+/// filesystem holds, and require the pre-crash battery byte-identical
+/// every time.
+#[test]
+fn kill_loops_across_compaction_recover_byte_identically() {
+    let wal = TempPath::new("killloop.wal");
+    let mut names: Vec<String> = Vec::new();
+    let mut next = 0usize;
+    // Staggered post-commit delays walk the kill across the compactor's
+    // 200ms cycle: before a cycle starts, mid-checkpoint, post-rename,
+    // post-truncate.
+    for (round, delay_ms) in [0u64, 60, 130, 210, 340].into_iter().enumerate() {
+        let mut primary = Server::spawn(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--wal",
+            wal.as_str(),
+            "--wal-max-bytes",
+            "1024",
+        ]);
+        let lines = primary.wait_serving();
+        if round > 0 {
+            assert!(
+                lines
+                    .iter()
+                    .any(|l| l.contains("loaded via mmap") || l.contains("replayed")),
+                "restart must recover from checkpoint/wal: {lines:?}"
+            );
+        }
+        // Every name acknowledged in ANY earlier round must still match.
+        for n in &names {
+            let resp = primary.request(&format!("MATCH en scan 0.45 {n}"));
+            assert!(
+                resp.starts_with("OK n=") && !resp.starts_with("OK n=0 "),
+                "round {round}: lost {n} after crash: {resp}"
+            );
+        }
+        for _ in 0..30 {
+            let n = name(next);
+            next += 1;
+            let resp = primary.request(&format!("ADD en {n}"));
+            assert!(resp.starts_with("OK "), "{resp}");
+            names.push(n);
+        }
+        let probe: Vec<String> = names.iter().step_by(5).cloned().collect();
+        let before = battery(&primary, &probe);
+        std::thread::sleep(Duration::from_millis(delay_ms));
+        primary.kill();
+
+        let mut revived = Server::spawn(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--wal",
+            wal.as_str(),
+        ]);
+        revived.wait_serving();
+        assert_eq!(
+            battery(&revived, &probe),
+            before,
+            "round {round} (delay {delay_ms}ms): recovery diverged"
+        );
+        revived.kill();
+    }
+}
+
+/// Role and flag refusals: COMPACT needs a WAL, runs only on a primary,
+/// and a replica's refusal names the primary to go ask instead.
+#[test]
+fn compact_command_refusals_name_the_right_fix() {
+    let mut standalone = Server::spawn(&["--addr", "127.0.0.1:0"]);
+    standalone.wait_serving();
+    let resp = standalone.request("COMPACT");
+    assert!(
+        resp.starts_with("ERR COMPACT requires a write-ahead log"),
+        "{resp}"
+    );
+
+    let wal = TempPath::new("refusals.wal");
+    let mut primary = Server::spawn(&["--addr", "127.0.0.1:0", "--wal", wal.as_str()]);
+    primary.wait_serving();
+    let primary_addr = primary.addr_str();
+    let mut replica = Server::spawn(&["--addr", "127.0.0.1:0", "--replica-of", &primary_addr]);
+    replica.wait_serving();
+    let resp = replica.request("COMPACT");
+    assert!(resp.starts_with("ERR this daemon is a replica"), "{resp}");
+    assert!(resp.contains(&primary_addr), "{resp}");
+
+    // A diverged HELLO on the wire is refused with the primary's head.
+    let mut sock = TcpStream::connect(primary.addr.expect("serving")).expect("connect");
+    sock.write_all(b"REPL HELLO 999 MMAP\n").expect("hello");
+    let mut reply = String::new();
+    BufReader::new(&sock)
+        .read_line(&mut reply)
+        .expect("read reply");
+    assert!(reply.starts_with("DIVERGED lsn="), "{reply:?}");
+    let stats = wait_stats(&primary, "divergence counter", |s| {
+        stat(s, "divergences") == Some("1")
+    });
+    assert!(stat(&stats, "reseeds").is_some(), "{stats}");
+}

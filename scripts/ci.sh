@@ -45,6 +45,13 @@ echo "== replication: WAL corruption matrix + primary/replica e2e"
 # through the real binary, asserting byte-identical MATCH answers.
 cargo test -p lexequal-service --offline -q --test wal_recovery --test repl_e2e
 
+echo "== WAL compaction: crash-state battery + bounded-log e2e"
+# wal_compaction replays recovery from every on-disk state the
+# checkpoint/rename/truncate protocol can crash in; compaction_e2e
+# soaks a capped WAL through >=3 cycles with a live replica and walks
+# SIGKILL across the compactor's cycle through the real binary.
+cargo test -p lexequal-service --offline -q --test wal_compaction --test compaction_e2e
+
 echo "== untagged queries: script routing + g2p + wire/replica e2e"
 # clippy over the new modules specifically, then the pinned goldens
 # (fan-out union, byte-identical unambiguous answers, NORESOURCE,
@@ -75,6 +82,14 @@ mkdir -p results/ci_scratch
 cargo run --release -p lexequal-service --offline --bin loadgen -- \
     --snapshot-bench --size 5000 --snapshot-out results/ci_scratch/snapshot_bench_ci.json
 rm -rf results/ci_scratch
+
+echo "== compaction soak (small run; full size via --size/--compaction-ops)"
+# Self-checking: the bench exits non-zero if the replica ends lagged or
+# any battery answer differs between primary and replica.
+cargo run --release -p lexequal-service --offline --bin loadgen -- \
+    --compaction-bench --size 1500 --compaction-ops 600 --wal-max-bytes 16384 \
+    --compaction-out results/compaction_bench_ci.json
+rm -f results/compaction_bench_ci.json
 
 echo "== untagged bench (small run; full size via --size/--ops)"
 cargo run --release -p lexequal-service --offline --bin loadgen -- \

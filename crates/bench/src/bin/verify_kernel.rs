@@ -37,8 +37,9 @@ fn main() {
     );
     let data = synthetic(opts.dataset_size);
     let names: Vec<PhonemeString> = data.entries.iter().map(|e| e.phonemes.clone()).collect();
-    // The cached side-table every NameStore now carries.
+    // The cached side-tables every NameStore now carries.
     let cluster_ids: Vec<Vec<u8>> = names.iter().map(|p| op.cluster_ids(p)).collect();
+    let embeds: Vec<Vec<u8>> = names.iter().map(|p| op.embed_for(p).to_vec()).collect();
     let stride = (names.len() / opts.queries).max(1);
     let queries: Vec<&PhonemeString> = names.iter().step_by(stride).take(opts.queries).collect();
     let pairs = queries.len() * names.len();
@@ -66,8 +67,8 @@ fn main() {
             let mut hits = 0usize;
             for q in &queries {
                 let prepared: PreparedQuery = op.prepare_query(q);
-                for (c, ids) in names.iter().zip(&cluster_ids) {
-                    if verifier.matches(&op, &prepared, c, Some(ids), e) {
+                for (i, (c, ids)) in names.iter().zip(&cluster_ids).enumerate() {
+                    if verifier.matches(&op, &prepared, c, Some(ids), Some(&embeds[i]), e) {
                         hits += 1;
                     }
                 }
@@ -127,7 +128,7 @@ fn main() {
     std::fs::write(out, report.render()).expect("write report");
     println!("\nWrote {}", out.display());
 
-    batch_sweep(&op, &names, &cluster_ids, &queries);
+    batch_sweep(&op, &names, &cluster_ids, &embeds, &queries);
 }
 
 /// Batch widths swept against the pair-at-a-time baseline.
@@ -140,6 +141,7 @@ fn batch_sweep(
     op: &lexequal::LexEqual,
     names: &[PhonemeString],
     cluster_ids: &[Vec<u8>],
+    embeds: &[Vec<u8>],
     queries: &[&PhonemeString],
 ) {
     let pairs = queries.len() * names.len();
@@ -156,8 +158,8 @@ fn batch_sweep(
             let mut hits = 0usize;
             for q in queries {
                 let prepared: PreparedQuery = op.prepare_query(q);
-                for (c, ids) in names.iter().zip(cluster_ids) {
-                    if verifier.matches(op, &prepared, c, Some(ids), e) {
+                for (i, (c, ids)) in names.iter().zip(cluster_ids).enumerate() {
+                    if verifier.matches(op, &prepared, c, Some(ids), Some(&embeds[i]), e) {
                         hits += 1;
                     }
                 }
@@ -179,6 +181,7 @@ fn batch_sweep(
                             &prepared,
                             names,
                             Some(cluster_ids),
+                            Some(embeds),
                             0..names.len() as u32,
                             e,
                             &mut lane_hits,

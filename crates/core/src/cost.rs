@@ -100,9 +100,18 @@ pub struct DenseSubstCost {
 impl DenseSubstCost {
     /// Materialize `source` over the full phoneme inventory.
     pub fn from_clustered(source: &ClusteredPhonemeCost) -> Self {
+        DenseSubstCost::from_model(source)
+    }
+
+    /// Materialize any phoneme cost model over the full inventory. The
+    /// caller's model must use unit insert/delete costs (the dense form
+    /// hardcodes them, like every model in this stack).
+    pub fn from_model<M: CostModel<Phoneme>>(source: &M) -> Self {
         let n = Inventory::len();
         let mut sub = vec![0.0f64; n * n];
         for a in Inventory::iter() {
+            debug_assert_eq!(source.ins(&a), 1.0);
+            debug_assert_eq!(source.del(&a), 1.0);
             for b in Inventory::iter() {
                 sub[a.index() * n + b.index()] = source.sub(&a, &b);
             }
@@ -239,87 +248,28 @@ mod tests {
     }
 }
 
-/// An alternative substitution model derived from articulatory features
-/// rather than discrete clusters: the cost of substituting two phonemes is
-/// proportional to how many features separate them (place, manner,
-/// voicing, aspiration for consonants; height, backness, rounding, length
-/// for vowels). The paper treats the cost matrix as "an installable
-/// resource intended to tune the quality of match for a specific domain"
-/// (§3.2) — this is the finest-grained such resource the inventory
-/// supports, used by the cost-model ablation.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FeaturePhonemeCost {
-    /// Extra cost floor for any substitution (keeps sub > 0 for unequal
-    /// phonemes even when all recorded features agree).
-    pub floor: f64,
-}
-
-impl FeaturePhonemeCost {
-    /// Model with the default floor of 0.1.
-    pub fn new() -> Self {
-        FeaturePhonemeCost { floor: 0.1 }
-    }
-}
-
-impl CostModel<Phoneme> for FeaturePhonemeCost {
-    fn ins(&self, _t: &Phoneme) -> f64 {
-        1.0
-    }
-
-    fn del(&self, _t: &Phoneme) -> f64 {
-        1.0
-    }
-
-    fn sub(&self, a: &Phoneme, b: &Phoneme) -> f64 {
-        if a == b {
-            return 0.0;
-        }
-        // dissimilarity is in 0..=4; scale into (floor, 1.0].
-        let d = a.features().dissimilarity(&b.features()) as f64;
-        (self.floor + (1.0 - self.floor) * d / 4.0).min(1.0)
-    }
-
-    fn min_indel(&self) -> f64 {
-        1.0
-    }
-}
+/// The feature-graded substitution model, re-exported from its home in
+/// `lexequal-embed` under the name this crate's API has always used.
+/// (It lives next to the [`Embedder`](lexequal_embed::Embedder) because
+/// both are pure functions of the articulatory feature bundles.)
+pub use lexequal_embed::FeatureCost as FeaturePhonemeCost;
 
 #[cfg(test)]
-mod feature_cost_tests {
+mod feature_dense_tests {
     use super::*;
-    use lexequal_phoneme::PhonemeString;
-
-    fn p(sym: &str) -> Phoneme {
-        sym.parse::<PhonemeString>().unwrap()[0]
-    }
 
     #[test]
-    fn graded_by_feature_distance() {
-        let m = FeaturePhonemeCost::new();
-        // p vs b: voicing only (1 feature) — cheap.
-        let pb = m.sub(&p("p"), &p("b"));
-        // p vs k: place only — equally cheap.
-        let pk = m.sub(&p("p"), &p("k"));
-        // p vs z: voicing + place + manner — expensive.
-        let pz = m.sub(&p("p"), &p("z"));
-        assert!(pb < pz);
-        assert_eq!(pb, pk);
-        assert!(pb > 0.0);
-        // Vowel vs consonant is maximal.
-        assert_eq!(m.sub(&p("p"), &p("a")), 1.0);
-    }
-
-    #[test]
-    fn identical_is_free_and_symmetric() {
-        let m = FeaturePhonemeCost::new();
-        assert_eq!(m.sub(&p("s"), &p("s")), 0.0);
-        assert_eq!(m.sub(&p("s"), &p("z")), m.sub(&p("z"), &p("s")));
-    }
-
-    #[test]
-    fn floor_bounds_minimum_substitution() {
-        let m = FeaturePhonemeCost { floor: 0.3 };
-        // Any unequal pair costs at least the floor.
-        assert!(m.sub(&p("p"), &p("b")) >= 0.3);
+    fn dense_matrix_reproduces_feature_costs_exactly() {
+        let feature = FeaturePhonemeCost::new();
+        let dense = DenseSubstCost::from_model(&feature);
+        for a in Inventory::iter() {
+            for b in Inventory::iter() {
+                assert_eq!(
+                    dense.sub(&a, &b).to_bits(),
+                    feature.sub(&a, &b).to_bits(),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
     }
 }

@@ -65,16 +65,17 @@ pub mod store;
 pub mod udf;
 pub mod verify;
 
-pub use config::MatchConfig;
+pub use config::{CostModelKind, MatchConfig};
 pub use cost::{ClusteredPhonemeCost, DenseSubstCost, FeaturePhonemeCost};
 pub use operator::{LexEqual, Outcome};
 pub use phonidx::PhoneticIndex;
 pub use qgram_plan::{QgramFilter, QgramMode};
 pub use store::{NameStore, SearchMethod, SharedEntry, SharedEntryError};
 pub use verify::{
-    BatchCounters, BatchVerifier, PreparedQuery, ScreenCounters, Verifier, MAX_LANES,
+    BatchCounters, BatchVerifier, Lane, PreparedQuery, ScreenCounters, Verifier, MAX_LANES,
 };
 
+pub use lexequal_embed::{Embedder, FeatureCost, EMBED_DIM};
 pub use lexequal_g2p::{G2pError, G2pRegistry, Language, Route, Router, Script, ScriptProfile};
 pub use lexequal_matcher::{available_simd_levels, simd_level, SimdLevel};
 pub use lexequal_phoneme::{ClusterTable, Phoneme, PhonemeString};
@@ -103,6 +104,7 @@ mod send_sync_audit {
         assert_send_sync::<QgramFilter>();
         assert_send_sync::<PhoneticIndex>();
         assert_send_sync::<DenseSubstCost>();
+        assert_send_sync::<Embedder>();
         assert_send_sync::<Verifier>();
         assert_send_sync::<PreparedQuery>();
         assert_send_sync::<ScriptProfile>();

@@ -1,11 +1,13 @@
 //! The LexEQUAL operator — the algorithm of the paper's Figure 8.
 
-use crate::config::MatchConfig;
-use crate::cost::{ClusteredPhonemeCost, DenseSubstCost};
+use crate::config::{CostModelKind, MatchConfig};
+use crate::cost::{ClusteredPhonemeCost, DenseSubstCost, FeaturePhonemeCost};
 use crate::verify::PreparedQuery;
+use lexequal_embed::{Embedder, EMBED_DIM};
 use lexequal_g2p::{G2pError, Language};
-use lexequal_matcher::{edit_distance, within_distance};
-use lexequal_phoneme::PhonemeString;
+use lexequal_matcher::{edit_distance, within_distance, CostModel};
+use lexequal_phoneme::{Inventory, PhonemeString};
+use std::sync::Arc;
 
 /// The three-valued result of a LexEQUAL comparison (Figure 8): a match,
 /// a non-match, or "no TTP resource for one of the languages".
@@ -23,19 +25,61 @@ pub enum Outcome {
 #[derive(Debug, Clone)]
 pub struct LexEqual {
     config: MatchConfig,
+    /// Cluster semantics (tables, grouped identifiers, cluster-id
+    /// columns) — always the clustered parameterization, regardless of
+    /// which model the dense matrix serves.
     cost: ClusteredPhonemeCost,
+    /// The matrix the predicate and every DP actually evaluate: the
+    /// clustered or feature-graded model per `config.cost_model`.
     dense: DenseSubstCost,
+    /// Phonetic embedding tables (shared across operator clones — the
+    /// service layer clones one operator per shard).
+    embedder: Arc<Embedder>,
+    /// Calibrated conservative scale of the embedding screen under
+    /// `dense`: reject when `embed_scale · l1 > k`. `0.0` disables the
+    /// screen (by config, or because no sound scale exists).
+    embed_scale: f64,
+    /// Conservative per-unit-op cost of the cluster-id Myers screen:
+    /// every clustered edit op that induces a unit op on the cluster-id
+    /// strings costs at least this much, so
+    /// `lev_clus · clus_reject_scale > k` is a sound reject. Exactly 1.0
+    /// for the clustered model (preserving its bit-identical screen
+    /// arithmetic); the minimum cross-cluster substitution cost, capped
+    /// at 1, for graded models.
+    clus_reject_scale: f64,
 }
 
 impl LexEqual {
     /// Build the operator from a configuration.
     pub fn new(config: MatchConfig) -> Self {
         let cost = ClusteredPhonemeCost::new(config.clusters.clone(), config.intra_cluster_cost);
-        let dense = DenseSubstCost::from_clustered(&cost);
+        let dense = match config.cost_model {
+            CostModelKind::Clustered => DenseSubstCost::from_clustered(&cost),
+            CostModelKind::Feature => DenseSubstCost::from_model(&FeaturePhonemeCost::new()),
+        };
+        let embedder = Arc::new(Embedder::new(&config.clusters));
+        let embed_scale = if config.embed_screen {
+            embedder.conservative_scale(&dense)
+        } else {
+            0.0
+        };
+        let mut clus_reject_scale = f64::INFINITY;
+        for a in Inventory::iter() {
+            for b in Inventory::iter() {
+                if a != b && !config.clusters.same_cluster(a, b) {
+                    clus_reject_scale = clus_reject_scale.min(dense.sub(&a, &b));
+                }
+            }
+        }
+        // Insertions and deletions induce unit cluster ops at cost 1.
+        let clus_reject_scale = clus_reject_scale.min(1.0);
         LexEqual {
             config,
             cost,
             dense,
+            embedder,
+            embed_scale,
+            clus_reject_scale,
         }
     }
 
@@ -44,16 +88,65 @@ impl LexEqual {
         &self.config
     }
 
-    /// The phoneme cost model in force.
+    /// The clustered parameterization — the source of cluster *semantics*
+    /// (tables, grouped identifiers, cluster-id columns) even when the
+    /// serving matrix is feature-graded.
     pub fn cost_model(&self) -> &ClusteredPhonemeCost {
         &self.cost
     }
 
-    /// The cost model materialized as a dense substitution matrix — the
-    /// form the verification kernel feeds to the DP (same `f64` values as
-    /// [`cost_model`](Self::cost_model), flat-array lookup).
+    /// The cost model materialized as a dense substitution matrix — what
+    /// the predicate and the verification kernels actually evaluate
+    /// (flat-array lookup; clustered or feature-graded per
+    /// [`MatchConfig::cost_model`]).
     pub fn dense_cost(&self) -> &DenseSubstCost {
         &self.dense
+    }
+
+    /// The smallest non-zero edit-operation cost of the *serving* matrix —
+    /// maps a threshold to a conservative Levenshtein bound for q-gram
+    /// filtering and BK-tree radii. `None` when some distinct pair
+    /// substitutes for free (no finite bound exists).
+    pub fn min_nonzero_cost(&self) -> Option<f64> {
+        let mut min = 1.0f64; // ins/del
+        for a in Inventory::iter() {
+            for b in Inventory::iter() {
+                if a == b {
+                    continue;
+                }
+                let s = self.dense.sub(&a, &b);
+                if s == 0.0 {
+                    return None;
+                }
+                min = min.min(s);
+            }
+        }
+        Some(min)
+    }
+
+    /// The phonetic embedder in force (shared tables).
+    pub fn embedder(&self) -> &Arc<Embedder> {
+        &self.embedder
+    }
+
+    /// The conservative embedding-screen scale under the serving matrix;
+    /// `0.0` means the screen is off (config, or no sound scale exists —
+    /// e.g. clustered costs at intra-cluster cost 0).
+    pub fn embed_scale(&self) -> f64 {
+        self.embed_scale
+    }
+
+    /// The cluster-screen scale (see the field docs): multiply the
+    /// cluster-id Levenshtein by this before comparing against the
+    /// budget. 1.0 for the clustered model.
+    pub fn clus_reject_scale(&self) -> f64 {
+        self.clus_reject_scale
+    }
+
+    /// The phonetic embedding of `s` (what stores cache per entry and the
+    /// mmap image persists).
+    pub fn embed_for(&self, s: &PhonemeString) -> [u8; EMBED_DIM] {
+        self.embedder.embed(s)
     }
 
     /// The cluster-id sequence of `s` under the configured cluster table —
@@ -147,13 +240,18 @@ impl LexEqual {
         // zero-distance pairs (identical up to free intra-cluster
         // substitutions when the cost is 0) matching at threshold 0.
         let k = (e * smaller as f64 - 1e-9).max(1e-12);
-        within_distance(a.as_slice(), b.as_slice(), k, &self.cost)
+        // The dense matrix holds the exact floats of the configured model
+        // (bit-equality pinned by `dense_matrix_reproduces_*` tests), so
+        // evaluating through it keeps verdicts identical while serving
+        // whichever model `config.cost_model` selects.
+        within_distance(a.as_slice(), b.as_slice(), k, &self.dense)
     }
 
-    /// The raw clustered edit distance between two phoneme strings (the
-    /// paper's `editdistance` function; used by the quality experiments).
+    /// The raw edit distance between two phoneme strings under the
+    /// configured cost model (the paper's `editdistance` function; used
+    /// by the quality experiments).
     pub fn distance(&self, a: &PhonemeString, b: &PhonemeString) -> f64 {
-        edit_distance(a.as_slice(), b.as_slice(), &self.cost)
+        edit_distance(a.as_slice(), b.as_slice(), &self.dense)
     }
 
     /// The absolute distance budget for a pair of strings under threshold
@@ -297,5 +395,79 @@ mod tests {
             l.matches_phonemes(&b, &a, 0.3)
         );
         assert_eq!(l.distance(&a, &b), l.distance(&b, &a));
+    }
+
+    #[test]
+    fn feature_model_serves_end_to_end() {
+        use crate::config::CostModelKind;
+        let l = LexEqual::new(MatchConfig::default().with_cost_model(CostModelKind::Feature));
+        // Cross-script match still holds under the graded matrix (its
+        // substitutions are pricier than clustered's 0.25, so the knee
+        // threshold sits a bit higher).
+        assert_eq!(
+            l.match_strings_with("Nehru", Language::English, "नेहरु", Language::Hindi, 0.45)
+                .unwrap(),
+            Outcome::True
+        );
+        assert_eq!(
+            l.match_strings("Nehru", Language::English, "Gandhi", Language::English)
+                .unwrap(),
+            Outcome::False
+        );
+        // Every graded op cost is ≤ its unit-cost counterpart, so the
+        // graded distance never exceeds plain Levenshtein.
+        let a = l.transform("Catherine", Language::English).unwrap();
+        let b = l.transform("Kathryn", Language::English).unwrap();
+        let lev = edit_distance(a.as_slice(), b.as_slice(), lexequal_matcher::UnitCost);
+        assert!(l.distance(&a, &b) <= lev + 1e-12);
+        assert!(l.distance(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn min_nonzero_cost_reflects_the_dense_matrix() {
+        use crate::config::CostModelKind;
+        // Clustered: min op cost is the intra-cluster cost (or None at 0).
+        let l = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.25));
+        assert_eq!(l.min_nonzero_cost(), Some(0.25));
+        let free = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.0));
+        assert_eq!(free.min_nonzero_cost(), None);
+        // Feature: the floor bounds every distinct-pair substitution from
+        // below; no two distinct phonemes share a feature bundle, so the
+        // cheapest op is strictly above the floor but well under 1.
+        let f = LexEqual::new(MatchConfig::default().with_cost_model(CostModelKind::Feature));
+        let c = f.min_nonzero_cost().unwrap();
+        assert!(c >= lexequal_embed::FeatureCost::new().floor);
+        assert!(c < 1.0);
+    }
+
+    #[test]
+    fn screen_scales_are_sound_defaults() {
+        use crate::config::CostModelKind;
+        for kind in [CostModelKind::Clustered, CostModelKind::Feature] {
+            let l = LexEqual::new(MatchConfig::default().with_cost_model(kind));
+            assert!(l.embed_scale() > 0.0, "{kind:?} must admit a screen");
+            assert!(l.clus_reject_scale() > 0.0 && l.clus_reject_scale() <= 1.0);
+            let off = LexEqual::new(
+                MatchConfig::default()
+                    .with_cost_model(kind)
+                    .with_embed_screen(false),
+            );
+            assert_eq!(off.embed_scale(), 0.0, "flag must disable the screen");
+        }
+        // Clustered at the default table: the historical cluster screen
+        // scale is exactly 1.0 (cheapest cross-cluster substitution).
+        let l = lex();
+        assert_eq!(l.clus_reject_scale(), 1.0);
+        // A free intra-cluster substitution kills the embedding screen
+        // (no sound positive scale exists) but not the predicate.
+        let free = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.0));
+        assert_eq!(free.embed_scale(), 0.0);
+    }
+
+    #[test]
+    fn embed_for_matches_the_embedder() {
+        let l = lex();
+        let a = l.transform("Krishnan", Language::English).unwrap();
+        assert_eq!(l.embed_for(&a), l.embedder().embed_ids(a.id_bytes()));
     }
 }

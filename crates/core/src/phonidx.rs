@@ -90,17 +90,27 @@ impl PhoneticIndex {
     ) -> (Vec<u32>, usize) {
         let prepared = operator.prepare_query(query);
         let mut verifier = Verifier::new();
-        self.search_with::<Vec<u8>>(corpus, None, &prepared, e, operator, &mut verifier)
+        self.search_with::<Vec<u8>, Vec<u8>>(
+            corpus,
+            None,
+            None,
+            &prepared,
+            e,
+            operator,
+            &mut verifier,
+        )
     }
 
     /// [`search`](Self::search) through the verification kernel: same
     /// hits and verification count, but screen-first and allocation-free
-    /// when the caller supplies per-string cluster ids and a long-lived
-    /// [`Verifier`].
-    pub fn search_with<C: AsRef<[u8]>>(
+    /// when the caller supplies per-string cluster ids (and, optionally,
+    /// per-string embeddings) and a long-lived [`Verifier`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_with<C: AsRef<[u8]>, E: AsRef<[u8]>>(
         &self,
         corpus: &[PhonemeString],
         cluster_ids: Option<&[C]>,
+        embeds: Option<&[E]>,
         query: &PreparedQuery,
         e: f64,
         operator: &LexEqual,
@@ -112,7 +122,8 @@ impl PhoneticIndex {
         for cand in self.candidates(clusters, query.phonemes()) {
             verified += 1;
             let cc = cluster_ids.map(|c| c[cand as usize].as_ref());
-            if verifier.matches(operator, query, &corpus[cand as usize], cc, e) {
+            let ce = embeds.map(|c| c[cand as usize].as_ref());
+            if verifier.matches(operator, query, &corpus[cand as usize], cc, ce, e) {
                 hits.push(cand);
             }
         }
@@ -123,10 +134,12 @@ impl PhoneticIndex {
     /// [`search_with`](Self::search_with) through the batched kernel:
     /// identical hits and verification count, with the index probe's
     /// candidates verified in width-sized interleaved steps.
-    pub fn search_batched<C: AsRef<[u8]>>(
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_batched<C: AsRef<[u8]>, E: AsRef<[u8]>>(
         &self,
         corpus: &[PhonemeString],
         cluster_ids: Option<&[C]>,
+        embeds: Option<&[E]>,
         query: &PreparedQuery,
         e: f64,
         operator: &LexEqual,
@@ -135,8 +148,16 @@ impl PhoneticIndex {
         let clusters = operator.cost_model().clusters();
         let mut hits = Vec::new();
         let cands = self.candidates(clusters, query.phonemes());
-        let verified =
-            verifier.verify_ids(operator, query, corpus, cluster_ids, cands, e, &mut hits);
+        let verified = verifier.verify_ids(
+            operator,
+            query,
+            corpus,
+            cluster_ids,
+            embeds,
+            cands,
+            e,
+            &mut hits,
+        );
         hits.sort_unstable();
         (hits, verified)
     }

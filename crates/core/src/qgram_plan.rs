@@ -113,7 +113,7 @@ impl QgramFilter {
     fn filter_bound(&self, k: f64, operator: &LexEqual) -> Option<f64> {
         match self.mode {
             QgramMode::PaperFaithful => Some(k),
-            QgramMode::Strict => operator.cost_model().min_nonzero_cost().map(|c| k / c),
+            QgramMode::Strict => operator.min_nonzero_cost().map(|c| k / c),
         }
     }
 
@@ -217,17 +217,27 @@ impl QgramFilter {
     ) -> (Vec<u32>, usize) {
         let prepared = operator.prepare_query(query);
         let mut verifier = Verifier::new();
-        self.search_with::<Vec<u8>>(corpus, None, &prepared, e, operator, &mut verifier)
+        self.search_with::<Vec<u8>, Vec<u8>>(
+            corpus,
+            None,
+            None,
+            &prepared,
+            e,
+            operator,
+            &mut verifier,
+        )
     }
 
     /// [`search`](Self::search) through the verification kernel: same
     /// hits and verification count, but screen-first and allocation-free
-    /// when the caller supplies per-string cluster ids and a long-lived
-    /// [`Verifier`].
-    pub fn search_with<C: AsRef<[u8]>>(
+    /// when the caller supplies per-string cluster ids (and, optionally,
+    /// per-string embeddings) and a long-lived [`Verifier`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_with<C: AsRef<[u8]>, E: AsRef<[u8]>>(
         &self,
         corpus: &[PhonemeString],
         cluster_ids: Option<&[C]>,
+        embeds: Option<&[E]>,
         query: &PreparedQuery,
         e: f64,
         operator: &LexEqual,
@@ -242,7 +252,8 @@ impl QgramFilter {
         for cand in self.candidates(query.phonemes(), k_max, operator) {
             verified += 1;
             let cc = cluster_ids.map(|c| c[cand as usize].as_ref());
-            if verifier.matches(operator, query, &corpus[cand as usize], cc, e) {
+            let ce = embeds.map(|c| c[cand as usize].as_ref());
+            if verifier.matches(operator, query, &corpus[cand as usize], cc, ce, e) {
                 hits.push(cand);
             }
         }
@@ -252,10 +263,12 @@ impl QgramFilter {
     /// [`search_with`](Self::search_with) through the batched kernel:
     /// identical hits and verification count, with the surviving
     /// candidates verified in width-sized interleaved steps.
-    pub fn search_batched<C: AsRef<[u8]>>(
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_batched<C: AsRef<[u8]>, E: AsRef<[u8]>>(
         &self,
         corpus: &[PhonemeString],
         cluster_ids: Option<&[C]>,
+        embeds: Option<&[E]>,
         query: &PreparedQuery,
         e: f64,
         operator: &LexEqual,
@@ -265,8 +278,16 @@ impl QgramFilter {
         // Same conservative filter budget as `search_with`.
         let k_max = e * query.phonemes().len() as f64;
         let cands = self.candidates(query.phonemes(), k_max, operator);
-        let verified =
-            verifier.verify_ids(operator, query, corpus, cluster_ids, cands, e, &mut hits);
+        let verified = verifier.verify_ids(
+            operator,
+            query,
+            corpus,
+            cluster_ids,
+            embeds,
+            cands,
+            e,
+            &mut hits,
+        );
         (hits, verified)
     }
 }

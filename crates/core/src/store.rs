@@ -16,6 +16,7 @@ use crate::operator::LexEqual;
 use crate::phonidx::PhoneticIndex;
 use crate::qgram_plan::{QgramFilter, QgramMode};
 use crate::verify::{BatchVerifier, Verifier};
+use lexequal_embed::EMBED_DIM;
 use lexequal_g2p::{G2pError, Language};
 use lexequal_matcher::{bounded_levenshtein, edit_distance, BkTree, UnitCost};
 use lexequal_phoneme::{Bytes, PhonemeString, SharedBytes};
@@ -62,6 +63,11 @@ pub struct SharedEntry {
     pub phonemes: SharedBytes,
     /// Cluster ids, parallel to `phonemes`.
     pub clusters: SharedBytes,
+    /// Stored phonetic embedding: either [`EMBED_DIM`] bytes, or an
+    /// empty view meaning "not persisted" (v1 images) — the store then
+    /// bypasses the embedding screen for this entry until
+    /// [`NameStore::build_embeddings`] fills it in.
+    pub embed: SharedBytes,
 }
 
 /// Why [`NameStore::push_shared_entry`] refused an entry.
@@ -74,6 +80,10 @@ pub enum SharedEntryError {
     /// The cluster-id vector disagrees with the configured cost model
     /// (wrong length or wrong cluster for a phoneme).
     ClusterMismatch,
+    /// The stored embedding vector disagrees with what the configured
+    /// embedder computes for the entry's phonemes (wrong length or wrong
+    /// bytes; an *empty* vector is legal and means "rebuild later").
+    EmbedMismatch,
 }
 
 impl fmt::Display for SharedEntryError {
@@ -87,6 +97,9 @@ impl fmt::Display for SharedEntryError {
                 f,
                 "stored cluster ids disagree with the configured cost model"
             ),
+            SharedEntryError::EmbedMismatch => {
+                write!(f, "stored embedding disagrees with the configured embedder")
+            }
         }
     }
 }
@@ -153,6 +166,11 @@ pub struct NameStore {
     /// Per-string cluster-id vectors, parallel to `phonemes` — feeds the
     /// verification kernel's fast-reject screen without per-pair lookups.
     cluster_ids: Vec<Bytes>,
+    /// Per-string phonetic embeddings, parallel to `phonemes`: either
+    /// [`EMBED_DIM`] bytes, or empty for "not yet built" (entries adopted
+    /// from a v1 snapshot image) — the embedding screen bypasses empty
+    /// rows until [`build_embeddings`](Self::build_embeddings) fills them.
+    embeds: Vec<Bytes>,
     qgram: Option<QgramFilter>,
     phonidx: Option<PhoneticIndex>,
     bktree: Option<PhonemeBkTree>,
@@ -167,6 +185,7 @@ impl NameStore {
             languages: Vec::new(),
             phonemes: Vec::new(),
             cluster_ids: Vec::new(),
+            embeds: Vec::new(),
             qgram: None,
             phonidx: None,
             bktree: None,
@@ -249,6 +268,8 @@ impl NameStore {
         for e in entries {
             self.cluster_ids
                 .push(Bytes::from(self.operator.cluster_ids(&e.phonemes)));
+            self.embeds
+                .push(Bytes::from(self.operator.embed_for(&e.phonemes).to_vec()));
             self.phonemes.push(e.phonemes);
             self.languages.push(e.language);
             self.texts.push(StoredText::Owned(e.text));
@@ -275,6 +296,7 @@ impl NameStore {
             language,
             phonemes,
             clusters,
+            embed,
         } = entry;
         if std::str::from_utf8(text.as_slice()).is_err() {
             return Err(SharedEntryError::TextNotUtf8);
@@ -293,8 +315,21 @@ impl NameStore {
         if !agree {
             return Err(SharedEntryError::ClusterMismatch);
         }
+        match embed.len() {
+            // Empty means "not persisted" (v1 image); the screen bypasses
+            // the row until `build_embeddings` fills it.
+            0 => {}
+            EMBED_DIM => {
+                let expect = self.operator.embedder().embed_ids(phonemes.id_bytes());
+                if embed.as_slice() != expect {
+                    return Err(SharedEntryError::EmbedMismatch);
+                }
+            }
+            _ => return Err(SharedEntryError::EmbedMismatch),
+        }
         let id = self.texts.len() as u32;
         self.cluster_ids.push(Bytes::Shared(clusters));
+        self.embeds.push(Bytes::Shared(embed));
         self.phonemes.push(phonemes);
         self.languages.push(language);
         self.texts.push(StoredText::Shared(text));
@@ -312,6 +347,7 @@ impl NameStore {
         self.languages.reserve(additional);
         self.phonemes.reserve(additional);
         self.cluster_ids.reserve(additional);
+        self.embeds.reserve(additional);
     }
 
     /// [`push_shared_entry`](Self::push_shared_entry) for entries a
@@ -325,15 +361,18 @@ impl NameStore {
     pub fn push_shared_entry_prevalidated(&mut self, entry: SharedEntry) -> u32 {
         debug_assert!(std::str::from_utf8(entry.text.as_slice()).is_ok());
         debug_assert_eq!(entry.clusters.len(), entry.phonemes.len());
+        debug_assert!(entry.embed.is_empty() || entry.embed.len() == EMBED_DIM);
         let SharedEntry {
             text,
             language,
             phonemes,
             clusters,
+            embed,
         } = entry;
         let phonemes = PhonemeString::from_shared_prevalidated(phonemes);
         let id = self.texts.len() as u32;
         self.cluster_ids.push(Bytes::Shared(clusters));
+        self.embeds.push(Bytes::Shared(embed));
         self.phonemes.push(phonemes);
         self.languages.push(language);
         self.texts.push(StoredText::Shared(text));
@@ -341,6 +380,30 @@ impl NameStore {
         self.phonidx = None;
         self.bktree = None;
         id
+    }
+
+    /// Fill in the embedding for every row that lacks one (rows adopted
+    /// from a v1 snapshot image arrive with empty embed views). Returns
+    /// how many rows were filled; idempotent.
+    ///
+    /// Deliberately does *not* invalidate built access paths: embeddings
+    /// only feed the conservative screen, never candidate generation, so
+    /// paths built before the fill stay exactly as correct after it —
+    /// rows simply stop being screen-bypassed.
+    pub fn build_embeddings(&mut self) -> usize {
+        let mut filled = 0usize;
+        for (i, e) in self.embeds.iter_mut().enumerate() {
+            if e.len() != EMBED_DIM {
+                *e = Bytes::from(self.operator.embed_for(&self.phonemes[i]).to_vec());
+                filled += 1;
+            }
+        }
+        filled
+    }
+
+    /// How many rows still lack an embedding (empty embed view).
+    pub fn pending_embeddings(&self) -> usize {
+        self.embeds.iter().filter(|e| e.len() != EMBED_DIM).count()
     }
 
     /// Whether the access path a [`search`](Self::search) via `method`
@@ -415,7 +478,8 @@ impl NameStore {
                 let mut ids = Vec::new();
                 for (i, p) in self.phonemes.iter().enumerate() {
                     let cc = Some(self.cluster_ids[i].as_slice());
-                    if verifier.matches(&self.operator, &prepared, p, cc, e) {
+                    let ce = Some(self.embeds[i].as_slice());
+                    if verifier.matches(&self.operator, &prepared, p, cc, ce, e) {
                         ids.push(i as u32);
                     }
                 }
@@ -429,6 +493,7 @@ impl NameStore {
                 let (ids, verifications) = f.search_with(
                     &self.phonemes,
                     Some(&self.cluster_ids),
+                    Some(&self.embeds),
                     &prepared,
                     e,
                     &self.operator,
@@ -444,6 +509,7 @@ impl NameStore {
                 let (ids, verifications) = idx.search_with(
                     &self.phonemes,
                     Some(&self.cluster_ids),
+                    Some(&self.embeds),
                     &prepared,
                     e,
                     &self.operator,
@@ -453,11 +519,12 @@ impl NameStore {
             }
             SearchMethod::BkTree => {
                 let t = self.bktree.as_ref().expect("call build_bktree first");
-                // Levenshtein radius that can contain every clustered
-                // match: k / min positive op cost (full scan when the
-                // intra-cluster cost is 0 — no finite radius exists).
+                // Levenshtein radius that can contain every match under
+                // the configured model: k / min positive op cost (full
+                // scan when some substitution is free — no finite radius
+                // exists).
                 let k = e * q.len() as f64;
-                match self.operator.cost_model().min_nonzero_cost() {
+                match self.operator.min_nonzero_cost() {
                     Some(c) => {
                         let radius = (k / c).floor() as u32;
                         let mut verifications = 0usize;
@@ -466,11 +533,13 @@ impl NameStore {
                         {
                             verifications += 1;
                             let cc = Some(self.cluster_ids[id as usize].as_slice());
+                            let ce = Some(self.embeds[id as usize].as_slice());
                             if verifier.matches(
                                 &self.operator,
                                 &prepared,
                                 &self.phonemes[id as usize],
                                 cc,
+                                ce,
                                 e,
                             ) {
                                 ids.push(id);
@@ -506,6 +575,7 @@ impl NameStore {
                     &prepared,
                     &self.phonemes,
                     Some(&self.cluster_ids),
+                    Some(&self.embeds),
                     0..self.phonemes.len() as u32,
                     e,
                     &mut ids,
@@ -517,6 +587,7 @@ impl NameStore {
                 let (ids, verifications) = f.search_batched(
                     &self.phonemes,
                     Some(&self.cluster_ids),
+                    Some(&self.embeds),
                     &prepared,
                     e,
                     &self.operator,
@@ -532,6 +603,7 @@ impl NameStore {
                 let (ids, verifications) = idx.search_batched(
                     &self.phonemes,
                     Some(&self.cluster_ids),
+                    Some(&self.embeds),
                     &prepared,
                     e,
                     &self.operator,
@@ -541,10 +613,10 @@ impl NameStore {
             }
             SearchMethod::BkTree => {
                 let t = self.bktree.as_ref().expect("call build_bktree first");
-                // Same radius mapping (and cost-0 fallback) as the
-                // pair-at-a-time form.
+                // Same radius mapping (and free-substitution fallback)
+                // as the pair-at-a-time form.
                 let k = e * q.len() as f64;
-                match self.operator.cost_model().min_nonzero_cost() {
+                match self.operator.min_nonzero_cost() {
                     Some(c) => {
                         let radius = (k / c).floor() as u32;
                         let mut ids = Vec::new();
@@ -554,6 +626,7 @@ impl NameStore {
                             &prepared,
                             &self.phonemes,
                             Some(&self.cluster_ids),
+                            Some(&self.embeds),
                             leaf_runs.iter().map(|(_, &id, _)| id),
                             e,
                             &mut ids,
@@ -582,6 +655,13 @@ impl NameStore {
     /// [`phoneme_strings`](Self::phoneme_strings).
     pub fn cluster_id_vectors(&self) -> &[Bytes] {
         &self.cluster_ids
+    }
+
+    /// Per-string embedding vectors, parallel to
+    /// [`phoneme_strings`](Self::phoneme_strings) — [`EMBED_DIM`] bytes
+    /// each, or empty where not yet built.
+    pub fn embed_vectors(&self) -> &[Bytes] {
+        &self.embeds
     }
 
     /// The phoneme strings (benchmark access).

@@ -28,6 +28,7 @@
 //! kernel's verdict is bit-for-bit identical to `matches_phonemes`.
 
 use crate::operator::LexEqual;
+use lexequal_embed::{l1, EMBED_DIM};
 use lexequal_matcher::{
     simd_level, within_distance_dense, within_distance_scratch, DpScratch, MyersPattern, SimdLevel,
 };
@@ -36,6 +37,11 @@ use lexequal_phoneme::PhonemeString;
 /// Maximum candidates one interleaved [`BatchVerifier`] step processes
 /// (re-exported from the matcher's lane-batched Myers module).
 pub const MAX_LANES: usize = lexequal_matcher::MAX_LANES;
+
+/// One batched-verification lane: the candidate plus its optional
+/// cached cluster-id sequence and optional stored embedding (see
+/// [`BatchVerifier::matches_lanes`]).
+pub type Lane<'a> = (&'a PhonemeString, Option<&'a [u8]>, Option<&'a [u8]>);
 
 /// A query preprocessed for repeated verification: its cluster-id and
 /// phoneme-id vectors and the two Myers bitmask tables (phoneme ids,
@@ -51,6 +57,10 @@ pub struct PreparedQuery {
     phonemes: PhonemeString,
     phoneme_ids: Vec<u8>,
     cluster_ids: Vec<u8>,
+    /// The query's phonetic embedding — left side of the embedding
+    /// screen's L1 distance (computed unconditionally; it is a few
+    /// dozen saturating adds).
+    embed: [u8; EMBED_DIM],
     phon_pattern: Option<MyersPattern>,
     clus_pattern: Option<MyersPattern>,
 }
@@ -66,9 +76,15 @@ impl PreparedQuery {
             phonemes: q.clone(),
             phoneme_ids,
             cluster_ids,
+            embed: op.embed_for(q),
             phon_pattern,
             clus_pattern,
         }
+    }
+
+    /// The query's phonetic embedding.
+    pub fn embed(&self) -> &[u8; EMBED_DIM] {
+        &self.embed
     }
 
     /// The query phoneme string.
@@ -111,6 +127,18 @@ pub struct ScreenCounters {
     /// in `full_dp` — `bypass` is a diagnostic overlay, not a fourth
     /// outcome — so it does not contribute to [`total`](Self::total).
     pub bypass: u64,
+    /// Pairs the embedding screen examined and passed downstream. Like
+    /// `bypass`, the three `embed_*` counters are diagnostic overlays on
+    /// the three outcome counters, not extra outcomes; none appear in
+    /// [`total`](Self::total), and all stay zero when the screen is off.
+    pub embed_accept: u64,
+    /// Pairs the embedding screen rejected (`scale · l1` provably past
+    /// the budget). Each is *also* counted in `fast_reject`.
+    pub embed_reject: u64,
+    /// Pairs the enabled screen could not examine because the entry had
+    /// no stored embedding (e.g. freshly loaded from a v1 image, rebuild
+    /// pending) — passed downstream unexamined.
+    pub embed_bypass: u64,
 }
 
 impl ScreenCounters {
@@ -125,6 +153,9 @@ impl ScreenCounters {
         self.fast_reject += other.fast_reject;
         self.full_dp += other.full_dp;
         self.bypass += other.bypass;
+        self.embed_accept += other.embed_accept;
+        self.embed_reject += other.embed_reject;
+        self.embed_bypass += other.embed_bypass;
     }
 }
 
@@ -163,12 +194,18 @@ impl Verifier {
     /// `cand_clusters`, when provided, must be `op.cluster_ids(cand)` —
     /// stores cache these per entry; `None` derives cluster ids on the fly
     /// (still allocation-free, one table load per symbol).
+    ///
+    /// `cand_embed`, when provided *and* [`EMBED_DIM`] bytes long, must be
+    /// `op.embed_for(cand)` — the embedding screen only ever reads stored
+    /// vectors (it never derives them per pair; a missing or pending
+    /// embedding just counts as `embed_bypass` and flows downstream).
     pub fn matches(
         &mut self,
         op: &LexEqual,
         query: &PreparedQuery,
         cand: &PhonemeString,
         cand_clusters: Option<&[u8]>,
+        cand_embed: Option<&[u8]>,
         e: f64,
     ) -> bool {
         if *cand == query.phonemes {
@@ -184,6 +221,25 @@ impl Verifier {
             self.counters.fast_reject += 1;
             return false;
         }
+        // Embedding screen (DESIGN §5j): `embed_scale · l1` is a proven
+        // lower bound on the exact distance, so exceeding the budget —
+        // with a 1e-6 margin dwarfing any f64 rounding — is a sound
+        // reject. Runs ahead of the Myers screens because it is O(1) in
+        // the candidate's length and also covers pattern-less queries.
+        let embed_scale = op.embed_scale();
+        if embed_scale > 0.0 {
+            match cand_embed.filter(|v| v.len() == EMBED_DIM) {
+                Some(emb) => {
+                    if embed_scale * l1(emb, &query.embed) as f64 > k + 1e-6 {
+                        self.counters.embed_reject += 1;
+                        self.counters.fast_reject += 1;
+                        return false;
+                    }
+                    self.counters.embed_accept += 1;
+                }
+                None => self.counters.embed_bypass += 1,
+            }
+        }
         // Both patterns exist iff 1 ≤ |query| ≤ 64.
         if let (Some(phon), Some(clus)) = (&query.phon_pattern, &query.clus_pattern) {
             let clusters = op.cost_model().clusters();
@@ -191,8 +247,10 @@ impl Verifier {
                 Some(ids) => clus.distance(ids.iter().copied()),
                 None => clus.distance(cand.iter().map(|p| clusters.cluster_of(*p).0)),
             };
-            // Clustered distance ≥ cluster-id Levenshtein: reject.
-            if lev_clus as f64 > k + 1e-12 {
+            // Distance ≥ cluster-id Levenshtein · per-op floor: reject.
+            // (The scale is exactly 1.0 for the clustered model, keeping
+            // this arithmetic bit-identical to the historical screen.)
+            if lev_clus as f64 * op.clus_reject_scale() > k + 1e-12 {
                 self.counters.fast_reject += 1;
                 return false;
             }
@@ -288,10 +346,12 @@ pub struct BatchVerifier {
     clus_bufs: Vec<Vec<u8>>,
     /// Screen scratch, kept across calls so each flush skips ~0.5KB of
     /// array zero-inits: per-slot Myers distances, survivor lane
-    /// indices, and undecided (DP-bound) lane indices.
+    /// indices, undecided (DP-bound) lane indices, and lanes surviving
+    /// the embedding screen.
     scr_dists: [usize; MAX_LANES],
     scr_surv: [usize; MAX_LANES],
     scr_dp: [usize; MAX_LANES],
+    scr_emb: [usize; MAX_LANES],
 }
 
 impl Default for BatchVerifier {
@@ -328,6 +388,7 @@ impl BatchVerifier {
             scr_dists: [0; MAX_LANES],
             scr_surv: [0; MAX_LANES],
             scr_dp: [0; MAX_LANES],
+            scr_emb: [0; MAX_LANES],
         }
     }
 
@@ -369,8 +430,11 @@ impl BatchVerifier {
     /// what [`Verifier::matches`] returns for that pair.
     ///
     /// Each lane is a candidate plus its optional cached cluster-id
-    /// sequence (`op.cluster_ids(cand)`); `None` derives cluster ids
-    /// into an internal per-lane buffer.
+    /// sequence (`op.cluster_ids(cand)`) and optional stored embedding
+    /// (`op.embed_for(cand)`); `None` cluster ids are derived into an
+    /// internal per-lane buffer, while a `None` (or wrong-length)
+    /// embedding just bypasses the embedding screen — embeddings are
+    /// never derived per pair.
     ///
     /// # Panics
     ///
@@ -380,7 +444,7 @@ impl BatchVerifier {
         &mut self,
         op: &LexEqual,
         query: &PreparedQuery,
-        lanes: &[(&PhonemeString, Option<&[u8]>)],
+        lanes: &[Lane<'_>],
         e: f64,
         verdicts: &mut [bool],
     ) {
@@ -396,7 +460,7 @@ impl BatchVerifier {
         let mut ks = [0.0f64; MAX_LANES];
         let mut pending = [0usize; MAX_LANES];
         let mut n_pending = 0;
-        for (l, &(cand, _)) in lanes.iter().enumerate() {
+        for (l, &(cand, _, _)) in lanes.iter().enumerate() {
             if *cand == query.phonemes {
                 self.counters.fast_accept += 1;
                 self.batch.lane_accept += 1;
@@ -430,11 +494,46 @@ impl BatchVerifier {
         &mut self,
         op: &LexEqual,
         query: &PreparedQuery,
-        lanes: &[(&PhonemeString, Option<&[u8]>)],
+        lanes: &[Lane<'_>],
         ks: &[f64; MAX_LANES],
         pending: &[usize],
         verdicts: &mut [bool],
     ) {
+        // Embedding screen (DESIGN §5j), ahead of the Myers screens:
+        // `embed_scale · l1` lower-bounds the exact distance, so lanes it
+        // rejects are settled without touching the candidate strings at
+        // all — and unlike the Myers screens it also covers pattern-less
+        // (>64-phoneme) queries. Same per-pair arithmetic and counter
+        // discipline as the scalar kernel; lanes without a stored
+        // embedding flow through unexamined (`embed_bypass`).
+        let embed_scale = op.embed_scale();
+        let pending: &[usize] = if embed_scale > 0.0 {
+            let mut n_emb = 0;
+            for &l in pending {
+                match lanes[l].2.filter(|v| v.len() == EMBED_DIM) {
+                    Some(emb) => {
+                        if embed_scale * l1(emb, &query.embed) as f64 > ks[l] + 1e-6 {
+                            self.counters.embed_reject += 1;
+                            self.counters.fast_reject += 1;
+                            self.batch.lane_reject += 1;
+                            verdicts[l] = false;
+                        } else {
+                            self.counters.embed_accept += 1;
+                            self.scr_emb[n_emb] = l;
+                            n_emb += 1;
+                        }
+                    }
+                    None => {
+                        self.counters.embed_bypass += 1;
+                        self.scr_emb[n_emb] = l;
+                        n_emb += 1;
+                    }
+                }
+            }
+            &self.scr_emb[..n_emb]
+        } else {
+            pending
+        };
         let n_pending = pending.len();
 
         // Lane indices still undecided after the screens.
@@ -445,7 +544,7 @@ impl BatchVerifier {
             // pending lane's Myers recurrence in lock-step.
             let clusters = op.cost_model().clusters();
             for (slot, &l) in pending[..n_pending].iter().enumerate() {
-                let (cand, cached) = lanes[l];
+                let (cand, cached, _) = lanes[l];
                 if cached.is_none() {
                     let buf = &mut self.clus_bufs[slot];
                     buf.clear();
@@ -460,10 +559,13 @@ impl BatchVerifier {
                 };
             }
             clus.distance_batch(&texts[..n_pending], &mut self.scr_dists, self.level);
-            // Clustered distance ≥ cluster-id Levenshtein: reject.
+            // Distance ≥ cluster-id Levenshtein · per-op floor: reject
+            // (scale exactly 1.0 for the clustered model — bit-identical
+            // to the historical screen).
+            let scale = op.clus_reject_scale();
             let mut n_surv = 0;
             for (slot, &l) in pending[..n_pending].iter().enumerate() {
-                if self.scr_dists[slot] as f64 > ks[l] + 1e-12 {
+                if self.scr_dists[slot] as f64 * scale > ks[l] + 1e-12 {
                     self.counters.fast_reject += 1;
                     self.batch.lane_reject += 1;
                     verdicts[l] = false;
@@ -535,16 +637,20 @@ impl BatchVerifier {
     /// precede it in the stream.
     ///
     /// `cluster_ids`, when provided, must hold `op.cluster_ids` of every
-    /// corpus entry (stores cache these). The element type is anything
-    /// byte-sliceable, so owned `Vec<u8>` columns and borrowed
-    /// mmap-backed `Bytes` columns verify through the same kernel.
+    /// corpus entry (stores cache these), and `embeds` likewise
+    /// `op.embed_for` of every entry (entries whose stored vector is
+    /// empty or mis-sized bypass the embedding screen). The element
+    /// types are anything byte-sliceable, so owned `Vec<u8>` columns and
+    /// borrowed mmap-backed `Bytes` columns verify through the same
+    /// kernel.
     #[allow(clippy::too_many_arguments)]
-    pub fn verify_ids<I, C>(
+    pub fn verify_ids<I, C, E>(
         &mut self,
         op: &LexEqual,
         query: &PreparedQuery,
         corpus: &[PhonemeString],
         cluster_ids: Option<&[C]>,
+        embeds: Option<&[E]>,
         ids: I,
         e: f64,
         hits: &mut Vec<u32>,
@@ -552,6 +658,7 @@ impl BatchVerifier {
     where
         I: IntoIterator<Item = u32>,
         C: AsRef<[u8]>,
+        E: AsRef<[u8]>,
     {
         let mut lane_ids = [0u32; MAX_LANES];
         let mut lane_ks = [0.0f64; MAX_LANES];
@@ -565,7 +672,7 @@ impl BatchVerifier {
                 // this id in the stream, so decide it first.
                 if filled > 0 {
                     let (ids, ks) = (&lane_ids[..filled], &lane_ks);
-                    self.flush_ids(op, query, corpus, cluster_ids, ids, ks, hits);
+                    self.flush_ids(op, query, corpus, cluster_ids, embeds, ids, ks, hits);
                     filled = 0;
                 }
                 self.counters.fast_accept += 1;
@@ -591,34 +698,35 @@ impl BatchVerifier {
                 if let Some(c) = cluster_ids {
                     _mm_prefetch(c[id as usize].as_ref().as_ptr().cast(), _MM_HINT_T0);
                 }
+                if let Some(em) = embeds {
+                    _mm_prefetch(em[id as usize].as_ref().as_ptr().cast(), _MM_HINT_T0);
+                }
             }
             filled += 1;
             if filled == self.width {
                 let (ids, ks) = (&lane_ids[..filled], &lane_ks);
-                self.flush_ids(op, query, corpus, cluster_ids, ids, ks, hits);
+                self.flush_ids(op, query, corpus, cluster_ids, embeds, ids, ks, hits);
                 filled = 0;
             }
         }
         if filled > 0 {
             let (ids, ks) = (&lane_ids[..filled], &lane_ks);
-            self.flush_ids(op, query, corpus, cluster_ids, ids, ks, hits);
+            self.flush_ids(op, query, corpus, cluster_ids, embeds, ids, ks, hits);
         }
         verified
     }
 
-    /// One batched step over `ids`: build the lane slice, verify, push
-    /// hits in lane order.
-    #[allow(clippy::too_many_arguments)]
     /// Flush one batch of pre-screened ids (each with its precomputed
     /// budget in `ks`) through the interleaved screens, pushing matches
     /// onto `hits` in id order.
     #[allow(clippy::too_many_arguments)]
-    fn flush_ids<C: AsRef<[u8]>>(
+    fn flush_ids<C: AsRef<[u8]>, E: AsRef<[u8]>>(
         &mut self,
         op: &LexEqual,
         query: &PreparedQuery,
         corpus: &[PhonemeString],
         cluster_ids: Option<&[C]>,
+        embeds: Option<&[E]>,
         ids: &[u32],
         ks: &[f64; MAX_LANES],
         hits: &mut Vec<u32>,
@@ -637,12 +745,12 @@ impl BatchVerifier {
             }
             a
         };
-        let mut lanes: [(&PhonemeString, Option<&[u8]>); MAX_LANES] =
-            [(&query.phonemes, None); MAX_LANES];
+        let mut lanes: [Lane<'_>; MAX_LANES] = [(&query.phonemes, None, None); MAX_LANES];
         for (slot, &id) in ids.iter().enumerate() {
             lanes[slot] = (
                 &corpus[id as usize],
                 cluster_ids.map(|c| c[id as usize].as_ref()),
+                embeds.map(|em| em[id as usize].as_ref()),
             );
         }
         let mut verdicts = [false; MAX_LANES];
@@ -698,15 +806,16 @@ mod tests {
                     for e in [0.0, 0.15, 0.35, 0.5, 1.0] {
                         let want = op.matches_phonemes(c, q, e);
                         let cached = op.cluster_ids(c);
+                        let emb = op.embed_for(c);
                         assert_eq!(
-                            v.matches(&op, &prepared, c, Some(&cached), e),
+                            v.matches(&op, &prepared, c, Some(&cached), Some(&emb), e),
                             want,
                             "cached clusters: |q|={} |c|={} e={e} intra={intra}",
                             q.len(),
                             c.len()
                         );
                         assert_eq!(
-                            v.matches(&op, &prepared, c, None, e),
+                            v.matches(&op, &prepared, c, None, None, e),
                             want,
                             "derived clusters: |q|={} |c|={} e={e} intra={intra}",
                             q.len(),
@@ -728,7 +837,7 @@ mod tests {
         let strings = corpus(0xabcd, 6);
         let prepared = op.prepare_query(&strings[0]);
         for c in &strings {
-            v.matches(&op, &prepared, c, None, 0.35);
+            v.matches(&op, &prepared, c, None, None, 0.35);
         }
         let first = v.take_counters();
         assert_eq!(first.total(), strings.len() as u64);
@@ -770,9 +879,10 @@ mod tests {
                 let mut v = Verifier::new();
                 let prepared = op.prepare_query(&q);
                 let cached = op.cluster_ids(&c);
+                let emb = op.embed_for(&c);
                 let want = op.matches_phonemes(&c, &q, e);
-                prop_assert_eq!(v.matches(&op, &prepared, &c, Some(&cached), e), want);
-                prop_assert_eq!(v.matches(&op, &prepared, &c, None, e), want);
+                prop_assert_eq!(v.matches(&op, &prepared, &c, Some(&cached), Some(&emb), e), want);
+                prop_assert_eq!(v.matches(&op, &prepared, &c, None, None, e), want);
             }
         }
     }

@@ -11,8 +11,8 @@
 //! exact predicate.
 
 use lexequal::{
-    available_simd_levels, BatchVerifier, Language, LexEqual, MatchConfig, NameStore, SearchMethod,
-    Verifier, MAX_LANES,
+    available_simd_levels, BatchVerifier, CostModelKind, Language, LexEqual, MatchConfig,
+    NameStore, SearchMethod, Verifier, MAX_LANES,
 };
 use lexequal_phoneme::{Inventory, Phoneme, PhonemeString};
 
@@ -47,6 +47,7 @@ fn batched_pairs_equal_scalar_at_every_width_and_backend() {
         let op = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(intra));
         let strings = corpus(0xba7c_0001 + intra.to_bits(), 32);
         let cached: Vec<Vec<u8>> = strings.iter().map(|s| op.cluster_ids(s)).collect();
+        let embs: Vec<Vec<u8>> = strings.iter().map(|s| op.embed_for(s).to_vec()).collect();
         for q in strings.iter().take(5) {
             let prepared = op.prepare_query(q);
             for e in THRESHOLDS {
@@ -58,9 +59,11 @@ fn batched_pairs_equal_scalar_at_every_width_and_backend() {
                     .enumerate()
                     .map(|(i, (c, ids))| {
                         // Alternate cached and derive-on-the-fly cluster
-                        // ids, as the batched lanes below do.
+                        // ids (and present/absent embeddings), as the
+                        // batched lanes below do.
                         let cc = (i % 2 == 0).then_some(ids.as_slice());
-                        scalar.matches(&op, &prepared, c, cc, e)
+                        let ce = (i % 2 == 0).then_some(embs[i].as_slice());
+                        scalar.matches(&op, &prepared, c, cc, ce, e)
                     })
                     .collect();
                 let want_counters = scalar.take_counters();
@@ -73,12 +76,16 @@ fn batched_pairs_equal_scalar_at_every_width_and_backend() {
                             .step_by(width)
                             .map(|s| (s, &strings[s..(s + width).min(strings.len())]))
                         {
-                            let lanes: Vec<(&PhonemeString, Option<&[u8]>)> = chunk
+                            let lanes: Vec<lexequal::Lane<'_>> = chunk
                                 .iter()
                                 .enumerate()
                                 .map(|(o, c)| {
                                     let i = chunk_start + o;
-                                    (c, (i % 2 == 0).then_some(cached[i].as_slice()))
+                                    (
+                                        c,
+                                        (i % 2 == 0).then_some(cached[i].as_slice()),
+                                        (i % 2 == 0).then_some(embs[i].as_slice()),
+                                    )
                                 })
                                 .collect();
                             let mut verdicts = vec![false; lanes.len()];
@@ -208,9 +215,9 @@ fn long_queries_verify_correctly_through_the_dp_only_path() {
     for e in THRESHOLDS {
         for c in &strings {
             let want = op.matches_phonemes(c, &long, e);
-            assert_eq!(scalar.matches(&op, &prepared, c, None, e), want);
+            assert_eq!(scalar.matches(&op, &prepared, c, None, None, e), want);
             let mut verdict = [false];
-            batch.matches_lanes(&op, &prepared, &[(c, None)], e, &mut verdict);
+            batch.matches_lanes(&op, &prepared, &[(c, None, None)], e, &mut verdict);
             assert_eq!(verdict[0], want);
         }
     }
@@ -222,4 +229,116 @@ fn long_queries_verify_correctly_through_the_dp_only_path() {
             "with no screens, every DP pair is a bypass"
         );
     }
+}
+
+/// The tentpole's soundness contract: under both cost models, turning
+/// the embedding screen on must never change a single verdict, id or
+/// verification count — on any access path, at any batch width, under
+/// any SIMD backend (re-run with `LEXEQUAL_FORCE_SCALAR=1` to pin the
+/// forced-scalar dispatch too). The screen may only change how much
+/// work the exact kernel sees, which the counters make observable.
+#[test]
+fn embed_screen_never_changes_verdicts_under_either_cost_model() {
+    let names: [(&str, Language); 11] = [
+        ("Nehru", Language::English),
+        ("नेहरु", Language::Hindi),
+        ("நேரு", Language::Tamil),
+        ("Nero", Language::English),
+        ("Gandhi", Language::English),
+        ("गांधी", Language::Hindi),
+        ("Krishnan", Language::English),
+        ("Kumar", Language::English),
+        ("कुमार", Language::Hindi),
+        ("Catherine", Language::English),
+        ("Katherine", Language::English),
+    ];
+    let build = |kind: CostModelKind, screen: bool| {
+        let mut s = NameStore::new(
+            MatchConfig::default()
+                .with_cost_model(kind)
+                .with_embed_screen(screen),
+        );
+        for (n, l) in names {
+            s.insert(n, l).unwrap();
+        }
+        s.build_qgram(3, lexequal::QgramMode::Strict);
+        s.build_phonetic_index();
+        s.build_bktree();
+        s
+    };
+    let methods = [
+        SearchMethod::Scan,
+        SearchMethod::Qgram,
+        SearchMethod::PhoneticIndex,
+        SearchMethod::BkTree,
+    ];
+    for kind in [CostModelKind::Clustered, CostModelKind::Feature] {
+        let on = build(kind, true);
+        let off = build(kind, false);
+        assert!(
+            on.operator().embed_scale() > 0.0,
+            "default models must admit a sound screen scale ({kind:?})"
+        );
+        assert_eq!(off.operator().embed_scale(), 0.0);
+        let mut on_scalar = Verifier::new();
+        for (query, lang) in [
+            ("Nehru", Language::English),
+            ("Gandhi", Language::English),
+            ("நேரு", Language::Tamil),
+            ("Kumari", Language::English),
+        ] {
+            let q = on.operator().transform(query, lang).unwrap();
+            for e in [0.0, 0.3, 0.45] {
+                for method in methods {
+                    let want = off.search_phonemes_with(&q, e, method, &mut Verifier::new());
+                    let got = on.search_phonemes_with(&q, e, method, &mut on_scalar);
+                    assert_eq!(got, want, "scalar {kind:?} q={query} e={e} {method:?}");
+                    for level in available_simd_levels() {
+                        for width in 1..=MAX_LANES {
+                            let mut batch = BatchVerifier::with_width_and_level(width, level);
+                            let got = on.search_phonemes_batched(&q, e, method, &mut batch);
+                            assert_eq!(
+                                got, want,
+                                "{kind:?} q={query} e={e} {method:?} width={width} level={level}"
+                            );
+                        }
+                    }
+                    // Screen-off stores must never touch the embed counters.
+                    let mut off_v = Verifier::new();
+                    let _ = off.search_phonemes_with(&q, e, method, &mut off_v);
+                    let c = off_v.take_counters();
+                    assert_eq!(c.embed_accept + c.embed_reject + c.embed_bypass, 0);
+                }
+            }
+        }
+        let c = on_scalar.take_counters();
+        assert!(
+            c.embed_accept > 0 && c.embed_reject > 0,
+            "screen must both pass and prune under {kind:?}: {c:?}"
+        );
+        assert_eq!(c.embed_bypass, 0, "store rows all carry embeddings");
+    }
+}
+
+/// Rows without embeddings (a store grown from a v1 snapshot before the
+/// background fill finishes) are bypassed, never misjudged — and
+/// `build_embeddings` flips them to screened without changing verdicts.
+#[test]
+fn missing_embeddings_bypass_until_built() {
+    let op = LexEqual::new(MatchConfig::default());
+    let strings = corpus(0xeb3d_0001, 24);
+    let cached: Vec<Vec<u8>> = strings.iter().map(|s| op.cluster_ids(s)).collect();
+    let prepared = op.prepare_query(&strings[1]);
+    let mut v = Verifier::new();
+    for (c, ids) in strings.iter().zip(&cached) {
+        let want = op.matches_phonemes(c, &strings[1], 0.35);
+        // Empty embedding slice = "not built": must bypass, not reject.
+        assert_eq!(
+            v.matches(&op, &prepared, c, Some(ids), Some(&[][..]), 0.35),
+            want
+        );
+    }
+    let c = v.take_counters();
+    assert!(c.embed_bypass > 0, "empty embeds must count as bypasses");
+    assert_eq!(c.embed_reject, 0);
 }

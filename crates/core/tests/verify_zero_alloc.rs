@@ -91,16 +91,18 @@ fn verify_all(
     prepared: &PreparedQuery,
     strings: &[PhonemeString],
     cluster_ids: &[Vec<u8>],
+    embeds: &[Vec<u8>],
 ) -> usize {
     let mut hits = 0;
-    for (cand, ids) in strings.iter().zip(cluster_ids) {
+    for (i, (cand, ids)) in strings.iter().zip(cluster_ids).enumerate() {
         for e in [0.0, 0.15, 0.35, 0.5, 1.0] {
-            // Both the cached-cluster path (stores) and the derive-on-the-
-            // fly path (ad-hoc callers) must stay allocation-free.
-            if verifier.matches(op, prepared, cand, Some(ids), e) {
+            // Both the cached path (stores: cluster ids + embeddings) and
+            // the derive-on-the-fly path (ad-hoc callers) must stay
+            // allocation-free.
+            if verifier.matches(op, prepared, cand, Some(ids), Some(&embeds[i]), e) {
                 hits += 1;
             }
-            if verifier.matches(op, prepared, cand, None, e) {
+            if verifier.matches(op, prepared, cand, None, None, e) {
                 hits += 1;
             }
         }
@@ -113,15 +115,30 @@ fn warmed_up_verification_does_not_allocate() {
     let op = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.25));
     let strings = corpus(0x0a11_0c5e, 60);
     let cluster_ids: Vec<Vec<u8>> = strings.iter().map(|s| op.cluster_ids(s)).collect();
+    let embeds: Vec<Vec<u8>> = strings.iter().map(|s| op.embed_for(s).to_vec()).collect();
     let prepared = op.prepare_query(&strings[0]);
     let mut verifier = Verifier::new();
 
     // Warm-up pass: the DP scratch grows to its high-water mark here.
-    let warm_hits = verify_all(&mut verifier, &op, &prepared, &strings, &cluster_ids);
+    let warm_hits = verify_all(
+        &mut verifier,
+        &op,
+        &prepared,
+        &strings,
+        &cluster_ids,
+        &embeds,
+    );
 
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     COUNT_THIS_THREAD.with(|c| c.set(true));
-    let hits = verify_all(&mut verifier, &op, &prepared, &strings, &cluster_ids);
+    let hits = verify_all(
+        &mut verifier,
+        &op,
+        &prepared,
+        &strings,
+        &cluster_ids,
+        &embeds,
+    );
     COUNT_THIS_THREAD.with(|c| c.set(false));
     let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
 
@@ -146,16 +163,18 @@ fn verify_all_batched(
     prepared: &PreparedQuery,
     strings: &[PhonemeString],
     cluster_ids: &[Vec<u8>],
+    embeds: &[Vec<u8>],
     hits: &mut Vec<u32>,
 ) -> usize {
     let mut total = 0;
     for e in [0.0, 0.15, 0.35, 0.5, 1.0] {
-        // Cached cluster ids (the store path)…
+        // Cached cluster ids and embeddings (the store path)…
         verifier.verify_ids(
             op,
             prepared,
             strings,
             Some(cluster_ids),
+            Some(embeds),
             0..strings.len() as u32,
             e,
             hits,
@@ -163,10 +182,11 @@ fn verify_all_batched(
         total += hits.len();
         hits.clear();
         // …and derive-on-the-fly (fills the kernel's own lane buffers).
-        verifier.verify_ids::<_, Vec<u8>>(
+        verifier.verify_ids::<_, Vec<u8>, Vec<u8>>(
             op,
             prepared,
             strings,
+            None,
             None,
             0..strings.len() as u32,
             e,
@@ -186,6 +206,7 @@ fn warmed_up_batched_verification_does_not_allocate() {
     let op = LexEqual::new(MatchConfig::default().with_intra_cluster_cost(0.25));
     let strings = corpus(0x0a11_0c5e, 60);
     let cluster_ids: Vec<Vec<u8>> = strings.iter().map(|s| op.cluster_ids(s)).collect();
+    let embeds: Vec<Vec<u8>> = strings.iter().map(|s| op.embed_for(s).to_vec()).collect();
     let prepared = op.prepare_query(&strings[0]);
     let mut verifier = BatchVerifier::new();
     assert_eq!(verifier.width(), MAX_LANES);
@@ -199,6 +220,7 @@ fn warmed_up_batched_verification_does_not_allocate() {
         &prepared,
         &strings,
         &cluster_ids,
+        &embeds,
         &mut hits,
     );
 
@@ -210,6 +232,7 @@ fn warmed_up_batched_verification_does_not_allocate() {
         &prepared,
         &strings,
         &cluster_ids,
+        &embeds,
         &mut hits,
     );
     COUNT_THIS_THREAD.with(|c| c.set(false));

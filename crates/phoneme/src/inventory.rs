@@ -267,4 +267,38 @@ mod tests {
         assert!(Inventory::get(200).is_none());
         assert!(Inventory::get((TABLE.len()) as u8).is_none());
     }
+
+    #[test]
+    fn feature_table_is_total_and_distinguishing() {
+        // Totality: every inventory entry carries a full feature bundle
+        // whose segment kind agrees with `is_vowel` — the feature-graded
+        // cost model and the embedder both read these bundles without any
+        // fallback path, so a gap here would silently skew costs.
+        for p in Inventory::iter() {
+            let f = p.features();
+            assert_eq!(
+                f.kind() == crate::features::SegmentKind::Vowel,
+                p.is_vowel(),
+                "kind disagrees with is_vowel for {:?}",
+                p.symbol()
+            );
+            assert_eq!(f.dissimilarity(&f), 0, "{:?}", p.symbol());
+        }
+        // Distinguishability: no two distinct phonemes share an identical
+        // bundle. If they did, the feature cost model would price their
+        // substitution at the bare floor and the phonemes would be
+        // indistinguishable to every feature-driven consumer.
+        for a in Inventory::iter() {
+            for b in Inventory::iter() {
+                if a != b {
+                    assert!(
+                        a.features().dissimilarity(&b.features()) > 0,
+                        "{:?} and {:?} share a feature bundle",
+                        a.symbol(),
+                        b.symbol()
+                    );
+                }
+            }
+        }
+    }
 }

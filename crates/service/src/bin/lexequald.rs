@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! lexequald [--addr HOST:PORT] [--shards N] [--cache N] [--threshold E] [--preload N]
+//!           [--cost-model clustered|feature] [--no-embed-screen]
 //!           [--snapshot PATH] [--save-snapshot PATH] [--wal PATH]
 //!           [--wal-max-bytes N] [--wal-ack-grace SECS]
 //!           [--replica-of HOST:PORT] [--repl-listen HOST:PORT]
@@ -56,7 +57,7 @@
 //! to `<wal>.checkpoint` automatically; with no `--snapshot` at all the
 //! checkpoint is used whenever it exists.
 
-use lexequal::MatchConfig;
+use lexequal::{CostModelKind, MatchConfig};
 use lexequal_service::{
     bind_reusable, repl, BuildSpec, CompactionPolicy, MatchService, ReplicaState, Replicator,
     ReqCtx, ServeMode, ServeOptions, ServiceConfig, ShutdownSignal, SnapshotFormat, Wal, WalError,
@@ -68,7 +69,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage: lexequald [--addr HOST:PORT] [--shards N] [--cache N] \
-[--threshold E] [--preload N] [--snapshot PATH] [--save-snapshot PATH] \
+[--threshold E] [--preload N] [--cost-model clustered|feature] [--no-embed-screen] \
+[--snapshot PATH] [--save-snapshot PATH] \
 [--snapshot-format mmap|json] [--wal PATH] [--wal-max-bytes N] [--wal-ack-grace SECS] \
 [--replica-of HOST:PORT] [--repl-listen HOST:PORT] \
 [--mode evented|threaded] [--workers N] [--max-pipeline N] [--max-line BYTES] [--queue N]";
@@ -80,6 +82,12 @@ struct Args {
     shards: Option<usize>,
     cache: usize,
     threshold: Option<f64>,
+    /// `None` = default (clustered); `--cost-model feature` switches
+    /// substitutions to the articulatory-feature-graded matrix.
+    cost_model: Option<CostModelKind>,
+    /// `--no-embed-screen` disables the embedding prefilter (ablation /
+    /// A-B benchmarking; results are bit-identical either way).
+    embed_screen: bool,
     preload: usize,
     snapshot: Option<String>,
     save_snapshot: Option<String>,
@@ -125,6 +133,8 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         shards: None,
         cache: 4096,
         threshold: None,
+        cost_model: None,
+        embed_screen: true,
         preload: 0,
         snapshot: None,
         save_snapshot: None,
@@ -199,6 +209,19 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 }
                 args.threshold = Some(e);
             }
+            "--cost-model" => {
+                let v = value("--cost-model")?;
+                args.cost_model = Some(match v.to_ascii_lowercase().as_str() {
+                    "clustered" => CostModelKind::Clustered,
+                    "feature" => CostModelKind::Feature,
+                    _ => {
+                        return Err(format!(
+                            "--cost-model: invalid value {v:?} (expected clustered or feature)"
+                        ))
+                    }
+                });
+            }
+            "--no-embed-screen" => args.embed_screen = false,
             "--preload" => {
                 args.preload = parse_value("--preload", &value("--preload")?, "an integer")?;
             }
@@ -299,6 +322,12 @@ fn main() -> ExitCode {
     if let Some(e) = args.threshold {
         match_config = match_config.with_threshold(e);
     }
+    if let Some(kind) = args.cost_model {
+        match_config = match_config.with_cost_model(kind);
+    }
+    if !args.embed_screen {
+        match_config = match_config.with_embed_screen(false);
+    }
 
     if args.replica_of.is_some() {
         return run_replica_daemon(&args, match_config);
@@ -329,8 +358,8 @@ fn main() -> ExitCode {
     }
 
     let mut candidate = 0usize;
-    let (service, replicator, pending_builds) = loop {
-        let (service, base_lsn, pending_builds) = match candidates.get(candidate) {
+    let (service, replicator, pending_builds, pending_embeds) = loop {
+        let (service, base_lsn, pending_builds, pending_embeds) = match candidates.get(candidate) {
             Some(path) => match load_snapshot_service(path, &match_config, &args) {
                 Ok(v) => v,
                 Err(e) => {
@@ -344,7 +373,7 @@ fn main() -> ExitCode {
         // With --wal this daemon is a primary: recover the tail past the
         // snapshot, then commit every future mutation through the log.
         let Some(path) = &args.wal else {
-            break (service, None, pending_builds);
+            break (service, None, pending_builds, pending_embeds);
         };
         let start = Instant::now();
         let metrics = Arc::new(WalMetrics::default());
@@ -385,7 +414,12 @@ fn main() -> ExitCode {
             wal.head_lsn(),
             start.elapsed(),
         );
-        break (service, Some(Replicator::new(wal, metrics)), pending_builds);
+        break (
+            service,
+            Some(Replicator::new(wal, metrics)),
+            pending_builds,
+            pending_embeds,
+        );
     };
 
     // Compaction policy: the checkpoint target is fixed next to the
@@ -438,6 +472,26 @@ fn main() -> ExitCode {
                 })
                 .expect("spawn background index build");
         }
+    }
+
+    // A v1 snapshot image predates the embedding column: serve
+    // immediately (the embedding screen bypasses per missing entry —
+    // results are identical, just without the prefilter speedup) and
+    // backfill in the background. Snapshot saves don't depend on this:
+    // the encoder recomputes embeddings from the phoneme column.
+    if pending_embeds {
+        let service = Arc::clone(&service);
+        std::thread::Builder::new()
+            .name("lexequald-bg-embed".to_owned())
+            .spawn(move || {
+                let start = Instant::now();
+                let n = service.build_embeddings();
+                eprintln!(
+                    "lexequald: {n} phonetic embedding(s) backfilled in background in {:.2?}",
+                    start.elapsed()
+                );
+            })
+            .expect("spawn background embedding backfill");
     }
 
     let save_format = args.snapshot_format.unwrap_or(SnapshotFormat::Mmap);
@@ -561,8 +615,9 @@ fn main() -> ExitCode {
 }
 
 /// One startup recovery candidate, loaded: the serving handle, the WAL
-/// LSN it covers, and any index rebuilds an mmap load deferred.
-type LoadedService = (Arc<MatchService>, u64, Vec<BuildSpec>);
+/// LSN it covers, any index rebuilds an mmap load deferred, and whether
+/// the image predates the embedding column (v1 → backfill needed).
+type LoadedService = (Arc<MatchService>, u64, Vec<BuildSpec>, bool);
 
 /// Restore the store from a snapshot (or checkpoint) file, announcing
 /// how it loaded. Shared by every recovery candidate in `main`.
@@ -594,7 +649,12 @@ fn load_snapshot_service(
             load.load_ms,
         ),
     }
-    Ok((Arc::new(load.service), load.lsn, load.pending_builds))
+    Ok((
+        Arc::new(load.service),
+        load.lsn,
+        load.pending_builds,
+        load.pending_embeds,
+    ))
 }
 
 /// No snapshot and no checkpoint: an empty store (optionally bulk-seeded
@@ -618,7 +678,7 @@ fn fresh_service(match_config: &MatchConfig, args: &Args) -> LoadedService {
         service.build_all(3, lexequal::QgramMode::Strict);
         eprintln!("lexequald: {n} names loaded, all access paths built");
     }
-    (service, 0, Vec::new())
+    (service, 0, Vec::new(), false)
 }
 
 /// The `--replica-of` daemon: seed from the primary's snapshot stream,

@@ -37,13 +37,19 @@
 //! through script profiling + fan-out routing, including foreign-script
 //! probes) and reports the two latency distributions side by side plus
 //! the router's counters (default `results/untagged_bench.json`).
+//!
+//! `--prefilter-bench` A/B-tests the embedding prefilter: the same
+//! scan-path workload per cost model with the screen on and off,
+//! answers asserted bit-identical, reporting the screen's reject rate
+//! and the full-DP work it saved (default `results/prefilter_bench.json`).
 
 use lexequal::SearchMethod;
 use lexequal_service::loadgen::{
-    run, run_compaction_bench, run_net, run_repl_bench, run_snapshot_bench, run_untagged_bench,
-    write_compaction_bench_json, write_json, write_net_json, write_repl_bench_json,
-    write_snapshot_bench_json, write_untagged_bench_json, CompactionBenchConfig, LoadgenConfig,
-    NetConfig, ReplBenchConfig, SnapshotBenchConfig, UntaggedBenchConfig,
+    run, run_compaction_bench, run_net, run_prefilter_bench, run_repl_bench, run_snapshot_bench,
+    run_untagged_bench, write_compaction_bench_json, write_json, write_net_json,
+    write_prefilter_bench_json, write_repl_bench_json, write_snapshot_bench_json,
+    write_untagged_bench_json, CompactionBenchConfig, LoadgenConfig, NetConfig,
+    PrefilterBenchConfig, ReplBenchConfig, SnapshotBenchConfig, UntaggedBenchConfig,
 };
 use lexequal_service::ServeMode;
 use std::path::PathBuf;
@@ -66,6 +72,7 @@ enum Parsed {
     ReplBench(ReplBenchConfig, PathBuf),
     CompactionBench(CompactionBenchConfig, PathBuf),
     UntaggedBench(UntaggedBenchConfig, PathBuf),
+    PrefilterBench(PrefilterBenchConfig, PathBuf),
 }
 
 fn parse_args() -> Result<Parsed, String> {
@@ -75,17 +82,20 @@ fn parse_args() -> Result<Parsed, String> {
     let mut repl = ReplBenchConfig::default();
     let mut compaction = CompactionBenchConfig::default();
     let mut untagged = UntaggedBenchConfig::default();
+    let mut prefilter = PrefilterBenchConfig::default();
     let mut net_mode = false;
     let mut snap_mode = false;
     let mut repl_mode = false;
     let mut compaction_mode = false;
     let mut untagged_mode = false;
+    let mut prefilter_mode = false;
     let mut out = PathBuf::from("results/service_bench.json");
     let mut net_out = PathBuf::from("results/evented_bench.json");
     let mut snap_out = PathBuf::from("results/snapshot_bench.json");
     let mut repl_out = PathBuf::from("results/repl_bench.json");
     let mut compaction_out = PathBuf::from("results/compaction_bench.json");
     let mut untagged_out = PathBuf::from("results/untagged_bench.json");
+    let mut prefilter_out = PathBuf::from("results/prefilter_bench.json");
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -141,6 +151,37 @@ fn parse_args() -> Result<Parsed, String> {
                 }
             }
             "--untagged-out" => untagged_out = PathBuf::from(value("--untagged-out")?),
+            "--prefilter-bench" => prefilter_mode = true,
+            "--prefilter-thresholds" => {
+                prefilter.thresholds = value("--prefilter-thresholds")?
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<f64>()
+                            .map_err(|_| format!("--prefilter-thresholds: bad threshold {t:?}"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if prefilter.thresholds.is_empty()
+                    || prefilter
+                        .thresholds
+                        .iter()
+                        .any(|e| !(0.0..=1.0).contains(e))
+                {
+                    return Err("--prefilter-thresholds: thresholds must be in [0,1]".to_owned());
+                }
+            }
+            "--prefilter-shards" => {
+                let v = value("--prefilter-shards")?;
+                prefilter.shards = v.parse().map_err(|_| {
+                    format!("--prefilter-shards: invalid value {v:?} (expected a positive integer)")
+                })?;
+                if prefilter.shards == 0 {
+                    return Err(format!(
+                        "--prefilter-shards: invalid value {v:?} (must be positive)"
+                    ));
+                }
+            }
+            "--prefilter-out" => prefilter_out = PathBuf::from(value("--prefilter-out")?),
             "--repl-ops" => {
                 let v = value("--repl-ops")?;
                 repl.ops = v.parse().map_err(|_| {
@@ -235,6 +276,7 @@ fn parse_args() -> Result<Parsed, String> {
                 repl.dataset_size = config.dataset_size;
                 compaction.dataset_size = config.dataset_size;
                 untagged.dataset_size = config.dataset_size;
+                prefilter.dataset_size = config.dataset_size;
             }
             "--clients" => {
                 config.clients = value("--clients")?
@@ -279,6 +321,7 @@ fn parse_args() -> Result<Parsed, String> {
                     .map_err(|_| "--pool: expected an integer".to_owned())?;
                 net.query_pool = config.query_pool;
                 untagged.query_pool = config.query_pool;
+                prefilter.queries = config.query_pool;
             }
             "--out" => out = PathBuf::from(value("--out")?),
             "--help" | "-h" => {
@@ -295,14 +338,19 @@ fn parse_args() -> Result<Parsed, String> {
                      \x20      loadgen --compaction-bench [--size N] [--compaction-ops N] \
                      [--wal-max-bytes N] [--repl-shards N] [--compaction-out PATH]\n\
                      \x20      loadgen --untagged-bench [--size N] [--clients N] [--ops N] \
-                     [--untagged-pct P] [--untagged-shards N] [--untagged-out PATH]"
+                     [--untagged-pct P] [--untagged-shards N] [--untagged-out PATH]\n\
+                     \x20      loadgen --prefilter-bench [--size N] [--pool N] \
+                     [--prefilter-thresholds 0.25,0.35,0.45] [--prefilter-shards N] \
+                     [--prefilter-out PATH]"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    Ok(if untagged_mode {
+    Ok(if prefilter_mode {
+        Parsed::PrefilterBench(prefilter, prefilter_out)
+    } else if untagged_mode {
         Parsed::UntaggedBench(untagged, untagged_out)
     } else if compaction_mode {
         Parsed::CompactionBench(compaction, compaction_out)
@@ -511,6 +559,37 @@ fn main_untagged_bench(config: UntaggedBenchConfig, out: PathBuf) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn main_prefilter_bench(config: PrefilterBenchConfig, out: PathBuf) -> ExitCode {
+    eprintln!(
+        "loadgen: prefilter A/B, ~{} names x {} queries, thresholds {:?}, {} shards",
+        config.dataset_size, config.queries, config.thresholds, config.shards,
+    );
+    let report = run_prefilter_bench(&config);
+    for c in &report.cells {
+        println!(
+            "model={:<9} e={:.2} pairs={} examined={} rejected={} rate={:.1}%  \
+             full_dp {}→{}  {:.3}s→{:.3}s  matches={}",
+            c.cost_model,
+            c.threshold,
+            c.pairs,
+            c.embed_examined,
+            c.embed_reject,
+            c.reject_rate * 100.0,
+            c.full_dp_off,
+            c.full_dp_on,
+            c.elapsed_off_secs,
+            c.elapsed_on_secs,
+            c.matches,
+        );
+    }
+    if let Err(e) = write_prefilter_bench_json(&report, &out) {
+        eprintln!("loadgen: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("loadgen: wrote {}", out.display());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     match parse_args() {
         Ok(Parsed::InProcess(config, out)) => main_in_process(config, out),
@@ -519,6 +598,7 @@ fn main() -> ExitCode {
         Ok(Parsed::ReplBench(config, out)) => main_repl_bench(config, out),
         Ok(Parsed::CompactionBench(config, out)) => main_compaction_bench(config, out),
         Ok(Parsed::UntaggedBench(config, out)) => main_untagged_bench(config, out),
+        Ok(Parsed::PrefilterBench(config, out)) => main_prefilter_bench(config, out),
         Err(e) => {
             eprintln!("loadgen: {e}");
             ExitCode::FAILURE

@@ -18,25 +18,34 @@
 //! ```text
 //! offset  size  field
 //!      0     8  magic  "LEXEQMM1"
-//!      8     4  format version (= 1)
+//!      8     4  format version (1 or 2; v2 adds the embedding arena)
 //!     12     4  endianness tag (= 0x01020304; a big-endian writer
 //!               would produce 0x04030201, rejected on load)
 //!     16     4  shard count N
 //!     20     4  entry count E
 //!     24     8  covered LSN
-//!     32     4  section count (= 5)
+//!     32     4  section count (5 in v1, 6 in v2)
 //!     36     4  reserved (0)
-//!     40   120  section table: 5 × { offset u64, len u64, checksum u64 }
+//!     40  S×24  section table: S × { offset u64, len u64, checksum u64 }
 //!               (checksum: FNV-1a folded over LE u64 words, zero-padded
 //!               tail — 8 bytes per round so whole-file validation fits
 //!               the cold-start budget)
-//!    160        sections, each 8-byte aligned, zero-padded between:
+//!   40+S×24     sections, each 8-byte aligned, zero-padded between:
 //!               [0] build specs   8 bytes each { tag, q, mode, pad[5] }
 //!               [1] entry table  16 bytes each (see below)
 //!               [2] text arena    UTF-8 bytes
 //!               [3] phoneme arena raw inventory ids
 //!               [4] cluster arena cluster ids, parallel to [3]
+//!               [5] embed arena   E × EMBED_DIM bytes, entry g's
+//!                   phonetic embedding at g·EMBED_DIM (v2 only)
 //! ```
+//!
+//! Version 1 images (section count 5, no embedding arena) still load:
+//! entries come up with empty embedding views, the store reports them
+//! via `pending_embeddings`, and the serving layer backfills with
+//! `build_embeddings` off the critical path — exactly the deferred
+//! treatment access-path rebuilds get. The embedding screen simply
+//! bypasses rows until then, so answers are identical throughout.
 //!
 //! One entry-table record (16 bytes):
 //!
@@ -68,7 +77,7 @@
 
 use crate::shard::{BuildSpec, ShardedStore};
 use lexequal::store::SharedEntry;
-use lexequal::{Language, MatchConfig, Phoneme, QgramMode};
+use lexequal::{Language, MatchConfig, Phoneme, QgramMode, EMBED_DIM};
 use lexequal_mdb::DbError;
 use lexequal_phoneme::{ByteOwner, SharedBytes};
 use std::fs::File;
@@ -78,14 +87,20 @@ use std::sync::Arc;
 
 /// First eight bytes of every binary snapshot.
 pub const MAGIC: [u8; 8] = *b"LEXEQMM1";
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (written; versions 1..=2 are read).
+pub const FORMAT_VERSION: u32 = 2;
 /// Endianness canary: reads back as written only on a same-endian host.
 const ENDIAN_TAG: u32 = 0x0102_0304;
-/// Number of sections in a version-1 image.
-const SECTION_COUNT: usize = 5;
-/// Bytes before the first section: fixed header + section table.
-const HEADER_LEN: usize = 40 + SECTION_COUNT * 24;
+/// Sections shared by every version (specs, entries, texts, phonemes,
+/// clusters).
+const BASE_SECTIONS: usize = 5;
+/// Sections in a version-2 image (base + embedding arena).
+const V2_SECTIONS: usize = 6;
+/// Bytes before the first section in a version-1 image; the smallest
+/// plausible header, so also the up-front length gate.
+const V1_HEADER_LEN: usize = 40 + BASE_SECTIONS * 24;
+/// Bytes before the first section in a version-2 image.
+const HEADER_LEN: usize = 40 + V2_SECTIONS * 24;
 /// Bytes per entry-table record.
 const ENTRY_RECORD: usize = 16;
 /// Bytes per build-spec record.
@@ -254,7 +269,7 @@ pub fn sniff_file(path: impl AsRef<Path>) -> bool {
 /// count)`. Validates only the fixed header prefix; `None` if the
 /// buffer is not a plausible binary snapshot.
 pub fn peek(bytes: &[u8]) -> Option<(u64, u32)> {
-    if !is_binary(bytes) || bytes.len() < HEADER_LEN {
+    if !is_binary(bytes) || bytes.len() < V1_HEADER_LEN {
         return None;
     }
     let entries = u32::from_le_bytes(bytes[20..24].try_into().ok()?);
@@ -342,11 +357,14 @@ pub fn encode(store: &ShardedStore, lsn: u64) -> Result<Vec<u8>, DbError> {
     let entry_count = u32::try_from(total).map_err(|_| err("entry count exceeds format limit"))?;
     let operator = lexequal::LexEqual::new(store.config().clone());
 
-    // Arenas and the entry table, in global-id order.
+    // Arenas and the entry table, in global-id order. Embeddings are
+    // recomputed from the phonemes (like cluster ids), so the image is
+    // self-consistent by construction.
     let mut entry_table = Vec::with_capacity(total * ENTRY_RECORD);
     let mut texts = Vec::new();
     let mut phonemes = Vec::new();
     let mut clusters = Vec::new();
+    let mut embeds = Vec::with_capacity(total * EMBED_DIM);
     for g in 0..total {
         let entry = &sections[g % shards][g / shards];
         let text = entry.text.as_bytes();
@@ -365,6 +383,7 @@ pub fn encode(store: &ShardedStore, lsn: u64) -> Result<Vec<u8>, DbError> {
         texts.extend_from_slice(text);
         phonemes.extend_from_slice(phon);
         clusters.extend_from_slice(&operator.cluster_ids(&entry.phonemes));
+        embeds.extend_from_slice(&operator.embed_for(&entry.phonemes));
         entry_table.extend_from_slice(&text_off.to_le_bytes());
         entry_table.extend_from_slice(&phon_off.to_le_bytes());
         entry_table.extend_from_slice(&text_len.to_le_bytes());
@@ -377,7 +396,7 @@ pub fn encode(store: &ShardedStore, lsn: u64) -> Result<Vec<u8>, DbError> {
         specs.extend_from_slice(&spec_to_record(spec)?);
     }
 
-    // Header + section table, then the five sections, 8-byte aligned.
+    // Header + section table, then the six sections, 8-byte aligned.
     let mut image = Vec::with_capacity(
         HEADER_LEN
             + specs.len()
@@ -385,7 +404,8 @@ pub fn encode(store: &ShardedStore, lsn: u64) -> Result<Vec<u8>, DbError> {
             + texts.len()
             + phonemes.len()
             + clusters.len()
-            + 5 * 8,
+            + embeds.len()
+            + 6 * 8,
     );
     image.extend_from_slice(&MAGIC);
     image.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -397,13 +417,14 @@ pub fn encode(store: &ShardedStore, lsn: u64) -> Result<Vec<u8>, DbError> {
     );
     image.extend_from_slice(&entry_count.to_le_bytes());
     image.extend_from_slice(&lsn.to_le_bytes());
-    image.extend_from_slice(&(SECTION_COUNT as u32).to_le_bytes());
+    image.extend_from_slice(&(V2_SECTIONS as u32).to_le_bytes());
     image.extend_from_slice(&0u32.to_le_bytes());
     // Section-table placeholder, patched below.
     image.resize(HEADER_LEN, 0);
 
-    let payloads: [&[u8]; SECTION_COUNT] = [&specs, &entry_table, &texts, &phonemes, &clusters];
-    let mut table = [[0u64; 3]; SECTION_COUNT];
+    let payloads: [&[u8]; V2_SECTIONS] =
+        [&specs, &entry_table, &texts, &phonemes, &clusters, &embeds];
+    let mut table = [[0u64; 3]; V2_SECTIONS];
     for (i, payload) in payloads.iter().enumerate() {
         pad_to_align(&mut image);
         table[i] = [
@@ -472,6 +493,11 @@ pub struct LoadedImage {
     pub lsn: u64,
     /// Image size in bytes (what was mapped or transferred).
     pub bytes: u64,
+    /// Whether entries came up without persisted embeddings (a v1
+    /// image): the caller should schedule `build_embeddings` the same
+    /// way it schedules deferred access-path rebuilds. Until then the
+    /// embedding screen bypasses every row — answers are unaffected.
+    pub pending_embeds: bool,
 }
 
 /// Little-endian reads over the image, every access bounds-checked so
@@ -500,10 +526,14 @@ struct Section {
 }
 
 /// Validate the header, section table and section checksums; returns
-/// `(shards, entry_count, lsn, sections)`.
-fn validate_frame(image: &[u8]) -> Result<(usize, usize, u64, [Section; SECTION_COUNT]), DbError> {
+/// `(shards, entry_count, lsn, base sections, embed section)` — the
+/// embed section is `None` for a version-1 image.
+#[allow(clippy::type_complexity)]
+fn validate_frame(
+    image: &[u8],
+) -> Result<(usize, usize, u64, [Section; BASE_SECTIONS], Option<Section>), DbError> {
     let r = Reader(image);
-    if image.len() < HEADER_LEN {
+    if image.len() < V1_HEADER_LEN {
         return Err(err(format!(
             "file too small ({} bytes) to hold a snapshot header",
             image.len()
@@ -513,9 +543,9 @@ fn validate_frame(image: &[u8]) -> Result<(usize, usize, u64, [Section; SECTION_
         return Err(err("bad magic (not a binary snapshot)"));
     }
     let version = r.u32(8)?;
-    if version != FORMAT_VERSION {
+    if version == 0 || version > FORMAT_VERSION {
         return Err(err(format!(
-            "unsupported format version {version} (this build reads {FORMAT_VERSION})"
+            "unsupported format version {version} (this build reads 1..={FORMAT_VERSION})"
         )));
     }
     let endian = r.u32(12)?;
@@ -536,21 +566,32 @@ fn validate_frame(image: &[u8]) -> Result<(usize, usize, u64, [Section; SECTION_
     }
     let entry_count = r.u32(20)? as usize;
     let lsn = r.u64(24)?;
-    let section_count = r.u32(32)? as usize;
-    if section_count != SECTION_COUNT {
+    let expect_sections = if version == 1 {
+        BASE_SECTIONS
+    } else {
+        V2_SECTIONS
+    };
+    let header_len = 40 + expect_sections * 24;
+    if image.len() < header_len {
         return Err(err(format!(
-            "section count {section_count} (this build reads {SECTION_COUNT})"
+            "file too small ({} bytes) for a version-{version} header",
+            image.len()
         )));
     }
-    let mut sections = [Section { off: 0, len: 0 }; SECTION_COUNT];
-    for (i, s) in sections.iter_mut().enumerate() {
+    let section_count = r.u32(32)? as usize;
+    if section_count != expect_sections {
+        return Err(err(format!(
+            "section count {section_count} (version {version} holds {expect_sections})"
+        )));
+    }
+    let read_section = |i: usize| -> Result<Section, DbError> {
         let at = 40 + i * 24;
         let off = r.u64(at)?;
         let len = r.u64(at + 8)?;
         let sum = r.u64(at + 16)?;
         let off = usize::try_from(off).map_err(|_| err(format!("section {i} offset overflow")))?;
         let len = usize::try_from(len).map_err(|_| err(format!("section {i} length overflow")))?;
-        if off < HEADER_LEN {
+        if off < header_len {
             return Err(err(format!("section {i} overlaps the header")));
         }
         if off % 8 != 0 {
@@ -565,9 +606,18 @@ fn validate_frame(image: &[u8]) -> Result<(usize, usize, u64, [Section; SECTION_
                 "section {i} checksum mismatch (stored {sum:#018x}, computed {computed:#018x})"
             )));
         }
-        *s = Section { off, len };
+        Ok(Section { off, len })
+    };
+    let mut sections = [Section { off: 0, len: 0 }; BASE_SECTIONS];
+    for (i, s) in sections.iter_mut().enumerate() {
+        *s = read_section(i)?;
     }
-    Ok((shards, entry_count, lsn, sections))
+    let embed = if expect_sections == V2_SECTIONS {
+        Some(read_section(BASE_SECTIONS)?)
+    } else {
+        None
+    };
+    Ok((shards, entry_count, lsn, sections, embed))
 }
 
 /// Load a binary snapshot from an owned image buffer (the replica path:
@@ -604,7 +654,7 @@ fn load_owner(
 ) -> Result<LoadedImage, DbError> {
     let image: &[u8] = (*owner).as_ref();
     let bytes = image.len() as u64;
-    let (snap_shards, entry_count, lsn, sections) = validate_frame(image)?;
+    let (snap_shards, entry_count, lsn, sections, embed_sec) = validate_frame(image)?;
     if let Some(requested) = shards {
         if requested != snap_shards {
             // Same contract (and near-identical wording) as the JSON
@@ -684,6 +734,23 @@ fn load_owner(
     let text_arena = std::str::from_utf8(&image[texts.off..texts.off + texts.len])
         .map_err(|_| err("text arena is not valid UTF-8"))?;
 
+    // The embedding arena (v2) is fixed-stride: exactly EMBED_DIM bytes
+    // per entry, in global-id order. Its shape is pinned here; the bytes
+    // are verified per entry below once each phoneme window is known,
+    // so a stale or doctored arena is rejected rather than silently
+    // mis-screening candidates.
+    if let Some(sec) = embed_sec {
+        let expect = entry_count
+            .checked_mul(EMBED_DIM)
+            .ok_or_else(|| err("embedding arena size overflow"))?;
+        if sec.len != expect {
+            return Err(err(format!(
+                "embedding arena holds {} bytes but {entry_count} entries need {expect}",
+                sec.len
+            )));
+        }
+    }
+
     // Per-entry windows, then stripe zero-copy views shard-by-shard.
     let store = ShardedStore::new(config, snap_shards);
     let mut striped: Vec<Vec<SharedEntry>> = (0..snap_shards)
@@ -704,6 +771,13 @@ fn load_owner(
         .expect("section bounds validated");
     let clus_view = SharedBytes::new(Arc::clone(&owner), clusters.off, clusters.len)
         .expect("section bounds validated");
+    // v1 images have no embedding arena: every entry gets an empty view
+    // (the store treats that as "build later").
+    let embed_view = embed_sec.map(|sec| {
+        SharedBytes::new(Arc::clone(&owner), sec.off, sec.len).expect("section bounds validated")
+    });
+    let empty_embed =
+        SharedBytes::new(Arc::clone(&owner), 0, 0).expect("zero-length view is always in bounds");
     let entry_table = &image[entries.off..entries.off + entries.len];
     for (g, rec) in entry_table.chunks_exact(ENTRY_RECORD).enumerate() {
         let text_off = u32::from_le_bytes(rec[0..4].try_into().expect("record")) as usize;
@@ -729,11 +803,36 @@ fn load_owner(
         let language = *Language::ALL
             .get(lang as usize)
             .ok_or_else(|| err(format!("entry {g}: unknown language tag {lang}")))?;
+        let embed = match &embed_view {
+            Some(view) => {
+                // Verify the stored embedding against a recompute from
+                // the (already-validated) phoneme window — same
+                // discipline as the cluster arena: a mismatch means the
+                // image was written under a different cluster table or
+                // doctored, and a wrong embedding could silently drop
+                // true matches.
+                let stored = &image[embed_sec.expect("view implies section").off + g * EMBED_DIM..]
+                    [..EMBED_DIM];
+                let expect = operator
+                    .embedder()
+                    .embed_ids(&phon_arena[phon_off..phon_off + phon_len]);
+                if stored != expect {
+                    return Err(err(format!(
+                        "entry {g}: stored embedding disagrees with the configured embedder \
+                         (snapshot written under a different MatchConfig?)"
+                    )));
+                }
+                view.slice(g * EMBED_DIM, EMBED_DIM)
+                    .expect("bounds checked")
+            }
+            None => empty_embed.clone(),
+        };
         striped[g % snap_shards].push(SharedEntry {
             text: text_view.slice(text_off, text_len).expect("bounds checked"),
             language,
             phonemes: phon_view.slice(phon_off, phon_len).expect("bounds checked"),
             clusters: clus_view.slice(phon_off, phon_len).expect("bounds checked"),
+            embed,
         });
     }
     store.import_shared(striped);
@@ -742,6 +841,7 @@ fn load_owner(
         builds,
         lsn,
         bytes,
+        pending_embeds: embed_sec.is_none() && entry_count > 0,
     })
 }
 
@@ -810,10 +910,22 @@ mod tests {
     fn sections_are_aligned_and_checksummed() {
         let store = populated(1);
         let image = encode(&store, 0).unwrap();
-        let (_, _, _, sections) = validate_frame(&image).unwrap();
+        let (_, _, _, sections, embed) = validate_frame(&image).unwrap();
         for s in sections {
             assert_eq!(s.off % 8, 0);
         }
+        let embed = embed.expect("v2 images carry an embedding arena");
+        assert_eq!(embed.off % 8, 0);
+        assert_eq!(embed.len, store.len() * EMBED_DIM);
+    }
+
+    #[test]
+    fn loaded_entries_carry_validated_embeddings() {
+        let store = populated(2);
+        let image = encode(&store, 0).unwrap();
+        let loaded = load_bytes(MatchConfig::default(), None, image).unwrap();
+        assert!(!loaded.pending_embeds);
+        assert_eq!(loaded.store.pending_embeddings(), 0);
     }
 
     #[test]

@@ -448,7 +448,7 @@ pub fn format_outcome(out: &MatchOutcome) -> String {
 /// Render a stats snapshot as the single-line `STATS` response.
 pub fn format_stats(s: &StatsSnapshot) -> String {
     let mut line = format!(
-        "OK names={} shards={} requests={} matches={} noresource={} notbuilt={} badinput={} cache_hits={} cache_misses={} screen_accept={} screen_reject={} screen_dp={} screen_bypass={} batch_calls={} batch_lanes_sum={} batch_lanes_max={} batch_accept={} batch_reject={} batch_dp={} simd={}",
+        "OK names={} shards={} requests={} matches={} noresource={} notbuilt={} badinput={} cache_hits={} cache_misses={} screen_accept={} screen_reject={} screen_dp={} screen_bypass={} embed_screen_accept={} embed_screen_reject={} embed_screen_bypass={} batch_calls={} batch_lanes_sum={} batch_lanes_max={} batch_accept={} batch_reject={} batch_dp={} simd={}",
         s.names,
         s.shards,
         s.requests,
@@ -462,6 +462,9 @@ pub fn format_stats(s: &StatsSnapshot) -> String {
         s.screen_fast_reject,
         s.screen_full_dp,
         s.screen_bypass,
+        s.embed_screen_accept,
+        s.embed_screen_reject,
+        s.embed_screen_bypass,
         s.batch_calls,
         s.batch_lanes_sum,
         s.batch_lanes_max,
@@ -808,6 +811,9 @@ mod tests {
             screen_fast_reject: 0,
             screen_full_dp: 0,
             screen_bypass: 0,
+            embed_screen_accept: 0,
+            embed_screen_reject: 0,
+            embed_screen_bypass: 0,
             batch_calls: 0,
             batch_lanes_sum: 0,
             batch_lanes_max: 0,

@@ -83,6 +83,11 @@ pub struct SnapshotLoad {
     /// (`lexequald`) or synchronously (tests, replicas) via
     /// [`MatchService::build`].
     pub pending_builds: Vec<BuildSpec>,
+    /// True when the snapshot predates the embedding column (a v1 mmap
+    /// image): entries are served with the embedding screen bypassed
+    /// until [`MatchService::build_embeddings`] fills it in. Always
+    /// false for JSON loads, which recompute embeddings on restore.
+    pub pending_embeds: bool,
 }
 
 /// Service construction knobs.
@@ -289,6 +294,9 @@ impl MatchService {
         for spec in load.pending_builds {
             load.service.build(spec);
         }
+        if load.pending_embeds {
+            load.service.build_embeddings();
+        }
         Ok((load.service, load.lsn))
     }
 
@@ -316,6 +324,7 @@ impl MatchService {
                 mapped_bytes: image.bytes,
                 load_ms: start.elapsed().as_millis() as u64,
                 pending_builds: image.builds,
+                pending_embeds: image.pending_embeds,
             }
         } else {
             let f = std::fs::File::open(path).map_err(|e| {
@@ -334,6 +343,7 @@ impl MatchService {
                 mapped_bytes: 0,
                 load_ms: start.elapsed().as_millis() as u64,
                 pending_builds: Vec::new(),
+                pending_embeds: false,
             }
         };
         load.service.set_load_info(LoadInfo {
@@ -448,6 +458,22 @@ impl MatchService {
             self.built
                 .fetch_or(1 << method_index(method), Ordering::Release);
         });
+    }
+
+    /// Fill in missing per-entry phonetic embeddings (entries adopted
+    /// from a v1 snapshot image, which predates the embedding column);
+    /// returns the number filled. Unlike [`build`](Self::build) this
+    /// never touches the built mask: embeddings feed only the
+    /// verification screen, so serving stays correct (screen bypassed
+    /// per missing entry) before, during, and after the fill.
+    pub fn build_embeddings(&self) -> usize {
+        self.store.build_embeddings()
+    }
+
+    /// Entries still missing an embedding (see
+    /// [`build_embeddings`](Self::build_embeddings)).
+    pub fn pending_embeddings(&self) -> usize {
+        self.store.pending_embeddings()
     }
 
     /// Build every access path (q-gram with the given parameters).
@@ -890,6 +916,9 @@ impl MatchService {
             screen_fast_reject: screens.fast_reject,
             screen_full_dp: screens.full_dp,
             screen_bypass: screens.bypass,
+            embed_screen_accept: screens.embed_accept,
+            embed_screen_reject: screens.embed_reject,
+            embed_screen_bypass: screens.embed_bypass,
             batch_calls: batches.calls,
             batch_lanes_sum: batches.lanes_sum,
             batch_lanes_max: batches.lanes_max,
@@ -1006,6 +1035,14 @@ pub struct StatsSnapshot {
     /// Verified pairs that skipped both screens (query empty or >64
     /// phonemes) — an overlay on `screen_full_dp`.
     pub screen_bypass: u64,
+    /// Pairs the embedding prefilter examined but could not reject (an
+    /// overlay on the other dispositions; zero with the screen off).
+    pub embed_screen_accept: u64,
+    /// Pairs the embedding prefilter rejected before any Myers screen.
+    pub embed_screen_reject: u64,
+    /// Pairs verified without a stored embedding (v1 snapshot adoption
+    /// before the background rebuild finishes).
+    pub embed_screen_bypass: u64,
     /// Interleaved verification steps run by the batched kernels.
     pub batch_calls: u64,
     /// Sum of lane counts over those steps (`/ batch_calls` = mean fill).

@@ -61,6 +61,12 @@ enum Cmd {
     },
     /// Construct an access path.
     Build { spec: BuildSpec, reply: Sender<()> },
+    /// Fill in any missing per-entry phonetic embeddings (entries adopted
+    /// from a v1 snapshot image predate the embedding column). Replies
+    /// with the number of entries filled on this shard.
+    BuildEmbeds { reply: Sender<usize> },
+    /// Count entries still missing an embedding on this shard.
+    PendingEmbeds { reply: Sender<usize> },
     /// Search this shard; echoes the shard index so the coordinator can
     /// remap local ids while collecting replies out of order.
     Search {
@@ -120,6 +126,12 @@ fn worker(
                     BuildSpec::BkTree => store.build_bktree(),
                 }
                 let _ = reply.send(());
+            }
+            Cmd::BuildEmbeds { reply } => {
+                let _ = reply.send(store.build_embeddings());
+            }
+            Cmd::PendingEmbeds { reply } => {
+                let _ = reply.send(store.pending_embeddings());
             }
             Cmd::Search {
                 query,
@@ -369,6 +381,40 @@ impl ShardedStore {
     /// (what a snapshot records and a load rebuilds).
     pub fn built_specs(&self) -> Vec<BuildSpec> {
         self.builds.lock().expect("builds lock").clone()
+    }
+
+    /// Fill in missing per-entry phonetic embeddings on every shard, in
+    /// parallel; returns the total number of entries filled. Entries
+    /// adopted from a v1 snapshot image have no embedding column and are
+    /// served with the embedding screen bypassed until this runs.
+    ///
+    /// Held under the grow lock so the fill can never interleave with an
+    /// append (embedding rows and entry rows stay column-aligned) — but
+    /// note the fill does *not* invalidate access paths: embeddings feed
+    /// only the verification screen, never candidate generation.
+    pub fn build_embeddings(&self) -> usize {
+        let _guard = self.grow.lock().expect("grow lock");
+        let (tx, rx) = channel();
+        for s in &self.senders {
+            s.send(Cmd::BuildEmbeds { reply: tx.clone() })
+                .expect("shard worker alive");
+        }
+        drop(tx);
+        rx.into_iter().sum()
+    }
+
+    /// Total number of entries across all shards still missing an
+    /// embedding (nonzero only after adopting a v1 snapshot image, until
+    /// [`build_embeddings`](Self::build_embeddings) runs).
+    pub fn pending_embeddings(&self) -> usize {
+        let _guard = self.grow.lock().expect("grow lock");
+        let (tx, rx) = channel();
+        for s in &self.senders {
+            s.send(Cmd::PendingEmbeds { reply: tx.clone() })
+                .expect("shard worker alive");
+        }
+        drop(tx);
+        rx.into_iter().sum()
     }
 
     /// Pull every shard's entries in local-id order (shard `s`, local

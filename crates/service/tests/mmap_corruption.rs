@@ -10,21 +10,26 @@
 //! re-implementing them here so the format is pinned independently of
 //! `mmapstore`'s own constants.
 
-use lexequal::{Language, MatchConfig};
+use lexequal::{Language, MatchConfig, SearchMethod};
 use lexequal_mdb::DbError;
 use lexequal_service::{mmapstore, MatchService, ServiceConfig};
 
-/// Fixed header size: 40 bytes + 5 section-table entries of 24 bytes.
-const HEADER_LEN: usize = 160;
+/// Fixed header size: 40 bytes + 6 section-table entries of 24 bytes
+/// (a version-2 image; version 1 had 5 entries and a 160-byte header).
+const HEADER_LEN: usize = 184;
 /// Section-table start and record size.
 const TABLE_AT: usize = 40;
 const TABLE_RECORD: usize = 24;
-/// Section indices in a version-1 image.
+/// Section indices in a version-2 image.
 const SEC_SPECS: usize = 0;
 const SEC_ENTRIES: usize = 1;
 const SEC_TEXTS: usize = 2;
 const SEC_PHONEMES: usize = 3;
 const SEC_CLUSTERS: usize = 4;
+const SEC_EMBEDS: usize = 5;
+/// Section count in each format version.
+const V1_SECTIONS: u32 = 5;
+const V2_SECTIONS: usize = 6;
 /// Bytes per entry-table record.
 const ENTRY_RECORD: usize = 16;
 
@@ -114,9 +119,10 @@ fn pristine_image_loads_and_checksums_are_pinned() {
     assert_eq!(loaded.lsn, 9);
     assert_eq!(loaded.store.len(), 7);
     assert_eq!(loaded.builds.len(), 3);
+    assert!(!loaded.pending_embeds, "v2 images persist embeddings");
     // Every stored checksum matches this test's independent FNV — the
     // algorithm is pinned, not just internally consistent.
-    for i in 0..5 {
+    for i in 0..V2_SECTIONS {
         let (off, len) = section(&image, i);
         let at = TABLE_AT + i * TABLE_RECORD + 16;
         let stored = u64::from_le_bytes(image[at..at + 8].try_into().unwrap());
@@ -170,8 +176,8 @@ fn bad_magic_version_endianness_and_counts_are_named() {
     expect_named_err(bad_magic, "bad magic");
 
     let mut bad_version = image.clone();
-    bad_version[8..12].copy_from_slice(&2u32.to_le_bytes());
-    expect_named_err(bad_version, "unsupported format version 2");
+    bad_version[8..12].copy_from_slice(&3u32.to_le_bytes());
+    expect_named_err(bad_version, "unsupported format version 3");
 
     let mut bad_endian = image.clone();
     bad_endian[12..16].copy_from_slice(&0x0403_0201u32.to_le_bytes());
@@ -228,7 +234,7 @@ fn oob_and_misaligned_sections_are_named() {
 #[test]
 fn checksum_flip_in_every_section_is_caught() {
     let image = small_image();
-    for i in 0..5 {
+    for i in 0..V2_SECTIONS {
         let (off, len) = section(&image, i);
         assert!(len > 0, "section {i} unexpectedly empty");
         let mut flipped = image.clone();
@@ -346,6 +352,94 @@ fn hostile_arenas_and_specs_are_named() {
     ragged[spec_len_at..spec_len_at + 8].copy_from_slice(&((spec_len as u64) - 1).to_le_bytes());
     reseal(&mut ragged, SEC_SPECS);
     expect_named_err(ragged, "not a record multiple");
+}
+
+/// Bytes per stored phonetic embedding, pinned independently of
+/// `lexequal::EMBED_DIM`.
+const EMBED_BYTES: usize = 32;
+
+/// A version-1 image — synthesized by re-tagging a v2 image, since v1
+/// differs only in the version word, the section count, and the absent
+/// embedding arena (the sixth table record reads back as pre-section
+/// padding) — must keep loading: entries come up without embeddings,
+/// answers are identical with the embedding screen bypassing per row,
+/// and `build_embeddings` backfills off the critical path.
+#[test]
+fn v1_images_load_with_deferred_embeddings() {
+    let image = small_image();
+    let mut v1 = image.clone();
+    v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+    v1[32..36].copy_from_slice(&V1_SECTIONS.to_le_bytes());
+
+    let modern = load(image).expect("v2 image");
+    let legacy = load(v1).expect("v1 image must keep loading");
+    assert!(legacy.pending_embeds, "v1 loads defer the embedding column");
+    assert_eq!(legacy.store.pending_embeddings(), 7);
+    assert_eq!(legacy.lsn, modern.lsn);
+    assert_eq!(legacy.store.len(), modern.store.len());
+    assert_eq!(legacy.builds.len(), modern.builds.len());
+
+    // Identical answers while the column is missing (the screen
+    // bypasses per entry rather than guessing)...
+    let a = modern
+        .store
+        .search("Nehru", Language::English, 0.45, SearchMethod::Scan)
+        .unwrap();
+    let b = legacy
+        .store
+        .search("Nehru", Language::English, 0.45, SearchMethod::Scan)
+        .unwrap();
+    assert_eq!(a, b);
+    let screens = legacy.store.screen_totals();
+    assert!(screens.embed_bypass > 0, "{screens:?}");
+    assert_eq!(screens.embed_reject, 0, "{screens:?}");
+
+    // ...and identical again once the backfill restores the screen.
+    assert_eq!(legacy.store.build_embeddings(), 7);
+    assert_eq!(legacy.store.pending_embeddings(), 0);
+    let c = legacy
+        .store
+        .search("Nehru", Language::English, 0.45, SearchMethod::Scan)
+        .unwrap();
+    assert_eq!(a, c);
+}
+
+#[test]
+fn hostile_embedding_arenas_are_named() {
+    let image = small_image();
+    let (emb_off, emb_len) = section(&image, SEC_EMBEDS);
+    assert_eq!(emb_len, 7 * EMBED_BYTES, "arena stride drifted");
+
+    // A doctored embedding behind a resealed checksum: the per-entry
+    // recompute-and-compare, not the checksum wall, must answer — a
+    // wrong vector could silently drop true matches.
+    let mut doctored = image.clone();
+    doctored[emb_off] ^= 0xFF;
+    reseal(&mut doctored, SEC_EMBEDS);
+    expect_named_err(doctored, "entry 0: stored embedding disagrees");
+
+    // Arena length off the per-entry stride (resealed over the
+    // shortened payload, so the shape check answers).
+    let len_at = TABLE_AT + SEC_EMBEDS * TABLE_RECORD + 8;
+    let mut ragged = image.clone();
+    ragged[len_at..len_at + 8].copy_from_slice(&((emb_len as u64) - 1).to_le_bytes());
+    reseal(&mut ragged, SEC_EMBEDS);
+    expect_named_err(ragged, "embedding arena holds");
+
+    // A whole missing row is the same shape violation: v2 images may
+    // not smuggle in a partially-populated column.
+    let mut missing_row = image.clone();
+    missing_row[len_at..len_at + 8]
+        .copy_from_slice(&((emb_len - EMBED_BYTES) as u64).to_le_bytes());
+    reseal(&mut missing_row, SEC_EMBEDS);
+    expect_named_err(missing_row, "embedding arena holds");
+
+    // An unsealed payload flip trips the checksum first (the sweep in
+    // `checksum_flip_in_every_section_is_caught` covers every section;
+    // this pins the message for the new one).
+    let mut bad_sum = image.clone();
+    bad_sum[emb_off] ^= 0xFF;
+    expect_named_err(bad_sum, &format!("section {SEC_EMBEDS} checksum mismatch"));
 }
 
 #[test]

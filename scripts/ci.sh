@@ -70,6 +70,21 @@ cargo clippy -p lexequal-matcher -p lexequal --all-targets --offline -- -D warni
 cargo test -p lexequal --offline -q --test verify_batch_equiv --test verify_zero_alloc
 LEXEQUAL_FORCE_SCALAR=1 cargo test -p lexequal --offline -q --test verify_batch_equiv
 
+echo "== embedding prefilter: crate pass + differential suite + A/B smoke"
+# The embedding crate gets its own clippy pass; the differential suite
+# (screen on/off, byte-identical verdicts across widths, backends and
+# access paths) runs on both the SIMD and forced-scalar dispatch; the
+# A/B smoke run must report embed rejections without changing a single
+# answer (the bench asserts ids-identical internally).
+cargo clippy -p lexequal-embed --all-targets --offline -- -D warnings
+cargo test -p lexequal-embed --offline -q
+cargo test -p lexequal --offline -q --test verify_batch_equiv
+LEXEQUAL_FORCE_SCALAR=1 cargo test -p lexequal --offline -q --test verify_batch_equiv
+cargo run --release -p lexequal-service --offline --bin loadgen -- \
+    --prefilter-bench --size 2000 --pool 16 \
+    --prefilter-out results/prefilter_bench_ci.json
+rm -f results/prefilter_bench_ci.json
+
 echo "== replication bench (small run; full size via --size/--repl-ops)"
 cargo run --release -p lexequal-service --offline --bin loadgen -- \
     --repl-bench --size 2000 --repl-ops 200 --repl-out results/repl_bench_ci.json
